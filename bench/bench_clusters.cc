@@ -1,0 +1,69 @@
+// EXP-G (Section 4.3): cluster decomposition makes the expansion the
+// *union* of per-cluster expansions — total work is linear in the number
+// of clusters at fixed cluster size, and (separately) exponential in the
+// cluster size at a fixed class count. Both sweeps below should show
+// exactly that shape.
+
+#include <benchmark/benchmark.h>
+
+#include "core/car.h"
+
+namespace car {
+namespace {
+
+void BM_Clusters_LinearInClusterCount(benchmark::State& state) {
+  Rng rng(101);
+  ClusteredParams params;
+  params.num_clusters = static_cast<int>(state.range(0));
+  params.cluster_size = 5;
+  Schema schema = GenerateClusteredSchema(&rng, params);
+  size_t compounds = 0;
+  for (auto _ : state) {
+    Reasoner reasoner(&schema);
+    auto report = reasoner.CheckSchema();
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      break;
+    }
+    compounds = report->num_compound_classes;
+  }
+  state.counters["compound_classes"] = static_cast<double>(compounds);
+  state.counters["classes"] = params.num_clusters * params.cluster_size;
+}
+BENCHMARK(BM_Clusters_LinearInClusterCount)
+    ->DenseRange(2, 16, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// Same total class count (24), different granularity: a few big clusters
+// are exponentially worse than many small ones.
+void BM_Clusters_ExponentialInClusterSize(benchmark::State& state) {
+  Rng rng(202);
+  const int cluster_size = static_cast<int>(state.range(0));
+  ClusteredParams params;
+  params.cluster_size = cluster_size;
+  params.num_clusters = 24 / cluster_size;
+  params.dense = true;
+  Schema schema = GenerateClusteredSchema(&rng, params);
+  size_t visited = 0;
+  for (auto _ : state) {
+    auto expansion = BuildExpansion(schema);
+    if (!expansion.ok()) {
+      state.SkipWithError(expansion.status().ToString().c_str());
+      break;
+    }
+    visited = expansion->subsets_visited;
+  }
+  state.counters["subsets_visited"] = static_cast<double>(visited);
+}
+BENCHMARK(BM_Clusters_ExponentialInClusterSize)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace car
+
+BENCHMARK_MAIN();

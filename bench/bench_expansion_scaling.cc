@@ -1,0 +1,78 @@
+// EXP-B (Theorem 4.4 / Section 4.2): the general case is exponential —
+// the number of compound classes, and hence the whole decision procedure,
+// grows exponentially with the number of classes when nothing (clusters,
+// disjointness) tames the enumeration.
+//
+// Workload: random general schemas with negation and union, one shared
+// attribute range keeping all classes in one cluster. The reported
+// compound-class counts should roughly double per added class, and time
+// should follow.
+
+#include <benchmark/benchmark.h>
+
+#include "core/car.h"
+
+namespace car {
+namespace {
+
+Schema DenseSchema(int num_classes, uint64_t seed) {
+  Rng rng(seed);
+  GeneralSchemaParams params;
+  params.num_classes = num_classes;
+  params.num_attributes = 2;
+  params.isa_percent = 40;      // Light constraints: most subsets survive.
+  params.negation_percent = 20;
+  params.union_percent = 50;
+  params.attribute_percent = 40;
+  params.num_relations = 0;
+  return RandomGeneralSchema(&rng, params);
+}
+
+void BM_Expansion_GeneralExhaustive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Schema schema = DenseSchema(n, /*seed=*/n);
+  ExpansionOptions options;
+  options.strategy = ExpansionStrategy::kExhaustive;
+  size_t compounds = 0;
+  size_t visited = 0;
+  for (auto _ : state) {
+    auto expansion = BuildExpansion(schema, options);
+    if (!expansion.ok()) {
+      state.SkipWithError(expansion.status().ToString().c_str());
+      break;
+    }
+    compounds = expansion->compound_classes.size();
+    visited = expansion->subsets_visited;
+  }
+  state.counters["compound_classes"] = static_cast<double>(compounds);
+  state.counters["subsets_visited"] = static_cast<double>(visited);
+}
+BENCHMARK(BM_Expansion_GeneralExhaustive)
+    ->DenseRange(6, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end (expansion + disequations) on the same family, smaller range
+// — the LP over exponentially many unknowns dominates quickly.
+void BM_EndToEnd_General(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Schema schema = DenseSchema(n, /*seed=*/n);
+  size_t compounds = 0;
+  for (auto _ : state) {
+    Reasoner reasoner(&schema);
+    auto report = reasoner.CheckSchema();
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      break;
+    }
+    compounds = report->num_compound_classes;
+  }
+  state.counters["compound_classes"] = static_cast<double>(compounds);
+}
+BENCHMARK(BM_EndToEnd_General)
+    ->DenseRange(4, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace car
+
+BENCHMARK_MAIN();

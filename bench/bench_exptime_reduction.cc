@@ -1,0 +1,92 @@
+// EXP-C (Theorem 4.1): hardness in the general case. The paper proves
+// EXPTIME-hardness by encoding Turing-machine tableaux; the boolean core
+// of that encoding — class-formulae as arbitrary CNF — already embeds
+// propositional satisfiability, which this benchmark exercises directly:
+// random 3-CNF near the phase transition and pigeonhole formulas, encoded
+// via reductions/sat_reduction.h. Time grows exponentially with the
+// variable count (each variable doubles the candidate compound classes).
+
+#include <benchmark/benchmark.h>
+
+#include "core/car.h"
+
+namespace car {
+namespace {
+
+CnfFormula RandomCnf(Rng* rng, int variables, int clauses) {
+  CnfFormula formula;
+  formula.num_variables = variables;
+  for (int i = 0; i < clauses; ++i) {
+    std::vector<std::pair<int, bool>> clause;
+    for (int j = 0; j < 3; ++j) {
+      clause.emplace_back(rng->NextInt(0, variables - 1),
+                          rng->NextChance(1, 2));
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+CnfFormula Pigeonhole(int holes) {
+  CnfFormula formula;
+  const int pigeons = holes + 1;
+  formula.num_variables = pigeons * holes;
+  auto variable = [holes](int p, int h) { return p * holes + h; };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<std::pair<int, bool>> clause;
+    for (int h = 0; h < holes; ++h) clause.emplace_back(variable(p, h), false);
+    formula.clauses.push_back(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        formula.clauses.push_back(
+            {{variable(p1, h), true}, {variable(p2, h), true}});
+      }
+    }
+  }
+  return formula;
+}
+
+void BM_SatReduction_Random3Cnf(benchmark::State& state) {
+  const int variables = static_cast<int>(state.range(0));
+  Rng rng(static_cast<uint64_t>(variables) * 7919);
+  // ~4.2 clauses per variable: near the 3-SAT phase transition.
+  CnfFormula formula = RandomCnf(&rng, variables, (variables * 42) / 10);
+  auto encoding = EncodeSatAsSchema(formula).value();
+  bool satisfiable = false;
+  for (auto _ : state) {
+    Reasoner reasoner(&encoding.schema);
+    auto answer = reasoner.IsClassSatisfiable(encoding.query_class);
+    if (!answer.ok()) {
+      state.SkipWithError(answer.status().ToString().c_str());
+      break;
+    }
+    satisfiable = answer.value();
+  }
+  state.counters["satisfiable"] = satisfiable ? 1 : 0;
+}
+BENCHMARK(BM_SatReduction_Random3Cnf)
+    ->DenseRange(4, 16, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SatReduction_Pigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  auto encoding = EncodeSatAsSchema(Pigeonhole(holes)).value();
+  bool satisfiable = true;
+  for (auto _ : state) {
+    Reasoner reasoner(&encoding.schema);
+    satisfiable =
+        reasoner.IsClassSatisfiable(encoding.query_class).value();
+  }
+  // Pigeonhole formulas are all unsatisfiable.
+  state.counters["satisfiable"] = satisfiable ? 1 : 0;
+}
+BENCHMARK(BM_SatReduction_Pigeonhole)
+    ->DenseRange(2, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace car
+
+BENCHMARK_MAIN();

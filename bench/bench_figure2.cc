@@ -1,0 +1,161 @@
+// FIG1 / FIG2: end-to-end reasoning on the paper's two example schemas.
+// Regenerates the paper's qualitative claims about the running example:
+// every class of the enriched schema (Figure 2) is satisfiable, and the
+// implication queries of Section 2.1 all come out as discussed there.
+
+#include <benchmark/benchmark.h>
+
+#include "core/car.h"
+
+namespace car {
+namespace {
+
+Schema BuildFigure1() {
+  SchemaBuilder builder;
+  builder.DeclareClass("String");
+  builder.BeginClass("Person")
+      .Attribute("name", 0, SchemaBuilder::kUnbounded, {{"String"}})
+      .Attribute("date_of_birth", 0, SchemaBuilder::kUnbounded, {{"String"}})
+      .EndClass();
+  builder.BeginClass("Professor")
+      .Isa({{"Person"}})
+      .Attribute("teaches", 0, SchemaBuilder::kUnbounded, {{"Course"}})
+      .EndClass();
+  builder.BeginClass("Student")
+      .Isa({{"Person"}})
+      .Attribute("student_id", 0, SchemaBuilder::kUnbounded, {{"String"}})
+      .EndClass();
+  builder.BeginClass("Grad_Student").Isa({{"Student"}}).EndClass();
+  builder.BeginClass("Course")
+      .Attribute("taught_by", 0, SchemaBuilder::kUnbounded, {{"Professor"}})
+      .EndClass();
+  builder.BeginClass("Adv_Course").Isa({{"Course"}}).EndClass();
+  builder.BeginClass("Enrollment")
+      .Attribute("enrolls", 0, SchemaBuilder::kUnbounded, {{"Student"}})
+      .Attribute("enrolled_in", 0, SchemaBuilder::kUnbounded, {{"Course"}})
+      .EndClass();
+  return std::move(builder).Build().value();
+}
+
+Schema BuildFigure2() {
+  SchemaBuilder builder;
+  builder.DeclareClass("String");
+  builder.BeginClass("Person")
+      .Attribute("name", 1, 1, {{"String"}})
+      .Attribute("date_of_birth", 1, 1, {{"String"}})
+      .EndClass();
+  builder.BeginClass("Professor")
+      .Isa({{"Person"}})
+      .InverseAttribute("taught_by", 1, 2, {{"Course"}})
+      .EndClass();
+  builder.BeginClass("Student")
+      .Isa({{"Person"}, {"!Professor"}})
+      .Attribute("student_id", 1, 1, {{"String"}})
+      .Participates("Enrollment", "enrolls", 1, 6)
+      .EndClass();
+  builder.BeginClass("Grad_Student")
+      .Isa({{"Student"}})
+      .InverseAttribute("taught_by", 0, 1, {{"Course"}})
+      .Participates("Enrollment", "enrolls", 2, 3)
+      .EndClass();
+  builder.BeginClass("Course")
+      .Attribute("taught_by", 1, 1, {{"Professor", "Grad_Student"}})
+      .Participates("Enrollment", "enrolled_in", 5, 100)
+      .EndClass();
+  builder.BeginClass("Adv_Course")
+      .Isa({{"Course"}})
+      .Attribute("taught_by", 1, 1, {{"Professor"}})
+      .Participates("Enrollment", "enrolled_in", 5, 20)
+      .EndClass();
+  builder.BeginRelation("Enrollment", {"enrolled_in", "enrolls"})
+      .Constraint({{"enrolled_in", {{"Course"}}}})
+      .Constraint({{"enrolls", {{"Student"}}}})
+      .Constraint({{"enrolled_in", {{"!Adv_Course"}}},
+                   {"enrolls", {{"Grad_Student"}}}})
+      .EndRelation();
+  builder.BeginRelation("Exam", {"of", "by", "in"})
+      .Constraint({{"of", {{"Student"}}}})
+      .Constraint({{"by", {{"Professor"}}}})
+      .Constraint({{"in", {{"Course"}}}})
+      .EndRelation();
+  return std::move(builder).Build().value();
+}
+
+void BM_Figure1_Satisfiability(benchmark::State& state) {
+  Schema schema = BuildFigure1();
+  size_t unsat = 0;
+  size_t compounds = 0;
+  for (auto _ : state) {
+    Reasoner reasoner(&schema);
+    auto report = reasoner.CheckSchema();
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    unsat = report->unsatisfiable_classes.size();
+    compounds = report->num_compound_classes;
+  }
+  state.counters["unsatisfiable_classes"] = static_cast<double>(unsat);
+  state.counters["compound_classes"] = static_cast<double>(compounds);
+}
+BENCHMARK(BM_Figure1_Satisfiability)->Unit(benchmark::kMillisecond);
+
+void BM_Figure2_Satisfiability(benchmark::State& state) {
+  Schema schema = BuildFigure2();
+  size_t unsat = 0;
+  size_t compounds = 0;
+  for (auto _ : state) {
+    Reasoner reasoner(&schema);
+    auto report = reasoner.CheckSchema();
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    unsat = report->unsatisfiable_classes.size();
+    compounds = report->num_compound_classes;
+  }
+  state.counters["unsatisfiable_classes"] = static_cast<double>(unsat);
+  state.counters["compound_classes"] = static_cast<double>(compounds);
+}
+BENCHMARK(BM_Figure2_Satisfiability)->Unit(benchmark::kMillisecond);
+
+void BM_Figure2_ImplicationQueries(benchmark::State& state) {
+  Schema schema = BuildFigure2();
+  ClassId grad = schema.LookupClass("Grad_Student");
+  ClassId professor = schema.LookupClass("Professor");
+  ClassId person = schema.LookupClass("Person");
+  AttributeId taught_by = schema.LookupAttribute("taught_by");
+  int implied = 0;
+  for (auto _ : state) {
+    Reasoner reasoner(&schema);
+    implied = 0;
+    implied += reasoner.ImpliesIsa(grad, ClassFormula::OfClass(person))
+                   .value();
+    implied += reasoner.ImpliesDisjoint(grad, professor).value();
+    implied += reasoner
+                   .ImpliesMaxCardinality(
+                       professor, AttributeTerm::Inverse(taught_by), 2)
+                   .value();
+    implied += reasoner
+                   .ImpliesMinParticipation(
+                       grad, schema.LookupRelation("Enrollment"),
+                       schema.LookupRole("enrolls"), 2)
+                   .value();
+  }
+  // All four entailments of Section 2.1 hold.
+  state.counters["implied_of_4"] = implied;
+}
+BENCHMARK(BM_Figure2_ImplicationQueries)->Unit(benchmark::kMillisecond);
+
+void BM_Figure2_ModelSynthesis(benchmark::State& state) {
+  Schema schema = BuildFigure2();
+  auto expansion = BuildExpansion(schema).value();
+  auto solution = SolvePsi(expansion).value();
+  int universe = 0;
+  for (auto _ : state) {
+    auto model = SynthesizeModel(expansion, solution);
+    if (!model.ok()) state.SkipWithError(model.status().ToString().c_str());
+    universe = model->model.universe_size();
+  }
+  state.counters["universe"] = universe;
+}
+BENCHMARK(BM_Figure2_ModelSynthesis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace car
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// EXP-H (Section 4.4): generalization hierarchies are the polynomial
+// special case — each cluster's compound classes are the root-to-node
+// paths, so their number equals the number of classes, and the whole
+// method runs in polynomial time.
+//
+// Sweeps the hierarchy size; the reported compound-class count must stay
+// equal to classes + 1 (the empty compound), and time must grow
+// polynomially (compare against bench_expansion_scaling's exponential
+// curve at the same class counts).
+
+#include <benchmark/benchmark.h>
+
+#include "core/car.h"
+
+namespace car {
+namespace {
+
+void BM_Hierarchy_EndToEnd(benchmark::State& state) {
+  Rng rng(7);
+  HierarchyParams params;
+  params.num_classes = static_cast<int>(state.range(0));
+  params.num_trees = 2;
+  params.max_children = 3;
+  Schema schema = GenerateHierarchy(&rng, params);
+  size_t compounds = 0;
+  size_t visited = 0;
+  for (auto _ : state) {
+    auto expansion = BuildExpansion(schema);
+    if (!expansion.ok()) {
+      state.SkipWithError(expansion.status().ToString().c_str());
+      break;
+    }
+    auto solution = SolvePsi(*expansion);
+    if (!solution.ok()) {
+      state.SkipWithError(solution.status().ToString().c_str());
+      break;
+    }
+    compounds = expansion->compound_classes.size();
+    visited = expansion->subsets_visited;
+  }
+  // Section 4.4: one compound class per class (root-to-node paths), plus
+  // the empty compound.
+  if (compounds != static_cast<size_t>(params.num_classes) + 1) {
+    state.SkipWithError("hierarchy expansion is not classes + 1");
+  }
+  state.counters["compound_classes"] = static_cast<double>(compounds);
+  state.counters["subsets_visited"] = static_cast<double>(visited);
+}
+BENCHMARK(BM_Hierarchy_EndToEnd)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// Deep single-path hierarchies (worst depth) stay polynomial too.
+void BM_Hierarchy_DeepChain(benchmark::State& state) {
+  Rng rng(11);
+  HierarchyParams params;
+  params.num_classes = static_cast<int>(state.range(0));
+  params.num_trees = 1;
+  params.max_children = 1;
+  Schema schema = GenerateHierarchy(&rng, params);
+  size_t visited = 0;
+  for (auto _ : state) {
+    auto expansion = BuildExpansion(schema);
+    if (!expansion.ok()) {
+      state.SkipWithError(expansion.status().ToString().c_str());
+      break;
+    }
+    visited = expansion->subsets_visited;
+  }
+  state.counters["subsets_visited"] = static_cast<double>(visited);
+}
+BENCHMARK(BM_Hierarchy_DeepChain)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace car
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// EXP-A (Theorem 4.3 / 3.3): phase (2) — building and solving the system
+// of linear disequations — is polynomial in the size of the system.
+//
+// Workload: chain schemas (workloads/generators.h) whose expansion stays
+// linear in the chain length while Ψ_S grows linearly in variables and
+// constraints; the reported time should grow polynomially (roughly cubic
+// in the chain length for the dense exact simplex), not exponentially:
+// doubling the size must multiply time by a constant factor, not square
+// it.
+
+#include <benchmark/benchmark.h>
+
+#include "core/car.h"
+
+namespace car {
+namespace {
+
+void BM_LpPhase_ChainLength(benchmark::State& state) {
+  ChainParams params;
+  params.length = static_cast<int>(state.range(0));
+  params.fanout = 3;
+  Schema schema = GenerateChainSchema(params);
+  auto expansion = BuildExpansion(schema).value();
+
+  size_t lp_vars = 0;
+  size_t lp_constraints = 0;
+  size_t pivots = 0;
+  for (auto _ : state) {
+    auto solution = SolvePsi(expansion);
+    if (!solution.ok()) {
+      state.SkipWithError(solution.status().ToString().c_str());
+      break;
+    }
+    lp_vars = solution->largest_lp_variables;
+    lp_constraints = solution->largest_lp_constraints;
+    pivots = solution->total_pivots;
+  }
+  state.counters["lp_variables"] = static_cast<double>(lp_vars);
+  state.counters["lp_constraints"] = static_cast<double>(lp_constraints);
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+BENCHMARK(BM_LpPhase_ChainLength)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// The same sweep measuring only the construction of Ψ_S (immediate, as
+// Section 4.2 notes: "the construction of the system of disequations from
+// the expansion is immediate").
+void BM_LpPhase_BuildPsiOnly(benchmark::State& state) {
+  ChainParams params;
+  params.length = static_cast<int>(state.range(0));
+  Schema schema = GenerateChainSchema(params);
+  auto expansion = BuildExpansion(schema).value();
+  size_t disequations = 0;
+  for (auto _ : state) {
+    PsiSystem psi = BuildFullPsiSystem(expansion);
+    benchmark::DoNotOptimize(psi);
+    disequations = psi.num_disequations;
+  }
+  state.counters["disequations"] = static_cast<double>(disequations);
+}
+BENCHMARK(BM_LpPhase_BuildPsiOnly)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace car
+
+BENCHMARK_MAIN();

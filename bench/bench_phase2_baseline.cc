@@ -1,0 +1,61 @@
+// EXP-K (Section 3, improvement over [CL94]): the paper's phase 2 "works
+// in worst case deterministic exponential time (compared to the double
+// exponential time algorithm suggested in [CL94])". At the level of one
+// phase-2 invocation, our support-maximizing fixpoint needs at most
+// |compound classes| LP solves, while the naive guess-the-support
+// baseline needs 2^|constrained compound classes| of them. Chain schemas
+// keep the expansion linear, isolating the phase-2 gap: the baseline's
+// curve doubles per added link, the fixpoint's stays polynomial.
+
+#include <benchmark/benchmark.h>
+
+#include "core/car.h"
+#include "solver/naive_solve.h"
+
+namespace car {
+namespace {
+
+void BM_Phase2_Fixpoint(benchmark::State& state) {
+  ChainParams params;
+  params.length = static_cast<int>(state.range(0));
+  Schema schema = GenerateChainSchema(params);
+  auto expansion = BuildExpansion(schema).value();
+  size_t lp_solves = 0;
+  for (auto _ : state) {
+    auto solution = SolvePsi(expansion);
+    if (!solution.ok()) {
+      state.SkipWithError(solution.status().ToString().c_str());
+      break;
+    }
+    lp_solves = solution->lp_solves;
+  }
+  state.counters["lp_solves"] = static_cast<double>(lp_solves);
+}
+BENCHMARK(BM_Phase2_Fixpoint)
+    ->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Phase2_NaiveBaseline(benchmark::State& state) {
+  ChainParams params;
+  params.length = static_cast<int>(state.range(0));
+  Schema schema = GenerateChainSchema(params);
+  auto expansion = BuildExpansion(schema).value();
+  size_t lp_solves = 0;
+  for (auto _ : state) {
+    auto naive = SolvePsiNaive(expansion);
+    if (!naive.ok()) {
+      state.SkipWithError(naive.status().ToString().c_str());
+      break;
+    }
+    lp_solves = naive->lp_solves;
+  }
+  state.counters["lp_solves"] = static_cast<double>(lp_solves);
+}
+BENCHMARK(BM_Phase2_NaiveBaseline)
+    ->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace car
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+// Ablation (Section 1 / DESIGN.md EXP-J): finite-model reasoning (the
+// paper's contribution) vs. unrestricted type elimination (the
+// KR-community semantics the paper contrasts with). Measures both the
+// cost gap — counting is more expensive than elimination — and the
+// *answer* gap: the fraction of random schemas where a class is
+// satisfiable only over infinite universes, i.e. where a DL-style
+// reasoner would accept a schema no database can ever populate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/car.h"
+#include "reasoner/unrestricted.h"
+
+namespace car {
+namespace {
+
+/// A family of "almost-tree" schemas: level k objects need children at
+/// level k+1, and the last level folds back with an in-degree cap, which
+/// makes finite models impossible while unrestricted ones exist.
+Schema FiniteEffectChain(int length) {
+  // Every level doubles: L_k objects have exactly 2 c_k-children, each
+  // child has at most one parent, and the last level folds back into L0
+  // under the same in-degree cap. Finite universes force all levels
+  // empty (|L0| >= 2^(length+1) |L0|); an infinite forest satisfies
+  // everything.
+  SchemaBuilder builder;
+  for (int k = 0; k < length; ++k) {
+    builder.BeginClass(StrCat("L", k))
+        .Attribute(StrCat("c", k), 2, 2, {{StrCat("L", k + 1)}})
+        .EndClass();
+  }
+  builder.BeginClass(StrCat("L", length))
+      .Attribute("back", 2, 2, {{"L0"}})
+      .EndClass();
+  auto schema = std::move(builder).Build();
+  CAR_CHECK(schema.ok()) << schema.status();
+  Schema result = std::move(schema).value();
+  for (int k = 1; k <= length; ++k) {
+    AttributeSpec cap;
+    cap.term = AttributeTerm::Inverse(
+        result.LookupAttribute(StrCat("c", k - 1)));
+    cap.cardinality = Cardinality(0, 1);
+    cap.range = ClassFormula::OfClass(result.LookupClass(
+        StrCat("L", k - 1)));
+    result.mutable_class_definition(result.LookupClass(StrCat("L", k)))
+        ->attributes.push_back(std::move(cap));
+  }
+  AttributeSpec back_cap;
+  back_cap.term = AttributeTerm::Inverse(result.LookupAttribute("back"));
+  back_cap.cardinality = Cardinality(0, 1);
+  back_cap.range =
+      ClassFormula::OfClass(result.LookupClass(StrCat("L", length)));
+  result.mutable_class_definition(result.LookupClass("L0"))
+      ->attributes.push_back(std::move(back_cap));
+  CAR_CHECK(result.Validate().ok());
+  return result;
+}
+
+void BM_Ablation_FiniteReasoner(benchmark::State& state) {
+  Schema schema = FiniteEffectChain(static_cast<int>(state.range(0)));
+  auto expansion = BuildExpansion(schema).value();
+  bool l0_satisfiable = true;
+  for (auto _ : state) {
+    auto solution = SolvePsi(expansion);
+    if (!solution.ok()) {
+      state.SkipWithError(solution.status().ToString().c_str());
+      break;
+    }
+    l0_satisfiable =
+        solution->IsClassSatisfiable(schema.LookupClass("L0"));
+  }
+  // Finite-model reasoning must reject the fold-back family.
+  state.counters["L0_satisfiable"] = l0_satisfiable ? 1 : 0;
+}
+BENCHMARK(BM_Ablation_FiniteReasoner)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ablation_UnrestrictedReasoner(benchmark::State& state) {
+  Schema schema = FiniteEffectChain(static_cast<int>(state.range(0)));
+  auto expansion = BuildExpansion(schema).value();
+  bool l0_satisfiable = false;
+  for (auto _ : state) {
+    auto result = CheckUnrestrictedSatisfiability(expansion);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    l0_satisfiable = result->IsClassSatisfiable(schema.LookupClass("L0"));
+  }
+  // Unrestricted reasoning accepts it (an infinite forest model exists):
+  // the answer gap this ablation is about.
+  state.counters["L0_satisfiable"] = l0_satisfiable ? 1 : 0;
+}
+BENCHMARK(BM_Ablation_UnrestrictedReasoner)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// Answer-gap census on random schemas: how often does finiteness change
+// some class's satisfiability?
+void BM_Ablation_DisagreementCensus(benchmark::State& state) {
+  const int num_schemas = static_cast<int>(state.range(0));
+  int schemas_with_effects = 0;
+  int classes_affected = 0;
+  int classes_total = 0;
+  for (auto _ : state) {
+    Rng rng(4242);
+    schemas_with_effects = 0;
+    classes_affected = 0;
+    classes_total = 0;
+    for (int i = 0; i < num_schemas; ++i) {
+      GeneralSchemaParams params;
+      params.num_classes = 5;
+      params.num_attributes = 2;
+      params.max_cardinality = 3;
+      Schema schema = RandomGeneralSchema(&rng, params);
+      auto expansion = BuildExpansion(schema).value();
+      auto finite = SolvePsi(expansion).value();
+      auto unrestricted =
+          CheckUnrestrictedSatisfiability(expansion).value();
+      bool any = false;
+      for (ClassId c = 0; c < schema.num_classes(); ++c) {
+        ++classes_total;
+        if (finite.IsClassSatisfiable(c) !=
+            unrestricted.IsClassSatisfiable(c)) {
+          ++classes_affected;
+          any = true;
+        }
+      }
+      if (any) ++schemas_with_effects;
+    }
+  }
+  state.counters["schemas_with_finite_effects"] = schemas_with_effects;
+  state.counters["classes_affected"] = classes_affected;
+  state.counters["classes_total"] = classes_total;
+}
+BENCHMARK(BM_Ablation_DisagreementCensus)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace car
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// generate_database: run the full constructive pipeline on the paper's
+// Figure 2 schema — expansion, disequation system, acceptable integer
+// solution, and model synthesis — then print the resulting database
+// state and re-verify it with the independent semantics checker.
+//
+// Usage:
+//   ./build/examples/generate_database
+
+#include <iostream>
+
+#include "core/car.h"
+#include "frontend/parser.h"
+
+namespace {
+
+constexpr const char* kFigure2 = R"(
+class Person
+  attributes
+    name : (1, 1) String;
+    date_of_birth : (1, 1) String
+endclass
+
+class Professor
+  isa Person
+  attributes
+    (inv taught_by) : (1, 2) Course
+endclass
+
+class Student
+  isa Person & !Professor
+  attributes
+    student_id : (1, 1) String
+  participates_in
+    Enrollment[enrolls] : (1, 6)
+endclass
+
+class Grad_Student
+  isa Student
+  attributes
+    (inv taught_by) : (0, 1) Course
+  participates_in
+    Enrollment[enrolls] : (2, 3)
+endclass
+
+class Course
+  attributes
+    taught_by : (1, 1) Professor | Grad_Student
+  participates_in
+    Enrollment[enrolled_in] : (5, 100)
+endclass
+
+class Adv_Course
+  isa Course
+  attributes
+    taught_by : (1, 1) Professor
+  participates_in
+    Enrollment[enrolled_in] : (5, 20)
+endclass
+
+relation Enrollment(enrolled_in, enrolls)
+  constraints
+    (enrolled_in : Course);
+    (enrolls : Student);
+    (enrolled_in : !Adv_Course) | (enrolls : Grad_Student)
+endrelation
+)";
+
+}  // namespace
+
+int main() {
+  auto parsed = car::ParseSchema(kFigure2);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.status() << "\n";
+    return 1;
+  }
+  car::Schema schema = std::move(parsed).value();
+
+  auto expansion = car::BuildExpansion(schema);
+  if (!expansion.ok()) {
+    std::cerr << "expansion failed: " << expansion.status() << "\n";
+    return 1;
+  }
+  std::cout << expansion->Summary() << "\n";
+
+  auto solution = car::SolvePsi(*expansion);
+  if (!solution.ok()) {
+    std::cerr << "solving failed: " << solution.status() << "\n";
+    return 1;
+  }
+  std::cout << "Disequation system solved: " << solution->lp_solves
+            << " LP solves, " << solution->total_pivots << " pivots, "
+            << solution->fixpoint_rounds << " acceptability rounds\n";
+
+  auto synthesized = car::SynthesizeModel(*expansion, *solution);
+  if (!synthesized.ok()) {
+    std::cerr << "synthesis failed: " << synthesized.status() << "\n";
+    return 1;
+  }
+  const car::Interpretation& model = synthesized->model;
+
+  std::cout << "\nSynthesized database state (universe of "
+            << model.universe_size() << " objects, scale x"
+            << synthesized->scale << "):\n";
+  for (car::ClassId c = 0; c < schema.num_classes(); ++c) {
+    std::cout << "  " << schema.ClassName(c) << ": "
+              << model.ClassExtension(c).size() << " objects\n";
+  }
+  for (car::AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    std::cout << "  attribute " << schema.AttributeName(a) << ": "
+              << model.AttributeExtension(a).size() << " pairs\n";
+  }
+  for (car::RelationId r = 0; r < schema.num_relations(); ++r) {
+    std::cout << "  relation " << schema.RelationName(r) << ": "
+              << model.RelationExtension(r).size() << " tuples\n";
+  }
+
+  // A few concrete facts, to show this is a real extensional database.
+  car::RelationId enrollment = schema.LookupRelation("Enrollment");
+  std::cout << "\nSample Enrollment tuples (enrolled_in, enrolls):\n";
+  int shown = 0;
+  for (const car::LabeledTuple& tuple :
+       model.RelationExtension(enrollment)) {
+    std::cout << "  <course #" << tuple[0] << ", student #" << tuple[1]
+              << ">\n";
+    if (++shown == 5) break;
+  }
+
+  car::ModelCheckResult verdict = car::CheckModel(schema, model);
+  std::cout << "\nIndependent verification: "
+            << (verdict.is_model ? "MODEL (all Section 2.3 conditions hold)"
+                                 : "NOT A MODEL")
+            << "\n";
+  return verdict.is_model ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+// Quickstart: build the paper's running example (Figure 2), check that
+// every class is satisfiable, and ask a few implication questions.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/car.h"
+
+namespace {
+
+car::Schema BuildUniversitySchema() {
+  car::SchemaBuilder builder;
+  builder.DeclareClass("String");
+  builder.BeginClass("Person")
+      .Attribute("name", 1, 1, {{"String"}})
+      .Attribute("date_of_birth", 1, 1, {{"String"}})
+      .EndClass();
+  builder.BeginClass("Professor")
+      .Isa({{"Person"}})
+      .InverseAttribute("taught_by", 1, 2, {{"Course"}})
+      .EndClass();
+  builder.BeginClass("Student")
+      .Isa({{"Person"}, {"!Professor"}})
+      .Attribute("student_id", 1, 1, {{"String"}})
+      .Participates("Enrollment", "enrolls", 1, 6)
+      .EndClass();
+  builder.BeginClass("Grad_Student")
+      .Isa({{"Student"}})
+      .InverseAttribute("taught_by", 0, 1, {{"Course"}})
+      .Participates("Enrollment", "enrolls", 2, 3)
+      .EndClass();
+  builder.BeginClass("Course")
+      .Attribute("taught_by", 1, 1, {{"Professor", "Grad_Student"}})
+      .Participates("Enrollment", "enrolled_in", 5, 100)
+      .EndClass();
+  builder.BeginClass("Adv_Course")
+      .Isa({{"Course"}})
+      .Attribute("taught_by", 1, 1, {{"Professor"}})
+      .Participates("Enrollment", "enrolled_in", 5, 20)
+      .EndClass();
+  builder.BeginRelation("Enrollment", {"enrolled_in", "enrolls"})
+      .Constraint({{"enrolled_in", {{"Course"}}}})
+      .Constraint({{"enrolls", {{"Student"}}}})
+      .Constraint({{"enrolled_in", {{"!Adv_Course"}}},
+                   {"enrolls", {{"Grad_Student"}}}})
+      .EndRelation();
+  builder.BeginRelation("Exam", {"of", "by", "in"})
+      .Constraint({{"of", {{"Student"}}}})
+      .Constraint({{"by", {{"Professor"}}}})
+      .Constraint({{"in", {{"Course"}}}})
+      .EndRelation();
+  auto schema = std::move(builder).Build();
+  if (!schema.ok()) {
+    std::cerr << "schema construction failed: " << schema.status() << "\n";
+    std::exit(1);
+  }
+  return std::move(schema).value();
+}
+
+}  // namespace
+
+int main() {
+  car::Schema schema = BuildUniversitySchema();
+  std::cout << "Built " << schema.Summary() << "\n\n";
+  std::cout << "Concrete syntax rendering:\n"
+            << car::PrintSchema(schema) << "\n";
+
+  car::Reasoner reasoner(&schema);
+
+  // 1. Schema validation: is every class populable?
+  auto report = reasoner.CheckSchema();
+  if (!report.ok()) {
+    std::cerr << "reasoning failed: " << report.status() << "\n";
+    return 1;
+  }
+  std::cout << "Compound classes in the expansion: "
+            << report->num_compound_classes << "\n";
+  if (report->unsatisfiable_classes.empty()) {
+    std::cout << "All " << schema.num_classes()
+              << " classes are satisfiable.\n\n";
+  } else {
+    for (car::ClassId c : report->unsatisfiable_classes) {
+      std::cout << "UNSATISFIABLE: " << schema.ClassName(c) << "\n";
+    }
+  }
+
+  // 2. Implication queries: what does the schema entail beyond its text?
+  car::ClassId grad = schema.LookupClass("Grad_Student");
+  car::ClassId professor = schema.LookupClass("Professor");
+  car::ClassId person = schema.LookupClass("Person");
+
+  std::cout << "Grad_Student isa Person?           "
+            << (reasoner.ImpliesIsa(grad, car::ClassFormula::OfClass(person))
+                        .value()
+                    ? "yes (inherited through Student)"
+                    : "no")
+            << "\n";
+  std::cout << "Grad_Student disjoint Professor?   "
+            << (reasoner.ImpliesDisjoint(grad, professor).value()
+                    ? "yes (Student isa !Professor is inherited)"
+                    : "no")
+            << "\n";
+
+  car::AttributeId taught_by = schema.LookupAttribute("taught_by");
+  std::cout << "Professors teach at most 2 courses? "
+            << (reasoner
+                        .ImpliesMaxCardinality(
+                            professor,
+                            car::AttributeTerm::Inverse(taught_by), 2)
+                        .value()
+                    ? "yes"
+                    : "no")
+            << "\n";
+  std::cout << "Grad students enroll at least twice? "
+            << (reasoner
+                        .ImpliesMinParticipation(
+                            grad, schema.LookupRelation("Enrollment"),
+                            schema.LookupRole("enrolls"), 2)
+                        .value()
+                    ? "yes"
+                    : "no")
+            << "\n";
+  return 0;
+}

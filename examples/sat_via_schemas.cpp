@@ -1,0 +1,94 @@
+// sat_via_schemas: the hardness witness of Section 4.1, runnable. A CNF
+// formula is encoded as a CAR schema (one class per variable, the query
+// class's isa part is the formula); class satisfiability then *is*
+// propositional satisfiability, and the expansion's consistent compound
+// classes are exactly the satisfying assignments.
+//
+// Usage:
+//   ./build/examples/sat_via_schemas
+//
+// Decides a pigeonhole-style unsatisfiable formula and a satisfiable
+// 3-CNF, printing the schema for the small one.
+
+#include <iostream>
+
+#include "core/car.h"
+#include "frontend/printer.h"
+
+namespace {
+
+/// PHP(n): n+1 pigeons, n holes, one variable p_{i,h} per placement.
+/// Unsatisfiable for every n.
+car::CnfFormula Pigeonhole(int holes) {
+  car::CnfFormula formula;
+  int pigeons = holes + 1;
+  formula.num_variables = pigeons * holes;
+  auto variable = [holes](int pigeon, int hole) {
+    return pigeon * holes + hole;
+  };
+  // Every pigeon sits somewhere.
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<std::pair<int, bool>> clause;
+    for (int h = 0; h < holes; ++h) clause.emplace_back(variable(p, h), false);
+    formula.clauses.push_back(std::move(clause));
+  }
+  // No two pigeons share a hole.
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        formula.clauses.push_back(
+            {{variable(p1, h), true}, {variable(p2, h), true}});
+      }
+    }
+  }
+  return formula;
+}
+
+int Decide(const char* label, const car::CnfFormula& formula,
+           bool print_schema) {
+  auto encoding = car::EncodeSatAsSchema(formula);
+  if (!encoding.ok()) {
+    std::cerr << "encoding failed: " << encoding.status() << "\n";
+    return 1;
+  }
+  if (print_schema) {
+    std::cout << "Encoded schema:\n"
+              << car::PrintSchema(encoding->schema) << "\n";
+  }
+  car::Reasoner reasoner(&encoding->schema);
+  auto satisfiable = reasoner.IsClassSatisfiable(encoding->query_class);
+  if (!satisfiable.ok()) {
+    std::cerr << "reasoning failed: " << satisfiable.status() << "\n";
+    return 1;
+  }
+  std::cout << label << ": " << formula.num_variables << " variables, "
+            << formula.clauses.size() << " clauses -> "
+            << (satisfiable.value() ? "SATISFIABLE" : "UNSATISFIABLE")
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  // A tiny satisfiable formula: (x0 | x1) & (!x0 | x2) & (!x1 | !x2).
+  car::CnfFormula small;
+  small.num_variables = 3;
+  small.clauses = {{{0, false}, {1, false}},
+                   {{0, true}, {2, false}},
+                   {{1, true}, {2, true}}};
+  if (Decide("3-CNF demo", small, /*print_schema=*/true) != 0) return 1;
+
+  // Pigeonhole: classically unsatisfiable, and the expansion has to
+  // discover that no consistent compound class contains the query.
+  for (int holes = 2; holes <= 3; ++holes) {
+    if (Decide("pigeonhole", Pigeonhole(holes), /*print_schema=*/false) !=
+        0) {
+      return 1;
+    }
+  }
+  std::cout << "\n(The paper's Theorem 4.1 strengthens this to "
+               "EXPTIME-hardness\nvia attributes with inverses encoding "
+               "Turing machine tableaux.)\n";
+  return 0;
+}

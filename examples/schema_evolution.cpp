@@ -1,0 +1,148 @@
+// schema_evolution: the narrative of the paper's Section 2.1, runnable.
+// Starting from the basic object-oriented schema of Figure 1, each step
+// adds one CAR feature and shows what the reasoner can newly conclude —
+// ending at the full Figure 2 schema.
+//
+// Usage:
+//   ./build/examples/schema_evolution
+
+#include <iostream>
+
+#include "core/car.h"
+
+namespace {
+
+void Report(const char* step, car::Schema& schema) {
+  car::Reasoner reasoner(&schema);
+  auto report = reasoner.CheckSchema();
+  if (!report.ok()) {
+    std::cerr << "reasoning failed: " << report.status() << "\n";
+    std::exit(1);
+  }
+  std::cout << "== " << step << "\n";
+
+  car::ClassId student = schema.LookupClass("Student");
+  car::ClassId professor = schema.LookupClass("Professor");
+  if (student != car::kInvalidId && professor != car::kInvalidId) {
+    std::cout << "   Student disjoint from Professor?  "
+              << (reasoner.ImpliesDisjoint(student, professor).value()
+                      ? "yes"
+                      : "no (students could moonlight as professors)")
+              << "\n";
+  }
+  car::AttributeId taught_by = schema.LookupAttribute("taught_by");
+  if (taught_by != car::kInvalidId && professor != car::kInvalidId) {
+    auto bounds = reasoner.ImpliedCardinalityBounds(
+        professor, car::AttributeTerm::Inverse(taught_by));
+    if (bounds.ok()) {
+      std::cout << "   Courses per professor:            "
+                << bounds->ToString() << "\n";
+    }
+  }
+  std::cout << "   Unsatisfiable classes:            "
+            << report->unsatisfiable_classes.size() << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  // Step 1 — Figure 1: the basic core. Attributes are plain typed
+  // functions, no cardinalities, no disjointness: nothing beyond the
+  // written isa chain is implied.
+  {
+    car::SchemaBuilder builder;
+    builder.DeclareClass("String");
+    builder.BeginClass("Person")
+        .Attribute("name", 0, car::SchemaBuilder::kUnbounded, {{"String"}})
+        .EndClass();
+    builder.BeginClass("Professor")
+        .Isa({{"Person"}})
+        .Attribute("teaches", 0, car::SchemaBuilder::kUnbounded,
+                   {{"Course"}})
+        .EndClass();
+    builder.BeginClass("Student").Isa({{"Person"}}).EndClass();
+    builder.BeginClass("Course")
+        .Attribute("taught_by", 0, car::SchemaBuilder::kUnbounded,
+                   {{"Professor"}})
+        .EndClass();
+    auto schema = std::move(builder).Build();
+    Report("Figure 1: the basic core", schema.value());
+  }
+
+  // Step 2 — add complement: Student isa Person & !Professor. Now the
+  // disjointness is a logical consequence.
+  {
+    car::SchemaBuilder builder;
+    builder.DeclareClass("String");
+    builder.BeginClass("Person")
+        .Attribute("name", 0, car::SchemaBuilder::kUnbounded, {{"String"}})
+        .EndClass();
+    builder.BeginClass("Professor").Isa({{"Person"}}).EndClass();
+    builder.BeginClass("Student")
+        .Isa({{"Person"}, {"!Professor"}})
+        .EndClass();
+    builder.BeginClass("Course")
+        .Attribute("taught_by", 0, car::SchemaBuilder::kUnbounded,
+                   {{"Professor", "Grad_Student"}})
+        .EndClass();
+    builder.BeginClass("Grad_Student").Isa({{"Student"}}).EndClass();
+    auto schema = std::move(builder).Build();
+    Report("+ complement and union (Section 2.1, first addition)",
+           schema.value());
+  }
+
+  // Step 3 — add the inverse attribute and cardinalities: each course is
+  // taught by exactly one person, professors teach 1-2 courses. The
+  // bounds become derivable, including for subclasses that never mention
+  // them.
+  {
+    car::SchemaBuilder builder;
+    builder.DeclareClass("String");
+    builder.BeginClass("Person")
+        .Attribute("name", 1, 1, {{"String"}})
+        .EndClass();
+    builder.BeginClass("Professor")
+        .Isa({{"Person"}})
+        .InverseAttribute("taught_by", 1, 2, {{"Course"}})
+        .EndClass();
+    builder.BeginClass("Student")
+        .Isa({{"Person"}, {"!Professor"}})
+        .EndClass();
+    builder.BeginClass("Grad_Student")
+        .Isa({{"Student"}})
+        .InverseAttribute("taught_by", 0, 1, {{"Course"}})
+        .EndClass();
+    builder.BeginClass("Course")
+        .Attribute("taught_by", 1, 1, {{"Professor", "Grad_Student"}})
+        .EndClass();
+    auto schema = std::move(builder).Build();
+    Report("+ inverse attributes and cardinality constraints",
+           schema.value());
+  }
+
+  // Step 4 — overconstrain to show the point of reasoning: demand every
+  // professor teach 3 courses while courses allow at most one teacher
+  // each and the department cannot have more courses than professors
+  // (each course also requires exactly one professor as 'owner', and
+  // each professor owns at most one course). Professor becomes finitely
+  // unsatisfiable.
+  {
+    car::SchemaBuilder builder;
+    builder.BeginClass("Professor")
+        .InverseAttribute("taught_by", 3, 3, {{"Course"}})
+        .InverseAttribute("owned_by", 0, 1, {{"Course"}})
+        .EndClass();
+    builder.BeginClass("Course")
+        .Attribute("taught_by", 1, 1, {{"Professor"}})
+        .Attribute("owned_by", 1, 1, {{"Professor"}})
+        .EndClass();
+    auto schema = std::move(builder).Build();
+    Report("+ an overconstrained variant (finite-model conflict)",
+           schema.value());
+  }
+
+  std::cout << "The last step's conflict: 3|Professor| = |Course| while\n"
+               "|Course| <= |Professor| — only finite-model reasoning\n"
+               "notices that no database state can ever satisfy it.\n";
+  return 0;
+}

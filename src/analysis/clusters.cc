@@ -1,0 +1,182 @@
+#include "analysis/clusters.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/strings.h"
+
+namespace car {
+
+namespace {
+
+/// Union-find over class ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int size) : parent_(size) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+void CollectPositive(const ClassFormula& formula,
+                     std::vector<ClassId>* out) {
+  for (const ClassClause& clause : formula.clauses()) {
+    for (const ClassLiteral& literal : clause.literals()) {
+      if (!literal.negated) out->push_back(literal.class_id);
+    }
+  }
+}
+
+}  // namespace
+
+size_t ClusterPartition::LargestClusterSize() const {
+  size_t largest = 0;
+  for (const auto& cluster : clusters) {
+    largest = std::max(largest, cluster.size());
+  }
+  return largest;
+}
+
+std::string ClusterPartition::Summary(const Schema& schema) const {
+  (void)schema;
+  return StrCat(num_clusters(), " clusters, largest of size ",
+                LargestClusterSize());
+}
+
+ClusterPartition ComputeClusters(const Schema& schema,
+                                 const PairTables& tables) {
+  const int n = schema.num_classes();
+  // Collect candidate arcs, then drop those between known-disjoint pairs
+  // (step 3 of the paper's G_S construction).
+  std::vector<std::pair<ClassId, ClassId>> arcs;
+  auto add_clique = [&arcs](const std::vector<ClassId>& members) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (members[i] != members[j]) {
+          arcs.emplace_back(members[i], members[j]);
+        }
+      }
+    }
+  };
+
+  // Per-attribute source/target cliques are accumulated here.
+  std::vector<std::vector<ClassId>> attr_source(schema.num_attributes());
+  std::vector<std::vector<ClassId>> attr_target(schema.num_attributes());
+  // Per (relation, role index) cliques.
+  std::vector<std::vector<std::vector<ClassId>>> role_clique(
+      schema.num_relations());
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const RelationDefinition* definition = schema.relation_definition(r);
+    if (definition != nullptr) {
+      role_clique[r].resize(definition->roles.size());
+    }
+  }
+
+  for (ClassId c = 0; c < n; ++c) {
+    const ClassDefinition& definition = schema.class_definition(c);
+
+    // Condition 1: positive classes in the isa formula connect to C.
+    std::vector<ClassId> isa_positive;
+    CollectPositive(definition.isa, &isa_positive);
+    for (ClassId d : isa_positive) {
+      if (d != c) arcs.emplace_back(c, d);
+    }
+
+    for (const AttributeSpec& spec : definition.attributes) {
+      std::vector<ClassId> range_positive;
+      CollectPositive(spec.range, &range_positive);
+      if (!spec.term.inverse) {
+        // Direct A-spec: C is a source-side class; its range classes are
+        // target-side.
+        attr_source[spec.term.attribute].push_back(c);
+        for (ClassId d : range_positive) {
+          attr_target[spec.term.attribute].push_back(d);
+        }
+      } else {
+        // (inv A)-spec: C is a target-side class; its range classes are
+        // source-side.
+        attr_target[spec.term.attribute].push_back(c);
+        for (ClassId d : range_positive) {
+          attr_source[spec.term.attribute].push_back(d);
+        }
+      }
+    }
+
+    // Condition 4 (participation with a positive minimum): instances of C
+    // are forced to occur as R[U]-components, so C joins the clique of
+    // that role.
+    for (const ParticipationSpec& spec : definition.participations) {
+      if (spec.cardinality.min() == 0) continue;
+      const RelationDefinition* relation =
+          schema.relation_definition(spec.relation);
+      if (relation == nullptr) continue;
+      int index = relation->RoleIndex(spec.role);
+      if (index >= 0) role_clique[spec.relation][index].push_back(c);
+    }
+  }
+
+  // Condition 3 proper: positive classes of formulas associated with the
+  // same role of the same relation.
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const RelationDefinition* definition = schema.relation_definition(r);
+    if (definition == nullptr) continue;
+    for (const RoleClause& clause : definition->constraints) {
+      for (const RoleLiteral& literal : clause.literals) {
+        int index = definition->RoleIndex(literal.role);
+        if (index < 0) continue;
+        CollectPositive(literal.formula, &role_clique[r][index]);
+      }
+    }
+  }
+
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    add_clique(attr_source[a]);
+    add_clique(attr_target[a]);
+  }
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    for (const auto& clique : role_clique[r]) add_clique(clique);
+  }
+
+  DisjointSets sets(n);
+  for (const auto& [a, b] : arcs) {
+    if (!tables.AreDisjoint(a, b)) sets.Union(a, b);
+  }
+
+  ClusterPartition partition;
+  partition.cluster_of.assign(n, -1);
+  std::vector<int> root_to_cluster(n, -1);
+  for (ClassId c = 0; c < n; ++c) {
+    int root = sets.Find(c);
+    if (root_to_cluster[root] < 0) {
+      root_to_cluster[root] = partition.num_clusters();
+      partition.clusters.emplace_back();
+    }
+    partition.cluster_of[c] = root_to_cluster[root];
+    partition.clusters[root_to_cluster[root]].push_back(c);
+  }
+  return partition;
+}
+
+ClusterPartition SingleCluster(const Schema& schema) {
+  ClusterPartition partition;
+  const int n = schema.num_classes();
+  partition.cluster_of.assign(n, 0);
+  partition.clusters.emplace_back();
+  for (ClassId c = 0; c < n; ++c) partition.clusters[0].push_back(c);
+  if (n == 0) partition.clusters.clear();
+  return partition;
+}
+
+}  // namespace car

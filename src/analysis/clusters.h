@@ -1,0 +1,58 @@
+#ifndef CAR_ANALYSIS_CLUSTERS_H_
+#define CAR_ANALYSIS_CLUSTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/pair_tables.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// A partition of the classes of a schema into clusters such that classes
+/// in different clusters may be assumed pairwise disjoint without
+/// affecting class satisfiability (Theorem 4.6 and the cluster discussion
+/// of Section 4.3).
+struct ClusterPartition {
+  /// cluster_of[class_id] is the cluster index of the class.
+  std::vector<int> cluster_of;
+  /// clusters[k] lists the classes of cluster k, in increasing id order.
+  std::vector<std::vector<ClassId>> clusters;
+
+  int num_clusters() const { return static_cast<int>(clusters.size()); }
+  size_t LargestClusterSize() const;
+  std::string Summary(const Schema& schema) const;
+};
+
+/// Builds the undirected graph G_S of Section 4.3 and returns its
+/// connected components as clusters.
+///
+/// Arcs connect classes whose *co-membership in one object may be required
+/// by some model*. We implement a sound superset of the paper's three arc
+/// conditions (the paper's sketch omits some participation- and
+/// cross-definition-induced requirements; see DESIGN.md):
+///
+///  1. isa:  C2 appears positively in the isa formula of C1.
+///  2. per attribute A, the "target side" classes form a clique:
+///     classes appearing positively in the range of any direct A-spec,
+///     together with classes owning an (inv A)-spec.
+///  3. per attribute A, the "source side" classes form a clique:
+///     classes owning a direct A-spec, together with classes appearing
+///     positively in the range of any (inv A)-spec.
+///  4. per relation role R[U], a clique over: classes appearing positively
+///     in a formula associated with U in any role-clause of R, together
+///     with classes having a participation R[U] : (x, y) with x >= 1.
+///
+/// Arcs between pairs recorded as disjoint in `tables` are removed
+/// (criterion (a) dominates). Classes in different connected components
+/// are then treated as disjoint by the expansion.
+ClusterPartition ComputeClusters(const Schema& schema,
+                                 const PairTables& tables);
+
+/// The trivial partition: every class in one single cluster (used by the
+/// exhaustive strategy and as a baseline in benchmarks).
+ClusterPartition SingleCluster(const Schema& schema);
+
+}  // namespace car
+
+#endif  // CAR_ANALYSIS_CLUSTERS_H_

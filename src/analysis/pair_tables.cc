@@ -1,0 +1,118 @@
+#include "analysis/pair_tables.h"
+
+#include "base/check.h"
+
+namespace car {
+
+void PairTables::EnsureSize() {
+  if (static_cast<int>(disjoint_.size()) < num_classes_) {
+    disjoint_.resize(num_classes_);
+    superclasses_.resize(num_classes_);
+  }
+}
+
+void PairTables::MarkDisjoint(ClassId a, ClassId b) {
+  CAR_CHECK_GE(a, 0);
+  CAR_CHECK_LT(a, num_classes_);
+  CAR_CHECK_GE(b, 0);
+  CAR_CHECK_LT(b, num_classes_);
+  EnsureSize();
+  if (disjoint_[a].insert(b).second) ++num_disjoint_pairs_;
+  disjoint_[b].insert(a);
+}
+
+void PairTables::MarkIncluded(ClassId subclass, ClassId superclass) {
+  CAR_CHECK_GE(subclass, 0);
+  CAR_CHECK_LT(subclass, num_classes_);
+  CAR_CHECK_GE(superclass, 0);
+  CAR_CHECK_LT(superclass, num_classes_);
+  if (subclass == superclass) return;  // Reflexive inclusions are trivial.
+  EnsureSize();
+  if (superclasses_[subclass].insert(superclass).second) {
+    ++num_inclusion_pairs_;
+  }
+}
+
+bool PairTables::AreDisjoint(ClassId a, ClassId b) const {
+  if (disjoint_.empty()) return false;
+  return disjoint_[a].count(b) > 0;
+}
+
+bool PairTables::IsIncluded(ClassId subclass, ClassId superclass) const {
+  if (superclasses_.empty()) return false;
+  return superclasses_[subclass].count(superclass) > 0;
+}
+
+const std::set<ClassId>& PairTables::SuperclassesOf(ClassId subclass) const {
+  static const std::set<ClassId>* empty = new std::set<ClassId>();
+  if (superclasses_.empty()) return *empty;
+  CAR_CHECK_GE(subclass, 0);
+  CAR_CHECK_LT(subclass, num_classes_);
+  return superclasses_[subclass];
+}
+
+const std::set<ClassId>& PairTables::DisjointFrom(ClassId class_id) const {
+  static const std::set<ClassId>* empty = new std::set<ClassId>();
+  if (disjoint_.empty()) return *empty;
+  CAR_CHECK_GE(class_id, 0);
+  CAR_CHECK_LT(class_id, num_classes_);
+  return disjoint_[class_id];
+}
+
+PairTables BuildPairTables(const Schema& schema,
+                           const PairTableOptions& options) {
+  PairTables tables(schema.num_classes());
+
+  // Explicit entries from single-literal isa clauses.
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    const ClassDefinition& definition = schema.class_definition(c);
+    for (const ClassClause& clause : definition.isa.clauses()) {
+      if (clause.literals().size() != 1) continue;
+      const ClassLiteral& literal = clause.literals()[0];
+      if (literal.negated) {
+        if (literal.class_id == c) {
+          // C isa ¬C: C is empty in every model; record C disjoint from
+          // itself so enumeration drops every compound class containing C.
+          tables.MarkDisjoint(c, c);
+        } else {
+          tables.MarkDisjoint(c, literal.class_id);
+        }
+      } else if (literal.class_id != c) {
+        tables.MarkIncluded(c, literal.class_id);
+      }
+    }
+  }
+
+  if (!options.propagate) return tables;
+
+  // Sound propagation to a fixpoint. The rules only ever add entries, and
+  // the number of pairs is bounded by num_classes^2, so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      // Snapshot: the loops below mutate the tables.
+      std::vector<ClassId> supers(tables.SuperclassesOf(c).begin(),
+                                  tables.SuperclassesOf(c).end());
+      for (ClassId super : supers) {
+        // Transitivity of inclusion.
+        for (ClassId grand : tables.SuperclassesOf(super)) {
+          if (grand != c && !tables.IsIncluded(c, grand)) {
+            tables.MarkIncluded(c, grand);
+            changed = true;
+          }
+        }
+        // Disjointness inherited through inclusion.
+        for (ClassId enemy : tables.DisjointFrom(super)) {
+          if (!tables.AreDisjoint(c, enemy)) {
+            tables.MarkDisjoint(c, enemy);
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return tables;
+}
+
+}  // namespace car

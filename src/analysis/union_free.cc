@@ -1,0 +1,185 @@
+#include "analysis/union_free.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace car {
+
+namespace {
+
+/// A context is a set of classes some single object may be forced to
+/// inhabit together. Contexts are: one per class (its canonical witness),
+/// one per attribute side (merged mandatory fillers), one per relation
+/// role (merged mandatory co-components).
+struct Contexts {
+  std::vector<std::set<ClassId>> witness;            // Per class.
+  std::vector<std::set<ClassId>> attribute_targets;  // Per attribute.
+  std::vector<std::set<ClassId>> attribute_sources;  // Per attribute.
+  std::map<std::pair<RelationId, int>, std::set<ClassId>> role_components;
+
+  /// Which contexts triggered each filler context (feedback receivers).
+  /// Keyed like the filler contexts; values are pointers into the other
+  /// context sets.
+  std::map<std::pair<AttributeId, bool>, std::set<std::set<ClassId>*>>
+      filler_triggers;  // bool = inverse side.
+};
+
+/// Single positive literals of a union-free formula.
+std::vector<ClassId> Positives(const ClassFormula& formula) {
+  std::vector<ClassId> out;
+  for (const ClassClause& clause : formula.clauses()) {
+    if (clause.literals().size() != 1) continue;
+    const ClassLiteral& literal = clause.literals()[0];
+    if (!literal.negated) out.push_back(literal.class_id);
+  }
+  return out;
+}
+
+bool InsertAll(const std::vector<ClassId>& classes,
+               std::set<ClassId>* target) {
+  bool changed = false;
+  for (ClassId c : classes) changed |= target->insert(c).second;
+  return changed;
+}
+
+}  // namespace
+
+void CompleteDisjointnessUnionFree(const Schema& schema,
+                                   PairTables* tables) {
+  if (!schema.IsUnionFree()) return;
+  const int n = schema.num_classes();
+  if (n == 0) return;
+
+  Contexts contexts;
+  contexts.witness.resize(n);
+  contexts.attribute_targets.resize(schema.num_attributes());
+  contexts.attribute_sources.resize(schema.num_attributes());
+  for (ClassId c = 0; c < n; ++c) contexts.witness[c].insert(c);
+
+  // Collect every context into one list for uniform rule application.
+  auto all_contexts = [&contexts]() {
+    std::vector<std::set<ClassId>*> all;
+    for (auto& context : contexts.witness) all.push_back(&context);
+    for (auto& context : contexts.attribute_targets) all.push_back(&context);
+    for (auto& context : contexts.attribute_sources) all.push_back(&context);
+    for (auto& [key, context] : contexts.role_components) {
+      (void)key;
+      all.push_back(&context);
+    }
+    return all;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::set<ClassId>* context : all_contexts()) {
+      // Snapshot: rules below mutate the context.
+      std::vector<ClassId> members(context->begin(), context->end());
+
+      // Which attribute terms have a mandatory filler in this context?
+      // (some member demands min >= 1 for the term).
+      std::set<std::pair<AttributeId, bool>> mandatory;
+      for (ClassId member : members) {
+        for (const AttributeSpec& spec :
+             schema.class_definition(member).attributes) {
+          if (spec.cardinality.min() >= 1) {
+            mandatory.emplace(spec.term.attribute, spec.term.inverse);
+          }
+        }
+      }
+
+      for (ClassId member : members) {
+        const ClassDefinition& definition = schema.class_definition(member);
+        // Rule 1: isa up-closure.
+        changed |= InsertAll(Positives(definition.isa), context);
+
+        // Rule 2: mandatory attribute fillers. The filler must realize
+        // the ranges of *every* same-term spec owned anywhere in the
+        // context (including min-0 ones — they type all links), so all
+        // of them feed the filler context once the term is mandatory.
+        for (const AttributeSpec& spec : definition.attributes) {
+          if (mandatory.count({spec.term.attribute, spec.term.inverse}) ==
+              0) {
+            continue;
+          }
+          std::set<ClassId>* filler =
+              spec.term.inverse
+                  ? &contexts.attribute_sources[spec.term.attribute]
+                  : &contexts.attribute_targets[spec.term.attribute];
+          changed |= InsertAll(Positives(spec.range), filler);
+          changed |= contexts
+                         .filler_triggers[{spec.term.attribute,
+                                           spec.term.inverse}]
+                         .insert(context)
+                         .second;
+        }
+
+        // Rule 3: mandatory relation participation.
+        for (const ParticipationSpec& spec : definition.participations) {
+          if (spec.cardinality.min() == 0) continue;
+          const RelationDefinition* relation =
+              schema.relation_definition(spec.relation);
+          if (relation == nullptr) continue;
+          int own_index = relation->RoleIndex(spec.role);
+          for (const RoleClause& clause : relation->constraints) {
+            if (clause.literals.size() != 1) continue;
+            const RoleLiteral& literal = clause.literals[0];
+            int index = relation->RoleIndex(literal.role);
+            if (index == own_index) {
+              // The witness itself is the component at this role.
+              changed |= InsertAll(Positives(literal.formula), context);
+            } else {
+              changed |= InsertAll(
+                  Positives(literal.formula),
+                  &contexts.role_components[{spec.relation, index}]);
+            }
+          }
+        }
+      }
+    }
+
+    // Rule 4 (feedback): classes in a filler context carry opposite-side
+    // specs of the same attribute that constrain the *triggering* witness.
+    for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+      for (bool inverse_side : {false, true}) {
+        const std::set<ClassId>& filler =
+            inverse_side ? contexts.attribute_sources[a]
+                         : contexts.attribute_targets[a];
+        auto trigger_it = contexts.filler_triggers.find({a, inverse_side});
+        if (trigger_it == contexts.filler_triggers.end()) continue;
+        for (ClassId member : filler) {
+          for (const AttributeSpec& spec :
+               schema.class_definition(member).attributes) {
+            if (spec.term.attribute != a) continue;
+            // A filler on the target side owns (inv A) specs constraining
+            // the source (the triggering witness), and vice versa.
+            if (spec.term.inverse == inverse_side) continue;
+            for (std::set<ClassId>* receiver : trigger_it->second) {
+              changed |= InsertAll(Positives(spec.range), receiver);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Every pair not co-resident in any context may be assumed disjoint.
+  std::vector<std::vector<bool>> required(n, std::vector<bool>(n, false));
+  for (std::set<ClassId>* context : all_contexts()) {
+    for (ClassId a : *context) {
+      for (ClassId b : *context) {
+        required[a][b] = true;
+      }
+    }
+  }
+  for (ClassId a = 0; a < n; ++a) {
+    for (ClassId b = a + 1; b < n; ++b) {
+      if (!required[a][b] && !tables->AreDisjoint(a, b)) {
+        tables->MarkDisjoint(a, b);
+      }
+    }
+  }
+}
+
+}  // namespace car

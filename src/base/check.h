@@ -1,0 +1,61 @@
+#ifndef CAR_BASE_CHECK_H_
+#define CAR_BASE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace car {
+namespace internal {
+
+/// Collects a failure message via operator<< and aborts on destruction.
+/// Used only by the CAR_CHECK family below.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace car
+
+/// Aborts (with file/line and a streamed message) if `cond` is false.
+/// These checks guard internal invariants and are active in all build
+/// modes: a failed check is a bug in libcar or in its caller.
+#define CAR_CHECK(cond)  \
+  if (cond) {            \
+  } else                 \
+    ::car::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define CAR_CHECK_EQ(a, b) CAR_CHECK((a) == (b))
+#define CAR_CHECK_NE(a, b) CAR_CHECK((a) != (b))
+#define CAR_CHECK_LT(a, b) CAR_CHECK((a) < (b))
+#define CAR_CHECK_LE(a, b) CAR_CHECK((a) <= (b))
+#define CAR_CHECK_GT(a, b) CAR_CHECK((a) > (b))
+#define CAR_CHECK_GE(a, b) CAR_CHECK((a) >= (b))
+
+#endif  // CAR_BASE_CHECK_H_

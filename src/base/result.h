@@ -1,0 +1,74 @@
+#ifndef CAR_BASE_RESULT_H_
+#define CAR_BASE_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "base/check.h"
+#include "base/status.h"
+
+namespace car {
+
+/// A value-or-error sum type (the no-exceptions analogue of StatusOr<T>).
+///
+/// A Result is either OK and holds a T, or holds a non-OK Status. Accessing
+/// the value of a non-OK Result aborts the process via CAR_CHECK; callers
+/// must test ok() (or use CAR_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Constructing a Result from
+  /// an OK status is a programming error and aborts.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CAR_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CAR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CAR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CAR_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace car
+
+/// Evaluates `expr` (a Result<T> expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define CAR_ASSIGN_OR_RETURN(lhs, expr)          \
+  CAR_ASSIGN_OR_RETURN_IMPL_(                    \
+      CAR_RESULT_CONCAT_(car_result_, __LINE__), lhs, expr)
+
+#define CAR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define CAR_RESULT_CONCAT_INNER_(a, b) a##b
+#define CAR_RESULT_CONCAT_(a, b) CAR_RESULT_CONCAT_INNER_(a, b)
+
+#endif  // CAR_BASE_RESULT_H_

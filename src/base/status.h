@@ -1,0 +1,98 @@
+#ifndef CAR_BASE_STATUS_H_
+#define CAR_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace car {
+
+/// Coarse error taxonomy for all fallible operations in libcar.
+///
+/// libcar does not use exceptions: every operation that can fail returns a
+/// Status (or a Result<T>, see result.h) and callers are expected to check
+/// it. The codes follow the usual canonical-status conventions.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed an argument that is malformed in itself (e.g. an empty
+  /// symbol name, a negative cardinality).
+  kInvalidArgument = 1,
+  /// A referenced entity does not exist (e.g. an undeclared role symbol).
+  kNotFound = 2,
+  /// An entity is being declared twice (e.g. two definitions of one class).
+  kAlreadyExists = 3,
+  /// The operation is valid but the object is in the wrong state for it
+  /// (e.g. asking for a satisfying model of an unsatisfiable class).
+  kFailedPrecondition = 4,
+  /// An internal invariant was violated; indicates a bug in libcar.
+  kInternal = 5,
+  /// A configured resource limit was exceeded (e.g. expansion size cap).
+  kResourceExhausted = 6,
+  /// Input text could not be parsed.
+  kParseError = 7,
+  /// The requested feature is intentionally not supported (e.g. reifying a
+  /// relation whose role clauses are disjunctive, outside Theorem 4.5).
+  kUnsupported = 8,
+};
+
+/// Returns the canonical lower-case spelling of a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value carrying a code and a human-readable message.
+///
+/// Status is cheap to copy in the success case (no allocation) and carries
+/// an explanatory message otherwise. Use the factory helpers below
+/// (InvalidArgument(), NotFound(), ...) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status FailedPrecondition(std::string message);
+Status Internal(std::string message);
+Status ResourceExhausted(std::string message);
+Status ParseError(std::string message);
+Status Unsupported(std::string message);
+
+}  // namespace car
+
+/// Evaluates `expr` (a Status expression); if not OK, returns it from the
+/// enclosing function. The enclosing function must return Status or a type
+/// constructible from Status (e.g. Result<T>).
+#define CAR_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::car::Status car_status_tmp_ = (expr);        \
+    if (!car_status_tmp_.ok()) {                   \
+      return car_status_tmp_;                      \
+    }                                              \
+  } while (false)
+
+#endif  // CAR_BASE_STATUS_H_

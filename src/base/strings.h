@@ -1,0 +1,54 @@
+#ifndef CAR_BASE_STRINGS_H_
+#define CAR_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace car {
+
+namespace internal {
+
+inline void StrCatAppend(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void StrCatAppend(std::ostringstream& os, const T& first,
+                  const Rest&... rest) {
+  os << first;
+  StrCatAppend(os, rest...);
+}
+
+}  // namespace internal
+
+/// Concatenates the streamed representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrCatAppend(os, args...);
+  return os.str();
+}
+
+/// Joins the streamed representations of the elements of `items` with
+/// `separator` between consecutive elements.
+template <typename Container>
+std::string StrJoin(const Container& items, std::string_view separator) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << separator;
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+/// Splits `text` at each occurrence of `separator`; empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view text, char separator);
+
+/// Returns `text` with leading and trailing ASCII whitespace removed.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace car
+
+#endif  // CAR_BASE_STRINGS_H_

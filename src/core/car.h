@@ -1,0 +1,77 @@
+#ifndef CAR_CORE_CAR_H_
+#define CAR_CORE_CAR_H_
+
+/// \mainpage libcar — the CAR data model and its reasoner
+///
+/// libcar is a from-scratch C++20 implementation of the data model and
+/// reasoning technique of:
+///
+///   Diego Calvanese and Maurizio Lenzerini,
+///   "Making Object-Oriented Schemas More Expressive", PODS 1994.
+///
+/// The umbrella header pulls in the full public API. Typical use:
+///
+/// \code{.cpp}
+///   #include "core/car.h"
+///
+///   car::SchemaBuilder builder;
+///   builder.BeginClass("Student")
+///       .Isa({{"Person"}, {"!Professor"}})
+///       .Participates("Enrollment", "enrolls", 1, 6)
+///       .EndClass();
+///   ...
+///   car::Result<car::Schema> schema = std::move(builder).Build();
+///   car::Reasoner reasoner(&schema.value());
+///   bool ok = reasoner.IsClassSatisfiable("Student").value();
+/// \endcode
+///
+/// Module map (see DESIGN.md for the full inventory):
+///  - model/      schema representation (Section 2 of the paper)
+///  - semantics/  finite database states and model checking (Section 2.3)
+///  - expansion/  compound classes/attributes/relations, Natt/Nrel (3.1)
+///  - solver/     the disequation system Ψ_S and its solution (3.2)
+///  - reasoner/   satisfiability + logical implication API (Section 3)
+///  - synthesis/  explicit finite models from certificates
+///  - analysis/   preselection tables, clusters (Section 4.3-4.4)
+///  - transform/  n-ary relation reification (Theorem 4.5)
+///  - frontend/   text syntax: parser and printer
+///  - reductions/ hardness-witness generators (Section 4.1)
+///  - workloads/  random schema generators for benchmarks
+///  - enumerate/  brute-force bounded model search (testing oracle)
+
+#include "analysis/clusters.h"
+#include "analysis/pair_tables.h"
+#include "analysis/union_free.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "enumerate/bounded_search.h"
+#include "expansion/expansion.h"
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+#include "model/builder.h"
+#include "model/schema.h"
+#include "reasoner/reasoner.h"
+#include "reasoner/unrestricted.h"
+#include "reductions/counting_ladder.h"
+#include "reductions/sat_reduction.h"
+#include "semantics/compound_extensions.h"
+#include "semantics/dump.h"
+#include "semantics/interpretation.h"
+#include "semantics/model_check.h"
+#include "solver/naive_solve.h"
+#include "solver/psi.h"
+#include "solver/solve.h"
+#include "synthesis/synthesize.h"
+#include "transform/reify.h"
+#include "workloads/generators.h"
+
+namespace car {
+
+/// Library version, bumped on public-API changes.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace car
+
+#endif  // CAR_CORE_CAR_H_

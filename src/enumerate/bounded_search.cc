@@ -1,0 +1,210 @@
+#include "enumerate/bounded_search.h"
+
+#include <vector>
+
+#include "base/strings.h"
+#include "expansion/compound.h"
+#include "semantics/model_check.h"
+
+namespace car {
+
+namespace {
+
+/// Enumerates all consistent compound classes of a (small) schema
+/// exhaustively; the membership pattern of any model object is one of
+/// these, so assigning objects to compound classes loses no models.
+Result<std::vector<CompoundClass>> AllConsistentCompounds(
+    const Schema& schema) {
+  const int n = schema.num_classes();
+  if (n > 16) {
+    return ResourceExhausted(
+        StrCat("bounded search over ", n, " classes is not tractable"));
+  }
+  std::vector<CompoundClass> compounds;
+  for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    std::vector<ClassId> members;
+    for (int c = 0; c < n; ++c) {
+      if (mask & (1ull << c)) members.push_back(c);
+    }
+    CompoundClass compound(std::move(members));
+    if (compound.IsConsistent(schema)) compounds.push_back(compound);
+  }
+  return compounds;
+}
+
+/// A search context for one universe size.
+class Searcher {
+ public:
+  Searcher(const Schema& schema, ClassId target,
+           const std::vector<CompoundClass>& compounds, int universe,
+           uint64_t max_configurations, uint64_t* configurations)
+      : schema_(schema),
+        target_(target),
+        compounds_(compounds),
+        universe_(universe),
+        max_configurations_(max_configurations),
+        configurations_(configurations) {}
+
+  /// Returns a model if found; monitors the configuration budget.
+  Result<std::optional<Interpretation>> Run() {
+    std::vector<int> membership(universe_, 0);
+    return EnumerateMemberships(0, &membership);
+  }
+
+ private:
+  Result<std::optional<Interpretation>> EnumerateMemberships(
+      int object, std::vector<int>* membership) {
+    if (object == universe_) {
+      // The target class must be nonempty.
+      bool target_present = false;
+      for (int choice : *membership) {
+        if (compounds_[choice].Contains(target_)) {
+          target_present = true;
+          break;
+        }
+      }
+      if (!target_present) return std::optional<Interpretation>();
+      return EnumerateFacts(*membership);
+    }
+    // Symmetry breaking: objects are interchangeable, so membership
+    // choices can be taken in nondecreasing order.
+    int start = object == 0 ? 0 : (*membership)[object - 1];
+    for (int choice = start; choice < static_cast<int>(compounds_.size());
+         ++choice) {
+      (*membership)[object] = choice;
+      CAR_ASSIGN_OR_RETURN(std::optional<Interpretation> model,
+                           EnumerateMemberships(object + 1, membership));
+      if (model.has_value()) return model;
+    }
+    return std::optional<Interpretation>();
+  }
+
+  /// With memberships fixed, enumerates attribute-pair subsets and
+  /// relation-tuple subsets as one mixed-radix odometer.
+  Result<std::optional<Interpretation>> EnumerateFacts(
+      const std::vector<int>& membership) {
+    // Allowed attribute pairs: endpoints must form a consistent compound
+    // attribute, otherwise the range conditions are violated outright.
+    std::vector<std::vector<std::pair<ObjectId, ObjectId>>> pairs(
+        schema_.num_attributes());
+    for (AttributeId a = 0; a < schema_.num_attributes(); ++a) {
+      for (ObjectId from = 0; from < universe_; ++from) {
+        for (ObjectId to = 0; to < universe_; ++to) {
+          if (IsConsistentCompoundAttribute(schema_, a,
+                                            compounds_[membership[from]],
+                                            compounds_[membership[to]])) {
+            pairs[a].emplace_back(from, to);
+          }
+        }
+      }
+      if (pairs[a].size() > 20) {
+        return ResourceExhausted("too many candidate attribute pairs");
+      }
+    }
+    // Candidate relation tuples: all component vectors.
+    std::vector<std::vector<LabeledTuple>> tuples(schema_.num_relations());
+    for (RelationId r = 0; r < schema_.num_relations(); ++r) {
+      const RelationDefinition* definition = schema_.relation_definition(r);
+      if (definition == nullptr) continue;
+      uint64_t count = 1;
+      for (int k = 0; k < definition->arity(); ++k) {
+        count *= static_cast<uint64_t>(universe_);
+      }
+      if (count > 20) {
+        return ResourceExhausted("too many candidate relation tuples");
+      }
+      for (uint64_t code = 0; code < count; ++code) {
+        LabeledTuple tuple(definition->arity());
+        uint64_t rest = code;
+        for (int k = 0; k < definition->arity(); ++k) {
+          tuple[k] = static_cast<ObjectId>(rest % universe_);
+          rest /= universe_;
+        }
+        tuples[r].push_back(std::move(tuple));
+      }
+    }
+
+    // Odometer over subset masks.
+    std::vector<uint64_t> masks(pairs.size() + tuples.size(), 0);
+    while (true) {
+      if (++*configurations_ > max_configurations_) {
+        return ResourceExhausted(
+            StrCat("bounded search exceeded ", max_configurations_,
+                   " configurations"));
+      }
+      Interpretation candidate(&schema_, universe_);
+      for (ObjectId object = 0; object < universe_; ++object) {
+        for (ClassId member : compounds_[membership[object]].members()) {
+          candidate.AddToClass(member, object);
+        }
+      }
+      for (AttributeId a = 0; a < schema_.num_attributes(); ++a) {
+        for (size_t bit = 0; bit < pairs[a].size(); ++bit) {
+          if (masks[a] & (1ull << bit)) {
+            candidate.AddAttributePair(a, pairs[a][bit].first,
+                                       pairs[a][bit].second);
+          }
+        }
+      }
+      for (RelationId r = 0; r < schema_.num_relations(); ++r) {
+        size_t slot = pairs.size() + static_cast<size_t>(r);
+        for (size_t bit = 0; bit < tuples[r].size(); ++bit) {
+          if (masks[slot] & (1ull << bit)) {
+            CAR_RETURN_IF_ERROR(candidate.AddTuple(r, tuples[r][bit]));
+          }
+        }
+      }
+      if (IsModel(schema_, candidate)) {
+        return std::optional<Interpretation>(std::move(candidate));
+      }
+
+      // Advance the odometer.
+      size_t slot = 0;
+      while (slot < masks.size()) {
+        uint64_t limit =
+            slot < pairs.size()
+                ? (1ull << pairs[slot].size())
+                : (1ull << tuples[slot - pairs.size()].size());
+        if (++masks[slot] < limit) break;
+        masks[slot] = 0;
+        ++slot;
+      }
+      if (slot == masks.size()) return std::optional<Interpretation>();
+    }
+  }
+
+  const Schema& schema_;
+  ClassId target_;
+  const std::vector<CompoundClass>& compounds_;
+  int universe_;
+  uint64_t max_configurations_;
+  uint64_t* configurations_;
+};
+
+}  // namespace
+
+Result<BoundedSearchOutcome> FindModelWithNonemptyClass(
+    const Schema& schema, ClassId class_id,
+    const BoundedSearchOptions& options) {
+  if (class_id < 0 || class_id >= schema.num_classes()) {
+    return NotFound(StrCat("class id ", class_id, " out of range"));
+  }
+  CAR_RETURN_IF_ERROR(schema.Validate());
+  CAR_ASSIGN_OR_RETURN(std::vector<CompoundClass> compounds,
+                       AllConsistentCompounds(schema));
+
+  BoundedSearchOutcome outcome;
+  for (int universe = 1; universe <= options.max_universe; ++universe) {
+    Searcher searcher(schema, class_id, compounds, universe,
+                      options.max_configurations, &outcome.configurations);
+    CAR_ASSIGN_OR_RETURN(std::optional<Interpretation> model,
+                         searcher.Run());
+    if (model.has_value()) {
+      outcome.model = std::move(model);
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace car

@@ -1,0 +1,52 @@
+#ifndef CAR_ENUMERATE_BOUNDED_SEARCH_H_
+#define CAR_ENUMERATE_BOUNDED_SEARCH_H_
+
+#include <optional>
+
+#include "base/result.h"
+#include "semantics/interpretation.h"
+
+namespace car {
+
+struct BoundedSearchOptions {
+  /// Universe sizes 1..max_universe are tried in increasing order.
+  int max_universe = 3;
+  /// Abort (kResourceExhausted) after this many candidate interpretations.
+  uint64_t max_configurations = 20'000'000;
+};
+
+/// Outcome of a bounded model search.
+struct BoundedSearchOutcome {
+  /// A model of the schema in which the queried class is nonempty, if one
+  /// was found within the universe bound.
+  std::optional<Interpretation> model;
+  /// Candidate interpretations examined.
+  uint64_t configurations = 0;
+
+  bool found() const { return model.has_value(); }
+};
+
+/// Exhaustively searches for a finite model of `schema` (with universe
+/// size up to `options.max_universe`) in which `class_id` has a nonempty
+/// extension.
+///
+/// This is the testing oracle for the reasoner: it enumerates object
+/// memberships (one consistent compound class per object), attribute-pair
+/// subsets and relation-tuple subsets, validating each candidate with the
+/// definitional semantics checker (semantics/model_check.h). A negative
+/// answer only means "no model within the bound" — but for the reasoner's
+/// *positive* answers on small schemas the search must succeed whenever
+/// the certificate's total population fits the bound, and for reasoner
+/// *negative* answers it must never find a model; property tests exploit
+/// both directions.
+///
+/// Complexity is brutally exponential; callers must keep schemas tiny
+/// (a few classes, at most a couple of attributes/relations) and the
+/// universe bound small.
+Result<BoundedSearchOutcome> FindModelWithNonemptyClass(
+    const Schema& schema, ClassId class_id,
+    const BoundedSearchOptions& options = {});
+
+}  // namespace car
+
+#endif  // CAR_ENUMERATE_BOUNDED_SEARCH_H_

@@ -1,0 +1,87 @@
+#include "expansion/compound.h"
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace car {
+
+CompoundClass::CompoundClass(std::vector<ClassId> members)
+    : members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+}
+
+bool CompoundClass::Realizes(const ClassClause& clause) const {
+  for (const ClassLiteral& literal : clause.literals()) {
+    if (Realizes(literal)) return true;
+  }
+  return false;
+}
+
+bool CompoundClass::Realizes(const ClassFormula& formula) const {
+  for (const ClassClause& clause : formula.clauses()) {
+    if (!Realizes(clause)) return false;
+  }
+  return true;
+}
+
+bool CompoundClass::IsConsistent(const Schema& schema) const {
+  for (ClassId member : members_) {
+    if (!Realizes(schema.class_definition(member).isa)) return false;
+  }
+  return true;
+}
+
+std::string CompoundClass::ToString(const Schema& schema) const {
+  std::vector<std::string> names;
+  names.reserve(members_.size());
+  for (ClassId member : members_) names.push_back(schema.ClassName(member));
+  return StrCat("{", StrJoin(names, ", "), "}");
+}
+
+bool IsConsistentCompoundAttribute(const Schema& schema, AttributeId attribute,
+                                   const CompoundClass& from,
+                                   const CompoundClass& to) {
+  for (ClassId member : from.members()) {
+    for (const AttributeSpec& spec :
+         schema.class_definition(member).attributes) {
+      if (spec.term.attribute == attribute && !spec.term.inverse &&
+          !to.Realizes(spec.range)) {
+        return false;
+      }
+    }
+  }
+  for (ClassId member : to.members()) {
+    for (const AttributeSpec& spec :
+         schema.class_definition(member).attributes) {
+      if (spec.term.attribute == attribute && spec.term.inverse &&
+          !from.Realizes(spec.range)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsConsistentCompoundRelation(
+    const Schema& schema, const RelationDefinition& definition,
+    const std::vector<const CompoundClass*>& components) {
+  CAR_CHECK_EQ(components.size(), definition.roles.size());
+  for (const RoleClause& clause : definition.constraints) {
+    bool satisfied = false;
+    for (const RoleLiteral& literal : clause.literals) {
+      int index = definition.RoleIndex(literal.role);
+      CAR_CHECK_GE(index, 0);
+      if (components[index]->Realizes(literal.formula)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  (void)schema;
+  return true;
+}
+
+}  // namespace car

@@ -1,0 +1,100 @@
+#ifndef CAR_EXPANSION_COMPOUND_H_
+#define CAR_EXPANSION_COMPOUND_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "model/schema.h"
+
+namespace car {
+
+/// A compound class C̄: a subset of the class symbols (Section 3.1). It
+/// stands for the objects that are instances of exactly the classes in the
+/// subset — instances of every member and non-instances of every
+/// non-member. Compound classes therefore have pairwise disjoint
+/// extensions, which is what makes the disequation system of phase (2)
+/// well-defined.
+class CompoundClass {
+ public:
+  CompoundClass() = default;
+  /// `members` need not be sorted; duplicates are removed.
+  explicit CompoundClass(std::vector<ClassId> members);
+
+  const std::vector<ClassId>& members() const { return members_; }
+  bool empty() const { return members_.empty(); }
+  size_t size() const { return members_.size(); }
+
+  bool Contains(ClassId class_id) const {
+    return std::binary_search(members_.begin(), members_.end(), class_id);
+  }
+
+  /// The induced truth assignment Φ_C̄ extended to literals, clauses and
+  /// formulae: a positive literal is true iff its class is a member.
+  bool Realizes(const ClassLiteral& literal) const {
+    return literal.negated != Contains(literal.class_id);
+  }
+  bool Realizes(const ClassClause& clause) const;
+  bool Realizes(const ClassFormula& formula) const;
+
+  /// Consistency w.r.t. the schema: for every member C, Φ_C̄ realizes the
+  /// isa formula of C (Section 3.1).
+  bool IsConsistent(const Schema& schema) const;
+
+  /// Renders "{A, B}" using schema names.
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const CompoundClass& other) const {
+    return members_ == other.members_;
+  }
+  bool operator<(const CompoundClass& other) const {
+    return members_ < other.members_;
+  }
+
+ private:
+  std::vector<ClassId> members_;  // Sorted, unique.
+};
+
+/// A compound attribute ⟨C̄1, C̄2⟩_A, stored as indices into the
+/// expansion's compound-class list.
+struct CompoundAttribute {
+  AttributeId attribute = kInvalidId;
+  int from = -1;  // Index of C̄1.
+  int to = -1;    // Index of C̄2.
+
+  bool operator==(const CompoundAttribute& other) const {
+    return attribute == other.attribute && from == other.from &&
+           to == other.to;
+  }
+};
+
+/// A compound relation ⟨U1: C̄1, ..., UK: C̄K⟩_R: one compound-class index
+/// per role, in the role order of the relation's definition.
+struct CompoundRelation {
+  RelationId relation = kInvalidId;
+  std::vector<int> components;
+
+  bool operator==(const CompoundRelation& other) const {
+    return relation == other.relation && components == other.components;
+  }
+};
+
+/// Consistency of a compound attribute (Section 3.1): for every member C
+/// of C̄1 with a direct A-spec, C̄2 realizes its range; for every member C
+/// of C̄2 with an (inv A)-spec, C̄1 realizes its range. (Consistency of
+/// the component compound classes is checked by the caller.)
+bool IsConsistentCompoundAttribute(const Schema& schema, AttributeId attribute,
+                                   const CompoundClass& from,
+                                   const CompoundClass& to);
+
+/// Consistency of a compound relation (Section 3.1): for every role-clause
+/// of R's definition, at least one role-literal (U_ki : F_i) has its
+/// formula realized by the compound class at that role.
+bool IsConsistentCompoundRelation(const Schema& schema,
+                                  const RelationDefinition& definition,
+                                  const std::vector<const CompoundClass*>&
+                                      components);
+
+}  // namespace car
+
+#endif  // CAR_EXPANSION_COMPOUND_H_

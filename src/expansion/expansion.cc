@@ -1,0 +1,384 @@
+#include "expansion/expansion.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/clusters.h"
+#include "analysis/pair_tables.h"
+#include "analysis/union_free.h"
+#include "base/strings.h"
+
+namespace car {
+
+int Expansion::IndexOfCompoundClass(const CompoundClass& compound) const {
+  auto it = compound_class_index_.find(compound.members());
+  return it == compound_class_index_.end() ? -1 : it->second;
+}
+
+std::vector<int> Expansion::CompoundClassesContaining(ClassId class_id) const {
+  std::vector<int> indices;
+  for (size_t i = 0; i < compound_classes.size(); ++i) {
+    if (compound_classes[i].Contains(class_id)) {
+      indices.push_back(static_cast<int>(i));
+    }
+  }
+  return indices;
+}
+
+std::string Expansion::Summary() const {
+  return StrCat("expansion: ", compound_classes.size(), " compound classes, ",
+                compound_attributes.size(), " compound attributes, ",
+                compound_relations.size(), " compound relations, |Natt|=",
+                natt.size(), ", |Nrel|=", nrel.size(), ", subsets visited ",
+                subsets_visited);
+}
+
+/// Assembles an Expansion: enumerates consistent compound classes (with
+/// the selected strategy), then derives Natt/Nrel and the constrained
+/// compound attributes and relations.
+class ExpansionBuilder {
+ public:
+  ExpansionBuilder(const Schema& schema, const ExpansionOptions& options)
+      : schema_(schema), options_(options) {}
+
+  Result<Expansion> Build() {
+    expansion_.schema = &schema_;
+    // The empty compound class is always present (index 0): objects that
+    // are instances of no class. It is trivially consistent and can serve
+    // as an attribute target/source or a relation component.
+    AddCompoundClass(CompoundClass());
+
+    CAR_RETURN_IF_ERROR(EnumerateCompoundClasses());
+    BuildNatt();
+    BuildNrel();
+    CAR_RETURN_IF_ERROR(BuildCompoundAttributes());
+    CAR_RETURN_IF_ERROR(BuildCompoundRelations());
+    return std::move(expansion_);
+  }
+
+ private:
+  Status EnumerateCompoundClasses() {
+    if (options_.strategy == ExpansionStrategy::kExhaustive) {
+      return EnumerateExhaustive();
+    }
+    PairTableOptions table_options;
+    table_options.propagate = options_.propagate_tables;
+    PairTables tables = BuildPairTables(schema_, table_options);
+    if (options_.union_free_completion && schema_.IsUnionFree()) {
+      CompleteDisjointnessUnionFree(schema_, &tables);
+    }
+    ClusterPartition partition = options_.use_clusters
+                                     ? ComputeClusters(schema_, tables)
+                                     : SingleCluster(schema_);
+    for (const std::vector<ClassId>& cluster : partition.clusters) {
+      std::vector<ClassId> included;
+      std::vector<bool> excluded(schema_.num_classes(), false);
+      Status status;
+      DfsCluster(cluster, 0, tables, &included, &excluded, &status);
+      CAR_RETURN_IF_ERROR(status);
+    }
+    return Status::Ok();
+  }
+
+  Status EnumerateExhaustive() {
+    const int n = schema_.num_classes();
+    if (n > 30) {
+      return ResourceExhausted(
+          StrCat("exhaustive enumeration over ", n,
+                 " classes would visit 2^", n, " subsets"));
+    }
+    for (uint64_t mask = 1; mask < (1ull << n); ++mask) {
+      ++expansion_.subsets_visited;
+      std::vector<ClassId> members;
+      for (int c = 0; c < n; ++c) {
+        if (mask & (1ull << c)) members.push_back(c);
+      }
+      CompoundClass compound(std::move(members));
+      if (compound.IsConsistent(schema_)) {
+        CAR_RETURN_IF_ERROR(AddCompoundClassChecked(std::move(compound)));
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Depth-first enumeration of the subsets of one cluster, pruned with
+  /// the disjointness and inclusion tables. `included` holds the chosen
+  /// classes; `excluded` marks classes decided out (classes of other
+  /// clusters are implicitly out and never consulted, because inclusion
+  /// and disjointness edges never cross clusters).
+  void DfsCluster(const std::vector<ClassId>& cluster, size_t pos,
+                  const PairTables& tables, std::vector<ClassId>* included,
+                  std::vector<bool>* excluded, Status* status) {
+    if (!status->ok()) return;
+    if (pos == cluster.size()) {
+      ++expansion_.subsets_visited;
+      if (included->empty()) return;  // The empty compound is preadded.
+      CompoundClass compound(*included);
+      if (compound.IsConsistent(schema_)) {
+        *status = AddCompoundClassChecked(std::move(compound));
+      }
+      return;
+    }
+    ClassId c = cluster[pos];
+
+    // Include branch, unless pruned.
+    bool can_include = !tables.AreDisjoint(c, c);
+    if (can_include) {
+      for (ClassId d : *included) {
+        if (tables.AreDisjoint(c, d)) {
+          can_include = false;
+          break;
+        }
+      }
+    }
+    if (can_include) {
+      // A recorded superclass already decided out makes inclusion futile.
+      for (ClassId super : tables.SuperclassesOf(c)) {
+        if ((*excluded)[super]) {
+          can_include = false;
+          break;
+        }
+      }
+    }
+    if (can_include) {
+      included->push_back(c);
+      DfsCluster(cluster, pos + 1, tables, included, excluded, status);
+      included->pop_back();
+    }
+
+    // Exclude branch, unless some included class is recorded as a
+    // subclass of c (then c is forced in).
+    bool can_exclude = true;
+    for (ClassId d : *included) {
+      if (tables.IsIncluded(d, c)) {
+        can_exclude = false;
+        break;
+      }
+    }
+    if (can_exclude) {
+      (*excluded)[c] = true;
+      DfsCluster(cluster, pos + 1, tables, included, excluded, status);
+      (*excluded)[c] = false;
+    }
+  }
+
+  int AddCompoundClass(CompoundClass compound) {
+    int index = static_cast<int>(expansion_.compound_classes.size());
+    expansion_.compound_class_index_.emplace(compound.members(), index);
+    expansion_.compound_classes.push_back(std::move(compound));
+    return index;
+  }
+
+  Status AddCompoundClassChecked(CompoundClass compound) {
+    if (expansion_.compound_classes.size() >=
+        options_.max_compound_classes) {
+      return ResourceExhausted(
+          StrCat("more than ", options_.max_compound_classes,
+                 " compound classes"));
+    }
+    AddCompoundClass(std::move(compound));
+    return Status::Ok();
+  }
+
+  void BuildNatt() {
+    for (size_t i = 0; i < expansion_.compound_classes.size(); ++i) {
+      const CompoundClass& compound = expansion_.compound_classes[i];
+      for (ClassId member : compound.members()) {
+        for (const AttributeSpec& spec :
+             schema_.class_definition(member).attributes) {
+          auto key = std::make_pair(spec.term, static_cast<int>(i));
+          auto [it, inserted] =
+              expansion_.natt.emplace(key, spec.cardinality);
+          if (!inserted) {
+            it->second = Cardinality::IntersectUnchecked(it->second,
+                                                         spec.cardinality);
+          }
+        }
+      }
+    }
+  }
+
+  void BuildNrel() {
+    for (size_t i = 0; i < expansion_.compound_classes.size(); ++i) {
+      const CompoundClass& compound = expansion_.compound_classes[i];
+      for (ClassId member : compound.members()) {
+        for (const ParticipationSpec& spec :
+             schema_.class_definition(member).participations) {
+          const RelationDefinition* relation =
+              schema_.relation_definition(spec.relation);
+          CAR_CHECK(relation != nullptr);
+          int role_index = relation->RoleIndex(spec.role);
+          CAR_CHECK_GE(role_index, 0);
+          auto key = std::make_tuple(spec.relation, role_index,
+                                     static_cast<int>(i));
+          auto [it, inserted] =
+              expansion_.nrel.emplace(key, spec.cardinality);
+          if (!inserted) {
+            it->second = Cardinality::IntersectUnchecked(it->second,
+                                                         spec.cardinality);
+          }
+        }
+      }
+    }
+  }
+
+  Status BuildCompoundAttributes() {
+    // Candidate endpoints that carry a Natt entry, per attribute.
+    std::vector<std::set<int>> constrained_from(schema_.num_attributes());
+    std::vector<std::set<int>> constrained_to(schema_.num_attributes());
+    for (const auto& [key, cardinality] : expansion_.natt) {
+      (void)cardinality;
+      const auto& [term, compound_index] = key;
+      if (term.inverse) {
+        constrained_to[term.attribute].insert(compound_index);
+      } else {
+        constrained_from[term.attribute].insert(compound_index);
+      }
+    }
+
+    const int num_compound = static_cast<int>(
+        expansion_.compound_classes.size());
+    for (AttributeId a = 0; a < schema_.num_attributes(); ++a) {
+      std::set<std::pair<int, int>> candidates;
+      for (int from : constrained_from[a]) {
+        for (int to = 0; to < num_compound; ++to) {
+          candidates.emplace(from, to);
+        }
+      }
+      for (int to : constrained_to[a]) {
+        for (int from = 0; from < num_compound; ++from) {
+          candidates.emplace(from, to);
+        }
+      }
+      for (const auto& [from, to] : candidates) {
+        if (!IsConsistentCompoundAttribute(
+                schema_, a, expansion_.compound_classes[from],
+                expansion_.compound_classes[to])) {
+          continue;
+        }
+        if (expansion_.compound_attributes.size() >=
+            options_.max_compound_attributes) {
+          return ResourceExhausted(
+              StrCat("more than ", options_.max_compound_attributes,
+                     " compound attributes"));
+        }
+        int index = static_cast<int>(expansion_.compound_attributes.size());
+        expansion_.compound_attributes.push_back({a, from, to});
+        expansion_.ca_by_from[{a, from}].push_back(index);
+        expansion_.ca_by_to[{a, to}].push_back(index);
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status BuildCompoundRelations() {
+    const int num_compound = static_cast<int>(
+        expansion_.compound_classes.size());
+    for (RelationId r = 0; r < schema_.num_relations(); ++r) {
+      const RelationDefinition* definition = schema_.relation_definition(r);
+      if (definition == nullptr) continue;
+      const int arity = definition->arity();
+
+      // Positions carrying Nrel entries; if none, tuples of R are never
+      // constrained and no unknowns are needed.
+      std::vector<std::set<int>> constrained(arity);
+      bool any_constraint = false;
+      for (const auto& [key, cardinality] : expansion_.nrel) {
+        (void)cardinality;
+        if (std::get<0>(key) != r) continue;
+        constrained[std::get<1>(key)].insert(std::get<2>(key));
+        any_constraint = true;
+      }
+      if (!any_constraint) continue;
+
+      // Per-position prefilter: single-literal role-clauses restrict the
+      // compound class at their role unconditionally.
+      std::vector<std::vector<int>> allowed(arity);
+      for (int k = 0; k < arity; ++k) {
+        for (int i = 0; i < num_compound; ++i) {
+          bool ok = true;
+          for (const RoleClause& clause : definition->constraints) {
+            if (clause.literals.size() != 1) continue;
+            const RoleLiteral& literal = clause.literals[0];
+            if (definition->RoleIndex(literal.role) != k) continue;
+            if (!expansion_.compound_classes[i].Realizes(literal.formula)) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) allowed[k].push_back(i);
+        }
+      }
+
+      // Enumerate component vectors where at least one position holds a
+      // constrained compound class; other positions range over their
+      // allowed sets. Duplicates across anchor positions are deduped.
+      std::set<std::vector<int>> seen;
+      for (int anchor = 0; anchor < arity; ++anchor) {
+        for (int anchored : constrained[anchor]) {
+          std::vector<int> components(arity, -1);
+          components[anchor] = anchored;
+          CAR_RETURN_IF_ERROR(EnumerateRelationComponents(
+              *definition, r, allowed, anchor, 0, &components, &seen));
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status EnumerateRelationComponents(const RelationDefinition& definition,
+                                     RelationId r,
+                                     const std::vector<std::vector<int>>&
+                                         allowed,
+                                     int anchor, int position,
+                                     std::vector<int>* components,
+                                     std::set<std::vector<int>>* seen) {
+    const int arity = definition.arity();
+    if (position == arity) {
+      if (!seen->insert(*components).second) return Status::Ok();
+      std::vector<const CompoundClass*> views;
+      views.reserve(arity);
+      for (int index : *components) {
+        views.push_back(&expansion_.compound_classes[index]);
+      }
+      if (!IsConsistentCompoundRelation(schema_, definition, views)) {
+        return Status::Ok();
+      }
+      if (expansion_.compound_relations.size() >=
+          options_.max_compound_relations) {
+        return ResourceExhausted(
+            StrCat("more than ", options_.max_compound_relations,
+                   " compound relations"));
+      }
+      int index = static_cast<int>(expansion_.compound_relations.size());
+      expansion_.compound_relations.push_back({r, *components});
+      for (int k = 0; k < arity; ++k) {
+        expansion_.cr_by_role[{r, k, (*components)[k]}].push_back(index);
+      }
+      return Status::Ok();
+    }
+    if (position == anchor) {
+      return EnumerateRelationComponents(definition, r, allowed, anchor,
+                                         position + 1, components, seen);
+    }
+    for (int candidate : allowed[position]) {
+      (*components)[position] = candidate;
+      CAR_RETURN_IF_ERROR(EnumerateRelationComponents(
+          definition, r, allowed, anchor, position + 1, components, seen));
+    }
+    (*components)[position] = -1;
+    return Status::Ok();
+  }
+
+  const Schema& schema_;
+  const ExpansionOptions& options_;
+  Expansion expansion_;
+};
+
+Result<Expansion> BuildExpansion(const Schema& schema,
+                                 const ExpansionOptions& options) {
+  CAR_RETURN_IF_ERROR(schema.Validate());
+  return ExpansionBuilder(schema, options).Build();
+}
+
+}  // namespace car

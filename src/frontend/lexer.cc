@@ -1,0 +1,168 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "base/strings.h"
+
+namespace car {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kClass:
+      return "'class'";
+    case TokenKind::kIsa:
+      return "'isa'";
+    case TokenKind::kAttributes:
+      return "'attributes'";
+    case TokenKind::kParticipatesIn:
+      return "'participates_in'";
+    case TokenKind::kEndClass:
+      return "'endclass'";
+    case TokenKind::kRelation:
+      return "'relation'";
+    case TokenKind::kConstraints:
+      return "'constraints'";
+    case TokenKind::kEndRelation:
+      return "'endrelation'";
+    case TokenKind::kInv:
+      return "'inv'";
+    case TokenKind::kLeftParen:
+      return "'('";
+    case TokenKind::kRightParen:
+      return "')'";
+    case TokenKind::kLeftBracket:
+      return "'['";
+    case TokenKind::kRightBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kAmpersand:
+      return "'&'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  static const std::map<std::string, TokenKind>* keywords =
+      new std::map<std::string, TokenKind>{
+          {"class", TokenKind::kClass},
+          {"isa", TokenKind::kIsa},
+          {"attributes", TokenKind::kAttributes},
+          {"participates_in", TokenKind::kParticipatesIn},
+          {"endclass", TokenKind::kEndClass},
+          {"relation", TokenKind::kRelation},
+          {"constraints", TokenKind::kConstraints},
+          {"endrelation", TokenKind::kEndRelation},
+          {"inv", TokenKind::kInv},
+      };
+
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      std::string word(text.substr(start, i - start));
+      auto keyword = keywords->find(word);
+      Token token;
+      token.kind = keyword == keywords->end() ? TokenKind::kIdentifier
+                                              : keyword->second;
+      token.text = std::move(word);
+      token.line = line;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      tokens.push_back(
+          {TokenKind::kNumber, std::string(text.substr(start, i - start)),
+           line});
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLeftParen;
+        break;
+      case ')':
+        kind = TokenKind::kRightParen;
+        break;
+      case '[':
+        kind = TokenKind::kLeftBracket;
+        break;
+      case ']':
+        kind = TokenKind::kRightBracket;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case ':':
+        kind = TokenKind::kColon;
+        break;
+      case ';':
+        kind = TokenKind::kSemicolon;
+        break;
+      case '&':
+        kind = TokenKind::kAmpersand;
+        break;
+      case '|':
+        kind = TokenKind::kPipe;
+        break;
+      case '!':
+        kind = TokenKind::kBang;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      default:
+        return ParseError(
+            StrCat("line ", line, ": unexpected character '", c, "'"));
+    }
+    tokens.push_back({kind, std::string(1, c), line});
+    ++i;
+  }
+  tokens.push_back({TokenKind::kEnd, "", line});
+  return tokens;
+}
+
+}  // namespace car

@@ -1,0 +1,57 @@
+#ifndef CAR_FRONTEND_LEXER_H_
+#define CAR_FRONTEND_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace car {
+
+/// Token kinds of the CAR schema text syntax (an ASCII rendition of the
+/// paper's notation: `&` for ∧, `|` for ∨, `!` for ¬, `*` for ∞).
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  // Keywords.
+  kClass,
+  kIsa,
+  kAttributes,
+  kParticipatesIn,
+  kEndClass,
+  kRelation,
+  kConstraints,
+  kEndRelation,
+  kInv,
+  // Punctuation.
+  kLeftParen,
+  kRightParen,
+  kLeftBracket,
+  kRightBracket,
+  kComma,
+  kColon,
+  kSemicolon,
+  kAmpersand,
+  kPipe,
+  kBang,
+  kStar,
+  kEnd,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // Identifier spelling or number digits.
+  int line = 0;      // 1-based line of the first character.
+};
+
+/// Tokenizes CAR schema text. `//` starts a comment running to the end of
+/// the line. Identifiers are [A-Za-z_][A-Za-z0-9_]*; keywords are
+/// case-sensitive.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace car
+
+#endif  // CAR_FRONTEND_LEXER_H_

@@ -1,0 +1,256 @@
+#include "frontend/parser.h"
+
+#include <cstdint>
+#include <set>
+
+#include "base/strings.h"
+#include "frontend/lexer.h"
+
+namespace car {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Schema> Parse() {
+    while (!At(TokenKind::kEnd)) {
+      if (At(TokenKind::kClass)) {
+        CAR_RETURN_IF_ERROR(ParseClass());
+      } else if (At(TokenKind::kRelation)) {
+        CAR_RETURN_IF_ERROR(ParseRelation());
+      } else {
+        return Error("expected 'class' or 'relation'");
+      }
+    }
+    CAR_RETURN_IF_ERROR(schema_.Validate());
+    return std::move(schema_);
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[position_]; }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+
+  Token Advance() { return tokens_[position_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (!At(kind)) return false;
+    ++position_;
+    return true;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Accept(kind)) return Status::Ok();
+    return Error(StrCat("expected ", TokenKindToString(kind), ", found ",
+                        TokenKindToString(Peek().kind)));
+  }
+
+  Status Error(std::string message) const {
+    return ParseError(StrCat("line ", Peek().line, ": ", message));
+  }
+
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (!At(TokenKind::kIdentifier)) {
+      return Error(StrCat("expected ", what, ", found ",
+                          TokenKindToString(Peek().kind)));
+    }
+    return Advance().text;
+  }
+
+  Result<uint64_t> ExpectNumber() {
+    if (!At(TokenKind::kNumber)) {
+      return Error(StrCat("expected a number, found ",
+                          TokenKindToString(Peek().kind)));
+    }
+    Token token = Advance();
+    uint64_t value = 0;
+    for (char c : token.text) {
+      if (value > (UINT64_MAX - 9) / 10) {
+        return Error(StrCat("number '", token.text, "' is too large"));
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return value;
+  }
+
+  // card := "(" NUMBER "," (NUMBER | "*") ")"
+  Result<Cardinality> ParseCardinality() {
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen));
+    CAR_ASSIGN_OR_RETURN(uint64_t min, ExpectNumber());
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+    uint64_t max = Cardinality::kInfinity;
+    if (!Accept(TokenKind::kStar)) {
+      CAR_ASSIGN_OR_RETURN(max, ExpectNumber());
+    }
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kRightParen));
+    if (min > max) {
+      return Error(StrCat("cardinality (", min, ", ", max,
+                          ") has min above max"));
+    }
+    return Cardinality(min, max);
+  }
+
+  // literal := ["!"] IDENT
+  Result<ClassLiteral> ParseLiteral() {
+    bool negated = Accept(TokenKind::kBang);
+    CAR_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("a class name"));
+    ClassId id = schema_.InternClass(name);
+    return negated ? ClassLiteral::Negative(id) : ClassLiteral::Positive(id);
+  }
+
+  // clause := literal ("|" literal)* | "(" clause ")"
+  Result<ClassClause> ParseClause() {
+    if (Accept(TokenKind::kLeftParen)) {
+      CAR_ASSIGN_OR_RETURN(ClassClause inner, ParseClause());
+      CAR_RETURN_IF_ERROR(Expect(TokenKind::kRightParen));
+      return inner;
+    }
+    ClassClause clause;
+    CAR_ASSIGN_OR_RETURN(ClassLiteral first, ParseLiteral());
+    clause.AddLiteral(first);
+    while (Accept(TokenKind::kPipe)) {
+      CAR_ASSIGN_OR_RETURN(ClassLiteral next, ParseLiteral());
+      clause.AddLiteral(next);
+    }
+    return clause;
+  }
+
+  // formula := clause ("&" clause)*
+  Result<ClassFormula> ParseFormula() {
+    ClassFormula formula;
+    CAR_ASSIGN_OR_RETURN(ClassClause first, ParseClause());
+    formula.AddClause(std::move(first));
+    while (Accept(TokenKind::kAmpersand)) {
+      CAR_ASSIGN_OR_RETURN(ClassClause next, ParseClause());
+      formula.AddClause(std::move(next));
+    }
+    return formula;
+  }
+
+  // attr_spec := attr_term ":" card formula
+  Status ParseAttributeSpec(ClassDefinition* definition) {
+    AttributeSpec spec;
+    if (Accept(TokenKind::kLeftParen)) {
+      CAR_RETURN_IF_ERROR(Expect(TokenKind::kInv));
+      CAR_ASSIGN_OR_RETURN(std::string name,
+                           ExpectIdentifier("an attribute name"));
+      CAR_RETURN_IF_ERROR(Expect(TokenKind::kRightParen));
+      spec.term = AttributeTerm::Inverse(schema_.InternAttribute(name));
+    } else {
+      CAR_ASSIGN_OR_RETURN(std::string name,
+                           ExpectIdentifier("an attribute name"));
+      spec.term = AttributeTerm::Direct(schema_.InternAttribute(name));
+    }
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    CAR_ASSIGN_OR_RETURN(spec.cardinality, ParseCardinality());
+    CAR_ASSIGN_OR_RETURN(spec.range, ParseFormula());
+    definition->attributes.push_back(std::move(spec));
+    return Status::Ok();
+  }
+
+  // part_spec := IDENT "[" IDENT "]" ":" card
+  Status ParseParticipationSpec(ClassDefinition* definition) {
+    ParticipationSpec spec;
+    CAR_ASSIGN_OR_RETURN(std::string relation,
+                         ExpectIdentifier("a relation name"));
+    spec.relation = schema_.InternRelation(relation);
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kLeftBracket));
+    CAR_ASSIGN_OR_RETURN(std::string role, ExpectIdentifier("a role name"));
+    spec.role = schema_.InternRole(role);
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kRightBracket));
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    CAR_ASSIGN_OR_RETURN(spec.cardinality, ParseCardinality());
+    definition->participations.push_back(spec);
+    return Status::Ok();
+  }
+
+  Status ParseClass() {
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kClass));
+    CAR_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("a class name"));
+    ClassId id = schema_.InternClass(name);
+    if (!defined_classes_.insert(id).second) {
+      return Error(StrCat("class '", name, "' is defined twice"));
+    }
+    ClassDefinition* definition = schema_.mutable_class_definition(id);
+    if (Accept(TokenKind::kIsa)) {
+      CAR_ASSIGN_OR_RETURN(ClassFormula isa, ParseFormula());
+      definition->isa = std::move(isa);
+    }
+    if (Accept(TokenKind::kAttributes)) {
+      CAR_RETURN_IF_ERROR(ParseAttributeSpec(definition));
+      while (Accept(TokenKind::kSemicolon)) {
+        CAR_RETURN_IF_ERROR(ParseAttributeSpec(definition));
+      }
+    }
+    if (Accept(TokenKind::kParticipatesIn)) {
+      CAR_RETURN_IF_ERROR(ParseParticipationSpec(definition));
+      while (Accept(TokenKind::kSemicolon)) {
+        CAR_RETURN_IF_ERROR(ParseParticipationSpec(definition));
+      }
+    }
+    return Expect(TokenKind::kEndClass);
+  }
+
+  // role_literal := "(" IDENT ":" formula ")"
+  Result<RoleLiteral> ParseRoleLiteral() {
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen));
+    RoleLiteral literal;
+    CAR_ASSIGN_OR_RETURN(std::string role, ExpectIdentifier("a role name"));
+    literal.role = schema_.InternRole(role);
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+    CAR_ASSIGN_OR_RETURN(literal.formula, ParseFormula());
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kRightParen));
+    return literal;
+  }
+
+  Status ParseRelation() {
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kRelation));
+    CAR_ASSIGN_OR_RETURN(std::string name,
+                         ExpectIdentifier("a relation name"));
+    RelationDefinition definition;
+    definition.relation_id = schema_.InternRelation(name);
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen));
+    CAR_ASSIGN_OR_RETURN(std::string role, ExpectIdentifier("a role name"));
+    definition.roles.push_back(schema_.InternRole(role));
+    while (Accept(TokenKind::kComma)) {
+      CAR_ASSIGN_OR_RETURN(std::string next, ExpectIdentifier("a role name"));
+      definition.roles.push_back(schema_.InternRole(next));
+    }
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kRightParen));
+    if (Accept(TokenKind::kConstraints)) {
+      CAR_RETURN_IF_ERROR(ParseRoleClause(&definition));
+      while (Accept(TokenKind::kSemicolon)) {
+        CAR_RETURN_IF_ERROR(ParseRoleClause(&definition));
+      }
+    }
+    CAR_RETURN_IF_ERROR(Expect(TokenKind::kEndRelation));
+    return schema_.SetRelationDefinition(std::move(definition));
+  }
+
+  Status ParseRoleClause(RelationDefinition* definition) {
+    RoleClause clause;
+    CAR_ASSIGN_OR_RETURN(RoleLiteral first, ParseRoleLiteral());
+    clause.literals.push_back(std::move(first));
+    while (Accept(TokenKind::kPipe)) {
+      CAR_ASSIGN_OR_RETURN(RoleLiteral next, ParseRoleLiteral());
+      clause.literals.push_back(std::move(next));
+    }
+    definition->constraints.push_back(std::move(clause));
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  size_t position_ = 0;
+  Schema schema_;
+  std::set<ClassId> defined_classes_;
+};
+
+}  // namespace
+
+Result<Schema> ParseSchema(std::string_view text) {
+  CAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace car

@@ -1,0 +1,44 @@
+#ifndef CAR_FRONTEND_PARSER_H_
+#define CAR_FRONTEND_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// Parses CAR schema text into a validated Schema.
+///
+/// Grammar (ASCII rendition of the paper's Section 2.2 syntax):
+///
+///   schema       := (class_def | relation_def)*
+///   class_def    := "class" IDENT
+///                   ["isa" formula]
+///                   ["attributes" attr_spec (";" attr_spec)*]
+///                   ["participates_in" part_spec (";" part_spec)*]
+///                   "endclass"
+///   attr_spec    := attr_term ":" card formula
+///   attr_term    := IDENT | "(" "inv" IDENT ")"
+///   part_spec    := IDENT "[" IDENT "]" ":" card
+///   card         := "(" NUMBER "," (NUMBER | "*") ")"
+///   formula      := clause ("&" clause)*          -- conjunction (∧)
+///   clause       := literal ("|" literal)*        -- disjunction (∨)
+///                 | "(" clause ")"
+///   literal      := ["!"] IDENT                   -- "!" is complement (¬)
+///   relation_def := "relation" IDENT "(" IDENT ("," IDENT)* ")"
+///                   ["constraints" role_clause (";" role_clause)*]
+///                   "endrelation"
+///   role_clause  := role_literal ("|" role_literal)*
+///   role_literal := "(" IDENT ":" formula ")"
+///
+/// "|" binds tighter than "&" (a formula is a conjunction of disjunctive
+/// clauses, matching the paper's CNF class-formulae). "*" denotes the
+/// paper's ∞ cardinality. "//" comments run to end of line. Classes may
+/// be mentioned before (or without) being defined; relations must be
+/// defined. The resulting schema is validated before being returned.
+Result<Schema> ParseSchema(std::string_view text);
+
+}  // namespace car
+
+#endif  // CAR_FRONTEND_PARSER_H_

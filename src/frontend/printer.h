@@ -1,0 +1,23 @@
+#ifndef CAR_FRONTEND_PRINTER_H_
+#define CAR_FRONTEND_PRINTER_H_
+
+#include <string>
+
+#include "model/schema.h"
+
+namespace car {
+
+/// Renders a schema in the concrete syntax accepted by ParseSchema().
+/// Every class is emitted (classes with empty definitions appear as bare
+/// `class X endclass` blocks so the symbol set round-trips), classes in
+/// id order followed by relations in id order. PrintSchema followed by
+/// ParseSchema is the identity on schemas up to this canonical ordering;
+/// PrintSchema(ParseSchema(PrintSchema(s))) == PrintSchema(s).
+std::string PrintSchema(const Schema& schema);
+
+/// Renders a single class-formula ("A | !B & C").
+std::string PrintFormula(const Schema& schema, const ClassFormula& formula);
+
+}  // namespace car
+
+#endif  // CAR_FRONTEND_PRINTER_H_

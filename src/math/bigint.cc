@@ -1,0 +1,409 @@
+#include "math/bigint.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace car {
+
+namespace {
+constexpr uint64_t kLimbBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  if (value == 0) {
+    sign_ = 0;
+    return;
+  }
+  sign_ = value > 0 ? 1 : -1;
+  // Avoid overflow on INT64_MIN by working in uint64.
+  uint64_t magnitude =
+      value > 0 ? static_cast<uint64_t>(value)
+                : ~static_cast<uint64_t>(value) + 1;
+  limbs_.push_back(static_cast<uint32_t>(magnitude & 0xffffffffull));
+  if (magnitude >> 32) {
+    limbs_.push_back(static_cast<uint32_t>(magnitude >> 32));
+  }
+}
+
+Result<BigInt> BigInt::FromString(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty()) {
+    return ParseError("empty integer literal");
+  }
+  bool negative = false;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    text.remove_prefix(1);
+  }
+  if (text.empty()) {
+    return ParseError("integer literal has sign but no digits");
+  }
+  BigInt value;
+  const BigInt ten(10);
+  for (char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseError(StrCat("invalid digit '", c, "' in integer literal"));
+    }
+    value = value * ten + BigInt(c - '0');
+  }
+  if (negative) value = -value;
+  return value;
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  uint64_t magnitude =
+      (static_cast<uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (sign_ > 0) return magnitude <= 0x7fffffffffffffffull;
+  return magnitude <= 0x8000000000000000ull;
+}
+
+int64_t BigInt::ToInt64() const {
+  CAR_CHECK(FitsInt64()) << "BigInt does not fit in int64: " << ToString();
+  uint64_t magnitude = 0;
+  if (!limbs_.empty()) magnitude = limbs_[0];
+  if (limbs_.size() > 1) magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (sign_ >= 0) return static_cast<int64_t>(magnitude);
+  return -static_cast<int64_t>(magnitude - 1) - 1;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide the magnitude by 10^9 and emit 9 digits at a time.
+  std::vector<uint32_t> work = limbs_;
+  std::string digits;
+  constexpr uint32_t kChunk = 1000000000u;
+  while (!work.empty()) {
+    uint64_t remainder = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      uint64_t current = (remainder << 32) | work[i];
+      work[i] = static_cast<uint32_t>(current / kChunk);
+      remainder = current % kChunk;
+    }
+    Trim(&work);
+    for (int i = 0; i < 9; ++i) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  result.sign_ = -result.sign_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  if (result.sign_ < 0) result.sign_ = 1;
+  return result;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> result;
+  result.reserve(longer.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0u);
+    result.push_back(static_cast<uint32_t>(sum & 0xffffffffull));
+    carry = sum >> 32;
+  }
+  if (carry != 0) result.push_back(static_cast<uint32_t>(carry));
+  return result;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  CAR_CHECK_GE(CompareMagnitude(a, b), 0);
+  std::vector<uint32_t> result;
+  result.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<uint32_t>(diff));
+  }
+  Trim(&result);
+  return result;
+}
+
+std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> result(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t current = static_cast<uint64_t>(a[i]) * b[j] +
+                         result[i + j] + carry;
+      result[i + j] = static_cast<uint32_t>(current & 0xffffffffull);
+      carry = current >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      uint64_t current = result[k] + carry;
+      result[k] = static_cast<uint32_t>(current & 0xffffffffull);
+      carry = current >> 32;
+      ++k;
+    }
+  }
+  Trim(&result);
+  return result;
+}
+
+void BigInt::DivModMagnitude(const std::vector<uint32_t>& dividend,
+                             const std::vector<uint32_t>& divisor,
+                             std::vector<uint32_t>* quotient,
+                             std::vector<uint32_t>* remainder) {
+  CAR_CHECK(!divisor.empty());
+  quotient->clear();
+  remainder->clear();
+  if (CompareMagnitude(dividend, divisor) < 0) {
+    *remainder = dividend;
+    Trim(remainder);
+    return;
+  }
+  if (divisor.size() == 1) {
+    // Fast path: single-limb divisor.
+    uint64_t d = divisor[0];
+    quotient->assign(dividend.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = dividend.size(); i-- > 0;) {
+      uint64_t current = (rem << 32) | dividend[i];
+      (*quotient)[i] = static_cast<uint32_t>(current / d);
+      rem = current % d;
+    }
+    Trim(quotient);
+    if (rem != 0) remainder->push_back(static_cast<uint32_t>(rem));
+    return;
+  }
+
+  // Knuth algorithm D. Normalize so the divisor's top limb has its high
+  // bit set, which makes the per-digit quotient estimate off by at most 2.
+  int shift = 0;
+  {
+    uint32_t top = divisor.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  auto shift_left = [shift](const std::vector<uint32_t>& in) {
+    std::vector<uint32_t> out(in.size() + 1, 0);
+    for (size_t i = 0; i < in.size(); ++i) {
+      out[i] |= shift == 0 ? in[i] : (in[i] << shift);
+      if (shift != 0) out[i + 1] = in[i] >> (32 - shift);
+    }
+    Trim(&out);
+    return out;
+  };
+  std::vector<uint32_t> u = shift_left(dividend);
+  std::vector<uint32_t> v = shift_left(divisor);
+  const size_t n = v.size();
+  // Ensure u has an extra high limb for the algorithm.
+  u.push_back(0);
+  const size_t m = u.size() - n - 1;
+  quotient->assign(m + 1, 0);
+
+  const uint64_t v_top = v[n - 1];
+  const uint64_t v_second = n >= 2 ? v[n - 2] : 0;
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate the quotient digit from the top limbs.
+    uint64_t numerator =
+        (static_cast<uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    uint64_t q_hat = numerator / v_top;
+    uint64_t r_hat = numerator % v_top;
+    if (q_hat >= kLimbBase) {
+      q_hat = kLimbBase - 1;
+      r_hat = numerator - q_hat * v_top;
+    }
+    while (r_hat < kLimbBase &&
+           q_hat * v_second >
+               ((r_hat << 32) | (n >= 2 ? u[j + n - 2] : 0u))) {
+      --q_hat;
+      r_hat += v_top;
+    }
+    // Multiply-subtract: u[j..j+n] -= q_hat * v.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t product = q_hat * v[i] + carry;
+      carry = product >> 32;
+      int64_t diff = static_cast<int64_t>(u[i + j]) -
+                     static_cast<int64_t>(product & 0xffffffffull) - borrow;
+      if (diff < 0) {
+        diff += static_cast<int64_t>(kLimbBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<uint32_t>(diff);
+    }
+    int64_t top_diff = static_cast<int64_t>(u[j + n]) -
+                       static_cast<int64_t>(carry) - borrow;
+    bool underflow = top_diff < 0;
+    u[j + n] = static_cast<uint32_t>(top_diff & 0xffffffffll);
+    if (underflow) {
+      // The estimate was one too large: add v back once.
+      --q_hat;
+      uint64_t add_carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = static_cast<uint64_t>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<uint32_t>(sum & 0xffffffffull);
+        add_carry = sum >> 32;
+      }
+      u[j + n] = static_cast<uint32_t>(u[j + n] + add_carry);
+    }
+    (*quotient)[j] = static_cast<uint32_t>(q_hat);
+  }
+  Trim(quotient);
+
+  // Denormalize the remainder: shift right by `shift`.
+  std::vector<uint32_t> rem(u.begin(), u.begin() + n);
+  if (shift != 0) {
+    for (size_t i = 0; i < rem.size(); ++i) {
+      rem[i] >>= shift;
+      if (i + 1 < n) rem[i] |= u[i + 1] << (32 - shift);
+    }
+  }
+  Trim(&rem);
+  *remainder = std::move(rem);
+}
+
+void BigInt::Trim(std::vector<uint32_t>* limbs) {
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+}
+
+void BigInt::Normalize() {
+  Trim(&limbs_);
+  if (limbs_.empty()) sign_ = 0;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (is_zero()) return other;
+  if (other.is_zero()) return *this;
+  BigInt result;
+  if (sign_ == other.sign_) {
+    result.sign_ = sign_;
+    result.limbs_ = AddMagnitude(limbs_, other.limbs_);
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      result.sign_ = sign_;
+      result.limbs_ = SubMagnitude(limbs_, other.limbs_);
+    } else {
+      result.sign_ = other.sign_;
+      result.limbs_ = SubMagnitude(other.limbs_, limbs_);
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const {
+  return *this + (-other);
+}
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt result;
+  result.sign_ = sign_ * other.sign_;
+  result.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  result.Normalize();
+  return result;
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt* quotient, BigInt* remainder) {
+  CAR_CHECK(!divisor.is_zero()) << "division by zero";
+  BigInt q;
+  BigInt r;
+  DivModMagnitude(dividend.limbs_, divisor.limbs_, &q.limbs_, &r.limbs_);
+  q.sign_ = dividend.sign_ * divisor.sign_;
+  r.sign_ = dividend.sign_;
+  q.Normalize();
+  r.Normalize();
+  *quotient = std::move(q);
+  *remainder = std::move(r);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt quotient;
+  BigInt remainder;
+  DivMod(*this, other, &quotient, &remainder);
+  return quotient;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt quotient;
+  BigInt remainder;
+  DivMod(*this, other, &quotient, &remainder);
+  return remainder;
+}
+
+bool BigInt::operator==(const BigInt& other) const {
+  return sign_ == other.sign_ && limbs_ == other.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& other) const {
+  if (sign_ != other.sign_) return sign_ < other.sign_;
+  int cmp = CompareMagnitude(limbs_, other.limbs_);
+  return sign_ >= 0 ? cmp < 0 : cmp > 0;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.is_zero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt();
+  BigInt g = Gcd(a, b);
+  return (a.Abs() / g) * b.Abs();
+}
+
+}  // namespace car

@@ -1,0 +1,117 @@
+#ifndef CAR_MATH_BIGINT_H_
+#define CAR_MATH_BIGINT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace car {
+
+/// An arbitrary-precision signed integer.
+///
+/// The decision procedure of libcar (Section 3.2 of the paper) must be
+/// exact: the satisfiability answer is derived from the feasibility of a
+/// system of linear disequations, and a single rounding error could flip
+/// it. BigInt is the integer layer under Rational (see rational.h), which
+/// in turn is the scalar type of the simplex solver.
+///
+/// Representation: sign/magnitude with base-2^32 limbs stored little-endian.
+/// Zero is represented by an empty limb vector and sign 0. All operations
+/// keep the representation normalized (no leading zero limbs; sign 0 iff
+/// magnitude empty).
+class BigInt {
+ public:
+  /// Constructs zero.
+  BigInt() : sign_(0) {}
+
+  /// Constructs from a machine integer.
+  BigInt(int64_t value);  // NOLINT(runtime/explicit): numeric promotion.
+
+  /// Parses a decimal string with optional leading '-'.
+  static Result<BigInt> FromString(std::string_view text);
+
+  /// Returns -1, 0 or +1.
+  int sign() const { return sign_; }
+  bool is_zero() const { return sign_ == 0; }
+  bool is_negative() const { return sign_ < 0; }
+  bool is_positive() const { return sign_ > 0; }
+
+  /// Returns true if the value fits in an int64_t.
+  bool FitsInt64() const;
+  /// Returns the value as int64_t; CHECK-fails if it does not fit.
+  int64_t ToInt64() const;
+
+  /// Returns the number of bits in the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  std::string ToString() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C++ semantics: quotient rounds toward zero and
+  /// the remainder has the sign of the dividend). CHECK-fails on zero
+  /// divisor.
+  BigInt operator/(const BigInt& other) const;
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+  BigInt& operator%=(const BigInt& other) { return *this = *this % other; }
+
+  /// Computes quotient and remainder in one pass (truncated division).
+  static void DivMod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder);
+
+  bool operator==(const BigInt& other) const;
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const;
+  bool operator<=(const BigInt& other) const { return !(other < *this); }
+  bool operator>(const BigInt& other) const { return other < *this; }
+  bool operator>=(const BigInt& other) const { return !(*this < other); }
+
+  /// Greatest common divisor; always nonnegative. Gcd(0, 0) == 0.
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+  /// Least common multiple; always nonnegative. Lcm with 0 is 0.
+  static BigInt Lcm(const BigInt& a, const BigInt& b);
+
+ private:
+  /// Compares magnitudes only: -1, 0, +1.
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  /// Magnitude division (Knuth algorithm D). Requires non-empty divisor.
+  static void DivModMagnitude(const std::vector<uint32_t>& dividend,
+                              const std::vector<uint32_t>& divisor,
+                              std::vector<uint32_t>* quotient,
+                              std::vector<uint32_t>* remainder);
+  static void Trim(std::vector<uint32_t>* limbs);
+
+  void Normalize();
+
+  int sign_;
+  std::vector<uint32_t> limbs_;  // Little-endian magnitude.
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace car
+
+#endif  // CAR_MATH_BIGINT_H_

@@ -1,0 +1,102 @@
+#include "math/rational.h"
+
+#include <utility>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace car {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  CAR_CHECK(!denominator_.is_zero()) << "rational with zero denominator";
+  Reduce();
+}
+
+Result<Rational> Rational::FromString(std::string_view text) {
+  text = StripWhitespace(text);
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    CAR_ASSIGN_OR_RETURN(BigInt value, BigInt::FromString(text));
+    return Rational(std::move(value));
+  }
+  CAR_ASSIGN_OR_RETURN(BigInt numerator,
+                       BigInt::FromString(text.substr(0, slash)));
+  CAR_ASSIGN_OR_RETURN(BigInt denominator,
+                       BigInt::FromString(text.substr(slash + 1)));
+  if (denominator.is_zero()) {
+    return ParseError("rational literal with zero denominator");
+  }
+  return Rational(std::move(numerator), std::move(denominator));
+}
+
+void Rational::Reduce() {
+  if (denominator_.is_negative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(numerator_, denominator_);
+  if (g != BigInt(1)) {
+    numerator_ /= g;
+    denominator_ /= g;
+  }
+}
+
+std::string Rational::ToString() const {
+  if (is_integer()) return numerator_.ToString();
+  return StrCat(numerator_, "/", denominator_);
+}
+
+BigInt Rational::Floor() const {
+  BigInt quotient;
+  BigInt remainder;
+  BigInt::DivMod(numerator_, denominator_, &quotient, &remainder);
+  if (remainder.is_negative()) quotient -= BigInt(1);
+  return quotient;
+}
+
+BigInt Rational::Ceil() const {
+  BigInt quotient;
+  BigInt remainder;
+  BigInt::DivMod(numerator_, denominator_, &quotient, &remainder);
+  if (remainder.is_positive()) quotient += BigInt(1);
+  return quotient;
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(
+      numerator_ * other.denominator_ + other.numerator_ * denominator_,
+      denominator_ * other.denominator_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return *this + (-other);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(numerator_ * other.numerator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  CAR_CHECK(!other.is_zero()) << "rational division by zero";
+  return Rational(numerator_ * other.denominator_,
+                  denominator_ * other.numerator_);
+}
+
+bool Rational::operator<(const Rational& other) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return numerator_ * other.denominator_ < other.numerator_ * denominator_;
+}
+
+}  // namespace car

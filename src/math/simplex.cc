@@ -1,0 +1,314 @@
+#include "math/simplex.h"
+
+#include <utility>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace car {
+
+namespace {
+
+/// A dense simplex tableau. Column layout: structural variables first,
+/// then slack/surplus variables, then artificial variables; the right-hand
+/// side is stored separately per row.
+struct Tableau {
+  // rows[i] has size num_cols; rhs[i] is the right-hand side of row i.
+  std::vector<std::vector<Rational>> rows;
+  std::vector<Rational> rhs;
+  std::vector<int> basis;            // Basic variable of each row.
+  std::vector<bool> is_artificial;   // Indexed by column.
+  int num_cols = 0;
+
+  /// Pivots on (pivot_row, pivot_col): divides the pivot row by the pivot
+  /// element and eliminates the column from all other rows.
+  void Pivot(size_t pivot_row, int pivot_col) {
+    Rational pivot_value = rows[pivot_row][pivot_col];
+    CAR_CHECK(!pivot_value.is_zero());
+    for (Rational& cell : rows[pivot_row]) cell /= pivot_value;
+    rhs[pivot_row] /= pivot_value;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (r == pivot_row) continue;
+      Rational factor = rows[r][pivot_col];
+      if (factor.is_zero()) continue;
+      for (int c = 0; c < num_cols; ++c) {
+        if (!rows[pivot_row][c].is_zero()) {
+          rows[r][c] -= factor * rows[pivot_row][c];
+        }
+      }
+      rhs[r] -= factor * rhs[pivot_row];
+    }
+    basis[pivot_row] = pivot_col;
+  }
+};
+
+/// Runs primal simplex with Bland's rule, maximizing `cost . x` on the
+/// current tableau. Artificial columns never enter the basis unless
+/// `allow_artificial` is set (phase 1). Returns the outcome; on
+/// kResourceExhausted-style pivot overflow returns an error.
+Result<LpOutcome> RunSimplex(Tableau* tableau,
+                             const std::vector<Rational>& cost,
+                             bool allow_artificial, size_t max_pivots,
+                             size_t* pivots) {
+  const size_t num_rows = tableau->rows.size();
+  // Reduced costs z_j = c_j - sum_i c_{B(i)} * T[i][j], computed once and
+  // then maintained incrementally across pivots (the pivot makes the
+  // entering column's reduced cost zero and updates the rest by one row
+  // combination). This keeps each simplex iteration at O(rows * cols)
+  // instead of O(rows * cols^2).
+  std::vector<Rational> reduced(cost.begin(),
+                                cost.begin() + tableau->num_cols);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const Rational& basic_cost = cost[tableau->basis[i]];
+    if (basic_cost.is_zero()) continue;
+    for (int j = 0; j < tableau->num_cols; ++j) {
+      if (!tableau->rows[i][j].is_zero()) {
+        reduced[j] -= basic_cost * tableau->rows[i][j];
+      }
+    }
+  }
+  while (true) {
+    // Bland's rule: enter the lowest-indexed column with positive
+    // reduced cost.
+    int entering = -1;
+    for (int j = 0; j < tableau->num_cols; ++j) {
+      if (!allow_artificial && tableau->is_artificial[j]) continue;
+      if (reduced[j].is_positive()) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering < 0) return LpOutcome::kOptimal;
+
+    // Ratio test; ties broken by lowest basic-variable index (Bland).
+    int leaving_row = -1;
+    Rational best_ratio;
+    for (size_t i = 0; i < num_rows; ++i) {
+      const Rational& coefficient = tableau->rows[i][entering];
+      if (!coefficient.is_positive()) continue;
+      Rational ratio = tableau->rhs[i] / coefficient;
+      if (leaving_row < 0 || ratio < best_ratio ||
+          (ratio == best_ratio &&
+           tableau->basis[i] < tableau->basis[leaving_row])) {
+        leaving_row = static_cast<int>(i);
+        best_ratio = ratio;
+      }
+    }
+    if (leaving_row < 0) return LpOutcome::kUnbounded;
+
+    tableau->Pivot(static_cast<size_t>(leaving_row), entering);
+    // Fold the (now normalized) pivot row into the reduced-cost row.
+    Rational factor = reduced[entering];
+    if (!factor.is_zero()) {
+      const std::vector<Rational>& pivot_row =
+          tableau->rows[static_cast<size_t>(leaving_row)];
+      for (int j = 0; j < tableau->num_cols; ++j) {
+        if (!pivot_row[j].is_zero()) {
+          reduced[j] -= factor * pivot_row[j];
+        }
+      }
+    }
+    ++*pivots;
+    if (max_pivots != 0 && *pivots > max_pivots) {
+      return ResourceExhausted(
+          StrCat("simplex exceeded pivot limit of ", max_pivots));
+    }
+  }
+}
+
+Rational ObjectiveValue(const Tableau& tableau,
+                        const std::vector<Rational>& cost) {
+  Rational value;
+  for (size_t i = 0; i < tableau.rows.size(); ++i) {
+    const Rational& basic_cost = cost[tableau.basis[i]];
+    if (!basic_cost.is_zero()) value += basic_cost * tableau.rhs[i];
+  }
+  return value;
+}
+
+/// Builds the phase-1 tableau from the system: slack variables for <=,
+/// surplus+artificial for >=, artificial for =; right-hand sides are made
+/// nonnegative first.
+Tableau BuildTableau(const LinearSystem& system) {
+  const int n = system.num_variables();
+  const auto& constraints = system.constraints();
+
+  // First pass: count auxiliary columns.
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (const LinearConstraint& constraint : constraints) {
+    bool flip = constraint.rhs.is_negative();
+    Relation relation = constraint.relation;
+    if (flip && relation == Relation::kLessEqual) {
+      relation = Relation::kGreaterEqual;
+    } else if (flip && relation == Relation::kGreaterEqual) {
+      relation = Relation::kLessEqual;
+    }
+    switch (relation) {
+      case Relation::kLessEqual:
+        ++num_slack;
+        break;
+      case Relation::kGreaterEqual:
+        ++num_slack;  // Surplus.
+        ++num_artificial;
+        break;
+      case Relation::kEqual:
+        ++num_artificial;
+        break;
+    }
+  }
+
+  Tableau tableau;
+  tableau.num_cols = n + num_slack + num_artificial;
+  tableau.is_artificial.assign(tableau.num_cols, false);
+  for (int j = n + num_slack; j < tableau.num_cols; ++j) {
+    tableau.is_artificial[j] = true;
+  }
+
+  int next_slack = n;
+  int next_artificial = n + num_slack;
+  for (const LinearConstraint& constraint : constraints) {
+    std::vector<Rational> row(tableau.num_cols);
+    Rational rhs = constraint.rhs;
+    Relation relation = constraint.relation;
+    bool flip = rhs.is_negative();
+    for (const auto& [variable, coefficient] : constraint.expr.terms()) {
+      CAR_CHECK_GE(variable, 0);
+      CAR_CHECK_LT(variable, n);
+      row[variable] = flip ? -coefficient : coefficient;
+    }
+    if (flip) {
+      rhs = -rhs;
+      if (relation == Relation::kLessEqual) {
+        relation = Relation::kGreaterEqual;
+      } else if (relation == Relation::kGreaterEqual) {
+        relation = Relation::kLessEqual;
+      }
+    }
+    int basic = -1;
+    switch (relation) {
+      case Relation::kLessEqual:
+        row[next_slack] = Rational(1);
+        basic = next_slack++;
+        break;
+      case Relation::kGreaterEqual:
+        row[next_slack] = Rational(-1);
+        ++next_slack;
+        row[next_artificial] = Rational(1);
+        basic = next_artificial++;
+        break;
+      case Relation::kEqual:
+        row[next_artificial] = Rational(1);
+        basic = next_artificial++;
+        break;
+    }
+    tableau.rows.push_back(std::move(row));
+    tableau.rhs.push_back(std::move(rhs));
+    tableau.basis.push_back(basic);
+  }
+  return tableau;
+}
+
+/// After a successful phase 1, pivots artificial variables out of the
+/// basis (their value is zero); rows where no structural or slack column
+/// is available are redundant and removed.
+void RemoveArtificialsFromBasis(Tableau* tableau) {
+  for (size_t i = 0; i < tableau->rows.size();) {
+    if (!tableau->is_artificial[tableau->basis[i]]) {
+      ++i;
+      continue;
+    }
+    int replacement = -1;
+    for (int j = 0; j < tableau->num_cols; ++j) {
+      if (tableau->is_artificial[j]) continue;
+      if (!tableau->rows[i][j].is_zero()) {
+        replacement = j;
+        break;
+      }
+    }
+    if (replacement >= 0) {
+      tableau->Pivot(i, replacement);
+      ++i;
+    } else {
+      // Redundant constraint: the whole row is zero over real columns.
+      tableau->rows.erase(tableau->rows.begin() + static_cast<long>(i));
+      tableau->rhs.erase(tableau->rhs.begin() + static_cast<long>(i));
+      tableau->basis.erase(tableau->basis.begin() + static_cast<long>(i));
+    }
+  }
+}
+
+std::vector<Rational> ExtractSolution(const Tableau& tableau, int n) {
+  std::vector<Rational> values(n);
+  for (size_t i = 0; i < tableau.rows.size(); ++i) {
+    if (tableau.basis[i] < n) {
+      values[tableau.basis[i]] = tableau.rhs[i];
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+const char* LpOutcomeToString(LpOutcome outcome) {
+  switch (outcome) {
+    case LpOutcome::kOptimal:
+      return "optimal";
+    case LpOutcome::kInfeasible:
+      return "infeasible";
+    case LpOutcome::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
+
+Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
+                                         const LinearExpr& objective) const {
+  Tableau tableau = BuildTableau(system);
+  const int n = system.num_variables();
+  LpResult result;
+
+  // Phase 1: maximize minus the sum of artificial variables.
+  bool has_artificial = false;
+  for (bool flag : tableau.is_artificial) has_artificial |= flag;
+  if (has_artificial) {
+    std::vector<Rational> phase1_cost(tableau.num_cols);
+    for (int j = 0; j < tableau.num_cols; ++j) {
+      if (tableau.is_artificial[j]) phase1_cost[j] = Rational(-1);
+    }
+    CAR_ASSIGN_OR_RETURN(
+        LpOutcome outcome,
+        RunSimplex(&tableau, phase1_cost, /*allow_artificial=*/true,
+                   options_.max_pivots, &result.pivots));
+    CAR_CHECK(outcome == LpOutcome::kOptimal)
+        << "phase 1 cannot be unbounded";
+    if (!ObjectiveValue(tableau, phase1_cost).is_zero()) {
+      result.outcome = LpOutcome::kInfeasible;
+      return result;
+    }
+    RemoveArtificialsFromBasis(&tableau);
+  }
+
+  // Phase 2: maximize the real objective.
+  std::vector<Rational> phase2_cost(tableau.num_cols);
+  for (const auto& [variable, coefficient] : objective.terms()) {
+    CAR_CHECK_GE(variable, 0);
+    CAR_CHECK_LT(variable, n);
+    phase2_cost[variable] = coefficient;
+  }
+  CAR_ASSIGN_OR_RETURN(
+      LpOutcome outcome,
+      RunSimplex(&tableau, phase2_cost, /*allow_artificial=*/false,
+                 options_.max_pivots, &result.pivots));
+  result.outcome = outcome;
+  result.values = ExtractSolution(tableau, n);
+  result.objective = ObjectiveValue(tableau, phase2_cost);
+  return result;
+}
+
+Result<LpResult> SimplexSolver::CheckFeasible(
+    const LinearSystem& system) const {
+  return Maximize(system, LinearExpr());
+}
+
+}  // namespace car

@@ -1,0 +1,68 @@
+#ifndef CAR_MATH_SIMPLEX_H_
+#define CAR_MATH_SIMPLEX_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "math/linear.h"
+
+namespace car {
+
+/// Outcome of a linear program.
+enum class LpOutcome {
+  /// A finite optimum (or, for feasibility checks, a feasible point) was
+  /// found; LpResult::values holds one attaining assignment.
+  kOptimal,
+  /// No nonnegative assignment satisfies the constraints.
+  kInfeasible,
+  /// The objective is unbounded above on the feasible region.
+  kUnbounded,
+};
+
+const char* LpOutcomeToString(LpOutcome outcome);
+
+struct LpResult {
+  LpOutcome outcome = LpOutcome::kInfeasible;
+  /// One value per LinearSystem variable; meaningful for kOptimal (and for
+  /// kUnbounded it holds the last feasible vertex visited).
+  std::vector<Rational> values;
+  /// Objective value at `values`.
+  Rational objective;
+  /// Number of simplex pivots performed (both phases).
+  size_t pivots = 0;
+};
+
+/// An exact two-phase primal simplex solver over rationals.
+///
+/// All variables of the LinearSystem are constrained to be nonnegative,
+/// matching the disequation systems of the paper (Section 3.2): every
+/// unknown Var(X̄) counts instances and the system always contains
+/// Var(X̄) >= 0. Bland's anti-cycling rule is used throughout, so the
+/// solver terminates on every input; arithmetic is exact (Rational), so
+/// the answer is never affected by rounding.
+class SimplexSolver {
+ public:
+  struct Options {
+    /// Safety valve: abort with kResourceExhausted after this many pivots.
+    /// Zero means no limit (Bland's rule still guarantees termination).
+    size_t max_pivots = 0;
+  };
+
+  SimplexSolver() : options_() {}
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  /// Maximizes `objective` subject to `system` and x >= 0.
+  Result<LpResult> Maximize(const LinearSystem& system,
+                            const LinearExpr& objective) const;
+
+  /// Checks feasibility of `system` with x >= 0 (phase 1 only).
+  /// The outcome is kOptimal (feasible, with a witness) or kInfeasible.
+  Result<LpResult> CheckFeasible(const LinearSystem& system) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace car
+
+#endif  // CAR_MATH_SIMPLEX_H_

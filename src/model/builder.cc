@@ -1,0 +1,212 @@
+#include "model/builder.h"
+
+#include "base/strings.h"
+
+namespace car {
+
+SchemaBuilder& SchemaBuilder::DeclareClass(std::string_view name) {
+  if (failed()) return *this;
+  if (name.empty()) {
+    Fail(InvalidArgument("class name must be nonempty"));
+    return *this;
+  }
+  schema_.InternClass(name);
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::BeginClass(std::string_view name) {
+  if (failed()) return *this;
+  if (open_class_ != kInvalidId || relation_open_) {
+    Fail(FailedPrecondition(
+        StrCat("BeginClass('", name, "') inside an open definition")));
+    return *this;
+  }
+  if (name.empty()) {
+    Fail(InvalidArgument("class name must be nonempty"));
+    return *this;
+  }
+  open_class_ = schema_.InternClass(name);
+  return *this;
+}
+
+bool SchemaBuilder::ParseFormula(const FormulaSpec& spec, ClassFormula* out) {
+  for (const ClauseSpec& clause_spec : spec) {
+    if (clause_spec.empty()) {
+      Fail(InvalidArgument("empty clause in formula specification"));
+      return false;
+    }
+    ClassClause clause;
+    for (const std::string& literal_text : clause_spec) {
+      std::string_view text = literal_text;
+      bool negated = false;
+      if (!text.empty() && text[0] == '!') {
+        negated = true;
+        text.remove_prefix(1);
+      }
+      if (text.empty()) {
+        Fail(InvalidArgument(
+            StrCat("malformed literal '", literal_text, "'")));
+        return false;
+      }
+      ClassId id = schema_.InternClass(text);
+      clause.AddLiteral(negated ? ClassLiteral::Negative(id)
+                                : ClassLiteral::Positive(id));
+    }
+    out->AddClause(std::move(clause));
+  }
+  return true;
+}
+
+SchemaBuilder& SchemaBuilder::Isa(const FormulaSpec& formula) {
+  if (failed()) return *this;
+  if (open_class_ == kInvalidId) {
+    Fail(FailedPrecondition("Isa() outside a class definition"));
+    return *this;
+  }
+  ClassFormula parsed;
+  if (!ParseFormula(formula, &parsed)) return *this;
+  schema_.mutable_class_definition(open_class_)->isa.AndWith(parsed);
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Attribute(std::string_view name, uint64_t min,
+                                        uint64_t max,
+                                        const FormulaSpec& range) {
+  if (failed()) return *this;
+  if (open_class_ == kInvalidId) {
+    Fail(FailedPrecondition("Attribute() outside a class definition"));
+    return *this;
+  }
+  if (min > max) {
+    Fail(InvalidArgument(StrCat("attribute '", name, "' has min ", min,
+                                " > max ", max)));
+    return *this;
+  }
+  AttributeSpec spec;
+  spec.term = AttributeTerm::Direct(schema_.InternAttribute(name));
+  spec.cardinality = Cardinality(min, max);
+  if (!ParseFormula(range, &spec.range)) return *this;
+  schema_.mutable_class_definition(open_class_)
+      ->attributes.push_back(std::move(spec));
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::InverseAttribute(std::string_view name,
+                                               uint64_t min, uint64_t max,
+                                               const FormulaSpec& range) {
+  if (failed()) return *this;
+  if (open_class_ == kInvalidId) {
+    Fail(FailedPrecondition(
+        "InverseAttribute() outside a class definition"));
+    return *this;
+  }
+  if (min > max) {
+    Fail(InvalidArgument(StrCat("inverse attribute '", name, "' has min ",
+                                min, " > max ", max)));
+    return *this;
+  }
+  AttributeSpec spec;
+  spec.term = AttributeTerm::Inverse(schema_.InternAttribute(name));
+  spec.cardinality = Cardinality(min, max);
+  if (!ParseFormula(range, &spec.range)) return *this;
+  schema_.mutable_class_definition(open_class_)
+      ->attributes.push_back(std::move(spec));
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Participates(std::string_view relation,
+                                           std::string_view role,
+                                           uint64_t min, uint64_t max) {
+  if (failed()) return *this;
+  if (open_class_ == kInvalidId) {
+    Fail(FailedPrecondition("Participates() outside a class definition"));
+    return *this;
+  }
+  if (min > max) {
+    Fail(InvalidArgument(StrCat("participation in ", relation, "[", role,
+                                "] has min ", min, " > max ", max)));
+    return *this;
+  }
+  ParticipationSpec spec;
+  spec.relation = schema_.InternRelation(relation);
+  spec.role = schema_.InternRole(role);
+  spec.cardinality = Cardinality(min, max);
+  schema_.mutable_class_definition(open_class_)
+      ->participations.push_back(spec);
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::EndClass() {
+  if (failed()) return *this;
+  if (open_class_ == kInvalidId) {
+    Fail(FailedPrecondition("EndClass() without BeginClass()"));
+    return *this;
+  }
+  open_class_ = kInvalidId;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::BeginRelation(
+    std::string_view name, const std::vector<std::string>& roles) {
+  if (failed()) return *this;
+  if (open_class_ != kInvalidId || relation_open_) {
+    Fail(FailedPrecondition(
+        StrCat("BeginRelation('", name, "') inside an open definition")));
+    return *this;
+  }
+  if (name.empty()) {
+    Fail(InvalidArgument("relation name must be nonempty"));
+    return *this;
+  }
+  open_relation_ = RelationDefinition();
+  open_relation_.relation_id = schema_.InternRelation(name);
+  for (const std::string& role : roles) {
+    open_relation_.roles.push_back(schema_.InternRole(role));
+  }
+  relation_open_ = true;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Constraint(
+    const std::vector<std::pair<std::string, FormulaSpec>>& literals) {
+  if (failed()) return *this;
+  if (!relation_open_) {
+    Fail(FailedPrecondition("Constraint() outside a relation definition"));
+    return *this;
+  }
+  RoleClause clause;
+  for (const auto& [role_name, formula_spec] : literals) {
+    RoleLiteral literal;
+    literal.role = schema_.InternRole(role_name);
+    if (!ParseFormula(formula_spec, &literal.formula)) return *this;
+    clause.literals.push_back(std::move(literal));
+  }
+  open_relation_.constraints.push_back(std::move(clause));
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::EndRelation() {
+  if (failed()) return *this;
+  if (!relation_open_) {
+    Fail(FailedPrecondition("EndRelation() without BeginRelation()"));
+    return *this;
+  }
+  relation_open_ = false;
+  Fail(schema_.SetRelationDefinition(std::move(open_relation_)));
+  open_relation_ = RelationDefinition();
+  return *this;
+}
+
+Result<Schema> SchemaBuilder::Build() && {
+  if (failed()) return status_;
+  if (open_class_ != kInvalidId) {
+    return FailedPrecondition("Build() with an open class definition");
+  }
+  if (relation_open_) {
+    return FailedPrecondition("Build() with an open relation definition");
+  }
+  CAR_RETURN_IF_ERROR(schema_.Validate());
+  return std::move(schema_);
+}
+
+}  // namespace car

@@ -1,0 +1,91 @@
+#ifndef CAR_MODEL_BUILDER_H_
+#define CAR_MODEL_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// Textual clause specification: each entry is a class name, optionally
+/// prefixed with '!' for complement. {"Professor", "Grad_Student"} is the
+/// clause Professor ∨ Grad_Student; {"!Person"} is ¬Person.
+using ClauseSpec = std::vector<std::string>;
+
+/// Textual formula specification: a conjunction of clauses (CNF).
+using FormulaSpec = std::vector<ClauseSpec>;
+
+/// A fluent, no-exceptions builder for CAR schemas.
+///
+/// Usage mirrors the paper's concrete syntax (Figure 2):
+///
+///   SchemaBuilder builder;
+///   builder.BeginClass("Student")
+///       .Isa({{"Person"}, {"!Professor"}})
+///       .Attribute("student_id", 1, 1, {{"String"}})
+///       .Participates("Enrollment", "enrolls", 1, 6)
+///       .EndClass();
+///   builder.BeginRelation("Enrollment", {"enrolled_in", "enrolls"})
+///       .Constraint({{"enrolled_in", {{"Course"}}}})
+///       .Constraint({{"enrolls", {{"Student"}}}})
+///       .EndRelation();
+///   Result<Schema> schema = std::move(builder).Build();
+///
+/// The first error sticks: later calls become no-ops and Build() reports
+/// it. Build() also runs Schema::Validate().
+class SchemaBuilder {
+ public:
+  static constexpr uint64_t kUnbounded = Cardinality::kInfinity;
+
+  SchemaBuilder() = default;
+
+  /// Interns a class with no constraints (useful for value domains such as
+  /// String that are only mentioned).
+  SchemaBuilder& DeclareClass(std::string_view name);
+
+  SchemaBuilder& BeginClass(std::string_view name);
+  /// Appends the given CNF clauses to the isa part of the open class.
+  SchemaBuilder& Isa(const FormulaSpec& formula);
+  SchemaBuilder& Attribute(std::string_view name, uint64_t min, uint64_t max,
+                           const FormulaSpec& range);
+  SchemaBuilder& InverseAttribute(std::string_view name, uint64_t min,
+                                  uint64_t max, const FormulaSpec& range);
+  SchemaBuilder& Participates(std::string_view relation,
+                              std::string_view role, uint64_t min,
+                              uint64_t max);
+  SchemaBuilder& EndClass();
+
+  SchemaBuilder& BeginRelation(std::string_view name,
+                               const std::vector<std::string>& roles);
+  /// Adds one role-clause; each entry is (role name, formula).
+  SchemaBuilder& Constraint(
+      const std::vector<std::pair<std::string, FormulaSpec>>& literals);
+  SchemaBuilder& EndRelation();
+
+  /// Finalizes and validates the schema.
+  Result<Schema> Build() &&;
+
+ private:
+  /// Parses a ClauseSpec/FormulaSpec against the schema's symbol table,
+  /// interning class names. Records an error on malformed input.
+  bool ParseFormula(const FormulaSpec& spec, ClassFormula* out);
+
+  void Fail(Status status) {
+    if (status_.ok()) status_ = std::move(status);
+  }
+  bool failed() const { return !status_.ok(); }
+
+  Schema schema_;
+  Status status_;
+  ClassId open_class_ = kInvalidId;
+  RelationDefinition open_relation_;
+  bool relation_open_ = false;
+};
+
+}  // namespace car
+
+#endif  // CAR_MODEL_BUILDER_H_

@@ -1,0 +1,91 @@
+#ifndef CAR_MODEL_CARDINALITY_H_
+#define CAR_MODEL_CARDINALITY_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace car {
+
+/// A cardinality constraint interval (u, v): at least u and at most v
+/// links of a given type per instance (paper, Section 2.2). u is a
+/// nonnegative integer; v is a nonnegative integer or infinity.
+class Cardinality {
+ public:
+  /// Sentinel for the paper's special value "infinity".
+  static constexpr uint64_t kInfinity = ~0ull;
+
+  /// Constructs the unconstrained interval (0, infinity).
+  Cardinality() : min_(0), max_(kInfinity) {}
+
+  Cardinality(uint64_t min, uint64_t max) : min_(min), max_(max) {
+    CAR_CHECK_LE(min, max);
+  }
+
+  static Cardinality AtLeast(uint64_t min) {
+    return Cardinality(min, kInfinity);
+  }
+  static Cardinality AtMost(uint64_t max) { return Cardinality(0, max); }
+  static Cardinality Exactly(uint64_t count) {
+    return Cardinality(count, count);
+  }
+  static Cardinality Unbounded() { return Cardinality(); }
+
+  uint64_t min() const { return min_; }
+  uint64_t max() const { return max_; }
+  bool has_finite_max() const { return max_ != kInfinity; }
+
+  /// Returns true if the interval admits no count at all (never happens
+  /// for a single Cardinality, but intersections can be empty).
+  bool IsEmpty() const { return min_ > max_; }
+
+  /// Intersects two intervals: the combined constraint (umax, vmin) used
+  /// when several definitions constrain the same links (Definition 3.1,
+  /// the Natt / Nrel construction). The result may be empty.
+  static Cardinality IntersectUnchecked(const Cardinality& a,
+                                        const Cardinality& b);
+
+  bool Contains(uint64_t count) const {
+    return count >= min_ && count <= max_;
+  }
+
+  /// Renders "(u, v)" with "*" for infinity.
+  std::string ToString() const {
+    return StrCat("(", min_, ", ",
+                  has_finite_max() ? StrCat(max_) : std::string("*"), ")");
+  }
+
+  bool operator==(const Cardinality& other) const {
+    return min_ == other.min_ && max_ == other.max_;
+  }
+  bool operator!=(const Cardinality& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  // Private so IsEmpty() intervals can only arise via IntersectUnchecked.
+  struct UncheckedTag {};
+  Cardinality(uint64_t min, uint64_t max, UncheckedTag)
+      : min_(min), max_(max) {}
+
+  uint64_t min_;
+  uint64_t max_;
+};
+
+inline Cardinality Cardinality::IntersectUnchecked(const Cardinality& a,
+                                                   const Cardinality& b) {
+  uint64_t min = a.min_ > b.min_ ? a.min_ : b.min_;
+  uint64_t max = a.max_ < b.max_ ? a.max_ : b.max_;
+  return Cardinality(min, max, UncheckedTag());
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Cardinality& c) {
+  return os << c.ToString();
+}
+
+}  // namespace car
+
+#endif  // CAR_MODEL_CARDINALITY_H_

@@ -1,0 +1,35 @@
+#include "model/formula.h"
+
+#include <algorithm>
+
+namespace car {
+
+bool ClassFormula::IsNegationFree() const {
+  for (const ClassClause& clause : clauses_) {
+    for (const ClassLiteral& literal : clause.literals()) {
+      if (literal.negated) return false;
+    }
+  }
+  return true;
+}
+
+bool ClassFormula::IsUnionFree() const {
+  for (const ClassClause& clause : clauses_) {
+    if (clause.literals().size() != 1) return false;
+  }
+  return true;
+}
+
+std::vector<ClassId> ClassFormula::MentionedClasses() const {
+  std::vector<ClassId> ids;
+  for (const ClassClause& clause : clauses_) {
+    for (const ClassLiteral& literal : clause.literals()) {
+      ids.push_back(literal.class_id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace car

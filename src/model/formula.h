@@ -1,0 +1,101 @@
+#ifndef CAR_MODEL_FORMULA_H_
+#define CAR_MODEL_FORMULA_H_
+
+#include <string>
+#include <vector>
+
+#include "model/symbols.h"
+
+namespace car {
+
+/// A class-literal: a class symbol C or its complement ¬C (paper, §2.2).
+struct ClassLiteral {
+  ClassId class_id = kInvalidId;
+  bool negated = false;
+
+  static ClassLiteral Positive(ClassId id) { return {id, false}; }
+  static ClassLiteral Negative(ClassId id) { return {id, true}; }
+
+  ClassLiteral Complement() const { return {class_id, !negated}; }
+
+  bool operator==(const ClassLiteral& other) const {
+    return class_id == other.class_id && negated == other.negated;
+  }
+};
+
+/// A class-clause: a disjunction L1 ∨ ... ∨ Lm of class-literals.
+class ClassClause {
+ public:
+  ClassClause() = default;
+  explicit ClassClause(std::vector<ClassLiteral> literals)
+      : literals_(std::move(literals)) {}
+
+  static ClassClause Of(ClassLiteral literal) {
+    return ClassClause({literal});
+  }
+
+  const std::vector<ClassLiteral>& literals() const { return literals_; }
+  bool empty() const { return literals_.empty(); }
+
+  void AddLiteral(ClassLiteral literal) { literals_.push_back(literal); }
+
+  bool operator==(const ClassClause& other) const {
+    return literals_ == other.literals_;
+  }
+
+ private:
+  std::vector<ClassLiteral> literals_;
+};
+
+/// A class-formula: a conjunction γ1 ∧ ... ∧ γn of class-clauses (CNF).
+/// The empty formula is the trivially true formula (no constraints).
+class ClassFormula {
+ public:
+  ClassFormula() = default;
+  explicit ClassFormula(std::vector<ClassClause> clauses)
+      : clauses_(std::move(clauses)) {}
+
+  /// A formula that every object satisfies.
+  static ClassFormula True() { return ClassFormula(); }
+
+  /// The formula consisting of the single positive literal C.
+  static ClassFormula OfClass(ClassId id) {
+    return ClassFormula({ClassClause::Of(ClassLiteral::Positive(id))});
+  }
+
+  /// The formula consisting of the single negative literal ¬C.
+  static ClassFormula OfNegatedClass(ClassId id) {
+    return ClassFormula({ClassClause::Of(ClassLiteral::Negative(id))});
+  }
+
+  const std::vector<ClassClause>& clauses() const { return clauses_; }
+  bool IsTriviallyTrue() const { return clauses_.empty(); }
+
+  void AddClause(ClassClause clause) { clauses_.push_back(std::move(clause)); }
+
+  /// Conjoins another formula onto this one.
+  void AndWith(const ClassFormula& other) {
+    for (const ClassClause& clause : other.clauses()) {
+      clauses_.push_back(clause);
+    }
+  }
+
+  /// Returns true if `negation_free`: no literal is negated.
+  bool IsNegationFree() const;
+  /// Returns true if `union_free`: every clause has exactly one literal.
+  bool IsUnionFree() const;
+
+  /// Collects all class ids mentioned (with duplicates removed).
+  std::vector<ClassId> MentionedClasses() const;
+
+  bool operator==(const ClassFormula& other) const {
+    return clauses_ == other.clauses_;
+  }
+
+ private:
+  std::vector<ClassClause> clauses_;
+};
+
+}  // namespace car
+
+#endif  // CAR_MODEL_FORMULA_H_

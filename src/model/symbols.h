@@ -1,0 +1,60 @@
+#ifndef CAR_MODEL_SYMBOLS_H_
+#define CAR_MODEL_SYMBOLS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.h"
+
+namespace car {
+
+/// Typed symbol identifiers. A CAR schema is defined over an alphabet B
+/// partitioned into class symbols C, attribute symbols A, relation symbols
+/// R and role symbols U (paper, Section 2.2); we give each category its own
+/// id space.
+using ClassId = int;
+using AttributeId = int;
+using RelationId = int;
+using RoleId = int;
+
+constexpr int kInvalidId = -1;
+
+/// An interning table mapping symbol names to dense integer ids.
+class SymbolTable {
+ public:
+  /// Returns the id of `name`, interning it if new.
+  int Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of `name`, or kInvalidId if unknown.
+  int Lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kInvalidId : it->second;
+  }
+
+  const std::string& NameOf(int id) const {
+    CAR_CHECK_GE(id, 0);
+    CAR_CHECK_LT(id, static_cast<int>(names_.size()));
+    return names_[id];
+  }
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace car
+
+#endif  // CAR_MODEL_SYMBOLS_H_

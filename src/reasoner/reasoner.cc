@@ -1,0 +1,397 @@
+#include "reasoner/reasoner.h"
+
+#include <map>
+
+#include "base/strings.h"
+#include "math/simplex.h"
+#include "solver/psi.h"
+
+namespace car {
+
+namespace {
+
+/// Feasibility of the restricted Ψ_S with the given unknowns forced
+/// >= 1: "can this counted pair/tuple population be strictly positive in
+/// a model?". The caller passes the counted unknown *and* the unknowns of
+/// its endpoint compound classes: an acceptable solution needs those
+/// positive as well, and conversely any feasible point here plus the
+/// maximal-support solution is acceptable (solutions of the homogeneous
+/// system add).
+Result<bool> FeasibleWithUnitLowerBounds(const PsiSystem& psi,
+                                         const std::vector<int>& variables) {
+  LinearSystem system = psi.system;
+  for (int variable : variables) {
+    LinearConstraint at_least_one;
+    at_least_one.expr.Add(variable, Rational(1));
+    at_least_one.relation = Relation::kGreaterEqual;
+    at_least_one.rhs = Rational(1);
+    system.AddConstraint(std::move(at_least_one));
+  }
+  CAR_ASSIGN_OR_RETURN(LpResult lp, SimplexSolver().CheckFeasible(system));
+  return lp.outcome == LpOutcome::kOptimal;
+}
+
+}  // namespace
+
+Reasoner::Reasoner(const Schema* schema, ReasonerOptions options)
+    : schema_(schema), options_(options) {
+  CAR_CHECK(schema != nullptr);
+}
+
+Status Reasoner::Prepare() {
+  if (solution_.has_value()) return Status::Ok();
+  CAR_ASSIGN_OR_RETURN(Expansion expansion,
+                       BuildExpansion(*schema_, options_.expansion));
+  CAR_ASSIGN_OR_RETURN(PsiSolution solution,
+                       SolvePsi(expansion, options_.solver));
+  expansion_ = std::move(expansion);
+  solution_ = std::move(solution);
+  return Status::Ok();
+}
+
+Result<const Expansion*> Reasoner::GetExpansion() {
+  CAR_RETURN_IF_ERROR(Prepare());
+  return &*expansion_;
+}
+
+Result<const PsiSolution*> Reasoner::GetSolution() {
+  CAR_RETURN_IF_ERROR(Prepare());
+  return &*solution_;
+}
+
+Result<bool> Reasoner::IsClassSatisfiable(ClassId class_id) {
+  if (class_id < 0 || class_id >= schema_->num_classes()) {
+    return NotFound(StrCat("class id ", class_id, " out of range"));
+  }
+  CAR_RETURN_IF_ERROR(Prepare());
+  return solution_->IsClassSatisfiable(class_id);
+}
+
+Result<bool> Reasoner::IsClassSatisfiable(std::string_view class_name) {
+  ClassId id = schema_->LookupClass(class_name);
+  if (id == kInvalidId) {
+    return NotFound(StrCat("unknown class '", class_name, "'"));
+  }
+  return IsClassSatisfiable(id);
+}
+
+Result<SatReport> Reasoner::CheckSchema() {
+  CAR_RETURN_IF_ERROR(Prepare());
+  SatReport report;
+  report.class_satisfiable = solution_->class_satisfiable;
+  for (ClassId c = 0; c < schema_->num_classes(); ++c) {
+    if (!solution_->class_satisfiable[c]) {
+      report.unsatisfiable_classes.push_back(c);
+    }
+  }
+  report.num_compound_classes = expansion_->compound_classes.size();
+  report.num_compound_attributes = expansion_->compound_attributes.size();
+  report.num_compound_relations = expansion_->compound_relations.size();
+  report.lp_solves = solution_->lp_solves;
+  report.fixpoint_rounds = solution_->fixpoint_rounds;
+  return report;
+}
+
+Result<bool> Reasoner::AuxiliaryClassSatisfiable(
+    const ClassFormula& isa, const std::vector<AttributeSpec>& attributes,
+    const std::vector<ParticipationSpec>& participations) {
+  Schema extended = *schema_;
+  // Pick a fresh name for the auxiliary class.
+  std::string name = "__car_query";
+  int suffix = 0;
+  while (extended.LookupClass(name) != kInvalidId) {
+    name = StrCat("__car_query_", ++suffix);
+  }
+  ClassId aux = extended.InternClass(name);
+  ClassDefinition* definition = extended.mutable_class_definition(aux);
+  definition->isa = isa;
+  definition->attributes = attributes;
+  definition->participations = participations;
+  CAR_RETURN_IF_ERROR(extended.Validate());
+
+  CAR_ASSIGN_OR_RETURN(Expansion expansion,
+                       BuildExpansion(extended, options_.expansion));
+  CAR_ASSIGN_OR_RETURN(PsiSolution solution,
+                       SolvePsi(expansion, options_.solver));
+  return solution.IsClassSatisfiable(aux);
+}
+
+Result<bool> Reasoner::ImpliesIsa(ClassId subclass,
+                                  const ClassFormula& formula) {
+  if (subclass < 0 || subclass >= schema_->num_classes()) {
+    return NotFound(StrCat("class id ", subclass, " out of range"));
+  }
+  // C ⊑ γ1 ∧ ... ∧ γn iff C ⊑ γj for every clause. C ⊑ L1 ∨ ... ∨ Lm iff
+  // the auxiliary class (C ∧ ¬L1 ∧ ... ∧ ¬Lm) is unsatisfiable.
+  for (const ClassClause& clause : formula.clauses()) {
+    ClassFormula auxiliary_isa = ClassFormula::OfClass(subclass);
+    for (const ClassLiteral& literal : clause.literals()) {
+      auxiliary_isa.AddClause(ClassClause::Of(literal.Complement()));
+    }
+    CAR_ASSIGN_OR_RETURN(bool satisfiable,
+                         AuxiliaryClassSatisfiable(auxiliary_isa, {}, {}));
+    if (satisfiable) return false;
+  }
+  return true;
+}
+
+Result<bool> Reasoner::ImpliesDisjoint(ClassId a, ClassId b) {
+  if (a < 0 || a >= schema_->num_classes() || b < 0 ||
+      b >= schema_->num_classes()) {
+    return NotFound("class id out of range");
+  }
+  ClassFormula both = ClassFormula::OfClass(a);
+  both.AndWith(ClassFormula::OfClass(b));
+  CAR_ASSIGN_OR_RETURN(bool satisfiable,
+                       AuxiliaryClassSatisfiable(both, {}, {}));
+  return !satisfiable;
+}
+
+Result<bool> Reasoner::ImpliesMinCardinality(ClassId class_id,
+                                             AttributeTerm term,
+                                             uint64_t min) {
+  if (min == 0) return true;
+  if (term.attribute < 0 || term.attribute >= schema_->num_attributes()) {
+    return NotFound(StrCat("attribute id ", term.attribute, " out of range"));
+  }
+  // The auxiliary class is a C-instance allowed at most min-1 successors;
+  // it is satisfiable iff the minimum is NOT implied.
+  AttributeSpec spec;
+  spec.term = term;
+  spec.cardinality = Cardinality(0, min - 1);
+  spec.range = ClassFormula::True();
+  CAR_ASSIGN_OR_RETURN(
+      bool satisfiable,
+      AuxiliaryClassSatisfiable(ClassFormula::OfClass(class_id), {spec}, {}));
+  return !satisfiable;
+}
+
+Result<bool> Reasoner::ImpliesMaxCardinality(ClassId class_id,
+                                             AttributeTerm term,
+                                             uint64_t max) {
+  if (term.attribute < 0 || term.attribute >= schema_->num_attributes()) {
+    return NotFound(StrCat("attribute id ", term.attribute, " out of range"));
+  }
+  if (max == Cardinality::kInfinity) return true;
+  AttributeSpec spec;
+  spec.term = term;
+  spec.cardinality = Cardinality::AtLeast(max + 1);
+  spec.range = ClassFormula::True();
+  CAR_ASSIGN_OR_RETURN(
+      bool satisfiable,
+      AuxiliaryClassSatisfiable(ClassFormula::OfClass(class_id), {spec}, {}));
+  return !satisfiable;
+}
+
+Result<bool> Reasoner::ImpliesMinParticipation(ClassId class_id,
+                                               RelationId relation,
+                                               RoleId role, uint64_t min) {
+  if (min == 0) return true;
+  ParticipationSpec spec;
+  spec.relation = relation;
+  spec.role = role;
+  spec.cardinality = Cardinality(0, min - 1);
+  CAR_ASSIGN_OR_RETURN(
+      bool satisfiable,
+      AuxiliaryClassSatisfiable(ClassFormula::OfClass(class_id), {}, {spec}));
+  return !satisfiable;
+}
+
+Result<bool> Reasoner::ImpliesRoleTyping(RelationId relation, RoleId role,
+                                         const ClassFormula& formula) {
+  if (relation < 0 || relation >= schema_->num_relations()) {
+    return NotFound(StrCat("relation id ", relation, " out of range"));
+  }
+  const RelationDefinition* definition =
+      schema_->relation_definition(relation);
+  CAR_CHECK(definition != nullptr);
+  int role_index = definition->RoleIndex(role);
+  if (role_index < 0) {
+    return NotFound(StrCat("role '", schema_->RoleName(role),
+                           "' is not a role of relation '",
+                           schema_->RelationName(relation), "'"));
+  }
+  CAR_RETURN_IF_ERROR(Prepare());
+
+  std::vector<int> active;
+  for (size_t i = 0; i < solution_->cc_active.size(); ++i) {
+    if (solution_->cc_active[i]) active.push_back(static_cast<int>(i));
+  }
+  const int arity = definition->arity();
+  double combination_estimate = 1;
+  for (int k = 0; k < arity; ++k) {
+    combination_estimate *= static_cast<double>(active.size());
+  }
+  if (combination_estimate > 4e6) {
+    return ResourceExhausted(
+        "too many candidate tuple shapes for role-typing implication");
+  }
+
+  // Index of the counted compound relations of this relation.
+  std::map<std::vector<int>, int> counted;
+  for (size_t i = 0; i < expansion_->compound_relations.size(); ++i) {
+    const CompoundRelation& cr = expansion_->compound_relations[i];
+    if (cr.relation == relation) {
+      counted.emplace(cr.components, static_cast<int>(i));
+    }
+  }
+  PsiSystem psi =
+      BuildPsiSystem(*expansion_, solution_->cc_active, solution_->ca_active,
+                     solution_->cr_active);
+
+  // Enumerate candidate component vectors over the active support.
+  std::vector<int> components(arity);
+  std::vector<size_t> odometer(arity, 0);
+  while (true) {
+    for (int k = 0; k < arity; ++k) components[k] = active[odometer[k]];
+    std::vector<const CompoundClass*> views;
+    views.reserve(arity);
+    for (int index : components) {
+      views.push_back(&expansion_->compound_classes[index]);
+    }
+    if (IsConsistentCompoundRelation(*schema_, *definition, views) &&
+        !views[role_index]->Realizes(formula)) {
+      // A tuple of this shape would violate the candidate typing; can it
+      // occur? Free (uncounted) shapes always can; counted ones are
+      // checked against Ψ_S.
+      bool constrained = false;
+      for (int k = 0; k < arity; ++k) {
+        if (expansion_->nrel.count({relation, k, components[k]}) > 0) {
+          constrained = true;
+          break;
+        }
+      }
+      if (!constrained) return false;
+      auto it = counted.find(components);
+      CAR_CHECK(it != counted.end())
+          << "constrained compound relation missing from the expansion";
+      std::vector<int> forced = {psi.cr_var[it->second]};
+      for (int index : components) forced.push_back(psi.cc_var[index]);
+      CAR_ASSIGN_OR_RETURN(bool possible,
+                           FeasibleWithUnitLowerBounds(psi, forced));
+      if (possible) return false;
+    }
+    // Advance the odometer.
+    int k = 0;
+    while (k < arity && ++odometer[k] == active.size()) {
+      odometer[k] = 0;
+      ++k;
+    }
+    if (k == arity) break;
+  }
+  return true;
+}
+
+Result<bool> Reasoner::ImpliesAttributeRange(AttributeTerm term,
+                                             const ClassFormula& formula) {
+  if (term.attribute < 0 || term.attribute >= schema_->num_attributes()) {
+    return NotFound(StrCat("attribute id ", term.attribute, " out of range"));
+  }
+  CAR_RETURN_IF_ERROR(Prepare());
+
+  std::vector<int> active;
+  for (size_t i = 0; i < solution_->cc_active.size(); ++i) {
+    if (solution_->cc_active[i]) active.push_back(static_cast<int>(i));
+  }
+  std::map<std::pair<int, int>, int> counted;
+  for (size_t i = 0; i < expansion_->compound_attributes.size(); ++i) {
+    const CompoundAttribute& ca = expansion_->compound_attributes[i];
+    if (ca.attribute == term.attribute) {
+      counted.emplace(std::make_pair(ca.from, ca.to), static_cast<int>(i));
+    }
+  }
+  PsiSystem psi =
+      BuildPsiSystem(*expansion_, solution_->cc_active, solution_->ca_active,
+                     solution_->cr_active);
+
+  for (int from : active) {
+    for (int to : active) {
+      if (!IsConsistentCompoundAttribute(
+              *schema_, term.attribute, expansion_->compound_classes[from],
+              expansion_->compound_classes[to])) {
+        continue;
+      }
+      // The "successor" side of a direct term is the pair's target; for
+      // an inverse term it is the source.
+      const CompoundClass& successor =
+          expansion_->compound_classes[term.inverse ? from : to];
+      if (successor.Realizes(formula)) continue;
+      bool constrained =
+          expansion_->natt.count({AttributeTerm::Direct(term.attribute),
+                                  from}) > 0 ||
+          expansion_->natt.count({AttributeTerm::Inverse(term.attribute),
+                                  to}) > 0;
+      if (!constrained) return false;
+      auto it = counted.find({from, to});
+      CAR_CHECK(it != counted.end())
+          << "constrained compound attribute missing from the expansion";
+      std::vector<int> forced = {psi.ca_var[it->second], psi.cc_var[from],
+                                 psi.cc_var[to]};
+      CAR_ASSIGN_OR_RETURN(bool possible,
+                           FeasibleWithUnitLowerBounds(psi, forced));
+      if (possible) return false;
+    }
+  }
+  return true;
+}
+
+Result<Cardinality> Reasoner::ImpliedCardinalityBounds(
+    ClassId class_id, AttributeTerm term, uint64_t search_limit) {
+  // Largest implied minimum in [0, search_limit] by binary search
+  // (implication of a minimum is downward monotone in the bound).
+  uint64_t lo = 0;
+  uint64_t hi = search_limit;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo + 1) / 2;
+    CAR_ASSIGN_OR_RETURN(bool implied,
+                         ImpliesMinCardinality(class_id, term, mid));
+    if (implied) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  uint64_t implied_min = lo;
+
+  // Smallest implied maximum in [0, search_limit], or unbounded.
+  CAR_ASSIGN_OR_RETURN(bool bounded,
+                       ImpliesMaxCardinality(class_id, term, search_limit));
+  uint64_t implied_max = Cardinality::kInfinity;
+  if (bounded) {
+    lo = 0;
+    hi = search_limit;
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      CAR_ASSIGN_OR_RETURN(bool implied,
+                           ImpliesMaxCardinality(class_id, term, mid));
+      if (implied) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    implied_max = lo;
+  }
+  if (implied_max != Cardinality::kInfinity && implied_min > implied_max) {
+    // Only possible when the class is unsatisfiable (every bound holds
+    // vacuously); normalize.
+    return Cardinality::Exactly(0);
+  }
+  return Cardinality(implied_min, implied_max);
+}
+
+Result<bool> Reasoner::ImpliesMaxParticipation(ClassId class_id,
+                                               RelationId relation,
+                                               RoleId role, uint64_t max) {
+  if (max == Cardinality::kInfinity) return true;
+  ParticipationSpec spec;
+  spec.relation = relation;
+  spec.role = role;
+  spec.cardinality = Cardinality::AtLeast(max + 1);
+  CAR_ASSIGN_OR_RETURN(
+      bool satisfiable,
+      AuxiliaryClassSatisfiable(ClassFormula::OfClass(class_id), {}, {spec}));
+  return !satisfiable;
+}
+
+}  // namespace car

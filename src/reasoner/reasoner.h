@@ -1,0 +1,136 @@
+#ifndef CAR_REASONER_REASONER_H_
+#define CAR_REASONER_REASONER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "expansion/expansion.h"
+#include "model/schema.h"
+#include "solver/solve.h"
+
+namespace car {
+
+struct ReasonerOptions {
+  ExpansionOptions expansion;
+  PsiSolverOptions solver;
+};
+
+/// Per-schema satisfiability report.
+struct SatReport {
+  /// One entry per class id.
+  std::vector<bool> class_satisfiable;
+  std::vector<ClassId> unsatisfiable_classes;
+  size_t num_compound_classes = 0;
+  size_t num_compound_attributes = 0;
+  size_t num_compound_relations = 0;
+  size_t lp_solves = 0;
+  size_t fixpoint_rounds = 0;
+};
+
+/// The reasoning engine of Section 3: class satisfiability via the
+/// two-phase method (expansion, then the disequation system), and logical
+/// implication by reduction to satisfiability of auxiliary classes.
+///
+/// The reasoner owns a copy of nothing: it borrows the schema, computes
+/// the expansion and the Ψ_S solution lazily on first use, and caches them
+/// for subsequent queries (the phase-1/phase-2 computation is
+/// query-independent). Implication queries build a private extended copy
+/// of the schema with one fresh auxiliary class and run an independent
+/// satisfiability check on it; the borrowed schema is never mutated.
+class Reasoner {
+ public:
+  explicit Reasoner(const Schema* schema, ReasonerOptions options = {});
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Phase 1 + 2, cached. Exposed for benchmarks and diagnostics.
+  Result<const Expansion*> GetExpansion();
+  Result<const PsiSolution*> GetSolution();
+
+  /// Class satisfiability (paper, Section 2.3): does some model of the
+  /// schema give the class a nonempty extension?
+  Result<bool> IsClassSatisfiable(ClassId class_id);
+  Result<bool> IsClassSatisfiable(std::string_view class_name);
+
+  /// Full report over all classes.
+  Result<SatReport> CheckSchema();
+
+  // --- Logical implication (S ⊨ δ) ---------------------------------------
+  // Each query reduces to unsatisfiability of a fresh auxiliary class in
+  // an extended schema, which is sound and complete because models of the
+  // extended schema are exactly models of the original with an arbitrary
+  // extension for the auxiliary class.
+
+  /// S ⊨ C isa F? (checked clause by clause: C ⊑ γ iff C ∧ ¬γ is empty).
+  Result<bool> ImpliesIsa(ClassId subclass, const ClassFormula& formula);
+
+  /// S ⊨ "A and B are disjoint"?
+  Result<bool> ImpliesDisjoint(ClassId a, ClassId b);
+
+  /// S ⊨ "every instance of C has at least `min` att-successors"?
+  /// `min` must be >= 1 (the 0 case is trivially true).
+  Result<bool> ImpliesMinCardinality(ClassId class_id, AttributeTerm term,
+                                     uint64_t min);
+  /// S ⊨ "every instance of C has at most `max` att-successors"?
+  Result<bool> ImpliesMaxCardinality(ClassId class_id, AttributeTerm term,
+                                     uint64_t max);
+
+  /// S ⊨ "every instance of C occurs at least `min` times as the
+  /// U-component of R"? `min` must be >= 1.
+  Result<bool> ImpliesMinParticipation(ClassId class_id, RelationId relation,
+                                       RoleId role, uint64_t min);
+  /// S ⊨ "every instance of C occurs at most `max` times as the
+  /// U-component of R"?
+  Result<bool> ImpliesMaxParticipation(ClassId class_id, RelationId relation,
+                                       RoleId role, uint64_t max);
+
+  // --- Global typing implications -----------------------------------------
+  // These are decided on the solved expansion: a pair/tuple with the given
+  // compound shape can appear in some model iff its compound classes are
+  // in the final support and the corresponding counted unknown (if any)
+  // can be strictly positive; the queries below enumerate the possible
+  // shapes and test the offending ones against Ψ_S.
+
+  /// S ⊨ "in every model, every tuple of R has its `role`-component in F"?
+  Result<bool> ImpliesRoleTyping(RelationId relation, RoleId role,
+                                 const ClassFormula& formula);
+
+  /// S ⊨ "in every model, every att-successor lies in F"? (The *implied
+  /// global range* of the attribute term; for (inv A) this is the implied
+  /// domain of A.)
+  Result<bool> ImpliesAttributeRange(AttributeTerm term,
+                                     const ClassFormula& formula);
+
+  /// The tightest cardinality interval (u, v) such that S implies every
+  /// instance of C has between u and v att-successors, with the searched
+  /// minimum capped at `search_limit` (the implied max is either found
+  /// below `search_limit` or reported unbounded). Returns (0, infinity)
+  /// when nothing is implied. For an unsatisfiable class every bound is
+  /// implied; (search_limit, 0)-style degenerate answers are normalized
+  /// to Cardinality::Exactly(0).
+  Result<Cardinality> ImpliedCardinalityBounds(ClassId class_id,
+                                               AttributeTerm term,
+                                               uint64_t search_limit = 64);
+
+ private:
+  /// Ensures the cached expansion/solution exist.
+  Status Prepare();
+
+  /// Builds a copy of the schema plus a fresh class with the given
+  /// definition parts and returns satisfiability of the fresh class.
+  Result<bool> AuxiliaryClassSatisfiable(
+      const ClassFormula& isa, const std::vector<AttributeSpec>& attributes,
+      const std::vector<ParticipationSpec>& participations);
+
+  const Schema* schema_;
+  ReasonerOptions options_;
+  std::optional<Expansion> expansion_;
+  std::optional<PsiSolution> solution_;
+};
+
+}  // namespace car
+
+#endif  // CAR_REASONER_REASONER_H_

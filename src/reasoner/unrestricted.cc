@@ -1,0 +1,123 @@
+#include "reasoner/unrestricted.h"
+
+namespace car {
+
+namespace {
+
+/// True when the cardinality recorded for (term, compound) — if any —
+/// admits at least one link. Absent entries are unconstrained.
+bool AdmitsOneLink(const Expansion& expansion, const AttributeTerm& term,
+                   int compound_index) {
+  auto it = expansion.natt.find({term, compound_index});
+  if (it == expansion.natt.end()) return true;
+  return !it->second.IsEmpty() && it->second.max() >= 1;
+}
+
+bool AdmitsOneTuple(const Expansion& expansion, RelationId relation,
+                    int role_index, int compound_index) {
+  auto it = expansion.nrel.find({relation, role_index, compound_index});
+  if (it == expansion.nrel.end()) return true;
+  return !it->second.IsEmpty() && it->second.max() >= 1;
+}
+
+/// Checks all local obligations of one compound class against the set of
+/// currently surviving compound classes.
+bool ObligationsWitnessed(const Expansion& expansion, int compound_index,
+                          const std::vector<bool>& surviving) {
+  // Attribute obligations.
+  for (const auto& [key, cardinality] : expansion.natt) {
+    const auto& [term, owner] = key;
+    if (owner != compound_index) continue;
+    if (cardinality.IsEmpty()) return false;
+    if (cardinality.min() == 0) continue;
+
+    // Need a surviving opposite-side compound class, consistent as a
+    // compound attribute, that can absorb at least one link.
+    const auto& index_map =
+        term.inverse ? expansion.ca_by_to : expansion.ca_by_from;
+    auto it = index_map.find({term.attribute, compound_index});
+    bool witnessed = false;
+    if (it != index_map.end()) {
+      for (int ca_index : it->second) {
+        const CompoundAttribute& ca =
+            expansion.compound_attributes[ca_index];
+        int other = term.inverse ? ca.from : ca.to;
+        AttributeTerm opposite = term.inverse
+                                     ? AttributeTerm::Direct(term.attribute)
+                                     : AttributeTerm::Inverse(term.attribute);
+        if (surviving[other] &&
+            AdmitsOneLink(expansion, opposite, other)) {
+          witnessed = true;
+          break;
+        }
+      }
+    }
+    if (!witnessed) return false;
+  }
+
+  // Participation obligations.
+  for (const auto& [key, cardinality] : expansion.nrel) {
+    const auto& [relation, role_index, owner] = key;
+    if (owner != compound_index) continue;
+    if (cardinality.IsEmpty()) return false;
+    if (cardinality.min() == 0) continue;
+
+    auto it = expansion.cr_by_role.find({relation, role_index,
+                                         compound_index});
+    bool witnessed = false;
+    if (it != expansion.cr_by_role.end()) {
+      for (int cr_index : it->second) {
+        const CompoundRelation& cr = expansion.compound_relations[cr_index];
+        bool usable = true;
+        for (size_t j = 0; j < cr.components.size(); ++j) {
+          if (!surviving[cr.components[j]] ||
+              !AdmitsOneTuple(expansion, relation, static_cast<int>(j),
+                              cr.components[j])) {
+            usable = false;
+            break;
+          }
+        }
+        if (usable) {
+          witnessed = true;
+          break;
+        }
+      }
+    }
+    if (!witnessed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<UnrestrictedResult> CheckUnrestrictedSatisfiability(
+    const Expansion& expansion) {
+  UnrestrictedResult result;
+  result.cc_surviving.assign(expansion.compound_classes.size(), true);
+
+  bool changed = true;
+  while (changed) {
+    ++result.elimination_rounds;
+    changed = false;
+    for (size_t i = 0; i < expansion.compound_classes.size(); ++i) {
+      if (!result.cc_surviving[i]) continue;
+      if (!ObligationsWitnessed(expansion, static_cast<int>(i),
+                                result.cc_surviving)) {
+        result.cc_surviving[i] = false;
+        changed = true;
+      }
+    }
+  }
+
+  const Schema& schema = *expansion.schema;
+  result.class_satisfiable.assign(schema.num_classes(), false);
+  for (size_t i = 0; i < expansion.compound_classes.size(); ++i) {
+    if (!result.cc_surviving[i]) continue;
+    for (ClassId member : expansion.compound_classes[i].members()) {
+      result.class_satisfiable[member] = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace car

@@ -1,0 +1,55 @@
+#ifndef CAR_REASONER_UNRESTRICTED_H_
+#define CAR_REASONER_UNRESTRICTED_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "expansion/expansion.h"
+
+namespace car {
+
+/// Result of class satisfiability over *unrestricted* interpretations
+/// (finite or infinite universes).
+struct UnrestrictedResult {
+  std::vector<bool> class_satisfiable;
+  /// Per compound class: did it survive type elimination?
+  std::vector<bool> cc_surviving;
+  size_t elimination_rounds = 0;
+
+  bool IsClassSatisfiable(ClassId class_id) const {
+    return class_id >= 0 &&
+           class_id < static_cast<int>(class_satisfiable.size()) &&
+           class_satisfiable[class_id];
+  }
+};
+
+/// Decides class satisfiability when interpretations are allowed to be
+/// infinite — the knowledge-representation notion the paper contrasts
+/// with its database (finite-model) semantics ("the knowledge
+/// representation community does not restrict the reasoning process to
+/// finite structures", Section 1).
+///
+/// Method: type elimination over the expansion's consistent compound
+/// classes. A compound class survives iff all its local obligations are
+/// witnessable by surviving types:
+///   * every Natt interval is nonempty;
+///   * every attribute term with a positive minimum has some surviving
+///     target compound class forming a consistent compound attribute
+///     whose opposite-side cardinality admits at least one link;
+///   * every Nrel interval is nonempty, and every participation with a
+///     positive minimum has a consistent compound relation over surviving
+///     components each of which admits at least one tuple at its role.
+/// Fresh witness objects can always be spawned in an infinite model (the
+/// standard unravelling/tree-model argument), so no global counting is
+/// needed — which is exactly why this semantics misses the finite-model
+/// effects: compare with SolvePsi on the same expansion.
+///
+/// For every schema, finite satisfiability implies unrestricted
+/// satisfiability (every database state is an interpretation); the
+/// converse fails, e.g. for schemas like FiniteOnlyUnsat in the tests.
+Result<UnrestrictedResult> CheckUnrestrictedSatisfiability(
+    const Expansion& expansion);
+
+}  // namespace car
+
+#endif  // CAR_REASONER_UNRESTRICTED_H_

@@ -1,0 +1,89 @@
+#include "reductions/counting_ladder.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace car {
+
+Result<CountingLadder> BuildCountingLadder(
+    const CountingLadderOptions& options) {
+  if (options.rungs < 1) {
+    return InvalidArgument("a counting ladder needs at least one rung");
+  }
+  if (options.base_count < 2) {
+    return InvalidArgument("base_count must be at least 2");
+  }
+
+  CountingLadder ladder;
+  Schema& schema = ladder.schema;
+  ClassId target = schema.InternClass("T");
+  (void)target;
+  AttributeId f = schema.InternAttribute("f");
+
+  // Rung intervals: L_k carries f : (lo_k, hi_k) T. Descending, the lower
+  // bounds rise by one and the upper bounds fall by one; with `pinch`
+  // they cross at the bottom.
+  const uint64_t width = options.pinch
+                             ? static_cast<uint64_t>(options.rungs) / 2 + 1
+                             : static_cast<uint64_t>(options.rungs) + 1;
+  uint64_t running_lo = 0;
+  uint64_t running_hi = Cardinality::kInfinity;
+
+  ClassId previous = kInvalidId;
+  for (int k = 0; k <= options.rungs; ++k) {
+    ClassId rung = schema.InternClass(StrCat("L", k));
+    ClassDefinition* definition = schema.mutable_class_definition(rung);
+    if (previous != kInvalidId) {
+      definition->isa = ClassFormula::OfClass(previous);
+    }
+    uint64_t lo = options.base_count + static_cast<uint64_t>(k);
+    uint64_t hi = options.base_count + width +
+                  (options.pinch ? 0u : static_cast<uint64_t>(k));
+    AttributeSpec spec;
+    spec.term = AttributeTerm::Direct(f);
+    spec.cardinality = Cardinality(lo, std::max(lo, hi));
+    spec.range = ClassFormula::OfClass(schema.InternClass("T"));
+    definition->attributes.push_back(std::move(spec));
+    running_lo = std::max(running_lo, lo);
+    running_hi = std::min(running_hi, std::max(lo, hi));
+    previous = rung;
+
+    if (k == options.rungs) {
+      ladder.bottom_class = StrCat("L", k);
+      ladder.bottom_satisfiable = running_lo <= running_hi;
+    }
+  }
+
+  // Probe classes: P_k isa L_k ∧ M_k, where M_k pins f to exactly
+  // base_count - 1 links — always below every rung's lower bound, so
+  // every probe is unsatisfiable although the schema is negation- and
+  // union-free: the disjointness of M_k and L_k is expressed purely by
+  // counting.
+  for (int k = 1; k <= options.rungs; ++k) {
+    ClassId m = schema.InternClass(StrCat("M", k));
+    ClassDefinition* m_definition = schema.mutable_class_definition(m);
+    AttributeSpec m_spec;
+    m_spec.term = AttributeTerm::Direct(f);
+    m_spec.cardinality = Cardinality::Exactly(options.base_count - 1);
+    m_spec.range = ClassFormula::OfClass(schema.InternClass("T"));
+    m_definition->attributes.push_back(std::move(m_spec));
+
+    ClassId probe = schema.InternClass(StrCat("P", k));
+    ClassDefinition* p_definition = schema.mutable_class_definition(probe);
+    p_definition->isa = ClassFormula::OfClass(schema.LookupClass(
+        StrCat("L", k)));
+    p_definition->isa.AndWith(ClassFormula::OfClass(m));
+    ladder.probe_classes.push_back(StrCat("P", k));
+    ladder.probe_satisfiable.push_back(false);
+  }
+
+  CAR_RETURN_IF_ERROR(schema.Validate());
+
+  // Sanity: the generated schema really is in Theorem 4.2's fragment.
+  CAR_CHECK(schema.IsUnionFree());
+  CAR_CHECK(schema.IsNegationFree());
+  return ladder;
+}
+
+}  // namespace car

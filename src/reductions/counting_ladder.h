@@ -1,0 +1,54 @@
+#ifndef CAR_REDUCTIONS_COUNTING_LADDER_H_
+#define CAR_REDUCTIONS_COUNTING_LADDER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// A workload in the union-free, negation-free fragment of Theorem 4.2:
+/// the hardness of that fragment comes from the ability of cardinality
+/// constraints to express disjointness and to interact along isa chains.
+///
+/// The ladder has classes L_0 ⊇ L_1 ⊇ ... ⊇ L_n (L_k isa L_{k-1}), where
+/// each rung refines the cardinality interval of a shared attribute
+/// `f : (lo_k, hi_k) T`. The bottom class L_n is satisfiable iff the
+/// intersection of all intervals is nonempty — the generator computes
+/// that ground truth analytically. A second family of "probe" classes
+/// P_k isa L_k ∧ M_k additionally intersects each rung with a class M_k
+/// whose own interval may or may not conflict, expressing disjointness
+/// purely through counting (no ¬, no ∨ anywhere).
+struct CountingLadder {
+  Schema schema;
+  /// Name of the bottom ladder class (L_n).
+  std::string bottom_class;
+  /// Names of the probe classes P_1..P_n.
+  std::vector<std::string> probe_classes;
+  /// Ground truth computed from the interval arithmetic.
+  bool bottom_satisfiable = false;
+  std::vector<bool> probe_satisfiable;
+};
+
+struct CountingLadderOptions {
+  /// Number of rungs (n >= 1).
+  int rungs = 4;
+  /// Interval half-width per rung; the generator narrows intervals as it
+  /// descends, optionally to emptiness.
+  uint64_t base_count = 8;
+  /// If true, the rung intervals are chosen to pinch to emptiness at the
+  /// bottom (bottom_satisfiable = false); otherwise they stay compatible.
+  bool pinch = false;
+};
+
+/// Builds the ladder; the result's ground-truth flags are exact, so the
+/// reasoner's answers can be checked against them (and benchmarks can
+/// sweep `rungs`).
+Result<CountingLadder> BuildCountingLadder(
+    const CountingLadderOptions& options = {});
+
+}  // namespace car
+
+#endif  // CAR_REDUCTIONS_COUNTING_LADDER_H_

@@ -1,0 +1,73 @@
+#include "reductions/sat_reduction.h"
+
+#include "base/strings.h"
+
+namespace car {
+
+bool CnfFormula::IsSatisfiedBy(const std::vector<bool>& assignment) const {
+  for (const auto& clause : clauses) {
+    bool satisfied = false;
+    for (const auto& [variable, negated] : clause) {
+      if (assignment[variable] != negated) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+Result<bool> CnfFormula::BruteForceSatisfiable() const {
+  if (num_variables > 24) {
+    return ResourceExhausted(
+        StrCat("brute force over ", num_variables, " variables"));
+  }
+  std::vector<bool> assignment(num_variables);
+  for (uint64_t mask = 0; mask < (1ull << num_variables); ++mask) {
+    for (int v = 0; v < num_variables; ++v) {
+      assignment[v] = (mask >> v) & 1;
+    }
+    if (IsSatisfiedBy(assignment)) return true;
+  }
+  return false;
+}
+
+Result<SatEncoding> EncodeSatAsSchema(const CnfFormula& formula) {
+  for (const auto& clause : formula.clauses) {
+    if (clause.empty()) {
+      return InvalidArgument(
+          "empty CNF clause (trivially unsatisfiable input)");
+    }
+    for (const auto& [variable, negated] : clause) {
+      (void)negated;
+      if (variable < 0 || variable >= formula.num_variables) {
+        return InvalidArgument(StrCat("literal variable ", variable,
+                                      " out of range"));
+      }
+    }
+  }
+
+  SatEncoding encoding;
+  Schema& schema = encoding.schema;
+  std::vector<ClassId> variable_class(formula.num_variables);
+  for (int v = 0; v < formula.num_variables; ++v) {
+    variable_class[v] = schema.InternClass(StrCat("X", v));
+  }
+  encoding.query_class = "Query";
+  ClassId query = schema.InternClass(encoding.query_class);
+  ClassDefinition* definition = schema.mutable_class_definition(query);
+  for (const auto& clause : formula.clauses) {
+    ClassClause class_clause;
+    for (const auto& [variable, negated] : clause) {
+      ClassId id = variable_class[variable];
+      class_clause.AddLiteral(negated ? ClassLiteral::Negative(id)
+                                      : ClassLiteral::Positive(id));
+    }
+    definition->isa.AddClause(std::move(class_clause));
+  }
+  CAR_RETURN_IF_ERROR(schema.Validate());
+  return encoding;
+}
+
+}  // namespace car

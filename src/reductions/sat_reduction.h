@@ -1,0 +1,47 @@
+#ifndef CAR_REDUCTIONS_SAT_REDUCTION_H_
+#define CAR_REDUCTIONS_SAT_REDUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// A propositional CNF formula: variables are 0-based; a literal is
+/// (variable, negated); a clause is a disjunction of literals.
+struct CnfFormula {
+  int num_variables = 0;
+  std::vector<std::vector<std::pair<int, bool>>> clauses;
+
+  /// Evaluates under `assignment` (one bool per variable).
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const;
+  /// Exhaustive satisfiability test (testing oracle; num_variables <= 24).
+  Result<bool> BruteForceSatisfiable() const;
+};
+
+/// The result of encoding a CNF formula as a CAR schema.
+struct SatEncoding {
+  Schema schema;
+  /// The class that is satisfiable iff the formula is.
+  std::string query_class;
+};
+
+/// Encodes CNF satisfiability as CAR class satisfiability: one class X_i
+/// per variable and a query class whose isa part is the formula itself
+/// (clauses become class-clauses, literals become class-literals). A
+/// compound class containing the query class is exactly a satisfying
+/// truth assignment, so the query class is satisfiable iff the formula
+/// is.
+///
+/// This witnesses the boolean-reasoning hardness inside CAR's phase (1)
+/// (the paper's Theorem 4.1 builds on the same expressive power; its
+/// Theorem 4.2 shows hardness survives even *without* union and negation
+/// via cardinality interactions — see counting_ladder.h for that
+/// fragment's workload).
+Result<SatEncoding> EncodeSatAsSchema(const CnfFormula& formula);
+
+}  // namespace car
+
+#endif  // CAR_REDUCTIONS_SAT_REDUCTION_H_

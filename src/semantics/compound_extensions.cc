@@ -1,0 +1,171 @@
+#include "semantics/compound_extensions.h"
+
+#include <optional>
+
+#include "base/strings.h"
+
+namespace car {
+
+CompoundClass CompoundClassOfObject(const Interpretation& interpretation,
+                                    ObjectId object) {
+  std::vector<ClassId> members;
+  const Schema& schema = interpretation.schema();
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    if (interpretation.InClass(c, object)) members.push_back(c);
+  }
+  return CompoundClass(std::move(members));
+}
+
+std::map<std::vector<ClassId>, std::vector<ObjectId>> CompoundExtensions(
+    const Interpretation& interpretation) {
+  std::map<std::vector<ClassId>, std::vector<ObjectId>> extensions;
+  for (ObjectId object = 0; object < interpretation.universe_size();
+       ++object) {
+    extensions[CompoundClassOfObject(interpretation, object).members()]
+        .push_back(object);
+  }
+  return extensions;
+}
+
+namespace {
+
+/// Merged cardinality (umax, vmin) for one attribute term over a compound
+/// class, per Definition 3.1; nullopt when no member constrains the term.
+std::optional<Cardinality> MergedAttributeCardinality(
+    const Schema& schema, const CompoundClass& compound,
+    const AttributeTerm& term) {
+  std::optional<Cardinality> merged;
+  for (ClassId member : compound.members()) {
+    for (const AttributeSpec& spec :
+         schema.class_definition(member).attributes) {
+      if (!(spec.term == term)) continue;
+      merged = merged.has_value()
+                   ? Cardinality::IntersectUnchecked(*merged,
+                                                     spec.cardinality)
+                   : spec.cardinality;
+    }
+  }
+  return merged;
+}
+
+std::optional<Cardinality> MergedParticipationCardinality(
+    const Schema& schema, const CompoundClass& compound, RelationId relation,
+    RoleId role) {
+  std::optional<Cardinality> merged;
+  for (ClassId member : compound.members()) {
+    for (const ParticipationSpec& spec :
+         schema.class_definition(member).participations) {
+      if (spec.relation != relation || spec.role != role) continue;
+      merged = merged.has_value()
+                   ? Cardinality::IntersectUnchecked(*merged,
+                                                     spec.cardinality)
+                   : spec.cardinality;
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+Lemma32Result CheckLemma32(const Expansion& expansion,
+                           const Interpretation& interpretation) {
+  const Schema& schema = *expansion.schema;
+  Lemma32Result result;
+
+  // Per-object compound classes, and condition (A) for objects.
+  std::vector<CompoundClass> compound_of;
+  compound_of.reserve(interpretation.universe_size());
+  for (ObjectId object = 0; object < interpretation.universe_size();
+       ++object) {
+    compound_of.push_back(CompoundClassOfObject(interpretation, object));
+    if (!compound_of.back().IsConsistent(schema)) {
+      result.violated_condition = 'A';
+      result.detail = StrCat("object ", object,
+                             " realizes the inconsistent compound class ",
+                             compound_of.back().ToString(schema));
+      return result;
+    }
+  }
+
+  // Condition (A) for attribute pairs and tuples.
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    for (const auto& [from, to] : interpretation.AttributeExtension(a)) {
+      if (!IsConsistentCompoundAttribute(schema, a, compound_of[from],
+                                         compound_of[to])) {
+        result.violated_condition = 'A';
+        result.detail =
+            StrCat("pair (", from, ", ", to, ") of attribute ",
+                   schema.AttributeName(a),
+                   " falls in an inconsistent compound attribute");
+        return result;
+      }
+    }
+  }
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const RelationDefinition* definition = schema.relation_definition(r);
+    if (definition == nullptr) continue;
+    for (const LabeledTuple& tuple : interpretation.RelationExtension(r)) {
+      std::vector<const CompoundClass*> views;
+      for (ObjectId component : tuple) {
+        views.push_back(&compound_of[component]);
+      }
+      if (!IsConsistentCompoundRelation(schema, *definition, views)) {
+        result.violated_condition = 'A';
+        result.detail = StrCat("a tuple of ", schema.RelationName(r),
+                               " falls in an inconsistent compound relation");
+        return result;
+      }
+    }
+  }
+
+  // Conditions (B) and (C): merged cardinalities per object.
+  for (ObjectId object = 0; object < interpretation.universe_size();
+       ++object) {
+    const CompoundClass& compound = compound_of[object];
+    for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+      for (bool inverse : {false, true}) {
+        AttributeTerm term = inverse ? AttributeTerm::Inverse(a)
+                                     : AttributeTerm::Direct(a);
+        std::optional<Cardinality> merged =
+            MergedAttributeCardinality(schema, compound, term);
+        if (!merged.has_value()) continue;
+        size_t degree = inverse
+                            ? interpretation.AttributeInDegree(a, object)
+                            : interpretation.AttributeOutDegree(a, object);
+        if (!merged->Contains(degree)) {
+          result.violated_condition = 'B';
+          result.detail =
+              StrCat("object ", object, " has ", degree, " links for ",
+                     inverse ? "inv " : "", schema.AttributeName(a),
+                     ", outside ", merged->ToString());
+          return result;
+        }
+      }
+    }
+    for (RelationId r = 0; r < schema.num_relations(); ++r) {
+      const RelationDefinition* definition = schema.relation_definition(r);
+      if (definition == nullptr) continue;
+      for (size_t k = 0; k < definition->roles.size(); ++k) {
+        std::optional<Cardinality> merged = MergedParticipationCardinality(
+            schema, compound, r, definition->roles[k]);
+        if (!merged.has_value()) continue;
+        size_t count = interpretation.ParticipationCount(
+            r, static_cast<int>(k), object);
+        if (!merged->Contains(count)) {
+          result.violated_condition = 'C';
+          result.detail = StrCat(
+              "object ", object, " participates ", count, " times in ",
+              schema.RelationName(r), "[",
+              schema.RoleName(definition->roles[k]), "], outside ",
+              merged->ToString());
+          return result;
+        }
+      }
+    }
+  }
+
+  result.holds = true;
+  return result;
+}
+
+}  // namespace car

@@ -1,0 +1,52 @@
+#ifndef CAR_SEMANTICS_COMPOUND_EXTENSIONS_H_
+#define CAR_SEMANTICS_COMPOUND_EXTENSIONS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expansion/expansion.h"
+#include "semantics/interpretation.h"
+
+namespace car {
+
+/// The compound class of an object in an interpretation: the set of
+/// classes it belongs to (Section 3.1 — every object realizes exactly one
+/// compound class, which is why compound extensions partition the
+/// universe).
+CompoundClass CompoundClassOfObject(const Interpretation& interpretation,
+                                    ObjectId object);
+
+/// Extensions of all compound classes occurring in the interpretation:
+/// maps each occurring member set to its objects. Compound classes with
+/// empty extension do not appear.
+std::map<std::vector<ClassId>, std::vector<ObjectId>> CompoundExtensions(
+    const Interpretation& interpretation);
+
+/// Lemma 3.2 verdict for an interpretation against an expansion.
+struct Lemma32Result {
+  bool holds = false;
+  /// First violated condition ('A', 'B' or 'C'), '-' if none.
+  char violated_condition = '-';
+  std::string detail;
+};
+
+/// Checks the three conditions of Lemma 3.2 directly:
+///  (A) inconsistent compound classes (and compound attributes/relations)
+///      have empty extensions — equivalently, every object's compound
+///      class is consistent, every attribute pair's endpoint compounds
+///      form a consistent compound attribute, and every tuple a
+///      consistent compound relation;
+///  (B) for every Natt entry C̄ ⇒ att : (u, v) and every object of C̄,
+///      its att-degree lies in [u, v];
+///  (C) for every Nrel entry C̄ ⇒ R[U_k] : (x, y) and every object of C̄,
+///      its participation count at U_k lies in [x, y].
+/// By the lemma these conditions hold exactly for the models of the
+/// schema, which the tests cross-check against the independent
+/// model checker.
+Lemma32Result CheckLemma32(const Expansion& expansion,
+                           const Interpretation& interpretation);
+
+}  // namespace car
+
+#endif  // CAR_SEMANTICS_COMPOUND_EXTENSIONS_H_

@@ -1,0 +1,60 @@
+#include "semantics/dump.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace car {
+
+namespace {
+
+template <typename Container, typename Formatter>
+void DumpExtension(std::ostringstream* os, const std::string& header,
+                   const Container& extension, const DumpOptions& options,
+                   Formatter format) {
+  if (extension.empty() && !options.include_empty) return;
+  *os << header << " = {";
+  size_t shown = 0;
+  for (const auto& fact : extension) {
+    if (options.max_facts_per_extension != 0 &&
+        shown >= options.max_facts_per_extension) {
+      *os << ", ... (" << extension.size() - shown << " more)";
+      break;
+    }
+    if (shown != 0) *os << ", ";
+    *os << format(fact);
+    ++shown;
+  }
+  *os << "}\n";
+}
+
+}  // namespace
+
+std::string DumpInterpretation(const Interpretation& interpretation,
+                               const DumpOptions& options) {
+  const Schema& schema = interpretation.schema();
+  std::ostringstream os;
+  os << "universe " << interpretation.universe_size() << "\n";
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    DumpExtension(&os, StrCat("class ", schema.ClassName(c)),
+                  interpretation.ClassExtension(c), options,
+                  [](ObjectId object) { return StrCat(object); });
+  }
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    DumpExtension(&os, StrCat("attribute ", schema.AttributeName(a)),
+                  interpretation.AttributeExtension(a), options,
+                  [](const std::pair<ObjectId, ObjectId>& pair) {
+                    return StrCat("(", pair.first, ", ", pair.second, ")");
+                  });
+  }
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    DumpExtension(&os, StrCat("relation ", schema.RelationName(r)),
+                  interpretation.RelationExtension(r), options,
+                  [](const LabeledTuple& tuple) {
+                    return StrCat("<", StrJoin(tuple, ", "), ">");
+                  });
+  }
+  return os.str();
+}
+
+}  // namespace car

@@ -1,0 +1,31 @@
+#ifndef CAR_SEMANTICS_DUMP_H_
+#define CAR_SEMANTICS_DUMP_H_
+
+#include <string>
+
+#include "semantics/interpretation.h"
+
+namespace car {
+
+struct DumpOptions {
+  /// Cap on facts listed per extension (0 = unlimited).
+  size_t max_facts_per_extension = 0;
+  /// Include empty extensions.
+  bool include_empty = false;
+};
+
+/// Renders a database state as text:
+///
+///   universe 7
+///   class Person = {0, 1, 2}
+///   attribute name = {(0, 5), (1, 6)}
+///   relation Enrollment = {<3, 0>, <3, 1>}
+///
+/// Tuples follow the role order of the relation's definition. Intended
+/// for logs, goldens and the command-line tool; not a round-trip format.
+std::string DumpInterpretation(const Interpretation& interpretation,
+                               const DumpOptions& options = {});
+
+}  // namespace car
+
+#endif  // CAR_SEMANTICS_DUMP_H_

@@ -1,0 +1,53 @@
+#ifndef CAR_SEMANTICS_EVALUATOR_H_
+#define CAR_SEMANTICS_EVALUATOR_H_
+
+#include <vector>
+
+#include "semantics/interpretation.h"
+
+namespace car {
+
+/// Evaluates class-literals, class-clauses and class-formulae over an
+/// interpretation (the inductive extension rules of Section 2.3:
+/// (¬C)^I = Δ^I \ C^I, clause = union, formula = intersection).
+class Evaluator {
+ public:
+  explicit Evaluator(const Interpretation* interpretation)
+      : interpretation_(interpretation) {}
+
+  bool Satisfies(ObjectId object, const ClassLiteral& literal) const {
+    bool member = interpretation_->InClass(literal.class_id, object);
+    return literal.negated ? !member : member;
+  }
+
+  bool Satisfies(ObjectId object, const ClassClause& clause) const {
+    for (const ClassLiteral& literal : clause.literals()) {
+      if (Satisfies(object, literal)) return true;
+    }
+    return false;
+  }
+
+  bool Satisfies(ObjectId object, const ClassFormula& formula) const {
+    for (const ClassClause& clause : formula.clauses()) {
+      if (!Satisfies(object, clause)) return false;
+    }
+    return true;
+  }
+
+  /// The extension F^I of a class-formula.
+  std::vector<ObjectId> Extension(const ClassFormula& formula) const {
+    std::vector<ObjectId> members;
+    for (ObjectId object = 0; object < interpretation_->universe_size();
+         ++object) {
+      if (Satisfies(object, formula)) members.push_back(object);
+    }
+    return members;
+  }
+
+ private:
+  const Interpretation* interpretation_;
+};
+
+}  // namespace car
+
+#endif  // CAR_SEMANTICS_EVALUATOR_H_

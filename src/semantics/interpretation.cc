@@ -1,0 +1,133 @@
+#include "semantics/interpretation.h"
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace car {
+
+Interpretation::Interpretation(const Schema* schema, int universe_size)
+    : schema_(schema), universe_size_(universe_size) {
+  CAR_CHECK(schema != nullptr);
+  CAR_CHECK_GE(universe_size, 0);
+  class_extensions_.resize(schema->num_classes());
+  attribute_extensions_.resize(schema->num_attributes());
+  relation_extensions_.resize(schema->num_relations());
+}
+
+void Interpretation::AddToClass(ClassId class_id, ObjectId object) {
+  CAR_CHECK_GE(class_id, 0);
+  CAR_CHECK_LT(class_id, static_cast<int>(class_extensions_.size()));
+  CAR_CHECK_GE(object, 0);
+  CAR_CHECK_LT(object, universe_size_);
+  class_extensions_[class_id].insert(object);
+}
+
+void Interpretation::AddAttributePair(AttributeId attribute, ObjectId from,
+                                      ObjectId to) {
+  CAR_CHECK_GE(attribute, 0);
+  CAR_CHECK_LT(attribute, static_cast<int>(attribute_extensions_.size()));
+  CAR_CHECK_GE(from, 0);
+  CAR_CHECK_LT(from, universe_size_);
+  CAR_CHECK_GE(to, 0);
+  CAR_CHECK_LT(to, universe_size_);
+  attribute_extensions_[attribute].emplace(from, to);
+}
+
+Status Interpretation::AddTuple(RelationId relation, LabeledTuple tuple) {
+  if (relation < 0 ||
+      relation >= static_cast<int>(relation_extensions_.size())) {
+    return NotFound(StrCat("relation id ", relation, " out of range"));
+  }
+  const RelationDefinition* definition =
+      schema_->relation_definition(relation);
+  if (definition == nullptr) {
+    return FailedPrecondition(StrCat("relation '",
+                                     schema_->RelationName(relation),
+                                     "' has no definition"));
+  }
+  if (static_cast<int>(tuple.size()) != definition->arity()) {
+    return InvalidArgument(StrCat(
+        "tuple arity ", tuple.size(), " does not match relation '",
+        schema_->RelationName(relation), "' arity ", definition->arity()));
+  }
+  for (ObjectId object : tuple) {
+    if (object < 0 || object >= universe_size_) {
+      return InvalidArgument(
+          StrCat("tuple component ", object, " outside universe of size ",
+                 universe_size_));
+    }
+  }
+  relation_extensions_[relation].insert(std::move(tuple));
+  return Status::Ok();
+}
+
+bool Interpretation::InClass(ClassId class_id, ObjectId object) const {
+  CAR_CHECK_GE(class_id, 0);
+  CAR_CHECK_LT(class_id, static_cast<int>(class_extensions_.size()));
+  return class_extensions_[class_id].count(object) > 0;
+}
+
+const std::set<ObjectId>& Interpretation::ClassExtension(
+    ClassId class_id) const {
+  CAR_CHECK_GE(class_id, 0);
+  CAR_CHECK_LT(class_id, static_cast<int>(class_extensions_.size()));
+  return class_extensions_[class_id];
+}
+
+const std::set<std::pair<ObjectId, ObjectId>>&
+Interpretation::AttributeExtension(AttributeId attribute) const {
+  CAR_CHECK_GE(attribute, 0);
+  CAR_CHECK_LT(attribute, static_cast<int>(attribute_extensions_.size()));
+  return attribute_extensions_[attribute];
+}
+
+const std::set<LabeledTuple>& Interpretation::RelationExtension(
+    RelationId relation) const {
+  CAR_CHECK_GE(relation, 0);
+  CAR_CHECK_LT(relation, static_cast<int>(relation_extensions_.size()));
+  return relation_extensions_[relation];
+}
+
+size_t Interpretation::AttributeOutDegree(AttributeId attribute,
+                                          ObjectId object) const {
+  size_t count = 0;
+  for (const auto& [from, to] : AttributeExtension(attribute)) {
+    (void)to;
+    if (from == object) ++count;
+  }
+  return count;
+}
+
+size_t Interpretation::AttributeInDegree(AttributeId attribute,
+                                         ObjectId object) const {
+  size_t count = 0;
+  for (const auto& [from, to] : AttributeExtension(attribute)) {
+    (void)from;
+    if (to == object) ++count;
+  }
+  return count;
+}
+
+size_t Interpretation::ParticipationCount(RelationId relation, int role_index,
+                                          ObjectId object) const {
+  size_t count = 0;
+  for (const LabeledTuple& tuple : RelationExtension(relation)) {
+    CAR_CHECK_LT(static_cast<size_t>(role_index), tuple.size());
+    if (tuple[role_index] == object) ++count;
+  }
+  return count;
+}
+
+size_t Interpretation::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& extension : class_extensions_) total += extension.size();
+  for (const auto& extension : attribute_extensions_) {
+    total += extension.size();
+  }
+  for (const auto& extension : relation_extensions_) {
+    total += extension.size();
+  }
+  return total;
+}
+
+}  // namespace car

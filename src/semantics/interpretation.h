@@ -1,0 +1,74 @@
+#ifndef CAR_SEMANTICS_INTERPRETATION_H_
+#define CAR_SEMANTICS_INTERPRETATION_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// Objects of a database state are dense integer ids 0..universe_size-1.
+using ObjectId = int;
+
+/// A labeled tuple, stored as one object per role in the role order of the
+/// owning relation's definition (the paper's ⟨U1: c1, ..., UK: cK⟩).
+using LabeledTuple = std::vector<ObjectId>;
+
+/// A finite interpretation I = (Δ^I, ·^I) of a CAR schema: a database
+/// state (paper, Section 2.3). The universe is {0, ..., universe_size-1}
+/// and must be nonempty for the interpretation to be a model of anything.
+///
+/// The interpretation is bound to a schema at construction; insertions
+/// validate ids and tuple arities against it. Extensions have set
+/// semantics: inserting a pair or tuple twice is a no-op.
+class Interpretation {
+ public:
+  Interpretation(const Schema* schema, int universe_size);
+
+  const Schema& schema() const { return *schema_; }
+  int universe_size() const { return universe_size_; }
+
+  // --- Population --------------------------------------------------------
+
+  void AddToClass(ClassId class_id, ObjectId object);
+  /// Adds the pair (from, to) to the attribute's extension.
+  void AddAttributePair(AttributeId attribute, ObjectId from, ObjectId to);
+  /// Adds a labeled tuple; `tuple` must match the relation's arity and its
+  /// components follow the role order of the relation definition.
+  Status AddTuple(RelationId relation, LabeledTuple tuple);
+
+  // --- Extensions ---------------------------------------------------------
+
+  bool InClass(ClassId class_id, ObjectId object) const;
+  const std::set<ObjectId>& ClassExtension(ClassId class_id) const;
+  const std::set<std::pair<ObjectId, ObjectId>>& AttributeExtension(
+      AttributeId attribute) const;
+  const std::set<LabeledTuple>& RelationExtension(RelationId relation) const;
+
+  /// Number of attribute pairs with the given first component.
+  size_t AttributeOutDegree(AttributeId attribute, ObjectId object) const;
+  /// Number of attribute pairs with the given second component.
+  size_t AttributeInDegree(AttributeId attribute, ObjectId object) const;
+  /// Number of tuples of `relation` whose component at `role_index` is
+  /// `object`.
+  size_t ParticipationCount(RelationId relation, int role_index,
+                            ObjectId object) const;
+
+  /// Total number of class memberships, attribute pairs and tuples; a
+  /// rough size measure used in reports.
+  size_t TotalFacts() const;
+
+ private:
+  const Schema* schema_;
+  int universe_size_;
+  std::vector<std::set<ObjectId>> class_extensions_;
+  std::vector<std::set<std::pair<ObjectId, ObjectId>>> attribute_extensions_;
+  std::vector<std::set<LabeledTuple>> relation_extensions_;
+};
+
+}  // namespace car
+
+#endif  // CAR_SEMANTICS_INTERPRETATION_H_

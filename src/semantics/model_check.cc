@@ -1,0 +1,156 @@
+#include "semantics/model_check.h"
+
+#include "base/strings.h"
+#include "semantics/evaluator.h"
+
+namespace car {
+
+namespace {
+
+/// Accumulates violations up to the configured cap.
+class ViolationSink {
+ public:
+  explicit ViolationSink(const ModelCheckOptions& options)
+      : options_(options) {}
+
+  void Add(std::string description) {
+    ++count_;
+    if (options_.max_violations == 0 ||
+        violations_.size() < options_.max_violations) {
+      violations_.push_back(std::move(description));
+    }
+  }
+
+  bool any() const { return count_ > 0; }
+  std::vector<std::string> Take() { return std::move(violations_); }
+
+ private:
+  const ModelCheckOptions& options_;
+  size_t count_ = 0;
+  std::vector<std::string> violations_;
+};
+
+/// The objects an attribute term relates `object` to: A-successors for a
+/// direct term, A-predecessors for (inv A).
+std::vector<ObjectId> TermSuccessors(const Interpretation& interpretation,
+                                     const AttributeTerm& term,
+                                     ObjectId object) {
+  std::vector<ObjectId> successors;
+  for (const auto& [from, to] :
+       interpretation.AttributeExtension(term.attribute)) {
+    if (!term.inverse && from == object) successors.push_back(to);
+    if (term.inverse && to == object) successors.push_back(from);
+  }
+  return successors;
+}
+
+std::string TermName(const Schema& schema, const AttributeTerm& term) {
+  return term.inverse
+             ? StrCat("(inv ", schema.AttributeName(term.attribute), ")")
+             : schema.AttributeName(term.attribute);
+}
+
+}  // namespace
+
+ModelCheckResult CheckModel(const Schema& schema,
+                            const Interpretation& interpretation,
+                            const ModelCheckOptions& options) {
+  ViolationSink sink(options);
+  Evaluator evaluator(&interpretation);
+
+  if (options.require_nonempty_universe &&
+      interpretation.universe_size() == 0) {
+    sink.Add("universe is empty (interpretations have nonempty universes)");
+  }
+
+  for (ClassId class_id = 0; class_id < schema.num_classes(); ++class_id) {
+    const ClassDefinition& definition = schema.class_definition(class_id);
+    const std::string& class_name = schema.ClassName(class_id);
+
+    for (ObjectId object : interpretation.ClassExtension(class_id)) {
+      // isa: C^I ⊆ F^I.
+      if (!evaluator.Satisfies(object, definition.isa)) {
+        sink.Add(StrCat("object ", object, " is in ", class_name,
+                        " but violates its isa formula"));
+      }
+
+      // Attribute typing and cardinality.
+      for (const AttributeSpec& spec : definition.attributes) {
+        std::vector<ObjectId> successors =
+            TermSuccessors(interpretation, spec.term, object);
+        for (ObjectId successor : successors) {
+          if (!evaluator.Satisfies(successor, spec.range)) {
+            sink.Add(StrCat("object ", object, " in ", class_name, " has ",
+                            TermName(schema, spec.term), "-successor ",
+                            successor, " outside the declared range"));
+          }
+        }
+        if (!spec.cardinality.Contains(successors.size())) {
+          sink.Add(StrCat("object ", object, " in ", class_name, " has ",
+                          successors.size(), " ",
+                          TermName(schema, spec.term),
+                          "-successors, outside ",
+                          spec.cardinality.ToString()));
+        }
+      }
+
+      // Participation cardinality.
+      for (const ParticipationSpec& spec : definition.participations) {
+        const RelationDefinition* relation =
+            schema.relation_definition(spec.relation);
+        if (relation == nullptr) continue;  // Caught by Schema::Validate().
+        int role_index = relation->RoleIndex(spec.role);
+        if (role_index < 0) continue;
+        size_t count = interpretation.ParticipationCount(spec.relation,
+                                                         role_index, object);
+        if (!spec.cardinality.Contains(count)) {
+          sink.Add(StrCat("object ", object, " in ", class_name,
+                          " participates in ",
+                          schema.RelationName(spec.relation), "[",
+                          schema.RoleName(spec.role), "] ", count,
+                          " times, outside ", spec.cardinality.ToString()));
+        }
+      }
+    }
+  }
+
+  // Role-clause constraints: every tuple satisfies every role-clause.
+  for (RelationId relation_id = 0; relation_id < schema.num_relations();
+       ++relation_id) {
+    const RelationDefinition* definition =
+        schema.relation_definition(relation_id);
+    if (definition == nullptr) continue;
+    for (const LabeledTuple& tuple :
+         interpretation.RelationExtension(relation_id)) {
+      for (const RoleClause& clause : definition->constraints) {
+        bool satisfied = false;
+        for (const RoleLiteral& literal : clause.literals) {
+          int role_index = definition->RoleIndex(literal.role);
+          if (role_index < 0) continue;
+          if (evaluator.Satisfies(tuple[role_index], literal.formula)) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (!satisfied) {
+          sink.Add(StrCat("a tuple of relation ",
+                          schema.RelationName(relation_id),
+                          " violates a role-clause"));
+        }
+      }
+    }
+  }
+
+  ModelCheckResult result;
+  result.is_model = !sink.any();
+  result.violations = sink.Take();
+  return result;
+}
+
+bool IsModel(const Schema& schema, const Interpretation& interpretation) {
+  ModelCheckOptions options;
+  options.max_violations = 1;
+  return CheckModel(schema, interpretation, options).is_model;
+}
+
+}  // namespace car

@@ -1,0 +1,40 @@
+#ifndef CAR_SEMANTICS_MODEL_CHECK_H_
+#define CAR_SEMANTICS_MODEL_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "semantics/interpretation.h"
+
+namespace car {
+
+/// Result of checking whether an interpretation is a model of a schema.
+struct ModelCheckResult {
+  bool is_model = false;
+  /// Human-readable descriptions of the violated conditions (up to the
+  /// configured cap); empty iff is_model.
+  std::vector<std::string> violations;
+};
+
+struct ModelCheckOptions {
+  /// Stop collecting after this many violations (checking continues to the
+  /// first violation regardless; 0 means collect all).
+  size_t max_violations = 16;
+  /// The paper requires a nonempty universe for an interpretation; when
+  /// checking intermediate artifacts it can be useful to allow emptiness.
+  bool require_nonempty_universe = true;
+};
+
+/// Checks every satisfaction condition of Section 2.3: isa inclusion,
+/// attribute typing and cardinalities (direct and inverse), participation
+/// cardinalities, and role-clause constraints on relation tuples.
+ModelCheckResult CheckModel(const Schema& schema,
+                            const Interpretation& interpretation,
+                            const ModelCheckOptions& options = {});
+
+/// Convenience: true iff `interpretation` is a model of `schema`.
+bool IsModel(const Schema& schema, const Interpretation& interpretation);
+
+}  // namespace car
+
+#endif  // CAR_SEMANTICS_MODEL_CHECK_H_

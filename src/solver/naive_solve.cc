@@ -1,0 +1,97 @@
+#include "solver/naive_solve.h"
+
+#include "base/strings.h"
+#include "math/simplex.h"
+#include "solver/psi.h"
+
+namespace car {
+
+Result<NaivePsiResult> SolvePsiNaive(const Expansion& expansion,
+                                     const NaiveSolverOptions& options) {
+  const Schema& schema = *expansion.schema;
+  NaivePsiResult result;
+  result.class_satisfiable.assign(schema.num_classes(), false);
+
+  // Constrained compound classes (the ones whose support must be
+  // guessed); unconstrained ones are unconditionally populable and make
+  // their member classes satisfiable outright.
+  std::vector<bool> constrained(expansion.compound_classes.size(), false);
+  for (const auto& [key, cardinality] : expansion.natt) {
+    (void)cardinality;
+    constrained[key.second] = true;
+  }
+  for (const auto& [key, cardinality] : expansion.nrel) {
+    (void)cardinality;
+    constrained[std::get<2>(key)] = true;
+  }
+  std::vector<int> guessable;
+  for (size_t i = 0; i < constrained.size(); ++i) {
+    if (constrained[i]) {
+      guessable.push_back(static_cast<int>(i));
+    } else {
+      for (ClassId member : expansion.compound_classes[i].members()) {
+        result.class_satisfiable[member] = true;
+      }
+    }
+  }
+  if (static_cast<int>(guessable.size()) >
+      options.max_constrained_compound_classes) {
+    return ResourceExhausted(
+        StrCat("naive support enumeration over ", guessable.size(),
+               " constrained compound classes (2^n LP solves)"));
+  }
+
+  SimplexSolver simplex;
+  const uint64_t num_subsets = 1ull << guessable.size();
+  for (uint64_t mask = 1; mask < num_subsets; ++mask) {
+    ++result.supports_tried;
+    std::vector<bool> cc_active(expansion.compound_classes.size(), false);
+    for (size_t i = 0; i < constrained.size(); ++i) {
+      if (!constrained[i]) cc_active[i] = true;
+    }
+    for (size_t bit = 0; bit < guessable.size(); ++bit) {
+      if (mask & (1ull << bit)) cc_active[guessable[bit]] = true;
+    }
+
+    // Acceptability by construction: drop counted pairs/tuples with any
+    // endpoint outside the guessed support.
+    std::vector<bool> ca_active(expansion.compound_attributes.size(), true);
+    for (size_t i = 0; i < ca_active.size(); ++i) {
+      const CompoundAttribute& ca = expansion.compound_attributes[i];
+      ca_active[i] = cc_active[ca.from] && cc_active[ca.to];
+    }
+    std::vector<bool> cr_active(expansion.compound_relations.size(), true);
+    for (size_t i = 0; i < cr_active.size(); ++i) {
+      for (int component : expansion.compound_relations[i].components) {
+        if (!cc_active[component]) {
+          cr_active[i] = false;
+          break;
+        }
+      }
+    }
+
+    PsiSystem psi =
+        BuildPsiSystem(expansion, cc_active, ca_active, cr_active);
+    for (size_t bit = 0; bit < guessable.size(); ++bit) {
+      if (!(mask & (1ull << bit))) continue;
+      LinearConstraint populated;
+      populated.expr.Add(psi.cc_var[guessable[bit]], Rational(1));
+      populated.relation = Relation::kGreaterEqual;
+      populated.rhs = Rational(1);
+      psi.system.AddConstraint(std::move(populated));
+    }
+    CAR_ASSIGN_OR_RETURN(LpResult lp, simplex.CheckFeasible(psi.system));
+    ++result.lp_solves;
+    if (lp.outcome != LpOutcome::kOptimal) continue;
+    for (size_t bit = 0; bit < guessable.size(); ++bit) {
+      if (!(mask & (1ull << bit))) continue;
+      for (ClassId member :
+           expansion.compound_classes[guessable[bit]].members()) {
+        result.class_satisfiable[member] = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace car

@@ -1,0 +1,45 @@
+#ifndef CAR_SOLVER_NAIVE_SOLVE_H_
+#define CAR_SOLVER_NAIVE_SOLVE_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "expansion/expansion.h"
+
+namespace car {
+
+/// Result of the naive (baseline) acceptability procedure.
+struct NaivePsiResult {
+  std::vector<bool> class_satisfiable;
+  /// Supports tried and LPs solved (the exponential cost driver).
+  size_t supports_tried = 0;
+  size_t lp_solves = 0;
+};
+
+struct NaiveSolverOptions {
+  /// The subset enumeration is 2^(#constrained compound classes); refuse
+  /// beyond this many constrained compound classes.
+  int max_constrained_compound_classes = 20;
+};
+
+/// The baseline the paper improves on: [CL94]'s treatment of
+/// acceptability guesses the support explicitly. For every subset Z of
+/// the constrained compound classes, build Ψ_S restricted to Z (compound
+/// attributes/relations with endpoints outside Z removed — acceptability
+/// by construction), require Var(C̄) >= 1 for C̄ ∈ Z, and test plain LP
+/// feasibility; a class is satisfiable iff some feasible support contains
+/// a compound class containing it.
+///
+/// This is sound and complete but takes exponentially many LP solves in
+/// the number of constrained compound classes, whereas SolvePsi
+/// (solve.h) needs at most that many LP solves *in total* — the
+/// improvement over [CL94] claimed in Section 3 (single- vs
+/// double-exponential end to end). The equivalence of the two procedures
+/// is asserted by tests; the cost gap is measured by
+/// bench/bench_phase2_baseline.cc.
+Result<NaivePsiResult> SolvePsiNaive(const Expansion& expansion,
+                                     const NaiveSolverOptions& options = {});
+
+}  // namespace car
+
+#endif  // CAR_SOLVER_NAIVE_SOLVE_H_

@@ -1,0 +1,133 @@
+#include "solver/psi.h"
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace car {
+
+namespace {
+
+/// Emits u * Var(C̄) <= sum <= v * Var(C̄) as up to two constraints.
+void EmitBoundPair(int cc_variable, const LinearExpr& sum,
+                   const Cardinality& cardinality, const std::string& label,
+                   PsiSystem* psi) {
+  if (cardinality.min() > 0) {
+    LinearConstraint lower;
+    lower.expr = sum;
+    lower.expr.Add(cc_variable,
+                   Rational(-static_cast<int64_t>(cardinality.min())));
+    lower.relation = Relation::kGreaterEqual;
+    lower.rhs = Rational(0);
+    lower.label = StrCat(label, " min ", cardinality.min());
+    psi->system.AddConstraint(std::move(lower));
+    ++psi->num_disequations;
+  }
+  if (cardinality.has_finite_max()) {
+    LinearConstraint upper;
+    upper.expr = sum;
+    upper.expr.Add(cc_variable,
+                   Rational(-static_cast<int64_t>(cardinality.max())));
+    upper.relation = Relation::kLessEqual;
+    upper.rhs = Rational(0);
+    upper.label = StrCat(label, " max ", cardinality.max());
+    psi->system.AddConstraint(std::move(upper));
+    ++psi->num_disequations;
+  }
+}
+
+}  // namespace
+
+PsiSystem BuildPsiSystem(const Expansion& expansion,
+                         const std::vector<bool>& cc_active,
+                         const std::vector<bool>& ca_active,
+                         const std::vector<bool>& cr_active) {
+  const Schema& schema = *expansion.schema;
+  CAR_CHECK_EQ(cc_active.size(), expansion.compound_classes.size());
+  CAR_CHECK_EQ(ca_active.size(), expansion.compound_attributes.size());
+  CAR_CHECK_EQ(cr_active.size(), expansion.compound_relations.size());
+
+  PsiSystem psi;
+  psi.cc_var.assign(cc_active.size(), -1);
+  psi.ca_var.assign(ca_active.size(), -1);
+  psi.cr_var.assign(cr_active.size(), -1);
+
+  for (size_t i = 0; i < cc_active.size(); ++i) {
+    if (!cc_active[i]) continue;
+    psi.cc_var[i] = psi.system.AddVariable(
+        StrCat("cc:", expansion.compound_classes[i].ToString(schema)));
+  }
+  for (size_t i = 0; i < ca_active.size(); ++i) {
+    if (!ca_active[i]) continue;
+    const CompoundAttribute& ca = expansion.compound_attributes[i];
+    psi.ca_var[i] = psi.system.AddVariable(
+        StrCat("ca:", schema.AttributeName(ca.attribute), "<",
+               expansion.compound_classes[ca.from].ToString(schema), ",",
+               expansion.compound_classes[ca.to].ToString(schema), ">"));
+  }
+  for (size_t i = 0; i < cr_active.size(); ++i) {
+    if (!cr_active[i]) continue;
+    const CompoundRelation& cr = expansion.compound_relations[i];
+    std::vector<std::string> parts;
+    for (int component : cr.components) {
+      parts.push_back(
+          expansion.compound_classes[component].ToString(schema));
+    }
+    psi.cr_var[i] = psi.system.AddVariable(
+        StrCat("cr:", schema.RelationName(cr.relation), "<",
+               StrJoin(parts, ","), ">"));
+  }
+
+  // Natt constraints.
+  for (const auto& [key, cardinality] : expansion.natt) {
+    const auto& [term, compound_index] = key;
+    if (!cc_active[compound_index]) continue;
+    LinearExpr sum;
+    const auto& index_map =
+        term.inverse ? expansion.ca_by_to : expansion.ca_by_from;
+    auto it = index_map.find({term.attribute, compound_index});
+    if (it != index_map.end()) {
+      for (int ca_index : it->second) {
+        if (ca_active[ca_index]) {
+          sum.Add(psi.ca_var[ca_index], Rational(1));
+        }
+      }
+    }
+    std::string label =
+        StrCat(term.inverse ? "inv " : "", schema.AttributeName(term.attribute),
+               " @ ", expansion.compound_classes[compound_index]
+                          .ToString(schema));
+    EmitBoundPair(psi.cc_var[compound_index], sum, cardinality, label, &psi);
+  }
+
+  // Nrel constraints.
+  for (const auto& [key, cardinality] : expansion.nrel) {
+    const auto& [relation, role_index, compound_index] = key;
+    if (!cc_active[compound_index]) continue;
+    LinearExpr sum;
+    auto it = expansion.cr_by_role.find({relation, role_index,
+                                         compound_index});
+    if (it != expansion.cr_by_role.end()) {
+      for (int cr_index : it->second) {
+        if (cr_active[cr_index]) {
+          sum.Add(psi.cr_var[cr_index], Rational(1));
+        }
+      }
+    }
+    std::string label =
+        StrCat(schema.RelationName(relation), "[", role_index, "] @ ",
+               expansion.compound_classes[compound_index].ToString(schema));
+    EmitBoundPair(psi.cc_var[compound_index], sum, cardinality, label, &psi);
+  }
+
+  return psi;
+}
+
+PsiSystem BuildFullPsiSystem(const Expansion& expansion) {
+  return BuildPsiSystem(
+      expansion,
+      std::vector<bool>(expansion.compound_classes.size(), true),
+      std::vector<bool>(expansion.compound_attributes.size(), true),
+      std::vector<bool>(expansion.compound_relations.size(), true));
+}
+
+}  // namespace car

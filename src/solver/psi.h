@@ -1,0 +1,51 @@
+#ifndef CAR_SOLVER_PSI_H_
+#define CAR_SOLVER_PSI_H_
+
+#include <vector>
+
+#include "expansion/expansion.h"
+#include "math/linear.h"
+
+namespace car {
+
+/// The system Ψ_S of linear disequations derived from the expansion of a
+/// CAR schema (Section 3.2), restricted to an "active" subset of the
+/// unknowns (used by the acceptability fixpoint of the solver; pass
+/// all-true masks for the full system).
+///
+/// Unknowns: one per active compound class, compound attribute and
+/// compound relation. Constraints (nonnegativity is implicit in the
+/// simplex solver):
+///
+///   for C̄ ⇒ att : (u, v) in Natt:
+///       u * Var(C̄) <= S(att, C̄) <= v * Var(C̄)
+///   for C̄ ⇒ R[U_k] : (x, y) in Nrel:
+///       x * Var(C̄) <= sum of Var(R̄) with R̄[U_k] = C̄ <= y * Var(C̄)
+///
+/// where S(A, C̄) sums Var(⟨C̄, C̄2⟩_A) and S((inv A), C̄) sums
+/// Var(⟨C̄1, C̄⟩_A). Constraints whose compound class is inactive are
+/// dropped (their attribute/relation unknowns are inactive too, by the
+/// caller's deactivation rule). Infinite upper bounds yield no <=
+/// constraint; zero lower bounds yield no >= constraint.
+struct PsiSystem {
+  LinearSystem system;
+  /// Variable index per compound class / attribute / relation, or -1 when
+  /// inactive (not part of the system).
+  std::vector<int> cc_var;
+  std::vector<int> ca_var;
+  std::vector<int> cr_var;
+  /// Total number of disequations emitted (both directions counted).
+  size_t num_disequations = 0;
+};
+
+PsiSystem BuildPsiSystem(const Expansion& expansion,
+                         const std::vector<bool>& cc_active,
+                         const std::vector<bool>& ca_active,
+                         const std::vector<bool>& cr_active);
+
+/// Convenience: the full system with every unknown active.
+PsiSystem BuildFullPsiSystem(const Expansion& expansion);
+
+}  // namespace car
+
+#endif  // CAR_SOLVER_PSI_H_

@@ -1,0 +1,182 @@
+#include "solver/solve.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/strings.h"
+#include "solver/psi.h"
+
+namespace car {
+
+namespace {
+
+/// Deactivates compound attributes and relations with any inactive
+/// compound-class endpoint (the acceptability propagation). Returns true
+/// if anything changed.
+bool PropagateDeactivation(const Expansion& expansion,
+                           const std::vector<bool>& cc_active,
+                           std::vector<bool>* ca_active,
+                           std::vector<bool>* cr_active) {
+  bool changed = false;
+  for (size_t i = 0; i < expansion.compound_attributes.size(); ++i) {
+    if (!(*ca_active)[i]) continue;
+    const CompoundAttribute& ca = expansion.compound_attributes[i];
+    if (!cc_active[ca.from] || !cc_active[ca.to]) {
+      (*ca_active)[i] = false;
+      changed = true;
+    }
+  }
+  for (size_t i = 0; i < expansion.compound_relations.size(); ++i) {
+    if (!(*cr_active)[i]) continue;
+    const CompoundRelation& cr = expansion.compound_relations[i];
+    for (int component : cr.components) {
+      if (!cc_active[component]) {
+        (*cr_active)[i] = false;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+Result<PsiSolution> SolvePsi(const Expansion& expansion,
+                             const PsiSolverOptions& options) {
+  PsiSolution solution;
+  solution.cc_active.assign(expansion.compound_classes.size(), true);
+  // Compound classes that appear in no Natt/Nrel entry have unconstrained
+  // unknowns: they are always supportable and need no t-gadget (their
+  // certificate count is fixed to 1 below). This keeps the support LP at
+  // the size of the *constrained* part of the system.
+  std::vector<bool> cc_constrained(expansion.compound_classes.size(), false);
+  for (const auto& [key, cardinality] : expansion.natt) {
+    (void)cardinality;
+    cc_constrained[key.second] = true;
+  }
+  for (const auto& [key, cardinality] : expansion.nrel) {
+    (void)cardinality;
+    cc_constrained[std::get<2>(key)] = true;
+  }
+  solution.ca_active.assign(expansion.compound_attributes.size(), true);
+  solution.cr_active.assign(expansion.compound_relations.size(), true);
+
+  SimplexSolver::Options simplex_options;
+  simplex_options.max_pivots = options.max_pivots;
+  SimplexSolver simplex(simplex_options);
+
+  std::vector<Rational> final_values;
+  PsiSystem final_psi;
+
+  while (true) {
+    ++solution.fixpoint_rounds;
+    PropagateDeactivation(expansion, solution.cc_active, &solution.ca_active,
+                          &solution.cr_active);
+
+    PsiSystem psi = BuildPsiSystem(expansion, solution.cc_active,
+                                   solution.ca_active, solution.cr_active);
+
+    // Support-maximization variables: t_C̄ <= Var(C̄), t_C̄ <= 1, maximize
+    // the sum of all t. At the optimum, t_C̄ = 1 exactly on the maximal
+    // support and Var(C̄) >= 1 there.
+    LinearExpr objective;
+    std::vector<std::pair<size_t, int>> t_vars;  // (cc index, t variable).
+    for (size_t i = 0; i < solution.cc_active.size(); ++i) {
+      if (!solution.cc_active[i] || !cc_constrained[i]) continue;
+      int t = psi.system.AddVariable(StrCat("t#", i));
+      t_vars.emplace_back(i, t);
+      LinearConstraint below_var;
+      below_var.expr.Add(t, Rational(1));
+      below_var.expr.Add(psi.cc_var[i], Rational(-1));
+      below_var.relation = Relation::kLessEqual;
+      below_var.rhs = Rational(0);
+      psi.system.AddConstraint(std::move(below_var));
+      LinearConstraint below_one;
+      below_one.expr.Add(t, Rational(1));
+      below_one.relation = Relation::kLessEqual;
+      below_one.rhs = Rational(1);
+      psi.system.AddConstraint(std::move(below_one));
+      objective.Add(t, Rational(1));
+    }
+
+    solution.largest_lp_variables =
+        std::max(solution.largest_lp_variables,
+                 static_cast<size_t>(psi.system.num_variables()));
+    solution.largest_lp_constraints =
+        std::max(solution.largest_lp_constraints,
+                 psi.system.constraints().size());
+
+    CAR_ASSIGN_OR_RETURN(LpResult lp, simplex.Maximize(psi.system, objective));
+    ++solution.lp_solves;
+    solution.total_pivots += lp.pivots;
+    CAR_CHECK(lp.outcome == LpOutcome::kOptimal)
+        << "support LP must have an optimum (outcome: "
+        << LpOutcomeToString(lp.outcome) << ")";
+
+    // New support: compound classes whose unknown is strictly positive.
+    bool shrank = false;
+    for (const auto& [cc_index, t_var] : t_vars) {
+      (void)t_var;
+      const Rational& value = lp.values[psi.cc_var[cc_index]];
+      if (!value.is_positive()) {
+        solution.cc_active[cc_index] = false;
+        shrank = true;
+      }
+    }
+    if (!shrank) {
+      final_values = std::move(lp.values);
+      final_psi = std::move(psi);
+      break;
+    }
+  }
+
+  // Derive per-class satisfiability from the surviving compound classes.
+  const Schema& schema = *expansion.schema;
+  solution.class_satisfiable.assign(schema.num_classes(), false);
+  for (size_t i = 0; i < expansion.compound_classes.size(); ++i) {
+    if (!solution.cc_active[i]) continue;
+    for (ClassId member : expansion.compound_classes[i].members()) {
+      solution.class_satisfiable[member] = true;
+    }
+  }
+
+  // Integer certificate: scale the final rational solution by the least
+  // common multiple of all denominators. Ψ_S is homogeneous, so the scaled
+  // vector is still a solution, and every active Var(C̄) >= 1 stays >= 1.
+  BigInt lcm(1);
+  auto accumulate = [&lcm, &final_values](int variable) {
+    if (variable < 0) return;
+    lcm = BigInt::Lcm(lcm, final_values[variable].denominator());
+  };
+  for (int variable : final_psi.cc_var) accumulate(variable);
+  for (int variable : final_psi.ca_var) accumulate(variable);
+  for (int variable : final_psi.cr_var) accumulate(variable);
+
+  auto scaled = [&lcm, &final_values](int variable) {
+    if (variable < 0) return BigInt(0);
+    Rational value = final_values[variable] * Rational(lcm);
+    CAR_CHECK(value.is_integer());
+    return value.numerator();
+  };
+  solution.certificate.cc_count.reserve(final_psi.cc_var.size());
+  for (size_t i = 0; i < final_psi.cc_var.size(); ++i) {
+    BigInt count = scaled(final_psi.cc_var[i]);
+    // Unconstrained active compound classes carry no t-gadget; give them
+    // the population 1 they are entitled to (their unknown occurs in no
+    // disequation).
+    if (solution.cc_active[i] && !cc_constrained[i] && count.is_zero()) {
+      count = BigInt(1);
+    }
+    solution.certificate.cc_count.push_back(std::move(count));
+  }
+  for (int variable : final_psi.ca_var) {
+    solution.certificate.ca_count.push_back(scaled(variable));
+  }
+  for (int variable : final_psi.cr_var) {
+    solution.certificate.cr_count.push_back(scaled(variable));
+  }
+  return solution;
+}
+
+}  // namespace car

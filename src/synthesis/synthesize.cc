@@ -1,0 +1,279 @@
+#include "synthesis/synthesize.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "base/strings.h"
+#include "semantics/model_check.h"
+
+namespace car {
+
+namespace {
+
+constexpr int64_t kSaturated = INT64_MAX / 4;
+
+int64_t SaturatingMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSaturated / b) return kSaturated;
+  return a * b;
+}
+
+/// Distributes `total` units over `population` slots as evenly as
+/// possible, starting at cyclic position *pointer (then advances it).
+/// Every slot receives floor(total/population) or ceil(total/population).
+std::vector<int64_t> EvenQuota(int64_t total, int64_t population,
+                               int64_t* pointer) {
+  std::vector<int64_t> quota(population, total / population);
+  int64_t extra = total % population;
+  for (int64_t i = 0; i < extra; ++i) {
+    quota[(*pointer + i) % population] += 1;
+  }
+  *pointer = (*pointer + extra) % population;
+  return quota;
+}
+
+/// Gale–Ryser greedy bipartite realization: a 0/1 biadjacency with left
+/// degrees `a` and right degrees `b` (equal sums). Emits (left, right)
+/// local index pairs. Returns false iff no simple bipartite graph with
+/// these degree sequences exists.
+bool RealizeBipartite(std::vector<int64_t> a, std::vector<int64_t> b,
+                      std::vector<std::pair<int64_t, int64_t>>* pairs) {
+  std::vector<int64_t> left_order(a.size());
+  std::iota(left_order.begin(), left_order.end(), 0);
+  std::sort(left_order.begin(), left_order.end(),
+            [&a](int64_t x, int64_t y) { return a[x] > a[y]; });
+  std::vector<int64_t> right_order(b.size());
+  for (int64_t left : left_order) {
+    if (a[left] == 0) continue;
+    if (a[left] > static_cast<int64_t>(b.size())) return false;
+    std::iota(right_order.begin(), right_order.end(), 0);
+    std::sort(right_order.begin(), right_order.end(),
+              [&b](int64_t x, int64_t y) {
+                if (b[x] != b[y]) return b[x] > b[y];
+                return x < y;
+              });
+    for (int64_t i = 0; i < a[left]; ++i) {
+      int64_t right = right_order[i];
+      if (b[right] == 0) return false;
+      --b[right];
+      pairs->emplace_back(left, right);
+    }
+  }
+  return true;
+}
+
+/// Finds `m` distinct K-tuples over local populations with *exact*
+/// per-(role, object) usage quotas, by depth-first search in strictly
+/// increasing lexicographic order. Complete up to the step budget.
+class TupleSearch {
+ public:
+  TupleSearch(std::vector<std::vector<int64_t>> quotas, int64_t m,
+              uint64_t max_steps)
+      : quotas_(std::move(quotas)), m_(m), max_steps_(max_steps) {}
+
+  bool Run(std::vector<std::vector<int64_t>>* tuples) {
+    std::vector<int64_t> floor;  // Exclusive lower bound; empty = none.
+    return Extend(floor, tuples);
+  }
+
+ private:
+  /// Appends the remaining tuples, each lexicographically above `floor`.
+  bool Extend(const std::vector<int64_t>& floor,
+              std::vector<std::vector<int64_t>>* tuples) {
+    if (static_cast<int64_t>(tuples->size()) == m_) return true;
+    std::vector<int64_t> tuple(quotas_.size(), -1);
+    return ChooseComponent(0, /*tight=*/!floor.empty(), floor, &tuple,
+                           tuples);
+  }
+
+  bool ChooseComponent(size_t role, bool tight,
+                       const std::vector<int64_t>& floor,
+                       std::vector<int64_t>* tuple,
+                       std::vector<std::vector<int64_t>>* tuples) {
+    if (++steps_ > max_steps_) return false;
+    if (role == quotas_.size()) {
+      if (tight) return false;  // Equal to the previous tuple.
+      tuples->push_back(*tuple);
+      for (size_t k = 0; k < quotas_.size(); ++k) {
+        --quotas_[k][(*tuple)[k]];
+      }
+      if (Extend(*tuple, tuples)) return true;
+      for (size_t k = 0; k < quotas_.size(); ++k) {
+        ++quotas_[k][(*tuple)[k]];
+      }
+      tuples->pop_back();
+      return false;
+    }
+    int64_t start = tight ? floor[role] : 0;
+    for (int64_t candidate = start;
+         candidate < static_cast<int64_t>(quotas_[role].size());
+         ++candidate) {
+      if (quotas_[role][candidate] == 0) continue;
+      (*tuple)[role] = candidate;
+      bool still_tight = tight && candidate == floor[role];
+      if (ChooseComponent(role + 1, still_tight, floor, tuple, tuples)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<int64_t>> quotas_;
+  int64_t m_;
+  uint64_t max_steps_;
+  uint64_t steps_ = 0;
+};
+
+/// One synthesis attempt at a fixed scale. Returns the model, or nullopt
+/// when the combinatorial realization failed (caller rescales and
+/// retries), or an error for hard failures.
+Result<std::optional<Interpretation>> TryBuild(
+    const Expansion& expansion, const PsiSolution& solution, int64_t scale,
+    const SynthesisOptions& options) {
+  const Schema& schema = *expansion.schema;
+  const size_t num_cc = expansion.compound_classes.size();
+
+  // Populations.
+  std::vector<int64_t> population(num_cc, 0);
+  std::vector<int64_t> offset(num_cc, 0);
+  int64_t universe = 0;
+  for (size_t i = 0; i < num_cc; ++i) {
+    const BigInt& count = solution.certificate.cc_count[i];
+    if (!count.FitsInt64() || count.ToInt64() > options.max_universe) {
+      return ResourceExhausted("certificate population does not fit int64");
+    }
+    population[i] = count.ToInt64() * scale;
+    offset[i] = universe;
+    universe += population[i];
+    if (universe > options.max_universe) {
+      return ResourceExhausted(
+          StrCat("synthesized universe would exceed ", options.max_universe,
+                 " objects"));
+    }
+  }
+  if (universe == 0) {
+    return FailedPrecondition(
+        "the solution has empty support; the schema admits no nonempty "
+        "population at all");
+  }
+
+  Interpretation model(&schema, static_cast<int>(universe));
+  for (size_t i = 0; i < num_cc; ++i) {
+    for (int64_t j = 0; j < population[i]; ++j) {
+      for (ClassId member : expansion.compound_classes[i].members()) {
+        model.AddToClass(member, static_cast<ObjectId>(offset[i] + j));
+      }
+    }
+  }
+
+  // Attribute pairs, compound attribute by compound attribute, with
+  // running cyclic pointers keeping per-object totals near-even within
+  // each (attribute, side, compound class) group.
+  std::map<std::pair<AttributeId, int>, int64_t> from_pointer;
+  std::map<std::pair<AttributeId, int>, int64_t> to_pointer;
+  for (size_t i = 0; i < expansion.compound_attributes.size(); ++i) {
+    const BigInt& big_count = solution.certificate.ca_count[i];
+    if (!big_count.FitsInt64() || big_count.ToInt64() > kSaturated / scale) {
+      return ResourceExhausted("certificate pair count does not fit int64");
+    }
+    int64_t m = big_count.ToInt64() * scale;
+    if (m == 0) continue;
+    const CompoundAttribute& ca = expansion.compound_attributes[i];
+    int64_t p1 = population[ca.from];
+    int64_t p2 = population[ca.to];
+    if (p1 == 0 || p2 == 0 || m > SaturatingMul(p1, p2)) {
+      return std::optional<Interpretation>();  // Needs a larger scale.
+    }
+    std::vector<int64_t> left = EvenQuota(
+        m, p1, &from_pointer[{ca.attribute, ca.from}]);
+    std::vector<int64_t> right = EvenQuota(
+        m, p2, &to_pointer[{ca.attribute, ca.to}]);
+    std::vector<std::pair<int64_t, int64_t>> pairs;
+    if (!RealizeBipartite(std::move(left), std::move(right), &pairs)) {
+      return std::optional<Interpretation>();
+    }
+    for (const auto& [l, r] : pairs) {
+      model.AddAttributePair(ca.attribute,
+                             static_cast<ObjectId>(offset[ca.from] + l),
+                             static_cast<ObjectId>(offset[ca.to] + r));
+    }
+  }
+
+  // Labeled tuples, compound relation by compound relation.
+  std::map<std::tuple<RelationId, int, int>, int64_t> role_pointer;
+  for (size_t i = 0; i < expansion.compound_relations.size(); ++i) {
+    const BigInt& big_count = solution.certificate.cr_count[i];
+    if (!big_count.FitsInt64() || big_count.ToInt64() > kSaturated / scale) {
+      return ResourceExhausted("certificate tuple count does not fit int64");
+    }
+    int64_t m = big_count.ToInt64() * scale;
+    if (m == 0) continue;
+    const CompoundRelation& cr = expansion.compound_relations[i];
+    const int arity = static_cast<int>(cr.components.size());
+    int64_t combinations = 1;
+    std::vector<std::vector<int64_t>> quotas;
+    bool undersized = false;
+    for (int k = 0; k < arity; ++k) {
+      int64_t p = population[cr.components[k]];
+      if (p == 0) {
+        undersized = true;
+        break;
+      }
+      combinations = SaturatingMul(combinations, p);
+      quotas.push_back(EvenQuota(
+          m, p, &role_pointer[{cr.relation, k, cr.components[k]}]));
+    }
+    if (undersized || m > combinations) {
+      return std::optional<Interpretation>();
+    }
+    TupleSearch search(std::move(quotas), m,
+                       options.max_tuple_search_steps);
+    std::vector<std::vector<int64_t>> tuples;
+    if (!search.Run(&tuples)) {
+      return std::optional<Interpretation>();
+    }
+    for (const std::vector<int64_t>& local : tuples) {
+      LabeledTuple tuple(arity);
+      for (int k = 0; k < arity; ++k) {
+        tuple[k] =
+            static_cast<ObjectId>(offset[cr.components[k]] + local[k]);
+      }
+      CAR_RETURN_IF_ERROR(model.AddTuple(cr.relation, std::move(tuple)));
+    }
+  }
+
+  return std::optional<Interpretation>(std::move(model));
+}
+
+}  // namespace
+
+Result<SynthesisResult> SynthesizeModel(const Expansion& expansion,
+                                        const PsiSolution& solution,
+                                        const SynthesisOptions& options) {
+  int64_t scale = 1;
+  std::vector<std::string> last_violations;
+  for (int attempt = 0; attempt <= options.max_rescale_attempts; ++attempt) {
+    CAR_ASSIGN_OR_RETURN(std::optional<Interpretation> model,
+                         TryBuild(expansion, solution, scale, options));
+    if (model.has_value()) {
+      ModelCheckResult check = CheckModel(*expansion.schema, *model);
+      if (check.is_model) {
+        SynthesisResult result{std::move(*model), scale};
+        return result;
+      }
+      last_violations = std::move(check.violations);
+    }
+    scale *= 2;
+  }
+  return Internal(StrCat(
+      "model synthesis failed after ", options.max_rescale_attempts + 1,
+      " scaling attempts",
+      last_violations.empty()
+          ? std::string(" (combinatorial realization never completed)")
+          : StrCat("; last verification failure: ", last_violations[0])));
+}
+
+}  // namespace car

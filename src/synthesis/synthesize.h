@@ -1,0 +1,58 @@
+#ifndef CAR_SYNTHESIS_SYNTHESIZE_H_
+#define CAR_SYNTHESIS_SYNTHESIZE_H_
+
+#include "base/result.h"
+#include "expansion/expansion.h"
+#include "semantics/interpretation.h"
+#include "solver/solve.h"
+
+namespace car {
+
+struct SynthesisOptions {
+  /// Hard cap on the universe size of the synthesized model (after any
+  /// internal rescaling).
+  int64_t max_universe = 200000;
+  /// The constructive argument may need to scale the certificate so that
+  /// enough *distinct* pairs/tuples exist (m <= p1*p2 for attributes and
+  /// m <= p1*...*pK for relations); additionally, if the combinatorial
+  /// realization fails, the synthesizer doubles the solution and retries
+  /// up to this many times.
+  int max_rescale_attempts = 4;
+  /// Step budget for the distinct-tuple search per compound relation.
+  uint64_t max_tuple_search_steps = 2000000;
+};
+
+struct SynthesisResult {
+  Interpretation model;
+  /// Scale factor applied to the certificate.
+  int64_t scale = 1;
+};
+
+/// Builds an explicit finite model of the schema from an acceptable
+/// integer solution of Ψ_S (the constructive direction of Theorem 3.3).
+///
+/// Layout: each compound class C̄ with count n receives n fresh objects,
+/// each made a member of exactly the classes in C̄ (so compound-class
+/// extensions are disjoint, as the semantics of the expansion requires).
+/// Attribute pairs are realized per compound attribute with two-sided
+/// near-even degree quotas (a Gale–Ryser greedy realization), so every
+/// per-instance Natt interval [u, v] is met: the disequations guarantee
+/// u*p <= M <= v*p, and near-even distribution puts every degree in
+/// {floor(M/p), ceil(M/p)} ⊆ [u, v]. Labeled tuples are realized per
+/// compound relation by a quota-driven search for distinct tuples.
+///
+/// The produced interpretation is verified with the independent semantics
+/// checker before being returned; a verification failure is reported as
+/// an internal error (it would indicate a bug, not a property of the
+/// schema).
+///
+/// Fails with kFailedPrecondition if the solution has empty support (the
+/// schema only has the empty interpretation, which is not a model by the
+/// nonempty-universe convention).
+Result<SynthesisResult> SynthesizeModel(const Expansion& expansion,
+                                        const PsiSolution& solution,
+                                        const SynthesisOptions& options = {});
+
+}  // namespace car
+
+#endif  // CAR_SYNTHESIS_SYNTHESIZE_H_

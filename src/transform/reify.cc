@@ -1,0 +1,202 @@
+#include "transform/reify.h"
+
+#include <set>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace car {
+
+namespace {
+
+std::string FreshClassName(const Schema& schema, const std::string& base) {
+  std::string name = base;
+  int suffix = 0;
+  while (schema.LookupClass(name) != kInvalidId) {
+    name = StrCat(base, "_", ++suffix);
+  }
+  return name;
+}
+
+std::string FreshRelationName(const Schema& schema, const std::string& base) {
+  std::string name = base;
+  int suffix = 0;
+  while (schema.LookupRelation(name) != kInvalidId) {
+    name = StrCat(base, "_", ++suffix);
+  }
+  return name;
+}
+
+}  // namespace
+
+Result<ReifiedSchema> ReifyNonBinaryRelations(const Schema& schema,
+                                              const ReifyOptions& options) {
+  CAR_RETURN_IF_ERROR(schema.Validate());
+
+  ReifiedSchema result;
+  Schema& out = result.schema;
+
+  // Preserve class ids so formulae can be copied verbatim.
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    out.InternClass(schema.ClassName(c));
+  }
+  const int num_original_classes = schema.num_classes();
+
+  // Decide per relation and build relation-level artifacts.
+  struct Plan {
+    bool reify = false;
+    ClassId tuple_class = kInvalidId;
+    // Per original role index: the fresh binary relation id in `out` and
+    // the role id of the original role inside it.
+    std::vector<RelationId> binary;
+    std::vector<RoleId> role_in_binary;
+    RoleId tuple_role = kInvalidId;
+  };
+  std::vector<Plan> plans(schema.num_relations());
+
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const RelationDefinition* definition = schema.relation_definition(r);
+    Plan& plan = plans[r];
+    if (definition->arity() <= options.max_kept_arity) {
+      // Kept as-is: intern and copy, remapping role ids by name.
+      RelationDefinition copy;
+      copy.relation_id = out.InternRelation(schema.RelationName(r));
+      for (RoleId role : definition->roles) {
+        copy.roles.push_back(out.InternRole(schema.RoleName(role)));
+      }
+      for (const RoleClause& clause : definition->constraints) {
+        RoleClause out_clause;
+        for (const RoleLiteral& literal : clause.literals) {
+          RoleLiteral out_literal;
+          out_literal.role = out.InternRole(schema.RoleName(literal.role));
+          out_literal.formula = literal.formula;
+          out_clause.literals.push_back(std::move(out_literal));
+        }
+        copy.constraints.push_back(std::move(out_clause));
+      }
+      CAR_RETURN_IF_ERROR(out.SetRelationDefinition(std::move(copy)));
+      continue;
+    }
+
+    // Reify. The theorem requires single-literal role-clauses.
+    for (const RoleClause& clause : definition->constraints) {
+      if (clause.literals.size() != 1) {
+        return Unsupported(StrCat(
+            "relation '", schema.RelationName(r), "' has arity ",
+            definition->arity(),
+            " and a disjunctive role-clause; Theorem 4.5 does not apply"));
+      }
+    }
+    plan.reify = true;
+    ++result.num_reified;
+
+    std::string class_name = FreshClassName(
+        out, StrCat("__reify_", schema.RelationName(r)));
+    plan.tuple_class = out.InternClass(class_name);
+    result.tuple_class_of[schema.RelationName(r)] = class_name;
+    plan.tuple_role = out.InternRole("__tuple");
+
+    // One binary relation per role, each constrained to link the tuple
+    // class to whatever the original role-clauses demanded of that role.
+    for (int k = 0; k < definition->arity(); ++k) {
+      RoleId original_role = definition->roles[k];
+      std::string binary_name = FreshRelationName(
+          out, StrCat(schema.RelationName(r), "__",
+                      schema.RoleName(original_role)));
+      RelationDefinition binary;
+      binary.relation_id = out.InternRelation(binary_name);
+      RoleId out_role = out.InternRole(schema.RoleName(original_role));
+      binary.roles = {plan.tuple_role, out_role};
+      result.binary_of[{schema.RelationName(r),
+                        schema.RoleName(original_role)}] = binary_name;
+
+      RoleClause tuple_clause;
+      RoleLiteral tuple_literal;
+      tuple_literal.role = plan.tuple_role;
+      tuple_literal.formula = ClassFormula::OfClass(plan.tuple_class);
+      tuple_clause.literals.push_back(std::move(tuple_literal));
+      binary.constraints.push_back(std::move(tuple_clause));
+
+      for (const RoleClause& clause : definition->constraints) {
+        const RoleLiteral& literal = clause.literals[0];
+        if (literal.role != original_role) continue;
+        RoleClause out_clause;
+        RoleLiteral out_literal;
+        out_literal.role = out_role;
+        out_literal.formula = literal.formula;
+        out_clause.literals.push_back(std::move(out_literal));
+        binary.constraints.push_back(std::move(out_clause));
+      }
+      plan.binary.push_back(binary.relation_id);
+      plan.role_in_binary.push_back(out_role);
+      CAR_RETURN_IF_ERROR(out.SetRelationDefinition(std::move(binary)));
+    }
+
+    // The tuple class: exactly one link per role.
+    ClassDefinition* tuple_definition =
+        out.mutable_class_definition(plan.tuple_class);
+    for (int k = 0; k < definition->arity(); ++k) {
+      ParticipationSpec spec;
+      spec.relation = plan.binary[k];
+      spec.role = plan.tuple_role;
+      spec.cardinality = Cardinality::Exactly(1);
+      tuple_definition->participations.push_back(spec);
+    }
+  }
+
+  // Explicit pairwise disjointness of tuple classes from everything else.
+  if (options.add_explicit_disjointness) {
+    for (const Plan& plan : plans) {
+      if (!plan.reify) continue;
+      ClassDefinition* definition =
+          out.mutable_class_definition(plan.tuple_class);
+      for (ClassId other = 0; other < out.num_classes(); ++other) {
+        if (other == plan.tuple_class) continue;
+        if (other >= num_original_classes) {
+          // Another tuple class: only add the clause in one direction to
+          // avoid duplicating the constraint.
+          if (other > plan.tuple_class) continue;
+        }
+        definition->isa.AddClause(
+            ClassClause::Of(ClassLiteral::Negative(other)));
+      }
+    }
+  }
+
+  // Copy class definitions, rewriting participations of reified relations.
+  for (ClassId c = 0; c < num_original_classes; ++c) {
+    const ClassDefinition& original = schema.class_definition(c);
+    ClassDefinition* definition = out.mutable_class_definition(c);
+    definition->isa = original.isa;
+    definition->attributes = original.attributes;
+    for (const ParticipationSpec& spec : original.participations) {
+      const Plan& plan = plans[spec.relation];
+      ParticipationSpec out_spec;
+      out_spec.cardinality = spec.cardinality;
+      if (!plan.reify) {
+        out_spec.relation =
+            out.LookupRelation(schema.RelationName(spec.relation));
+        out_spec.role = out.InternRole(schema.RoleName(spec.role));
+      } else {
+        const RelationDefinition* original_definition =
+            schema.relation_definition(spec.relation);
+        int index = original_definition->RoleIndex(spec.role);
+        CAR_CHECK_GE(index, 0);
+        out_spec.relation = plan.binary[index];
+        out_spec.role = plan.role_in_binary[index];
+      }
+      definition->participations.push_back(out_spec);
+    }
+  }
+
+  // Attribute symbols: re-intern all names so ids stay aligned with the
+  // original schema (attribute specs were copied verbatim above).
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    out.InternAttribute(schema.AttributeName(a));
+  }
+
+  CAR_RETURN_IF_ERROR(out.Validate());
+  return result;
+}
+
+}  // namespace car

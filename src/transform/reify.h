@@ -1,0 +1,61 @@
+#ifndef CAR_TRANSFORM_REIFY_H_
+#define CAR_TRANSFORM_REIFY_H_
+
+#include <map>
+#include <string>
+
+#include "base/result.h"
+#include "model/schema.h"
+
+namespace car {
+
+struct ReifyOptions {
+  /// Add explicit isa disjointness (¬C clauses) between each fresh tuple
+  /// class and every other class, as the paper's Theorem 4.5 construction
+  /// prescribes ("the newly introduced classes are pairwise disjoint and
+  /// disjoint from the other classes"). When false, the same effect is
+  /// obtained implicitly by the cluster decomposition, but only under the
+  /// pruned expansion strategy.
+  bool add_explicit_disjointness = true;
+  /// Relations with arity above this bound are reified (the theorem
+  /// targets nonbinary relations; 2 is the paper's setting).
+  int max_kept_arity = 2;
+};
+
+/// The result of reifying a schema.
+struct ReifiedSchema {
+  Schema schema;
+  /// Name of the fresh tuple class per reified relation (by original
+  /// relation name).
+  std::map<std::string, std::string> tuple_class_of;
+  /// Name of the fresh binary relation per (original relation, role).
+  std::map<std::pair<std::string, std::string>, std::string> binary_of;
+  int num_reified = 0;
+};
+
+/// Implements Theorem 4.5: every relation R of arity K above the kept
+/// bound — provided all its role-clauses consist of a single role-literal
+/// — is replaced by a fresh class C_R and K binary relations R_k, one per
+/// role U_k, with roles (__tuple, U_k):
+///
+///   * C_R participates in every R_k[__tuple] with cardinality (1, 1), so
+///     each C_R object stands for one tuple with exactly one link per
+///     role;
+///   * every R_k carries the role clauses (__tuple : C_R) and, when R had
+///     the constraint (U_k : F), also (U_k : F);
+///   * every participation R[U_k] : (x, y) in a class definition becomes
+///     R_k[U_k] : (x, y).
+///
+/// Class ids are preserved (fresh classes are appended), so formulae need
+/// no rewriting; the transformation is linear in the size of the schema
+/// (plus the optional explicit-disjointness clauses) and preserves class
+/// satisfiability for all original classes.
+///
+/// Returns kUnsupported if some to-be-reified relation has a disjunctive
+/// role-clause (outside the theorem's hypothesis).
+Result<ReifiedSchema> ReifyNonBinaryRelations(const Schema& schema,
+                                              const ReifyOptions& options = {});
+
+}  // namespace car
+
+#endif  // CAR_TRANSFORM_REIFY_H_

@@ -1,0 +1,260 @@
+#include "workloads/generators.h"
+
+#include <vector>
+
+#include "base/strings.h"
+
+namespace car {
+
+namespace {
+
+/// A random literal over classes [0, num_classes), negated with the given
+/// percent probability.
+ClassLiteral RandomLiteral(Rng* rng, int num_classes, int negation_percent) {
+  ClassId id = rng->NextInt(0, num_classes - 1);
+  bool negated = rng->NextChance(static_cast<uint64_t>(negation_percent),
+                                 100);
+  return negated ? ClassLiteral::Negative(id) : ClassLiteral::Positive(id);
+}
+
+Cardinality RandomCardinality(Rng* rng, uint64_t max_cardinality) {
+  uint64_t lo = static_cast<uint64_t>(
+      rng->NextInt(0, static_cast<int>(max_cardinality)));
+  if (rng->NextChance(1, 3)) {
+    return Cardinality::AtLeast(lo);
+  }
+  uint64_t hi = lo + static_cast<uint64_t>(
+                         rng->NextInt(0, static_cast<int>(max_cardinality)));
+  return Cardinality(lo, hi);
+}
+
+}  // namespace
+
+Schema RandomGeneralSchema(Rng* rng, const GeneralSchemaParams& params) {
+  Schema schema;
+  for (int c = 0; c < params.num_classes; ++c) {
+    schema.InternClass(StrCat("C", c));
+  }
+  for (ClassId c = 0; c < params.num_classes; ++c) {
+    ClassDefinition* definition = schema.mutable_class_definition(c);
+    if (rng->NextChance(static_cast<uint64_t>(params.isa_percent), 100)) {
+      ClassClause clause;
+      clause.AddLiteral(
+          RandomLiteral(rng, params.num_classes, params.negation_percent));
+      if (rng->NextChance(static_cast<uint64_t>(params.union_percent), 100)) {
+        clause.AddLiteral(
+            RandomLiteral(rng, params.num_classes, params.negation_percent));
+      }
+      definition->isa.AddClause(std::move(clause));
+    }
+    if (params.num_attributes > 0 &&
+        rng->NextChance(static_cast<uint64_t>(params.attribute_percent),
+                        100)) {
+      AttributeSpec spec;
+      // Attribute symbols are interned lazily so that only attributes
+      // actually used appear in the schema (keeps print/parse faithful).
+      AttributeId attribute = schema.InternAttribute(
+          StrCat("a", rng->NextInt(0, params.num_attributes - 1)));
+      bool inverse = rng->NextChance(
+          static_cast<uint64_t>(params.inverse_percent), 100);
+      // Avoid duplicate attribute terms within one definition.
+      bool duplicate = false;
+      for (const AttributeSpec& existing : definition->attributes) {
+        if (existing.term.attribute == attribute &&
+            existing.term.inverse == inverse) {
+          duplicate = true;
+        }
+      }
+      if (!duplicate) {
+        spec.term = inverse ? AttributeTerm::Inverse(attribute)
+                            : AttributeTerm::Direct(attribute);
+        spec.cardinality = RandomCardinality(rng, params.max_cardinality);
+        ClassClause range_clause;
+        range_clause.AddLiteral(
+            RandomLiteral(rng, params.num_classes, params.negation_percent));
+        spec.range = ClassFormula({range_clause});
+        definition->attributes.push_back(std::move(spec));
+      }
+    }
+  }
+
+  for (int r = 0; r < params.num_relations; ++r) {
+    RelationDefinition relation;
+    relation.relation_id = schema.InternRelation(StrCat("R", r));
+    RoleId left = schema.InternRole(StrCat("left", r));
+    RoleId right = schema.InternRole(StrCat("right", r));
+    relation.roles = {left, right};
+    RoleClause clause;
+    RoleLiteral literal;
+    literal.role = rng->NextChance(1, 2) ? left : right;
+    literal.formula = ClassFormula::OfClass(
+        rng->NextInt(0, params.num_classes - 1));
+    clause.literals.push_back(std::move(literal));
+    relation.constraints.push_back(std::move(clause));
+    CAR_CHECK(schema.SetRelationDefinition(std::move(relation)).ok());
+
+    // One or two participating classes.
+    int participants = rng->NextInt(1, 2);
+    for (int i = 0; i < participants; ++i) {
+      ClassId c = rng->NextInt(0, params.num_classes - 1);
+      ClassDefinition* definition = schema.mutable_class_definition(c);
+      bool duplicate = false;
+      RoleId role = rng->NextChance(1, 2) ? left : right;
+      for (const ParticipationSpec& existing : definition->participations) {
+        if (existing.relation == r && existing.role == role) {
+          duplicate = true;
+        }
+      }
+      if (duplicate) continue;
+      ParticipationSpec spec;
+      spec.relation = r;
+      spec.role = role;
+      spec.cardinality = RandomCardinality(rng, params.max_cardinality);
+      definition->participations.push_back(spec);
+    }
+  }
+
+  CAR_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+Schema RandomTinySchema(Rng* rng, const TinySchemaParams& params) {
+  GeneralSchemaParams general;
+  general.num_classes = rng->NextInt(1, params.max_classes);
+  general.num_attributes = params.allow_attribute ? 1 : 0;
+  general.isa_percent = 50;
+  general.negation_percent = 35;
+  general.union_percent = 35;
+  general.attribute_percent = 60;
+  general.max_cardinality = params.max_cardinality;
+  general.num_relations = params.allow_relation && rng->NextChance(1, 2)
+                              ? 1
+                              : 0;
+  return RandomGeneralSchema(rng, general);
+}
+
+Schema GenerateHierarchy(Rng* rng, const HierarchyParams& params) {
+  Schema schema;
+  std::vector<ClassId> nodes;
+  std::vector<int> parent_of;
+  std::vector<std::vector<ClassId>> children;
+
+  for (int c = 0; c < params.num_classes; ++c) {
+    ClassId id = schema.InternClass(StrCat("H", c));
+    nodes.push_back(id);
+    children.emplace_back();
+    if (c < params.num_trees) {
+      parent_of.push_back(-1);  // Roots.
+      continue;
+    }
+    // Attach to a random existing node with spare child slots.
+    while (true) {
+      int candidate = rng->NextInt(0, c - 1);
+      if (static_cast<int>(children[candidate].size()) <
+          params.max_children) {
+        parent_of.push_back(candidate);
+        children[candidate].push_back(id);
+        break;
+      }
+    }
+  }
+
+  for (int c = 0; c < params.num_classes; ++c) {
+    if (parent_of[c] < 0) continue;
+    ClassDefinition* definition = schema.mutable_class_definition(nodes[c]);
+    definition->isa.AddClause(
+        ClassClause::Of(ClassLiteral::Positive(nodes[parent_of[c]])));
+    // Pairwise disjoint from earlier siblings ([BCN92] semantics).
+    for (ClassId sibling : children[parent_of[c]]) {
+      if (sibling == nodes[c]) break;
+      definition->isa.AddClause(
+          ClassClause::Of(ClassLiteral::Negative(sibling)));
+    }
+  }
+
+  // A light attribute per root, ranged at the root itself, so the schema
+  // has cardinality content without affecting the hierarchy structure.
+  // One attribute symbol per tree: a shared symbol would put all roots in
+  // one target-side clique and merge the trees into a single cluster.
+  for (int t = 0; t < params.num_trees && t < params.num_classes; ++t) {
+    AttributeId link = schema.InternAttribute(StrCat("link", t));
+    ClassDefinition* definition = schema.mutable_class_definition(nodes[t]);
+    AttributeSpec spec;
+    spec.term = AttributeTerm::Direct(link);
+    spec.cardinality = Cardinality(0, 2);
+    spec.range = ClassFormula::OfClass(nodes[t]);
+    definition->attributes.push_back(std::move(spec));
+  }
+
+  CAR_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+Schema GenerateClusteredSchema(Rng* rng, const ClusteredParams& params) {
+  Schema schema;
+  for (int k = 0; k < params.num_clusters; ++k) {
+    std::vector<ClassId> members;
+    for (int i = 0; i < params.cluster_size; ++i) {
+      members.push_back(schema.InternClass(StrCat("K", k, "_", i)));
+    }
+    AttributeId attribute = schema.InternAttribute(StrCat("f", k));
+    if (!params.dense) {
+      // isa edges forming a chain, so consistent compound classes within
+      // the cluster are exactly the chain prefixes.
+      for (int i = 1; i < params.cluster_size; ++i) {
+        ClassDefinition* definition =
+            schema.mutable_class_definition(members[i]);
+        definition->isa.AddClause(
+            ClassClause::Of(ClassLiteral::Positive(members[i - 1])));
+      }
+    }
+    ClassDefinition* head = schema.mutable_class_definition(members[0]);
+    AttributeSpec spec;
+    spec.term = AttributeTerm::Direct(attribute);
+    spec.cardinality = Cardinality(
+        1, 1 + rng->NextBelow(params.max_cardinality));
+    if (params.dense) {
+      // One clause mentioning every member: a target-side clique that
+      // keeps the cluster connected with no isa pruning possible.
+      ClassClause clause;
+      for (ClassId member : members) {
+        clause.AddLiteral(ClassLiteral::Positive(member));
+      }
+      spec.range = ClassFormula({clause});
+    } else {
+      spec.range = ClassFormula::OfClass(
+          members[rng->NextBelow(members.size())]);
+    }
+    head->attributes.push_back(std::move(spec));
+  }
+  CAR_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+Schema GenerateChainSchema(const ChainParams& params) {
+  Schema schema;
+  std::vector<ClassId> links;
+  for (int k = 0; k <= params.length; ++k) {
+    links.push_back(schema.InternClass(StrCat("N", k)));
+  }
+  for (int k = 0; k < params.length; ++k) {
+    AttributeId attribute = schema.InternAttribute(StrCat("e", k));
+    ClassDefinition* definition = schema.mutable_class_definition(links[k]);
+    AttributeSpec forward;
+    forward.term = AttributeTerm::Direct(attribute);
+    forward.cardinality = Cardinality(1, params.fanout);
+    forward.range = ClassFormula::OfClass(links[k + 1]);
+    definition->attributes.push_back(std::move(forward));
+
+    ClassDefinition* next = schema.mutable_class_definition(links[k + 1]);
+    AttributeSpec backward;
+    backward.term = AttributeTerm::Inverse(attribute);
+    backward.cardinality = Cardinality(1, params.fanout);
+    backward.range = ClassFormula::OfClass(links[k]);
+    next->attributes.push_back(std::move(backward));
+  }
+  CAR_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+}  // namespace car

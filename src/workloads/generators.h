@@ -1,0 +1,90 @@
+#ifndef CAR_WORKLOADS_GENERATORS_H_
+#define CAR_WORKLOADS_GENERATORS_H_
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// Parameters for the generators. All generators are deterministic given
+/// the Rng seed, so benchmark series are reproducible.
+struct GeneralSchemaParams {
+  int num_classes = 8;
+  int num_attributes = 3;
+  /// Probability (percent) that a class gets an isa clause; each clause
+  /// has 1-2 literals, possibly negated.
+  int isa_percent = 60;
+  int negation_percent = 30;
+  int union_percent = 30;
+  /// Probability (percent) that a class gets an attribute spec.
+  int attribute_percent = 50;
+  /// Probability (percent) that an attribute spec uses the inverse term
+  /// (inv A) — the construct whose interaction with cardinalities drives
+  /// the paper's finite-model effects.
+  int inverse_percent = 25;
+  uint64_t max_cardinality = 3;
+  /// Number of binary relations (with role clauses and participations).
+  int num_relations = 0;
+};
+
+/// A random "general" CAR schema exercising all constructs. Schemas are
+/// always well-formed (validated) but may contain unsatisfiable classes —
+/// that is the point.
+Schema RandomGeneralSchema(Rng* rng, const GeneralSchemaParams& params);
+
+/// A tiny random schema suitable for the brute-force oracle: at most
+/// `max_classes` classes (<= 3 recommended), at most one attribute, small
+/// cardinalities, optionally one binary relation.
+struct TinySchemaParams {
+  int max_classes = 3;
+  bool allow_attribute = true;
+  bool allow_relation = false;
+  uint64_t max_cardinality = 2;
+};
+Schema RandomTinySchema(Rng* rng, const TinySchemaParams& params);
+
+/// A generalization hierarchy in the sense of Section 4.4: a forest of
+/// `num_trees` trees with `num_classes` classes total, each child class
+/// isa its parent and explicitly disjoint from its earlier siblings
+/// (classes at the same depth in a group are pairwise disjoint, [BCN92]).
+/// Every class additionally gets a (0, max) attribute toward its parent's
+/// domain so the schema is not trivially constraint-free.
+struct HierarchyParams {
+  int num_classes = 15;
+  int num_trees = 1;
+  int max_children = 3;
+};
+Schema GenerateHierarchy(Rng* rng, const HierarchyParams& params);
+
+/// `num_clusters` independent copies of a small strongly-connected
+/// cluster of `cluster_size` classes (isa diamonds plus attributes whose
+/// ranges stay inside the cluster). The expansion of the whole schema is
+/// the union of the per-cluster expansions — the favourable case of
+/// Section 4.3.
+struct ClusteredParams {
+  int num_clusters = 4;
+  int cluster_size = 4;
+  uint64_t max_cardinality = 2;
+  /// Dense clusters: instead of an isa chain (whose consistent subsets
+  /// are just prefixes), the cluster's classes are tied only by a shared
+  /// attribute-range clause, so *all* 2^cluster_size subsets are
+  /// consistent — the worst case for enumeration within a cluster.
+  bool dense = false;
+};
+Schema GenerateClusteredSchema(Rng* rng, const ClusteredParams& params);
+
+/// A chain of `length` classes where class k requires between 1 and
+/// `fanout` successors (attribute a_k) in class k+1, and the inverse
+/// direction is bounded too. Compound classes stay linear in `length`
+/// while the disequation system grows with it — the workload for the
+/// phase-2 (LP) scaling benchmark.
+struct ChainParams {
+  int length = 10;
+  uint64_t fanout = 3;
+};
+Schema GenerateChainSchema(const ChainParams& params);
+
+}  // namespace car
+
+#endif  // CAR_WORKLOADS_GENERATORS_H_

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace car {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status status = InvalidArgument("bad cardinality");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad cardinality");
+  EXPECT_EQ(status.ToString(), "invalid_argument: bad cardinality");
+
+  EXPECT_EQ(NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Unsupported("x").code(), StatusCode::kUnsupported);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFound("a"), NotFound("a"));
+  EXPECT_FALSE(NotFound("a") == NotFound("b"));
+  EXPECT_FALSE(NotFound("a") == Internal("a"));
+}
+
+Status FailsAtThree(int value) {
+  if (value == 3) return InvalidArgument("three");
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int value) {
+  CAR_RETURN_IF_ERROR(FailsAtThree(value));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(3).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int value) {
+  if (value <= 0) return InvalidArgument("not positive");
+  return value;
+}
+
+Result<int> DoubledViaAssignOrReturn(int value) {
+  CAR_ASSIGN_OR_RETURN(int parsed, ParsePositive(value));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 21);
+  EXPECT_EQ(*ok, 21);
+
+  Result<int> err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(DoubledViaAssignOrReturn(21).value(), 42);
+  EXPECT_FALSE(DoubledViaAssignOrReturn(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+}
+
+TEST(StringsTest, StrJoin) {
+  std::vector<int> values = {1, 2, 3};
+  EXPECT_EQ(StrJoin(values, ", "), "1, 2, 3");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, ","), "");
+  EXPECT_EQ(StrJoin(std::vector<int>{9}, ","), "9");
+}
+
+TEST(StringsTest, StrSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(StrSplit(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("\t\n a b \r"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(7), 7u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int value = rng.NextInt(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    saw_lo |= value == -2;
+    saw_hi |= value == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextChanceRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.NextChance(1, 4)) ++hits;
+  }
+  EXPECT_GT(hits, trials / 4 - trials / 20);
+  EXPECT_LT(hits, trials / 4 + trials / 20);
+}
+
+}  // namespace
+}  // namespace car

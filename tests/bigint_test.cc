@@ -1,0 +1,206 @@
+#include "math/bigint.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace car {
+namespace {
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.ToInt64(), 0);
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero, BigInt(0));
+  EXPECT_EQ(-zero, zero);
+}
+
+TEST(BigIntTest, ConstructionFromInt64) {
+  EXPECT_EQ(BigInt(42).ToInt64(), 42);
+  EXPECT_EQ(BigInt(-42).ToInt64(), -42);
+  EXPECT_EQ(BigInt(INT64_MAX).ToInt64(), INT64_MAX);
+  EXPECT_EQ(BigInt(INT64_MIN).ToInt64(), INT64_MIN);
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+}
+
+TEST(BigIntTest, FitsInt64Boundaries) {
+  BigInt max(INT64_MAX);
+  EXPECT_TRUE(max.FitsInt64());
+  EXPECT_FALSE((max + BigInt(1)).FitsInt64());
+  BigInt min(INT64_MIN);
+  EXPECT_TRUE(min.FitsInt64());
+  EXPECT_FALSE((min - BigInt(1)).FitsInt64());
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  for (const char* text :
+       {"0", "1", "-1", "123456789012345678901234567890",
+        "-99999999999999999999999999999999999999"}) {
+    auto parsed = BigInt::FromString(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value().ToString(), text);
+  }
+}
+
+TEST(BigIntTest, FromStringAcceptsPlusAndWhitespace) {
+  auto parsed = BigInt::FromString("  +17 ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), BigInt(17));
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12x").ok());
+  EXPECT_FALSE(BigInt::FromString("1 2").ok());
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::FromString("4294967295").value();  // 2^32 - 1.
+  EXPECT_EQ((a + BigInt(1)).ToString(), "4294967296");
+  BigInt b = BigInt::FromString("18446744073709551615").value();  // 2^64-1.
+  EXPECT_EQ((b + BigInt(1)).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, SubtractionSignHandling) {
+  EXPECT_EQ(BigInt(5) - BigInt(7), BigInt(-2));
+  EXPECT_EQ(BigInt(-5) - BigInt(-7), BigInt(2));
+  EXPECT_EQ(BigInt(5) - BigInt(5), BigInt(0));
+}
+
+TEST(BigIntTest, MultiplicationSchoolbook) {
+  BigInt a = BigInt::FromString("123456789123456789").value();
+  BigInt b = BigInt::FromString("987654321987654321").value();
+  EXPECT_EQ((a * b).ToString(), "121932631356500531347203169112635269");
+  EXPECT_EQ((a * BigInt(0)), BigInt(0));
+  EXPECT_EQ((a * BigInt(-1)), -a);
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) / BigInt(-2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+  EXPECT_EQ(BigInt(7) % BigInt(-2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(-2), BigInt(-1));
+}
+
+TEST(BigIntTest, MultiLimbDivisionKnuthD) {
+  BigInt dividend =
+      BigInt::FromString("340282366920938463463374607431768211456")
+          .value();  // 2^128.
+  BigInt divisor =
+      BigInt::FromString("18446744073709551616").value();  // 2^64.
+  EXPECT_EQ((dividend / divisor).ToString(), "18446744073709551616");
+  EXPECT_EQ(dividend % divisor, BigInt(0));
+  EXPECT_EQ(((dividend + BigInt(5)) % divisor), BigInt(5));
+}
+
+TEST(BigIntTest, DivisionByLargerYieldsZero) {
+  BigInt small(12);
+  BigInt large = BigInt::FromString("123456789012345678901").value();
+  EXPECT_EQ(small / large, BigInt(0));
+  EXPECT_EQ(small % large, small);
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  BigInt values[] = {BigInt::FromString("-100000000000000000000").value(),
+                     BigInt(-3), BigInt(0), BigInt(3),
+                     BigInt::FromString("100000000000000000000").value()};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_EQ(values[i] < values[j], i < j);
+      EXPECT_EQ(values[i] == values[j], i == j);
+      EXPECT_EQ(values[i] <= values[j], i <= j);
+      EXPECT_EQ(values[i] > values[j], i > j);
+    }
+  }
+}
+
+TEST(BigIntTest, GcdLcmBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::Lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_EQ(BigInt::Lcm(BigInt(0), BigInt(6)), BigInt(0));
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt::FromString("18446744073709551616").value().BitLength(),
+            65u);
+}
+
+/// Property: (a op b) consistency against int64 arithmetic on random
+/// small operands, and divmod identity on random large operands.
+TEST(BigIntProperty, MatchesInt64Arithmetic) {
+  Rng rng(20260707);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    int64_t a = rng.NextInt(-1000000, 1000000);
+    int64_t b = rng.NextInt(-1000000, 1000000);
+    BigInt big_a(a);
+    BigInt big_b(b);
+    EXPECT_EQ((big_a + big_b).ToInt64(), a + b);
+    EXPECT_EQ((big_a - big_b).ToInt64(), a - b);
+    EXPECT_EQ((big_a * big_b).ToInt64(), a * b);
+    if (b != 0) {
+      EXPECT_EQ((big_a / big_b).ToInt64(), a / b);
+      EXPECT_EQ((big_a % big_b).ToInt64(), a % b);
+    }
+    EXPECT_EQ(big_a < big_b, a < b);
+  }
+}
+
+TEST(BigIntProperty, DivModIdentityOnLargeOperands) {
+  Rng rng(42);
+  auto random_big = [&rng](int limbs) {
+    BigInt value(0);
+    BigInt shift = BigInt::FromString("4294967296").value();
+    for (int i = 0; i < limbs; ++i) {
+      value = value * shift + BigInt(static_cast<int64_t>(
+                                  rng.NextBelow(4294967296ull)));
+    }
+    return rng.NextChance(1, 2) ? value : -value;
+  };
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    BigInt dividend = random_big(rng.NextInt(1, 6));
+    BigInt divisor = random_big(rng.NextInt(1, 4));
+    if (divisor.is_zero()) continue;
+    BigInt quotient;
+    BigInt remainder;
+    BigInt::DivMod(dividend, divisor, &quotient, &remainder);
+    EXPECT_EQ(quotient * divisor + remainder, dividend);
+    EXPECT_TRUE(remainder.Abs() < divisor.Abs())
+        << dividend << " / " << divisor;
+    // Remainder sign follows the dividend (truncated division).
+    if (!remainder.is_zero()) {
+      EXPECT_EQ(remainder.sign(), dividend.sign());
+    }
+  }
+}
+
+TEST(BigIntProperty, StringRoundTripOnRandomValues) {
+  Rng rng(7);
+  BigInt value(1);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    value = value * BigInt(rng.NextInt(2, 1000)) +
+            BigInt(rng.NextInt(-500, 500));
+    auto reparsed = BigInt::FromString(value.ToString());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed.value(), value);
+  }
+}
+
+}  // namespace
+}  // namespace car

@@ -1,0 +1,60 @@
+#include "semantics/dump.h"
+
+#include <gtest/gtest.h>
+
+#include "model/builder.h"
+
+namespace car {
+namespace {
+
+Schema SmallSchema() {
+  SchemaBuilder builder;
+  builder.DeclareClass("A");
+  builder.DeclareClass("B");
+  builder.BeginClass("C").Attribute("f", 0, 5, {{"A"}}).EndClass();
+  builder.BeginRelation("R", {"x", "y"}).EndRelation();
+  auto schema = std::move(builder).Build();
+  CAR_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(DumpTest, RendersAllExtensionKinds) {
+  Schema schema = SmallSchema();
+  Interpretation model(&schema, 3);
+  model.AddToClass(schema.LookupClass("A"), 0);
+  model.AddToClass(schema.LookupClass("A"), 2);
+  model.AddAttributePair(schema.LookupAttribute("f"), 1, 0);
+  ASSERT_TRUE(model.AddTuple(schema.LookupRelation("R"), {2, 1}).ok());
+
+  std::string text = DumpInterpretation(model);
+  EXPECT_NE(text.find("universe 3"), std::string::npos);
+  EXPECT_NE(text.find("class A = {0, 2}"), std::string::npos);
+  EXPECT_NE(text.find("attribute f = {(1, 0)}"), std::string::npos);
+  EXPECT_NE(text.find("relation R = {<2, 1>}"), std::string::npos);
+  // Empty extensions omitted by default.
+  EXPECT_EQ(text.find("class B"), std::string::npos);
+}
+
+TEST(DumpTest, IncludeEmptyOption) {
+  Schema schema = SmallSchema();
+  Interpretation model(&schema, 1);
+  DumpOptions options;
+  options.include_empty = true;
+  std::string text = DumpInterpretation(model, options);
+  EXPECT_NE(text.find("class B = {}"), std::string::npos);
+  EXPECT_NE(text.find("relation R = {}"), std::string::npos);
+}
+
+TEST(DumpTest, FactCapTruncatesWithEllipsis) {
+  Schema schema = SmallSchema();
+  Interpretation model(&schema, 10);
+  ClassId a = schema.LookupClass("A");
+  for (int i = 0; i < 10; ++i) model.AddToClass(a, i);
+  DumpOptions options;
+  options.max_facts_per_extension = 3;
+  std::string text = DumpInterpretation(model, options);
+  EXPECT_NE(text.find("... (7 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace car

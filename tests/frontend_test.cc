@@ -1,0 +1,219 @@
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "frontend/lexer.h"
+#include "reasoner/reasoner.h"
+#include "schema_compare.h"
+#include "test_schemas.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+/// Figure 2 of the paper, in the concrete text syntax.
+constexpr const char* kFigure2Text = R"(
+// The running example of Calvanese & Lenzerini, PODS'94 (Figure 2).
+class Person
+  attributes
+    name : (1, 1) String;
+    date_of_birth : (1, 1) String
+endclass
+
+class Professor
+  isa Person
+  attributes
+    (inv taught_by) : (1, 2) Course
+endclass
+
+class Student
+  isa Person & !Professor
+  attributes
+    student_id : (1, 1) String
+  participates_in
+    Enrollment[enrolls] : (1, 6)
+endclass
+
+class Grad_Student
+  isa Student
+  attributes
+    (inv taught_by) : (0, 1) Course
+  participates_in
+    Enrollment[enrolls] : (2, 3)
+endclass
+
+class Course
+  attributes
+    taught_by : (1, 1) Professor | Grad_Student
+  participates_in
+    Enrollment[enrolled_in] : (5, 100)
+endclass
+
+class Adv_Course
+  isa Course
+  attributes
+    taught_by : (1, 1) Professor
+  participates_in
+    Enrollment[enrolled_in] : (5, 20)
+endclass
+
+relation Enrollment(enrolled_in, enrolls)
+  constraints
+    (enrolled_in : Course);
+    (enrolls : Student);
+    (enrolled_in : !Adv_Course) | (enrolls : Grad_Student)
+endrelation
+
+relation Exam(of, by, in)
+  constraints
+    (of : Student);
+    (by : Professor);
+    (in : Course)
+endrelation
+)";
+
+TEST(LexerTest, TokenizesPunctuationAndKeywords) {
+  auto tokens = Tokenize("class A isa !B & (C | D) endclass // trailing");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& token : tokens.value()) kinds.push_back(token.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kClass, TokenKind::kIdentifier, TokenKind::kIsa,
+                TokenKind::kBang, TokenKind::kIdentifier,
+                TokenKind::kAmpersand, TokenKind::kLeftParen,
+                TokenKind::kIdentifier, TokenKind::kPipe,
+                TokenKind::kIdentifier, TokenKind::kRightParen,
+                TokenKind::kEndClass, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Tokenize("class\nA\n\nisa B");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].line, 1);
+  EXPECT_EQ(tokens.value()[1].line, 2);
+  EXPECT_EQ(tokens.value()[2].line, 4);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  auto tokens = Tokenize("class A @ endclass");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, Figure2TextMatchesBuilderSchema) {
+  auto parsed = ParseSchema(kFigure2Text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  // Same schema as the builder-made fixture, up to symbol ordering:
+  // compare canonical prints after a round-trip through each other's
+  // naming. Simplest faithful check: same satisfiability and implication
+  // behaviour plus identical symbol inventories.
+  Schema from_text = std::move(parsed).value();
+  Schema from_builder = testing_schemas::Figure2();
+  EXPECT_EQ(from_text.num_classes(), from_builder.num_classes());
+  EXPECT_EQ(from_text.num_attributes(), from_builder.num_attributes());
+  EXPECT_EQ(from_text.num_relations(), from_builder.num_relations());
+  EXPECT_EQ(from_text.num_roles(), from_builder.num_roles());
+
+  Reasoner reasoner(&from_text);
+  auto report = reasoner.CheckSchema();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->unsatisfiable_classes.empty());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto result = ParseSchema("class A\n  isa B &\nendclass");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsDoubleClassDefinition) {
+  auto result = ParseSchema("class A endclass class A endclass");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("defined twice"),
+            std::string::npos);
+}
+
+TEST(ParserTest, RejectsUndefinedRelation) {
+  auto result = ParseSchema(
+      "class A participates_in R[u] : (0, 1) endclass");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ParserTest, InfinityCardinality) {
+  auto result = ParseSchema("class A attributes f : (2, *) B endclass");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const ClassDefinition& definition =
+      result->class_definition(result->LookupClass("A"));
+  ASSERT_EQ(definition.attributes.size(), 1u);
+  EXPECT_EQ(definition.attributes[0].cardinality.min(), 2u);
+  EXPECT_FALSE(definition.attributes[0].cardinality.has_finite_max());
+}
+
+TEST(ParserTest, MinAboveMaxRejected) {
+  auto result = ParseSchema("class A attributes f : (3, 1) B endclass");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("min above max"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ParenthesizedClauses) {
+  auto result = ParseSchema("class A isa (B | C) & !D endclass");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const ClassDefinition& definition =
+      result->class_definition(result->LookupClass("A"));
+  ASSERT_EQ(definition.isa.clauses().size(), 2u);
+  EXPECT_EQ(definition.isa.clauses()[0].literals().size(), 2u);
+  EXPECT_EQ(definition.isa.clauses()[1].literals().size(), 1u);
+  EXPECT_TRUE(definition.isa.clauses()[1].literals()[0].negated);
+}
+
+TEST(PrinterTest, PrintParseRoundTripsFigure2) {
+  Schema schema = testing_schemas::Figure2();
+  std::string printed = PrintSchema(schema);
+  auto reparsed = ParseSchema(printed);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << printed;
+  EXPECT_EQ(testing_schemas::DescribeSchemaDifference(schema,
+                                                      reparsed.value()),
+            "")
+      << printed;
+}
+
+TEST(PrinterTest, EmptyDefinitionsRoundTrip) {
+  SchemaBuilder builder;
+  builder.DeclareClass("Lonely");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  std::string printed = PrintSchema(*schema);
+  EXPECT_NE(printed.find("class Lonely"), std::string::npos);
+  auto reparsed = ParseSchema(printed);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->num_classes(), 1);
+}
+
+/// Property: print ∘ parse is a fixed point on randomly generated
+/// schemas of all shapes.
+TEST(PrinterProperty, RandomSchemasRoundTrip) {
+  Rng rng(20260606);
+  for (int iteration = 0; iteration < 150; ++iteration) {
+    GeneralSchemaParams params;
+    params.num_classes = rng.NextInt(1, 8);
+    params.num_attributes = rng.NextInt(0, 3);
+    params.num_relations = rng.NextInt(0, 2);
+    Schema schema = RandomGeneralSchema(&rng, params);
+    std::string printed = PrintSchema(schema);
+    auto reparsed = ParseSchema(printed);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << printed;
+    EXPECT_EQ(testing_schemas::DescribeSchemaDifference(schema,
+                                                        reparsed.value()),
+              "")
+        << printed;
+  }
+}
+
+}  // namespace
+}  // namespace car

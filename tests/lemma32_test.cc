@@ -1,0 +1,177 @@
+// Lemma 3.2 in executable form: conditions (A), (B), (C) over compound
+// extensions characterize exactly the models of the schema. The tests
+// validate the characterization against the independent model checker on
+// random interpretations, and validate the certificate against the
+// synthesized model's actual compound extensions.
+
+#include "semantics/compound_extensions.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "model/builder.h"
+#include "semantics/model_check.h"
+#include "solver/solve.h"
+#include "synthesis/synthesize.h"
+#include "test_schemas.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+TEST(CompoundExtensionsTest, ObjectsPartitionByMembershipPattern) {
+  Schema schema = testing_schemas::Figure2();
+  Interpretation model(&schema, 3);
+  ClassId person = schema.LookupClass("Person");
+  ClassId student = schema.LookupClass("Student");
+  model.AddToClass(person, 0);
+  model.AddToClass(person, 1);
+  model.AddToClass(student, 1);
+
+  EXPECT_EQ(CompoundClassOfObject(model, 0).members(),
+            (std::vector<ClassId>{person}));
+  EXPECT_EQ(CompoundClassOfObject(model, 1).members().size(), 2u);
+  EXPECT_TRUE(CompoundClassOfObject(model, 2).empty());
+
+  auto extensions = CompoundExtensions(model);
+  EXPECT_EQ(extensions.size(), 3u);
+  size_t total = 0;
+  for (const auto& [members, objects] : extensions) {
+    (void)members;
+    total += objects.size();
+  }
+  EXPECT_EQ(total, 3u);  // A partition of the universe.
+}
+
+TEST(Lemma32Test, DetectsEachCondition) {
+  Schema schema = testing_schemas::Figure2();
+  auto expansion = BuildExpansion(schema);
+  ASSERT_TRUE(expansion.ok());
+
+  // (A): an object in Student but not Person.
+  {
+    Interpretation model(&schema, 1);
+    model.AddToClass(schema.LookupClass("Student"), 0);
+    Lemma32Result verdict = CheckLemma32(*expansion, model);
+    EXPECT_FALSE(verdict.holds);
+    EXPECT_EQ(verdict.violated_condition, 'A');
+  }
+  // (B): a person without a name.
+  {
+    Interpretation model(&schema, 1);
+    model.AddToClass(schema.LookupClass("Person"), 0);
+    Lemma32Result verdict = CheckLemma32(*expansion, model);
+    EXPECT_FALSE(verdict.holds);
+    EXPECT_EQ(verdict.violated_condition, 'B');
+  }
+  // (C): a student (with name/dob/id) but no enrollment.
+  {
+    Interpretation model(&schema, 5);
+    ClassId string_class = schema.LookupClass("String");
+    model.AddToClass(schema.LookupClass("Person"), 0);
+    model.AddToClass(schema.LookupClass("Student"), 0);
+    for (int s = 1; s <= 3; ++s) model.AddToClass(string_class, s);
+    model.AddAttributePair(schema.LookupAttribute("name"), 0, 1);
+    model.AddAttributePair(schema.LookupAttribute("date_of_birth"), 0, 2);
+    model.AddAttributePair(schema.LookupAttribute("student_id"), 0, 3);
+    Lemma32Result verdict = CheckLemma32(*expansion, model);
+    EXPECT_FALSE(verdict.holds);
+    EXPECT_EQ(verdict.violated_condition, 'C');
+  }
+}
+
+TEST(Lemma32Test, SynthesizedModelSatisfiesAllConditions) {
+  Schema schema = testing_schemas::Figure2();
+  auto expansion = BuildExpansion(schema);
+  ASSERT_TRUE(expansion.ok());
+  auto solution = SolvePsi(*expansion);
+  ASSERT_TRUE(solution.ok());
+  auto synthesized = SynthesizeModel(*expansion, *solution);
+  ASSERT_TRUE(synthesized.ok());
+  Lemma32Result verdict = CheckLemma32(*expansion, synthesized->model);
+  EXPECT_TRUE(verdict.holds) << verdict.detail;
+}
+
+TEST(Lemma32Test, CertificateCountsMatchCompoundExtensions) {
+  // The deepest agreement check in the pipeline: the synthesized model's
+  // compound-class populations must be exactly the (scaled) certificate.
+  Schema schema = testing_schemas::Figure2();
+  auto expansion = BuildExpansion(schema);
+  ASSERT_TRUE(expansion.ok());
+  auto solution = SolvePsi(*expansion);
+  ASSERT_TRUE(solution.ok());
+  auto synthesized = SynthesizeModel(*expansion, *solution);
+  ASSERT_TRUE(synthesized.ok());
+
+  auto extensions = CompoundExtensions(synthesized->model);
+  BigInt scale(synthesized->scale);
+  for (size_t i = 0; i < expansion->compound_classes.size(); ++i) {
+    BigInt expected = solution->certificate.cc_count[i] * scale;
+    auto it = extensions.find(expansion->compound_classes[i].members());
+    BigInt actual(
+        it == extensions.end()
+            ? 0
+            : static_cast<int64_t>(it->second.size()));
+    EXPECT_EQ(actual, expected)
+        << expansion->compound_classes[i].ToString(schema);
+  }
+}
+
+/// Property: Lemma 3.2's conditions agree with the definitional model
+/// checker on random interpretations of random schemas (both verdicts).
+TEST(Lemma32Property, EquivalentToModelCheck) {
+  Rng rng(20260909);
+  int models_seen = 0;
+  int non_models_seen = 0;
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    TinySchemaParams params;
+    params.max_classes = 3;
+    params.allow_attribute = true;
+    params.allow_relation = true;
+    Schema schema = RandomTinySchema(&rng, params);
+    auto expansion = BuildExpansion(schema);
+    ASSERT_TRUE(expansion.ok());
+
+    // A random interpretation.
+    const int universe = rng.NextInt(1, 3);
+    Interpretation candidate(&schema, universe);
+    for (ObjectId object = 0; object < universe; ++object) {
+      for (ClassId c = 0; c < schema.num_classes(); ++c) {
+        if (rng.NextChance(1, 2)) candidate.AddToClass(c, object);
+      }
+    }
+    for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+      for (ObjectId from = 0; from < universe; ++from) {
+        for (ObjectId to = 0; to < universe; ++to) {
+          if (rng.NextChance(1, 3)) candidate.AddAttributePair(a, from, to);
+        }
+      }
+    }
+    for (RelationId r = 0; r < schema.num_relations(); ++r) {
+      const RelationDefinition* definition = schema.relation_definition(r);
+      if (definition == nullptr || definition->arity() != 2) continue;
+      for (ObjectId x = 0; x < universe; ++x) {
+        for (ObjectId y = 0; y < universe; ++y) {
+          if (rng.NextChance(1, 3)) {
+            ASSERT_TRUE(candidate.AddTuple(r, {x, y}).ok());
+          }
+        }
+      }
+    }
+
+    ModelCheckOptions options;
+    options.require_nonempty_universe = false;
+    bool is_model = CheckModel(schema, candidate, options).is_model;
+    Lemma32Result verdict = CheckLemma32(*expansion, candidate);
+    EXPECT_EQ(is_model, verdict.holds)
+        << "iteration " << iteration << ": model checker and Lemma 3.2 "
+        << "disagree (" << verdict.violated_condition << ": "
+        << verdict.detail << ")";
+    (is_model ? models_seen : non_models_seen) += 1;
+  }
+  EXPECT_GT(models_seen, 10);
+  EXPECT_GT(non_models_seen, 10);
+}
+
+}  // namespace
+}  // namespace car

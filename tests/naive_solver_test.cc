@@ -1,0 +1,108 @@
+// The naive support-guessing baseline must agree with the fixpoint
+// solver everywhere — that equivalence is what makes the cost comparison
+// in bench_phase2_baseline.cc meaningful.
+
+#include "solver/naive_solve.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "model/builder.h"
+#include "solver/solve.h"
+#include "test_schemas.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+void ExpectSolversAgree(const Schema& schema, const char* label) {
+  auto expansion = BuildExpansion(schema);
+  ASSERT_TRUE(expansion.ok()) << label << ": " << expansion.status();
+  auto fixpoint = SolvePsi(*expansion);
+  ASSERT_TRUE(fixpoint.ok()) << label << ": " << fixpoint.status();
+  auto naive = SolvePsiNaive(*expansion);
+  ASSERT_TRUE(naive.ok()) << label << ": " << naive.status();
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    EXPECT_EQ(fixpoint->IsClassSatisfiable(c),
+              naive->class_satisfiable[c])
+        << label << " class " << schema.ClassName(c);
+  }
+}
+
+TEST(NaiveSolverTest, Figure2) {
+  Schema schema = testing_schemas::Figure2();
+  ExpectSolversAgree(schema, "figure2");
+}
+
+TEST(NaiveSolverTest, FiniteOnlyUnsat) {
+  Schema schema = testing_schemas::FiniteOnlyUnsat();
+  ExpectSolversAgree(schema, "finite-only");
+}
+
+TEST(NaiveSolverTest, AcceptabilityCascade) {
+  SchemaBuilder builder;
+  builder.BeginClass("U").Isa({{"!U"}}).EndClass();
+  builder.BeginClass("B2").Attribute("a2", 1, 2, {{"U"}}).EndClass();
+  builder.BeginClass("B1").Attribute("a1", 1, 2, {{"B2"}}).EndClass();
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  ExpectSolversAgree(*schema, "cascade");
+}
+
+TEST(NaiveSolverTest, RefusesOversizedEnumerations) {
+  // 24 constrained compound classes would need 2^24 LP solves.
+  ChainParams params;
+  params.length = 30;
+  Schema schema = GenerateChainSchema(params);
+  auto expansion = BuildExpansion(schema);
+  ASSERT_TRUE(expansion.ok());
+  NaiveSolverOptions options;
+  options.max_constrained_compound_classes = 16;
+  auto naive = SolvePsiNaive(*expansion, options);
+  ASSERT_FALSE(naive.ok());
+  EXPECT_EQ(naive.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NaiveSolverTest, CostIsExponentialInConstrainedCompounds) {
+  ChainParams params;
+  params.length = 4;  // 5 constrained compound classes.
+  Schema schema = GenerateChainSchema(params);
+  auto expansion = BuildExpansion(schema);
+  ASSERT_TRUE(expansion.ok());
+  auto naive = SolvePsiNaive(*expansion);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(naive->supports_tried, (1u << 5) - 1);
+  auto fixpoint = SolvePsi(*expansion);
+  ASSERT_TRUE(fixpoint.ok());
+  EXPECT_LE(fixpoint->lp_solves, 5u);
+}
+
+TEST(NaiveSolverProperty, AgreesOnRandomSchemas) {
+  Rng rng(20260606);
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    GeneralSchemaParams params;
+    params.num_classes = rng.NextInt(2, 5);
+    params.num_attributes = rng.NextInt(0, 2);
+    params.max_cardinality = 3;
+    params.num_relations = rng.NextInt(0, 1);
+    Schema schema = RandomGeneralSchema(&rng, params);
+    // Skip instances whose constrained compound count would blow the
+    // naive budget.
+    auto expansion = BuildExpansion(schema);
+    ASSERT_TRUE(expansion.ok());
+    NaiveSolverOptions options;
+    options.max_constrained_compound_classes = 12;
+    auto naive = SolvePsiNaive(*expansion, options);
+    if (!naive.ok()) continue;
+    auto fixpoint = SolvePsi(*expansion);
+    ASSERT_TRUE(fixpoint.ok());
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      EXPECT_EQ(fixpoint->IsClassSatisfiable(c),
+                naive->class_satisfiable[c])
+          << "iteration " << iteration << " class " << schema.ClassName(c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace car

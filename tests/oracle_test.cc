@@ -1,0 +1,156 @@
+#include "enumerate/bounded_search.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "semantics/model_check.h"
+#include "model/builder.h"
+#include "reasoner/reasoner.h"
+#include "synthesis/synthesize.h"
+#include "test_schemas.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+TEST(BoundedSearchTest, FindsObviousModel) {
+  SchemaBuilder builder;
+  builder.BeginClass("A").Isa({{"B"}}).EndClass();
+  builder.DeclareClass("B");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  auto outcome = FindModelWithNonemptyClass(*schema,
+                                            schema->LookupClass("A"));
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->found());
+  EXPECT_TRUE(IsModel(*schema, *outcome->model));
+  EXPECT_FALSE(
+      outcome->model->ClassExtension(schema->LookupClass("A")).empty());
+}
+
+TEST(BoundedSearchTest, RefutesContradiction) {
+  SchemaBuilder builder;
+  builder.BeginClass("A").Isa({{"B"}, {"!B"}}).EndClass();
+  builder.DeclareClass("B");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  auto outcome = FindModelWithNonemptyClass(*schema,
+                                            schema->LookupClass("A"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->found());
+}
+
+TEST(BoundedSearchTest, AttributeCardinalityRespected) {
+  // A needs exactly 2 distinct successors in B. No 1-object universe can
+  // host 2 distinct pairs from one source, so the minimum universe is 2
+  // (the A-object may itself be one of the two B-successors).
+  SchemaBuilder builder;
+  builder.BeginClass("A").Attribute("f", 2, 2, {{"B"}}).EndClass();
+  builder.DeclareClass("B");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  BoundedSearchOptions options;
+  options.max_universe = 3;
+  auto outcome = FindModelWithNonemptyClass(
+      *schema, schema->LookupClass("A"), options);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->found());
+  EXPECT_EQ(outcome->model->universe_size(), 2);
+  ClassId a = schema->LookupClass("A");
+  ObjectId witness = *outcome->model->ClassExtension(a).begin();
+  EXPECT_EQ(outcome->model->AttributeOutDegree(
+                schema->LookupAttribute("f"), witness),
+            2u);
+}
+
+TEST(BoundedSearchTest, FiniteOnlyUnsatNotFoundWithinBound) {
+  Schema schema = testing_schemas::FiniteOnlyUnsat();
+  BoundedSearchOptions options;
+  options.max_universe = 3;
+  auto outcome =
+      FindModelWithNonemptyClass(schema, schema.LookupClass("C"), options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->found());
+}
+
+/// The central cross-validation property: on random tiny schemas, the
+/// LP-based reasoner and the brute-force search agree. When the reasoner
+/// says satisfiable, the synthesized certificate model is the witness (no
+/// universe bound applies); when it says unsatisfiable, the brute-force
+/// search must not find any model.
+TEST(OracleProperty, ReasonerMatchesBruteForceOnTinySchemas) {
+  Rng rng(20260707);
+  int satisfiable_seen = 0;
+  int unsatisfiable_seen = 0;
+  for (int iteration = 0; iteration < 80; ++iteration) {
+    TinySchemaParams params;
+    params.max_classes = 3;
+    params.allow_attribute = true;
+    params.max_cardinality = 2;
+    Schema schema = RandomTinySchema(&rng, params);
+
+    auto expansion = BuildExpansion(schema);
+    ASSERT_TRUE(expansion.ok()) << expansion.status();
+    auto solution = SolvePsi(*expansion);
+    ASSERT_TRUE(solution.ok()) << solution.status();
+
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      bool reasoner_sat = solution->IsClassSatisfiable(c);
+      if (reasoner_sat) {
+        // Positive answers come with a constructive witness.
+        auto model = SynthesizeModel(*expansion, *solution);
+        ASSERT_TRUE(model.ok())
+            << model.status() << " iteration " << iteration;
+        EXPECT_FALSE(model->model.ClassExtension(c).empty());
+        EXPECT_TRUE(IsModel(schema, model->model));
+        ++satisfiable_seen;
+      } else {
+        // Negative answers must survive the exhaustive search.
+        BoundedSearchOptions options;
+        options.max_universe = 3;
+        options.max_configurations = 3000000;
+        auto outcome = FindModelWithNonemptyClass(schema, c, options);
+        if (!outcome.ok()) continue;  // Search-space blowup: skip.
+        EXPECT_FALSE(outcome->found())
+            << "iteration " << iteration << " class " << schema.ClassName(c)
+            << ": reasoner said unsatisfiable but a model exists";
+        ++unsatisfiable_seen;
+      }
+    }
+  }
+  EXPECT_GT(satisfiable_seen, 30);
+  EXPECT_GT(unsatisfiable_seen, 5);
+}
+
+/// Dually: whenever the brute-force search finds a model within the
+/// bound, the reasoner must agree it is satisfiable (soundness of the
+/// unsat direction across a different random family).
+TEST(OracleProperty, BruteForceWitnessImpliesReasonerSat) {
+  Rng rng(99991);
+  int cross_checked = 0;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    TinySchemaParams params;
+    params.max_classes = 2;
+    params.allow_attribute = true;
+    params.allow_relation = true;
+    Schema schema = RandomTinySchema(&rng, params);
+
+    Reasoner reasoner(&schema);
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      BoundedSearchOptions options;
+      options.max_universe = 2;
+      options.max_configurations = 2000000;
+      auto outcome = FindModelWithNonemptyClass(schema, c, options);
+      if (!outcome.ok() || !outcome->found()) continue;
+      auto satisfiable = reasoner.IsClassSatisfiable(c);
+      ASSERT_TRUE(satisfiable.ok());
+      EXPECT_TRUE(satisfiable.value())
+          << "iteration " << iteration << " class " << schema.ClassName(c);
+      ++cross_checked;
+    }
+  }
+  EXPECT_GT(cross_checked, 10);
+}
+
+}  // namespace
+}  // namespace car

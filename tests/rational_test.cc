@@ -1,0 +1,111 @@
+#include "math/rational.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace car {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_TRUE(zero.is_integer());
+  EXPECT_EQ(zero.ToString(), "0");
+}
+
+TEST(RationalTest, NormalizationToLowestTerms) {
+  Rational r(BigInt(6), BigInt(4));
+  EXPECT_EQ(r.numerator(), BigInt(3));
+  EXPECT_EQ(r.denominator(), BigInt(2));
+  EXPECT_EQ(r.ToString(), "3/2");
+}
+
+TEST(RationalTest, NegativeDenominatorNormalized) {
+  Rational r(BigInt(3), BigInt(-6));
+  EXPECT_EQ(r.ToString(), "-1/2");
+  EXPECT_TRUE(r.is_negative());
+  EXPECT_TRUE(r.denominator().is_positive());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ((half + third).ToString(), "5/6");
+  EXPECT_EQ((half - third).ToString(), "1/6");
+  EXPECT_EQ((half * third).ToString(), "1/6");
+  EXPECT_EQ((half / third).ToString(), "3/2");
+  EXPECT_EQ((-half).ToString(), "-1/2");
+}
+
+TEST(RationalTest, ComparisonCrossMultiplies) {
+  Rational a(BigInt(1), BigInt(3));
+  Rational b(BigInt(2), BigInt(5));
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_EQ(a, Rational(BigInt(2), BigInt(6)));
+  EXPECT_LT(Rational(-1), Rational(BigInt(-1), BigInt(2)));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).Floor(), BigInt(3));
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).Ceil(), BigInt(4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).Floor(), BigInt(-4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).Ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(5).Floor(), BigInt(5));
+  EXPECT_EQ(Rational(5).Ceil(), BigInt(5));
+}
+
+TEST(RationalTest, FromString) {
+  EXPECT_EQ(Rational::FromString("3/4").value().ToString(), "3/4");
+  EXPECT_EQ(Rational::FromString("-6/4").value().ToString(), "-3/2");
+  EXPECT_EQ(Rational::FromString("17").value(), Rational(17));
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("abc").ok());
+}
+
+/// Field axioms spot-checked on random rationals.
+TEST(RationalProperty, FieldAxioms) {
+  Rng rng(99);
+  auto random_rational = [&rng]() {
+    int64_t numerator = rng.NextInt(-50, 50);
+    int64_t denominator = rng.NextInt(1, 30);
+    return Rational(BigInt(numerator), BigInt(denominator));
+  };
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    Rational a = random_rational();
+    Rational b = random_rational();
+    Rational c = random_rational();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Rational() , a);
+    EXPECT_EQ(a - a, Rational());
+    if (!a.is_zero()) {
+      EXPECT_EQ(a / a, Rational(1));
+      EXPECT_EQ((b / a) * a, b);
+    }
+  }
+}
+
+TEST(RationalProperty, FloorCeilBracketValue) {
+  Rng rng(123);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    Rational r(BigInt(rng.NextInt(-1000, 1000)),
+               BigInt(rng.NextInt(1, 60)));
+    Rational floor(r.Floor());
+    Rational ceil(r.Ceil());
+    EXPECT_LE(floor, r);
+    EXPECT_GE(ceil, r);
+    EXPECT_LE(ceil - floor, Rational(1));
+    if (r.is_integer()) {
+      EXPECT_EQ(floor, ceil);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace car

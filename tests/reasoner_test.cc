@@ -1,0 +1,220 @@
+#include "reasoner/reasoner.h"
+
+#include <gtest/gtest.h>
+
+#include "model/builder.h"
+#include "test_schemas.h"
+
+namespace car {
+namespace {
+
+TEST(ReasonerTest, Figure2SchemaFullySatisfiable) {
+  Schema schema = testing_schemas::Figure2();
+  Reasoner reasoner(&schema);
+  auto report = reasoner.CheckSchema();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->unsatisfiable_classes.empty());
+  EXPECT_GT(report->num_compound_classes, 0u);
+}
+
+TEST(ReasonerTest, LookupByNameAndErrors) {
+  Schema schema = testing_schemas::Figure2();
+  Reasoner reasoner(&schema);
+  auto ok = reasoner.IsClassSatisfiable("Grad_Student");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value());
+  auto missing = reasoner.IsClassSatisfiable("Nonexistent");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  auto out_of_range = reasoner.IsClassSatisfiable(ClassId{999});
+  EXPECT_FALSE(out_of_range.ok());
+}
+
+TEST(ReasonerTest, ImpliesIsaThroughChain) {
+  SchemaBuilder builder;
+  builder.BeginClass("A").Isa({{"B"}}).EndClass();
+  builder.BeginClass("B").Isa({{"C"}}).EndClass();
+  builder.DeclareClass("C");
+  builder.DeclareClass("Unrelated");
+  auto schema_or = std::move(builder).Build();
+  ASSERT_TRUE(schema_or.ok());
+  Schema& schema = *schema_or;
+  Reasoner reasoner(&schema);
+
+  ClassId a = schema.LookupClass("A");
+  ClassId c = schema.LookupClass("C");
+  ClassId unrelated = schema.LookupClass("Unrelated");
+
+  auto implied = reasoner.ImpliesIsa(a, ClassFormula::OfClass(c));
+  ASSERT_TRUE(implied.ok());
+  EXPECT_TRUE(implied.value());
+
+  auto not_implied = reasoner.ImpliesIsa(a, ClassFormula::OfClass(unrelated));
+  ASSERT_TRUE(not_implied.ok());
+  EXPECT_FALSE(not_implied.value());
+
+  // C ⊑ A does not hold (inclusion is not symmetric).
+  auto reverse = reasoner.ImpliesIsa(c, ClassFormula::OfClass(a));
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_FALSE(reverse.value());
+}
+
+TEST(ReasonerTest, ImpliesIsaDisjunctionNeedsWholeClause) {
+  // A ⊑ B ∨ C holds when A's isa is the clause {B, C}; neither disjunct
+  // alone is implied.
+  SchemaBuilder builder;
+  builder.BeginClass("A").Isa({{"B", "C"}}).EndClass();
+  builder.DeclareClass("B");
+  builder.DeclareClass("C");
+  auto schema_or = std::move(builder).Build();
+  ASSERT_TRUE(schema_or.ok());
+  Schema& schema = *schema_or;
+  Reasoner reasoner(&schema);
+  ClassId a = schema.LookupClass("A");
+  ClassId b = schema.LookupClass("B");
+  ClassId c = schema.LookupClass("C");
+
+  ClassFormula b_or_c(
+      {ClassClause({ClassLiteral::Positive(b), ClassLiteral::Positive(c)})});
+  EXPECT_TRUE(reasoner.ImpliesIsa(a, b_or_c).value());
+  EXPECT_FALSE(reasoner.ImpliesIsa(a, ClassFormula::OfClass(b)).value());
+  EXPECT_FALSE(reasoner.ImpliesIsa(a, ClassFormula::OfClass(c)).value());
+}
+
+TEST(ReasonerTest, UnsatisfiableClassImpliesEverything) {
+  SchemaBuilder builder;
+  builder.BeginClass("Dead").Isa({{"X"}, {"!X"}}).EndClass();
+  builder.DeclareClass("X");
+  builder.DeclareClass("Y");
+  auto schema_or = std::move(builder).Build();
+  ASSERT_TRUE(schema_or.ok());
+  Schema& schema = *schema_or;
+  Reasoner reasoner(&schema);
+  ClassId dead = schema.LookupClass("Dead");
+  ClassId y = schema.LookupClass("Y");
+  EXPECT_TRUE(reasoner.ImpliesIsa(dead, ClassFormula::OfClass(y)).value());
+  EXPECT_TRUE(
+      reasoner.ImpliesIsa(dead, ClassFormula::OfNegatedClass(y)).value());
+}
+
+TEST(ReasonerTest, ImpliesDisjointFromExplicitNegation) {
+  Schema schema = testing_schemas::Figure2();
+  Reasoner reasoner(&schema);
+  ClassId student = schema.LookupClass("Student");
+  ClassId professor = schema.LookupClass("Professor");
+  ClassId grad = schema.LookupClass("Grad_Student");
+  ClassId person = schema.LookupClass("Person");
+
+  EXPECT_TRUE(reasoner.ImpliesDisjoint(student, professor).value());
+  // Inherited: Grad_Student ⊆ Student, so also disjoint from Professor.
+  EXPECT_TRUE(reasoner.ImpliesDisjoint(grad, professor).value());
+  EXPECT_FALSE(reasoner.ImpliesDisjoint(student, person).value());
+}
+
+TEST(ReasonerTest, ImpliedCardinalityFromInheritedConstraints) {
+  Schema schema = testing_schemas::Figure2();
+  Reasoner reasoner(&schema);
+  ClassId adv = schema.LookupClass("Adv_Course");
+  AttributeId taught_by = schema.LookupAttribute("taught_by");
+
+  // Adv_Course inherits taught_by (1,1) from Course and refines the range;
+  // both min 1 and max 1 are implied.
+  EXPECT_TRUE(reasoner
+                  .ImpliesMinCardinality(adv, AttributeTerm::Direct(taught_by),
+                                         1)
+                  .value());
+  EXPECT_TRUE(reasoner
+                  .ImpliesMaxCardinality(adv, AttributeTerm::Direct(taught_by),
+                                         1)
+                  .value());
+  EXPECT_FALSE(reasoner
+                   .ImpliesMinCardinality(adv,
+                                          AttributeTerm::Direct(taught_by), 2)
+                   .value());
+
+  // Professors teach at most 2 courses ((inv taught_by) : (1,2)).
+  ClassId professor = schema.LookupClass("Professor");
+  EXPECT_TRUE(reasoner
+                  .ImpliesMaxCardinality(
+                      professor, AttributeTerm::Inverse(taught_by), 2)
+                  .value());
+  EXPECT_FALSE(reasoner
+                   .ImpliesMaxCardinality(
+                       professor, AttributeTerm::Inverse(taught_by), 1)
+                   .value());
+  EXPECT_TRUE(reasoner
+                  .ImpliesMinCardinality(
+                      professor, AttributeTerm::Inverse(taught_by), 1)
+                  .value());
+}
+
+TEST(ReasonerTest, ImpliedParticipationBounds) {
+  Schema schema = testing_schemas::Figure2();
+  Reasoner reasoner(&schema);
+  ClassId grad = schema.LookupClass("Grad_Student");
+  RelationId enrollment = schema.LookupRelation("Enrollment");
+  RoleId enrolls = schema.LookupRole("enrolls");
+
+  // Grad students enroll 2..3 times (refined from Student's 1..6).
+  EXPECT_TRUE(reasoner.ImpliesMinParticipation(grad, enrollment, enrolls, 2)
+                  .value());
+  EXPECT_FALSE(reasoner.ImpliesMinParticipation(grad, enrollment, enrolls, 3)
+                   .value());
+  EXPECT_TRUE(reasoner.ImpliesMaxParticipation(grad, enrollment, enrolls, 3)
+                  .value());
+  EXPECT_FALSE(reasoner.ImpliesMaxParticipation(grad, enrollment, enrolls, 2)
+                   .value());
+
+  // Trivia: min 0 and max infinity are always implied.
+  EXPECT_TRUE(reasoner.ImpliesMinParticipation(grad, enrollment, enrolls, 0)
+                  .value());
+  EXPECT_TRUE(reasoner
+                  .ImpliesMaxParticipation(grad, enrollment, enrolls,
+                                           Cardinality::kInfinity)
+                  .value());
+}
+
+TEST(ReasonerTest, FiniteModelImplicationBeyondSyntax) {
+  // From child:(2,2) with in-degree <= 1 the reasoner must conclude C is
+  // unsatisfiable — hence C ⊑ anything. No syntactic chain gives this.
+  Schema schema = testing_schemas::FiniteOnlyUnsat();
+  Reasoner reasoner(&schema);
+  ClassId c = schema.LookupClass("C");
+  EXPECT_FALSE(reasoner.IsClassSatisfiable(c).value());
+  EXPECT_TRUE(reasoner.ImpliesIsa(c, ClassFormula::OfNegatedClass(c)).value());
+}
+
+TEST(ReasonerTest, DisjointnessDerivedFromCardinalities) {
+  // A-objects have exactly 1 f-successor, B-objects exactly 2 (via an
+  // isa-free overlap); anything in both A and B would need 1 = 2, so A
+  // and B are implied disjoint without any negation in the schema.
+  SchemaBuilder builder;
+  builder.BeginClass("A").Attribute("f", 1, 1, {{"T"}}).EndClass();
+  builder.BeginClass("B").Attribute("f", 2, 2, {{"T"}}).EndClass();
+  builder.DeclareClass("T");
+  auto schema_or = std::move(builder).Build();
+  ASSERT_TRUE(schema_or.ok());
+  Schema& schema = *schema_or;
+  Reasoner reasoner(&schema);
+  ClassId a = schema.LookupClass("A");
+  ClassId b = schema.LookupClass("B");
+  EXPECT_TRUE(reasoner.ImpliesDisjoint(a, b).value());
+  EXPECT_TRUE(reasoner.IsClassSatisfiable(a).value());
+  EXPECT_TRUE(reasoner.IsClassSatisfiable(b).value());
+}
+
+TEST(ReasonerTest, ReportCountsUnsatisfiable) {
+  SchemaBuilder builder;
+  builder.BeginClass("Dead").Isa({{"X"}, {"!X"}}).EndClass();
+  builder.BeginClass("AlsoDead").Isa({{"Dead"}}).EndClass();
+  builder.DeclareClass("X");
+  auto schema_or = std::move(builder).Build();
+  ASSERT_TRUE(schema_or.ok());
+  Reasoner reasoner(&*schema_or);
+  auto report = reasoner.CheckSchema();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->unsatisfiable_classes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace car

@@ -1,0 +1,150 @@
+#include "reductions/counting_ladder.h"
+#include "reductions/sat_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "reasoner/reasoner.h"
+
+namespace car {
+namespace {
+
+CnfFormula RandomCnf(Rng* rng, int variables, int clauses, int width) {
+  CnfFormula formula;
+  formula.num_variables = variables;
+  for (int i = 0; i < clauses; ++i) {
+    std::vector<std::pair<int, bool>> clause;
+    for (int j = 0; j < width; ++j) {
+      clause.emplace_back(rng->NextInt(0, variables - 1),
+                          rng->NextChance(1, 2));
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+TEST(SatReductionTest, SatisfiableFormula) {
+  // (x0 | x1) & (!x0 | x1) is satisfiable with x1 = true.
+  CnfFormula formula;
+  formula.num_variables = 2;
+  formula.clauses = {{{0, false}, {1, false}}, {{0, true}, {1, false}}};
+  auto encoding = EncodeSatAsSchema(formula);
+  ASSERT_TRUE(encoding.ok());
+  Reasoner reasoner(&encoding->schema);
+  EXPECT_TRUE(reasoner.IsClassSatisfiable(encoding->query_class).value());
+}
+
+TEST(SatReductionTest, UnsatisfiableFormula) {
+  // x0 & !x0.
+  CnfFormula formula;
+  formula.num_variables = 1;
+  formula.clauses = {{{0, false}}, {{0, true}}};
+  auto encoding = EncodeSatAsSchema(formula);
+  ASSERT_TRUE(encoding.ok());
+  Reasoner reasoner(&encoding->schema);
+  EXPECT_FALSE(reasoner.IsClassSatisfiable(encoding->query_class).value());
+}
+
+TEST(SatReductionTest, RejectsEmptyClause) {
+  CnfFormula formula;
+  formula.num_variables = 1;
+  formula.clauses = {{}};
+  EXPECT_FALSE(EncodeSatAsSchema(formula).ok());
+}
+
+TEST(SatReductionTest, RejectsOutOfRangeVariable) {
+  CnfFormula formula;
+  formula.num_variables = 1;
+  formula.clauses = {{{3, false}}};
+  EXPECT_FALSE(EncodeSatAsSchema(formula).ok());
+}
+
+/// The reduction is faithful: the reasoner agrees with brute-force SAT on
+/// random 3-CNF instances around the phase-transition density.
+TEST(SatReductionProperty, AgreesWithBruteForce) {
+  Rng rng(31337);
+  int sat_count = 0;
+  int unsat_count = 0;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    int variables = rng.NextInt(3, 7);
+    int clauses = rng.NextInt(variables, 5 * variables);
+    CnfFormula formula = RandomCnf(&rng, variables, clauses, 3);
+    auto expected = formula.BruteForceSatisfiable();
+    ASSERT_TRUE(expected.ok());
+    auto encoding = EncodeSatAsSchema(formula);
+    ASSERT_TRUE(encoding.ok());
+    Reasoner reasoner(&encoding->schema);
+    auto actual = reasoner.IsClassSatisfiable(encoding->query_class);
+    ASSERT_TRUE(actual.ok()) << actual.status();
+    EXPECT_EQ(actual.value(), expected.value()) << "iteration " << iteration;
+    (expected.value() ? sat_count : unsat_count) += 1;
+  }
+  EXPECT_GT(sat_count, 3);
+  EXPECT_GT(unsat_count, 3);
+}
+
+TEST(CountingLadderTest, GroundTruthMatchesReasonerWhenCompatible) {
+  CountingLadderOptions options;
+  options.rungs = 4;
+  options.pinch = false;
+  auto ladder = BuildCountingLadder(options);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_TRUE(ladder->bottom_satisfiable);
+  Reasoner reasoner(&ladder->schema);
+  EXPECT_TRUE(reasoner.IsClassSatisfiable(ladder->bottom_class).value());
+  for (size_t i = 0; i < ladder->probe_classes.size(); ++i) {
+    EXPECT_EQ(reasoner.IsClassSatisfiable(ladder->probe_classes[i]).value(),
+              ladder->probe_satisfiable[i])
+        << ladder->probe_classes[i];
+  }
+}
+
+TEST(CountingLadderTest, PinchedLadderBottomUnsatisfiable) {
+  CountingLadderOptions options;
+  options.rungs = 5;
+  options.pinch = true;
+  auto ladder = BuildCountingLadder(options);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_FALSE(ladder->bottom_satisfiable);
+  Reasoner reasoner(&ladder->schema);
+  EXPECT_FALSE(reasoner.IsClassSatisfiable(ladder->bottom_class).value());
+  // The top rung is still fine.
+  EXPECT_TRUE(reasoner.IsClassSatisfiable("L0").value());
+}
+
+TEST(CountingLadderTest, StaysInTheorem42Fragment) {
+  auto ladder = BuildCountingLadder();
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_TRUE(ladder->schema.IsUnionFree());
+  EXPECT_TRUE(ladder->schema.IsNegationFree());
+}
+
+TEST(CountingLadderTest, ParameterValidation) {
+  CountingLadderOptions options;
+  options.rungs = 0;
+  EXPECT_FALSE(BuildCountingLadder(options).ok());
+  options.rungs = 3;
+  options.base_count = 1;
+  EXPECT_FALSE(BuildCountingLadder(options).ok());
+}
+
+/// Sweep: reasoner ground truth holds across rung counts and both pinch
+/// modes.
+TEST(CountingLadderProperty, GroundTruthAcrossSweep) {
+  for (int rungs = 1; rungs <= 5; ++rungs) {
+    for (bool pinch : {false, true}) {
+      CountingLadderOptions options;
+      options.rungs = rungs;
+      options.pinch = pinch;
+      auto ladder = BuildCountingLadder(options);
+      ASSERT_TRUE(ladder.ok());
+      Reasoner reasoner(&ladder->schema);
+      EXPECT_EQ(reasoner.IsClassSatisfiable(ladder->bottom_class).value(),
+                ladder->bottom_satisfiable)
+          << "rungs " << rungs << " pinch " << pinch;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace car

@@ -1,0 +1,193 @@
+#include "transform/reify.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "model/builder.h"
+#include "reasoner/reasoner.h"
+#include "test_schemas.h"
+
+namespace car {
+namespace {
+
+Schema TernarySchema(uint64_t exam_min, uint64_t exam_max) {
+  SchemaBuilder builder;
+  builder.BeginClass("Student")
+      .Participates("Exam", "of", exam_min, exam_max)
+      .EndClass();
+  builder.DeclareClass("Professor");
+  builder.DeclareClass("Course");
+  builder.BeginRelation("Exam", {"of", "by", "in"})
+      .Constraint({{"of", {{"Student"}}}})
+      .Constraint({{"by", {{"Professor"}}}})
+      .Constraint({{"in", {{"Course"}}}})
+      .EndRelation();
+  auto schema = std::move(builder).Build();
+  CAR_CHECK(schema.ok()) << schema.status();
+  return std::move(schema).value();
+}
+
+TEST(ReifyTest, BinaryRelationsAreKept) {
+  Schema schema = testing_schemas::Figure2();
+  auto reified = ReifyNonBinaryRelations(schema);
+  ASSERT_TRUE(reified.ok()) << reified.status();
+  EXPECT_EQ(reified->num_reified, 1);  // Exam only.
+  EXPECT_NE(reified->schema.LookupRelation("Enrollment"), kInvalidId);
+  // Exam is replaced by three binary relations.
+  EXPECT_EQ(reified->schema.LookupRelation("Exam"), kInvalidId);
+  EXPECT_NE(reified->schema.LookupRelation("Exam__of"), kInvalidId);
+  EXPECT_NE(reified->schema.LookupRelation("Exam__by"), kInvalidId);
+  EXPECT_NE(reified->schema.LookupRelation("Exam__in"), kInvalidId);
+  EXPECT_EQ(reified->schema.MaxArity(), 2);
+}
+
+TEST(ReifyTest, ClassIdsPreserved) {
+  Schema schema = testing_schemas::Figure2();
+  auto reified = ReifyNonBinaryRelations(schema);
+  ASSERT_TRUE(reified.ok());
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    EXPECT_EQ(reified->schema.ClassName(c), schema.ClassName(c));
+  }
+  EXPECT_EQ(reified->schema.num_classes(), schema.num_classes() + 1);
+}
+
+TEST(ReifyTest, TupleClassHasExactlyOneLinkPerRole) {
+  Schema schema = TernarySchema(1, 2);
+  auto reified = ReifyNonBinaryRelations(schema);
+  ASSERT_TRUE(reified.ok());
+  auto it = reified->tuple_class_of.find("Exam");
+  ASSERT_NE(it, reified->tuple_class_of.end());
+  ClassId tuple_class = reified->schema.LookupClass(it->second);
+  ASSERT_NE(tuple_class, kInvalidId);
+  const ClassDefinition& definition =
+      reified->schema.class_definition(tuple_class);
+  EXPECT_EQ(definition.participations.size(), 3u);
+  for (const ParticipationSpec& spec : definition.participations) {
+    EXPECT_EQ(spec.cardinality, Cardinality::Exactly(1));
+  }
+}
+
+TEST(ReifyTest, ParticipationsRewritten) {
+  Schema schema = TernarySchema(2, 4);
+  auto reified = ReifyNonBinaryRelations(schema);
+  ASSERT_TRUE(reified.ok());
+  ClassId student = reified->schema.LookupClass("Student");
+  const ClassDefinition& definition =
+      reified->schema.class_definition(student);
+  ASSERT_EQ(definition.participations.size(), 1u);
+  const ParticipationSpec& spec = definition.participations[0];
+  EXPECT_EQ(reified->schema.RelationName(spec.relation), "Exam__of");
+  EXPECT_EQ(reified->schema.RoleName(spec.role), "of");
+  EXPECT_EQ(spec.cardinality, Cardinality(2, 4));
+}
+
+TEST(ReifyTest, DisjunctiveRoleClauseUnsupported) {
+  SchemaBuilder builder;
+  builder.DeclareClass("A");
+  builder.DeclareClass("B");
+  builder.BeginRelation("R", {"x", "y", "z"})
+      .Constraint({{"x", {{"A"}}}, {"y", {{"B"}}}})
+      .EndRelation();
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  auto reified = ReifyNonBinaryRelations(*schema);
+  ASSERT_FALSE(reified.ok());
+  EXPECT_EQ(reified.status().code(), StatusCode::kUnsupported);
+}
+
+/// Theorem 4.5 on concrete schemas: every original class keeps its
+/// satisfiability status through reification.
+TEST(ReifyTest, SatisfiabilityPreservedOnFigure2) {
+  Schema schema = testing_schemas::Figure2();
+  auto reified = ReifyNonBinaryRelations(schema);
+  ASSERT_TRUE(reified.ok());
+
+  Reasoner original(&schema);
+  Reasoner transformed(&reified->schema);
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    auto before = original.IsClassSatisfiable(c);
+    auto after =
+        transformed.IsClassSatisfiable(schema.ClassName(c));
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(before.value(), after.value()) << schema.ClassName(c);
+  }
+}
+
+TEST(ReifyTest, SatisfiabilityPreservedOnTernaryConflict) {
+  // A ternary relation whose 'of' participation is unsatisfiable due to a
+  // disjointness conflict: Student must take exams, but exams demand
+  // their 'of' component in Ghost, and Student is disjoint from Ghost.
+  SchemaBuilder builder;
+  builder.BeginClass("Student")
+      .Isa({{"!Ghost"}})
+      .Participates("Exam", "of", 1, 2)
+      .EndClass();
+  builder.DeclareClass("Ghost");
+  builder.DeclareClass("Professor");
+  builder.BeginRelation("Exam", {"of", "by", "in"})
+      .Constraint({{"of", {{"Ghost"}}}})
+      .Constraint({{"by", {{"Professor"}}}})
+      .Constraint({{"in", {{"Professor"}}}})
+      .EndRelation();
+  auto schema_or = std::move(builder).Build();
+  ASSERT_TRUE(schema_or.ok());
+  Schema& schema = *schema_or;
+
+  auto reified = ReifyNonBinaryRelations(schema);
+  ASSERT_TRUE(reified.ok());
+
+  Reasoner original(&schema);
+  Reasoner transformed(&reified->schema);
+  EXPECT_FALSE(original.IsClassSatisfiable("Student").value());
+  EXPECT_FALSE(transformed.IsClassSatisfiable("Student").value());
+  EXPECT_TRUE(original.IsClassSatisfiable("Ghost").value());
+  EXPECT_TRUE(transformed.IsClassSatisfiable("Ghost").value());
+}
+
+/// Property: reification preserves per-class satisfiability on random
+/// schemas with one ternary relation.
+TEST(ReifyProperty, RandomTernarySchemasPreserveSatisfiability) {
+  Rng rng(424242);
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    SchemaBuilder builder;
+    const int num_classes = rng.NextInt(2, 4);
+    for (int c = 0; c < num_classes; ++c) {
+      builder.DeclareClass(StrCat("C", c));
+    }
+    // One participating class with random bounds; single-literal role
+    // clauses on a random subset of roles.
+    builder.BeginClass("P")
+        .Isa({{StrCat("C", rng.NextInt(0, num_classes - 1))}})
+        .Participates("R", "x", rng.NextInt(0, 2), rng.NextInt(2, 4))
+        .EndClass();
+    builder.BeginRelation("R", {"x", "y", "z"});
+    for (const char* role : {"x", "y", "z"}) {
+      if (rng.NextChance(2, 3)) {
+        builder.Constraint(
+            {{role, {{StrCat("C", rng.NextInt(0, num_classes - 1))}}}});
+      }
+    }
+    builder.EndRelation();
+    auto schema_or = std::move(builder).Build();
+    ASSERT_TRUE(schema_or.ok());
+    Schema& schema = *schema_or;
+
+    auto reified = ReifyNonBinaryRelations(schema);
+    ASSERT_TRUE(reified.ok());
+
+    Reasoner original(&schema);
+    Reasoner transformed(&reified->schema);
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      auto before = original.IsClassSatisfiable(c);
+      auto after = transformed.IsClassSatisfiable(schema.ClassName(c));
+      ASSERT_TRUE(before.ok());
+      ASSERT_TRUE(after.ok());
+      EXPECT_EQ(before.value(), after.value())
+          << "iteration " << iteration << " class " << schema.ClassName(c);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace car

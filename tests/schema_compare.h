@@ -1,0 +1,128 @@
+#ifndef CAR_TESTS_SCHEMA_COMPARE_H_
+#define CAR_TESTS_SCHEMA_COMPARE_H_
+
+#include <string>
+
+#include "model/schema.h"
+
+namespace car {
+namespace testing_schemas {
+
+/// Structural equality of schemas modulo the numbering of symbols:
+/// identical name inventories and, per name, identical definitions
+/// (formulae compared literal-by-literal through the name mapping;
+/// attribute/participation lists compared in order). Returns an empty
+/// string when equivalent, otherwise a description of the first
+/// difference.
+inline std::string DescribeSchemaDifference(const Schema& a,
+                                            const Schema& b) {
+  auto formula_equal = [&a, &b](const ClassFormula& fa,
+                                const ClassFormula& fb) {
+    if (fa.clauses().size() != fb.clauses().size()) return false;
+    for (size_t i = 0; i < fa.clauses().size(); ++i) {
+      const auto& ca = fa.clauses()[i].literals();
+      const auto& cb = fb.clauses()[i].literals();
+      if (ca.size() != cb.size()) return false;
+      for (size_t j = 0; j < ca.size(); ++j) {
+        if (ca[j].negated != cb[j].negated) return false;
+        if (a.ClassName(ca[j].class_id) != b.ClassName(cb[j].class_id)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  if (a.num_classes() != b.num_classes()) return "class counts differ";
+  if (a.num_attributes() != b.num_attributes()) {
+    return "attribute counts differ";
+  }
+  if (a.num_relations() != b.num_relations()) {
+    return "relation counts differ";
+  }
+  if (a.num_roles() != b.num_roles()) return "role counts differ";
+
+  for (ClassId ca = 0; ca < a.num_classes(); ++ca) {
+    const std::string& name = a.ClassName(ca);
+    ClassId cb = b.LookupClass(name);
+    if (cb == kInvalidId) return "class '" + name + "' missing";
+    const ClassDefinition& da = a.class_definition(ca);
+    const ClassDefinition& db = b.class_definition(cb);
+    if (!formula_equal(da.isa, db.isa)) {
+      return "isa of '" + name + "' differs";
+    }
+    if (da.attributes.size() != db.attributes.size()) {
+      return "attribute lists of '" + name + "' differ";
+    }
+    for (size_t i = 0; i < da.attributes.size(); ++i) {
+      const AttributeSpec& sa = da.attributes[i];
+      const AttributeSpec& sb = db.attributes[i];
+      if (sa.term.inverse != sb.term.inverse ||
+          a.AttributeName(sa.term.attribute) !=
+              b.AttributeName(sb.term.attribute) ||
+          sa.cardinality != sb.cardinality ||
+          !formula_equal(sa.range, sb.range)) {
+        return "attribute spec of '" + name + "' differs";
+      }
+    }
+    if (da.participations.size() != db.participations.size()) {
+      return "participation lists of '" + name + "' differ";
+    }
+    for (size_t i = 0; i < da.participations.size(); ++i) {
+      const ParticipationSpec& sa = da.participations[i];
+      const ParticipationSpec& sb = db.participations[i];
+      if (a.RelationName(sa.relation) != b.RelationName(sb.relation) ||
+          a.RoleName(sa.role) != b.RoleName(sb.role) ||
+          sa.cardinality != sb.cardinality) {
+        return "participation spec of '" + name + "' differs";
+      }
+    }
+  }
+
+  for (RelationId ra = 0; ra < a.num_relations(); ++ra) {
+    const std::string& name = a.RelationName(ra);
+    RelationId rb = b.LookupRelation(name);
+    if (rb == kInvalidId) return "relation '" + name + "' missing";
+    const RelationDefinition* da = a.relation_definition(ra);
+    const RelationDefinition* db = b.relation_definition(rb);
+    if ((da == nullptr) != (db == nullptr)) {
+      return "definition presence of relation '" + name + "' differs";
+    }
+    if (da == nullptr) continue;
+    if (da->roles.size() != db->roles.size()) {
+      return "role lists of relation '" + name + "' differ";
+    }
+    for (size_t i = 0; i < da->roles.size(); ++i) {
+      if (a.RoleName(da->roles[i]) != b.RoleName(db->roles[i])) {
+        return "role order of relation '" + name + "' differs";
+      }
+    }
+    if (da->constraints.size() != db->constraints.size()) {
+      return "constraints of relation '" + name + "' differ";
+    }
+    for (size_t i = 0; i < da->constraints.size(); ++i) {
+      const RoleClause& qa = da->constraints[i];
+      const RoleClause& qb = db->constraints[i];
+      if (qa.literals.size() != qb.literals.size()) {
+        return "role-clause sizes of relation '" + name + "' differ";
+      }
+      for (size_t j = 0; j < qa.literals.size(); ++j) {
+        if (a.RoleName(qa.literals[j].role) !=
+                b.RoleName(qb.literals[j].role) ||
+            !formula_equal(qa.literals[j].formula, qb.literals[j].formula)) {
+          return "role-clause of relation '" + name + "' differs";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+inline bool SchemaEquivalent(const Schema& a, const Schema& b) {
+  return DescribeSchemaDifference(a, b).empty();
+}
+
+}  // namespace testing_schemas
+}  // namespace car
+
+#endif  // CAR_TESTS_SCHEMA_COMPARE_H_

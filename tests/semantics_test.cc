@@ -1,0 +1,214 @@
+#include "semantics/model_check.h"
+
+#include <gtest/gtest.h>
+
+#include "model/builder.h"
+#include "semantics/evaluator.h"
+#include "test_schemas.h"
+
+namespace car {
+namespace {
+
+/// A hand-built model of Figure 2's schema: one professor, one grad
+/// student and four plain students, one course; the course is taught by
+/// the professor and enrolls five students (grad twice... no — the grad
+/// student enrolls in the course and a second course is needed for the
+/// grad's (2,3) constraint, so we use two courses).
+class Figure2ModelTest : public ::testing::Test {
+ protected:
+  Figure2ModelTest() : schema_(testing_schemas::Figure2()) {}
+
+  Schema schema_;
+};
+
+TEST_F(Figure2ModelTest, HandBuiltModelVerifies) {
+  // Objects: 0 professor, 1..5 students (1 is also a grad student),
+  // 6..7 courses, 8.. strings (name, dob, ids).
+  const int kProfessor = 0;
+  const int kGrad = 1;
+  const int kCourses[2] = {6, 7};
+  const int kFirstString = 8;
+  Interpretation model(&schema_, 8 + 6 + 6 + 5);
+
+  ClassId person = schema_.LookupClass("Person");
+  ClassId professor = schema_.LookupClass("Professor");
+  ClassId student = schema_.LookupClass("Student");
+  ClassId grad = schema_.LookupClass("Grad_Student");
+  ClassId course = schema_.LookupClass("Course");
+  ClassId string_class = schema_.LookupClass("String");
+  AttributeId name = schema_.LookupAttribute("name");
+  AttributeId dob = schema_.LookupAttribute("date_of_birth");
+  AttributeId student_id = schema_.LookupAttribute("student_id");
+  AttributeId taught_by = schema_.LookupAttribute("taught_by");
+  RelationId enrollment = schema_.LookupRelation("Enrollment");
+
+  model.AddToClass(person, kProfessor);
+  model.AddToClass(professor, kProfessor);
+  for (int s = 1; s <= 5; ++s) {
+    model.AddToClass(person, s);
+    model.AddToClass(student, s);
+  }
+  model.AddToClass(grad, kGrad);
+  model.AddToClass(course, kCourses[0]);
+  model.AddToClass(course, kCourses[1]);
+
+  // Strings: every person needs exactly one name and one date of birth;
+  // every student one student id.
+  int next_string = kFirstString;
+  for (int p = 0; p <= 5; ++p) {
+    model.AddToClass(string_class, next_string);
+    model.AddAttributePair(name, p, next_string++);
+    model.AddToClass(string_class, next_string);
+    model.AddAttributePair(dob, p, next_string++);
+  }
+  for (int s = 1; s <= 5; ++s) {
+    model.AddToClass(string_class, next_string);
+    model.AddAttributePair(student_id, s, next_string++);
+  }
+
+  // Both courses taught by the professor ((inv taught_by) allows 1..2).
+  model.AddAttributePair(taught_by, kCourses[0], kProfessor);
+  model.AddAttributePair(taught_by, kCourses[1], kProfessor);
+
+  // Enrollments: course 6 enrolls all five students; course 7 enrolls
+  // all five too (so the grad student has 2 enrollments, others 2 <= 6,
+  // and each course has 5 in [5, 100]).
+  for (int c : kCourses) {
+    for (int s = 1; s <= 5; ++s) {
+      ASSERT_TRUE(model.AddTuple(enrollment, {c, s}).ok());
+    }
+  }
+
+  ModelCheckResult result = CheckModel(schema_, model);
+  EXPECT_TRUE(result.is_model) << StrJoin(result.violations, "\n");
+}
+
+TEST_F(Figure2ModelTest, ViolationsAreDetectedAndDescribed) {
+  // A person with no name: violates name : (1,1).
+  Interpretation model(&schema_, 1);
+  model.AddToClass(schema_.LookupClass("Person"), 0);
+  ModelCheckResult result = CheckModel(schema_, model);
+  EXPECT_FALSE(result.is_model);
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_NE(result.violations[0].find("name"), std::string::npos);
+}
+
+TEST_F(Figure2ModelTest, IsaViolationDetected) {
+  // A professor who is not a person.
+  Interpretation model(&schema_, 2);
+  model.AddToClass(schema_.LookupClass("Professor"), 0);
+  ModelCheckResult result = CheckModel(schema_, model);
+  EXPECT_FALSE(result.is_model);
+  bool found_isa = false;
+  for (const std::string& violation : result.violations) {
+    if (violation.find("isa") != std::string::npos) found_isa = true;
+  }
+  EXPECT_TRUE(found_isa);
+}
+
+TEST_F(Figure2ModelTest, RoleClauseViolationDetected) {
+  // An enrollment of a non-grad student in an advanced course violates
+  // (enrolled_in : !Adv_Course) | (enrolls : Grad_Student).
+  Interpretation model(&schema_, 2);
+  ClassId student = schema_.LookupClass("Student");
+  ClassId person = schema_.LookupClass("Person");
+  ClassId course = schema_.LookupClass("Course");
+  ClassId adv = schema_.LookupClass("Adv_Course");
+  model.AddToClass(student, 0);
+  model.AddToClass(person, 0);
+  model.AddToClass(course, 1);
+  model.AddToClass(adv, 1);
+  ASSERT_TRUE(
+      model.AddTuple(schema_.LookupRelation("Enrollment"), {1, 0}).ok());
+  ModelCheckResult result = CheckModel(schema_, model);
+  EXPECT_FALSE(result.is_model);
+  bool found_role_clause = false;
+  for (const std::string& violation : result.violations) {
+    if (violation.find("role-clause") != std::string::npos) {
+      found_role_clause = true;
+    }
+  }
+  EXPECT_TRUE(found_role_clause);
+}
+
+TEST(InterpretationTest, SetSemanticsDeduplicate) {
+  Schema schema;
+  ClassId c = schema.InternClass("C");
+  AttributeId a = schema.InternAttribute("a");
+  Interpretation model(&schema, 2);
+  model.AddToClass(c, 0);
+  model.AddToClass(c, 0);
+  EXPECT_EQ(model.ClassExtension(c).size(), 1u);
+  model.AddAttributePair(a, 0, 1);
+  model.AddAttributePair(a, 0, 1);
+  EXPECT_EQ(model.AttributeExtension(a).size(), 1u);
+  EXPECT_EQ(model.AttributeOutDegree(a, 0), 1u);
+  EXPECT_EQ(model.AttributeInDegree(a, 1), 1u);
+  EXPECT_EQ(model.AttributeInDegree(a, 0), 0u);
+}
+
+TEST(InterpretationTest, TupleArityChecked) {
+  Schema schema;
+  RelationId r = schema.InternRelation("R");
+  RoleId u = schema.InternRole("u");
+  RoleId v = schema.InternRole("v");
+  RelationDefinition definition;
+  definition.relation_id = r;
+  definition.roles = {u, v};
+  ASSERT_TRUE(schema.SetRelationDefinition(definition).ok());
+  Interpretation model(&schema, 2);
+  EXPECT_FALSE(model.AddTuple(r, {0}).ok());
+  EXPECT_TRUE(model.AddTuple(r, {0, 1}).ok());
+  EXPECT_FALSE(model.AddTuple(r, {0, 5}).ok());
+  EXPECT_EQ(model.ParticipationCount(r, 0, 0), 1u);
+  EXPECT_EQ(model.ParticipationCount(r, 1, 1), 1u);
+  EXPECT_EQ(model.ParticipationCount(r, 1, 0), 0u);
+}
+
+TEST(EvaluatorTest, FormulaSemantics) {
+  Schema schema;
+  ClassId a = schema.InternClass("A");
+  ClassId b = schema.InternClass("B");
+  Interpretation model(&schema, 3);
+  model.AddToClass(a, 0);
+  model.AddToClass(a, 1);
+  model.AddToClass(b, 1);
+  Evaluator evaluator(&model);
+
+  // (¬A)^I = Δ \ A^I.
+  EXPECT_FALSE(evaluator.Satisfies(0, ClassLiteral::Negative(a)));
+  EXPECT_TRUE(evaluator.Satisfies(2, ClassLiteral::Negative(a)));
+
+  // Clause = union.
+  ClassClause a_or_b({ClassLiteral::Positive(a), ClassLiteral::Positive(b)});
+  EXPECT_TRUE(evaluator.Satisfies(0, a_or_b));
+  EXPECT_FALSE(evaluator.Satisfies(2, a_or_b));
+
+  // Formula = intersection of clauses.
+  ClassFormula a_and_b({ClassClause::Of(ClassLiteral::Positive(a)),
+                        ClassClause::Of(ClassLiteral::Positive(b))});
+  EXPECT_EQ(evaluator.Extension(a_and_b), std::vector<ObjectId>{1});
+  EXPECT_EQ(evaluator.Extension(ClassFormula::True()).size(), 3u);
+}
+
+TEST(ModelCheckTest, EmptyUniverseRejectedByDefault) {
+  Schema schema;
+  schema.InternClass("C");
+  Interpretation empty(&schema, 0);
+  EXPECT_FALSE(CheckModel(schema, empty).is_model);
+  ModelCheckOptions options;
+  options.require_nonempty_universe = false;
+  EXPECT_TRUE(CheckModel(schema, empty, options).is_model);
+}
+
+TEST(ModelCheckTest, EmptyInterpretationIsModelOfAnySchema) {
+  // "Every CAR schema is satisfied by any interpretation that assigns the
+  // empty set to every class" (Section 2.3) — with a nonempty universe.
+  Schema schema = testing_schemas::Figure2();
+  Interpretation model(&schema, 1);
+  ModelCheckResult result = CheckModel(schema, model);
+  EXPECT_TRUE(result.is_model) << StrJoin(result.violations, "\n");
+}
+
+}  // namespace
+}  // namespace car

@@ -1,0 +1,267 @@
+#include "math/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace car {
+namespace {
+
+LinearConstraint Make(const std::vector<std::pair<int, int64_t>>& terms,
+                      Relation relation, int64_t rhs) {
+  LinearConstraint constraint;
+  for (const auto& [variable, coefficient] : terms) {
+    constraint.expr.Add(variable, Rational(coefficient));
+  }
+  constraint.relation = relation;
+  constraint.rhs = Rational(rhs);
+  return constraint;
+}
+
+TEST(SimplexTest, TextbookMaximization) {
+  // max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18  =>  opt 36 at (2,6).
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  int y = system.AddVariable("y");
+  system.AddConstraint(Make({{x, 1}}, Relation::kLessEqual, 4));
+  system.AddConstraint(Make({{y, 2}}, Relation::kLessEqual, 12));
+  system.AddConstraint(Make({{x, 3}, {y, 2}}, Relation::kLessEqual, 18));
+  LinearExpr objective;
+  objective.Add(x, Rational(3));
+  objective.Add(y, Rational(5));
+
+  auto result = SimplexSolver().Maximize(system, objective);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result->objective, Rational(36));
+  EXPECT_EQ(result->values[x], Rational(2));
+  EXPECT_EQ(result->values[y], Rational(6));
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  system.AddConstraint(Make({{x, 1}}, Relation::kGreaterEqual, 3));
+  system.AddConstraint(Make({{x, 1}}, Relation::kLessEqual, 2));
+  auto result = SimplexSolver().CheckFeasible(system);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, LpOutcome::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  int y = system.AddVariable("y");
+  system.AddConstraint(Make({{x, 1}, {y, -1}}, Relation::kLessEqual, 1));
+  LinearExpr objective;
+  objective.Add(x, Rational(1));
+  auto result = SimplexSolver().Maximize(system, objective);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, LpOutcome::kUnbounded);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // max x + y  s.t.  x + y = 5, x - y = 1  =>  opt 5 at (3,2).
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  int y = system.AddVariable("y");
+  system.AddConstraint(Make({{x, 1}, {y, 1}}, Relation::kEqual, 5));
+  system.AddConstraint(Make({{x, 1}, {y, -1}}, Relation::kEqual, 1));
+  LinearExpr objective;
+  objective.Add(x, Rational(1));
+  objective.Add(y, Rational(1));
+  auto result = SimplexSolver().Maximize(system, objective);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result->objective, Rational(5));
+  EXPECT_EQ(result->values[x], Rational(3));
+  EXPECT_EQ(result->values[y], Rational(2));
+}
+
+TEST(SimplexTest, NegativeRightHandSides) {
+  // -x <= -3 is x >= 3; feasibility requires the flip logic.
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  system.AddConstraint(Make({{x, -1}}, Relation::kLessEqual, -3));
+  system.AddConstraint(Make({{x, 1}}, Relation::kLessEqual, 10));
+  LinearExpr objective;
+  objective.Add(x, Rational(-1));
+  auto result = SimplexSolver().Maximize(system, objective);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result->values[x], Rational(3));
+}
+
+TEST(SimplexTest, ExactRationalAnswer) {
+  // max y  s.t.  3y <= 1  =>  y = 1/3 exactly; floats would dither.
+  LinearSystem system;
+  int y = system.AddVariable("y");
+  system.AddConstraint(Make({{y, 3}}, Relation::kLessEqual, 1));
+  LinearExpr objective;
+  objective.Add(y, Rational(1));
+  auto result = SimplexSolver().Maximize(system, objective);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->objective, Rational(BigInt(1), BigInt(3)));
+}
+
+TEST(SimplexTest, EmptySystemFeasibleAtOrigin) {
+  LinearSystem system;
+  system.AddVariable("x");
+  auto result = SimplexSolver().CheckFeasible(system);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result->values[0], Rational(0));
+}
+
+TEST(SimplexTest, DegenerateCyclePronePivotsTerminate) {
+  // The classic Beale cycling example; Bland's rule must terminate.
+  // max 0.75a - 150b + 0.02c - 6d
+  // s.t. 0.25a - 60b - 0.04c + 9d <= 0
+  //      0.5a - 90b - 0.02c + 3d <= 0
+  //      c <= 1
+  LinearSystem system;
+  int a = system.AddVariable("a");
+  int b = system.AddVariable("b");
+  int c = system.AddVariable("c");
+  int d = system.AddVariable("d");
+  LinearConstraint c1;
+  c1.expr.Add(a, Rational(BigInt(1), BigInt(4)));
+  c1.expr.Add(b, Rational(-60));
+  c1.expr.Add(c, Rational(BigInt(-1), BigInt(25)));
+  c1.expr.Add(d, Rational(9));
+  c1.relation = Relation::kLessEqual;
+  c1.rhs = Rational(0);
+  system.AddConstraint(c1);
+  LinearConstraint c2;
+  c2.expr.Add(a, Rational(BigInt(1), BigInt(2)));
+  c2.expr.Add(b, Rational(-90));
+  c2.expr.Add(c, Rational(BigInt(-1), BigInt(50)));
+  c2.expr.Add(d, Rational(3));
+  c2.relation = Relation::kLessEqual;
+  c2.rhs = Rational(0);
+  system.AddConstraint(c2);
+  system.AddConstraint(Make({{c, 1}}, Relation::kLessEqual, 1));
+  LinearExpr objective;
+  objective.Add(a, Rational(BigInt(3), BigInt(4)));
+  objective.Add(b, Rational(-150));
+  objective.Add(c, Rational(BigInt(1), BigInt(50)));
+  objective.Add(d, Rational(-6));
+  auto result = SimplexSolver().Maximize(system, objective);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(result->objective, Rational(BigInt(1), BigInt(20)));
+}
+
+TEST(SimplexTest, PivotLimitReported) {
+  SimplexSolver::Options options;
+  options.max_pivots = 1;
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  int y = system.AddVariable("y");
+  system.AddConstraint(Make({{x, 1}, {y, 1}}, Relation::kLessEqual, 4));
+  system.AddConstraint(Make({{x, 1}, {y, 2}}, Relation::kLessEqual, 6));
+  LinearExpr objective;
+  objective.Add(x, Rational(1));
+  objective.Add(y, Rational(2));
+  auto result = SimplexSolver(options).Maximize(system, objective);
+  // Either it solved within the limit or reports resource exhaustion;
+  // with one pivot allowed this instance cannot finish.
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+/// Property: on random systems constructed to contain a known feasible
+/// point, the solver must report feasibility, return a point satisfying
+/// the system, and (when maximizing) weakly beat the known point.
+TEST(SimplexProperty, FeasibleByConstruction) {
+  Rng rng(20260401);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const int n = rng.NextInt(1, 5);
+    const int m = rng.NextInt(1, 6);
+    LinearSystem system;
+    std::vector<Rational> witness;
+    for (int j = 0; j < n; ++j) {
+      system.AddVariable("x");
+      witness.push_back(Rational(rng.NextInt(0, 5)));
+    }
+    for (int i = 0; i < m; ++i) {
+      LinearConstraint constraint;
+      Rational value;
+      for (int j = 0; j < n; ++j) {
+        int64_t coefficient = rng.NextInt(-4, 4);
+        if (coefficient != 0) {
+          constraint.expr.Add(j, Rational(coefficient));
+          value += Rational(coefficient) * witness[j];
+        }
+      }
+      int kind = rng.NextInt(0, 2);
+      if (kind == 0) {
+        constraint.relation = Relation::kLessEqual;
+        constraint.rhs = value + Rational(rng.NextInt(0, 5));
+      } else if (kind == 1) {
+        constraint.relation = Relation::kGreaterEqual;
+        constraint.rhs = value - Rational(rng.NextInt(0, 5));
+      } else {
+        constraint.relation = Relation::kEqual;
+        constraint.rhs = value;
+      }
+      system.AddConstraint(constraint);
+    }
+    ASSERT_TRUE(system.IsSatisfiedBy(witness));
+
+    LinearExpr objective;
+    Rational witness_objective;
+    for (int j = 0; j < n; ++j) {
+      int64_t coefficient = rng.NextInt(-3, 3);
+      objective.Add(j, Rational(coefficient));
+      witness_objective += Rational(coefficient) * witness[j];
+    }
+    auto result = SimplexSolver().Maximize(system, objective);
+    ASSERT_TRUE(result.ok());
+    ASSERT_NE(result->outcome, LpOutcome::kInfeasible);
+    if (result->outcome == LpOutcome::kOptimal) {
+      EXPECT_TRUE(system.IsSatisfiedBy(result->values))
+          << system.ToString();
+      EXPECT_GE(result->objective, witness_objective);
+    }
+  }
+}
+
+/// Property: feasibility verdicts on random (possibly infeasible) systems
+/// are self-consistent — a "feasible" answer always carries a point that
+/// checks out against the constraints.
+TEST(SimplexProperty, FeasibilityWitnessAlwaysValid) {
+  Rng rng(555);
+  int feasible_count = 0;
+  int infeasible_count = 0;
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    const int n = rng.NextInt(1, 4);
+    const int m = rng.NextInt(1, 6);
+    LinearSystem system;
+    for (int j = 0; j < n; ++j) system.AddVariable("x");
+    for (int i = 0; i < m; ++i) {
+      LinearConstraint constraint;
+      for (int j = 0; j < n; ++j) {
+        int64_t coefficient = rng.NextInt(-3, 3);
+        if (coefficient != 0) constraint.expr.Add(j, Rational(coefficient));
+      }
+      constraint.relation = static_cast<Relation>(rng.NextInt(0, 2));
+      constraint.rhs = Rational(rng.NextInt(-6, 6));
+      system.AddConstraint(constraint);
+    }
+    auto result = SimplexSolver().CheckFeasible(system);
+    ASSERT_TRUE(result.ok());
+    if (result->outcome == LpOutcome::kOptimal) {
+      ++feasible_count;
+      EXPECT_TRUE(system.IsSatisfiedBy(result->values)) << system.ToString();
+    } else {
+      ++infeasible_count;
+    }
+  }
+  // The generator should produce a healthy mix of both verdicts.
+  EXPECT_GT(feasible_count, 20);
+  EXPECT_GT(infeasible_count, 20);
+}
+
+}  // namespace
+}  // namespace car

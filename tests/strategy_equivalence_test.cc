@@ -1,0 +1,148 @@
+// The heart of Theorem 4.6: imposing disjointness between classes not
+// connected in G_S (which is what the pruned, clustered expansion does)
+// preserves class satisfiability. These tests compare the full pipeline
+// under the exhaustive and pruned strategies on many random schemas; any
+// disagreement would mean the connectivity conditions are unsound.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "expansion/expansion.h"
+#include "model/builder.h"
+#include "solver/solve.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+Result<std::vector<bool>> SatisfiabilityVector(const Schema& schema,
+                                               ExpansionStrategy strategy,
+                                               bool use_clusters) {
+  ExpansionOptions options;
+  options.strategy = strategy;
+  options.use_clusters = use_clusters;
+  CAR_ASSIGN_OR_RETURN(Expansion expansion, BuildExpansion(schema, options));
+  CAR_ASSIGN_OR_RETURN(PsiSolution solution, SolvePsi(expansion));
+  return solution.class_satisfiable;
+}
+
+void ExpectStrategiesAgree(const Schema& schema, const char* label) {
+  auto exhaustive = SatisfiabilityVector(
+      schema, ExpansionStrategy::kExhaustive, /*use_clusters=*/false);
+  ASSERT_TRUE(exhaustive.ok()) << label << ": " << exhaustive.status();
+  auto pruned_clustered = SatisfiabilityVector(
+      schema, ExpansionStrategy::kPruned, /*use_clusters=*/true);
+  ASSERT_TRUE(pruned_clustered.ok())
+      << label << ": " << pruned_clustered.status();
+  auto pruned_flat = SatisfiabilityVector(
+      schema, ExpansionStrategy::kPruned, /*use_clusters=*/false);
+  ASSERT_TRUE(pruned_flat.ok()) << label << ": " << pruned_flat.status();
+
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    EXPECT_EQ(exhaustive.value()[c], pruned_clustered.value()[c])
+        << label << ": clustered strategy disagrees on class "
+        << schema.ClassName(c);
+    EXPECT_EQ(exhaustive.value()[c], pruned_flat.value()[c])
+        << label << ": flat pruned strategy disagrees on class "
+        << schema.ClassName(c);
+  }
+}
+
+TEST(StrategyEquivalence, RandomGeneralSchemas) {
+  Rng rng(20260101);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    GeneralSchemaParams params;
+    params.num_classes = rng.NextInt(2, 8);
+    params.num_attributes = rng.NextInt(0, 2);
+    params.max_cardinality = 3;
+    params.num_relations = rng.NextInt(0, 1);
+    Schema schema = RandomGeneralSchema(&rng, params);
+    ExpectStrategiesAgree(schema, StrCat("iteration ", iteration).c_str());
+  }
+}
+
+TEST(StrategyEquivalence, RandomHierarchies) {
+  Rng rng(20260202);
+  for (int iteration = 0; iteration < 15; ++iteration) {
+    HierarchyParams params;
+    params.num_classes = rng.NextInt(3, 10);
+    params.num_trees = rng.NextInt(1, 2);
+    params.max_children = rng.NextInt(1, 3);
+    Schema schema = GenerateHierarchy(&rng, params);
+    ExpectStrategiesAgree(schema, StrCat("hierarchy ", iteration).c_str());
+  }
+}
+
+TEST(StrategyEquivalence, RandomClusteredSchemas) {
+  Rng rng(20260303);
+  for (int iteration = 0; iteration < 15; ++iteration) {
+    ClusteredParams params;
+    params.num_clusters = rng.NextInt(1, 2);
+    params.cluster_size = rng.NextInt(2, 3);
+    params.dense = rng.NextChance(1, 2);
+    Schema schema = GenerateClusteredSchema(&rng, params);
+    ExpectStrategiesAgree(schema, StrCat("clustered ", iteration).c_str());
+  }
+}
+
+TEST(StrategyEquivalence, CrossClusterAttributeRequirement) {
+  // A regression-style scenario for the arc conditions: C needs
+  // successors in D ∧ E (two different clauses of the same range
+  // formula). D and E must land in one cluster, or the pruned strategy
+  // would wrongly kill C.
+  SchemaBuilder builder;
+  builder.BeginClass("C").Attribute("a", 1, 1, {{"D"}, {"E"}}).EndClass();
+  builder.DeclareClass("D");
+  builder.DeclareClass("E");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  ExpectStrategiesAgree(*schema, "range-conjunction");
+}
+
+TEST(StrategyEquivalence, CrossDefinitionRangeInteraction) {
+  // C1 and C2 both constrain attribute `a`, with ranges D and E in
+  // *different definitions*; an object in C1 ∧ C2 needs successors in
+  // D ∧ E. The paper's literal condition 2 (same formula only) would
+  // separate D from E; our per-attribute target clique keeps them
+  // together.
+  SchemaBuilder builder;
+  builder.BeginClass("C1").Attribute("a", 1, 2, {{"D"}}).EndClass();
+  builder.BeginClass("C2").Attribute("a", 1, 2, {{"E"}}).EndClass();
+  builder.BeginClass("Both").Isa({{"C1"}, {"C2"}}).EndClass();
+  builder.DeclareClass("D");
+  builder.DeclareClass("E");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  ExpectStrategiesAgree(*schema, "cross-definition ranges");
+}
+
+TEST(StrategyEquivalence, ParticipantMustMeetRoleFormula) {
+  // The participation-induced arc (our condition 4): C participates with
+  // min 1 in R[u], whose role clause demands membership in D; C and D
+  // must share a cluster.
+  SchemaBuilder builder;
+  builder.BeginClass("C")
+      .Participates("R", "u", 1, SchemaBuilder::kUnbounded)
+      .EndClass();
+  builder.DeclareClass("D");
+  builder.BeginRelation("R", {"u"}).Constraint({{"u", {{"D"}}}}).EndRelation();
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  ExpectStrategiesAgree(*schema, "participation role formula");
+}
+
+TEST(StrategyEquivalence, InverseAttributeSourceSideInteraction) {
+  // Target class T carries an (inv a) range restricting *sources* to D;
+  // source class S (owning a direct a-spec with range T) must be able to
+  // co-reside with D.
+  SchemaBuilder builder;
+  builder.BeginClass("S").Attribute("a", 1, 1, {{"T"}}).EndClass();
+  builder.BeginClass("T").InverseAttribute("a", 0, 5, {{"D"}}).EndClass();
+  builder.DeclareClass("D");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  ExpectStrategiesAgree(*schema, "inverse source side");
+}
+
+}  // namespace
+}  // namespace car

@@ -1,0 +1,110 @@
+#ifndef CAR_TESTS_TEST_SCHEMAS_H_
+#define CAR_TESTS_TEST_SCHEMAS_H_
+
+#include "base/check.h"
+#include "model/builder.h"
+#include "model/schema.h"
+
+namespace car {
+namespace testing_schemas {
+
+/// The paper's Figure 1: the basic object-oriented university schema
+/// (classes, isa, attributes only — no cardinalities beyond (0, *)).
+inline Schema Figure1() {
+  SchemaBuilder builder;
+  builder.DeclareClass("String");
+  builder.BeginClass("Person")
+      .Attribute("name", 0, SchemaBuilder::kUnbounded, {{"String"}})
+      .Attribute("date_of_birth", 0, SchemaBuilder::kUnbounded, {{"String"}})
+      .EndClass();
+  builder.BeginClass("Professor")
+      .Isa({{"Person"}})
+      .Attribute("teaches", 0, SchemaBuilder::kUnbounded, {{"Course"}})
+      .EndClass();
+  builder.BeginClass("Student")
+      .Isa({{"Person"}})
+      .Attribute("student_id", 0, SchemaBuilder::kUnbounded, {{"String"}})
+      .EndClass();
+  builder.BeginClass("Grad_Student").Isa({{"Student"}}).EndClass();
+  builder.BeginClass("Course")
+      .Attribute("taught_by", 0, SchemaBuilder::kUnbounded, {{"Professor"}})
+      .EndClass();
+  builder.BeginClass("Adv_Course").Isa({{"Course"}}).EndClass();
+  builder.BeginClass("Enrollment")
+      .Attribute("enrolls", 0, SchemaBuilder::kUnbounded, {{"Student"}})
+      .Attribute("enrolled_in", 0, SchemaBuilder::kUnbounded, {{"Course"}})
+      .EndClass();
+  auto schema = std::move(builder).Build();
+  CAR_CHECK(schema.ok()) << schema.status();
+  return std::move(schema).value();
+}
+
+/// The paper's Figure 2: the full CAR schema with disjointness, unions,
+/// inverse attributes, the binary relation Enrollment, the ternary
+/// relation Exam, and cardinality constraints.
+inline Schema Figure2() {
+  SchemaBuilder builder;
+  builder.DeclareClass("String");
+  builder.BeginClass("Person")
+      .Attribute("name", 1, 1, {{"String"}})
+      .Attribute("date_of_birth", 1, 1, {{"String"}})
+      .EndClass();
+  builder.BeginClass("Professor")
+      .Isa({{"Person"}})
+      .InverseAttribute("taught_by", 1, 2, {{"Course"}})
+      .EndClass();
+  builder.BeginClass("Student")
+      .Isa({{"Person"}, {"!Professor"}})
+      .Attribute("student_id", 1, 1, {{"String"}})
+      .Participates("Enrollment", "enrolls", 1, 6)
+      .EndClass();
+  builder.BeginClass("Grad_Student")
+      .Isa({{"Student"}})
+      .InverseAttribute("taught_by", 0, 1, {{"Course"}})
+      .Participates("Enrollment", "enrolls", 2, 3)
+      .EndClass();
+  builder.BeginClass("Course")
+      .Attribute("taught_by", 1, 1, {{"Professor", "Grad_Student"}})
+      .Participates("Enrollment", "enrolled_in", 5, 100)
+      .EndClass();
+  builder.BeginClass("Adv_Course")
+      .Isa({{"Course"}})
+      .Attribute("taught_by", 1, 1, {{"Professor"}})
+      .Participates("Enrollment", "enrolled_in", 5, 20)
+      .EndClass();
+  builder.BeginRelation("Enrollment", {"enrolled_in", "enrolls"})
+      .Constraint({{"enrolled_in", {{"Course"}}}})
+      .Constraint({{"enrolls", {{"Student"}}}})
+      .Constraint({{"enrolled_in", {{"!Adv_Course"}}},
+                   {"enrolls", {{"Grad_Student"}}}})
+      .EndRelation();
+  builder.BeginRelation("Exam", {"of", "by", "in"})
+      .Constraint({{"of", {{"Student"}}}})
+      .Constraint({{"by", {{"Professor"}}}})
+      .Constraint({{"in", {{"Course"}}}})
+      .EndRelation();
+  auto schema = std::move(builder).Build();
+  CAR_CHECK(schema.ok()) << schema.status();
+  return std::move(schema).value();
+}
+
+/// A schema exhibiting the signature finite-model effect: class C with a
+/// self-attribute requiring exactly 2 successors in C while every C object
+/// may be the successor of at most one C object. Over finite universes
+/// 2|C| <= |C| forces C empty, so C is unsatisfiable although it has an
+/// infinite "model".
+inline Schema FiniteOnlyUnsat() {
+  SchemaBuilder builder;
+  builder.BeginClass("C")
+      .Attribute("child", 2, 2, {{"C"}})
+      .InverseAttribute("child", 0, 1, {{"C"}})
+      .EndClass();
+  auto schema = std::move(builder).Build();
+  CAR_CHECK(schema.ok()) << schema.status();
+  return std::move(schema).value();
+}
+
+}  // namespace testing_schemas
+}  // namespace car
+
+#endif  // CAR_TESTS_TEST_SCHEMAS_H_

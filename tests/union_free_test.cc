@@ -1,0 +1,178 @@
+// The Section 4.4 "optimal strategy" for union-free schemas: maximal
+// assumed disjointness, computed from required-co-membership contexts.
+
+#include "analysis/union_free.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "expansion/expansion.h"
+#include "model/builder.h"
+#include "solver/solve.h"
+#include "test_schemas.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+/// A generalization hierarchy with NO explicit sibling negation — the
+/// [BCN92] reading where same-depth disjointness is an assumption of the
+/// model, not a schema axiom. Exactly the situation Section 4.4's
+/// completion is for.
+Schema ImplicitHierarchy() {
+  SchemaBuilder builder;
+  builder.DeclareClass("Root");
+  builder.BeginClass("A").Isa({{"Root"}}).EndClass();
+  builder.BeginClass("B").Isa({{"Root"}}).EndClass();
+  builder.BeginClass("A1").Isa({{"A"}}).EndClass();
+  builder.BeginClass("A2").Isa({{"A"}}).EndClass();
+  builder.BeginClass("B1").Isa({{"B"}}).EndClass();
+  auto schema = std::move(builder).Build();
+  CAR_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(UnionFreeCompletionTest, SiblingsAssumedDisjoint) {
+  Schema schema = ImplicitHierarchy();
+  PairTables tables = BuildPairTables(schema);
+  EXPECT_EQ(tables.num_disjoint_pairs(), 0u);  // Nothing explicit.
+  CompleteDisjointnessUnionFree(schema, &tables);
+  EXPECT_TRUE(tables.AreDisjoint(schema.LookupClass("A"),
+                                 schema.LookupClass("B")));
+  EXPECT_TRUE(tables.AreDisjoint(schema.LookupClass("A1"),
+                                 schema.LookupClass("A2")));
+  EXPECT_TRUE(tables.AreDisjoint(schema.LookupClass("A1"),
+                                 schema.LookupClass("B1")));
+  // Ancestors are never disjoint from descendants.
+  EXPECT_FALSE(tables.AreDisjoint(schema.LookupClass("A1"),
+                                  schema.LookupClass("A")));
+  EXPECT_FALSE(tables.AreDisjoint(schema.LookupClass("A1"),
+                                  schema.LookupClass("Root")));
+}
+
+TEST(UnionFreeCompletionTest, HierarchyExpandsToOneCompoundPerClass) {
+  Schema schema = ImplicitHierarchy();
+  auto expansion = BuildExpansion(schema);
+  ASSERT_TRUE(expansion.ok());
+  // Root-to-node paths, one per class, plus the empty compound — even
+  // though no disjointness is written anywhere (Section 4.4's claim).
+  EXPECT_EQ(expansion->compound_classes.size(),
+            static_cast<size_t>(schema.num_classes()) + 1);
+  // Without the completion the same schema explodes combinatorially.
+  ExpansionOptions no_completion;
+  no_completion.union_free_completion = false;
+  auto full = BuildExpansion(schema, no_completion);
+  ASSERT_TRUE(full.ok());
+  EXPECT_GT(full->compound_classes.size(),
+            expansion->compound_classes.size());
+}
+
+TEST(UnionFreeCompletionTest, RangeConjunctionKeepsPairsTogether) {
+  // The mandatory f-filler must be in D and E simultaneously: D,E must
+  // not be assumed disjoint, and neither may their isa parents.
+  SchemaBuilder builder;
+  builder.BeginClass("C").Attribute("f", 1, 1, {{"D"}, {"E"}}).EndClass();
+  builder.BeginClass("D").Isa({{"Dp"}}).EndClass();
+  builder.BeginClass("E").Isa({{"Ep"}}).EndClass();
+  builder.DeclareClass("Dp");
+  builder.DeclareClass("Ep");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  PairTables tables = BuildPairTables(*schema);
+  CompleteDisjointnessUnionFree(*schema, &tables);
+  EXPECT_FALSE(tables.AreDisjoint(schema->LookupClass("D"),
+                                  schema->LookupClass("E")));
+  EXPECT_FALSE(tables.AreDisjoint(schema->LookupClass("Dp"),
+                                  schema->LookupClass("Ep")));
+  // But C itself never co-resides with D.
+  EXPECT_TRUE(tables.AreDisjoint(schema->LookupClass("C"),
+                                 schema->LookupClass("D")));
+}
+
+TEST(UnionFreeCompletionTest, InverseFeedbackProtectsSources) {
+  // C's mandatory filler lands in T; T's (inv f) range forces the source
+  // (a C-object) into D — so C and D must stay co-residable.
+  SchemaBuilder builder;
+  builder.BeginClass("C").Attribute("f", 1, 1, {{"T"}}).EndClass();
+  builder.BeginClass("T").InverseAttribute("f", 0, 5, {{"D"}}).EndClass();
+  builder.DeclareClass("D");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  PairTables tables = BuildPairTables(*schema);
+  CompleteDisjointnessUnionFree(*schema, &tables);
+  EXPECT_FALSE(tables.AreDisjoint(schema->LookupClass("C"),
+                                  schema->LookupClass("D")));
+}
+
+TEST(UnionFreeCompletionTest, ParticipationRoleFormulaProtected) {
+  SchemaBuilder builder;
+  builder.BeginClass("C")
+      .Participates("R", "u", 1, SchemaBuilder::kUnbounded)
+      .EndClass();
+  builder.DeclareClass("D");
+  builder.DeclareClass("E");
+  builder.BeginRelation("R", {"u", "v"})
+      .Constraint({{"u", {{"D"}}}})
+      .Constraint({{"v", {{"E"}}}})
+      .EndRelation();
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  PairTables tables = BuildPairTables(*schema);
+  CompleteDisjointnessUnionFree(*schema, &tables);
+  // C must be in D (it is the u-component of its mandatory tuples).
+  EXPECT_FALSE(tables.AreDisjoint(schema->LookupClass("C"),
+                                  schema->LookupClass("D")));
+  // The v-component is a different object: C and E assumed disjoint.
+  EXPECT_TRUE(tables.AreDisjoint(schema->LookupClass("C"),
+                                 schema->LookupClass("E")));
+}
+
+TEST(UnionFreeCompletionTest, NoOpOnNonUnionFreeSchemas) {
+  Schema schema = testing_schemas::Figure2();
+  ASSERT_FALSE(schema.IsUnionFree());
+  PairTables tables = BuildPairTables(schema);
+  size_t before = tables.num_disjoint_pairs();
+  CompleteDisjointnessUnionFree(schema, &tables);
+  EXPECT_EQ(tables.num_disjoint_pairs(), before);
+}
+
+/// Satisfiability must be preserved by the completion on random
+/// union-free schemas (against the exhaustive strategy, which never uses
+/// it).
+TEST(UnionFreeCompletionProperty, PreservesSatisfiability) {
+  Rng rng(20261111);
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    GeneralSchemaParams params;
+    params.num_classes = rng.NextInt(2, 8);
+    params.num_attributes = rng.NextInt(0, 2);
+    params.union_percent = 0;  // Union-free.
+    params.max_cardinality = 3;
+    params.num_relations = rng.NextInt(0, 1);
+    Schema schema = RandomGeneralSchema(&rng, params);
+    if (!schema.IsUnionFree()) continue;
+
+    ExpansionOptions exhaustive;
+    exhaustive.strategy = ExpansionStrategy::kExhaustive;
+    auto full = BuildExpansion(schema, exhaustive);
+    ASSERT_TRUE(full.ok());
+    auto full_solution = SolvePsi(*full);
+    ASSERT_TRUE(full_solution.ok());
+
+    auto completed = BuildExpansion(schema);  // Pruned + completion.
+    ASSERT_TRUE(completed.ok());
+    auto completed_solution = SolvePsi(*completed);
+    ASSERT_TRUE(completed_solution.ok());
+
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      EXPECT_EQ(full_solution->IsClassSatisfiable(c),
+                completed_solution->IsClassSatisfiable(c))
+          << "iteration " << iteration << " class " << schema.ClassName(c);
+    }
+    // The completion must never *increase* the expansion.
+    EXPECT_LE(completed->compound_classes.size(),
+              full->compound_classes.size());
+  }
+}
+
+}  // namespace
+}  // namespace car

@@ -1,0 +1,175 @@
+// Finite vs. unrestricted reasoning — the ablation of the paper's core
+// stance: databases are finite, and reasoning must account for it.
+
+#include "reasoner/unrestricted.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "model/builder.h"
+#include "reductions/counting_ladder.h"
+#include "solver/solve.h"
+#include "test_schemas.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+struct BothResults {
+  PsiSolution finite;
+  UnrestrictedResult unrestricted;
+};
+
+Result<BothResults> SolveBoth(const Schema& schema) {
+  CAR_ASSIGN_OR_RETURN(Expansion expansion, BuildExpansion(schema));
+  CAR_ASSIGN_OR_RETURN(PsiSolution finite, SolvePsi(expansion));
+  CAR_ASSIGN_OR_RETURN(UnrestrictedResult unrestricted,
+                       CheckUnrestrictedSatisfiability(expansion));
+  BothResults both{std::move(finite), std::move(unrestricted)};
+  return both;
+}
+
+TEST(UnrestrictedTest, FiniteOnlyEffectSeparatesTheSemantics) {
+  // child : (2,2) into C with in-degree <= 1: an infinite binary tree is
+  // a perfectly good unrestricted model, but no finite one exists. This
+  // is the exact phenomenon the paper's technique exists to catch.
+  Schema schema = testing_schemas::FiniteOnlyUnsat();
+  auto both = SolveBoth(schema);
+  ASSERT_TRUE(both.ok());
+  ClassId c = schema.LookupClass("C");
+  EXPECT_TRUE(both->unrestricted.IsClassSatisfiable(c));
+  EXPECT_FALSE(both->finite.IsClassSatisfiable(c));
+}
+
+TEST(UnrestrictedTest, SyntacticContradictionKillsBoth) {
+  SchemaBuilder builder;
+  builder.BeginClass("Dead").Isa({{"X"}, {"!X"}}).EndClass();
+  builder.DeclareClass("X");
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  auto both = SolveBoth(*schema);
+  ASSERT_TRUE(both.ok());
+  ClassId dead = schema->LookupClass("Dead");
+  EXPECT_FALSE(both->unrestricted.IsClassSatisfiable(dead));
+  EXPECT_FALSE(both->finite.IsClassSatisfiable(dead));
+}
+
+TEST(UnrestrictedTest, EmptyIntervalKillsBoth) {
+  // Pinched counting ladders are unsatisfiable for *local* reasons (an
+  // empty merged interval), which unrestricted reasoning sees too.
+  CountingLadderOptions options;
+  options.rungs = 5;
+  options.pinch = true;
+  auto ladder = BuildCountingLadder(options);
+  ASSERT_TRUE(ladder.ok());
+  auto both = SolveBoth(ladder->schema);
+  ASSERT_TRUE(both.ok());
+  ClassId bottom = ladder->schema.LookupClass(ladder->bottom_class);
+  EXPECT_FALSE(both->unrestricted.IsClassSatisfiable(bottom));
+  EXPECT_FALSE(both->finite.IsClassSatisfiable(bottom));
+}
+
+TEST(UnrestrictedTest, Figure2AgreesOnBothSemantics) {
+  Schema schema = testing_schemas::Figure2();
+  auto both = SolveBoth(schema);
+  ASSERT_TRUE(both.ok());
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    EXPECT_TRUE(both->unrestricted.IsClassSatisfiable(c))
+        << schema.ClassName(c);
+    EXPECT_TRUE(both->finite.IsClassSatisfiable(c)) << schema.ClassName(c);
+  }
+}
+
+TEST(UnrestrictedTest, UnsatChainEliminatesTransitively) {
+  // B1 -> B2 -> B3 -> U: elimination must cascade in both semantics.
+  SchemaBuilder builder;
+  builder.BeginClass("U").Isa({{"!U"}}).EndClass();
+  builder.BeginClass("B3").Attribute("a3", 1, 2, {{"U"}}).EndClass();
+  builder.BeginClass("B2").Attribute("a2", 1, 2, {{"B3"}}).EndClass();
+  builder.BeginClass("B1").Attribute("a1", 1, 2, {{"B2"}}).EndClass();
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  auto both = SolveBoth(*schema);
+  ASSERT_TRUE(both.ok());
+  for (const char* name : {"U", "B3", "B2", "B1"}) {
+    EXPECT_FALSE(both->unrestricted.IsClassSatisfiable(
+        schema->LookupClass(name)))
+        << name;
+  }
+  EXPECT_GE(both->unrestricted.elimination_rounds, 2u);
+}
+
+TEST(UnrestrictedTest, RelationWitnessRequired) {
+  // C must take part in R[u] but the role clause forces u into D,
+  // disjoint from C: unsatisfiable in both semantics — infinity does not
+  // create inhabitable tuple shapes.
+  SchemaBuilder builder;
+  builder.BeginClass("C")
+      .Isa({{"!D"}})
+      .Participates("R", "u", 1, SchemaBuilder::kUnbounded)
+      .EndClass();
+  builder.DeclareClass("D");
+  builder.BeginRelation("R", {"u"}).Constraint({{"u", {{"D"}}}}).EndRelation();
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  auto both = SolveBoth(*schema);
+  ASSERT_TRUE(both.ok());
+  EXPECT_FALSE(
+      both->unrestricted.IsClassSatisfiable(schema->LookupClass("C")));
+  EXPECT_FALSE(both->finite.IsClassSatisfiable(schema->LookupClass("C")));
+}
+
+TEST(UnrestrictedTest, InverseFunctionalityCycleFineUnrestricted) {
+  // A -> B -> A with exactly-one constraints everywhere: finite models
+  // exist (equal populations), so both semantics agree satisfiable.
+  SchemaBuilder builder;
+  builder.BeginClass("A")
+      .Attribute("f", 1, 1, {{"B"}})
+      .InverseAttribute("g", 1, 1, {{"B"}})
+      .EndClass();
+  builder.BeginClass("B")
+      .Attribute("g", 1, 1, {{"A"}})
+      .InverseAttribute("f", 1, 1, {{"A"}})
+      .EndClass();
+  auto schema = std::move(builder).Build();
+  ASSERT_TRUE(schema.ok());
+  auto both = SolveBoth(*schema);
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both->finite.IsClassSatisfiable(schema->LookupClass("A")));
+  EXPECT_TRUE(
+      both->unrestricted.IsClassSatisfiable(schema->LookupClass("A")));
+}
+
+/// The fundamental inclusion: every finitely satisfiable class is
+/// satisfiable unrestrictedly (finite database states are
+/// interpretations). Random sweep; disagreements in the other direction
+/// are counted — they are the finite-model effects.
+TEST(UnrestrictedProperty, FiniteSatImpliesUnrestrictedSat) {
+  Rng rng(20260505);
+  int checked = 0;
+  int finite_effects = 0;
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    GeneralSchemaParams params;
+    params.num_classes = rng.NextInt(2, 6);
+    params.num_attributes = rng.NextInt(0, 2);
+    params.max_cardinality = 3;
+    params.num_relations = rng.NextInt(0, 1);
+    Schema schema = RandomGeneralSchema(&rng, params);
+    auto both = SolveBoth(schema);
+    ASSERT_TRUE(both.ok());
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      ++checked;
+      if (both->finite.IsClassSatisfiable(c)) {
+        EXPECT_TRUE(both->unrestricted.IsClassSatisfiable(c))
+            << "iteration " << iteration << " class " << schema.ClassName(c)
+            << ": finite model exists but unrestricted reasoner says no";
+      } else if (both->unrestricted.IsClassSatisfiable(c)) {
+        ++finite_effects;  // Satisfiable only with infinite universes.
+      }
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+}  // namespace
+}  // namespace car

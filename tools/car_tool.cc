@@ -1,0 +1,222 @@
+// car_tool — the command-line front end of libcar.
+//
+//   car_tool check <schema-file>         validate + satisfiability report
+//   car_tool print <schema-file>         canonical pretty-print
+//   car_tool stats <schema-file>         fragment, clusters, expansion sizes
+//   car_tool model <schema-file>         synthesize & dump a database state
+//   car_tool reify <schema-file>         print the Theorem-4.5 reification
+//   car_tool implications <schema-file> <class>
+//                                        implied superclasses, disjointness
+//                                        and cardinality bounds for a class
+//
+// Exit codes: 0 success (for `check`: all classes satisfiable), 1 usage or
+// processing error, 2 (`check` only): schema valid but some class is
+// unsatisfiable.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/car.h"
+#include "reasoner/unrestricted.h"
+#include "semantics/dump.h"
+
+namespace car {
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: car_tool <command> <schema-file> [args]\n"
+         "commands:\n"
+         "  check <file>                validate + satisfiability report\n"
+         "  print <file>                canonical pretty-print\n"
+         "  stats <file>                fragment, clusters, expansion\n"
+         "  model <file>                synthesize a database state\n"
+         "  reify <file>                reify n-ary relations (Thm 4.5)\n"
+         "  implications <file> <class> implied facts about one class\n";
+  return 1;
+}
+
+Result<Schema> Load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFound(StrCat("cannot open '", path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseSchema(buffer.str());
+}
+
+int Check(Schema& schema) {
+  Reasoner reasoner(&schema);
+  auto report = reasoner.CheckSchema();
+  if (!report.ok()) {
+    std::cerr << "error: " << report.status() << "\n";
+    return 1;
+  }
+  std::cout << schema.Summary() << "\n";
+  if (report->unsatisfiable_classes.empty()) {
+    std::cout << "OK: all classes satisfiable\n";
+    return 0;
+  }
+  for (ClassId c : report->unsatisfiable_classes) {
+    std::cout << "UNSATISFIABLE: " << schema.ClassName(c) << "\n";
+  }
+  return 2;
+}
+
+int Stats(Schema& schema) {
+  std::cout << schema.Summary() << "\n";
+  std::cout << "union-free: " << (schema.IsUnionFree() ? "yes" : "no")
+            << "\nnegation-free: "
+            << (schema.IsNegationFree() ? "yes" : "no")
+            << "\nmax arity: " << schema.MaxArity() << "\n";
+
+  PairTables tables = BuildPairTables(schema);
+  ClusterPartition clusters = ComputeClusters(schema, tables);
+  std::cout << "preselection: " << tables.num_inclusion_pairs()
+            << " inclusions, " << tables.num_disjoint_pairs()
+            << " disjoint pairs; " << clusters.Summary(schema) << "\n";
+
+  auto expansion = BuildExpansion(schema);
+  if (!expansion.ok()) {
+    std::cerr << "expansion: " << expansion.status() << "\n";
+    return 1;
+  }
+  std::cout << expansion->Summary() << "\n";
+
+  auto finite = SolvePsi(*expansion);
+  if (!finite.ok()) {
+    std::cerr << "solver: " << finite.status() << "\n";
+    return 1;
+  }
+  auto unrestricted = CheckUnrestrictedSatisfiability(*expansion);
+  if (!unrestricted.ok()) {
+    std::cerr << "unrestricted: " << unrestricted.status() << "\n";
+    return 1;
+  }
+  int finite_only = 0;
+  for (ClassId c = 0; c < schema.num_classes(); ++c) {
+    if (unrestricted->IsClassSatisfiable(c) &&
+        !finite->IsClassSatisfiable(c)) {
+      ++finite_only;
+      std::cout << "finite-model effect: " << schema.ClassName(c)
+                << " is satisfiable only over infinite universes\n";
+    }
+  }
+  std::cout << "LP solves: " << finite->lp_solves
+            << ", pivots: " << finite->total_pivots
+            << ", finite-model effects: " << finite_only << "\n";
+  return 0;
+}
+
+int Model(Schema& schema) {
+  auto expansion = BuildExpansion(schema);
+  if (!expansion.ok()) {
+    std::cerr << "expansion: " << expansion.status() << "\n";
+    return 1;
+  }
+  auto solution = SolvePsi(*expansion);
+  if (!solution.ok()) {
+    std::cerr << "solver: " << solution.status() << "\n";
+    return 1;
+  }
+  auto model = SynthesizeModel(*expansion, *solution);
+  if (!model.ok()) {
+    std::cerr << "synthesis: " << model.status() << "\n";
+    return 1;
+  }
+  DumpOptions options;
+  options.max_facts_per_extension = 32;
+  std::cout << DumpInterpretation(model->model, options);
+  ModelCheckResult verdict = CheckModel(schema, model->model);
+  std::cout << (verdict.is_model ? "verified: model\n"
+                                 : "verified: NOT A MODEL (bug!)\n");
+  return verdict.is_model ? 0 : 1;
+}
+
+int Reify(Schema& schema) {
+  auto reified = ReifyNonBinaryRelations(schema);
+  if (!reified.ok()) {
+    std::cerr << "reify: " << reified.status() << "\n";
+    return 1;
+  }
+  std::cout << PrintSchema(reified->schema);
+  std::cerr << "(" << reified->num_reified << " relation(s) reified)\n";
+  return 0;
+}
+
+int Implications(Schema& schema, const std::string& class_name) {
+  ClassId target = schema.LookupClass(class_name);
+  if (target == kInvalidId) {
+    std::cerr << "unknown class '" << class_name << "'\n";
+    return 1;
+  }
+  Reasoner reasoner(&schema);
+  auto satisfiable = reasoner.IsClassSatisfiable(target);
+  if (!satisfiable.ok()) {
+    std::cerr << "error: " << satisfiable.status() << "\n";
+    return 1;
+  }
+  std::cout << class_name << " is "
+            << (satisfiable.value() ? "satisfiable" : "UNSATISFIABLE")
+            << "\n";
+
+  for (ClassId other = 0; other < schema.num_classes(); ++other) {
+    if (other == target) continue;
+    auto isa = reasoner.ImpliesIsa(target, ClassFormula::OfClass(other));
+    if (isa.ok() && isa.value()) {
+      std::cout << "  implied superclass: " << schema.ClassName(other)
+                << "\n";
+    }
+    auto disjoint = reasoner.ImpliesDisjoint(target, other);
+    if (disjoint.ok() && disjoint.value()) {
+      std::cout << "  implied disjoint:   " << schema.ClassName(other)
+                << "\n";
+    }
+  }
+
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    for (bool inverse : {false, true}) {
+      AttributeTerm term = inverse ? AttributeTerm::Inverse(a)
+                                   : AttributeTerm::Direct(a);
+      auto bounds = reasoner.ImpliedCardinalityBounds(target, term);
+      if (!bounds.ok()) continue;
+      if (bounds.value() == Cardinality::Unbounded()) continue;
+      std::cout << "  implied cardinality: "
+                << (inverse ? StrCat("(inv ", schema.AttributeName(a), ")")
+                            : schema.AttributeName(a))
+                << " : " << bounds.value().ToString() << "\n";
+    }
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  auto schema = Load(argv[2]);
+  if (!schema.ok()) {
+    std::cerr << "error: " << schema.status() << "\n";
+    return 1;
+  }
+  if (command == "check") return Check(*schema);
+  if (command == "print") {
+    std::cout << PrintSchema(*schema);
+    return 0;
+  }
+  if (command == "stats") return Stats(*schema);
+  if (command == "model") return Model(*schema);
+  if (command == "reify") return Reify(*schema);
+  if (command == "implications") {
+    if (argc < 4) return Usage();
+    return Implications(*schema, argv[3]);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace car
+
+int main(int argc, char** argv) { return car::Run(argc, argv); }
