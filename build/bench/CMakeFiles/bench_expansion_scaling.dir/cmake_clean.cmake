@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expansion_scaling.dir/bench_expansion_scaling.cc.o"
+  "CMakeFiles/bench_expansion_scaling.dir/bench_expansion_scaling.cc.o.d"
+  "bench_expansion_scaling"
+  "bench_expansion_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expansion_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exptime_reduction.dir/bench_exptime_reduction.cc.o"
+  "CMakeFiles/bench_exptime_reduction.dir/bench_exptime_reduction.cc.o.d"
+  "bench_exptime_reduction"
+  "bench_exptime_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exptime_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp_phase.dir/bench_lp_phase.cc.o"
+  "CMakeFiles/bench_lp_phase.dir/bench_lp_phase.cc.o.d"
+  "bench_lp_phase"
+  "bench_lp_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_np_reduction.dir/bench_np_reduction.cc.o"
+  "CMakeFiles/bench_np_reduction.dir/bench_np_reduction.cc.o.d"
+  "bench_np_reduction"
+  "bench_np_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_np_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

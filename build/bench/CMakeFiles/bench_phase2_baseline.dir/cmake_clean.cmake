@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase2_baseline.dir/bench_phase2_baseline.cc.o"
+  "CMakeFiles/bench_phase2_baseline.dir/bench_phase2_baseline.cc.o.d"
+  "bench_phase2_baseline"
+  "bench_phase2_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase2_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

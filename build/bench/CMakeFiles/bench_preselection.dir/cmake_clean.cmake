@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preselection.dir/bench_preselection.cc.o"
+  "CMakeFiles/bench_preselection.dir/bench_preselection.cc.o.d"
+  "bench_preselection"
+  "bench_preselection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preselection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reify.dir/bench_reify.cc.o"
+  "CMakeFiles/bench_reify.dir/bench_reify.cc.o.d"
+  "bench_reify"
+  "bench_reify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

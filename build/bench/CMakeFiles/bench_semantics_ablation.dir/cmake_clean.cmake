@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_semantics_ablation.dir/bench_semantics_ablation.cc.o"
+  "CMakeFiles/bench_semantics_ablation.dir/bench_semantics_ablation.cc.o.d"
+  "bench_semantics_ablation"
+  "bench_semantics_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_semantics_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

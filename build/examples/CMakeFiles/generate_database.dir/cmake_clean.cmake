@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_database.dir/generate_database.cpp.o"
+  "CMakeFiles/generate_database.dir/generate_database.cpp.o.d"
+  "generate_database"
+  "generate_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

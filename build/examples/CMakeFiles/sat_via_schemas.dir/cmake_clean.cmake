@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_via_schemas.dir/sat_via_schemas.cpp.o"
+  "CMakeFiles/sat_via_schemas.dir/sat_via_schemas.cpp.o.d"
+  "sat_via_schemas"
+  "sat_via_schemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_via_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

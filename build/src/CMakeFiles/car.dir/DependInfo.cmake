@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clusters.cc" "src/CMakeFiles/car.dir/analysis/clusters.cc.o" "gcc" "src/CMakeFiles/car.dir/analysis/clusters.cc.o.d"
+  "/root/repo/src/analysis/pair_tables.cc" "src/CMakeFiles/car.dir/analysis/pair_tables.cc.o" "gcc" "src/CMakeFiles/car.dir/analysis/pair_tables.cc.o.d"
+  "/root/repo/src/analysis/union_free.cc" "src/CMakeFiles/car.dir/analysis/union_free.cc.o" "gcc" "src/CMakeFiles/car.dir/analysis/union_free.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/car.dir/base/status.cc.o" "gcc" "src/CMakeFiles/car.dir/base/status.cc.o.d"
+  "/root/repo/src/base/strings.cc" "src/CMakeFiles/car.dir/base/strings.cc.o" "gcc" "src/CMakeFiles/car.dir/base/strings.cc.o.d"
+  "/root/repo/src/enumerate/bounded_search.cc" "src/CMakeFiles/car.dir/enumerate/bounded_search.cc.o" "gcc" "src/CMakeFiles/car.dir/enumerate/bounded_search.cc.o.d"
+  "/root/repo/src/expansion/compound.cc" "src/CMakeFiles/car.dir/expansion/compound.cc.o" "gcc" "src/CMakeFiles/car.dir/expansion/compound.cc.o.d"
+  "/root/repo/src/expansion/expansion.cc" "src/CMakeFiles/car.dir/expansion/expansion.cc.o" "gcc" "src/CMakeFiles/car.dir/expansion/expansion.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/CMakeFiles/car.dir/frontend/lexer.cc.o" "gcc" "src/CMakeFiles/car.dir/frontend/lexer.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/CMakeFiles/car.dir/frontend/parser.cc.o" "gcc" "src/CMakeFiles/car.dir/frontend/parser.cc.o.d"
+  "/root/repo/src/frontend/printer.cc" "src/CMakeFiles/car.dir/frontend/printer.cc.o" "gcc" "src/CMakeFiles/car.dir/frontend/printer.cc.o.d"
+  "/root/repo/src/math/bigint.cc" "src/CMakeFiles/car.dir/math/bigint.cc.o" "gcc" "src/CMakeFiles/car.dir/math/bigint.cc.o.d"
+  "/root/repo/src/math/linear.cc" "src/CMakeFiles/car.dir/math/linear.cc.o" "gcc" "src/CMakeFiles/car.dir/math/linear.cc.o.d"
+  "/root/repo/src/math/rational.cc" "src/CMakeFiles/car.dir/math/rational.cc.o" "gcc" "src/CMakeFiles/car.dir/math/rational.cc.o.d"
+  "/root/repo/src/math/simplex.cc" "src/CMakeFiles/car.dir/math/simplex.cc.o" "gcc" "src/CMakeFiles/car.dir/math/simplex.cc.o.d"
+  "/root/repo/src/model/builder.cc" "src/CMakeFiles/car.dir/model/builder.cc.o" "gcc" "src/CMakeFiles/car.dir/model/builder.cc.o.d"
+  "/root/repo/src/model/formula.cc" "src/CMakeFiles/car.dir/model/formula.cc.o" "gcc" "src/CMakeFiles/car.dir/model/formula.cc.o.d"
+  "/root/repo/src/model/schema.cc" "src/CMakeFiles/car.dir/model/schema.cc.o" "gcc" "src/CMakeFiles/car.dir/model/schema.cc.o.d"
+  "/root/repo/src/reasoner/reasoner.cc" "src/CMakeFiles/car.dir/reasoner/reasoner.cc.o" "gcc" "src/CMakeFiles/car.dir/reasoner/reasoner.cc.o.d"
+  "/root/repo/src/reasoner/unrestricted.cc" "src/CMakeFiles/car.dir/reasoner/unrestricted.cc.o" "gcc" "src/CMakeFiles/car.dir/reasoner/unrestricted.cc.o.d"
+  "/root/repo/src/reductions/counting_ladder.cc" "src/CMakeFiles/car.dir/reductions/counting_ladder.cc.o" "gcc" "src/CMakeFiles/car.dir/reductions/counting_ladder.cc.o.d"
+  "/root/repo/src/reductions/sat_reduction.cc" "src/CMakeFiles/car.dir/reductions/sat_reduction.cc.o" "gcc" "src/CMakeFiles/car.dir/reductions/sat_reduction.cc.o.d"
+  "/root/repo/src/semantics/compound_extensions.cc" "src/CMakeFiles/car.dir/semantics/compound_extensions.cc.o" "gcc" "src/CMakeFiles/car.dir/semantics/compound_extensions.cc.o.d"
+  "/root/repo/src/semantics/dump.cc" "src/CMakeFiles/car.dir/semantics/dump.cc.o" "gcc" "src/CMakeFiles/car.dir/semantics/dump.cc.o.d"
+  "/root/repo/src/semantics/interpretation.cc" "src/CMakeFiles/car.dir/semantics/interpretation.cc.o" "gcc" "src/CMakeFiles/car.dir/semantics/interpretation.cc.o.d"
+  "/root/repo/src/semantics/model_check.cc" "src/CMakeFiles/car.dir/semantics/model_check.cc.o" "gcc" "src/CMakeFiles/car.dir/semantics/model_check.cc.o.d"
+  "/root/repo/src/solver/naive_solve.cc" "src/CMakeFiles/car.dir/solver/naive_solve.cc.o" "gcc" "src/CMakeFiles/car.dir/solver/naive_solve.cc.o.d"
+  "/root/repo/src/solver/psi.cc" "src/CMakeFiles/car.dir/solver/psi.cc.o" "gcc" "src/CMakeFiles/car.dir/solver/psi.cc.o.d"
+  "/root/repo/src/solver/solve.cc" "src/CMakeFiles/car.dir/solver/solve.cc.o" "gcc" "src/CMakeFiles/car.dir/solver/solve.cc.o.d"
+  "/root/repo/src/synthesis/synthesize.cc" "src/CMakeFiles/car.dir/synthesis/synthesize.cc.o" "gcc" "src/CMakeFiles/car.dir/synthesis/synthesize.cc.o.d"
+  "/root/repo/src/transform/reify.cc" "src/CMakeFiles/car.dir/transform/reify.cc.o" "gcc" "src/CMakeFiles/car.dir/transform/reify.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/CMakeFiles/car.dir/workloads/generators.cc.o" "gcc" "src/CMakeFiles/car.dir/workloads/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

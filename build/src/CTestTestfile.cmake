@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("math")
+subdirs("model")
+subdirs("semantics")
+subdirs("expansion")
+subdirs("analysis")
+subdirs("transform")
+subdirs("solver")
+subdirs("reasoner")
+subdirs("synthesis")
+subdirs("enumerate")
+subdirs("reductions")
+subdirs("workloads")
+subdirs("frontend")
+subdirs("core")

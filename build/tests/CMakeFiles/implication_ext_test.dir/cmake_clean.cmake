@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implication_ext_test.dir/implication_ext_test.cc.o"
+  "CMakeFiles/implication_ext_test.dir/implication_ext_test.cc.o.d"
+  "implication_ext_test"
+  "implication_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implication_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma32_test.dir/lemma32_test.cc.o"
+  "CMakeFiles/lemma32_test.dir/lemma32_test.cc.o.d"
+  "lemma32_test"
+  "lemma32_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

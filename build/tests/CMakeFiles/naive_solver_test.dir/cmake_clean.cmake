@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_solver_test.dir/naive_solver_test.cc.o"
+  "CMakeFiles/naive_solver_test.dir/naive_solver_test.cc.o.d"
+  "naive_solver_test"
+  "naive_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

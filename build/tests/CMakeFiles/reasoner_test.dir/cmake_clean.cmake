@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reasoner_test.dir/reasoner_test.cc.o"
+  "CMakeFiles/reasoner_test.dir/reasoner_test.cc.o.d"
+  "reasoner_test"
+  "reasoner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reasoner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reify_test.dir/reify_test.cc.o"
+  "CMakeFiles/reify_test.dir/reify_test.cc.o.d"
+  "reify_test"
+  "reify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_free_test.dir/union_free_test.cc.o"
+  "CMakeFiles/union_free_test.dir/union_free_test.cc.o.d"
+  "union_free_test"
+  "union_free_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_free_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unrestricted_test.dir/unrestricted_test.cc.o"
+  "CMakeFiles/unrestricted_test.dir/unrestricted_test.cc.o.d"
+  "unrestricted_test"
+  "unrestricted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unrestricted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

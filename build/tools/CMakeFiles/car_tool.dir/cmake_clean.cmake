@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_tool.dir/car_tool.cc.o"
+  "CMakeFiles/car_tool.dir/car_tool.cc.o.d"
+  "car_tool"
+  "car_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
