@@ -51,6 +51,34 @@ BENCHMARK(BM_Expansion_GeneralExhaustive)
     ->DenseRange(6, 14, 2)
     ->Unit(benchmark::kMillisecond);
 
+// EXP-B parallel: the same exhaustive enumeration sharded over worker
+// threads. Args are {num_classes, num_threads}; the compound-class count
+// (and every other output) is bit-identical across the thread column, so
+// the only thing that should move is wall-clock time.
+void BM_Expansion_ParallelScaling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Schema schema = DenseSchema(n, /*seed=*/n);
+  ExpansionOptions options;
+  options.strategy = ExpansionStrategy::kExhaustive;
+  options.num_threads = threads;
+  size_t compounds = 0;
+  for (auto _ : state) {
+    auto expansion = BuildExpansion(schema, options);
+    if (!expansion.ok()) {
+      state.SkipWithError(expansion.status().ToString().c_str());
+      break;
+    }
+    compounds = expansion->compound_classes.size();
+  }
+  state.counters["compound_classes"] = static_cast<double>(compounds);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_Expansion_ParallelScaling)
+    ->ArgsProduct({{10, 12, 14}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // End-to-end (expansion + disequations) on the same family, smaller range
 // — the LP over exponentially many unknowns dominates quickly.
 void BM_EndToEnd_General(benchmark::State& state) {

@@ -1,0 +1,187 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+
+namespace car {
+
+ThreadPool::ThreadPool(int num_workers) {
+  num_workers = std::max(1, num_workers);
+  queues_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    // Pairs with the wait in WorkerLoop: no worker can miss the shutdown
+    // flag between its last pending check and going to sleep.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency())));
+  return *pool;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t index = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+                 queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[index]->mutex);
+    queues_[index]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // See ~ThreadPool: makes the pending increment visible to any worker
+    // deciding whether to sleep.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::PopTask(size_t preferred, std::function<void()>* task) {
+  // Own deque first (front, LIFO locality), then steal from the back of
+  // the siblings' deques.
+  {
+    Queue& own = *queues_[preferred % queues_.size()];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (size_t offset = 1; offset < queues_.size(); ++offset) {
+    Queue& victim = *queues_[(preferred + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::RunOnePendingTask() {
+  std::function<void()> task;
+  if (!PopTask(next_queue_.load(std::memory_order_relaxed), &task)) {
+    return false;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  while (true) {
+    std::function<void()> task;
+    if (PopTask(worker_index, &task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    // A task may have been submitted between the failed PopTask and
+    // taking the lock; re-check before sleeping so the notify cannot be
+    // missed (Submit acquires wake_mutex_ before notifying).
+    if (pending_.load(std::memory_order_acquire) > 0) continue;
+    wake_.wait(lock);
+  }
+}
+
+int EffectiveThreads(int num_threads) {
+  if (num_threads == 0) {
+    return static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  return std::max(1, num_threads);
+}
+
+namespace {
+
+/// Shared completion state of one ParallelFor call. Heap-allocated and
+/// reference-counted: helper tasks that are still queued when the region
+/// finishes (because the caller drained every chunk itself) outlive the
+/// call and must find valid state to observe "nothing left to do".
+struct ParallelForState {
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_done{0};
+  size_t num_chunks = 0;
+  size_t base = 0;       // Chunk size floor.
+  size_t remainder = 0;  // First `remainder` chunks get one extra item.
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  std::mutex mutex;
+  std::condition_variable all_done;
+};
+
+/// Claims and runs chunks until none are left. The `body` pointer is only
+/// dereferenced for successfully claimed chunks, which the caller waits
+/// for — so it never dangles.
+void RunChunks(const std::shared_ptr<ParallelForState>& state) {
+  while (true) {
+    size_t chunk = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= state->num_chunks) return;
+    size_t begin = chunk * state->base + std::min(chunk, state->remainder);
+    size_t end = begin + state->base + (chunk < state->remainder ? 1 : 0);
+    (*state->body)(begin, end);
+    if (state->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->num_chunks) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->all_done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelFor(size_t n, const ParallelForOptions& options,
+                 const std::function<void(size_t begin, size_t end)>& body) {
+  if (n == 0) return;
+  const int threads = EffectiveThreads(options.num_threads);
+  const size_t min_chunk = std::max<size_t>(1, options.min_chunk);
+  if (threads <= 1 || n <= min_chunk) {
+    body(0, n);
+    return;
+  }
+
+  // Deterministic chunking: ~4 chunks per thread for stealing slack,
+  // but never chunks smaller than min_chunk.
+  const size_t max_chunks = static_cast<size_t>(threads) * 4;
+  const size_t num_chunks =
+      std::max<size_t>(1, std::min({n, max_chunks, n / min_chunk}));
+
+  auto state = std::make_shared<ParallelForState>();
+  state->num_chunks = num_chunks;
+  state->base = n / num_chunks;
+  state->remainder = n % num_chunks;
+  state->body = &body;
+
+  ThreadPool& pool = ThreadPool::Shared();
+  const int helpers =
+      std::min(threads - 1, static_cast<int>(num_chunks) - 1);
+  for (int i = 0; i < helpers; ++i) {
+    pool.Submit([state] { RunChunks(state); });
+  }
+  RunChunks(state);
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&state] {
+    return state->chunks_done.load(std::memory_order_acquire) ==
+           state->num_chunks;
+  });
+}
+
+}  // namespace car

@@ -1,0 +1,96 @@
+#ifndef CAR_BASE_THREAD_POOL_H_
+#define CAR_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace car {
+
+/// A small work-stealing thread pool.
+///
+/// Each worker owns a deque of tasks: it pops its own deque from the
+/// front and, when it runs dry, steals from the back of a sibling's
+/// deque. Submission round-robins across the deques so independent
+/// batches spread without a central bottleneck.
+///
+/// The pool is only an execution substrate. Determinism of the parallel
+/// algorithms in libcar comes from ParallelFor's fixed chunking plus
+/// order-preserving merges in the callers — never from scheduling order.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_workers` worker threads (clamped to >= 1).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// The process-wide pool, sized to the hardware concurrency. Created on
+  /// first use and intentionally leaked (workers sleep when idle).
+  static ThreadPool& Shared();
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs one pending task on the calling thread if any is immediately
+  /// available; returns false when every deque is empty. Lets a thread
+  /// that waits on a parallel region help instead of blocking, which also
+  /// keeps nested ParallelFor calls deadlock-free.
+  bool RunOnePendingTask();
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  bool PopTask(size_t preferred, std::function<void()>* task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<size_t> pending_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+/// Options for ParallelFor.
+struct ParallelForOptions {
+  /// Maximum number of threads used, including the calling thread.
+  /// 1 = run inline on the caller (the serial reference path);
+  /// 0 = hardware concurrency.
+  int num_threads = 1;
+  /// Minimum number of iterations per chunk; below this, chunks are not
+  /// split further.
+  size_t min_chunk = 1;
+};
+
+/// Resolves a `num_threads` option value to an effective thread count:
+/// 0 means hardware concurrency, anything else is clamped to >= 1.
+int EffectiveThreads(int num_threads);
+
+/// Invokes body(begin, end) over a partition of [0, n) into near-equal
+/// contiguous chunks, executing chunks on the shared pool (the caller
+/// participates, so progress never depends on free workers).
+///
+/// Chunk boundaries depend only on `n` and `options` — never on thread
+/// timing — so callers that write into per-index or per-chunk slots and
+/// merge in index order obtain results bit-identical to the serial
+/// (num_threads = 1) execution. Returns after every chunk has completed.
+void ParallelFor(size_t n, const ParallelForOptions& options,
+                 const std::function<void(size_t begin, size_t end)>& body);
+
+}  // namespace car
+
+#endif  // CAR_BASE_THREAD_POOL_H_

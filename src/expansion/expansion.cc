@@ -7,6 +7,7 @@
 #include "analysis/pair_tables.h"
 #include "analysis/union_free.h"
 #include "base/strings.h"
+#include "base/thread_pool.h"
 
 namespace car {
 
@@ -33,20 +34,46 @@ std::string Expansion::Summary() const {
                 subsets_visited);
 }
 
+namespace {
+
+/// Number of leading enumeration positions fixed per shard: enough for
+/// roughly four shards per thread (stealing slack for uneven subtrees),
+/// capped so small clusters are not oversplit.
+int PrefixBits(size_t positions, int threads) {
+  if (threads <= 1) return 0;
+  int bits = 0;
+  while ((1u << bits) < 4u * static_cast<unsigned>(threads) && bits < 10) {
+    ++bits;
+  }
+  return std::min(bits, static_cast<int>(positions));
+}
+
+}  // namespace
+
 /// Assembles an Expansion: enumerates consistent compound classes (with
 /// the selected strategy), then derives Natt/Nrel and the constrained
 /// compound attributes and relations.
+///
+/// Enumeration is sharded: by connectivity cluster under the pruned
+/// strategy, and additionally by literal-prefix (the include/exclude
+/// decisions for the first few classes of a cluster, or the low bits of
+/// the subset mask for the exhaustive strategy). Shards are independent,
+/// run on the shared pool, and their outputs are merged in shard order
+/// and canonically sorted — so the resulting Expansion is bit-identical
+/// for every thread count, with num_threads = 1 as the serial reference.
 class ExpansionBuilder {
  public:
   ExpansionBuilder(const Schema& schema, const ExpansionOptions& options)
-      : schema_(schema), options_(options) {}
+      : schema_(schema), options_(options) {
+    parallel_.num_threads = options.num_threads;
+  }
 
   Result<Expansion> Build() {
     expansion_.schema = &schema_;
     // The empty compound class is always present (index 0): objects that
     // are instances of no class. It is trivially consistent and can serve
     // as an attribute target/source or a relation component.
-    AddCompoundClass(CompoundClass());
+    expansion_.compound_classes.push_back(CompoundClass());
 
     CAR_RETURN_IF_ERROR(EnumerateCompoundClasses());
     BuildNatt();
@@ -57,6 +84,22 @@ class ExpansionBuilder {
   }
 
  private:
+  /// Output of one enumeration shard. Shards never touch the shared
+  /// expansion; everything is merged afterwards.
+  struct ShardOutput {
+    std::vector<CompoundClass> compounds;
+    size_t subsets_visited = 0;
+    Status status;
+  };
+
+  /// One pruned-DFS shard: a cluster plus fixed include/exclude decisions
+  /// for its first `prefix_bits` classes (bit j set = include position j).
+  struct PrunedShard {
+    const std::vector<ClassId>* cluster = nullptr;
+    uint64_t prefix = 0;
+    int prefix_bits = 0;
+  };
+
   Status EnumerateCompoundClasses() {
     if (options_.strategy == ExpansionStrategy::kExhaustive) {
       return EnumerateExhaustive();
@@ -70,14 +113,24 @@ class ExpansionBuilder {
     ClusterPartition partition = options_.use_clusters
                                      ? ComputeClusters(schema_, tables)
                                      : SingleCluster(schema_);
+
+    const int threads = EffectiveThreads(options_.num_threads);
+    std::vector<PrunedShard> shards;
     for (const std::vector<ClassId>& cluster : partition.clusters) {
-      std::vector<ClassId> included;
-      std::vector<bool> excluded(schema_.num_classes(), false);
-      Status status;
-      DfsCluster(cluster, 0, tables, &included, &excluded, &status);
-      CAR_RETURN_IF_ERROR(status);
+      const int bits = PrefixBits(cluster.size(), threads);
+      for (uint64_t prefix = 0; prefix < (1ull << bits); ++prefix) {
+        shards.push_back({&cluster, prefix, bits});
+      }
     }
-    return Status::Ok();
+
+    std::vector<ShardOutput> outputs(shards.size());
+    ParallelFor(shards.size(), parallel_,
+                [this, &shards, &tables, &outputs](size_t begin, size_t end) {
+                  for (size_t s = begin; s < end; ++s) {
+                    RunPrunedShard(shards[s], tables, &outputs[s]);
+                  }
+                });
+    return MergeShards(std::move(outputs));
   }
 
   Status EnumerateExhaustive() {
@@ -87,18 +140,84 @@ class ExpansionBuilder {
           StrCat("exhaustive enumeration over ", n,
                  " classes would visit 2^", n, " subsets"));
     }
-    for (uint64_t mask = 1; mask < (1ull << n); ++mask) {
-      ++expansion_.subsets_visited;
+    const int threads = EffectiveThreads(options_.num_threads);
+    const int prefix_bits = PrefixBits(n, threads);
+    const size_t num_shards = 1ull << prefix_bits;
+
+    std::vector<ShardOutput> outputs(num_shards);
+    ParallelFor(num_shards, parallel_,
+                [this, prefix_bits, &outputs](size_t begin, size_t end) {
+                  for (size_t s = begin; s < end; ++s) {
+                    RunExhaustiveShard(s, prefix_bits, &outputs[s]);
+                  }
+                });
+    return MergeShards(std::move(outputs));
+  }
+
+  /// Enumerates the subset masks whose low `prefix_bits` bits equal
+  /// `prefix` (every mask belongs to exactly one shard).
+  void RunExhaustiveShard(uint64_t prefix, int prefix_bits,
+                          ShardOutput* out) {
+    const int n = schema_.num_classes();
+    for (uint64_t high = 0; high < (1ull << (n - prefix_bits)); ++high) {
+      const uint64_t mask = (high << prefix_bits) | prefix;
+      if (mask == 0) continue;  // The empty compound is preadded.
+      ++out->subsets_visited;
       std::vector<ClassId> members;
       for (int c = 0; c < n; ++c) {
         if (mask & (1ull << c)) members.push_back(c);
       }
       CompoundClass compound(std::move(members));
       if (compound.IsConsistent(schema_)) {
-        CAR_RETURN_IF_ERROR(AddCompoundClassChecked(std::move(compound)));
+        if (!EmitCompound(std::move(compound), out)) return;
       }
     }
-    return Status::Ok();
+  }
+
+  /// Replays the shard's fixed prefix decisions through the same pruning
+  /// checks as the DFS (a prefix that the serial DFS would prune yields
+  /// an empty shard), then enumerates the remaining positions.
+  void RunPrunedShard(const PrunedShard& shard, const PairTables& tables,
+                      ShardOutput* out) {
+    std::vector<ClassId> included;
+    std::vector<bool> excluded(schema_.num_classes(), false);
+    for (int j = 0; j < shard.prefix_bits; ++j) {
+      const ClassId c = (*shard.cluster)[j];
+      if ((shard.prefix >> j) & 1) {
+        if (!CanInclude(tables, included, excluded, c)) return;
+        included.push_back(c);
+      } else {
+        if (!CanExclude(tables, included, c)) return;
+        excluded[c] = true;
+      }
+    }
+    DfsShard(*shard.cluster, shard.prefix_bits, tables, &included, &excluded,
+             out);
+  }
+
+  /// Include is futile when c is self-disjoint, disjoint from an already
+  /// included class, or has a recorded superclass already decided out.
+  bool CanInclude(const PairTables& tables,
+                  const std::vector<ClassId>& included,
+                  const std::vector<bool>& excluded, ClassId c) const {
+    if (tables.AreDisjoint(c, c)) return false;
+    for (ClassId d : included) {
+      if (tables.AreDisjoint(c, d)) return false;
+    }
+    for (ClassId super : tables.SuperclassesOf(c)) {
+      if (excluded[super]) return false;
+    }
+    return true;
+  }
+
+  /// Exclude is impossible when an included class is recorded as a
+  /// subclass of c (then c is forced in).
+  bool CanExclude(const PairTables& tables,
+                  const std::vector<ClassId>& included, ClassId c) const {
+    for (ClassId d : included) {
+      if (tables.IsIncluded(d, c)) return false;
+    }
+    return true;
   }
 
   /// Depth-first enumeration of the subsets of one cluster, pruned with
@@ -106,77 +225,74 @@ class ExpansionBuilder {
   /// classes; `excluded` marks classes decided out (classes of other
   /// clusters are implicitly out and never consulted, because inclusion
   /// and disjointness edges never cross clusters).
-  void DfsCluster(const std::vector<ClassId>& cluster, size_t pos,
-                  const PairTables& tables, std::vector<ClassId>* included,
-                  std::vector<bool>* excluded, Status* status) {
-    if (!status->ok()) return;
+  void DfsShard(const std::vector<ClassId>& cluster, size_t pos,
+                const PairTables& tables, std::vector<ClassId>* included,
+                std::vector<bool>* excluded, ShardOutput* out) {
+    if (!out->status.ok()) return;
     if (pos == cluster.size()) {
-      ++expansion_.subsets_visited;
+      ++out->subsets_visited;
       if (included->empty()) return;  // The empty compound is preadded.
       CompoundClass compound(*included);
       if (compound.IsConsistent(schema_)) {
-        *status = AddCompoundClassChecked(std::move(compound));
+        EmitCompound(std::move(compound), out);
       }
       return;
     }
-    ClassId c = cluster[pos];
-
-    // Include branch, unless pruned.
-    bool can_include = !tables.AreDisjoint(c, c);
-    if (can_include) {
-      for (ClassId d : *included) {
-        if (tables.AreDisjoint(c, d)) {
-          can_include = false;
-          break;
-        }
-      }
-    }
-    if (can_include) {
-      // A recorded superclass already decided out makes inclusion futile.
-      for (ClassId super : tables.SuperclassesOf(c)) {
-        if ((*excluded)[super]) {
-          can_include = false;
-          break;
-        }
-      }
-    }
-    if (can_include) {
+    const ClassId c = cluster[pos];
+    if (CanInclude(tables, *included, *excluded, c)) {
       included->push_back(c);
-      DfsCluster(cluster, pos + 1, tables, included, excluded, status);
+      DfsShard(cluster, pos + 1, tables, included, excluded, out);
       included->pop_back();
     }
-
-    // Exclude branch, unless some included class is recorded as a
-    // subclass of c (then c is forced in).
-    bool can_exclude = true;
-    for (ClassId d : *included) {
-      if (tables.IsIncluded(d, c)) {
-        can_exclude = false;
-        break;
-      }
-    }
-    if (can_exclude) {
+    if (CanExclude(tables, *included, c)) {
       (*excluded)[c] = true;
-      DfsCluster(cluster, pos + 1, tables, included, excluded, status);
+      DfsShard(cluster, pos + 1, tables, included, excluded, out);
       (*excluded)[c] = false;
     }
   }
 
-  int AddCompoundClass(CompoundClass compound) {
-    int index = static_cast<int>(expansion_.compound_classes.size());
-    expansion_.compound_class_index_.emplace(compound.members(), index);
-    expansion_.compound_classes.push_back(std::move(compound));
-    return index;
+  /// Appends to the shard, honoring the per-shard cap (a single shard at
+  /// the cap already implies the merged total exceeds it). Returns false
+  /// once the shard is dead.
+  bool EmitCompound(CompoundClass compound, ShardOutput* out) {
+    if (out->compounds.size() >= options_.max_compound_classes) {
+      out->status = ResourceExhausted(
+          StrCat("more than ", options_.max_compound_classes,
+                 " compound classes"));
+      return false;
+    }
+    out->compounds.push_back(std::move(compound));
+    return true;
   }
 
-  Status AddCompoundClassChecked(CompoundClass compound) {
-    if (expansion_.compound_classes.size() >=
-        options_.max_compound_classes) {
+  /// Merges shard outputs in shard order, re-checks the global cap, and
+  /// canonically sorts the compound classes (the empty compound stays at
+  /// index 0 — it is lexicographically least). The sort makes compound
+  /// ids independent of sharding, thread count and enumeration order.
+  Status MergeShards(std::vector<ShardOutput> outputs) {
+    size_t total = expansion_.compound_classes.size();
+    for (ShardOutput& out : outputs) {
+      CAR_RETURN_IF_ERROR(out.status);
+      expansion_.subsets_visited += out.subsets_visited;
+      total += out.compounds.size();
+    }
+    if (total > options_.max_compound_classes) {
       return ResourceExhausted(
           StrCat("more than ", options_.max_compound_classes,
                  " compound classes"));
     }
-    AddCompoundClass(std::move(compound));
+    expansion_.compound_classes.reserve(total);
+    for (ShardOutput& out : outputs) {
+      for (CompoundClass& compound : out.compounds) {
+        expansion_.compound_classes.push_back(std::move(compound));
+      }
+    }
+    std::sort(expansion_.compound_classes.begin(),
+              expansion_.compound_classes.end());
+    for (size_t i = 0; i < expansion_.compound_classes.size(); ++i) {
+      expansion_.compound_class_index_.emplace(
+          expansion_.compound_classes[i].members(), static_cast<int>(i));
+    }
     return Status::Ok();
   }
 
@@ -239,29 +355,47 @@ class ExpansionBuilder {
     const int num_compound = static_cast<int>(
         expansion_.compound_classes.size());
     for (AttributeId a = 0; a < schema_.num_attributes(); ++a) {
-      std::set<std::pair<int, int>> candidates;
+      std::set<std::pair<int, int>> candidate_set;
       for (int from : constrained_from[a]) {
         for (int to = 0; to < num_compound; ++to) {
-          candidates.emplace(from, to);
+          candidate_set.emplace(from, to);
         }
       }
       for (int to : constrained_to[a]) {
         for (int from = 0; from < num_compound; ++from) {
-          candidates.emplace(from, to);
+          candidate_set.emplace(from, to);
         }
       }
-      for (const auto& [from, to] : candidates) {
-        if (!IsConsistentCompoundAttribute(
-                schema_, a, expansion_.compound_classes[from],
-                expansion_.compound_classes[to])) {
-          continue;
-        }
+      // Consistency filtering is independent per candidate: filter in
+      // parallel, then append the survivors in candidate order (so index
+      // assignment matches the serial sweep exactly).
+      std::vector<std::pair<int, int>> candidates(candidate_set.begin(),
+                                                  candidate_set.end());
+      std::vector<char> keep(candidates.size(), 0);
+      ParallelForOptions filter_options = parallel_;
+      filter_options.min_chunk = 64;
+      ParallelFor(candidates.size(), filter_options,
+                  [this, a, &candidates, &keep](size_t begin, size_t end) {
+                    for (size_t i = begin; i < end; ++i) {
+                      keep[i] = IsConsistentCompoundAttribute(
+                                    schema_, a,
+                                    expansion_
+                                        .compound_classes[candidates[i].first],
+                                    expansion_
+                                        .compound_classes[candidates[i].second])
+                                    ? 1
+                                    : 0;
+                    }
+                  });
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (!keep[i]) continue;
         if (expansion_.compound_attributes.size() >=
             options_.max_compound_attributes) {
           return ResourceExhausted(
               StrCat("more than ", options_.max_compound_attributes,
                      " compound attributes"));
         }
+        const auto& [from, to] = candidates[i];
         int index = static_cast<int>(expansion_.compound_attributes.size());
         expansion_.compound_attributes.push_back({a, from, to});
         expansion_.ca_by_from[{a, from}].push_back(index);
@@ -271,107 +405,146 @@ class ExpansionBuilder {
     return Status::Ok();
   }
 
+  /// Per-relation output of the compound-relation enumeration; merged in
+  /// relation-id order so indices match the serial sweep.
+  struct RelationOutput {
+    std::vector<CompoundRelation> relations;
+    Status status;
+  };
+
   Status BuildCompoundRelations() {
-    const int num_compound = static_cast<int>(
-        expansion_.compound_classes.size());
-    for (RelationId r = 0; r < schema_.num_relations(); ++r) {
-      const RelationDefinition* definition = schema_.relation_definition(r);
-      if (definition == nullptr) continue;
-      const int arity = definition->arity();
-
-      // Positions carrying Nrel entries; if none, tuples of R are never
-      // constrained and no unknowns are needed.
-      std::vector<std::set<int>> constrained(arity);
-      bool any_constraint = false;
-      for (const auto& [key, cardinality] : expansion_.nrel) {
-        (void)cardinality;
-        if (std::get<0>(key) != r) continue;
-        constrained[std::get<1>(key)].insert(std::get<2>(key));
-        any_constraint = true;
-      }
-      if (!any_constraint) continue;
-
-      // Per-position prefilter: single-literal role-clauses restrict the
-      // compound class at their role unconditionally.
-      std::vector<std::vector<int>> allowed(arity);
-      for (int k = 0; k < arity; ++k) {
-        for (int i = 0; i < num_compound; ++i) {
-          bool ok = true;
-          for (const RoleClause& clause : definition->constraints) {
-            if (clause.literals.size() != 1) continue;
-            const RoleLiteral& literal = clause.literals[0];
-            if (definition->RoleIndex(literal.role) != k) continue;
-            if (!expansion_.compound_classes[i].Realizes(literal.formula)) {
-              ok = false;
-              break;
-            }
-          }
-          if (ok) allowed[k].push_back(i);
+    const size_t num_relations =
+        static_cast<size_t>(schema_.num_relations());
+    std::vector<RelationOutput> outputs(num_relations);
+    // Relations are independent of each other: enumerate them in
+    // parallel, one task per relation.
+    ParallelFor(num_relations, parallel_,
+                [this, &outputs](size_t begin, size_t end) {
+                  for (size_t r = begin; r < end; ++r) {
+                    EnumerateRelation(static_cast<RelationId>(r),
+                                      &outputs[r]);
+                  }
+                });
+    for (size_t r = 0; r < num_relations; ++r) {
+      CAR_RETURN_IF_ERROR(outputs[r].status);
+      for (CompoundRelation& cr : outputs[r].relations) {
+        if (expansion_.compound_relations.size() >=
+            options_.max_compound_relations) {
+          return ResourceExhausted(
+              StrCat("more than ", options_.max_compound_relations,
+                     " compound relations"));
         }
-      }
-
-      // Enumerate component vectors where at least one position holds a
-      // constrained compound class; other positions range over their
-      // allowed sets. Duplicates across anchor positions are deduped.
-      std::set<std::vector<int>> seen;
-      for (int anchor = 0; anchor < arity; ++anchor) {
-        for (int anchored : constrained[anchor]) {
-          std::vector<int> components(arity, -1);
-          components[anchor] = anchored;
-          CAR_RETURN_IF_ERROR(EnumerateRelationComponents(
-              *definition, r, allowed, anchor, 0, &components, &seen));
+        const int arity = static_cast<int>(cr.components.size());
+        int index = static_cast<int>(expansion_.compound_relations.size());
+        for (int k = 0; k < arity; ++k) {
+          expansion_.cr_by_role[{cr.relation, k, cr.components[k]}]
+              .push_back(index);
         }
+        expansion_.compound_relations.push_back(std::move(cr));
       }
     }
     return Status::Ok();
   }
 
-  Status EnumerateRelationComponents(const RelationDefinition& definition,
-                                     RelationId r,
-                                     const std::vector<std::vector<int>>&
-                                         allowed,
-                                     int anchor, int position,
-                                     std::vector<int>* components,
-                                     std::set<std::vector<int>>* seen) {
+  void EnumerateRelation(RelationId r, RelationOutput* out) {
+    const RelationDefinition* definition = schema_.relation_definition(r);
+    if (definition == nullptr) return;
+    const int arity = definition->arity();
+    const int num_compound = static_cast<int>(
+        expansion_.compound_classes.size());
+
+    // Positions carrying Nrel entries; if none, tuples of R are never
+    // constrained and no unknowns are needed.
+    std::vector<std::set<int>> constrained(arity);
+    bool any_constraint = false;
+    for (const auto& [key, cardinality] : expansion_.nrel) {
+      (void)cardinality;
+      if (std::get<0>(key) != r) continue;
+      constrained[std::get<1>(key)].insert(std::get<2>(key));
+      any_constraint = true;
+    }
+    if (!any_constraint) return;
+
+    // Per-position prefilter: single-literal role-clauses restrict the
+    // compound class at their role unconditionally.
+    std::vector<std::vector<int>> allowed(arity);
+    for (int k = 0; k < arity; ++k) {
+      for (int i = 0; i < num_compound; ++i) {
+        bool ok = true;
+        for (const RoleClause& clause : definition->constraints) {
+          if (clause.literals.size() != 1) continue;
+          const RoleLiteral& literal = clause.literals[0];
+          if (definition->RoleIndex(literal.role) != k) continue;
+          if (!expansion_.compound_classes[i].Realizes(literal.formula)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) allowed[k].push_back(i);
+      }
+    }
+
+    // Enumerate component vectors where at least one position holds a
+    // constrained compound class; other positions range over their
+    // allowed sets. Duplicates across anchor positions are deduped.
+    std::set<std::vector<int>> seen;
+    for (int anchor = 0; anchor < arity; ++anchor) {
+      for (int anchored : constrained[anchor]) {
+        std::vector<int> components(arity, -1);
+        components[anchor] = anchored;
+        EnumerateRelationComponents(*definition, r, allowed, anchor, 0,
+                                    &components, &seen, out);
+        if (!out->status.ok()) return;
+      }
+    }
+  }
+
+  void EnumerateRelationComponents(const RelationDefinition& definition,
+                                   RelationId r,
+                                   const std::vector<std::vector<int>>&
+                                       allowed,
+                                   int anchor, int position,
+                                   std::vector<int>* components,
+                                   std::set<std::vector<int>>* seen,
+                                   RelationOutput* out) {
+    if (!out->status.ok()) return;
     const int arity = definition.arity();
     if (position == arity) {
-      if (!seen->insert(*components).second) return Status::Ok();
+      if (!seen->insert(*components).second) return;
       std::vector<const CompoundClass*> views;
       views.reserve(arity);
       for (int index : *components) {
         views.push_back(&expansion_.compound_classes[index]);
       }
       if (!IsConsistentCompoundRelation(schema_, definition, views)) {
-        return Status::Ok();
+        return;
       }
-      if (expansion_.compound_relations.size() >=
-          options_.max_compound_relations) {
-        return ResourceExhausted(
+      if (out->relations.size() >= options_.max_compound_relations) {
+        out->status = ResourceExhausted(
             StrCat("more than ", options_.max_compound_relations,
                    " compound relations"));
+        return;
       }
-      int index = static_cast<int>(expansion_.compound_relations.size());
-      expansion_.compound_relations.push_back({r, *components});
-      for (int k = 0; k < arity; ++k) {
-        expansion_.cr_by_role[{r, k, (*components)[k]}].push_back(index);
-      }
-      return Status::Ok();
+      out->relations.push_back({r, *components});
+      return;
     }
     if (position == anchor) {
-      return EnumerateRelationComponents(definition, r, allowed, anchor,
-                                         position + 1, components, seen);
+      EnumerateRelationComponents(definition, r, allowed, anchor,
+                                  position + 1, components, seen, out);
+      return;
     }
     for (int candidate : allowed[position]) {
       (*components)[position] = candidate;
-      CAR_RETURN_IF_ERROR(EnumerateRelationComponents(
-          definition, r, allowed, anchor, position + 1, components, seen));
+      EnumerateRelationComponents(definition, r, allowed, anchor,
+                                  position + 1, components, seen, out);
+      if (!out->status.ok()) return;
     }
     (*components)[position] = -1;
-    return Status::Ok();
   }
 
   const Schema& schema_;
   const ExpansionOptions& options_;
+  ParallelForOptions parallel_;
   Expansion expansion_;
 };
 

@@ -107,6 +107,12 @@ struct ExpansionOptions {
   /// which makes generalization hierarchies expand to exactly one
   /// compound class per class even without explicit sibling negation.
   bool union_free_completion = true;
+  /// Worker threads for candidate enumeration and consistency filtering.
+  /// 1 = serial (the reference path); 0 = one per hardware core. Any
+  /// value produces bit-identical results: enumeration is sharded (by
+  /// connectivity cluster and literal-prefix), shard outputs are merged
+  /// in a fixed order, and compound classes are canonically sorted.
+  int num_threads = 1;
 };
 
 /// Builds the expansion of a validated schema.

@@ -15,6 +15,7 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<Schema> Parse() {
+    RegisterDeclarations();
     while (!At(TokenKind::kEnd)) {
       if (At(TokenKind::kClass)) {
         CAR_RETURN_IF_ERROR(ParseClass());
@@ -29,6 +30,23 @@ class Parser {
   }
 
  private:
+  /// Interns the names of `class` and `relation` headers in textual
+  /// order before any body is parsed, so symbol ids follow declaration
+  /// order regardless of forward references inside bodies. This makes
+  /// the canonical printed form a parse/print fixed point: printing
+  /// emits definitions in id order, and reparsing that text reproduces
+  /// the same id assignment.
+  void RegisterDeclarations() {
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i + 1].kind != TokenKind::kIdentifier) continue;
+      if (tokens_[i].kind == TokenKind::kClass) {
+        schema_.InternClass(tokens_[i + 1].text);
+      } else if (tokens_[i].kind == TokenKind::kRelation) {
+        schema_.InternRelation(tokens_[i + 1].text);
+      }
+    }
+  }
+
   const Token& Peek() const { return tokens_[position_]; }
   bool At(TokenKind kind) const { return Peek().kind == kind; }
 

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "base/strings.h"
+#include "base/thread_pool.h"
 #include "math/simplex.h"
 #include "solver/psi.h"
 
@@ -31,11 +32,39 @@ Result<bool> FeasibleWithUnitLowerBounds(const PsiSystem& psi,
   return lp.outcome == LpOutcome::kOptimal;
 }
 
+/// Runs the collected LP feasibility probes (each a set of unknowns
+/// forced >= 1), possibly in parallel, and reports whether any probe is
+/// feasible. The answer is a disjunction, hence independent of probe
+/// order; errors are reported for the lowest-indexed failing probe.
+Result<bool> AnyProbeFeasible(const PsiSystem& psi,
+                              const std::vector<std::vector<int>>& probes,
+                              int num_threads) {
+  std::vector<Result<bool>> outcomes(probes.size(), Result<bool>(false));
+  ParallelForOptions parallel;
+  parallel.num_threads = num_threads;
+  ParallelFor(probes.size(), parallel,
+              [&psi, &probes, &outcomes](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  outcomes[i] = FeasibleWithUnitLowerBounds(psi, probes[i]);
+                }
+              });
+  bool any = false;
+  for (const Result<bool>& outcome : outcomes) {
+    CAR_RETURN_IF_ERROR(outcome.status());
+    any = any || outcome.value();
+  }
+  return any;
+}
+
 }  // namespace
 
 Reasoner::Reasoner(const Schema* schema, ReasonerOptions options)
-    : schema_(schema), options_(options) {
+    : schema_(schema), options_(std::move(options)) {
   CAR_CHECK(schema != nullptr);
+  if (options_.num_threads != 1) {
+    options_.expansion.num_threads = options_.num_threads;
+    options_.solver.num_threads = options_.num_threads;
+  }
 }
 
 Status Reasoner::Prepare() {
@@ -239,7 +268,10 @@ Result<bool> Reasoner::ImpliesRoleTyping(RelationId relation, RoleId role,
       BuildPsiSystem(*expansion_, solution_->cc_active, solution_->ca_active,
                      solution_->cr_active);
 
-  // Enumerate candidate component vectors over the active support.
+  // Enumerate candidate component vectors over the active support,
+  // collecting the counted violating shapes; their LP feasibility probes
+  // run as a parallel sweep afterwards.
+  std::vector<std::vector<int>> probes;
   std::vector<int> components(arity);
   std::vector<size_t> odometer(arity, 0);
   while (true) {
@@ -267,9 +299,7 @@ Result<bool> Reasoner::ImpliesRoleTyping(RelationId relation, RoleId role,
           << "constrained compound relation missing from the expansion";
       std::vector<int> forced = {psi.cr_var[it->second]};
       for (int index : components) forced.push_back(psi.cc_var[index]);
-      CAR_ASSIGN_OR_RETURN(bool possible,
-                           FeasibleWithUnitLowerBounds(psi, forced));
-      if (possible) return false;
+      probes.push_back(std::move(forced));
     }
     // Advance the odometer.
     int k = 0;
@@ -279,7 +309,9 @@ Result<bool> Reasoner::ImpliesRoleTyping(RelationId relation, RoleId role,
     }
     if (k == arity) break;
   }
-  return true;
+  CAR_ASSIGN_OR_RETURN(bool possible,
+                       AnyProbeFeasible(psi, probes, options_.num_threads));
+  return !possible;
 }
 
 Result<bool> Reasoner::ImpliesAttributeRange(AttributeTerm term,
@@ -304,6 +336,9 @@ Result<bool> Reasoner::ImpliesAttributeRange(AttributeTerm term,
       BuildPsiSystem(*expansion_, solution_->cc_active, solution_->ca_active,
                      solution_->cr_active);
 
+  // Collect the counted violating pairs; their LP feasibility probes run
+  // as a parallel sweep afterwards.
+  std::vector<std::vector<int>> probes;
   for (int from : active) {
     for (int to : active) {
       if (!IsConsistentCompoundAttribute(
@@ -325,14 +360,13 @@ Result<bool> Reasoner::ImpliesAttributeRange(AttributeTerm term,
       auto it = counted.find({from, to});
       CAR_CHECK(it != counted.end())
           << "constrained compound attribute missing from the expansion";
-      std::vector<int> forced = {psi.ca_var[it->second], psi.cc_var[from],
-                                 psi.cc_var[to]};
-      CAR_ASSIGN_OR_RETURN(bool possible,
-                           FeasibleWithUnitLowerBounds(psi, forced));
-      if (possible) return false;
+      probes.push_back(
+          {psi.ca_var[it->second], psi.cc_var[from], psi.cc_var[to]});
     }
   }
-  return true;
+  CAR_ASSIGN_OR_RETURN(bool possible,
+                       AnyProbeFeasible(psi, probes, options_.num_threads));
+  return !possible;
 }
 
 Result<Cardinality> Reasoner::ImpliedCardinalityBounds(
@@ -392,6 +426,49 @@ Result<bool> Reasoner::ImpliesMaxParticipation(ClassId class_id,
       bool satisfiable,
       AuxiliaryClassSatisfiable(ClassFormula::OfClass(class_id), {}, {spec}));
   return !satisfiable;
+}
+
+Result<bool> Reasoner::RunImplicationQuery(const ImplicationQuery& query) {
+  switch (query.kind) {
+    case ImplicationQuery::Kind::kIsa:
+      return ImpliesIsa(query.class_id, query.formula);
+    case ImplicationQuery::Kind::kDisjoint:
+      return ImpliesDisjoint(query.class_id, query.other);
+    case ImplicationQuery::Kind::kMinCardinality:
+      return ImpliesMinCardinality(query.class_id, query.term, query.bound);
+    case ImplicationQuery::Kind::kMaxCardinality:
+      return ImpliesMaxCardinality(query.class_id, query.term, query.bound);
+    case ImplicationQuery::Kind::kMinParticipation:
+      return ImpliesMinParticipation(query.class_id, query.relation,
+                                     query.role, query.bound);
+    case ImplicationQuery::Kind::kMaxParticipation:
+      return ImpliesMaxParticipation(query.class_id, query.relation,
+                                     query.role, query.bound);
+  }
+  return Internal("unknown implication query kind");
+}
+
+Result<std::vector<bool>> Reasoner::RunImplicationBatch(
+    const std::vector<ImplicationQuery>& queries) {
+  // Every query builds and solves a private auxiliary schema and touches
+  // no cached reasoner state, so the batch can run concurrently; answers
+  // land in per-query slots, making the result order-insensitive.
+  std::vector<Result<bool>> outcomes(queries.size(), Result<bool>(false));
+  ParallelForOptions parallel;
+  parallel.num_threads = options_.num_threads;
+  ParallelFor(queries.size(), parallel,
+              [this, &queries, &outcomes](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  outcomes[i] = RunImplicationQuery(queries[i]);
+                }
+              });
+  std::vector<bool> answers;
+  answers.reserve(outcomes.size());
+  for (const Result<bool>& outcome : outcomes) {
+    CAR_RETURN_IF_ERROR(outcome.status());
+    answers.push_back(outcome.value());
+  }
+  return answers;
 }
 
 }  // namespace car

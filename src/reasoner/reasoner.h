@@ -16,6 +16,13 @@ namespace car {
 struct ReasonerOptions {
   ExpansionOptions expansion;
   PsiSolverOptions solver;
+  /// Worker threads for phase 1 (expansion sharding), phase 2
+  /// (certificate post-processing), the per-shape LP feasibility sweeps
+  /// of the global typing implications, and batched implication queries.
+  /// Any value != 1 overrides the per-stage settings in `expansion` and
+  /// `solver`. Results are bit-identical for every thread count;
+  /// 1 = the serial reference path, 0 = hardware concurrency.
+  int num_threads = 1;
 };
 
 /// Per-schema satisfiability report.
@@ -28,6 +35,34 @@ struct SatReport {
   size_t num_compound_relations = 0;
   size_t lp_solves = 0;
   size_t fixpoint_rounds = 0;
+};
+
+/// One logical-implication query for the batched API. Every kind reduces
+/// to satisfiability of one auxiliary class in a private extended schema,
+/// which makes queries independent of each other and of the reasoner's
+/// cached state — the property the parallel batch execution relies on.
+struct ImplicationQuery {
+  enum class Kind {
+    kIsa,               // class_id ⊑ formula?
+    kDisjoint,          // class_id and other disjoint?
+    kMinCardinality,    // every class_id instance has >= bound term-succs?
+    kMaxCardinality,    // ... at most bound term-successors?
+    kMinParticipation,  // ... occurs >= bound times as relation[role]?
+    kMaxParticipation,  // ... occurs <= bound times as relation[role]?
+  };
+  Kind kind = Kind::kIsa;
+  ClassId class_id = kInvalidId;
+  /// kDisjoint only.
+  ClassId other = kInvalidId;
+  /// kIsa only.
+  ClassFormula formula;
+  /// kMinCardinality / kMaxCardinality only.
+  AttributeTerm term;
+  /// kMinParticipation / kMaxParticipation only.
+  RelationId relation = kInvalidId;
+  RoleId role = kInvalidId;
+  /// The cardinality bound for the four cardinality/participation kinds.
+  uint64_t bound = 0;
 };
 
 /// The reasoning engine of Section 3: class satisfiability via the
@@ -86,6 +121,18 @@ class Reasoner {
   /// U-component of R"?
   Result<bool> ImpliesMaxParticipation(ClassId class_id, RelationId relation,
                                        RoleId role, uint64_t max);
+
+  /// Evaluates a batch of implication queries. Each query is an
+  /// independent auxiliary-schema satisfiability check; with
+  /// options.num_threads > 1 the checks run concurrently on the shared
+  /// pool. Answers are positionally aligned with `queries` and identical
+  /// to issuing the queries one by one; on error, the error of the
+  /// lowest-indexed failing query is returned.
+  Result<std::vector<bool>> RunImplicationBatch(
+      const std::vector<ImplicationQuery>& queries);
+
+  /// Evaluates a single ImplicationQuery (the batch of one).
+  Result<bool> RunImplicationQuery(const ImplicationQuery& query);
 
   // --- Global typing implications -----------------------------------------
   // These are decided on the solved expansion: a pair/tuple with the given

@@ -1,9 +1,11 @@
 #include "solver/solve.h"
 
 #include <algorithm>
+#include <mutex>
 #include <utility>
 
 #include "base/strings.h"
+#include "base/thread_pool.h"
 #include "solver/psi.h"
 
 namespace car {
@@ -144,14 +146,35 @@ Result<PsiSolution> SolvePsi(const Expansion& expansion,
   // Integer certificate: scale the final rational solution by the least
   // common multiple of all denominators. Ψ_S is homogeneous, so the scaled
   // vector is still a solution, and every active Var(C̄) >= 1 stays >= 1.
+  //
+  // LCM is associative and commutative, so the chunked parallel reduction
+  // yields the same value as the serial sweep regardless of merge order.
+  std::vector<int> all_variables;
+  all_variables.reserve(final_psi.cc_var.size() + final_psi.ca_var.size() +
+                        final_psi.cr_var.size());
+  all_variables.insert(all_variables.end(), final_psi.cc_var.begin(),
+                       final_psi.cc_var.end());
+  all_variables.insert(all_variables.end(), final_psi.ca_var.begin(),
+                       final_psi.ca_var.end());
+  all_variables.insert(all_variables.end(), final_psi.cr_var.begin(),
+                       final_psi.cr_var.end());
+  ParallelForOptions parallel;
+  parallel.num_threads = options.num_threads;
+  parallel.min_chunk = 64;
   BigInt lcm(1);
-  auto accumulate = [&lcm, &final_values](int variable) {
-    if (variable < 0) return;
-    lcm = BigInt::Lcm(lcm, final_values[variable].denominator());
-  };
-  for (int variable : final_psi.cc_var) accumulate(variable);
-  for (int variable : final_psi.ca_var) accumulate(variable);
-  for (int variable : final_psi.cr_var) accumulate(variable);
+  std::mutex lcm_mutex;
+  ParallelFor(all_variables.size(), parallel,
+              [&](size_t begin, size_t end) {
+                BigInt local(1);
+                for (size_t i = begin; i < end; ++i) {
+                  int variable = all_variables[i];
+                  if (variable < 0) continue;
+                  local = BigInt::Lcm(local,
+                                      final_values[variable].denominator());
+                }
+                std::lock_guard<std::mutex> lock(lcm_mutex);
+                lcm = BigInt::Lcm(lcm, local);
+              });
 
   auto scaled = [&lcm, &final_values](int variable) {
     if (variable < 0) return BigInt(0);
@@ -159,23 +182,39 @@ Result<PsiSolution> SolvePsi(const Expansion& expansion,
     CAR_CHECK(value.is_integer());
     return value.numerator();
   };
-  solution.certificate.cc_count.reserve(final_psi.cc_var.size());
-  for (size_t i = 0; i < final_psi.cc_var.size(); ++i) {
-    BigInt count = scaled(final_psi.cc_var[i]);
-    // Unconstrained active compound classes carry no t-gadget; give them
-    // the population 1 they are entitled to (their unknown occurs in no
-    // disequation).
-    if (solution.cc_active[i] && !cc_constrained[i] && count.is_zero()) {
-      count = BigInt(1);
-    }
-    solution.certificate.cc_count.push_back(std::move(count));
-  }
-  for (int variable : final_psi.ca_var) {
-    solution.certificate.ca_count.push_back(scaled(variable));
-  }
-  for (int variable : final_psi.cr_var) {
-    solution.certificate.cr_count.push_back(scaled(variable));
-  }
+  // Scaling is an independent exact multiplication per unknown; each
+  // parallel iteration writes its own preallocated slot.
+  solution.certificate.cc_count.assign(final_psi.cc_var.size(), BigInt(0));
+  solution.certificate.ca_count.assign(final_psi.ca_var.size(), BigInt(0));
+  solution.certificate.cr_count.assign(final_psi.cr_var.size(), BigInt(0));
+  ParallelFor(final_psi.cc_var.size(), parallel,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  BigInt count = scaled(final_psi.cc_var[i]);
+                  // Unconstrained active compound classes carry no
+                  // t-gadget; give them the population 1 they are
+                  // entitled to (their unknown occurs in no disequation).
+                  if (solution.cc_active[i] && !cc_constrained[i] &&
+                      count.is_zero()) {
+                    count = BigInt(1);
+                  }
+                  solution.certificate.cc_count[i] = std::move(count);
+                }
+              });
+  ParallelFor(final_psi.ca_var.size(), parallel,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  solution.certificate.ca_count[i] =
+                      scaled(final_psi.ca_var[i]);
+                }
+              });
+  ParallelFor(final_psi.cr_var.size(), parallel,
+              [&](size_t begin, size_t end) {
+                for (size_t i = begin; i < end; ++i) {
+                  solution.certificate.cr_count[i] =
+                      scaled(final_psi.cr_var[i]);
+                }
+              });
   return solution;
 }
 

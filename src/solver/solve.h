@@ -53,6 +53,13 @@ struct PsiSolution {
 struct PsiSolverOptions {
   /// Passed through to the simplex solver; 0 = unlimited.
   size_t max_pivots = 0;
+  /// Worker threads for the parallelizable parts of the solve (the
+  /// certificate scaling and the LCM reduction over the final rational
+  /// solution). The support LP itself is a single sequential simplex per
+  /// fixpoint round. 1 = serial reference path; 0 = hardware concurrency.
+  /// Results are identical for every value (LCM is associative and
+  /// commutative; scaled counts are written to per-index slots).
+  int num_threads = 1;
 };
 
 /// Decides satisfiability of every class of the expanded schema.

@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
 #include "base/result.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "base/strings.h"
+#include "base/thread_pool.h"
 
 namespace car {
 namespace {
@@ -161,6 +168,93 @@ TEST(RngTest, NextChanceRoughlyCalibrated) {
   }
   EXPECT_GT(hits, trials / 4 - trials / 20);
   EXPECT_LT(hits, trials / 4 + trials / 20);
+}
+
+TEST(ThreadPoolTest, EffectiveThreadsResolvesZeroToHardware) {
+  EXPECT_EQ(EffectiveThreads(1), 1);
+  EXPECT_EQ(EffectiveThreads(7), 7);
+  EXPECT_GE(EffectiveThreads(0), 1);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&counter, &done] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  while (done.load(std::memory_order_acquire) < kTasks) {
+    pool.RunOnePendingTask();
+  }
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> visits(n);
+      for (auto& v : visits) v.store(0);
+      ParallelForOptions options;
+      options.num_threads = threads;
+      ParallelFor(n, options, [&visits](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          visits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(visits[i].load(), 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  // Outer and inner loops both request more threads than exist; the
+  // caller-participation design must drain them regardless.
+  std::atomic<int> total{0};
+  ParallelForOptions options;
+  options.num_threads = 8;
+  ParallelFor(8, options, [&total, &options](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ParallelFor(16, options, [&total](size_t inner_begin,
+                                        size_t inner_end) {
+        total.fetch_add(static_cast<int>(inner_end - inner_begin),
+                        std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ParallelForTest, ChunkBoundariesAreDeterministic) {
+  // The chunk split must depend only on (n, options) — record the
+  // begin/end pairs from a serial run and require every parallel run to
+  // produce the same set.
+  constexpr size_t kN = 103;
+  ParallelForOptions options;
+  options.num_threads = 4;
+  options.min_chunk = 8;
+  std::mutex mutex;
+  std::vector<std::pair<size_t, size_t>> first;
+  ParallelFor(kN, options, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mutex);
+    first.emplace_back(begin, end);
+  });
+  std::sort(first.begin(), first.end());
+  for (int run = 0; run < 10; ++run) {
+    std::vector<std::pair<size_t, size_t>> chunks;
+    ParallelFor(kN, options, [&](size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mutex);
+      chunks.emplace_back(begin, end);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    EXPECT_EQ(chunks, first) << "run " << run;
+  }
 }
 
 }  // namespace

@@ -152,5 +152,69 @@ TEST(OracleProperty, BruteForceWitnessImpliesReasonerSat) {
   EXPECT_GT(cross_checked, 10);
 }
 
+/// The relation-bearing variant of the oracle, run against both reasoner
+/// execution paths: tiny schemas with one binary relation (role clauses
+/// and participation constraints included), where the serial reference
+/// (num_threads = 1) and the parallel path (num_threads = 4) must agree
+/// with each other on every class and with the brute-force search
+/// whenever the search is conclusive within its bound.
+TEST(OracleProperty, RelationOracleMatchesSerialAndParallelReasoner) {
+  Rng rng(20260806);
+  int satisfiable_seen = 0;
+  int unsatisfiable_seen = 0;
+  for (int iteration = 0; iteration < 40; ++iteration) {
+    TinySchemaParams params;
+    params.max_classes = 3;
+    params.allow_attribute = true;
+    params.allow_relation = true;
+    params.max_cardinality = 2;
+    Schema schema = RandomTinySchema(&rng, params);
+
+    Reasoner serial_reasoner(&schema);
+    ReasonerOptions parallel_options;
+    parallel_options.num_threads = 4;
+    Reasoner parallel_reasoner(&schema, parallel_options);
+
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      auto serial_sat = serial_reasoner.IsClassSatisfiable(c);
+      ASSERT_TRUE(serial_sat.ok())
+          << serial_sat.status() << " iteration " << iteration;
+      auto parallel_sat = parallel_reasoner.IsClassSatisfiable(c);
+      ASSERT_TRUE(parallel_sat.ok())
+          << parallel_sat.status() << " iteration " << iteration;
+      EXPECT_EQ(serial_sat.value(), parallel_sat.value())
+          << "iteration " << iteration << " class " << schema.ClassName(c)
+          << ": serial and parallel reasoner disagree";
+
+      if (serial_sat.value()) {
+        // Positive answers come with a constructive witness.
+        auto expansion = serial_reasoner.GetExpansion();
+        ASSERT_TRUE(expansion.ok()) << expansion.status();
+        auto solution = serial_reasoner.GetSolution();
+        ASSERT_TRUE(solution.ok()) << solution.status();
+        auto model = SynthesizeModel(**expansion, **solution);
+        ASSERT_TRUE(model.ok())
+            << model.status() << " iteration " << iteration;
+        EXPECT_FALSE(model->model.ClassExtension(c).empty());
+        EXPECT_TRUE(IsModel(schema, model->model));
+        ++satisfiable_seen;
+      } else {
+        // Negative answers must survive the exhaustive search.
+        BoundedSearchOptions options;
+        options.max_universe = 2;
+        options.max_configurations = 2000000;
+        auto outcome = FindModelWithNonemptyClass(schema, c, options);
+        if (!outcome.ok()) continue;  // Search-space blowup: skip.
+        EXPECT_FALSE(outcome->found())
+            << "iteration " << iteration << " class " << schema.ClassName(c)
+            << ": reasoner said unsatisfiable but a model exists";
+        ++unsatisfiable_seen;
+      }
+    }
+  }
+  EXPECT_GT(satisfiable_seen, 15);
+  EXPECT_GT(unsatisfiable_seen, 3);
+}
+
 }  // namespace
 }  // namespace car

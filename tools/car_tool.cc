@@ -1,6 +1,7 @@
 // car_tool — the command-line front end of libcar.
 //
-//   car_tool check <schema-file>         validate + satisfiability report
+//   car_tool [--threads=N] check <schema-file>
+//                                        validate + satisfiability report
 //   car_tool print <schema-file>         canonical pretty-print
 //   car_tool stats <schema-file>         fragment, clusters, expansion sizes
 //   car_tool model <schema-file>         synthesize & dump a database state
@@ -8,6 +9,10 @@
 //   car_tool implications <schema-file> <class>
 //                                        implied superclasses, disjointness
 //                                        and cardinality bounds for a class
+//
+// --threads=N runs phase 1/phase 2 and implication batches on N worker
+// threads (0 = hardware concurrency); results are bit-identical to the
+// default serial execution (--threads=1).
 //
 // Exit codes: 0 success (for `check`: all classes satisfiable), 1 usage or
 // processing error, 2 (`check` only): schema valid but some class is
@@ -17,6 +22,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/car.h"
 #include "reasoner/unrestricted.h"
@@ -25,17 +31,35 @@
 namespace car {
 namespace {
 
+/// Worker threads for everything parallelizable; set by --threads.
+int g_num_threads = 1;
+
 int Usage() {
   std::cerr
-      << "usage: car_tool <command> <schema-file> [args]\n"
+      << "usage: car_tool [--threads=N] <command> <schema-file> [args]\n"
          "commands:\n"
          "  check <file>                validate + satisfiability report\n"
          "  print <file>                canonical pretty-print\n"
          "  stats <file>                fragment, clusters, expansion\n"
          "  model <file>                synthesize a database state\n"
          "  reify <file>                reify n-ary relations (Thm 4.5)\n"
-         "  implications <file> <class> implied facts about one class\n";
+         "  implications <file> <class> implied facts about one class\n"
+         "options:\n"
+         "  --threads=N                 worker threads (1 = serial,\n"
+         "                              0 = hardware concurrency)\n";
   return 1;
+}
+
+ReasonerOptions MakeReasonerOptions() {
+  ReasonerOptions options;
+  options.num_threads = g_num_threads;
+  return options;
+}
+
+ExpansionOptions MakeExpansionOptions() {
+  ExpansionOptions options;
+  options.num_threads = g_num_threads;
+  return options;
 }
 
 Result<Schema> Load(const std::string& path) {
@@ -49,7 +73,7 @@ Result<Schema> Load(const std::string& path) {
 }
 
 int Check(Schema& schema) {
-  Reasoner reasoner(&schema);
+  Reasoner reasoner(&schema, MakeReasonerOptions());
   auto report = reasoner.CheckSchema();
   if (!report.ok()) {
     std::cerr << "error: " << report.status() << "\n";
@@ -79,14 +103,16 @@ int Stats(Schema& schema) {
             << " inclusions, " << tables.num_disjoint_pairs()
             << " disjoint pairs; " << clusters.Summary(schema) << "\n";
 
-  auto expansion = BuildExpansion(schema);
+  auto expansion = BuildExpansion(schema, MakeExpansionOptions());
   if (!expansion.ok()) {
     std::cerr << "expansion: " << expansion.status() << "\n";
     return 1;
   }
   std::cout << expansion->Summary() << "\n";
 
-  auto finite = SolvePsi(*expansion);
+  PsiSolverOptions solver_options;
+  solver_options.num_threads = g_num_threads;
+  auto finite = SolvePsi(*expansion, solver_options);
   if (!finite.ok()) {
     std::cerr << "solver: " << finite.status() << "\n";
     return 1;
@@ -112,12 +138,14 @@ int Stats(Schema& schema) {
 }
 
 int Model(Schema& schema) {
-  auto expansion = BuildExpansion(schema);
+  auto expansion = BuildExpansion(schema, MakeExpansionOptions());
   if (!expansion.ok()) {
     std::cerr << "expansion: " << expansion.status() << "\n";
     return 1;
   }
-  auto solution = SolvePsi(*expansion);
+  PsiSolverOptions solver_options;
+  solver_options.num_threads = g_num_threads;
+  auto solution = SolvePsi(*expansion, solver_options);
   if (!solution.ok()) {
     std::cerr << "solver: " << solution.status() << "\n";
     return 1;
@@ -153,7 +181,7 @@ int Implications(Schema& schema, const std::string& class_name) {
     std::cerr << "unknown class '" << class_name << "'\n";
     return 1;
   }
-  Reasoner reasoner(&schema);
+  Reasoner reasoner(&schema, MakeReasonerOptions());
   auto satisfiable = reasoner.IsClassSatisfiable(target);
   if (!satisfiable.ok()) {
     std::cerr << "error: " << satisfiable.status() << "\n";
@@ -163,16 +191,36 @@ int Implications(Schema& schema, const std::string& class_name) {
             << (satisfiable.value() ? "satisfiable" : "UNSATISFIABLE")
             << "\n";
 
+  // The per-class sweep is one batch of independent auxiliary-schema
+  // checks: isa and disjointness against every other class.
+  std::vector<ImplicationQuery> queries;
+  std::vector<ClassId> others;
   for (ClassId other = 0; other < schema.num_classes(); ++other) {
     if (other == target) continue;
-    auto isa = reasoner.ImpliesIsa(target, ClassFormula::OfClass(other));
-    if (isa.ok() && isa.value()) {
-      std::cout << "  implied superclass: " << schema.ClassName(other)
+    others.push_back(other);
+    ImplicationQuery isa;
+    isa.kind = ImplicationQuery::Kind::kIsa;
+    isa.class_id = target;
+    isa.formula = ClassFormula::OfClass(other);
+    queries.push_back(std::move(isa));
+    ImplicationQuery disjoint;
+    disjoint.kind = ImplicationQuery::Kind::kDisjoint;
+    disjoint.class_id = target;
+    disjoint.other = other;
+    queries.push_back(std::move(disjoint));
+  }
+  auto answers = reasoner.RunImplicationBatch(queries);
+  if (!answers.ok()) {
+    std::cerr << "error: " << answers.status() << "\n";
+    return 1;
+  }
+  for (size_t i = 0; i < others.size(); ++i) {
+    if ((*answers)[2 * i]) {
+      std::cout << "  implied superclass: " << schema.ClassName(others[i])
                 << "\n";
     }
-    auto disjoint = reasoner.ImpliesDisjoint(target, other);
-    if (disjoint.ok() && disjoint.value()) {
-      std::cout << "  implied disjoint:   " << schema.ClassName(other)
+    if ((*answers)[2 * i + 1]) {
+      std::cout << "  implied disjoint:   " << schema.ClassName(others[i])
                 << "\n";
     }
   }
@@ -194,9 +242,24 @@ int Implications(Schema& schema, const std::string& class_name) {
 }
 
 int Run(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  std::string command = argv[1];
-  auto schema = Load(argv[2]);
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      try {
+        g_num_threads = std::stoi(arg.substr(10));
+      } catch (...) {
+        std::cerr << "bad --threads value '" << arg << "'\n";
+        return Usage();
+      }
+      if (g_num_threads < 0) return Usage();
+      continue;
+    }
+    args.push_back(std::move(arg));
+  }
+  if (args.size() < 2) return Usage();
+  const std::string& command = args[0];
+  auto schema = Load(args[1]);
   if (!schema.ok()) {
     std::cerr << "error: " << schema.status() << "\n";
     return 1;
@@ -210,8 +273,8 @@ int Run(int argc, char** argv) {
   if (command == "model") return Model(*schema);
   if (command == "reify") return Reify(*schema);
   if (command == "implications") {
-    if (argc < 4) return Usage();
-    return Implications(*schema, argv[3]);
+    if (args.size() < 3) return Usage();
+    return Implications(*schema, args[2]);
   }
   return Usage();
 }
