@@ -1,0 +1,201 @@
+#include "base/exec_context.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace car {
+
+const char* LimitKindToString(LimitKind kind) {
+  switch (kind) {
+    case LimitKind::kNone:
+      return "none";
+    case LimitKind::kDeadline:
+      return "deadline";
+    case LimitKind::kCancelled:
+      return "cancelled";
+    case LimitKind::kMemoryBudget:
+      return "memory_budget";
+    case LimitKind::kWorkBudget:
+      return "work_budget";
+    case LimitKind::kFaultInjection:
+      return "fault_injection";
+    case LimitKind::kMaxCompoundClasses:
+      return "max_compound_classes";
+    case LimitKind::kMaxCompoundAttributes:
+      return "max_compound_attributes";
+    case LimitKind::kMaxCompoundRelations:
+      return "max_compound_relations";
+    case LimitKind::kMaxPivots:
+      return "max_pivots";
+    case LimitKind::kMaxConfigurations:
+      return "max_configurations";
+    case LimitKind::kMaxCandidates:
+      return "max_candidates";
+  }
+  return "unknown";
+}
+
+std::string LimitReport::ToString() const {
+  return StrCat("limit=", LimitKindToString(kind), " phase=", phase,
+                " count=", count);
+}
+
+Status LimitReport::ToStatus() const {
+  if (kind == LimitKind::kCancelled) return Cancelled(ToString());
+  return ResourceExhausted(ToString());
+}
+
+Status LimitTripStatus(LimitKind kind, const char* phase, uint64_t limit,
+                       uint64_t count) {
+  LimitReport report;
+  report.kind = kind;
+  report.phase = phase;
+  report.limit = limit;
+  report.count = count;
+  return report.ToStatus();
+}
+
+void ExecContext::set_deadline(
+    std::chrono::steady_clock::time_point deadline) {
+  auto now = std::chrono::steady_clock::now();
+  deadline_budget_ms_.store(
+      static_cast<uint64_t>(std::max<int64_t>(
+          0, std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                   now)
+                 .count())),
+      std::memory_order_relaxed);
+  deadline_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          deadline.time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+}
+
+void ExecContext::SetDeadlineAfter(std::chrono::milliseconds budget) {
+  deadline_budget_ms_.store(
+      static_cast<uint64_t>(std::max<int64_t>(0, budget.count())),
+      std::memory_order_relaxed);
+  deadline_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          (std::chrono::steady_clock::now() + budget).time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+}
+
+void ExecContext::SetWorkBudget(uint64_t units) {
+  work_budget_.store(units, std::memory_order_relaxed);
+}
+
+void ExecContext::SetMemoryBudget(uint64_t bytes) {
+  byte_budget_.store(bytes, std::memory_order_relaxed);
+}
+
+void ExecContext::InjectTripAfter(uint64_t units) {
+  inject_after_.store(units, std::memory_order_relaxed);
+}
+
+void ExecContext::RequestCancellation() {
+  RecordTrip(LimitKind::kCancelled, "", 0, 0);
+}
+
+Status ExecContext::TripStatus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_trip_.ToStatus();
+}
+
+Status ExecContext::DeadlineStatus(const char* phase) {
+  auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  int64_t deadline_ns = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline_ns == 0 || now_ns < deadline_ns) return Status::Ok();
+  uint64_t budget_ms = deadline_budget_ms_.load(std::memory_order_relaxed);
+  return RecordTrip(LimitKind::kDeadline, phase, budget_ms, budget_ms);
+}
+
+Status ExecContext::ChargeWork(uint64_t units, const char* phase) {
+  if (units == 0) return Check(phase);
+  if (tripped_.load(std::memory_order_relaxed)) return TripStatus();
+  uint64_t pre = work_.fetch_add(units, std::memory_order_relaxed);
+  // Fault injection takes precedence over the real budget so tests can
+  // exercise abort points below any configured budget.
+  uint64_t inject = inject_after_.load(std::memory_order_relaxed);
+  if (Crossed(pre, units, inject)) {
+    return RecordTrip(LimitKind::kFaultInjection, phase, inject, inject);
+  }
+  uint64_t budget = work_budget_.load(std::memory_order_relaxed);
+  if (Crossed(pre, units, budget)) {
+    return RecordTrip(LimitKind::kWorkBudget, phase, budget, budget);
+  }
+  // Opportunistic deadline check once per stride of charged work (every
+  // Check() at a phase boundary also looks at the clock).
+  if (deadline_ns_.load(std::memory_order_relaxed) != 0 &&
+      (pre / kDeadlineStride != (pre + units) / kDeadlineStride ||
+       units >= kDeadlineStride)) {
+    return DeadlineStatus(phase);
+  }
+  return Status::Ok();
+}
+
+Status ExecContext::ChargeBytes(uint64_t bytes, const char* phase) {
+  if (tripped_.load(std::memory_order_relaxed)) return TripStatus();
+  if (bytes == 0) return Status::Ok();
+  uint64_t pre = bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  uint64_t budget = byte_budget_.load(std::memory_order_relaxed);
+  if (Crossed(pre, bytes, budget)) {
+    return RecordTrip(LimitKind::kMemoryBudget, phase, budget, budget);
+  }
+  return Status::Ok();
+}
+
+Status ExecContext::Check(const char* phase) {
+  if (tripped_.load(std::memory_order_relaxed)) return TripStatus();
+  if (deadline_ns_.load(std::memory_order_relaxed) != 0) {
+    return DeadlineStatus(phase);
+  }
+  return Status::Ok();
+}
+
+Status ExecContext::RecordTrip(LimitKind kind, const char* phase,
+                               uint64_t limit, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!first_trip_.tripped()) {
+    first_trip_.kind = kind;
+    first_trip_.phase = phase;
+    first_trip_.limit = limit;
+    first_trip_.count = count;
+    tripped_.store(true, std::memory_order_release);
+  }
+  return first_trip_.ToStatus();
+}
+
+void ExecContext::OverridePhaseOnTrip(const char* phase) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (first_trip_.tripped()) first_trip_.phase = phase;
+}
+
+ProgressSnapshot ExecContext::progress() const {
+  ProgressSnapshot snapshot;
+  snapshot.work_charged = work_.load(std::memory_order_relaxed);
+  snapshot.bytes_charged = bytes_.load(std::memory_order_relaxed);
+  snapshot.compounds_enumerated = compounds_.load(std::memory_order_relaxed);
+  snapshot.pivots_executed = pivots_.load(std::memory_order_relaxed);
+  snapshot.lp_solves = lp_solves_.load(std::memory_order_relaxed);
+  snapshot.configurations_examined =
+      configurations_.load(std::memory_order_relaxed);
+  snapshot.queries_completed = queries_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+LimitReport ExecContext::report() const {
+  LimitReport report;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    report = first_trip_;
+  }
+  report.progress = progress();
+  return report;
+}
+
+}  // namespace car

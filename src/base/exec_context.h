@@ -1,0 +1,267 @@
+#ifndef CAR_BASE_EXEC_CONTEXT_H_
+#define CAR_BASE_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "base/status.h"
+
+namespace car {
+
+/// Which configured limit aborted a governed computation.
+enum class LimitKind {
+  kNone = 0,
+  /// The wall-clock deadline passed.
+  kDeadline,
+  /// ExecContext::RequestCancellation() was called.
+  kCancelled,
+  /// The cumulative byte budget was exceeded.
+  kMemoryBudget,
+  /// The cumulative work-unit budget was exceeded.
+  kWorkBudget,
+  /// A deterministic fault-injection trip (InjectTripAfter).
+  kFaultInjection,
+  /// ExpansionOptions::max_compound_classes.
+  kMaxCompoundClasses,
+  /// ExpansionOptions::max_compound_attributes.
+  kMaxCompoundAttributes,
+  /// ExpansionOptions::max_compound_relations.
+  kMaxCompoundRelations,
+  /// SimplexSolver::Options::max_pivots / PsiSolverOptions::max_pivots.
+  kMaxPivots,
+  /// BoundedSearchOptions::max_configurations.
+  kMaxConfigurations,
+  /// A structural tractability guard (exhaustive enumeration over too
+  /// many classes, too many candidate pairs/tuples in bounded search).
+  kMaxCandidates,
+};
+
+/// Canonical snake_case spelling ("max_compound_classes", "deadline", ...).
+const char* LimitKindToString(LimitKind kind);
+
+/// Counters a governed run keeps while it works; snapshotted into the
+/// partial statistics of a degraded (kUnknown) result.
+struct ProgressSnapshot {
+  uint64_t work_charged = 0;
+  uint64_t bytes_charged = 0;
+  uint64_t compounds_enumerated = 0;
+  uint64_t pivots_executed = 0;
+  uint64_t lp_solves = 0;
+  uint64_t configurations_examined = 0;
+  uint64_t queries_completed = 0;
+};
+
+/// A structured description of which limit tripped, where, and at what
+/// counter value. `kind`, `phase`, `limit` and `count` are deterministic
+/// for deterministic limits (count caps, work budgets, fault injection):
+/// they do not depend on thread count or scheduling. The progress fields
+/// are best-effort diagnostics and MAY vary across schedules; callers
+/// that promise bit-identical output must print ToString() only.
+struct LimitReport {
+  LimitKind kind = LimitKind::kNone;
+  /// The pipeline stage that tripped: "expansion", "expansion-filter",
+  /// "expansion-relations", "solver", "simplex", "bounded-search",
+  /// "implication".
+  std::string phase;
+  /// The configured limit value (cap, budget, injection threshold).
+  uint64_t limit = 0;
+  /// The deterministic counter value at the trip check (normalized to
+  /// `limit` for budget crossings).
+  uint64_t count = 0;
+  /// Best-effort progress at trip time (see determinism note above).
+  ProgressSnapshot progress;
+
+  bool tripped() const { return kind != LimitKind::kNone; }
+
+  /// "limit=max_compound_classes phase=expansion count=1048576".
+  std::string ToString() const;
+
+  /// kCancelled for cancellations, kResourceExhausted otherwise, with
+  /// ToString() as the message.
+  Status ToStatus() const;
+};
+
+/// Builds a LimitReport for a tripped cap and renders it as a Status.
+/// Used by layers whose caller did not supply an ExecContext, so every
+/// kResourceExhausted message carries the structured limit description.
+Status LimitTripStatus(LimitKind kind, const char* phase, uint64_t limit,
+                       uint64_t count);
+
+/// The execution context of one governed request: a monotonic deadline, a
+/// cooperative cancellation token, byte/work budgets and a deterministic
+/// fault-injection hook, plus the LimitReport of the first limit that
+/// tripped.
+///
+/// Thread-safety: all methods may be called concurrently. Budgets and the
+/// deadline should be configured before the governed work starts.
+///
+/// Determinism contract (relied on by the bit-identical-across-threads
+/// guarantee of the parallel pipeline): work/byte charges are commutative
+/// sums, so whether a budget or injection threshold is crossed — and the
+/// phase in which the cumulative counter crosses it, as long as phases
+/// are sequential stages of the pipeline — does not depend on scheduling.
+/// Parallel regions that interleave several phase labels normalize the
+/// recorded phase via OverridePhaseOnTrip. Wall-clock deadline trips are
+/// inherently schedule-dependent; only the verdict (not the trip point)
+/// is meaningful for them.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  // --- Configuration (call before the governed work starts) --------------
+
+  /// Absolute monotonic deadline.
+  void set_deadline(std::chrono::steady_clock::time_point deadline);
+  /// Deadline `budget` from now.
+  void SetDeadlineAfter(std::chrono::milliseconds budget);
+  /// Trips kWorkBudget when cumulative charged work exceeds `units`.
+  void SetWorkBudget(uint64_t units);
+  /// Trips kMemoryBudget when cumulative charged bytes exceed `bytes`.
+  void SetMemoryBudget(uint64_t bytes);
+  /// Deterministic fault injection: trips kFaultInjection as soon as
+  /// cumulative charged work exceeds `units`. InjectTripAfter(0) trips on
+  /// the first charge. Makes every abort path testable without timeouts.
+  void InjectTripAfter(uint64_t units);
+
+  // --- Cooperative cancellation ------------------------------------------
+
+  /// Requests cancellation; workers observe it at their next charge or
+  /// Check() and unwind with report() of kind kCancelled.
+  void RequestCancellation();
+
+  /// True once any limit tripped or cancellation was requested. Cheap
+  /// (one relaxed atomic load); safe to poll in inner loops and at
+  /// ParallelFor chunk boundaries.
+  bool cancelled() const {
+    return tripped_.load(std::memory_order_relaxed);
+  }
+  bool tripped() const { return cancelled(); }
+
+  // --- Charging (hot paths) ----------------------------------------------
+
+  /// Adds `units` of abstract work in `phase`. Returns the trip status if
+  /// this charge crosses the work budget or injection threshold, the
+  /// deadline is observed to have passed, or the context already tripped.
+  Status ChargeWork(uint64_t units, const char* phase);
+
+  /// Adds `bytes` of (estimated, cumulative) memory in `phase`.
+  Status ChargeBytes(uint64_t bytes, const char* phase);
+
+  /// Checks deadline + cancellation without charging; for phase
+  /// boundaries and loops that do no countable work.
+  Status Check(const char* phase);
+
+  /// Records an externally detected limit (a count cap owned by a layer,
+  /// e.g. max_compound_classes). First trip wins; always returns the
+  /// recorded (first) trip's status.
+  Status RecordTrip(LimitKind kind, const char* phase, uint64_t limit,
+                    uint64_t count);
+
+  /// Normalizes the recorded phase of an already-tripped report. Called
+  /// by parallel regions that interleave charges from several phases
+  /// (implication batches), so the reported phase is deterministic.
+  void OverridePhaseOnTrip(const char* phase);
+
+  // --- Progress counters --------------------------------------------------
+
+  void CountCompounds(uint64_t n) { AddRelaxed(&compounds_, n); }
+  void CountPivots(uint64_t n) { AddRelaxed(&pivots_, n); }
+  void CountLpSolves(uint64_t n) { AddRelaxed(&lp_solves_, n); }
+  void CountConfigurations(uint64_t n) { AddRelaxed(&configurations_, n); }
+  void CountQueries(uint64_t n) { AddRelaxed(&queries_, n); }
+
+  // --- Inspection ----------------------------------------------------------
+
+  uint64_t work_charged() const {
+    return work_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_charged() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  ProgressSnapshot progress() const;
+
+  /// Copy of the first trip's report (kind kNone if still running). The
+  /// progress fields are filled at snapshot time.
+  LimitReport report() const;
+
+ private:
+  static constexpr uint64_t kNoBudget = ~uint64_t{0};
+  /// Work-unit stride between opportunistic deadline checks in
+  /// ChargeWork (the deadline is also checked by every Check()).
+  static constexpr uint64_t kDeadlineStride = 1024;
+
+  static void AddRelaxed(std::atomic<uint64_t>* counter, uint64_t n) {
+    counter->fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// True when the cumulative counter moving [pre, pre + units) crossed
+  /// `threshold` (exactly one charge observes the crossing).
+  static bool Crossed(uint64_t pre, uint64_t units, uint64_t threshold) {
+    return threshold != kNoBudget && pre <= threshold &&
+           threshold < pre + units;
+  }
+
+  Status TripStatus() const;
+  Status DeadlineStatus(const char* phase);
+
+  std::atomic<uint64_t> work_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> compounds_{0};
+  std::atomic<uint64_t> pivots_{0};
+  std::atomic<uint64_t> lp_solves_{0};
+  std::atomic<uint64_t> configurations_{0};
+  std::atomic<uint64_t> queries_{0};
+
+  std::atomic<uint64_t> work_budget_{kNoBudget};
+  std::atomic<uint64_t> byte_budget_{kNoBudget};
+  std::atomic<uint64_t> inject_after_{kNoBudget};
+  /// Deadline as nanoseconds on the steady clock; 0 = none.
+  std::atomic<int64_t> deadline_ns_{0};
+  /// The configured deadline budget in ms, for the report.
+  std::atomic<uint64_t> deadline_budget_ms_{0};
+
+  std::atomic<bool> tripped_{false};
+  mutable std::mutex mutex_;
+  LimitReport first_trip_;  // Guarded by mutex_; valid once tripped_.
+};
+
+// --- Nullable-context helpers ---------------------------------------------
+// All governed layers accept an optional ExecContext*; a null context
+// means "ungoverned" and every helper below degrades to a no-op.
+
+inline bool GovCancelled(const ExecContext* ctx) {
+  return ctx != nullptr && ctx->cancelled();
+}
+
+inline Status GovChargeWork(ExecContext* ctx, uint64_t units,
+                            const char* phase) {
+  return ctx == nullptr ? Status::Ok() : ctx->ChargeWork(units, phase);
+}
+
+inline Status GovChargeBytes(ExecContext* ctx, uint64_t bytes,
+                             const char* phase) {
+  return ctx == nullptr ? Status::Ok() : ctx->ChargeBytes(bytes, phase);
+}
+
+inline Status GovCheck(ExecContext* ctx, const char* phase) {
+  return ctx == nullptr ? Status::Ok() : ctx->Check(phase);
+}
+
+/// Records the trip when a context is present, otherwise builds the
+/// structured status locally — either way the caller gets the
+/// "limit=... phase=... count=..." message.
+inline Status GovRecordTrip(ExecContext* ctx, LimitKind kind,
+                            const char* phase, uint64_t limit,
+                            uint64_t count) {
+  return ctx == nullptr ? LimitTripStatus(kind, phase, limit, count)
+                        : ctx->RecordTrip(kind, phase, limit, count);
+}
+
+}  // namespace car
+
+#endif  // CAR_BASE_EXEC_CONTEXT_H_

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "parse_error";
     case StatusCode::kUnsupported:
       return "unsupported";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -61,6 +63,9 @@ Status ParseError(std::string message) {
 }
 Status Unsupported(std::string message) {
   return Status(StatusCode::kUnsupported, std::move(message));
+}
+Status Cancelled(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 }  // namespace car

@@ -33,6 +33,9 @@ enum class StatusCode {
   /// The requested feature is intentionally not supported (e.g. reifying a
   /// relation whose role clauses are disjunctive, outside Theorem 4.5).
   kUnsupported = 8,
+  /// The operation was cancelled cooperatively (deadline, explicit
+  /// cancellation request); see base/exec_context.h.
+  kCancelled = 9,
 };
 
 /// Returns the canonical lower-case spelling of a status code.
@@ -81,6 +84,7 @@ Status Internal(std::string message);
 Status ResourceExhausted(std::string message);
 Status ParseError(std::string message);
 Status Unsupported(std::string message);
+Status Cancelled(std::string message);
 
 }  // namespace car
 

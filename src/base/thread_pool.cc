@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/exec_context.h"
+
 namespace car {
 
 ThreadPool::ThreadPool(int num_workers) {
@@ -122,6 +124,7 @@ struct ParallelForState {
   size_t num_chunks = 0;
   size_t base = 0;       // Chunk size floor.
   size_t remainder = 0;  // First `remainder` chunks get one extra item.
+  const ExecContext* cancel = nullptr;
   const std::function<void(size_t, size_t)>* body = nullptr;
   std::mutex mutex;
   std::condition_variable all_done;
@@ -136,7 +139,13 @@ void RunChunks(const std::shared_ptr<ParallelForState>& state) {
     if (chunk >= state->num_chunks) return;
     size_t begin = chunk * state->base + std::min(chunk, state->remainder);
     size_t end = begin + state->base + (chunk < state->remainder ? 1 : 0);
-    (*state->body)(begin, end);
+    // Cooperative cancellation at the chunk boundary: a chunk whose body
+    // has not started when the trip is observed is skipped outright (its
+    // output would be discarded by the caller anyway). The chunk still
+    // counts toward completion so the barrier always resolves.
+    if (state->cancel == nullptr || !state->cancel->cancelled()) {
+      (*state->body)(begin, end);
+    }
     if (state->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state->num_chunks) {
       std::lock_guard<std::mutex> lock(state->mutex);
@@ -167,6 +176,7 @@ void ParallelFor(size_t n, const ParallelForOptions& options,
   state->num_chunks = num_chunks;
   state->base = n / num_chunks;
   state->remainder = n % num_chunks;
+  state->cancel = options.cancel;
   state->body = &body;
 
   ThreadPool& pool = ThreadPool::Shared();

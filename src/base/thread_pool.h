@@ -65,6 +65,8 @@ class ThreadPool {
   std::atomic<bool> shutdown_{false};
 };
 
+class ExecContext;
+
 /// Options for ParallelFor.
 struct ParallelForOptions {
   /// Maximum number of threads used, including the calling thread.
@@ -74,6 +76,13 @@ struct ParallelForOptions {
   /// Minimum number of iterations per chunk; below this, chunks are not
   /// split further.
   size_t min_chunk = 1;
+  /// Optional cooperative-cancellation token: once cancel->cancelled()
+  /// is observed, workers skip the bodies of chunks they have not yet
+  /// started (the barrier still completes). Bodies of a cancelled region
+  /// must produce output the caller will discard, so skipping whole
+  /// chunks never changes observable results — aborted runs stay
+  /// bit-identical across thread counts.
+  const ExecContext* cancel = nullptr;
 };
 
 /// Resolves a `num_threads` option value to an effective thread count:

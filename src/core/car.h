@@ -42,6 +42,7 @@
 #include "analysis/clusters.h"
 #include "analysis/pair_tables.h"
 #include "analysis/union_free.h"
+#include "base/exec_context.h"
 #include "base/result.h"
 #include "base/status.h"
 #include "enumerate/bounded_search.h"

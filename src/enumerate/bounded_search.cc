@@ -14,11 +14,11 @@ namespace {
 /// exhaustively; the membership pattern of any model object is one of
 /// these, so assigning objects to compound classes loses no models.
 Result<std::vector<CompoundClass>> AllConsistentCompounds(
-    const Schema& schema) {
+    const Schema& schema, ExecContext* exec) {
   const int n = schema.num_classes();
   if (n > 16) {
-    return ResourceExhausted(
-        StrCat("bounded search over ", n, " classes is not tractable"));
+    return GovRecordTrip(exec, LimitKind::kMaxCandidates, "bounded-search",
+                         16, static_cast<uint64_t>(n));
   }
   std::vector<CompoundClass> compounds;
   for (uint64_t mask = 0; mask < (1ull << n); ++mask) {
@@ -37,12 +37,14 @@ class Searcher {
  public:
   Searcher(const Schema& schema, ClassId target,
            const std::vector<CompoundClass>& compounds, int universe,
-           uint64_t max_configurations, uint64_t* configurations)
+           uint64_t max_configurations, ExecContext* exec,
+           uint64_t* configurations)
       : schema_(schema),
         target_(target),
         compounds_(compounds),
         universe_(universe),
         max_configurations_(max_configurations),
+        exec_(exec),
         configurations_(configurations) {}
 
   /// Returns a model if found; monitors the configuration budget.
@@ -98,7 +100,8 @@ class Searcher {
         }
       }
       if (pairs[a].size() > 20) {
-        return ResourceExhausted("too many candidate attribute pairs");
+        return GovRecordTrip(exec_, LimitKind::kMaxCandidates,
+                             "bounded-search", 20, pairs[a].size());
       }
     }
     // Candidate relation tuples: all component vectors.
@@ -111,7 +114,8 @@ class Searcher {
         count *= static_cast<uint64_t>(universe_);
       }
       if (count > 20) {
-        return ResourceExhausted("too many candidate relation tuples");
+        return GovRecordTrip(exec_, LimitKind::kMaxCandidates,
+                             "bounded-search", 20, count);
       }
       for (uint64_t code = 0; code < count; ++code) {
         LabeledTuple tuple(definition->arity());
@@ -127,10 +131,12 @@ class Searcher {
     // Odometer over subset masks.
     std::vector<uint64_t> masks(pairs.size() + tuples.size(), 0);
     while (true) {
+      CAR_RETURN_IF_ERROR(GovChargeWork(exec_, 1, "bounded-search"));
+      if (exec_ != nullptr) exec_->CountConfigurations(1);
       if (++*configurations_ > max_configurations_) {
-        return ResourceExhausted(
-            StrCat("bounded search exceeded ", max_configurations_,
-                   " configurations"));
+        return GovRecordTrip(exec_, LimitKind::kMaxConfigurations,
+                             "bounded-search", max_configurations_,
+                             max_configurations_);
       }
       Interpretation candidate(&schema_, universe_);
       for (ObjectId object = 0; object < universe_; ++object) {
@@ -178,6 +184,7 @@ class Searcher {
   const std::vector<CompoundClass>& compounds_;
   int universe_;
   uint64_t max_configurations_;
+  ExecContext* exec_;
   uint64_t* configurations_;
 };
 
@@ -190,13 +197,15 @@ Result<BoundedSearchOutcome> FindModelWithNonemptyClass(
     return NotFound(StrCat("class id ", class_id, " out of range"));
   }
   CAR_RETURN_IF_ERROR(schema.Validate());
+  CAR_RETURN_IF_ERROR(GovCheck(options.exec, "bounded-search"));
   CAR_ASSIGN_OR_RETURN(std::vector<CompoundClass> compounds,
-                       AllConsistentCompounds(schema));
+                       AllConsistentCompounds(schema, options.exec));
 
   BoundedSearchOutcome outcome;
   for (int universe = 1; universe <= options.max_universe; ++universe) {
     Searcher searcher(schema, class_id, compounds, universe,
-                      options.max_configurations, &outcome.configurations);
+                      options.max_configurations, options.exec,
+                      &outcome.configurations);
     CAR_ASSIGN_OR_RETURN(std::optional<Interpretation> model,
                          searcher.Run());
     if (model.has_value()) {

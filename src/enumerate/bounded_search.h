@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "base/exec_context.h"
 #include "base/result.h"
 #include "semantics/interpretation.h"
 
@@ -13,6 +14,10 @@ struct BoundedSearchOptions {
   int max_universe = 3;
   /// Abort (kResourceExhausted) after this many candidate interpretations.
   uint64_t max_configurations = 20'000'000;
+  /// Optional resource governor (borrowed; may be null = ungoverned).
+  /// Each candidate interpretation charges one work unit; cancellation
+  /// and deadlines are observed between candidates.
+  ExecContext* exec = nullptr;
 };
 
 /// Outcome of a bounded model search.

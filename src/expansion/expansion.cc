@@ -64,12 +64,14 @@ int PrefixBits(size_t positions, int threads) {
 class ExpansionBuilder {
  public:
   ExpansionBuilder(const Schema& schema, const ExpansionOptions& options)
-      : schema_(schema), options_(options) {
+      : schema_(schema), options_(options), exec_(options.exec) {
     parallel_.num_threads = options.num_threads;
+    parallel_.cancel = options.exec;
   }
 
   Result<Expansion> Build() {
     expansion_.schema = &schema_;
+    CAR_RETURN_IF_ERROR(GovCheck(exec_, "expansion"));
     // The empty compound class is always present (index 0): objects that
     // are instances of no class. It is trivially consistent and can serve
     // as an attribute target/source or a relation component.
@@ -80,6 +82,7 @@ class ExpansionBuilder {
     BuildNrel();
     CAR_RETURN_IF_ERROR(BuildCompoundAttributes());
     CAR_RETURN_IF_ERROR(BuildCompoundRelations());
+    CAR_RETURN_IF_ERROR(GovCheck(exec_, "expansion"));
     return std::move(expansion_);
   }
 
@@ -136,9 +139,8 @@ class ExpansionBuilder {
   Status EnumerateExhaustive() {
     const int n = schema_.num_classes();
     if (n > 30) {
-      return ResourceExhausted(
-          StrCat("exhaustive enumeration over ", n,
-                 " classes would visit 2^", n, " subsets"));
+      return GovRecordTrip(exec_, LimitKind::kMaxCandidates, "expansion",
+                           30, static_cast<uint64_t>(n));
     }
     const int threads = EffectiveThreads(options_.num_threads);
     const int prefix_bits = PrefixBits(n, threads);
@@ -162,6 +164,8 @@ class ExpansionBuilder {
     for (uint64_t high = 0; high < (1ull << (n - prefix_bits)); ++high) {
       const uint64_t mask = (high << prefix_bits) | prefix;
       if (mask == 0) continue;  // The empty compound is preadded.
+      out->status = GovChargeWork(exec_, 1, "expansion");
+      if (!out->status.ok()) return;
       ++out->subsets_visited;
       std::vector<ClassId> members;
       for (int c = 0; c < n; ++c) {
@@ -229,7 +233,12 @@ class ExpansionBuilder {
                 const PairTables& tables, std::vector<ClassId>* included,
                 std::vector<bool>* excluded, ShardOutput* out) {
     if (!out->status.ok()) return;
+    // Cooperative stop: another shard (or an external canceller) tripped
+    // the context; this shard's partial output will be discarded.
+    if (GovCancelled(exec_)) return;
     if (pos == cluster.size()) {
+      out->status = GovChargeWork(exec_, 1, "expansion");
+      if (!out->status.ok()) return;
       ++out->subsets_visited;
       if (included->empty()) return;  // The empty compound is preadded.
       CompoundClass compound(*included);
@@ -256,11 +265,17 @@ class ExpansionBuilder {
   /// once the shard is dead.
   bool EmitCompound(CompoundClass compound, ShardOutput* out) {
     if (out->compounds.size() >= options_.max_compound_classes) {
-      out->status = ResourceExhausted(
-          StrCat("more than ", options_.max_compound_classes,
-                 " compound classes"));
+      out->status = GovRecordTrip(exec_, LimitKind::kMaxCompoundClasses,
+                                  "expansion", options_.max_compound_classes,
+                                  options_.max_compound_classes);
       return false;
     }
+    out->status = GovChargeBytes(
+        exec_,
+        sizeof(CompoundClass) + compound.members().size() * sizeof(ClassId),
+        "expansion");
+    if (!out->status.ok()) return false;
+    if (exec_ != nullptr) exec_->CountCompounds(1);
     out->compounds.push_back(std::move(compound));
     return true;
   }
@@ -276,10 +291,13 @@ class ExpansionBuilder {
       expansion_.subsets_visited += out.subsets_visited;
       total += out.compounds.size();
     }
+    // A trip recorded by a shard that kept its own status ok (external
+    // cancellation, deadline observed elsewhere) still fails the merge.
+    CAR_RETURN_IF_ERROR(GovCheck(exec_, "expansion"));
     if (total > options_.max_compound_classes) {
-      return ResourceExhausted(
-          StrCat("more than ", options_.max_compound_classes,
-                 " compound classes"));
+      return GovRecordTrip(exec_, LimitKind::kMaxCompoundClasses,
+                           "expansion", options_.max_compound_classes,
+                           options_.max_compound_classes);
     }
     expansion_.compound_classes.reserve(total);
     for (ShardOutput& out : outputs) {
@@ -339,6 +357,7 @@ class ExpansionBuilder {
   }
 
   Status BuildCompoundAttributes() {
+    CAR_RETURN_IF_ERROR(GovCheck(exec_, "expansion-filter"));
     // Candidate endpoints that carry a Natt entry, per attribute.
     std::vector<std::set<int>> constrained_from(schema_.num_attributes());
     std::vector<std::set<int>> constrained_to(schema_.num_attributes());
@@ -377,6 +396,13 @@ class ExpansionBuilder {
       ParallelFor(candidates.size(), filter_options,
                   [this, a, &candidates, &keep](size_t begin, size_t end) {
                     for (size_t i = begin; i < end; ++i) {
+                      // One work unit per filtered candidate; a tripped
+                      // context aborts the chunk (its outputs are
+                      // discarded with the whole build).
+                      if (!GovChargeWork(exec_, 1, "expansion-filter")
+                               .ok()) {
+                        return;
+                      }
                       keep[i] = IsConsistentCompoundAttribute(
                                     schema_, a,
                                     expansion_
@@ -387,13 +413,15 @@ class ExpansionBuilder {
                                     : 0;
                     }
                   });
+      CAR_RETURN_IF_ERROR(GovCheck(exec_, "expansion-filter"));
       for (size_t i = 0; i < candidates.size(); ++i) {
         if (!keep[i]) continue;
         if (expansion_.compound_attributes.size() >=
             options_.max_compound_attributes) {
-          return ResourceExhausted(
-              StrCat("more than ", options_.max_compound_attributes,
-                     " compound attributes"));
+          return GovRecordTrip(exec_, LimitKind::kMaxCompoundAttributes,
+                               "expansion-filter",
+                               options_.max_compound_attributes,
+                               options_.max_compound_attributes);
         }
         const auto& [from, to] = candidates[i];
         int index = static_cast<int>(expansion_.compound_attributes.size());
@@ -413,6 +441,7 @@ class ExpansionBuilder {
   };
 
   Status BuildCompoundRelations() {
+    CAR_RETURN_IF_ERROR(GovCheck(exec_, "expansion-relations"));
     const size_t num_relations =
         static_cast<size_t>(schema_.num_relations());
     std::vector<RelationOutput> outputs(num_relations);
@@ -430,9 +459,10 @@ class ExpansionBuilder {
       for (CompoundRelation& cr : outputs[r].relations) {
         if (expansion_.compound_relations.size() >=
             options_.max_compound_relations) {
-          return ResourceExhausted(
-              StrCat("more than ", options_.max_compound_relations,
-                     " compound relations"));
+          return GovRecordTrip(exec_, LimitKind::kMaxCompoundRelations,
+                               "expansion-relations",
+                               options_.max_compound_relations,
+                               options_.max_compound_relations);
         }
         const int arity = static_cast<int>(cr.components.size());
         int index = static_cast<int>(expansion_.compound_relations.size());
@@ -510,6 +540,8 @@ class ExpansionBuilder {
     if (!out->status.ok()) return;
     const int arity = definition.arity();
     if (position == arity) {
+      out->status = GovChargeWork(exec_, 1, "expansion-relations");
+      if (!out->status.ok()) return;
       if (!seen->insert(*components).second) return;
       std::vector<const CompoundClass*> views;
       views.reserve(arity);
@@ -520,9 +552,10 @@ class ExpansionBuilder {
         return;
       }
       if (out->relations.size() >= options_.max_compound_relations) {
-        out->status = ResourceExhausted(
-            StrCat("more than ", options_.max_compound_relations,
-                   " compound relations"));
+        out->status = GovRecordTrip(exec_, LimitKind::kMaxCompoundRelations,
+                                    "expansion-relations",
+                                    options_.max_compound_relations,
+                                    options_.max_compound_relations);
         return;
       }
       out->relations.push_back({r, *components});
@@ -544,6 +577,7 @@ class ExpansionBuilder {
 
   const Schema& schema_;
   const ExpansionOptions& options_;
+  ExecContext* exec_;
   ParallelForOptions parallel_;
   Expansion expansion_;
 };

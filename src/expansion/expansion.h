@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/exec_context.h"
 #include "base/result.h"
 #include "expansion/compound.h"
 #include "model/cardinality.h"
@@ -113,6 +114,12 @@ struct ExpansionOptions {
   /// connectivity cluster and literal-prefix), shard outputs are merged
   /// in a fixed order, and compound classes are canonically sorted.
   int num_threads = 1;
+  /// Optional resource governor (borrowed; may be null = ungoverned).
+  /// Enumeration charges one work unit per candidate visited, the
+  /// consistency filters one per candidate pair/tuple, and all loops
+  /// observe cancellation; tripped caps are recorded here so the caller
+  /// can degrade gracefully with a structured LimitReport.
+  ExecContext* exec = nullptr;
 };
 
 /// Builds the expansion of a validated schema.

@@ -45,11 +45,13 @@ struct Tableau {
 /// Runs primal simplex with Bland's rule, maximizing `cost . x` on the
 /// current tableau. Artificial columns never enter the basis unless
 /// `allow_artificial` is set (phase 1). Returns the outcome; on
-/// kResourceExhausted-style pivot overflow returns an error.
+/// kResourceExhausted-style pivot overflow returns an error carrying a
+/// LimitReport-formatted message, and a tripped/cancelled ExecContext
+/// aborts between pivots.
 Result<LpOutcome> RunSimplex(Tableau* tableau,
                              const std::vector<Rational>& cost,
                              bool allow_artificial, size_t max_pivots,
-                             size_t* pivots) {
+                             ExecContext* exec, size_t* pivots) {
   const size_t num_rows = tableau->rows.size();
   // Reduced costs z_j = c_j - sum_i c_{B(i)} * T[i][j], computed once and
   // then maintained incrementally across pivots (the pivot makes the
@@ -109,9 +111,16 @@ Result<LpOutcome> RunSimplex(Tableau* tableau,
       }
     }
     ++*pivots;
+    if (exec != nullptr) exec->CountPivots(1);
+    CAR_RETURN_IF_ERROR(GovChargeWork(exec, 1, "simplex"));
+    // A pivot is an expensive work unit (O(rows * cols) exact-rational
+    // operations), so the budget stride of ChargeWork is too coarse for
+    // deadlines here; consult the clock every pivot — a clock read is
+    // noise next to the pivot itself.
+    CAR_RETURN_IF_ERROR(GovCheck(exec, "simplex"));
     if (max_pivots != 0 && *pivots > max_pivots) {
-      return ResourceExhausted(
-          StrCat("simplex exceeded pivot limit of ", max_pivots));
+      return GovRecordTrip(exec, LimitKind::kMaxPivots, "simplex",
+                           max_pivots, max_pivots);
     }
   }
 }
@@ -264,7 +273,16 @@ const char* LpOutcomeToString(LpOutcome outcome) {
 
 Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
                                          const LinearExpr& objective) const {
+  CAR_RETURN_IF_ERROR(GovCheck(options_.exec, "simplex"));
   Tableau tableau = BuildTableau(system);
+  // The tableau is the dominant allocation of a solve; the Rational
+  // cells own heap storage beyond sizeof, so this is a lower-bound
+  // estimate of the resident bytes.
+  CAR_RETURN_IF_ERROR(GovChargeBytes(
+      options_.exec,
+      tableau.rows.size() * static_cast<uint64_t>(tableau.num_cols) *
+          sizeof(Rational),
+      "simplex"));
   const int n = system.num_variables();
   LpResult result;
 
@@ -279,7 +297,7 @@ Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
     CAR_ASSIGN_OR_RETURN(
         LpOutcome outcome,
         RunSimplex(&tableau, phase1_cost, /*allow_artificial=*/true,
-                   options_.max_pivots, &result.pivots));
+                   options_.max_pivots, options_.exec, &result.pivots));
     CAR_CHECK(outcome == LpOutcome::kOptimal)
         << "phase 1 cannot be unbounded";
     if (!ObjectiveValue(tableau, phase1_cost).is_zero()) {
@@ -299,7 +317,7 @@ Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
   CAR_ASSIGN_OR_RETURN(
       LpOutcome outcome,
       RunSimplex(&tableau, phase2_cost, /*allow_artificial=*/false,
-                 options_.max_pivots, &result.pivots));
+                 options_.max_pivots, options_.exec, &result.pivots));
   result.outcome = outcome;
   result.values = ExtractSolution(tableau, n);
   result.objective = ObjectiveValue(tableau, phase2_cost);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/exec_context.h"
 #include "base/result.h"
 #include "math/linear.h"
 
@@ -45,7 +46,12 @@ class SimplexSolver {
   struct Options {
     /// Safety valve: abort with kResourceExhausted after this many pivots.
     /// Zero means no limit (Bland's rule still guarantees termination).
+    /// The trip carries a LimitReport ("limit=max_pivots ...").
     size_t max_pivots = 0;
+    /// Optional resource governor (borrowed; may be null = ungoverned).
+    /// Each pivot charges one work unit and observes cancellation; the
+    /// tableau's dominant allocation charges bytes.
+    ExecContext* exec = nullptr;
   };
 
   SimplexSolver() : options_() {}

@@ -19,7 +19,8 @@ namespace {
 /// maximal-support solution is acceptable (solutions of the homogeneous
 /// system add).
 Result<bool> FeasibleWithUnitLowerBounds(const PsiSystem& psi,
-                                         const std::vector<int>& variables) {
+                                         const std::vector<int>& variables,
+                                         ExecContext* exec) {
   LinearSystem system = psi.system;
   for (int variable : variables) {
     LinearConstraint at_least_one;
@@ -28,7 +29,10 @@ Result<bool> FeasibleWithUnitLowerBounds(const PsiSystem& psi,
     at_least_one.rhs = Rational(1);
     system.AddConstraint(std::move(at_least_one));
   }
-  CAR_ASSIGN_OR_RETURN(LpResult lp, SimplexSolver().CheckFeasible(system));
+  SimplexSolver::Options simplex_options;
+  simplex_options.exec = exec;
+  CAR_ASSIGN_OR_RETURN(LpResult lp,
+                       SimplexSolver(simplex_options).CheckFeasible(system));
   return lp.outcome == LpOutcome::kOptimal;
 }
 
@@ -38,16 +42,26 @@ Result<bool> FeasibleWithUnitLowerBounds(const PsiSystem& psi,
 /// order; errors are reported for the lowest-indexed failing probe.
 Result<bool> AnyProbeFeasible(const PsiSystem& psi,
                               const std::vector<std::vector<int>>& probes,
-                              int num_threads) {
+                              int num_threads, ExecContext* exec) {
   std::vector<Result<bool>> outcomes(probes.size(), Result<bool>(false));
   ParallelForOptions parallel;
   parallel.num_threads = num_threads;
+  parallel.cancel = exec;
   ParallelFor(probes.size(), parallel,
-              [&psi, &probes, &outcomes](size_t begin, size_t end) {
+              [&psi, &probes, &outcomes, exec](size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
-                  outcomes[i] = FeasibleWithUnitLowerBounds(psi, probes[i]);
+                  Status charge = GovChargeWork(exec, 1, "implication");
+                  if (!charge.ok()) {
+                    outcomes[i] = std::move(charge);
+                    return;
+                  }
+                  outcomes[i] =
+                      FeasibleWithUnitLowerBounds(psi, probes[i], exec);
                 }
               });
+  // A trip skips chunks, leaving default-false outcome slots; surface the
+  // trip rather than fold a partial disjunction into an answer.
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "implication"));
   bool any = false;
   for (const Result<bool>& outcome : outcomes) {
     CAR_RETURN_IF_ERROR(outcome.status());
@@ -58,12 +72,28 @@ Result<bool> AnyProbeFeasible(const PsiSystem& psi,
 
 }  // namespace
 
+const char* VerdictToString(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kSat:
+      return "sat";
+    case Verdict::kUnsat:
+      return "unsat";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "invalid";
+}
+
 Reasoner::Reasoner(const Schema* schema, ReasonerOptions options)
     : schema_(schema), options_(std::move(options)) {
   CAR_CHECK(schema != nullptr);
   if (options_.num_threads != 1) {
     options_.expansion.num_threads = options_.num_threads;
     options_.solver.num_threads = options_.num_threads;
+  }
+  if (options_.exec != nullptr) {
+    options_.expansion.exec = options_.exec;
+    options_.solver.exec = options_.exec;
   }
 }
 
@@ -105,7 +135,21 @@ Result<bool> Reasoner::IsClassSatisfiable(std::string_view class_name) {
 }
 
 Result<SatReport> Reasoner::CheckSchema() {
-  CAR_RETURN_IF_ERROR(Prepare());
+  Status prepared = Prepare();
+  if (!prepared.ok()) {
+    // Graceful degradation: a governed run whose limit tripped yields a
+    // kUnknown report with the structured LimitReport and the partial
+    // statistics instead of an error. Ungoverned runs (and genuine
+    // failures unrelated to the governor) keep the error status.
+    if (options_.exec != nullptr && options_.exec->tripped()) {
+      SatReport report;
+      report.verdict = Verdict::kUnknown;
+      report.limit = options_.exec->report();
+      report.progress = options_.exec->progress();
+      return report;
+    }
+    return prepared;
+  }
   SatReport report;
   report.class_satisfiable = solution_->class_satisfiable;
   for (ClassId c = 0; c < schema_->num_classes(); ++c) {
@@ -113,11 +157,14 @@ Result<SatReport> Reasoner::CheckSchema() {
       report.unsatisfiable_classes.push_back(c);
     }
   }
+  report.verdict = report.unsatisfiable_classes.empty() ? Verdict::kSat
+                                                        : Verdict::kUnsat;
   report.num_compound_classes = expansion_->compound_classes.size();
   report.num_compound_attributes = expansion_->compound_attributes.size();
   report.num_compound_relations = expansion_->compound_relations.size();
   report.lp_solves = solution_->lp_solves;
   report.fixpoint_rounds = solution_->fixpoint_rounds;
+  if (options_.exec != nullptr) report.progress = options_.exec->progress();
   return report;
 }
 
@@ -252,8 +299,9 @@ Result<bool> Reasoner::ImpliesRoleTyping(RelationId relation, RoleId role,
     combination_estimate *= static_cast<double>(active.size());
   }
   if (combination_estimate > 4e6) {
-    return ResourceExhausted(
-        "too many candidate tuple shapes for role-typing implication");
+    return GovRecordTrip(options_.exec, LimitKind::kMaxCandidates,
+                         "implication", 4'000'000,
+                         static_cast<uint64_t>(combination_estimate));
   }
 
   // Index of the counted compound relations of this relation.
@@ -310,7 +358,8 @@ Result<bool> Reasoner::ImpliesRoleTyping(RelationId relation, RoleId role,
     if (k == arity) break;
   }
   CAR_ASSIGN_OR_RETURN(bool possible,
-                       AnyProbeFeasible(psi, probes, options_.num_threads));
+                       AnyProbeFeasible(psi, probes, options_.num_threads,
+                                        options_.exec));
   return !possible;
 }
 
@@ -365,7 +414,8 @@ Result<bool> Reasoner::ImpliesAttributeRange(AttributeTerm term,
     }
   }
   CAR_ASSIGN_OR_RETURN(bool possible,
-                       AnyProbeFeasible(psi, probes, options_.num_threads));
+                       AnyProbeFeasible(psi, probes, options_.num_threads,
+                                        options_.exec));
   return !possible;
 }
 
@@ -456,12 +506,29 @@ Result<std::vector<bool>> Reasoner::RunImplicationBatch(
   std::vector<Result<bool>> outcomes(queries.size(), Result<bool>(false));
   ParallelForOptions parallel;
   parallel.num_threads = options_.num_threads;
+  parallel.cancel = options_.exec;
   ParallelFor(queries.size(), parallel,
               [this, &queries, &outcomes](size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
+                  Status charge =
+                      GovChargeWork(options_.exec, 1, "implication");
+                  if (!charge.ok()) {
+                    outcomes[i] = std::move(charge);
+                    return;
+                  }
                   outcomes[i] = RunImplicationQuery(queries[i]);
+                  if (options_.exec != nullptr) options_.exec->CountQueries(1);
                 }
               });
+  // Concurrent queries interleave pipeline phases, so the phase recorded
+  // at a trip would depend on the schedule; normalize it to the batch's
+  // own phase so tripped batches report identically for every thread
+  // count.
+  if (options_.exec != nullptr && options_.exec->tripped()) {
+    options_.exec->OverridePhaseOnTrip("implication");
+  }
+  // Skipped chunks leave default-false slots; surface the trip instead.
+  CAR_RETURN_IF_ERROR(GovCheck(options_.exec, "implication"));
   std::vector<bool> answers;
   answers.reserve(outcomes.size());
   for (const Result<bool>& outcome : outcomes) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "base/exec_context.h"
 #include "base/result.h"
 #include "expansion/expansion.h"
 #include "model/schema.h"
@@ -23,11 +24,33 @@ struct ReasonerOptions {
   /// `solver`. Results are bit-identical for every thread count;
   /// 1 = the serial reference path, 0 = hardware concurrency.
   int num_threads = 1;
+  /// Optional resource governor (borrowed; may be null = ungoverned).
+  /// When set, it is propagated into the expansion and solver stages and
+  /// CheckSchema degrades gracefully: a tripped deadline, cancellation or
+  /// budget yields Verdict::kUnknown with a populated LimitReport instead
+  /// of an error status. Ungoverned runs keep the historical
+  /// error-status behavior.
+  ExecContext* exec = nullptr;
 };
+
+/// Three-valued outcome of a governed satisfiability check.
+enum class Verdict {
+  /// Every class of the schema is satisfiable.
+  kSat,
+  /// At least one class is unsatisfiable.
+  kUnsat,
+  /// A resource limit tripped before the answer was reached; see
+  /// SatReport::limit for which one, and SatReport::progress for the
+  /// partial statistics at trip time.
+  kUnknown,
+};
+
+const char* VerdictToString(Verdict verdict);
 
 /// Per-schema satisfiability report.
 struct SatReport {
-  /// One entry per class id.
+  Verdict verdict = Verdict::kSat;
+  /// One entry per class id. Empty when verdict == Verdict::kUnknown.
   std::vector<bool> class_satisfiable;
   std::vector<ClassId> unsatisfiable_classes;
   size_t num_compound_classes = 0;
@@ -35,6 +58,12 @@ struct SatReport {
   size_t num_compound_relations = 0;
   size_t lp_solves = 0;
   size_t fixpoint_rounds = 0;
+  /// Which limit ended the run; tripped() is true iff verdict ==
+  /// Verdict::kUnknown.
+  LimitReport limit;
+  /// Progress counters from the governor (populated whenever the run was
+  /// governed; for kUnknown these are the partial statistics).
+  ProgressSnapshot progress;
 };
 
 /// One logical-implication query for the batched API. Every kind reduces

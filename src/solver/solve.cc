@@ -64,14 +64,17 @@ Result<PsiSolution> SolvePsi(const Expansion& expansion,
   solution.ca_active.assign(expansion.compound_attributes.size(), true);
   solution.cr_active.assign(expansion.compound_relations.size(), true);
 
+  ExecContext* exec = options.exec;
   SimplexSolver::Options simplex_options;
   simplex_options.max_pivots = options.max_pivots;
+  simplex_options.exec = exec;
   SimplexSolver simplex(simplex_options);
 
   std::vector<Rational> final_values;
   PsiSystem final_psi;
 
   while (true) {
+    CAR_RETURN_IF_ERROR(GovCheck(exec, "solver"));
     ++solution.fixpoint_rounds;
     PropagateDeactivation(expansion, solution.cc_active, &solution.ca_active,
                           &solution.cr_active);
@@ -111,6 +114,7 @@ Result<PsiSolution> SolvePsi(const Expansion& expansion,
 
     CAR_ASSIGN_OR_RETURN(LpResult lp, simplex.Maximize(psi.system, objective));
     ++solution.lp_solves;
+    if (exec != nullptr) exec->CountLpSolves(1);
     solution.total_pivots += lp.pivots;
     CAR_CHECK(lp.outcome == LpOutcome::kOptimal)
         << "support LP must have an optimum (outcome: "
@@ -161,6 +165,8 @@ Result<PsiSolution> SolvePsi(const Expansion& expansion,
   ParallelForOptions parallel;
   parallel.num_threads = options.num_threads;
   parallel.min_chunk = 64;
+  parallel.cancel = exec;
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "solver"));
   BigInt lcm(1);
   std::mutex lcm_mutex;
   ParallelFor(all_variables.size(), parallel,
@@ -175,6 +181,9 @@ Result<PsiSolution> SolvePsi(const Expansion& expansion,
                 std::lock_guard<std::mutex> lock(lcm_mutex);
                 lcm = BigInt::Lcm(lcm, local);
               });
+  // A trip during the LCM reduction means skipped chunks and a short
+  // LCM; bail out before the is_integer() check below could fire on it.
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "solver"));
 
   auto scaled = [&lcm, &final_values](int variable) {
     if (variable < 0) return BigInt(0);
@@ -215,6 +224,9 @@ Result<PsiSolution> SolvePsi(const Expansion& expansion,
                       scaled(final_psi.cr_var[i]);
                 }
               });
+  // A trip during certificate post-processing leaves partially scaled
+  // counts behind; fail the solve rather than return them.
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "solver"));
   return solution;
 }
 

@@ -53,6 +53,10 @@ struct PsiSolution {
 struct PsiSolverOptions {
   /// Passed through to the simplex solver; 0 = unlimited.
   size_t max_pivots = 0;
+  /// Optional resource governor (borrowed; may be null = ungoverned),
+  /// forwarded to the simplex solver and checked between fixpoint
+  /// rounds.
+  ExecContext* exec = nullptr;
   /// Worker threads for the parallelizable parts of the solve (the
   /// certificate scaling and the LCM reduction over the final rational
   /// solution). The support LP itself is a single sequential simplex per

@@ -1,0 +1,204 @@
+// Cooperative cancellation: RequestCancellation() must stop governed
+// pipelines at the next charge/check/chunk boundary, unwind with
+// StatusCode::kCancelled (or a graceful Verdict::kUnknown report of kind
+// kCancelled), and never corrupt results — aborted ParallelFor runs stay
+// well-defined because skipped chunks still count toward the barrier and
+// their outputs are discarded wholesale.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/exec_context.h"
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "enumerate/bounded_search.h"
+#include "expansion/expansion.h"
+#include "reasoner/reasoner.h"
+#include "solver/solve.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+Schema BigDenseSchema() {
+  Rng rng(7);
+  ClusteredParams params;
+  params.num_clusters = 1;
+  params.cluster_size = 18;  // 2^18 consistent subsets: seconds of work.
+  params.dense = true;
+  return GenerateClusteredSchema(&rng, params);
+}
+
+TEST(CancellationTest, RequestCancellationTripsContext) {
+  ExecContext exec;
+  EXPECT_FALSE(exec.cancelled());
+  exec.RequestCancellation();
+  EXPECT_TRUE(exec.cancelled());
+  EXPECT_TRUE(exec.tripped());
+  EXPECT_EQ(exec.report().kind, LimitKind::kCancelled);
+}
+
+TEST(CancellationTest, CancelledChargeReturnsCancelledStatus) {
+  ExecContext exec;
+  exec.RequestCancellation();
+  Status status = exec.ChargeWork(1, "expansion");
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("limit=cancelled"), std::string::npos);
+  EXPECT_EQ(exec.Check("solver").code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, PreCancelledExpansionAborts) {
+  Rng rng(3);
+  Schema schema = GenerateClusteredSchema(&rng, ClusteredParams{});
+  ExecContext exec;
+  exec.RequestCancellation();
+  ExpansionOptions options;
+  options.exec = &exec;
+  auto expansion = BuildExpansion(schema, options);
+  ASSERT_FALSE(expansion.ok());
+  EXPECT_EQ(expansion.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, PreCancelledBoundedSearchAborts) {
+  Rng rng(5);
+  Schema schema = RandomTinySchema(&rng, TinySchemaParams{});
+  ExecContext exec;
+  exec.RequestCancellation();
+  BoundedSearchOptions options;
+  options.exec = &exec;
+  auto outcome = FindModelWithNonemptyClass(schema, 0, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, PreCancelledCheckSchemaDegradesToUnknown) {
+  Rng rng(3);
+  Schema schema = GenerateClusteredSchema(&rng, ClusteredParams{});
+  ExecContext exec;
+  exec.RequestCancellation();
+  ReasonerOptions options;
+  options.exec = &exec;
+  Reasoner reasoner(&schema, options);
+  auto report = reasoner.CheckSchema();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->verdict, Verdict::kUnknown);
+  EXPECT_EQ(report->limit.kind, LimitKind::kCancelled);
+  EXPECT_EQ(report->limit.ToString(), "limit=cancelled phase= count=0");
+}
+
+TEST(CancellationTest, PreCancelledIsClassSatisfiableKeepsErrorStatus) {
+  Rng rng(3);
+  Schema schema = GenerateClusteredSchema(&rng, ClusteredParams{});
+  ExecContext exec;
+  exec.RequestCancellation();
+  ReasonerOptions options;
+  options.exec = &exec;
+  Reasoner reasoner(&schema, options);
+  auto satisfiable = reasoner.IsClassSatisfiable(0);
+  ASSERT_FALSE(satisfiable.ok());
+  EXPECT_EQ(satisfiable.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, ExternalCancellationStopsRunningCheck) {
+  // A multi-second expansion cancelled from another thread after ~20 ms
+  // must unwind promptly with the kCancelled report. (If the machine is
+  // fast enough to finish first the verdict is a real one; both outcomes
+  // are checked, but the schema is sized to make completion implausible.)
+  Schema schema = BigDenseSchema();
+  for (int threads : {1, 8}) {
+    ExecContext exec;
+    ReasonerOptions options;
+    options.num_threads = threads;
+    options.exec = &exec;
+    Reasoner reasoner(&schema, options);
+    std::thread canceller([&exec] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      exec.RequestCancellation();
+    });
+    auto report = reasoner.CheckSchema();
+    canceller.join();
+    ASSERT_TRUE(report.ok()) << report.status();
+    if (exec.tripped()) {
+      EXPECT_EQ(report->verdict, Verdict::kUnknown) << "threads=" << threads;
+      EXPECT_EQ(report->limit.kind, LimitKind::kCancelled);
+    } else {
+      EXPECT_NE(report->verdict, Verdict::kUnknown);
+    }
+  }
+}
+
+TEST(CancellationTest, ParallelForSkipsChunksAfterCancellation) {
+  // A pre-cancelled context: every chunk is skipped, the barrier still
+  // completes, and the body never runs.
+  ExecContext exec;
+  exec.RequestCancellation();
+  std::atomic<int> calls{0};
+  ParallelForOptions options;
+  options.num_threads = 4;
+  options.cancel = &exec;
+  ParallelFor(10'000, options, [&calls](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(CancellationTest, ParallelForObservesMidRunCancellation) {
+  // The body cancels during the first executed chunk; with serial
+  // execution every later chunk must be skipped.
+  ExecContext exec;
+  std::atomic<int> calls{0};
+  ParallelForOptions options;
+  options.num_threads = 1;
+  options.min_chunk = 1;
+  options.cancel = &exec;
+  ParallelFor(10'000, options, [&calls, &exec](size_t, size_t) {
+    ++calls;
+    exec.RequestCancellation();
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(CancellationTest, NullCancelContextRunsEverything) {
+  std::atomic<size_t> covered{0};
+  ParallelForOptions options;
+  options.num_threads = 4;
+  ParallelFor(1'000, options, [&covered](size_t begin, size_t end) {
+    covered += end - begin;
+  });
+  EXPECT_EQ(covered.load(), 1'000u);
+}
+
+TEST(CancellationTest, CancelledBatchSurfacesCancelledStatus) {
+  Rng rng(3);
+  Schema schema = GenerateClusteredSchema(&rng, ClusteredParams{});
+  ExecContext exec;
+  ReasonerOptions options;
+  options.exec = &exec;
+  Reasoner reasoner(&schema, options);
+  ASSERT_TRUE(reasoner.CheckSchema().ok());
+  exec.RequestCancellation();
+  std::vector<ImplicationQuery> queries(1);
+  queries[0].kind = ImplicationQuery::Kind::kDisjoint;
+  queries[0].class_id = 0;
+  queries[0].other = 1;
+  auto answers = reasoner.RunImplicationBatch(queries);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, CancellationReportIsScheduleInvariant) {
+  // The *report* of a cancelled run (kind, phase-normalization aside,
+  // limit, count) must not leak scheduling details: kCancelled reports
+  // always render identically.
+  ExecContext a;
+  a.RequestCancellation();
+  ExecContext b;
+  b.ChargeWork(12345, "solver");
+  b.RequestCancellation();
+  EXPECT_EQ(a.report().ToString(), b.report().ToString());
+}
+
+}  // namespace
+}  // namespace car

@@ -168,6 +168,51 @@ TEST(SimplexTest, PivotLimitReported) {
   // with one pivot allowed this instance cannot finish.
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // The message carries the structured limit description.
+  EXPECT_NE(result.status().message().find("limit=max_pivots phase=simplex"),
+            std::string::npos)
+      << result.status();
+}
+
+TEST(SimplexTest, GovernedPivotLimitRecordsTripOnContext) {
+  ExecContext exec;
+  SimplexSolver::Options options;
+  options.max_pivots = 1;
+  options.exec = &exec;
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  int y = system.AddVariable("y");
+  system.AddConstraint(Make({{x, 1}, {y, 1}}, Relation::kLessEqual, 4));
+  system.AddConstraint(Make({{x, 1}, {y, 2}}, Relation::kLessEqual, 6));
+  LinearExpr objective;
+  objective.Add(x, Rational(1));
+  objective.Add(y, Rational(2));
+  auto result = SimplexSolver(options).Maximize(system, objective);
+  ASSERT_FALSE(result.ok());
+  ASSERT_TRUE(exec.tripped());
+  EXPECT_EQ(exec.report().kind, LimitKind::kMaxPivots);
+  EXPECT_EQ(exec.report().phase, "simplex");
+  EXPECT_EQ(exec.report().limit, 1u);
+  EXPECT_GT(exec.progress().pivots_executed, 0u);
+  EXPECT_GT(exec.progress().work_charged, 0u);
+  EXPECT_GT(exec.progress().bytes_charged, 0u);
+}
+
+TEST(SimplexTest, GovernedSolveChargesWorkAndBytes) {
+  ExecContext exec;
+  SimplexSolver::Options options;
+  options.exec = &exec;
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  system.AddConstraint(Make({{x, 1}}, Relation::kLessEqual, 4));
+  LinearExpr objective;
+  objective.Add(x, Rational(1));
+  auto result = SimplexSolver(options).Maximize(system, objective);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, LpOutcome::kOptimal);
+  EXPECT_FALSE(exec.tripped());
+  EXPECT_GT(exec.progress().bytes_charged, 0u);
+  EXPECT_EQ(exec.progress().pivots_executed, result->pivots);
 }
 
 /// Property: on random systems constructed to contain a known feasible

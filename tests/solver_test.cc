@@ -5,6 +5,7 @@
 #include "model/builder.h"
 #include "solver/psi.h"
 #include "test_schemas.h"
+#include "workloads/generators.h"
 
 namespace car {
 namespace {
@@ -215,6 +216,37 @@ TEST(SolverTest, EmptySchemaTriviallyFine) {
   auto solution = Solve(schema);
   ASSERT_TRUE(solution.ok());
   EXPECT_TRUE(solution->class_satisfiable.empty());
+}
+
+TEST(SolverTest, PivotCapTripsWithStructuredReport) {
+  // The chain workload's support LP needs many pivots; max_pivots = 1
+  // must trip inside the simplex phase with the structured limit text.
+  Schema schema = GenerateChainSchema(ChainParams{.length = 6, .fanout = 2});
+  auto expansion = BuildExpansion(schema);
+  ASSERT_TRUE(expansion.ok()) << expansion.status();
+  PsiSolverOptions options;
+  options.max_pivots = 1;
+  auto solution = SolvePsi(*expansion, options);
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(
+      solution.status().message().find("limit=max_pivots phase=simplex"),
+      std::string::npos)
+      << solution.status();
+}
+
+TEST(SolverTest, GovernedSolveTracksLpProgress) {
+  Schema schema = GenerateChainSchema(ChainParams{.length = 4, .fanout = 2});
+  auto expansion = BuildExpansion(schema);
+  ASSERT_TRUE(expansion.ok()) << expansion.status();
+  ExecContext exec;
+  PsiSolverOptions options;
+  options.exec = &exec;
+  auto solution = SolvePsi(*expansion, options);
+  ASSERT_TRUE(solution.ok()) << solution.status();
+  EXPECT_FALSE(exec.tripped());
+  EXPECT_EQ(exec.progress().lp_solves, solution->lp_solves);
+  EXPECT_EQ(exec.progress().pivots_executed, solution->total_pivots);
 }
 
 }  // namespace

@@ -14,10 +14,19 @@
 // threads (0 = hardware concurrency); results are bit-identical to the
 // default serial execution (--threads=1).
 //
-// Exit codes: 0 success (for `check`: all classes satisfiable), 1 usage or
-// processing error, 2 (`check` only): schema valid but some class is
-// unsatisfiable.
+// Resource governance: --deadline-ms=, --memory-budget-mb= and
+// --work-budget= bound the run. A tripped limit yields the UNKNOWN
+// verdict (exit 2) with a structured one-line report instead of an
+// error. CAR_FAULT_INJECT=<n> (environment) deterministically injects a
+// trip at the n-th work charge, for testing.
+//
+// Exit codes: 0 success (for `check`: all classes satisfiable),
+// 1 (`check` only): schema valid but some class is unsatisfiable,
+// 2 verdict unknown (a deadline/budget/limit tripped before the answer),
+// 3 usage or processing error.
 
+#include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -31,12 +40,58 @@
 namespace car {
 namespace {
 
+constexpr int kExitSat = 0;
+constexpr int kExitUnsat = 1;
+constexpr int kExitUnknown = 2;
+constexpr int kExitError = 3;
+
 /// Worker threads for everything parallelizable; set by --threads.
 int g_num_threads = 1;
+/// Governor settings; 0 = unlimited. Set by the --deadline-ms=,
+/// --memory-budget-mb= and --work-budget= flags.
+uint64_t g_deadline_ms = 0;
+uint64_t g_memory_budget_mb = 0;
+uint64_t g_work_budget = 0;
+
+/// The tool-wide execution context, configured from the flags above (and
+/// the CAR_FAULT_INJECT environment knob) at startup. Always attached, so
+/// every command degrades to the UNKNOWN verdict instead of an error when
+/// a limit trips.
+ExecContext g_exec;
+
+void ConfigureExecContext() {
+  if (g_deadline_ms > 0) {
+    g_exec.SetDeadlineAfter(std::chrono::milliseconds(g_deadline_ms));
+  }
+  if (g_memory_budget_mb > 0) {
+    g_exec.SetMemoryBudget(g_memory_budget_mb * 1024 * 1024);
+  }
+  if (g_work_budget > 0) {
+    g_exec.SetWorkBudget(g_work_budget);
+  }
+  const char* inject = std::getenv("CAR_FAULT_INJECT");
+  if (inject != nullptr && *inject != '\0') {
+    g_exec.InjectTripAfter(std::strtoull(inject, nullptr, 10));
+  }
+}
+
+/// Prints the UNKNOWN verdict line for a tripped governor and returns
+/// kExitUnknown; returns kExitError when the failure was not the
+/// governor's doing. Only deterministic LimitReport fields are printed
+/// (never the progress counters), so governed aborts produce
+/// bit-identical output for every --threads value.
+int ReportFailure(const char* stage, const Status& status) {
+  if (g_exec.tripped()) {
+    std::cout << "UNKNOWN: " << g_exec.report().ToString() << "\n";
+    return kExitUnknown;
+  }
+  std::cerr << stage << ": " << status << "\n";
+  return kExitError;
+}
 
 int Usage() {
   std::cerr
-      << "usage: car_tool [--threads=N] <command> <schema-file> [args]\n"
+      << "usage: car_tool [options] <command> <schema-file> [args]\n"
          "commands:\n"
          "  check <file>                validate + satisfiability report\n"
          "  print <file>                canonical pretty-print\n"
@@ -46,19 +101,31 @@ int Usage() {
          "  implications <file> <class> implied facts about one class\n"
          "options:\n"
          "  --threads=N                 worker threads (1 = serial,\n"
-         "                              0 = hardware concurrency)\n";
-  return 1;
+         "                              0 = hardware concurrency)\n"
+         "  --deadline-ms=N             abort after N milliseconds\n"
+         "  --memory-budget-mb=N        bound tracked allocations to N MiB\n"
+         "  --work-budget=N             bound abstract work units to N\n"
+         "exit codes:\n"
+         "  0  success; for `check`: every class satisfiable\n"
+         "  1  `check` only: some class is unsatisfiable\n"
+         "  2  unknown: a deadline/budget/limit tripped first\n"
+         "     (a one-line `UNKNOWN: limit=... phase=... count=...`\n"
+         "     report is printed on stdout)\n"
+         "  3  usage or processing error\n";
+  return kExitError;
 }
 
 ReasonerOptions MakeReasonerOptions() {
   ReasonerOptions options;
   options.num_threads = g_num_threads;
+  options.exec = &g_exec;
   return options;
 }
 
 ExpansionOptions MakeExpansionOptions() {
   ExpansionOptions options;
   options.num_threads = g_num_threads;
+  options.exec = &g_exec;
   return options;
 }
 
@@ -75,19 +142,20 @@ Result<Schema> Load(const std::string& path) {
 int Check(Schema& schema) {
   Reasoner reasoner(&schema, MakeReasonerOptions());
   auto report = reasoner.CheckSchema();
-  if (!report.ok()) {
-    std::cerr << "error: " << report.status() << "\n";
-    return 1;
+  if (!report.ok()) return ReportFailure("error", report.status());
+  if (report->verdict == Verdict::kUnknown) {
+    std::cout << "UNKNOWN: " << report->limit.ToString() << "\n";
+    return kExitUnknown;
   }
   std::cout << schema.Summary() << "\n";
-  if (report->unsatisfiable_classes.empty()) {
+  if (report->verdict == Verdict::kSat) {
     std::cout << "OK: all classes satisfiable\n";
-    return 0;
+    return kExitSat;
   }
   for (ClassId c : report->unsatisfiable_classes) {
     std::cout << "UNSATISFIABLE: " << schema.ClassName(c) << "\n";
   }
-  return 2;
+  return kExitUnsat;
 }
 
 int Stats(Schema& schema) {
@@ -105,22 +173,20 @@ int Stats(Schema& schema) {
 
   auto expansion = BuildExpansion(schema, MakeExpansionOptions());
   if (!expansion.ok()) {
-    std::cerr << "expansion: " << expansion.status() << "\n";
-    return 1;
+    return ReportFailure("expansion", expansion.status());
   }
   std::cout << expansion->Summary() << "\n";
 
   PsiSolverOptions solver_options;
   solver_options.num_threads = g_num_threads;
+  solver_options.exec = &g_exec;
   auto finite = SolvePsi(*expansion, solver_options);
   if (!finite.ok()) {
-    std::cerr << "solver: " << finite.status() << "\n";
-    return 1;
+    return ReportFailure("solver", finite.status());
   }
   auto unrestricted = CheckUnrestrictedSatisfiability(*expansion);
   if (!unrestricted.ok()) {
-    std::cerr << "unrestricted: " << unrestricted.status() << "\n";
-    return 1;
+    return ReportFailure("unrestricted", unrestricted.status());
   }
   int finite_only = 0;
   for (ClassId c = 0; c < schema.num_classes(); ++c) {
@@ -134,26 +200,24 @@ int Stats(Schema& schema) {
   std::cout << "LP solves: " << finite->lp_solves
             << ", pivots: " << finite->total_pivots
             << ", finite-model effects: " << finite_only << "\n";
-  return 0;
+  return kExitSat;
 }
 
 int Model(Schema& schema) {
   auto expansion = BuildExpansion(schema, MakeExpansionOptions());
   if (!expansion.ok()) {
-    std::cerr << "expansion: " << expansion.status() << "\n";
-    return 1;
+    return ReportFailure("expansion", expansion.status());
   }
   PsiSolverOptions solver_options;
   solver_options.num_threads = g_num_threads;
+  solver_options.exec = &g_exec;
   auto solution = SolvePsi(*expansion, solver_options);
   if (!solution.ok()) {
-    std::cerr << "solver: " << solution.status() << "\n";
-    return 1;
+    return ReportFailure("solver", solution.status());
   }
   auto model = SynthesizeModel(*expansion, *solution);
   if (!model.ok()) {
-    std::cerr << "synthesis: " << model.status() << "\n";
-    return 1;
+    return ReportFailure("synthesis", model.status());
   }
   DumpOptions options;
   options.max_facts_per_extension = 32;
@@ -161,31 +225,29 @@ int Model(Schema& schema) {
   ModelCheckResult verdict = CheckModel(schema, model->model);
   std::cout << (verdict.is_model ? "verified: model\n"
                                  : "verified: NOT A MODEL (bug!)\n");
-  return verdict.is_model ? 0 : 1;
+  return verdict.is_model ? kExitSat : kExitError;
 }
 
 int Reify(Schema& schema) {
   auto reified = ReifyNonBinaryRelations(schema);
   if (!reified.ok()) {
-    std::cerr << "reify: " << reified.status() << "\n";
-    return 1;
+    return ReportFailure("reify", reified.status());
   }
   std::cout << PrintSchema(reified->schema);
   std::cerr << "(" << reified->num_reified << " relation(s) reified)\n";
-  return 0;
+  return kExitSat;
 }
 
 int Implications(Schema& schema, const std::string& class_name) {
   ClassId target = schema.LookupClass(class_name);
   if (target == kInvalidId) {
     std::cerr << "unknown class '" << class_name << "'\n";
-    return 1;
+    return kExitError;
   }
   Reasoner reasoner(&schema, MakeReasonerOptions());
   auto satisfiable = reasoner.IsClassSatisfiable(target);
   if (!satisfiable.ok()) {
-    std::cerr << "error: " << satisfiable.status() << "\n";
-    return 1;
+    return ReportFailure("error", satisfiable.status());
   }
   std::cout << class_name << " is "
             << (satisfiable.value() ? "satisfiable" : "UNSATISFIABLE")
@@ -211,8 +273,7 @@ int Implications(Schema& schema, const std::string& class_name) {
   }
   auto answers = reasoner.RunImplicationBatch(queries);
   if (!answers.ok()) {
-    std::cerr << "error: " << answers.status() << "\n";
-    return 1;
+    return ReportFailure("error", answers.status());
   }
   for (size_t i = 0; i < others.size(); ++i) {
     if ((*answers)[2 * i]) {
@@ -238,7 +299,24 @@ int Implications(Schema& schema, const std::string& class_name) {
                 << " : " << bounds.value().ToString() << "\n";
     }
   }
-  return 0;
+  return kExitSat;
+}
+
+/// Parses `--name=<uint64>` into `*value`; returns false (after printing
+/// a diagnostic) on malformed input.
+bool ParseUint64Flag(const std::string& arg, size_t prefix_len,
+                     uint64_t* value) {
+  try {
+    size_t consumed = 0;
+    std::string text = arg.substr(prefix_len);
+    unsigned long long parsed = std::stoull(text, &consumed);
+    if (consumed != text.size() || text.empty()) throw std::exception();
+    *value = parsed;
+    return true;
+  } catch (...) {
+    std::cerr << "bad flag value '" << arg << "'\n";
+    return false;
+  }
 }
 
 int Run(int argc, char** argv) {
@@ -255,19 +333,32 @@ int Run(int argc, char** argv) {
       if (g_num_threads < 0) return Usage();
       continue;
     }
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 14, &g_deadline_ms)) return Usage();
+      continue;
+    }
+    if (arg.rfind("--memory-budget-mb=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 19, &g_memory_budget_mb)) return Usage();
+      continue;
+    }
+    if (arg.rfind("--work-budget=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 14, &g_work_budget)) return Usage();
+      continue;
+    }
     args.push_back(std::move(arg));
   }
   if (args.size() < 2) return Usage();
+  ConfigureExecContext();
   const std::string& command = args[0];
   auto schema = Load(args[1]);
   if (!schema.ok()) {
     std::cerr << "error: " << schema.status() << "\n";
-    return 1;
+    return kExitError;
   }
   if (command == "check") return Check(*schema);
   if (command == "print") {
     std::cout << PrintSchema(*schema);
-    return 0;
+    return kExitSat;
   }
   if (command == "stats") return Stats(*schema);
   if (command == "model") return Model(*schema);

@@ -1,0 +1,43 @@
+// libFuzzer harness for the schema parser.
+//
+// Feeds arbitrary bytes to ParseSchema and, whenever they parse, checks
+// the print ∘ parse round trip: the canonical pretty-print of a parsed
+// schema must itself parse (anything else means the printer and the
+// parser disagree about the language). Crashes, sanitizer reports and
+// round-trip failures are the fuzzer's findings; semantic reasoning is
+// deliberately out of scope to keep executions fast.
+//
+// Build (Clang only): cmake -DCAR_BUILD_FUZZERS=ON, then run
+//   ./build/tools/fuzz_parser -max_total_time=60 examples/schemas
+// seeding from the example corpus.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  car::Result<car::Schema> schema = car::ParseSchema(text);
+  if (!schema.ok()) return 0;
+
+  std::string printed = car::PrintSchema(*schema);
+  car::Result<car::Schema> reparsed = car::ParseSchema(printed);
+  if (!reparsed.ok()) {
+    std::fprintf(stderr,
+                 "print/parse round trip failed: %s\ncanonical form:\n%s\n",
+                 reparsed.status().ToString().c_str(), printed.c_str());
+    __builtin_trap();
+  }
+  // The round trip must also be idempotent: printing the reparse yields
+  // the same canonical text.
+  if (car::PrintSchema(*reparsed) != printed) {
+    std::fprintf(stderr, "canonical form is not a fixpoint:\n%s\n",
+                 printed.c_str());
+    __builtin_trap();
+  }
+  return 0;
+}
