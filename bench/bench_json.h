@@ -1,0 +1,129 @@
+#ifndef CAR_BENCH_BENCH_JSON_H_
+#define CAR_BENCH_BENCH_JSON_H_
+
+// Minimal JSON-lines emitter shared by the plain-main bench drivers: one
+// flat object per record, one record per line, no dependencies. The
+// artifact files (BENCH_*.json) are parsed by the CI smoke jobs with a
+// stock JSON parser, so the emitter escapes strings properly and never
+// emits NaN/Inf (non-finite doubles are written as null).
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace car {
+namespace bench {
+
+/// One flat JSON object, built field by field in insertion order.
+class JsonRecord {
+ public:
+  JsonRecord& Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(Escape(key), Escape(value));
+    return *this;
+  }
+  JsonRecord& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  JsonRecord& Add(const std::string& key, bool value) {
+    return AddRaw(key, value ? "true" : "false");
+  }
+  JsonRecord& Add(const std::string& key, uint64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonRecord& Add(const std::string& key, int value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  JsonRecord& Add(const std::string& key, double value) {
+    if (!std::isfinite(value)) return AddRaw(key, "null");
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return AddRaw(key, buffer);
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += fields_[i].first;
+      out += ":";
+      out += fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  JsonRecord& AddRaw(const std::string& key, std::string raw) {
+    fields_.emplace_back(Escape(key), std::move(raw));
+    return *this;
+  }
+
+  static std::string Escape(const std::string& text) {
+    std::string out = "\"";
+    for (char c : text) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out += buffer;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// A JSON-lines output file; every Write appends one record line and
+/// flushes (bench drivers are often killed by deadline sweeps — partial
+/// artifacts should still parse line by line).
+class JsonLinesFile {
+ public:
+  explicit JsonLinesFile(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {}
+  ~JsonLinesFile() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  JsonLinesFile(const JsonLinesFile&) = delete;
+  JsonLinesFile& operator=(const JsonLinesFile&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void Write(const JsonRecord& record) {
+    if (file_ == nullptr) return;
+    std::string line = record.ToString();
+    std::fprintf(file_, "%s\n", line.c_str());
+    std::fflush(file_);
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+}  // namespace bench
+}  // namespace car
+
+#endif  // CAR_BENCH_BENCH_JSON_H_

@@ -185,6 +185,9 @@ ProgressSnapshot ExecContext::progress() const {
   snapshot.configurations_examined =
       configurations_.load(std::memory_order_relaxed);
   snapshot.queries_completed = queries_.load(std::memory_order_relaxed);
+  snapshot.memo_hits = memo_hits_.load(std::memory_order_relaxed);
+  snapshot.memo_misses = memo_misses_.load(std::memory_order_relaxed);
+  snapshot.warm_starts = warm_starts_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

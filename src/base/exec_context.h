@@ -52,6 +52,11 @@ struct ProgressSnapshot {
   uint64_t lp_solves = 0;
   uint64_t configurations_examined = 0;
   uint64_t queries_completed = 0;
+  /// Implication-probe memo cache hits/misses (incremental sessions).
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  /// Warm-started (resumed) simplex solves.
+  uint64_t warm_starts = 0;
 };
 
 /// A structured description of which limit tripped, where, and at what
@@ -174,6 +179,9 @@ class ExecContext {
   void CountLpSolves(uint64_t n) { AddRelaxed(&lp_solves_, n); }
   void CountConfigurations(uint64_t n) { AddRelaxed(&configurations_, n); }
   void CountQueries(uint64_t n) { AddRelaxed(&queries_, n); }
+  void CountMemoHits(uint64_t n) { AddRelaxed(&memo_hits_, n); }
+  void CountMemoMisses(uint64_t n) { AddRelaxed(&memo_misses_, n); }
+  void CountWarmStarts(uint64_t n) { AddRelaxed(&warm_starts_, n); }
 
   // --- Inspection ----------------------------------------------------------
 
@@ -216,6 +224,9 @@ class ExecContext {
   std::atomic<uint64_t> lp_solves_{0};
   std::atomic<uint64_t> configurations_{0};
   std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> memo_hits_{0};
+  std::atomic<uint64_t> memo_misses_{0};
+  std::atomic<uint64_t> warm_starts_{0};
 
   std::atomic<uint64_t> work_budget_{kNoBudget};
   std::atomic<uint64_t> byte_budget_{kNoBudget};

@@ -1,0 +1,25 @@
+#ifndef CAR_BASE_HASHING_H_
+#define CAR_BASE_HASHING_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace car {
+
+/// 64-bit FNV-1a. Used for schema fingerprints and probe-memo display
+/// hashes: stable across platforms and runs (no seed), cheap, and good
+/// enough for cache keying when the full canonical string is kept for
+/// exact comparison.
+inline uint64_t Fnv1a64(std::string_view data,
+                        uint64_t seed = 14695981039346656037ull) {
+  uint64_t hash = seed;
+  for (unsigned char byte : data) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace car
+
+#endif  // CAR_BASE_HASHING_H_

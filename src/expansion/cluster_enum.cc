@@ -1,0 +1,73 @@
+#include "expansion/cluster_enum.h"
+
+namespace car {
+
+bool CanIncludeClass(const PairTables& tables,
+                     const std::vector<ClassId>& included,
+                     const std::vector<bool>& excluded, ClassId c) {
+  if (tables.AreDisjoint(c, c)) return false;
+  for (ClassId d : included) {
+    if (tables.AreDisjoint(c, d)) return false;
+  }
+  for (ClassId super : tables.SuperclassesOf(c)) {
+    if (excluded[super]) return false;
+  }
+  return true;
+}
+
+bool CanExcludeClass(const PairTables& tables,
+                     const std::vector<ClassId>& included, ClassId c) {
+  for (ClassId d : included) {
+    if (tables.IsIncluded(d, c)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+Status Dfs(const Schema& schema, const PairTables& tables,
+           const std::vector<ClassId>& cluster, size_t pos,
+           ExecContext* exec, size_t* subsets_visited,
+           std::vector<ClassId>* included, std::vector<bool>* excluded,
+           const std::function<Status(CompoundClass)>& emit) {
+  if (GovCancelled(exec)) return GovCheck(exec, "expansion");
+  if (pos == cluster.size()) {
+    CAR_RETURN_IF_ERROR(GovChargeWork(exec, 1, "expansion"));
+    ++*subsets_visited;
+    if (included->empty()) return Status::Ok();
+    CompoundClass compound(*included);
+    if (compound.IsConsistent(schema)) {
+      return emit(std::move(compound));
+    }
+    return Status::Ok();
+  }
+  const ClassId c = cluster[pos];
+  if (CanIncludeClass(tables, *included, *excluded, c)) {
+    included->push_back(c);
+    CAR_RETURN_IF_ERROR(Dfs(schema, tables, cluster, pos + 1, exec,
+                            subsets_visited, included, excluded, emit));
+    included->pop_back();
+  }
+  if (CanExcludeClass(tables, *included, c)) {
+    (*excluded)[c] = true;
+    CAR_RETURN_IF_ERROR(Dfs(schema, tables, cluster, pos + 1, exec,
+                            subsets_visited, included, excluded, emit));
+    (*excluded)[c] = false;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status EnumerateClusterSubsets(
+    const Schema& schema, const PairTables& tables,
+    const std::vector<ClassId>& cluster, ExecContext* exec,
+    size_t* subsets_visited,
+    const std::function<Status(CompoundClass)>& emit) {
+  std::vector<ClassId> included;
+  std::vector<bool> excluded(schema.num_classes(), false);
+  return Dfs(schema, tables, cluster, 0, exec, subsets_visited, &included,
+             &excluded, emit);
+}
+
+}  // namespace car

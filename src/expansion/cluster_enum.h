@@ -1,0 +1,48 @@
+#ifndef CAR_EXPANSION_CLUSTER_ENUM_H_
+#define CAR_EXPANSION_CLUSTER_ENUM_H_
+
+#include <functional>
+#include <vector>
+
+#include "analysis/pair_tables.h"
+#include "base/exec_context.h"
+#include "base/status.h"
+#include "expansion/compound.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// The include/exclude pruning predicates of the pruned depth-first
+/// enumeration (Section 4.3 criterion (a)), shared by the parallel
+/// ExpansionBuilder shards and the serial per-cluster enumeration of the
+/// incremental delta path. `included` holds the classes already chosen;
+/// `excluded` marks classes decided out (indexed by class id; classes of
+/// other clusters are implicitly out and never consulted).
+
+/// Include is futile when c is self-disjoint, disjoint from an already
+/// included class, or has a recorded superclass already decided out.
+bool CanIncludeClass(const PairTables& tables,
+                     const std::vector<ClassId>& included,
+                     const std::vector<bool>& excluded, ClassId c);
+
+/// Exclude is impossible when an included class is recorded as a subclass
+/// of c (then c is forced in).
+bool CanExcludeClass(const PairTables& tables,
+                     const std::vector<ClassId>& included, ClassId c);
+
+/// Serial pruned depth-first enumeration of the consistent non-empty
+/// compound classes within one cluster — the same decision tree as one
+/// unsharded ExpansionBuilder shard, so for identical (cluster, tables,
+/// per-member isa formulas) it yields exactly the same compound set.
+/// Charges one "expansion" work unit per subset visited and observes
+/// cancellation between nodes; `emit` may return a non-ok status to abort
+/// (e.g. a tripped cap), which is returned as-is.
+Status EnumerateClusterSubsets(
+    const Schema& schema, const PairTables& tables,
+    const std::vector<ClassId>& cluster, ExecContext* exec,
+    size_t* subsets_visited,
+    const std::function<Status(CompoundClass)>& emit);
+
+}  // namespace car
+
+#endif  // CAR_EXPANSION_CLUSTER_ENUM_H_

@@ -8,6 +8,7 @@
 #include "analysis/union_free.h"
 #include "base/strings.h"
 #include "base/thread_pool.h"
+#include "expansion/cluster_enum.h"
 
 namespace car {
 
@@ -199,29 +200,17 @@ class ExpansionBuilder {
              out);
   }
 
-  /// Include is futile when c is self-disjoint, disjoint from an already
-  /// included class, or has a recorded superclass already decided out.
+  /// Pruning predicates, shared with the incremental delta path (see
+  /// expansion/cluster_enum.h) so both enumerations stay in lockstep.
   bool CanInclude(const PairTables& tables,
                   const std::vector<ClassId>& included,
                   const std::vector<bool>& excluded, ClassId c) const {
-    if (tables.AreDisjoint(c, c)) return false;
-    for (ClassId d : included) {
-      if (tables.AreDisjoint(c, d)) return false;
-    }
-    for (ClassId super : tables.SuperclassesOf(c)) {
-      if (excluded[super]) return false;
-    }
-    return true;
+    return CanIncludeClass(tables, included, excluded, c);
   }
 
-  /// Exclude is impossible when an included class is recorded as a
-  /// subclass of c (then c is forced in).
   bool CanExclude(const PairTables& tables,
                   const std::vector<ClassId>& included, ClassId c) const {
-    for (ClassId d : included) {
-      if (tables.IsIncluded(d, c)) return false;
-    }
-    return true;
+    return CanExcludeClass(tables, included, c);
   }
 
   /// Depth-first enumeration of the subsets of one cluster, pruned with

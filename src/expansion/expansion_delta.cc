@@ -1,0 +1,414 @@
+#include "expansion/expansion_delta.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "analysis/union_free.h"
+#include "base/check.h"
+#include "expansion/cluster_enum.h"
+
+namespace car {
+
+namespace {
+
+/// Replays the preselection preamble of the pruned enumeration (the same
+/// recipe ExpansionBuilder::EnumerateCompoundClasses uses).
+PairTables BuildTablesFor(const Schema& schema,
+                          const ExpansionOptions& options) {
+  PairTableOptions table_options;
+  table_options.propagate = options.propagate_tables;
+  PairTables tables = BuildPairTables(schema, table_options);
+  if (options.union_free_completion && schema.IsUnionFree()) {
+    CompleteDisjointnessUnionFree(schema, &tables);
+  }
+  return tables;
+}
+
+/// True when the cluster's pruning inputs agree under both tables: every
+/// within-cluster disjointness and inclusion entry (including the
+/// self-disjointness diagonal) is identical. Together with an identical
+/// class list this makes the pruned DFS decision tree — and hence the
+/// emitted compound set — identical, because the DFS consults exactly
+/// AreDisjoint(c, c), AreDisjoint(c, included), IsIncluded(included, c)
+/// and the excluded-superclass test, whose out-of-cluster part is inert
+/// (classes of other clusters are never marked excluded).
+bool ClusterTablesUnchanged(const std::vector<ClassId>& cluster,
+                            const PairTables& base_tables,
+                            const PairTables& ext_tables) {
+  for (ClassId c : cluster) {
+    for (ClassId d : cluster) {
+      if (base_tables.AreDisjoint(c, d) != ext_tables.AreDisjoint(c, d)) {
+        return false;
+      }
+      if (base_tables.IsIncluded(c, d) != ext_tables.IsIncluded(c, d)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ExpansionBaseAnalysis> AnalyzeBaseExpansion(
+    const Schema& schema, const Expansion& base,
+    const ExpansionOptions& options) {
+  if (options.strategy != ExpansionStrategy::kPruned) {
+    return FailedPrecondition(
+        "incremental expansion deltas require the pruned strategy");
+  }
+  ExpansionBaseAnalysis analysis{BuildTablesFor(schema, options), {}, {}, {}};
+  analysis.partition = options.use_clusters
+                           ? ComputeClusters(schema, analysis.tables)
+                           : SingleCluster(schema);
+  analysis.cluster_compounds.assign(analysis.partition.num_clusters(), {});
+  for (size_t i = 1; i < base.compound_classes.size(); ++i) {
+    const CompoundClass& compound = base.compound_classes[i];
+    CAR_CHECK(!compound.empty());
+    const int cluster =
+        analysis.partition.cluster_of[compound.members().front()];
+    // The pruned enumeration never mixes clusters; verify rather than
+    // assume (a mismatch would mean `base` was built with different
+    // options than the ones replayed here).
+    for (ClassId member : compound.members()) {
+      if (analysis.partition.cluster_of[member] != cluster) {
+        return FailedPrecondition(
+            "base expansion has a cross-cluster compound class; it was "
+            "not built with the replayed options");
+      }
+    }
+    analysis.cluster_compounds[cluster].push_back(static_cast<int>(i));
+  }
+  for (int k = 0; k < analysis.partition.num_clusters(); ++k) {
+    analysis.cluster_by_classes.emplace(analysis.partition.clusters[k], k);
+  }
+  return analysis;
+}
+
+Result<ExpansionDelta> ExtendExpansionWithAuxClass(
+    const Schema& ext_schema, ClassId aux, const Expansion& base,
+    const ExpansionBaseAnalysis& analysis, const ExpansionOptions& options) {
+  CAR_CHECK_EQ(static_cast<int>(aux), ext_schema.num_classes() - 1);
+  ExecContext* exec = options.exec;
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "expansion"));
+
+  const int num_base_cc = static_cast<int>(base.compound_classes.size());
+  ExpansionDelta delta;
+
+  // --- Compound classes: re-cluster the extended schema; clusters whose
+  // class list and within-cluster table rows are unchanged keep their base
+  // compounds wholesale, the rest are re-enumerated with the extended
+  // tables.
+  PairTables ext_tables = BuildTablesFor(ext_schema, options);
+  ClusterPartition ext_partition =
+      options.use_clusters ? ComputeClusters(ext_schema, ext_tables)
+                           : SingleCluster(ext_schema);
+
+  // Base compounds the re-enumerated clusters must re-emit (all compounds
+  // of every base cluster they cover) vs. those actually seen. Set
+  // equality is the base-prefix guarantee: extended set = base ∪ new.
+  std::set<int> expected_base;
+  std::set<int> reemitted_base;
+  std::vector<CompoundClass> new_compounds;
+
+  for (const std::vector<ClassId>& cluster : ext_partition.clusters) {
+    bool reusable = false;
+    if (std::find(cluster.begin(), cluster.end(), aux) == cluster.end()) {
+      auto it = analysis.cluster_by_classes.find(cluster);
+      if (it != analysis.cluster_by_classes.end() &&
+          ClusterTablesUnchanged(cluster, analysis.tables, ext_tables)) {
+        reusable = true;
+      }
+    }
+    if (reusable) {
+      ++delta.clusters_reused;
+      continue;
+    }
+    ++delta.clusters_reenumerated;
+    for (ClassId c : cluster) {
+      if (c == aux) continue;
+      for (int index :
+           analysis.cluster_compounds[analysis.partition.cluster_of[c]]) {
+        expected_base.insert(index);
+      }
+    }
+    CAR_RETURN_IF_ERROR(EnumerateClusterSubsets(
+        ext_schema, ext_tables, cluster, exec, &delta.subsets_visited,
+        [&](CompoundClass compound) -> Status {
+          const int base_index = base.IndexOfCompoundClass(compound);
+          if (base_index >= 0) {
+            reemitted_base.insert(base_index);
+            return Status::Ok();
+          }
+          if (static_cast<size_t>(num_base_cc) + new_compounds.size() >=
+              options.max_compound_classes) {
+            return GovRecordTrip(exec, LimitKind::kMaxCompoundClasses,
+                                 "expansion", options.max_compound_classes,
+                                 options.max_compound_classes);
+          }
+          CAR_RETURN_IF_ERROR(GovChargeBytes(
+              exec,
+              sizeof(CompoundClass) +
+                  compound.members().size() * sizeof(ClassId),
+              "expansion"));
+          if (exec != nullptr) exec->CountCompounds(1);
+          new_compounds.push_back(std::move(compound));
+          return Status::Ok();
+        }));
+  }
+  if (expected_base != reemitted_base) {
+    // The auxiliary class changed the preselection outcome for base
+    // classes (e.g. a union-free schema became non-union-free, losing
+    // completed disjointness entries); the frozen base prefix would not
+    // match a from-scratch build, so the caller must fall back. Answers
+    // are never silently approximated.
+    return FailedPrecondition(
+        "expansion delta: re-enumerated clusters did not reproduce the "
+        "base compound classes; from-scratch fallback required");
+  }
+  std::sort(new_compounds.begin(), new_compounds.end());
+  delta.new_compound_classes = std::move(new_compounds);
+  const int num_new_cc = static_cast<int>(delta.new_compound_classes.size());
+  const int num_total_cc = num_base_cc + num_new_cc;
+  auto compound_at = [&](int global) -> const CompoundClass& {
+    return global < num_base_cc
+               ? base.compound_classes[global]
+               : delta.new_compound_classes[global - num_base_cc];
+  };
+
+  // --- Natt/Nrel entries of the new compounds. Entries are intrinsic to
+  // a compound's members (intersection of their specs), so base entries
+  // are unchanged and only the new compounds contribute.
+  for (int j = 0; j < num_new_cc; ++j) {
+    const int global = num_base_cc + j;
+    for (ClassId member : delta.new_compound_classes[j].members()) {
+      const ClassDefinition& definition = ext_schema.class_definition(member);
+      for (const AttributeSpec& spec : definition.attributes) {
+        auto key = std::make_pair(spec.term, global);
+        auto [it, inserted] = delta.new_natt.emplace(key, spec.cardinality);
+        if (!inserted) {
+          it->second =
+              Cardinality::IntersectUnchecked(it->second, spec.cardinality);
+        }
+      }
+      for (const ParticipationSpec& spec : definition.participations) {
+        const RelationDefinition* relation =
+            ext_schema.relation_definition(spec.relation);
+        CAR_CHECK(relation != nullptr);
+        const int role_index = relation->RoleIndex(spec.role);
+        CAR_CHECK_GE(role_index, 0);
+        auto key = std::make_tuple(spec.relation, role_index, global);
+        auto [it, inserted] = delta.new_nrel.emplace(key, spec.cardinality);
+        if (!inserted) {
+          it->second =
+              Cardinality::IntersectUnchecked(it->second, spec.cardinality);
+        }
+      }
+    }
+  }
+
+  // --- New compound attributes: the extended candidate set minus the
+  // base candidate set is exactly the pairs with at least one NEW
+  // element — base-constrained endpoints against new partners plus
+  // new-constrained endpoints against everything. Consistency is
+  // intrinsic to (attribute, from, to), so base pairs keep their base
+  // verdicts and need no re-filtering.
+  std::vector<std::set<int>> base_cf(ext_schema.num_attributes());
+  std::vector<std::set<int>> base_ct(ext_schema.num_attributes());
+  for (const auto& [key, cardinality] : base.natt) {
+    (void)cardinality;
+    const auto& [term, compound_index] = key;
+    (term.inverse ? base_ct : base_cf)[term.attribute].insert(compound_index);
+  }
+  std::vector<std::set<int>> new_cf(ext_schema.num_attributes());
+  std::vector<std::set<int>> new_ct(ext_schema.num_attributes());
+  for (const auto& [key, cardinality] : delta.new_natt) {
+    (void)cardinality;
+    const auto& [term, compound_index] = key;
+    (term.inverse ? new_ct : new_cf)[term.attribute].insert(compound_index);
+  }
+  const size_t num_base_ca = base.compound_attributes.size();
+  for (AttributeId a = 0; a < ext_schema.num_attributes(); ++a) {
+    std::set<std::pair<int, int>> candidates;
+    for (int from : base_cf[a]) {
+      for (int to = num_base_cc; to < num_total_cc; ++to) {
+        candidates.emplace(from, to);
+      }
+    }
+    for (int from : new_cf[a]) {
+      for (int to = 0; to < num_total_cc; ++to) {
+        candidates.emplace(from, to);
+      }
+    }
+    for (int to : base_ct[a]) {
+      for (int from = num_base_cc; from < num_total_cc; ++from) {
+        candidates.emplace(from, to);
+      }
+    }
+    for (int to : new_ct[a]) {
+      for (int from = 0; from < num_total_cc; ++from) {
+        candidates.emplace(from, to);
+      }
+    }
+    for (const auto& [from, to] : candidates) {
+      CAR_RETURN_IF_ERROR(GovChargeWork(exec, 1, "expansion-filter"));
+      if (!IsConsistentCompoundAttribute(ext_schema, a, compound_at(from),
+                                         compound_at(to))) {
+        continue;
+      }
+      if (num_base_ca + delta.new_compound_attributes.size() >=
+          options.max_compound_attributes) {
+        return GovRecordTrip(exec, LimitKind::kMaxCompoundAttributes,
+                             "expansion-filter",
+                             options.max_compound_attributes,
+                             options.max_compound_attributes);
+      }
+      const int index = static_cast<int>(num_base_ca +
+                                         delta.new_compound_attributes.size());
+      delta.new_compound_attributes.push_back({a, from, to});
+      delta.new_ca_by_from[{a, from}].push_back(index);
+      delta.new_ca_by_to[{a, to}].push_back(index);
+    }
+  }
+
+  // --- New compound relations: constrained-anchored component vectors
+  // with at least one NEW component. Decomposition: tuples anchored at a
+  // new constrained compound are all new; tuples anchored at a base
+  // constrained compound are enumerated by the first position holding a
+  // new compound (positions before it base-only, that position new-only,
+  // positions after it unrestricted). A shared per-relation seen-set
+  // dedupes across anchors like the base build.
+  const size_t num_base_cr = base.compound_relations.size();
+  for (RelationId r = 0; r < ext_schema.num_relations(); ++r) {
+    const RelationDefinition* definition = ext_schema.relation_definition(r);
+    if (definition == nullptr) continue;
+    const int arity = definition->arity();
+
+    std::vector<std::set<int>> constrained_base(arity);
+    std::vector<std::set<int>> constrained_new(arity);
+    bool any_constraint = false;
+    for (const auto& [key, cardinality] : base.nrel) {
+      (void)cardinality;
+      if (std::get<0>(key) != r) continue;
+      constrained_base[std::get<1>(key)].insert(std::get<2>(key));
+      any_constraint = true;
+    }
+    for (const auto& [key, cardinality] : delta.new_nrel) {
+      (void)cardinality;
+      if (std::get<0>(key) != r) continue;
+      constrained_new[std::get<1>(key)].insert(std::get<2>(key));
+      any_constraint = true;
+    }
+    if (!any_constraint) continue;
+
+    // Single-literal role-clause prefilter, split base/new. Realizing a
+    // formula is intrinsic to the compound, so the base half coincides
+    // with the base enumeration's `allowed` sets.
+    std::vector<std::vector<int>> allowed_base(arity);
+    std::vector<std::vector<int>> allowed_new(arity);
+    for (int k = 0; k < arity; ++k) {
+      for (int i = 0; i < num_total_cc; ++i) {
+        bool ok = true;
+        for (const RoleClause& clause : definition->constraints) {
+          if (clause.literals.size() != 1) continue;
+          const RoleLiteral& literal = clause.literals[0];
+          if (definition->RoleIndex(literal.role) != k) continue;
+          if (!compound_at(i).Realizes(literal.formula)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          (i < num_base_cc ? allowed_base : allowed_new)[k].push_back(i);
+        }
+      }
+    }
+
+    std::set<std::vector<int>> seen;
+    Status status = Status::Ok();
+    // Fillers advance left to right, skipping the pre-placed anchor.
+    // `min_new` = -1: every position ranges over base then new compounds
+    // (the anchor itself is new). `min_new` >= 0: positions before it are
+    // base-only, it is new-only, later positions are unrestricted —
+    // partitioning the ≥1-new tuples by their first new filler position.
+    std::function<void(int, int, std::vector<int>*)> fill =
+        [&](int position, int min_new, std::vector<int>* components) {
+          if (!status.ok()) return;
+          if (position == arity) {
+            status = GovChargeWork(exec, 1, "expansion-relations");
+            if (!status.ok()) return;
+            if (!seen.insert(*components).second) return;
+            std::vector<const CompoundClass*> views;
+            views.reserve(arity);
+            for (int index : *components) {
+              views.push_back(&compound_at(index));
+            }
+            if (!IsConsistentCompoundRelation(ext_schema, *definition,
+                                              views)) {
+              return;
+            }
+            if (num_base_cr + delta.new_compound_relations.size() >=
+                options.max_compound_relations) {
+              status = GovRecordTrip(exec, LimitKind::kMaxCompoundRelations,
+                                     "expansion-relations",
+                                     options.max_compound_relations,
+                                     options.max_compound_relations);
+              return;
+            }
+            const int index = static_cast<int>(
+                num_base_cr + delta.new_compound_relations.size());
+            for (int k = 0; k < arity; ++k) {
+              delta.new_cr_by_role[{r, k, (*components)[k]}].push_back(index);
+            }
+            delta.new_compound_relations.push_back({r, *components});
+            return;
+          }
+          if ((*components)[position] >= 0) {  // The anchor; already placed.
+            fill(position + 1, min_new, components);
+            return;
+          }
+          const bool use_base = min_new < 0 || position != min_new;
+          const bool use_new = min_new < 0 || position >= min_new;
+          if (use_base) {
+            for (int candidate : allowed_base[position]) {
+              (*components)[position] = candidate;
+              fill(position + 1, min_new, components);
+              if (!status.ok()) break;
+            }
+          }
+          if (use_new && status.ok()) {
+            for (int candidate : allowed_new[position]) {
+              (*components)[position] = candidate;
+              fill(position + 1, min_new, components);
+              if (!status.ok()) break;
+            }
+          }
+          (*components)[position] = -1;
+        };
+
+    for (int anchor = 0; anchor < arity && status.ok(); ++anchor) {
+      for (int anchored : constrained_new[anchor]) {
+        std::vector<int> components(arity, -1);
+        components[anchor] = anchored;
+        fill(0, -1, &components);
+        if (!status.ok()) break;
+      }
+      for (int anchored : constrained_base[anchor]) {
+        for (int min_new = 0; min_new < arity && status.ok(); ++min_new) {
+          if (min_new == anchor) continue;
+          std::vector<int> components(arity, -1);
+          components[anchor] = anchored;
+          fill(0, min_new, &components);
+        }
+      }
+    }
+    CAR_RETURN_IF_ERROR(status);
+  }
+
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "expansion"));
+  return delta;
+}
+
+}  // namespace car

@@ -12,22 +12,6 @@ namespace {
 constexpr uint64_t kLimbBase = 1ull << 32;
 }  // namespace
 
-BigInt::BigInt(int64_t value) {
-  if (value == 0) {
-    sign_ = 0;
-    return;
-  }
-  sign_ = value > 0 ? 1 : -1;
-  // Avoid overflow on INT64_MIN by working in uint64.
-  uint64_t magnitude =
-      value > 0 ? static_cast<uint64_t>(value)
-                : ~static_cast<uint64_t>(value) + 1;
-  limbs_.push_back(static_cast<uint32_t>(magnitude & 0xffffffffull));
-  if (magnitude >> 32) {
-    limbs_.push_back(static_cast<uint32_t>(magnitude >> 32));
-  }
-}
-
 Result<BigInt> BigInt::FromString(std::string_view text) {
   text = StripWhitespace(text);
   if (text.empty()) {
@@ -85,7 +69,7 @@ size_t BigInt::BitLength() const {
 std::string BigInt::ToString() const {
   if (is_zero()) return "0";
   // Repeatedly divide the magnitude by 10^9 and emit 9 digits at a time.
-  std::vector<uint32_t> work = limbs_;
+  LimbVector work = limbs_;
   std::string digits;
   constexpr uint32_t kChunk = 1000000000u;
   while (!work.empty()) {
@@ -119,8 +103,8 @@ BigInt BigInt::Abs() const {
   return result;
 }
 
-int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
-                             const std::vector<uint32_t>& b) {
+int BigInt::CompareMagnitude(const LimbVector& a,
+                             const LimbVector& b) {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   for (size_t i = a.size(); i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
@@ -128,11 +112,11 @@ int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
   return 0;
 }
 
-std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
-  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
-  std::vector<uint32_t> result;
+LimbVector BigInt::AddMagnitude(const LimbVector& a,
+                                           const LimbVector& b) {
+  const LimbVector& longer = a.size() >= b.size() ? a : b;
+  const LimbVector& shorter = a.size() >= b.size() ? b : a;
+  LimbVector result;
   result.reserve(longer.size() + 1);
   uint64_t carry = 0;
   for (size_t i = 0; i < longer.size(); ++i) {
@@ -144,10 +128,10 @@ std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
   return result;
 }
 
-std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
+LimbVector BigInt::SubMagnitude(const LimbVector& a,
+                                           const LimbVector& b) {
   CAR_CHECK_GE(CompareMagnitude(a, b), 0);
-  std::vector<uint32_t> result;
+  LimbVector result;
   result.reserve(a.size());
   int64_t borrow = 0;
   for (size_t i = 0; i < a.size(); ++i) {
@@ -165,10 +149,10 @@ std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
   return result;
 }
 
-std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
+LimbVector BigInt::MulMagnitude(const LimbVector& a,
+                                           const LimbVector& b) {
   if (a.empty() || b.empty()) return {};
-  std::vector<uint32_t> result(a.size() + b.size(), 0);
+  LimbVector result(a.size() + b.size(), 0);
   for (size_t i = 0; i < a.size(); ++i) {
     uint64_t carry = 0;
     for (size_t j = 0; j < b.size(); ++j) {
@@ -189,10 +173,10 @@ std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
   return result;
 }
 
-void BigInt::DivModMagnitude(const std::vector<uint32_t>& dividend,
-                             const std::vector<uint32_t>& divisor,
-                             std::vector<uint32_t>* quotient,
-                             std::vector<uint32_t>* remainder) {
+void BigInt::DivModMagnitude(const LimbVector& dividend,
+                             const LimbVector& divisor,
+                             LimbVector* quotient,
+                             LimbVector* remainder) {
   CAR_CHECK(!divisor.empty());
   quotient->clear();
   remainder->clear();
@@ -226,8 +210,8 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& dividend,
       ++shift;
     }
   }
-  auto shift_left = [shift](const std::vector<uint32_t>& in) {
-    std::vector<uint32_t> out(in.size() + 1, 0);
+  auto shift_left = [shift](const LimbVector& in) {
+    LimbVector out(in.size() + 1, 0);
     for (size_t i = 0; i < in.size(); ++i) {
       out[i] |= shift == 0 ? in[i] : (in[i] << shift);
       if (shift != 0) out[i + 1] = in[i] >> (32 - shift);
@@ -235,8 +219,8 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& dividend,
     Trim(&out);
     return out;
   };
-  std::vector<uint32_t> u = shift_left(dividend);
-  std::vector<uint32_t> v = shift_left(divisor);
+  LimbVector u = shift_left(dividend);
+  LimbVector v = shift_left(divisor);
   const size_t n = v.size();
   // Ensure u has an extra high limb for the algorithm.
   u.push_back(0);
@@ -297,7 +281,7 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& dividend,
   Trim(quotient);
 
   // Denormalize the remainder: shift right by `shift`.
-  std::vector<uint32_t> rem(u.begin(), u.begin() + n);
+  LimbVector rem(u.data(), n);
   if (shift != 0) {
     for (size_t i = 0; i < rem.size(); ++i) {
       rem[i] >>= shift;
@@ -308,7 +292,7 @@ void BigInt::DivModMagnitude(const std::vector<uint32_t>& dividend,
   *remainder = std::move(rem);
 }
 
-void BigInt::Trim(std::vector<uint32_t>* limbs) {
+void BigInt::Trim(LimbVector* limbs) {
   while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
 }
 

@@ -18,6 +18,13 @@ struct Tableau {
   std::vector<Rational> rhs;
   std::vector<int> basis;            // Basic variable of each row.
   std::vector<bool> is_artificial;   // Indexed by column.
+  // Warm-start bookkeeping (see SimplexSnapshot): the identity column a
+  // row was created with, and whether the row was negated at creation.
+  std::vector<int> init_basic;
+  std::vector<bool> flipped;
+  // Per row: width up to which the row is known all-zero over real
+  // columns (see SimplexSnapshot::zero_checked).
+  std::vector<int> zero_checked;
   int num_cols = 0;
 
   /// Pivots on (pivot_row, pivot_col): divides the pivot row by the pivot
@@ -25,6 +32,9 @@ struct Tableau {
   void Pivot(size_t pivot_row, int pivot_col) {
     Rational pivot_value = rows[pivot_row][pivot_col];
     CAR_CHECK(!pivot_value.is_zero());
+    // Normalizing the pivot row preserves its zero pattern, so its
+    // zero_checked prefix stays valid; eliminated rows change and lose
+    // theirs.
     for (Rational& cell : rows[pivot_row]) cell /= pivot_value;
     rhs[pivot_row] /= pivot_value;
     for (size_t r = 0; r < rows.size(); ++r) {
@@ -37,6 +47,7 @@ struct Tableau {
         }
       }
       rhs[r] -= factor * rhs[pivot_row];
+      zero_checked[r] = 0;
     }
     basis[pivot_row] = pivot_col;
   }
@@ -214,6 +225,9 @@ Tableau BuildTableau(const LinearSystem& system) {
     tableau.rows.push_back(std::move(row));
     tableau.rhs.push_back(std::move(rhs));
     tableau.basis.push_back(basic);
+    tableau.init_basic.push_back(basic);
+    tableau.flipped.push_back(flip);
+    tableau.zero_checked.push_back(0);
   }
   return tableau;
 }
@@ -243,6 +257,11 @@ void RemoveArtificialsFromBasis(Tableau* tableau) {
       tableau->rows.erase(tableau->rows.begin() + static_cast<long>(i));
       tableau->rhs.erase(tableau->rhs.begin() + static_cast<long>(i));
       tableau->basis.erase(tableau->basis.begin() + static_cast<long>(i));
+      tableau->init_basic.erase(tableau->init_basic.begin() +
+                                static_cast<long>(i));
+      tableau->flipped.erase(tableau->flipped.begin() + static_cast<long>(i));
+      tableau->zero_checked.erase(tableau->zero_checked.begin() +
+                                  static_cast<long>(i));
     }
   }
 }
@@ -255,6 +274,72 @@ std::vector<Rational> ExtractSolution(const Tableau& tableau, int n) {
     }
   }
   return values;
+}
+
+/// Moves the tableau-shaped members of a snapshot into a Tableau (and
+/// back): the snapshot is the persisted form of the same dense state.
+Tableau TableauFromSnapshot(SimplexSnapshot* snapshot) {
+  Tableau tableau;
+  tableau.rows = std::move(snapshot->rows);
+  tableau.rhs = std::move(snapshot->rhs);
+  tableau.basis = std::move(snapshot->basis);
+  tableau.is_artificial = std::move(snapshot->is_artificial);
+  tableau.init_basic = std::move(snapshot->init_basic);
+  tableau.flipped = std::move(snapshot->row_flipped);
+  tableau.zero_checked = std::move(snapshot->zero_checked);
+  tableau.zero_checked.resize(tableau.rows.size(), 0);
+  tableau.num_cols = snapshot->num_cols;
+  return tableau;
+}
+
+void TableauIntoSnapshot(Tableau tableau, SimplexSnapshot* snapshot) {
+  snapshot->rows = std::move(tableau.rows);
+  snapshot->rhs = std::move(tableau.rhs);
+  snapshot->basis = std::move(tableau.basis);
+  snapshot->is_artificial = std::move(tableau.is_artificial);
+  snapshot->init_basic = std::move(tableau.init_basic);
+  snapshot->row_flipped = std::move(tableau.flipped);
+  snapshot->zero_checked = std::move(tableau.zero_checked);
+  snapshot->num_cols = tableau.num_cols;
+}
+
+/// Appends a zero column to every row; returns the new column's index.
+int AppendColumn(Tableau* tableau, bool artificial) {
+  for (std::vector<Rational>& row : tableau->rows) {
+    row.emplace_back();
+  }
+  tableau->is_artificial.push_back(artificial);
+  return tableau->num_cols++;
+}
+
+/// Pivots zero-valued basic artificial variables out of the basis
+/// wherever the row has a nonzero non-artificial cell. Rows where it does
+/// not (all-zero over real columns) stay parked on their zero-valued
+/// artificial: they are inert for the current solve but may receive
+/// nonzero cells from a later delta, after which this sweep runs again.
+/// Pivoting on a cell of either sign is sound here because the row's
+/// right-hand side is zero (the artificial's value), so feasibility is
+/// preserved. Rows whose artificial is still positive (fresh rows awaiting
+/// phase 1) are left alone — evicting those would fabricate feasibility.
+void ParkOrEvictArtificials(Tableau* tableau) {
+  for (size_t i = 0; i < tableau->rows.size(); ++i) {
+    if (!tableau->is_artificial[tableau->basis[i]]) continue;
+    if (!tableau->rhs[i].is_zero()) continue;
+    // Resume from the row's known-zero prefix: columns below it were
+    // found zero by an earlier sweep and no pivot has modified the row
+    // since (Pivot resets the prefix), so only appended columns — the
+    // ones a delta could have populated — need scanning.
+    bool evicted = false;
+    for (int j = tableau->zero_checked[i]; j < tableau->num_cols; ++j) {
+      if (tableau->is_artificial[j]) continue;
+      if (!tableau->rows[i][j].is_zero()) {
+        tableau->Pivot(i, j);
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) tableau->zero_checked[i] = tableau->num_cols;
+  }
 }
 
 }  // namespace
@@ -327,6 +412,251 @@ Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
 Result<LpResult> SimplexSolver::CheckFeasible(
     const LinearSystem& system) const {
   return Maximize(system, LinearExpr());
+}
+
+Result<LpResult> SimplexSolver::SolveForSnapshot(
+    const LinearSystem& system, const LinearExpr& objective,
+    SimplexSnapshot* snapshot) const {
+  CAR_CHECK(snapshot != nullptr);
+  CAR_RETURN_IF_ERROR(GovCheck(options_.exec, "simplex"));
+  Tableau tableau = BuildTableau(system);
+  CAR_RETURN_IF_ERROR(GovChargeBytes(
+      options_.exec,
+      tableau.rows.size() * static_cast<uint64_t>(tableau.num_cols) *
+          sizeof(Rational),
+      "simplex"));
+  const int n = system.num_variables();
+  LpResult result;
+
+  bool has_artificial = false;
+  for (bool flag : tableau.is_artificial) has_artificial |= flag;
+  if (has_artificial) {
+    std::vector<Rational> phase1_cost(tableau.num_cols);
+    for (int j = 0; j < tableau.num_cols; ++j) {
+      if (tableau.is_artificial[j]) phase1_cost[j] = Rational(-1);
+    }
+    CAR_ASSIGN_OR_RETURN(
+        LpOutcome outcome,
+        RunSimplex(&tableau, phase1_cost, /*allow_artificial=*/true,
+                   options_.max_pivots, options_.exec, &result.pivots));
+    CAR_CHECK(outcome == LpOutcome::kOptimal)
+        << "phase 1 cannot be unbounded";
+    if (!ObjectiveValue(tableau, phase1_cost).is_zero()) {
+      result.outcome = LpOutcome::kInfeasible;
+      return result;
+    }
+    // Unlike Maximize, keep redundant rows: a later delta may hand them
+    // nonzero columns, and the snapshot's row indices must stay aligned
+    // with the system's constraint indices.
+    ParkOrEvictArtificials(&tableau);
+  }
+
+  std::vector<Rational> phase2_cost(tableau.num_cols);
+  for (const auto& [variable, coefficient] : objective.terms()) {
+    CAR_CHECK_GE(variable, 0);
+    CAR_CHECK_LT(variable, n);
+    phase2_cost[variable] = coefficient;
+  }
+  CAR_ASSIGN_OR_RETURN(
+      LpOutcome outcome,
+      RunSimplex(&tableau, phase2_cost, /*allow_artificial=*/false,
+                 options_.max_pivots, options_.exec, &result.pivots));
+  result.outcome = outcome;
+  result.values = ExtractSolution(tableau, n);
+  result.objective = ObjectiveValue(tableau, phase2_cost);
+
+  snapshot->col_of_var.resize(n);
+  snapshot->var_of_col.assign(tableau.num_cols, -1);
+  for (int v = 0; v < n; ++v) {
+    snapshot->col_of_var[v] = v;
+    snapshot->var_of_col[v] = v;
+  }
+  snapshot->num_constraints = system.constraints().size();
+  TableauIntoSnapshot(std::move(tableau), snapshot);
+  return result;
+}
+
+Result<LpResult> SimplexSolver::ResumeMaximize(
+    SimplexSnapshot* snapshot, const SimplexDelta& delta,
+    const LinearExpr& objective) const {
+  CAR_CHECK(snapshot != nullptr);
+  CAR_RETURN_IF_ERROR(GovCheck(options_.exec, "simplex"));
+  if (options_.exec != nullptr) options_.exec->CountWarmStarts(1);
+
+  const int old_num_vars = snapshot->num_variables();
+  const size_t old_num_rows = snapshot->num_constraints;
+  Tableau tableau = TableauFromSnapshot(snapshot);
+  const size_t cells_before =
+      tableau.rows.size() * static_cast<size_t>(tableau.num_cols);
+
+  // Reserve the final width once so every column append below is
+  // reallocation-free: one column per new structural variable plus at
+  // most two (slack and artificial) per new constraint. Growing the
+  // dense rows one cell at a time shows up as the dominant cost of a
+  // warm start otherwise — the pivot counts are small, the setup isn't.
+  const size_t width_bound = static_cast<size_t>(tableau.num_cols) +
+                             static_cast<size_t>(delta.num_new_variables) +
+                             2 * delta.new_constraints.size();
+  for (std::vector<Rational>& row : tableau.rows) row.reserve(width_bound);
+  tableau.is_artificial.reserve(width_bound);
+  tableau.rows.reserve(tableau.rows.size() + delta.new_constraints.size());
+  snapshot->col_of_var.reserve(old_num_vars + delta.num_new_variables);
+  snapshot->var_of_col.reserve(width_bound);
+
+  // --- Append the new structural columns in one bulk resize. Each one is
+  // priced out against the frozen basis: its tableau form is
+  // sum_i a_i * B^-1 e_i, where column init_basic[i] holds B^-1 e_i for
+  // the row of constraint i.
+  if (delta.num_new_variables > 0) {
+    const int first = tableau.num_cols;
+    tableau.num_cols = first + delta.num_new_variables;
+    for (std::vector<Rational>& row : tableau.rows) {
+      row.resize(static_cast<size_t>(tableau.num_cols));
+    }
+    tableau.is_artificial.resize(static_cast<size_t>(tableau.num_cols),
+                                 false);
+    for (int v = 0; v < delta.num_new_variables; ++v) {
+      snapshot->col_of_var.push_back(first + v);
+      snapshot->var_of_col.push_back(old_num_vars + v);
+    }
+  }
+  for (const SimplexDelta::RowExtension& extension : delta.row_extensions) {
+    CAR_CHECK_LT(extension.constraint, old_num_rows);
+    CAR_CHECK_GE(extension.variable, old_num_vars);
+    CAR_CHECK_LT(extension.variable,
+                 old_num_vars + delta.num_new_variables);
+    const int column = snapshot->col_of_var[extension.variable];
+    const size_t row = extension.constraint;
+    Rational coefficient = tableau.flipped[row] ? -extension.coefficient
+                                                : extension.coefficient;
+    const int unit = tableau.init_basic[row];
+    for (size_t i = 0; i < tableau.rows.size(); ++i) {
+      if (!tableau.rows[i][unit].is_zero()) {
+        tableau.rows[i][column] += coefficient * tableau.rows[i][unit];
+      }
+    }
+  }
+
+  // --- Append the new constraints: slack/surplus column, elimination of
+  // the current basic variables, sign normalization, then a basic column
+  // (the slack if it survived with +1, else a fresh artificial).
+  bool added_artificial = false;
+  for (const LinearConstraint& constraint : delta.new_constraints) {
+    int aux = -1;
+    if (constraint.relation != Relation::kEqual) {
+      aux = AppendColumn(&tableau, /*artificial=*/false);
+      snapshot->var_of_col.push_back(-1);
+    }
+    std::vector<Rational> row;
+    row.reserve(width_bound);
+    row.resize(static_cast<size_t>(tableau.num_cols));
+    Rational rhs = constraint.rhs;
+    for (const auto& [variable, coefficient] : constraint.expr.terms()) {
+      CAR_CHECK_GE(variable, 0);
+      CAR_CHECK_LT(variable, static_cast<int>(snapshot->col_of_var.size()));
+      row[snapshot->col_of_var[variable]] = coefficient;
+    }
+    if (aux >= 0) {
+      row[aux] = constraint.relation == Relation::kLessEqual ? Rational(1)
+                                                             : Rational(-1);
+    }
+    // Eliminate the basic variables (their columns carry an identity
+    // pattern, so a single sweep suffices).
+    for (size_t i = 0; i < tableau.rows.size(); ++i) {
+      Rational factor = row[tableau.basis[i]];
+      if (factor.is_zero()) continue;
+      const std::vector<Rational>& pivot_row = tableau.rows[i];
+      for (int c = 0; c < tableau.num_cols; ++c) {
+        if (!pivot_row[c].is_zero()) row[c] -= factor * pivot_row[c];
+      }
+      rhs -= factor * tableau.rhs[i];
+    }
+    bool negate = rhs.is_negative();
+    if (negate) {
+      for (Rational& cell : row) {
+        if (!cell.is_zero()) cell = -cell;
+      }
+      rhs = -rhs;
+    }
+    int basic = -1;
+    if (aux >= 0 && row[aux] == Rational(1)) {
+      basic = aux;
+    } else {
+      basic = AppendColumn(&tableau, /*artificial=*/true);
+      snapshot->var_of_col.push_back(-1);
+      row.resize(static_cast<size_t>(tableau.num_cols));
+      row[basic] = Rational(1);
+      added_artificial = true;
+    }
+    tableau.rows.push_back(std::move(row));
+    tableau.rhs.push_back(std::move(rhs));
+    tableau.basis.push_back(basic);
+    tableau.init_basic.push_back(basic);
+    tableau.flipped.push_back(negate);
+    tableau.zero_checked.push_back(0);
+  }
+  snapshot->num_constraints = old_num_rows + delta.new_constraints.size();
+
+  const size_t cells_after =
+      tableau.rows.size() * static_cast<size_t>(tableau.num_cols);
+  CAR_RETURN_IF_ERROR(GovChargeBytes(
+      options_.exec, (cells_after - cells_before) * sizeof(Rational),
+      "simplex"));
+
+  LpResult result;
+  auto park = [&]() {
+    // Evict parked artificials that a new column made live again before
+    // any pivoting: a basic artificial must stay at zero, which is only
+    // guaranteed while its row is all-zero over real columns.
+    ParkOrEvictArtificials(&tableau);
+  };
+  park();
+
+  if (added_artificial) {
+    std::vector<Rational> phase1_cost(tableau.num_cols);
+    for (int j = 0; j < tableau.num_cols; ++j) {
+      if (tableau.is_artificial[j]) phase1_cost[j] = Rational(-1);
+    }
+    Result<LpOutcome> phase1 =
+        RunSimplex(&tableau, phase1_cost, /*allow_artificial=*/true,
+                   options_.max_pivots, options_.exec, &result.pivots);
+    if (!phase1.ok()) {
+      TableauIntoSnapshot(std::move(tableau), snapshot);
+      return phase1.status();
+    }
+    CAR_CHECK(phase1.value() == LpOutcome::kOptimal)
+        << "phase 1 cannot be unbounded";
+    if (!ObjectiveValue(tableau, phase1_cost).is_zero()) {
+      result.outcome = LpOutcome::kInfeasible;
+      TableauIntoSnapshot(std::move(tableau), snapshot);
+      return result;
+    }
+    park();
+  }
+
+  const int num_vars = snapshot->num_variables();
+  std::vector<Rational> phase2_cost(tableau.num_cols);
+  for (const auto& [variable, coefficient] : objective.terms()) {
+    CAR_CHECK_GE(variable, 0);
+    CAR_CHECK_LT(variable, num_vars);
+    phase2_cost[snapshot->col_of_var[variable]] = coefficient;
+  }
+  Result<LpOutcome> phase2 =
+      RunSimplex(&tableau, phase2_cost, /*allow_artificial=*/false,
+                 options_.max_pivots, options_.exec, &result.pivots);
+  if (!phase2.ok()) {
+    TableauIntoSnapshot(std::move(tableau), snapshot);
+    return phase2.status();
+  }
+  result.outcome = phase2.value();
+  result.objective = ObjectiveValue(tableau, phase2_cost);
+  result.values.assign(num_vars, Rational());
+  for (size_t i = 0; i < tableau.rows.size(); ++i) {
+    const int variable = snapshot->var_of_col[tableau.basis[i]];
+    if (variable >= 0) result.values[variable] = tableau.rhs[i];
+  }
+  TableauIntoSnapshot(std::move(tableau), snapshot);
+  return result;
 }
 
 }  // namespace car

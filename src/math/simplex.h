@@ -33,6 +33,70 @@ struct LpResult {
   size_t pivots = 0;
 };
 
+/// A frozen simplex state that later solves can resume from.
+///
+/// Produced by SimplexSolver::SolveForSnapshot and advanced in place by
+/// SimplexSolver::ResumeMaximize. The snapshot owns a full dense tableau
+/// whose basis stays feasible for the solved system; resuming appends
+/// columns and rows to it instead of rebuilding, so a batch of closely
+/// related systems pays one cold phase 1 in total. Treat the members as
+/// opaque: they encode tableau bookkeeping (per-row identity columns,
+/// sign flips, the structural-variable <-> column maps) that only the
+/// solver maintains coherently.
+struct SimplexSnapshot {
+  std::vector<std::vector<Rational>> rows;
+  std::vector<Rational> rhs;
+  std::vector<int> basis;           // Basic variable (column) of each row.
+  std::vector<bool> is_artificial;  // Indexed by column.
+  /// Per row: the column that held the identity unit at the row's
+  /// insertion (its current contents are B^-1 e_row, the key to pricing
+  /// out appended columns).
+  std::vector<int> init_basic;
+  /// Per row: whether the row was negated when incorporated (its
+  /// right-hand side was negative), so appended terms must negate too.
+  std::vector<bool> row_flipped;
+  /// Structural variable -> column and back (-1 for auxiliary columns).
+  std::vector<int> col_of_var;
+  std::vector<int> var_of_col;
+  /// Per row: the width (column count) up to which the row is known to be
+  /// all-zero over non-artificial columns, or 0 if unknown. Maintained by
+  /// the parked-artificial sweep and invalidated by any pivot that
+  /// modifies the row, it lets resumed solves rescan only the columns a
+  /// delta appended instead of the whole (mostly untouched) tableau.
+  std::vector<int> zero_checked;
+  int num_cols = 0;
+  /// Constraints of the solved system incorporated so far.
+  size_t num_constraints = 0;
+
+  int num_variables() const { return static_cast<int>(col_of_var.size()); }
+};
+
+/// The difference between an already-snapshotted system and the system a
+/// resumed solve should decide: fresh variables, new terms that existing
+/// constraints gain on those fresh variables, and appended constraints.
+struct SimplexDelta {
+  /// Variables appended after the snapshot's variables (their indices are
+  /// snapshot.num_variables() .. +num_new_variables-1).
+  int num_new_variables = 0;
+  /// `constraint` (an index into the solved system's constraint list)
+  /// gains the term `coefficient * variable`. Only NEW variables may be
+  /// added to existing constraints; the old coefficients must stay
+  /// untouched — this is what keeps the frozen basis feasible.
+  struct RowExtension {
+    size_t constraint = 0;
+    int variable = 0;
+    Rational coefficient;
+  };
+  std::vector<RowExtension> row_extensions;
+  /// Appended constraints, over old and new variables alike.
+  std::vector<LinearConstraint> new_constraints;
+
+  bool empty() const {
+    return num_new_variables == 0 && row_extensions.empty() &&
+           new_constraints.empty();
+  }
+};
+
 /// An exact two-phase primal simplex solver over rationals.
 ///
 /// All variables of the LinearSystem are constrained to be nonnegative,
@@ -64,6 +128,28 @@ class SimplexSolver {
   /// Checks feasibility of `system` with x >= 0 (phase 1 only).
   /// The outcome is kOptimal (feasible, with a witness) or kInfeasible.
   Result<LpResult> CheckFeasible(const LinearSystem& system) const;
+
+  /// Like Maximize, but additionally exports the final tableau into
+  /// `snapshot` so that later solves of extended systems can warm-start
+  /// from this basis via ResumeMaximize. Unlike Maximize, redundant rows
+  /// are kept (parked on a zero-valued artificial basic) because resumed
+  /// deltas may later give them nonzero columns. `snapshot` is only
+  /// meaningful when the returned outcome is kOptimal.
+  Result<LpResult> SolveForSnapshot(const LinearSystem& system,
+                                    const LinearExpr& objective,
+                                    SimplexSnapshot* snapshot) const;
+
+  /// Applies `delta` to `snapshot` and maximizes `objective` (over old and
+  /// new variables) on the extended system, reusing the frozen basis:
+  /// phase 1 only has to repair the appended constraints, not rediscover
+  /// feasibility of the whole system. `snapshot` is advanced in place and
+  /// can be resumed again with a further delta. The answer (outcome,
+  /// objective value, feasibility of `values`) is exactly what Maximize
+  /// would return on the extended system built from scratch; only the
+  /// pivot path — and hence the particular optimal vertex — may differ.
+  Result<LpResult> ResumeMaximize(SimplexSnapshot* snapshot,
+                                  const SimplexDelta& delta,
+                                  const LinearExpr& objective) const;
 
  private:
   Options options_;

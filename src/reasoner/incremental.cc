@@ -1,0 +1,406 @@
+#include "reasoner/incremental.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "base/hashing.h"
+#include "base/strings.h"
+#include "base/thread_pool.h"
+#include "frontend/printer.h"
+#include "solver/solve.h"
+
+namespace car {
+
+namespace {
+
+/// The bound-shape shortcuts the from-scratch Implies* methods answer
+/// before building anything. Mirrors their validation order exactly:
+/// a minimum of 0 is true even for an out-of-range attribute (the
+/// from-scratch path returns before validating), while an infinite
+/// maximum cardinality is only a shortcut when the attribute id is
+/// valid (the from-scratch path validates first).
+std::optional<bool> TrivialAnswer(const Schema& schema,
+                                  const ImplicationQuery& query) {
+  switch (query.kind) {
+    case ImplicationQuery::Kind::kMinCardinality:
+    case ImplicationQuery::Kind::kMinParticipation:
+      if (query.bound == 0) return true;
+      return std::nullopt;
+    case ImplicationQuery::Kind::kMaxCardinality:
+      if (query.term.attribute >= 0 &&
+          query.term.attribute < schema.num_attributes() &&
+          query.bound == Cardinality::kInfinity) {
+        return true;
+      }
+      return std::nullopt;
+    case ImplicationQuery::Kind::kMaxParticipation:
+      if (query.bound == Cardinality::kInfinity) return true;
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+IncrementalSession::IncrementalSession(const Schema* schema,
+                                       ReasonerOptions options)
+    : schema_(schema), options_(std::move(options)) {
+  CAR_CHECK(schema != nullptr);
+  if (options_.num_threads != 1) {
+    options_.expansion.num_threads = options_.num_threads;
+    options_.solver.num_threads = options_.num_threads;
+  }
+  if (options_.exec != nullptr) {
+    options_.expansion.exec = options_.exec;
+    options_.solver.exec = options_.exec;
+  }
+}
+
+std::string IncrementalSession::CanonicalQueryKey(
+    const ImplicationQuery& query) {
+  switch (query.kind) {
+    case ImplicationQuery::Kind::kIsa: {
+      // C ⊑ F is a conjunction of clause checks, each a disjunction of
+      // literals: both levels are order- and duplication-insensitive.
+      std::set<std::string> clauses;
+      for (const ClassClause& clause : query.formula.clauses()) {
+        std::set<std::string> literals;
+        for (const ClassLiteral& literal : clause.literals()) {
+          literals.insert(
+              StrCat(literal.negated ? "-" : "+", literal.class_id));
+        }
+        std::string text;
+        for (const std::string& entry : literals) {
+          if (!text.empty()) text += ",";
+          text += entry;
+        }
+        clauses.insert(std::move(text));
+      }
+      std::string key = StrCat("isa|", query.class_id, "|");
+      for (const std::string& clause : clauses) {
+        key += clause;
+        key += ";";
+      }
+      return key;
+    }
+    case ImplicationQuery::Kind::kDisjoint: {
+      // Disjointness is symmetric (answer and error behavior alike).
+      ClassId a = std::min(query.class_id, query.other);
+      ClassId b = std::max(query.class_id, query.other);
+      return StrCat("dis|", a, "|", b);
+    }
+    case ImplicationQuery::Kind::kMinCardinality:
+      return StrCat("minc|", query.class_id, "|",
+                    query.term.inverse ? "~" : "", query.term.attribute, "|",
+                    query.bound);
+    case ImplicationQuery::Kind::kMaxCardinality:
+      return StrCat("maxc|", query.class_id, "|",
+                    query.term.inverse ? "~" : "", query.term.attribute, "|",
+                    query.bound);
+    case ImplicationQuery::Kind::kMinParticipation:
+      return StrCat("minp|", query.class_id, "|", query.relation, "|",
+                    query.role, "|", query.bound);
+    case ImplicationQuery::Kind::kMaxParticipation:
+      return StrCat("maxp|", query.class_id, "|", query.relation, "|",
+                    query.role, "|", query.bound);
+  }
+  return "invalid";
+}
+
+Status IncrementalSession::EnsureBase() {
+  uint64_t fingerprint = Fnv1a64(PrintSchema(*schema_));
+  if (base_ready_ && fingerprint == fingerprint_) return Status::Ok();
+  // The schema changed under the session (or this is the first call):
+  // every memoized answer and the frozen base state are stale.
+  base_ready_ = false;
+  memo_.clear();
+  base_expansion_.reset();
+  analysis_.reset();
+  psi_base_.reset();
+  CAR_ASSIGN_OR_RETURN(Expansion expansion,
+                       BuildExpansion(*schema_, options_.expansion));
+  Result<ExpansionBaseAnalysis> analysis =
+      AnalyzeBaseExpansion(*schema_, expansion, options_.expansion);
+  if (analysis.ok()) {
+    CAR_ASSIGN_OR_RETURN(IncrementalPsiBase psi_base,
+                         PrepareIncrementalPsi(expansion, options_.solver));
+    analysis_ = std::move(analysis.value());
+    psi_base_ = std::move(psi_base);
+  } else if (analysis.status().code() != StatusCode::kFailedPrecondition) {
+    return analysis.status();
+  }
+  // kFailedPrecondition (e.g. the exhaustive strategy): the session still
+  // works, every probe just takes the from-scratch fallback.
+  base_expansion_ = std::move(expansion);
+  fingerprint_ = fingerprint;
+  base_ready_ = true;
+  ++base_builds_;
+  return Status::Ok();
+}
+
+Result<bool> IncrementalSession::AuxSatisfiable(
+    const ClassFormula& isa, const std::vector<AttributeSpec>& attributes,
+    const std::vector<ParticipationSpec>& participations) {
+  // Identical auxiliary-schema construction to the from-scratch
+  // reasoner, so validation errors (bad ids in specs or formulas) are
+  // byte-identical.
+  Schema extended = *schema_;
+  std::string name = "__car_query";
+  int suffix = 0;
+  while (extended.LookupClass(name) != kInvalidId) {
+    name = StrCat("__car_query_", ++suffix);
+  }
+  ClassId aux = extended.InternClass(name);
+  ClassDefinition* definition = extended.mutable_class_definition(aux);
+  definition->isa = isa;
+  definition->attributes = attributes;
+  definition->participations = participations;
+  CAR_RETURN_IF_ERROR(extended.Validate());
+
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  if (analysis_.has_value()) {
+    Result<ExpansionDelta> delta = ExtendExpansionWithAuxClass(
+        extended, aux, *base_expansion_, *analysis_, options_.expansion);
+    if (delta.ok()) {
+      clusters_reused_.fetch_add(delta.value().clusters_reused,
+                                 std::memory_order_relaxed);
+      clusters_reenumerated_.fetch_add(delta.value().clusters_reenumerated,
+                                       std::memory_order_relaxed);
+      CAR_ASSIGN_OR_RETURN(
+          IncrementalProbeResult probe,
+          SolvePsiIncremental(*base_expansion_, *psi_base_, delta.value(),
+                              aux, options_.solver));
+      warm_starts_.fetch_add(probe.lp_solves, std::memory_order_relaxed);
+      return probe.aux_satisfiable;
+    }
+    // Governor trips and genuine failures propagate; only the explicit
+    // "cannot establish the base-prefix property" verdict falls back.
+    if (delta.status().code() != StatusCode::kFailedPrecondition) {
+      return delta.status();
+    }
+  }
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  CAR_ASSIGN_OR_RETURN(Expansion expansion,
+                       BuildExpansion(extended, options_.expansion));
+  CAR_ASSIGN_OR_RETURN(PsiSolution solution,
+                       SolvePsi(expansion, options_.solver));
+  return solution.IsClassSatisfiable(aux);
+}
+
+Result<bool> IncrementalSession::QueryUncached(const ImplicationQuery& query) {
+  // Mirrors Reasoner::Implies* decision-for-decision (validation order
+  // included) with AuxSatisfiable swapped for the incremental probe.
+  switch (query.kind) {
+    case ImplicationQuery::Kind::kIsa: {
+      if (query.class_id < 0 || query.class_id >= schema_->num_classes()) {
+        return NotFound(StrCat("class id ", query.class_id, " out of range"));
+      }
+      for (const ClassClause& clause : query.formula.clauses()) {
+        ClassFormula auxiliary_isa = ClassFormula::OfClass(query.class_id);
+        for (const ClassLiteral& literal : clause.literals()) {
+          auxiliary_isa.AddClause(ClassClause::Of(literal.Complement()));
+        }
+        CAR_ASSIGN_OR_RETURN(bool satisfiable,
+                             AuxSatisfiable(auxiliary_isa, {}, {}));
+        if (satisfiable) return false;
+      }
+      return true;
+    }
+    case ImplicationQuery::Kind::kDisjoint: {
+      if (query.class_id < 0 || query.class_id >= schema_->num_classes() ||
+          query.other < 0 || query.other >= schema_->num_classes()) {
+        return NotFound("class id out of range");
+      }
+      ClassFormula both = ClassFormula::OfClass(query.class_id);
+      both.AndWith(ClassFormula::OfClass(query.other));
+      CAR_ASSIGN_OR_RETURN(bool satisfiable, AuxSatisfiable(both, {}, {}));
+      return !satisfiable;
+    }
+    case ImplicationQuery::Kind::kMinCardinality: {
+      if (query.bound == 0) return true;
+      if (query.term.attribute < 0 ||
+          query.term.attribute >= schema_->num_attributes()) {
+        return NotFound(
+            StrCat("attribute id ", query.term.attribute, " out of range"));
+      }
+      AttributeSpec spec;
+      spec.term = query.term;
+      spec.cardinality = Cardinality(0, query.bound - 1);
+      spec.range = ClassFormula::True();
+      CAR_ASSIGN_OR_RETURN(
+          bool satisfiable,
+          AuxSatisfiable(ClassFormula::OfClass(query.class_id), {spec}, {}));
+      return !satisfiable;
+    }
+    case ImplicationQuery::Kind::kMaxCardinality: {
+      if (query.term.attribute < 0 ||
+          query.term.attribute >= schema_->num_attributes()) {
+        return NotFound(
+            StrCat("attribute id ", query.term.attribute, " out of range"));
+      }
+      if (query.bound == Cardinality::kInfinity) return true;
+      AttributeSpec spec;
+      spec.term = query.term;
+      spec.cardinality = Cardinality::AtLeast(query.bound + 1);
+      spec.range = ClassFormula::True();
+      CAR_ASSIGN_OR_RETURN(
+          bool satisfiable,
+          AuxSatisfiable(ClassFormula::OfClass(query.class_id), {spec}, {}));
+      return !satisfiable;
+    }
+    case ImplicationQuery::Kind::kMinParticipation: {
+      if (query.bound == 0) return true;
+      ParticipationSpec spec;
+      spec.relation = query.relation;
+      spec.role = query.role;
+      spec.cardinality = Cardinality(0, query.bound - 1);
+      CAR_ASSIGN_OR_RETURN(
+          bool satisfiable,
+          AuxSatisfiable(ClassFormula::OfClass(query.class_id), {}, {spec}));
+      return !satisfiable;
+    }
+    case ImplicationQuery::Kind::kMaxParticipation: {
+      if (query.bound == Cardinality::kInfinity) return true;
+      ParticipationSpec spec;
+      spec.relation = query.relation;
+      spec.role = query.role;
+      spec.cardinality = Cardinality::AtLeast(query.bound + 1);
+      CAR_ASSIGN_OR_RETURN(
+          bool satisfiable,
+          AuxSatisfiable(ClassFormula::OfClass(query.class_id), {}, {spec}));
+      return !satisfiable;
+    }
+  }
+  return Internal("unknown implication query kind");
+}
+
+Result<std::vector<bool>> IncrementalSession::RunImplicationBatch(
+    const std::vector<ImplicationQuery>& queries) {
+  ExecContext* exec = options_.exec;
+  Status base = EnsureBase();
+  if (!base.ok()) {
+    // Match the from-scratch batch: a trip anywhere in the batch is
+    // reported in the batch's own phase, independent of scheduling.
+    if (exec != nullptr && exec->tripped()) {
+      exec->OverridePhaseOnTrip("implication");
+    }
+    return base;
+  }
+
+  // Serial resolve pass: bound-shape shortcuts, memo hits, and
+  // deduplication of the remaining queries by canonical key.
+  struct Slot {
+    bool resolved = false;
+    bool answer = false;
+    int unique_index = -1;
+  };
+  std::vector<Slot> slots(queries.size());
+  std::vector<const ImplicationQuery*> unique;
+  std::vector<std::string> unique_keys;
+  std::map<std::string, int> key_to_unique;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (std::optional<bool> trivial = TrivialAnswer(*schema_, queries[i])) {
+      slots[i].resolved = true;
+      slots[i].answer = *trivial;
+      ++trivial_;
+      if (exec != nullptr) exec->CountQueries(1);
+      continue;
+    }
+    std::string key = CanonicalQueryKey(queries[i]);
+    if (auto hit = memo_.find(key); hit != memo_.end()) {
+      slots[i].resolved = true;
+      slots[i].answer = hit->second;
+      ++memo_hits_;
+      if (exec != nullptr) {
+        exec->CountMemoHits(1);
+        exec->CountQueries(1);
+      }
+      continue;
+    }
+    ++memo_misses_;
+    if (exec != nullptr) exec->CountMemoMisses(1);
+    auto [entry, inserted] = key_to_unique.emplace(
+        std::move(key), static_cast<int>(unique.size()));
+    if (inserted) {
+      unique.push_back(&queries[i]);
+      unique_keys.push_back(entry->first);
+    }
+    slots[i].unique_index = entry->second;
+  }
+
+  // Parallel evaluation of the deduplicated misses; per-slot outcomes
+  // keep the result order-insensitive, like the from-scratch batch.
+  std::vector<Result<bool>> outcomes(unique.size(), Result<bool>(false));
+  if (!unique.empty()) {
+    ParallelForOptions parallel;
+    parallel.num_threads = options_.num_threads;
+    parallel.cancel = exec;
+    ParallelFor(unique.size(), parallel,
+                [this, exec, &unique, &outcomes](size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) {
+                    Status charge = GovChargeWork(exec, 1, "implication");
+                    if (!charge.ok()) {
+                      outcomes[i] = std::move(charge);
+                      return;
+                    }
+                    outcomes[i] = QueryUncached(*unique[i]);
+                    if (exec != nullptr) exec->CountQueries(1);
+                  }
+                });
+    if (exec != nullptr && exec->tripped()) {
+      exec->OverridePhaseOnTrip("implication");
+    }
+    // Skipped chunks leave default-false slots; surface the trip.
+    CAR_RETURN_IF_ERROR(GovCheck(exec, "implication"));
+  }
+
+  // First error in ORIGINAL query order, matching the from-scratch
+  // batch; duplicates share their unique execution's error.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!slots[i].resolved) {
+      CAR_RETURN_IF_ERROR(outcomes[slots[i].unique_index].status());
+    }
+  }
+  // Only successful answers are memoized; a tripped or failed batch
+  // recomputes everything next time.
+  for (size_t u = 0; u < unique.size(); ++u) {
+    memo_.emplace(unique_keys[u], outcomes[u].value());
+  }
+  queries_ += queries.size();
+  std::vector<bool> answers;
+  answers.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    answers.push_back(slots[i].resolved
+                          ? slots[i].answer
+                          : outcomes[slots[i].unique_index].value());
+  }
+  return answers;
+}
+
+Result<bool> IncrementalSession::RunImplicationQuery(
+    const ImplicationQuery& query) {
+  std::vector<ImplicationQuery> one(1, query);
+  CAR_ASSIGN_OR_RETURN(std::vector<bool> answers, RunImplicationBatch(one));
+  CAR_CHECK_EQ(answers.size(), size_t{1});
+  return static_cast<bool>(answers[0]);
+}
+
+IncrementalStats IncrementalSession::stats() const {
+  IncrementalStats stats;
+  stats.queries = queries_;
+  stats.trivial = trivial_;
+  stats.memo_hits = memo_hits_;
+  stats.memo_misses = memo_misses_;
+  stats.base_builds = base_builds_;
+  stats.probes = probes_.load(std::memory_order_relaxed);
+  stats.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  stats.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  stats.clusters_reused = clusters_reused_.load(std::memory_order_relaxed);
+  stats.clusters_reenumerated =
+      clusters_reenumerated_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace car

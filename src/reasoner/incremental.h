@@ -1,0 +1,146 @@
+#ifndef CAR_REASONER_INCREMENTAL_H_
+#define CAR_REASONER_INCREMENTAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expansion/expansion_delta.h"
+#include "reasoner/reasoner.h"
+#include "solver/incremental_psi.h"
+
+namespace car {
+
+/// Cumulative statistics of an IncrementalSession: how the queries were
+/// answered and how much of the incremental machinery engaged.
+struct IncrementalStats {
+  /// Queries answered (memoized, trivial, and probed alike).
+  uint64_t queries = 0;
+  /// Answered by a bound-shape shortcut (min 0 / max infinity) without
+  /// touching the memo or the solver.
+  uint64_t trivial = 0;
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  /// Auxiliary-class satisfiability probes actually solved.
+  uint64_t probes = 0;
+  /// Warm-started LP solves across all incremental probes (one per
+  /// fixpoint round of each probe).
+  uint64_t warm_starts = 0;
+  /// Probes that fell back to a from-scratch expansion + solve (delta
+  /// extension declined with kFailedPrecondition, or the base analysis
+  /// was unavailable for this expansion strategy).
+  uint64_t fallbacks = 0;
+  /// Cluster reuse across all delta extensions.
+  uint64_t clusters_reused = 0;
+  uint64_t clusters_reenumerated = 0;
+  /// Base expansions + snapshot solves performed: 1, plus one per
+  /// observed schema-fingerprint change.
+  uint64_t base_builds = 0;
+};
+
+/// An incremental implication-query session over one (mutable) schema.
+///
+/// The from-scratch batch API re-expands and re-solves the whole schema
+/// once per query. This session instead pays one base solve — expansion,
+/// cluster analysis, and a warm-startable simplex snapshot of the full
+/// Ψ system — and answers each probe with (a) an expansion *delta*
+/// restricted to compounds that mention the probe's auxiliary class and
+/// (b) warm-started LP re-solves resumed from the base snapshot. A memo
+/// keyed by a canonical form of the query makes repeats O(1).
+///
+/// Contract: answers (including error statuses for malformed queries)
+/// are bit-identical to Reasoner::RunImplicationBatch on the same
+/// schema, for every thread count, governed or not. Only the cost —
+/// governor work/byte charges, LP pivot counts — differs. Governed
+/// sessions observe the ExecContext cooperatively in every new code
+/// path and abort with the same first-trip LimitReport discipline as
+/// the from-scratch engine.
+///
+/// The schema is borrowed and may be mutated between calls: every batch
+/// starts by fingerprinting the schema (FNV-1a of its canonical printed
+/// form) and rebuilds the base state + clears the memo when the
+/// fingerprint changed.
+///
+/// Thread-safety: one session per thread of control. A single call may
+/// use many worker threads internally (options.num_threads), but
+/// concurrent calls into the same session are not supported.
+class IncrementalSession {
+ public:
+  explicit IncrementalSession(const Schema* schema,
+                              ReasonerOptions options = {});
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Answers the batch; positionally aligned with `queries` and
+  /// bit-identical to the from-scratch batch API. Duplicate queries
+  /// (after canonicalization) are solved once.
+  Result<std::vector<bool>> RunImplicationBatch(
+      const std::vector<ImplicationQuery>& queries);
+
+  /// The batch of one (still memoized across calls).
+  Result<bool> RunImplicationQuery(const ImplicationQuery& query);
+
+  /// Snapshot of the session statistics.
+  IncrementalStats stats() const;
+
+  /// Canonical memo key of a query: literal/clause order and
+  /// duplication inside an ISA formula and the argument order of a
+  /// disjointness query do not affect the answer, so they do not affect
+  /// the key. Exposed for tests.
+  static std::string CanonicalQueryKey(const ImplicationQuery& query);
+
+ private:
+  /// Fingerprints the schema; (re)builds base expansion, cluster
+  /// analysis and Ψ snapshot and clears the memo when it changed.
+  Status EnsureBase();
+
+  /// Evaluates one query without consulting the memo. Mirrors the
+  /// decision structure of the corresponding Reasoner::Implies* method
+  /// exactly (validation order included), with the auxiliary-class
+  /// satisfiability checks routed through the incremental path.
+  Result<bool> QueryUncached(const ImplicationQuery& query);
+
+  /// Satisfiability of a fresh auxiliary class with the given
+  /// definition: delta-extend the base expansion and warm-start the Ψ
+  /// solve; falls back to the from-scratch build when the delta path
+  /// declines (kFailedPrecondition).
+  Result<bool> AuxSatisfiable(
+      const ClassFormula& isa, const std::vector<AttributeSpec>& attributes,
+      const std::vector<ParticipationSpec>& participations);
+
+  const Schema* schema_;
+  ReasonerOptions options_;
+
+  // Base state, valid iff base_ready_; rebuilt on fingerprint change.
+  bool base_ready_ = false;
+  uint64_t fingerprint_ = 0;
+  std::optional<Expansion> base_expansion_;
+  /// Set iff the incremental path is available for this base (pruned
+  /// strategy, analyzable clusters); otherwise every probe falls back.
+  std::optional<ExpansionBaseAnalysis> analysis_;
+  std::optional<IncrementalPsiBase> psi_base_;
+
+  /// Canonical query key -> answer. Only successful answers are
+  /// memoized — errors and governor trips are always recomputed.
+  std::map<std::string, bool> memo_;
+
+  // Statistics. Atomics because probe counters are bumped from the
+  // parallel batch workers.
+  uint64_t queries_ = 0;
+  uint64_t trivial_ = 0;
+  uint64_t memo_hits_ = 0;
+  uint64_t memo_misses_ = 0;
+  uint64_t base_builds_ = 0;
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> warm_starts_{0};
+  std::atomic<uint64_t> fallbacks_{0};
+  std::atomic<uint64_t> clusters_reused_{0};
+  std::atomic<uint64_t> clusters_reenumerated_{0};
+};
+
+}  // namespace car
+
+#endif  // CAR_REASONER_INCREMENTAL_H_

@@ -2,9 +2,12 @@
 
 #include <map>
 
+#include "base/hashing.h"
 #include "base/strings.h"
 #include "base/thread_pool.h"
+#include "frontend/printer.h"
 #include "math/simplex.h"
+#include "reasoner/incremental.h"
 #include "solver/psi.h"
 
 namespace car {
@@ -97,15 +100,33 @@ Reasoner::Reasoner(const Schema* schema, ReasonerOptions options)
   }
 }
 
+Reasoner::~Reasoner() = default;
+
 Status Reasoner::Prepare() {
-  if (solution_.has_value()) return Status::Ok();
+  // The schema is borrowed and may be mutated between queries; the cached
+  // expansion/solution are only valid for the fingerprint they were
+  // computed under.
+  uint64_t fingerprint = Fnv1a64(PrintSchema(*schema_));
+  if (solution_.has_value() && fingerprint == schema_fingerprint_) {
+    return Status::Ok();
+  }
+  expansion_.reset();
+  solution_.reset();
   CAR_ASSIGN_OR_RETURN(Expansion expansion,
                        BuildExpansion(*schema_, options_.expansion));
   CAR_ASSIGN_OR_RETURN(PsiSolution solution,
                        SolvePsi(expansion, options_.solver));
   expansion_ = std::move(expansion);
   solution_ = std::move(solution);
+  schema_fingerprint_ = fingerprint;
   return Status::Ok();
+}
+
+IncrementalSession* Reasoner::GetIncrementalSession() {
+  if (incremental_ == nullptr) {
+    incremental_ = std::make_unique<IncrementalSession>(schema_, options_);
+  }
+  return incremental_.get();
 }
 
 Result<const Expansion*> Reasoner::GetExpansion() {
@@ -479,6 +500,9 @@ Result<bool> Reasoner::ImpliesMaxParticipation(ClassId class_id,
 }
 
 Result<bool> Reasoner::RunImplicationQuery(const ImplicationQuery& query) {
+  if (options_.incremental) {
+    return GetIncrementalSession()->RunImplicationQuery(query);
+  }
   switch (query.kind) {
     case ImplicationQuery::Kind::kIsa:
       return ImpliesIsa(query.class_id, query.formula);
@@ -500,6 +524,9 @@ Result<bool> Reasoner::RunImplicationQuery(const ImplicationQuery& query) {
 
 Result<std::vector<bool>> Reasoner::RunImplicationBatch(
     const std::vector<ImplicationQuery>& queries) {
+  if (options_.incremental) {
+    return GetIncrementalSession()->RunImplicationBatch(queries);
+  }
   // Every query builds and solves a private auxiliary schema and touches
   // no cached reasoner state, so the batch can run concurrently; answers
   // land in per-query slots, making the result order-insensitive.

@@ -31,6 +31,12 @@ struct ReasonerOptions {
   /// of an error status. Ungoverned runs keep the historical
   /// error-status behavior.
   ExecContext* exec = nullptr;
+  /// Routes implication queries through an IncrementalSession: one base
+  /// expansion + Ψ solve per schema fingerprint, then expansion deltas,
+  /// warm-started LP re-solves and a canonical-form memo per query.
+  /// Answers are bit-identical to the from-scratch path; only the cost
+  /// differs.
+  bool incremental = false;
 };
 
 /// Three-valued outcome of a governed satisfiability check.
@@ -104,11 +110,23 @@ struct ImplicationQuery {
 /// query-independent). Implication queries build a private extended copy
 /// of the schema with one fresh auxiliary class and run an independent
 /// satisfiability check on it; the borrowed schema is never mutated.
+class IncrementalSession;
+
 class Reasoner {
  public:
   explicit Reasoner(const Schema* schema, ReasonerOptions options = {});
+  ~Reasoner();
+  Reasoner(Reasoner&&) = default;
+  Reasoner& operator=(Reasoner&&) = default;
 
   const Schema& schema() const { return *schema_; }
+
+  /// The incremental session backing implication queries, or null when
+  /// options.incremental is off or no implication query ran yet.
+  /// Exposed for statistics (memo hits, warm starts, fallbacks).
+  const IncrementalSession* incremental_session() const {
+    return incremental_.get();
+  }
 
   /// Phase 1 + 2, cached. Exposed for benchmarks and diagnostics.
   Result<const Expansion*> GetExpansion();
@@ -192,8 +210,12 @@ class Reasoner {
                                                uint64_t search_limit = 64);
 
  private:
-  /// Ensures the cached expansion/solution exist.
+  /// Ensures the cached expansion/solution exist and match the schema's
+  /// current fingerprint; a mutated schema invalidates both.
   Status Prepare();
+
+  /// Lazily constructs the incremental session (options.incremental).
+  IncrementalSession* GetIncrementalSession();
 
   /// Builds a copy of the schema plus a fresh class with the given
   /// definition parts and returns satisfiability of the fresh class.
@@ -203,8 +225,10 @@ class Reasoner {
 
   const Schema* schema_;
   ReasonerOptions options_;
+  uint64_t schema_fingerprint_ = 0;
   std::optional<Expansion> expansion_;
   std::optional<PsiSolution> solution_;
+  std::unique_ptr<IncrementalSession> incremental_;
 };
 
 }  // namespace car

@@ -1,0 +1,92 @@
+#ifndef CAR_SOLVER_INCREMENTAL_PSI_H_
+#define CAR_SOLVER_INCREMENTAL_PSI_H_
+
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "expansion/expansion_delta.h"
+#include "math/simplex.h"
+#include "solver/psi.h"
+#include "solver/solve.h"
+
+namespace car {
+
+/// The frozen per-session state of the incremental Ψ solver: the FULL base
+/// system (every unknown active, support t-gadgets appended) solved once
+/// for a warm-start snapshot, plus the row bookkeeping needed to extend
+/// base constraints with delta terms. Built once per base expansion;
+/// read-only afterwards (probe threads copy the snapshot, never mutate
+/// the shared state).
+struct IncrementalPsiBase {
+  /// Full system over the base expansion: variable maps cc_var/ca_var/
+  /// cr_var are all >= 0 (nothing inactive).
+  PsiSystem psi;
+  /// Per base compound class: does it carry a Natt/Nrel entry (and hence
+  /// a t-gadget)? Intrinsic to the compound's members, so extending the
+  /// schema with an auxiliary class never changes it.
+  std::vector<bool> cc_constrained;
+  /// Per base compound class: its support variable t, or -1 when
+  /// unconstrained (no gadget).
+  std::vector<int> t_var;
+  /// Constraint-list indices of the lower/upper row emitted for each
+  /// Natt/Nrel entry (-1 when that direction was not emitted: zero min /
+  /// infinite max). Delta compound attributes/relations with a BASE
+  /// endpoint extend exactly these rows.
+  std::map<std::pair<AttributeTerm, int>, std::pair<int, int>> natt_rows;
+  std::map<std::tuple<RelationId, int, int>, std::pair<int, int>> nrel_rows;
+  /// Sum of the base t variables (the support-maximization objective of
+  /// the base system).
+  LinearExpr objective;
+  /// Feasible optimal basis of the base system; probes copy it and resume
+  /// with their delta rows instead of solving from scratch.
+  SimplexSnapshot snapshot;
+
+  // Statistics of the base solve.
+  size_t base_pivots = 0;
+};
+
+/// What a probe solve reports: whether the auxiliary class survives the
+/// acceptability fixpoint, plus solve statistics.
+struct IncrementalProbeResult {
+  bool aux_satisfiable = false;
+  size_t fixpoint_rounds = 0;
+  size_t lp_solves = 0;
+  size_t total_pivots = 0;
+};
+
+/// Builds the incremental base state: the full base Ψ system with
+/// t-gadgets (mirroring SolvePsi round 1 exactly) solved via
+/// SolveForSnapshot. One LP solve, charged to the governor like any
+/// other.
+Result<IncrementalPsiBase> PrepareIncrementalPsi(
+    const Expansion& expansion, const PsiSolverOptions& options);
+
+/// Decides satisfiability of the auxiliary class of `delta` against
+/// base + delta, warm-starting every fixpoint round from the base
+/// snapshot instead of rebuilding:
+///
+///   round 1: append the delta unknowns (new compound classes /
+///     attributes / relations and their t-gadgets), extend the base
+///     Natt/Nrel rows whose sums gain new members, append the delta's
+///     own bound rows, and ResumeMaximize;
+///   round k+1: pin the unknowns deactivated in round k to zero with
+///     appended Var <= 0 rows and ResumeMaximize again.
+///
+/// Pinning is equivalent to the from-scratch masked rebuild (solutions
+/// correspond by zero-extension on the dead unknowns), and the
+/// deactivation decision at an optimum is independent of which optimal
+/// vertex the solver lands on (the unsupportable set is value-zero at
+/// EVERY optimum), so the verdict is bit-identical to running SolvePsi on
+/// the extended expansion. Governor observation matches the from-scratch
+/// path: "solver" checks per round, "simplex" charges per pivot, errors
+/// abort the probe.
+Result<IncrementalProbeResult> SolvePsiIncremental(
+    const Expansion& base, const IncrementalPsiBase& psi_base,
+    const ExpansionDelta& delta, ClassId aux,
+    const PsiSolverOptions& options);
+
+}  // namespace car
+
+#endif  // CAR_SOLVER_INCREMENTAL_PSI_H_

@@ -1,0 +1,292 @@
+// The equivalence contract of the incremental implication engine
+// (IncrementalSession): answers are bit-identical to the from-scratch
+// Reasoner::RunImplicationBatch for every schema, batch, and thread
+// count — the deltas, warm starts, and the memo are pure performance
+// machinery. Governed sessions may trip at different points than the
+// from-scratch engine (they do less work), but a governed run either
+// completes with the exact reference answers or fails with the
+// governor's LimitReport; it never returns a wrong answer. Schema
+// mutation between batches must be detected by fingerprint and rebuild
+// the base state and memo.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/exec_context.h"
+#include "base/rng.h"
+#include "model/schema.h"
+#include "reasoner/incremental.h"
+#include "reasoner/reasoner.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// A deterministic batch of implication queries mixing every query kind,
+/// drawn from the schema's classes/attributes/relations. Mirrors the
+/// EXP-I benchmark driver's generator; duplicates are kept on purpose so
+/// the batch exercises the memo and the canonical-key dedup.
+std::vector<ImplicationQuery> MakeBatch(const Schema& schema, Rng* rng,
+                                        int count) {
+  std::vector<ImplicationQuery> queries;
+  while (static_cast<int>(queries.size()) < count) {
+    ImplicationQuery query;
+    switch (rng->NextBelow(schema.num_relations() > 0 ? 6 : 4)) {
+      case 0:
+        query.kind = ImplicationQuery::Kind::kIsa;
+        query.class_id =
+            static_cast<ClassId>(rng->NextBelow(schema.num_classes()));
+        query.formula = ClassFormula::OfClass(
+            static_cast<ClassId>(rng->NextBelow(schema.num_classes())));
+        break;
+      case 1:
+        query.kind = ImplicationQuery::Kind::kDisjoint;
+        query.class_id =
+            static_cast<ClassId>(rng->NextBelow(schema.num_classes()));
+        query.other =
+            static_cast<ClassId>(rng->NextBelow(schema.num_classes()));
+        break;
+      case 2:
+      case 3: {
+        if (schema.num_attributes() == 0) continue;
+        bool min = rng->NextBelow(2) == 0;
+        query.kind = min ? ImplicationQuery::Kind::kMinCardinality
+                         : ImplicationQuery::Kind::kMaxCardinality;
+        query.class_id =
+            static_cast<ClassId>(rng->NextBelow(schema.num_classes()));
+        AttributeId attribute = static_cast<AttributeId>(
+            rng->NextBelow(schema.num_attributes()));
+        query.term = rng->NextBelow(4) == 0
+                         ? AttributeTerm::Inverse(attribute)
+                         : AttributeTerm::Direct(attribute);
+        query.bound = 1 + rng->NextBelow(3);
+        break;
+      }
+      default: {
+        RelationId relation = static_cast<RelationId>(
+            rng->NextBelow(schema.num_relations()));
+        const RelationDefinition* definition =
+            schema.relation_definition(relation);
+        query.kind = rng->NextBelow(2) == 0
+                         ? ImplicationQuery::Kind::kMinParticipation
+                         : ImplicationQuery::Kind::kMaxParticipation;
+        query.class_id =
+            static_cast<ClassId>(rng->NextBelow(schema.num_classes()));
+        query.relation = relation;
+        query.role =
+            definition->roles[rng->NextBelow(definition->roles.size())];
+        query.bound = 1 + rng->NextBelow(3);
+        break;
+      }
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+/// The schemas the equivalence sweeps run over. Chain schemas are the
+/// incremental engine's demonstration regime (small deltas on a deep
+/// disequation system), clustered ones its adversarial regime (deltas
+/// rival the base), hierarchies exercise disjointness-heavy bases.
+std::vector<std::pair<std::string, Schema>> TestSchemas() {
+  std::vector<std::pair<std::string, Schema>> schemas;
+  schemas.emplace_back("chain-6x2", GenerateChainSchema(ChainParams{6, 2}));
+  {
+    Rng rng(11);
+    schemas.emplace_back("clustered-3x3", GenerateClusteredSchema(
+                                              &rng, ClusteredParams{3, 3, 2,
+                                                                    false}));
+  }
+  {
+    Rng rng(7);
+    HierarchyParams params;
+    params.num_classes = 9;
+    params.num_trees = 2;
+    schemas.emplace_back("hierarchy-9", GenerateHierarchy(&rng, params));
+  }
+  return schemas;
+}
+
+TEST(IncrementalEquivalenceTest, BatchAnswersMatchFromScratchAcrossThreads) {
+  for (const auto& [label, schema] : TestSchemas()) {
+    Rng query_rng(101);
+    std::vector<ImplicationQuery> queries = MakeBatch(schema, &query_rng, 24);
+
+    // Reference: serial from-scratch answers.
+    Reasoner reference(&schema, ReasonerOptions{});
+    auto expected = reference.RunImplicationBatch(queries);
+    ASSERT_TRUE(expected.ok()) << label << ": " << expected.status();
+
+    for (int threads : kThreadCounts) {
+      ReasonerOptions options;
+      options.num_threads = threads;
+      IncrementalSession session(&schema, options);
+      auto answers = session.RunImplicationBatch(queries);
+      ASSERT_TRUE(answers.ok())
+          << label << " threads=" << threads << ": " << answers.status();
+      EXPECT_EQ(expected.value(), answers.value())
+          << label << " threads=" << threads;
+      IncrementalStats stats = session.stats();
+      EXPECT_EQ(stats.queries, queries.size())
+          << label << " threads=" << threads;
+      EXPECT_EQ(stats.base_builds, 1u) << label << " threads=" << threads;
+      EXPECT_EQ(stats.fallbacks, 0u) << label << " threads=" << threads;
+    }
+  }
+}
+
+TEST(IncrementalEquivalenceTest, RepeatedBatchIsServedFromMemo) {
+  Schema schema = GenerateChainSchema(ChainParams{6, 2});
+  Rng query_rng(202);
+  std::vector<ImplicationQuery> queries = MakeBatch(schema, &query_rng, 16);
+
+  IncrementalSession session(&schema, ReasonerOptions{});
+  auto first = session.RunImplicationBatch(queries);
+  ASSERT_TRUE(first.ok()) << first.status();
+  IncrementalStats after_first = session.stats();
+
+  auto second = session.RunImplicationBatch(queries);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(first.value(), second.value());
+
+  IncrementalStats after_second = session.stats();
+  // The repeat performs no new probes or base builds: every non-trivial
+  // query hits the memo.
+  EXPECT_EQ(after_second.probes, after_first.probes);
+  EXPECT_EQ(after_second.base_builds, after_first.base_builds);
+  uint64_t nontrivial =
+      queries.size() - (after_second.trivial - after_first.trivial);
+  EXPECT_EQ(after_second.memo_hits - after_first.memo_hits, nontrivial);
+}
+
+TEST(IncrementalEquivalenceTest, SchemaMutationInvalidatesBaseAndMemo) {
+  Rng rng(11);
+  Schema schema =
+      GenerateClusteredSchema(&rng, ClusteredParams{3, 3, 2, false});
+  Rng query_rng(303);
+  std::vector<ImplicationQuery> queries = MakeBatch(schema, &query_rng, 12);
+
+  IncrementalSession session(&schema, ReasonerOptions{});
+  auto before = session.RunImplicationBatch(queries);
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_EQ(session.stats().base_builds, 1u);
+
+  // Mutate the borrowed schema: a fresh class subsumed by class 0 changes
+  // the canonical printed form, hence the fingerprint.
+  ClassId added = schema.InternClass("__mutation");
+  schema.mutable_class_definition(added)->isa = ClassFormula::OfClass(0);
+  ASSERT_TRUE(schema.Validate().ok());
+
+  auto after = session.RunImplicationBatch(queries);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(session.stats().base_builds, 2u)
+      << "fingerprint change must rebuild the base";
+
+  // The rebuilt session must agree with a from-scratch engine on the
+  // mutated schema (stale memo entries would surface here).
+  Reasoner fresh(&schema, ReasonerOptions{});
+  auto expected = fresh.RunImplicationBatch(queries);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  EXPECT_EQ(expected.value(), after.value());
+}
+
+TEST(IncrementalEquivalenceTest, ReasonerIncrementalRoutingTracksMutation) {
+  // The Reasoner-level routing (ReasonerOptions::incremental) must also
+  // observe schema mutation: its cached Prepare() state and the embedded
+  // session are fingerprint-guarded.
+  Schema schema = GenerateChainSchema(ChainParams{5, 2});
+  Rng query_rng(404);
+  std::vector<ImplicationQuery> queries = MakeBatch(schema, &query_rng, 10);
+
+  ReasonerOptions options;
+  options.incremental = true;
+  Reasoner reasoner(&schema, options);
+  auto before = reasoner.RunImplicationBatch(queries);
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  ClassId added = schema.InternClass("__mutation");
+  schema.mutable_class_definition(added)->isa = ClassFormula::OfClass(0);
+  ASSERT_TRUE(schema.Validate().ok());
+
+  auto after = reasoner.RunImplicationBatch(queries);
+  ASSERT_TRUE(after.ok()) << after.status();
+
+  Reasoner fresh(&schema, ReasonerOptions{});
+  auto expected = fresh.RunImplicationBatch(queries);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  EXPECT_EQ(expected.value(), after.value());
+}
+
+TEST(IncrementalEquivalenceTest, GovernedRunsNeverReturnWrongAnswers) {
+  // A governed incremental session trips at different work counts than
+  // the from-scratch engine (that asymmetry is the whole point), so the
+  // contract is: for every injection threshold and thread count, the run
+  // either completes with the exact ungoverned answers or fails with the
+  // fault-injection LimitReport. Silent wrong answers are the only
+  // forbidden outcome.
+  Schema schema = GenerateChainSchema(ChainParams{5, 2});
+  Rng query_rng(505);
+  std::vector<ImplicationQuery> queries = MakeBatch(schema, &query_rng, 12);
+
+  Reasoner reference(&schema, ReasonerOptions{});
+  auto expected = reference.RunImplicationBatch(queries);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+
+  bool saw_trip = false;
+  bool saw_completion = false;
+  for (uint64_t inject :
+       {0ull, 1ull, 10ull, 100ull, 1000ull, 10000ull, 100000ull}) {
+    for (int threads : kThreadCounts) {
+      ExecContext exec;
+      exec.InjectTripAfter(inject);
+      ReasonerOptions options;
+      options.num_threads = threads;
+      options.exec = &exec;
+      IncrementalSession session(&schema, options);
+      auto answers = session.RunImplicationBatch(queries);
+      if (exec.tripped()) {
+        saw_trip = true;
+        ASSERT_FALSE(answers.ok())
+            << "inject=" << inject << " threads=" << threads
+            << ": tripped runs must fail";
+        EXPECT_EQ(exec.report().kind, LimitKind::kFaultInjection)
+            << "inject=" << inject << " threads=" << threads;
+      } else {
+        saw_completion = true;
+        ASSERT_TRUE(answers.ok())
+            << "inject=" << inject << " threads=" << threads << ": "
+            << answers.status();
+        EXPECT_EQ(expected.value(), answers.value())
+            << "inject=" << inject << " threads=" << threads;
+      }
+    }
+  }
+  // The sweep must cover both outcomes or it proves nothing.
+  EXPECT_TRUE(saw_trip);
+  EXPECT_TRUE(saw_completion);
+}
+
+TEST(IncrementalEquivalenceTest, MalformedQueriesErrorLikeFromScratch) {
+  Schema schema = GenerateChainSchema(ChainParams{4, 2});
+  ImplicationQuery bad;
+  bad.kind = ImplicationQuery::Kind::kDisjoint;
+  bad.class_id = static_cast<ClassId>(schema.num_classes() + 3);
+  bad.other = 0;
+
+  Reasoner reference(&schema, ReasonerOptions{});
+  auto expected = reference.RunImplicationBatch({bad});
+  ASSERT_FALSE(expected.ok());
+
+  IncrementalSession session(&schema, ReasonerOptions{});
+  auto answers = session.RunImplicationBatch({bad});
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(expected.status().ToString(), answers.status().ToString());
+}
+
+}  // namespace
+}  // namespace car

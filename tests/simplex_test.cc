@@ -215,6 +215,230 @@ TEST(SimplexTest, GovernedSolveChargesWorkAndBytes) {
   EXPECT_EQ(exec.progress().pivots_executed, result->pivots);
 }
 
+TEST(SimplexWarmStartTest, ResumeMatchesColdOnTextbookExtension) {
+  // Base: max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18.
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  int y = system.AddVariable("y");
+  system.AddConstraint(Make({{x, 1}}, Relation::kLessEqual, 4));
+  system.AddConstraint(Make({{y, 2}}, Relation::kLessEqual, 12));
+  system.AddConstraint(Make({{x, 3}, {y, 2}}, Relation::kLessEqual, 18));
+  LinearExpr objective;
+  objective.Add(x, Rational(3));
+  objective.Add(y, Rational(5));
+
+  SimplexSnapshot snapshot;
+  auto base = SimplexSolver().SolveForSnapshot(system, objective, &snapshot);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(base->objective, Rational(36));
+
+  // Extension: new variable z joins the first constraint (x + 2z <= 4)
+  // and two new constraints appear: z >= 1 and x + y + z <= 8.
+  SimplexDelta delta;
+  delta.num_new_variables = 1;
+  const int z = snapshot.num_variables();
+  delta.row_extensions.push_back({0, z, Rational(2)});
+  delta.new_constraints.push_back(Make({{z, 1}}, Relation::kGreaterEqual, 1));
+  delta.new_constraints.push_back(
+      Make({{x, 1}, {y, 1}, {z, 1}}, Relation::kLessEqual, 8));
+  LinearExpr extended_objective = objective;
+  extended_objective.Add(z, Rational(1));
+
+  auto warm =
+      SimplexSolver().ResumeMaximize(&snapshot, delta, extended_objective);
+  ASSERT_TRUE(warm.ok());
+
+  LinearSystem cold_system;
+  cold_system.AddVariable("x");
+  cold_system.AddVariable("y");
+  cold_system.AddVariable("z");
+  cold_system.AddConstraint(
+      Make({{x, 1}, {z, 2}}, Relation::kLessEqual, 4));
+  cold_system.AddConstraint(Make({{y, 2}}, Relation::kLessEqual, 12));
+  cold_system.AddConstraint(
+      Make({{x, 3}, {y, 2}}, Relation::kLessEqual, 18));
+  cold_system.AddConstraint(Make({{z, 1}}, Relation::kGreaterEqual, 1));
+  cold_system.AddConstraint(
+      Make({{x, 1}, {y, 1}, {z, 1}}, Relation::kLessEqual, 8));
+  auto cold = SimplexSolver().Maximize(cold_system, extended_objective);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(warm->outcome, cold->outcome);
+  EXPECT_EQ(warm->objective, cold->objective);
+  EXPECT_TRUE(cold_system.IsSatisfiedBy(warm->values));
+}
+
+TEST(SimplexWarmStartTest, ResumeDetectsInfeasibleExtension) {
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  system.AddConstraint(Make({{x, 1}}, Relation::kLessEqual, 4));
+  LinearExpr objective;
+  objective.Add(x, Rational(1));
+  SimplexSnapshot snapshot;
+  auto base = SimplexSolver().SolveForSnapshot(system, objective, &snapshot);
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->outcome, LpOutcome::kOptimal);
+
+  SimplexDelta delta;
+  delta.new_constraints.push_back(Make({{x, 1}}, Relation::kGreaterEqual, 9));
+  auto warm = SimplexSolver().ResumeMaximize(&snapshot, delta, objective);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->outcome, LpOutcome::kInfeasible);
+}
+
+TEST(SimplexWarmStartTest, GovernedResumeCountsWarmStarts) {
+  ExecContext exec;
+  SimplexSolver::Options options;
+  options.exec = &exec;
+  LinearSystem system;
+  int x = system.AddVariable("x");
+  system.AddConstraint(Make({{x, 1}}, Relation::kLessEqual, 4));
+  LinearExpr objective;
+  objective.Add(x, Rational(1));
+  SimplexSnapshot snapshot;
+  auto base =
+      SimplexSolver(options).SolveForSnapshot(system, objective, &snapshot);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(exec.progress().warm_starts, 0u);
+
+  SimplexDelta delta;
+  delta.new_constraints.push_back(Make({{x, 1}}, Relation::kLessEqual, 2));
+  auto warm = SimplexSolver(options).ResumeMaximize(&snapshot, delta,
+                                                    objective);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->outcome, LpOutcome::kOptimal);
+  EXPECT_EQ(warm->objective, Rational(2));
+  EXPECT_EQ(exec.progress().warm_starts, 1u);
+}
+
+/// Property: chained ResumeMaximize calls agree with a from-scratch
+/// Maximize of the accumulated system on outcome and optimal value, and
+/// any warm optimum satisfies the accumulated system. Bases are feasible
+/// by construction; deltas are arbitrary (extensions on new variables,
+/// new constraints over all variables), so infeasible and unbounded
+/// extensions are exercised too.
+TEST(SimplexWarmStartProperty, ChainedResumesMatchCold) {
+  Rng rng(20260806);
+  for (int iteration = 0; iteration < 120; ++iteration) {
+    const int n = rng.NextInt(1, 4);
+    const int m = rng.NextInt(1, 5);
+    LinearSystem accumulated;
+    std::vector<Rational> witness;
+    for (int j = 0; j < n; ++j) {
+      accumulated.AddVariable("x");
+      witness.push_back(Rational(rng.NextInt(0, 4)));
+    }
+    for (int i = 0; i < m; ++i) {
+      LinearConstraint constraint;
+      Rational value;
+      for (int j = 0; j < n; ++j) {
+        int64_t coefficient = rng.NextInt(-3, 3);
+        if (coefficient != 0) {
+          constraint.expr.Add(j, Rational(coefficient));
+          value += Rational(coefficient) * witness[j];
+        }
+      }
+      int kind = rng.NextInt(0, 2);
+      if (kind == 0) {
+        constraint.relation = Relation::kLessEqual;
+        constraint.rhs = value + Rational(rng.NextInt(0, 4));
+      } else if (kind == 1) {
+        constraint.relation = Relation::kGreaterEqual;
+        constraint.rhs = value - Rational(rng.NextInt(0, 4));
+      } else {
+        constraint.relation = Relation::kEqual;
+        constraint.rhs = value;
+      }
+      accumulated.AddConstraint(constraint);
+    }
+    LinearExpr objective;
+    for (int j = 0; j < n; ++j) {
+      objective.Add(j, Rational(rng.NextInt(-2, 2)));
+    }
+
+    SimplexSnapshot snapshot;
+    auto base = SimplexSolver().SolveForSnapshot(accumulated, objective,
+                                                 &snapshot);
+    ASSERT_TRUE(base.ok());
+    if (base->outcome != LpOutcome::kOptimal) continue;
+
+    const int num_resumes = rng.NextInt(1, 3);
+    bool snapshot_dead = false;
+    for (int resume = 0; resume < num_resumes && !snapshot_dead; ++resume) {
+      SimplexDelta delta;
+      delta.num_new_variables = rng.NextInt(0, 2);
+      const int old_vars = snapshot.num_variables();
+      const int total_vars = old_vars + delta.num_new_variables;
+      for (int v = old_vars; v < total_vars; ++v) {
+        const int extensions = rng.NextInt(0, 2);
+        for (int e = 0; e < extensions; ++e) {
+          int64_t coefficient = rng.NextInt(-3, 3);
+          if (coefficient == 0) continue;
+          delta.row_extensions.push_back(
+              {static_cast<size_t>(
+                   rng.NextInt(0, static_cast<int>(
+                                      accumulated.constraints().size()) -
+                                      1)),
+               v, Rational(coefficient)});
+        }
+      }
+      const int new_constraints = rng.NextInt(delta.empty() ? 1 : 0, 2);
+      for (int i = 0; i < new_constraints; ++i) {
+        LinearConstraint constraint;
+        for (int j = 0; j < total_vars; ++j) {
+          int64_t coefficient = rng.NextInt(-3, 3);
+          if (coefficient != 0) constraint.expr.Add(j, Rational(coefficient));
+        }
+        constraint.relation = static_cast<Relation>(rng.NextInt(0, 2));
+        constraint.rhs = Rational(rng.NextInt(-5, 5));
+        delta.new_constraints.push_back(constraint);
+      }
+
+      // Mirror the delta into the from-scratch system.
+      LinearSystem next;
+      for (int j = 0; j < total_vars; ++j) next.AddVariable("x");
+      for (size_t c = 0; c < accumulated.constraints().size(); ++c) {
+        LinearConstraint constraint = accumulated.constraints()[c];
+        for (const auto& extension : delta.row_extensions) {
+          if (extension.constraint == c) {
+            constraint.expr.Add(extension.variable, extension.coefficient);
+          }
+        }
+        next.AddConstraint(constraint);
+      }
+      for (const LinearConstraint& constraint : delta.new_constraints) {
+        next.AddConstraint(constraint);
+      }
+      accumulated = next;
+      LinearExpr extended_objective = objective;
+      for (int v = old_vars; v < total_vars; ++v) {
+        extended_objective.Add(v, Rational(rng.NextInt(-2, 2)));
+      }
+      objective = extended_objective;
+
+      auto warm =
+          SimplexSolver().ResumeMaximize(&snapshot, delta, objective);
+      ASSERT_TRUE(warm.ok());
+      auto cold = SimplexSolver().Maximize(accumulated, objective);
+      ASSERT_TRUE(cold.ok());
+      ASSERT_EQ(warm->outcome, cold->outcome)
+          << "iteration " << iteration << " resume " << resume << "\n"
+          << accumulated.ToString();
+      if (warm->outcome == LpOutcome::kOptimal) {
+        EXPECT_EQ(warm->objective, cold->objective)
+            << "iteration " << iteration << " resume " << resume << "\n"
+            << accumulated.ToString();
+        EXPECT_TRUE(accumulated.IsSatisfiedBy(warm->values))
+            << accumulated.ToString();
+      } else {
+        // The snapshot only stays resumable while extensions keep it
+        // feasible with a finite optimum.
+        snapshot_dead = true;
+      }
+    }
+  }
+}
+
 /// Property: on random systems constructed to contain a known feasible
 /// point, the solver must report feasibility, return a point satisfying
 /// the system, and (when maximizing) weakly beat the known point.

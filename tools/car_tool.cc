@@ -9,6 +9,12 @@
 //   car_tool implications <schema-file> <class>
 //                                        implied superclasses, disjointness
 //                                        and cardinality bounds for a class
+//   car_tool query <schema-file> --queries=<file>
+//                                        batch implication queries from a
+//                                        file, answered by the incremental
+//                                        engine (one base solve + expansion
+//                                        deltas + warm-started LPs + memo);
+//                                        --from-scratch opts out
 //
 // --threads=N runs phase 1/phase 2 and implication batches on N worker
 // threads (0 = hardware concurrency); results are bit-identical to the
@@ -34,6 +40,7 @@
 #include <vector>
 
 #include "core/car.h"
+#include "reasoner/incremental.h"
 #include "reasoner/unrestricted.h"
 #include "semantics/dump.h"
 
@@ -47,6 +54,10 @@ constexpr int kExitError = 3;
 
 /// Worker threads for everything parallelizable; set by --threads.
 int g_num_threads = 1;
+/// Query file for the `query` command; set by --queries=.
+std::string g_queries_path;
+/// Answer the `query` batch from scratch instead of incrementally.
+bool g_from_scratch = false;
 /// Governor settings; 0 = unlimited. Set by the --deadline-ms=,
 /// --memory-budget-mb= and --work-budget= flags.
 uint64_t g_deadline_ms = 0;
@@ -99,7 +110,20 @@ int Usage() {
          "  model <file>                synthesize a database state\n"
          "  reify <file>                reify n-ary relations (Thm 4.5)\n"
          "  implications <file> <class> implied facts about one class\n"
+         "  query <file> --queries=<qf> batch implication queries; one\n"
+         "                              query per line:\n"
+         "                                isa A B\n"
+         "                                disjoint A B\n"
+         "                                min-card A att N\n"
+         "                                max-card A att N|inf\n"
+         "                                min-part A Rel role N\n"
+         "                                max-part A Rel role N|inf\n"
+         "                              (att may be inv:att; '#' comments\n"
+         "                              and blank lines are skipped)\n"
          "options:\n"
+         "  --queries=<file>            query file for the `query` command\n"
+         "  --from-scratch              `query` only: disable the\n"
+         "                              incremental engine\n"
          "  --threads=N                 worker threads (1 = serial,\n"
          "                              0 = hardware concurrency)\n"
          "  --deadline-ms=N             abort after N milliseconds\n"
@@ -302,6 +326,141 @@ int Implications(Schema& schema, const std::string& class_name) {
   return kExitSat;
 }
 
+/// Parses one non-comment line of a --queries file into an
+/// ImplicationQuery, resolving names against the schema.
+Result<ImplicationQuery> ParseQueryLine(
+    const Schema& schema, const std::vector<std::string>& tokens) {
+  auto class_of = [&schema](const std::string& name) -> Result<ClassId> {
+    ClassId id = schema.LookupClass(name);
+    if (id == kInvalidId) {
+      return NotFound(StrCat("unknown class '", name, "'"));
+    }
+    return id;
+  };
+  auto term_of = [&schema](
+                     const std::string& text) -> Result<AttributeTerm> {
+    bool inverse = text.rfind("inv:", 0) == 0;
+    std::string name = inverse ? text.substr(4) : text;
+    AttributeId id = schema.LookupAttribute(name);
+    if (id == kInvalidId) {
+      return NotFound(StrCat("unknown attribute '", name, "'"));
+    }
+    return inverse ? AttributeTerm::Inverse(id) : AttributeTerm::Direct(id);
+  };
+  auto bound_of = [](const std::string& text) -> Result<uint64_t> {
+    if (text == "inf") return Cardinality::kInfinity;
+    try {
+      size_t consumed = 0;
+      unsigned long long value = std::stoull(text, &consumed);
+      if (consumed != text.size()) throw std::exception();
+      return static_cast<uint64_t>(value);
+    } catch (...) {
+      return InvalidArgument(StrCat("bad bound '", text, "'"));
+    }
+  };
+
+  ImplicationQuery query;
+  const std::string& op = tokens[0];
+  if (op == "isa" && tokens.size() == 3) {
+    query.kind = ImplicationQuery::Kind::kIsa;
+    CAR_ASSIGN_OR_RETURN(query.class_id, class_of(tokens[1]));
+    CAR_ASSIGN_OR_RETURN(ClassId super, class_of(tokens[2]));
+    query.formula = ClassFormula::OfClass(super);
+    return query;
+  }
+  if (op == "disjoint" && tokens.size() == 3) {
+    query.kind = ImplicationQuery::Kind::kDisjoint;
+    CAR_ASSIGN_OR_RETURN(query.class_id, class_of(tokens[1]));
+    CAR_ASSIGN_OR_RETURN(query.other, class_of(tokens[2]));
+    return query;
+  }
+  if ((op == "min-card" || op == "max-card") && tokens.size() == 4) {
+    query.kind = op == "min-card" ? ImplicationQuery::Kind::kMinCardinality
+                                  : ImplicationQuery::Kind::kMaxCardinality;
+    CAR_ASSIGN_OR_RETURN(query.class_id, class_of(tokens[1]));
+    CAR_ASSIGN_OR_RETURN(query.term, term_of(tokens[2]));
+    CAR_ASSIGN_OR_RETURN(query.bound, bound_of(tokens[3]));
+    return query;
+  }
+  if ((op == "min-part" || op == "max-part") && tokens.size() == 5) {
+    query.kind = op == "min-part"
+                     ? ImplicationQuery::Kind::kMinParticipation
+                     : ImplicationQuery::Kind::kMaxParticipation;
+    CAR_ASSIGN_OR_RETURN(query.class_id, class_of(tokens[1]));
+    query.relation = schema.LookupRelation(tokens[2]);
+    if (query.relation == kInvalidId) {
+      return NotFound(StrCat("unknown relation '", tokens[2], "'"));
+    }
+    query.role = schema.LookupRole(tokens[3]);
+    if (query.role == kInvalidId) {
+      return NotFound(StrCat("unknown role '", tokens[3], "'"));
+    }
+    CAR_ASSIGN_OR_RETURN(query.bound, bound_of(tokens[4]));
+    return query;
+  }
+  return InvalidArgument(StrCat("bad query '", op, "' (or wrong arity)"));
+}
+
+int Query(Schema& schema) {
+  if (g_queries_path.empty()) {
+    std::cerr << "`query` needs --queries=<file>\n";
+    return kExitError;
+  }
+  std::ifstream file(g_queries_path);
+  if (!file) {
+    std::cerr << "cannot open '" << g_queries_path << "'\n";
+    return kExitError;
+  }
+  std::vector<ImplicationQuery> queries;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) {
+    std::istringstream stream(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (stream >> token) {
+      if (token[0] == '#') break;
+      tokens.push_back(std::move(token));
+    }
+    if (tokens.empty()) continue;
+    auto query = ParseQueryLine(schema, tokens);
+    if (!query.ok()) {
+      std::cerr << "query '" << line << "': " << query.status() << "\n";
+      return kExitError;
+    }
+    std::string text;
+    for (const std::string& t : tokens) {
+      if (!text.empty()) text += " ";
+      text += t;
+    }
+    lines.push_back(std::move(text));
+    queries.push_back(std::move(query.value()));
+  }
+
+  ReasonerOptions options = MakeReasonerOptions();
+  options.incremental = !g_from_scratch;
+  Reasoner reasoner(&schema, options);
+  auto answers = reasoner.RunImplicationBatch(queries);
+  if (!answers.ok()) return ReportFailure("error", answers.status());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::cout << lines[i] << ": "
+              << ((*answers)[i] ? "implied" : "not-implied") << "\n";
+  }
+  // The session statistics are deterministic for every --threads value
+  // (the memo pass is serial; warm-start counts follow the deterministic
+  // fixpoint), so they are safe to print on stdout.
+  if (const IncrementalSession* session = reasoner.incremental_session()) {
+    IncrementalStats stats = session->stats();
+    std::cout << "incremental: queries=" << stats.queries
+              << " memo-hits=" << stats.memo_hits
+              << " memo-misses=" << stats.memo_misses
+              << " probes=" << stats.probes
+              << " warm-starts=" << stats.warm_starts
+              << " fallbacks=" << stats.fallbacks << "\n";
+  }
+  return kExitSat;
+}
+
 /// Parses `--name=<uint64>` into `*value`; returns false (after printing
 /// a diagnostic) on malformed input.
 bool ParseUint64Flag(const std::string& arg, size_t prefix_len,
@@ -345,6 +504,14 @@ int Run(int argc, char** argv) {
       if (!ParseUint64Flag(arg, 14, &g_work_budget)) return Usage();
       continue;
     }
+    if (arg.rfind("--queries=", 0) == 0) {
+      g_queries_path = arg.substr(10);
+      continue;
+    }
+    if (arg == "--from-scratch") {
+      g_from_scratch = true;
+      continue;
+    }
     args.push_back(std::move(arg));
   }
   if (args.size() < 2) return Usage();
@@ -367,6 +534,7 @@ int Run(int argc, char** argv) {
     if (args.size() < 3) return Usage();
     return Implications(*schema, args[2]);
   }
+  if (command == "query") return Query(*schema);
   return Usage();
 }
 
