@@ -188,6 +188,12 @@ ProgressSnapshot ExecContext::progress() const {
   snapshot.memo_hits = memo_hits_.load(std::memory_order_relaxed);
   snapshot.memo_misses = memo_misses_.load(std::memory_order_relaxed);
   snapshot.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  snapshot.scalar_promotions =
+      scalar_promotions_.load(std::memory_order_relaxed);
+  snapshot.peak_tableau_nonzeros =
+      peak_tableau_nonzeros_.load(std::memory_order_relaxed);
+  snapshot.peak_tableau_cells =
+      peak_tableau_cells_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -57,6 +57,12 @@ struct ProgressSnapshot {
   uint64_t memo_misses = 0;
   /// Warm-started (resumed) simplex solves.
   uint64_t warm_starts = 0;
+  /// Scalar fast-path overflows promoted to BigInt form (simplex cells).
+  uint64_t scalar_promotions = 0;
+  /// Largest tableau seen, as nonzero cells and as dense extent
+  /// (rows * columns); their ratio is the peak fill of the run.
+  uint64_t peak_tableau_nonzeros = 0;
+  uint64_t peak_tableau_cells = 0;
 };
 
 /// A structured description of which limit tripped, where, and at what
@@ -182,6 +188,16 @@ class ExecContext {
   void CountMemoHits(uint64_t n) { AddRelaxed(&memo_hits_, n); }
   void CountMemoMisses(uint64_t n) { AddRelaxed(&memo_misses_, n); }
   void CountWarmStarts(uint64_t n) { AddRelaxed(&warm_starts_, n); }
+  void CountScalarPromotions(uint64_t n) {
+    AddRelaxed(&scalar_promotions_, n);
+  }
+  /// Folds one solve's final tableau size into the peak-fill counters
+  /// (atomic max; a sum would double-count the shared base tableau of
+  /// warm-started solves).
+  void RecordTableauFill(uint64_t nonzeros, uint64_t cells) {
+    MaxRelaxed(&peak_tableau_nonzeros_, nonzeros);
+    MaxRelaxed(&peak_tableau_cells_, cells);
+  }
 
   // --- Inspection ----------------------------------------------------------
 
@@ -207,6 +223,13 @@ class ExecContext {
     counter->fetch_add(n, std::memory_order_relaxed);
   }
 
+  static void MaxRelaxed(std::atomic<uint64_t>* counter, uint64_t n) {
+    uint64_t current = counter->load(std::memory_order_relaxed);
+    while (current < n && !counter->compare_exchange_weak(
+                              current, n, std::memory_order_relaxed)) {
+    }
+  }
+
   /// True when the cumulative counter moving [pre, pre + units) crossed
   /// `threshold` (exactly one charge observes the crossing).
   static bool Crossed(uint64_t pre, uint64_t units, uint64_t threshold) {
@@ -227,6 +250,9 @@ class ExecContext {
   std::atomic<uint64_t> memo_hits_{0};
   std::atomic<uint64_t> memo_misses_{0};
   std::atomic<uint64_t> warm_starts_{0};
+  std::atomic<uint64_t> scalar_promotions_{0};
+  std::atomic<uint64_t> peak_tableau_nonzeros_{0};
+  std::atomic<uint64_t> peak_tableau_cells_{0};
 
   std::atomic<uint64_t> work_budget_{kNoBudget};
   std::atomic<uint64_t> byte_budget_{kNoBudget};

@@ -94,6 +94,76 @@ Rational Rational::operator/(const Rational& other) const {
                   denominator_ * other.numerator_);
 }
 
+// In debug builds every in-place operator checks itself against the
+// binary operator it replaces; both reduce fully, so the results must be
+// member-wise identical.
+#ifndef NDEBUG
+#define CAR_RATIONAL_ASSERT_MATCHES(expected)                         \
+  CAR_CHECK(numerator_ == (expected).numerator_ &&                    \
+            denominator_ == (expected).denominator_)                  \
+      << "in-place rational operator diverged from binary operator"
+#else
+#define CAR_RATIONAL_ASSERT_MATCHES(expected) (void)(expected)
+#endif
+
+Rational& Rational::operator+=(const Rational& other) {
+#ifndef NDEBUG
+  const Rational expected = *this + other;
+#else
+  const int expected = 0;
+#endif
+  numerator_ = numerator_ * other.denominator_ + other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  Reduce();
+  CAR_RATIONAL_ASSERT_MATCHES(expected);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) {
+#ifndef NDEBUG
+  const Rational expected = *this - other;
+#else
+  const int expected = 0;
+#endif
+  numerator_ = numerator_ * other.denominator_ - other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  Reduce();
+  CAR_RATIONAL_ASSERT_MATCHES(expected);
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& other) {
+#ifndef NDEBUG
+  const Rational expected = *this * other;
+#else
+  const int expected = 0;
+#endif
+  numerator_ *= other.numerator_;
+  denominator_ *= other.denominator_;
+  Reduce();
+  CAR_RATIONAL_ASSERT_MATCHES(expected);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+  CAR_CHECK(!other.is_zero()) << "rational division by zero";
+#ifndef NDEBUG
+  const Rational expected = *this / other;
+#else
+  const int expected = 0;
+#endif
+  // Copy the divisor's numerator first: under aliasing (x /= x) the
+  // member update below would otherwise read the mutated value.
+  const BigInt other_numerator = other.numerator_;
+  numerator_ *= other.denominator_;
+  denominator_ *= other_numerator;
+  Reduce();  // Restores the positive-denominator invariant.
+  CAR_RATIONAL_ASSERT_MATCHES(expected);
+  return *this;
+}
+
+#undef CAR_RATIONAL_ASSERT_MATCHES
+
 bool Rational::operator<(const Rational& other) const {
   // Denominators are positive, so cross-multiplication preserves order.
   return numerator_ * other.denominator_ < other.numerator_ * denominator_;

@@ -55,10 +55,15 @@ class Rational {
   /// CHECK-fails on division by zero.
   Rational operator/(const Rational& other) const;
 
-  Rational& operator+=(const Rational& other) { return *this = *this + other; }
-  Rational& operator-=(const Rational& other) { return *this = *this - other; }
-  Rational& operator*=(const Rational& other) { return *this = *this * other; }
-  Rational& operator/=(const Rational& other) { return *this = *this / other; }
+  // In-place operators update the members directly instead of routing
+  // through `*this = *this + other` (which built and destroyed a full
+  // temporary Rational per call — measurable on the simplex hot path).
+  // Debug builds micro-assert that each one matches its binary operator.
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  /// CHECK-fails on division by zero.
+  Rational& operator/=(const Rational& other);
 
   bool operator==(const Rational& other) const {
     return numerator_ == other.numerator_ &&

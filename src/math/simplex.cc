@@ -9,15 +9,42 @@ namespace car {
 
 namespace {
 
-/// A dense simplex tableau. Column layout: structural variables first,
-/// then slack/surplus variables, then artificial variables; the right-hand
-/// side is stored separately per row.
-struct Tableau {
-  // rows[i] has size num_cols; rhs[i] is the right-hand side of row i.
-  std::vector<std::vector<Rational>> rows;
-  std::vector<Rational> rhs;
-  std::vector<int> basis;            // Basic variable of each row.
-  std::vector<bool> is_artificial;   // Indexed by column.
+// --- Cell helpers shared by the sparse production kernel and the dense
+// reference kernels. A "cell" is Scalar (production, dense-scalar) or
+// Rational (dense-rational); both are exact, so every kernel follows the
+// identical Bland pivot sequence and returns bit-identical results.
+
+template <typename Cell>
+Cell CellFromRational(const Rational& value);
+template <>
+inline Rational CellFromRational<Rational>(const Rational& value) {
+  return value;
+}
+template <>
+inline Scalar CellFromRational<Scalar>(const Rational& value) {
+  return Scalar(value);
+}
+
+inline Rational CellToRational(const Rational& value) { return value; }
+inline Rational CellToRational(const Scalar& value) {
+  return value.ToRational();
+}
+
+// ===========================================================================
+// Sparse production kernel: compressed sparse rows of Scalar cells.
+// ===========================================================================
+
+/// The production simplex tableau. Column layout: structural variables
+/// first, then slack/surplus variables, then artificial variables; the
+/// right-hand side is stored separately per row. Rows are compressed
+/// sparse (math/sparse_row.h): Ψ_S rows touch only one cluster or one
+/// Natt/Nrel constraint each, so pivots, pricing, and snapshot clones
+/// walk nonzeros instead of columns.
+struct SparseTableau {
+  std::vector<SparseRow> rows;
+  std::vector<Scalar> rhs;
+  std::vector<int> basis;           // Basic variable of each row.
+  std::vector<bool> is_artificial;  // Indexed by column.
   // Warm-start bookkeeping (see SimplexSnapshot): the identity column a
   // row was created with, and whether the row was negated at creation.
   std::vector<int> init_basic;
@@ -26,26 +53,30 @@ struct Tableau {
   // columns (see SimplexSnapshot::zero_checked).
   std::vector<int> zero_checked;
   int num_cols = 0;
+  // Reusable merge buffer for Pivot (SubtractScaled swaps row storage
+  // through it, so the whole elimination sweep allocates at most once).
+  std::vector<SparseRow::Entry> scratch;
 
   /// Pivots on (pivot_row, pivot_col): divides the pivot row by the pivot
-  /// element and eliminates the column from all other rows.
+  /// element and eliminates the column from every row that has a nonzero
+  /// there — rows with a structural zero at the pivot column are not even
+  /// read past one binary search.
   void Pivot(size_t pivot_row, int pivot_col) {
-    Rational pivot_value = rows[pivot_row][pivot_col];
-    CAR_CHECK(!pivot_value.is_zero());
+    SparseRow& prow = rows[pivot_row];
+    const Scalar* pivot_cell = prow.Find(pivot_col);
+    CAR_CHECK(pivot_cell != nullptr) << "pivot on a zero cell";
+    Scalar pivot_value = *pivot_cell;
     // Normalizing the pivot row preserves its zero pattern, so its
     // zero_checked prefix stays valid; eliminated rows change and lose
     // theirs.
-    for (Rational& cell : rows[pivot_row]) cell /= pivot_value;
+    prow.DivideAll(pivot_value);
     rhs[pivot_row] /= pivot_value;
     for (size_t r = 0; r < rows.size(); ++r) {
       if (r == pivot_row) continue;
-      Rational factor = rows[r][pivot_col];
-      if (factor.is_zero()) continue;
-      for (int c = 0; c < num_cols; ++c) {
-        if (!rows[pivot_row][c].is_zero()) {
-          rows[r][c] -= factor * rows[pivot_row][c];
-        }
-      }
+      const Scalar* cell = rows[r].Find(pivot_col);
+      if (cell == nullptr) continue;
+      Scalar factor = *cell;
+      rows[r].SubtractScaled(factor, prow, &scratch);
       rhs[r] -= factor * rhs[pivot_row];
       zero_checked[r] = 0;
     }
@@ -53,31 +84,48 @@ struct Tableau {
   }
 };
 
+uint64_t NonzeroCells(const SparseTableau& tableau) {
+  uint64_t nonzeros = 0;
+  for (const SparseRow& row : tableau.rows) nonzeros += row.nnz();
+  return nonzeros;
+}
+
+uint64_t DenseExtent(const SparseTableau& tableau) {
+  return tableau.rows.size() * static_cast<uint64_t>(tableau.num_cols);
+}
+
+/// Resident-byte estimate of the sparse tableau for the governor: entry
+/// storage plus the right-hand sides (Scalar cells own heap storage
+/// beyond sizeof only after promotion, so this is a lower bound, exactly
+/// as the dense estimate was).
+uint64_t NonzeroBytes(const SparseTableau& tableau) {
+  return NonzeroCells(tableau) * sizeof(SparseRow::Entry) +
+         tableau.rhs.size() * sizeof(Scalar);
+}
+
 /// Runs primal simplex with Bland's rule, maximizing `cost . x` on the
 /// current tableau. Artificial columns never enter the basis unless
 /// `allow_artificial` is set (phase 1). Returns the outcome; on
 /// kResourceExhausted-style pivot overflow returns an error carrying a
 /// LimitReport-formatted message, and a tripped/cancelled ExecContext
 /// aborts between pivots.
-Result<LpOutcome> RunSimplex(Tableau* tableau,
-                             const std::vector<Rational>& cost,
+Result<LpOutcome> RunSimplex(SparseTableau* tableau,
+                             const std::vector<Scalar>& cost,
                              bool allow_artificial, size_t max_pivots,
                              ExecContext* exec, size_t* pivots) {
   const size_t num_rows = tableau->rows.size();
   // Reduced costs z_j = c_j - sum_i c_{B(i)} * T[i][j], computed once and
   // then maintained incrementally across pivots (the pivot makes the
   // entering column's reduced cost zero and updates the rest by one row
-  // combination). This keeps each simplex iteration at O(rows * cols)
-  // instead of O(rows * cols^2).
-  std::vector<Rational> reduced(cost.begin(),
-                                cost.begin() + tableau->num_cols);
+  // combination). The vector is dense, but both the initial fold and the
+  // per-pivot update only touch the pivot row's nonzeros.
+  std::vector<Scalar> reduced(cost.begin(),
+                              cost.begin() + tableau->num_cols);
   for (size_t i = 0; i < num_rows; ++i) {
-    const Rational& basic_cost = cost[tableau->basis[i]];
+    const Scalar& basic_cost = cost[tableau->basis[i]];
     if (basic_cost.is_zero()) continue;
-    for (int j = 0; j < tableau->num_cols; ++j) {
-      if (!tableau->rows[i][j].is_zero()) {
-        reduced[j] -= basic_cost * tableau->rows[i][j];
-      }
+    for (const SparseRow::Entry& entry : tableau->rows[i].entries()) {
+      reduced[entry.col] -= basic_cost * entry.value;
     }
   }
   while (true) {
@@ -95,39 +143,36 @@ Result<LpOutcome> RunSimplex(Tableau* tableau,
 
     // Ratio test; ties broken by lowest basic-variable index (Bland).
     int leaving_row = -1;
-    Rational best_ratio;
+    Scalar best_ratio;
     for (size_t i = 0; i < num_rows; ++i) {
-      const Rational& coefficient = tableau->rows[i][entering];
-      if (!coefficient.is_positive()) continue;
-      Rational ratio = tableau->rhs[i] / coefficient;
+      const Scalar* coefficient = tableau->rows[i].Find(entering);
+      if (coefficient == nullptr || !coefficient->is_positive()) continue;
+      Scalar ratio = tableau->rhs[i] / *coefficient;
       if (leaving_row < 0 || ratio < best_ratio ||
           (ratio == best_ratio &&
            tableau->basis[i] < tableau->basis[leaving_row])) {
         leaving_row = static_cast<int>(i);
-        best_ratio = ratio;
+        best_ratio = std::move(ratio);
       }
     }
     if (leaving_row < 0) return LpOutcome::kUnbounded;
 
     tableau->Pivot(static_cast<size_t>(leaving_row), entering);
     // Fold the (now normalized) pivot row into the reduced-cost row.
-    Rational factor = reduced[entering];
+    Scalar factor = reduced[entering];
     if (!factor.is_zero()) {
-      const std::vector<Rational>& pivot_row =
-          tableau->rows[static_cast<size_t>(leaving_row)];
-      for (int j = 0; j < tableau->num_cols; ++j) {
-        if (!pivot_row[j].is_zero()) {
-          reduced[j] -= factor * pivot_row[j];
-        }
+      for (const SparseRow::Entry& entry :
+           tableau->rows[static_cast<size_t>(leaving_row)].entries()) {
+        reduced[entry.col] -= factor * entry.value;
       }
     }
     ++*pivots;
     if (exec != nullptr) exec->CountPivots(1);
     CAR_RETURN_IF_ERROR(GovChargeWork(exec, 1, "simplex"));
-    // A pivot is an expensive work unit (O(rows * cols) exact-rational
-    // operations), so the budget stride of ChargeWork is too coarse for
-    // deadlines here; consult the clock every pivot — a clock read is
-    // noise next to the pivot itself.
+    // A pivot is an expensive work unit (O(nonzeros) exact operations),
+    // so the budget stride of ChargeWork is too coarse for deadlines
+    // here; consult the clock every pivot — a clock read is noise next
+    // to the pivot itself.
     CAR_RETURN_IF_ERROR(GovCheck(exec, "simplex"));
     if (max_pivots != 0 && *pivots > max_pivots) {
       return GovRecordTrip(exec, LimitKind::kMaxPivots, "simplex",
@@ -136,11 +181,11 @@ Result<LpOutcome> RunSimplex(Tableau* tableau,
   }
 }
 
-Rational ObjectiveValue(const Tableau& tableau,
-                        const std::vector<Rational>& cost) {
-  Rational value;
+Scalar ObjectiveValue(const SparseTableau& tableau,
+                      const std::vector<Scalar>& cost) {
+  Scalar value;
   for (size_t i = 0; i < tableau.rows.size(); ++i) {
-    const Rational& basic_cost = cost[tableau.basis[i]];
+    const Scalar& basic_cost = cost[tableau.basis[i]];
     if (!basic_cost.is_zero()) value += basic_cost * tableau.rhs[i];
   }
   return value;
@@ -148,8 +193,9 @@ Rational ObjectiveValue(const Tableau& tableau,
 
 /// Builds the phase-1 tableau from the system: slack variables for <=,
 /// surplus+artificial for >=, artificial for =; right-hand sides are made
-/// nonnegative first.
-Tableau BuildTableau(const LinearSystem& system) {
+/// nonnegative first. Rows are assembled directly in sparse form from the
+/// (already sparse) LinearExpr term maps — the system is never densified.
+SparseTableau BuildTableau(const LinearSystem& system) {
   const int n = system.num_variables();
   const auto& constraints = system.constraints();
 
@@ -178,7 +224,7 @@ Tableau BuildTableau(const LinearSystem& system) {
     }
   }
 
-  Tableau tableau;
+  SparseTableau tableau;
   tableau.num_cols = n + num_slack + num_artificial;
   tableau.is_artificial.assign(tableau.num_cols, false);
   for (int j = n + num_slack; j < tableau.num_cols; ++j) {
@@ -188,14 +234,18 @@ Tableau BuildTableau(const LinearSystem& system) {
   int next_slack = n;
   int next_artificial = n + num_slack;
   for (const LinearConstraint& constraint : constraints) {
-    std::vector<Rational> row(tableau.num_cols);
+    SparseRow row;
+    row.reserve(constraint.expr.terms().size() + 2);
     Rational rhs = constraint.rhs;
     Relation relation = constraint.relation;
     bool flip = rhs.is_negative();
+    // LinearExpr terms are sorted by variable and nonzero, and every
+    // structural index is below the auxiliary columns, so the row can be
+    // appended in order without any sorting pass.
     for (const auto& [variable, coefficient] : constraint.expr.terms()) {
       CAR_CHECK_GE(variable, 0);
       CAR_CHECK_LT(variable, n);
-      row[variable] = flip ? -coefficient : coefficient;
+      row.Append(variable, Scalar(flip ? -coefficient : coefficient));
     }
     if (flip) {
       rhs = -rhs;
@@ -208,22 +258,22 @@ Tableau BuildTableau(const LinearSystem& system) {
     int basic = -1;
     switch (relation) {
       case Relation::kLessEqual:
-        row[next_slack] = Rational(1);
+        row.Append(next_slack, Scalar(1));
         basic = next_slack++;
         break;
       case Relation::kGreaterEqual:
-        row[next_slack] = Rational(-1);
+        row.Append(next_slack, Scalar(-1));
         ++next_slack;
-        row[next_artificial] = Rational(1);
+        row.Append(next_artificial, Scalar(1));
         basic = next_artificial++;
         break;
       case Relation::kEqual:
-        row[next_artificial] = Rational(1);
+        row.Append(next_artificial, Scalar(1));
         basic = next_artificial++;
         break;
     }
     tableau.rows.push_back(std::move(row));
-    tableau.rhs.push_back(std::move(rhs));
+    tableau.rhs.push_back(Scalar(rhs));
     tableau.basis.push_back(basic);
     tableau.init_basic.push_back(basic);
     tableau.flipped.push_back(flip);
@@ -234,20 +284,20 @@ Tableau BuildTableau(const LinearSystem& system) {
 
 /// After a successful phase 1, pivots artificial variables out of the
 /// basis (their value is zero); rows where no structural or slack column
-/// is available are redundant and removed.
-void RemoveArtificialsFromBasis(Tableau* tableau) {
+/// is available are redundant and removed. Entries are sorted by column,
+/// so "first nonzero non-artificial cell" is the same column the dense
+/// left-to-right scan picked.
+void RemoveArtificialsFromBasis(SparseTableau* tableau) {
   for (size_t i = 0; i < tableau->rows.size();) {
     if (!tableau->is_artificial[tableau->basis[i]]) {
       ++i;
       continue;
     }
     int replacement = -1;
-    for (int j = 0; j < tableau->num_cols; ++j) {
-      if (tableau->is_artificial[j]) continue;
-      if (!tableau->rows[i][j].is_zero()) {
-        replacement = j;
-        break;
-      }
+    for (const SparseRow::Entry& entry : tableau->rows[i].entries()) {
+      if (tableau->is_artificial[entry.col]) continue;
+      replacement = entry.col;
+      break;
     }
     if (replacement >= 0) {
       tableau->Pivot(i, replacement);
@@ -266,20 +316,21 @@ void RemoveArtificialsFromBasis(Tableau* tableau) {
   }
 }
 
-std::vector<Rational> ExtractSolution(const Tableau& tableau, int n) {
+std::vector<Rational> ExtractSolution(const SparseTableau& tableau, int n) {
   std::vector<Rational> values(n);
   for (size_t i = 0; i < tableau.rows.size(); ++i) {
     if (tableau.basis[i] < n) {
-      values[tableau.basis[i]] = tableau.rhs[i];
+      values[tableau.basis[i]] = tableau.rhs[i].ToRational();
     }
   }
   return values;
 }
 
-/// Moves the tableau-shaped members of a snapshot into a Tableau (and
-/// back): the snapshot is the persisted form of the same dense state.
-Tableau TableauFromSnapshot(SimplexSnapshot* snapshot) {
-  Tableau tableau;
+/// Moves the tableau-shaped members of a snapshot into a SparseTableau
+/// (and back): the snapshot is the persisted form of the same sparse
+/// state.
+SparseTableau TableauFromSnapshot(SimplexSnapshot* snapshot) {
+  SparseTableau tableau;
   tableau.rows = std::move(snapshot->rows);
   tableau.rhs = std::move(snapshot->rhs);
   tableau.basis = std::move(snapshot->basis);
@@ -292,7 +343,7 @@ Tableau TableauFromSnapshot(SimplexSnapshot* snapshot) {
   return tableau;
 }
 
-void TableauIntoSnapshot(Tableau tableau, SimplexSnapshot* snapshot) {
+void TableauIntoSnapshot(SparseTableau tableau, SimplexSnapshot* snapshot) {
   snapshot->rows = std::move(tableau.rows);
   snapshot->rhs = std::move(tableau.rhs);
   snapshot->basis = std::move(tableau.basis);
@@ -303,11 +354,10 @@ void TableauIntoSnapshot(Tableau tableau, SimplexSnapshot* snapshot) {
   snapshot->num_cols = tableau.num_cols;
 }
 
-/// Appends a zero column to every row; returns the new column's index.
-int AppendColumn(Tableau* tableau, bool artificial) {
-  for (std::vector<Rational>& row : tableau->rows) {
-    row.emplace_back();
-  }
+/// Appends a zero column; returns the new column's index. Sparse rows
+/// store nothing for a zero column, so this is O(1) — the dense kernel's
+/// per-row push_back is exactly the cost this representation deletes.
+int AppendColumn(SparseTableau* tableau, bool artificial) {
   tableau->is_artificial.push_back(artificial);
   return tableau->num_cols++;
 }
@@ -321,25 +371,326 @@ int AppendColumn(Tableau* tableau, bool artificial) {
 /// right-hand side is zero (the artificial's value), so feasibility is
 /// preserved. Rows whose artificial is still positive (fresh rows awaiting
 /// phase 1) are left alone — evicting those would fabricate feasibility.
-void ParkOrEvictArtificials(Tableau* tableau) {
+void ParkOrEvictArtificials(SparseTableau* tableau) {
   for (size_t i = 0; i < tableau->rows.size(); ++i) {
     if (!tableau->is_artificial[tableau->basis[i]]) continue;
     if (!tableau->rhs[i].is_zero()) continue;
     // Resume from the row's known-zero prefix: columns below it were
     // found zero by an earlier sweep and no pivot has modified the row
     // since (Pivot resets the prefix), so only appended columns — the
-    // ones a delta could have populated — need scanning.
+    // ones a delta could have populated — need scanning. The sparse row
+    // holds only nonzeros, so the scan is over entries, not columns.
     bool evicted = false;
-    for (int j = tableau->zero_checked[i]; j < tableau->num_cols; ++j) {
-      if (tableau->is_artificial[j]) continue;
-      if (!tableau->rows[i][j].is_zero()) {
-        tableau->Pivot(i, j);
-        evicted = true;
-        break;
-      }
+    for (const SparseRow::Entry& entry : tableau->rows[i].entries()) {
+      if (entry.col < tableau->zero_checked[i]) continue;
+      if (tableau->is_artificial[entry.col]) continue;
+      tableau->Pivot(i, entry.col);
+      evicted = true;
+      break;
     }
     if (!evicted) tableau->zero_checked[i] = tableau->num_cols;
   }
+}
+
+// ===========================================================================
+// Dense reference kernel, templated on the cell type. Retained for the
+// differential tests and the dense-vs-sparse / bigint-vs-scalar bench
+// cells; reachable only through Maximize/CheckFeasible with an explicit
+// Options::kernel selection.
+// ===========================================================================
+
+template <typename Cell>
+struct DenseTableau {
+  std::vector<std::vector<Cell>> rows;
+  std::vector<Cell> rhs;
+  std::vector<int> basis;
+  std::vector<bool> is_artificial;
+  int num_cols = 0;
+
+  void Pivot(size_t pivot_row, int pivot_col) {
+    Cell pivot_value = rows[pivot_row][pivot_col];
+    CAR_CHECK(!pivot_value.is_zero());
+    for (Cell& cell : rows[pivot_row]) cell /= pivot_value;
+    rhs[pivot_row] /= pivot_value;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (r == pivot_row) continue;
+      Cell factor = rows[r][pivot_col];
+      if (factor.is_zero()) continue;
+      for (int c = 0; c < num_cols; ++c) {
+        if (!rows[pivot_row][c].is_zero()) {
+          rows[r][c] -= factor * rows[pivot_row][c];
+        }
+      }
+      rhs[r] -= factor * rhs[pivot_row];
+    }
+    basis[pivot_row] = pivot_col;
+  }
+};
+
+template <typename Cell>
+Result<LpOutcome> RunDenseSimplex(DenseTableau<Cell>* tableau,
+                                  const std::vector<Cell>& cost,
+                                  bool allow_artificial, size_t max_pivots,
+                                  ExecContext* exec, size_t* pivots) {
+  const size_t num_rows = tableau->rows.size();
+  std::vector<Cell> reduced(cost.begin(), cost.begin() + tableau->num_cols);
+  for (size_t i = 0; i < num_rows; ++i) {
+    const Cell& basic_cost = cost[tableau->basis[i]];
+    if (basic_cost.is_zero()) continue;
+    for (int j = 0; j < tableau->num_cols; ++j) {
+      if (!tableau->rows[i][j].is_zero()) {
+        reduced[j] -= basic_cost * tableau->rows[i][j];
+      }
+    }
+  }
+  while (true) {
+    int entering = -1;
+    for (int j = 0; j < tableau->num_cols; ++j) {
+      if (!allow_artificial && tableau->is_artificial[j]) continue;
+      if (reduced[j].is_positive()) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering < 0) return LpOutcome::kOptimal;
+
+    int leaving_row = -1;
+    Cell best_ratio;
+    for (size_t i = 0; i < num_rows; ++i) {
+      const Cell& coefficient = tableau->rows[i][entering];
+      if (!coefficient.is_positive()) continue;
+      Cell ratio = tableau->rhs[i] / coefficient;
+      if (leaving_row < 0 || ratio < best_ratio ||
+          (ratio == best_ratio &&
+           tableau->basis[i] < tableau->basis[leaving_row])) {
+        leaving_row = static_cast<int>(i);
+        best_ratio = std::move(ratio);
+      }
+    }
+    if (leaving_row < 0) return LpOutcome::kUnbounded;
+
+    tableau->Pivot(static_cast<size_t>(leaving_row), entering);
+    Cell factor = reduced[entering];
+    if (!factor.is_zero()) {
+      const std::vector<Cell>& pivot_row =
+          tableau->rows[static_cast<size_t>(leaving_row)];
+      for (int j = 0; j < tableau->num_cols; ++j) {
+        if (!pivot_row[j].is_zero()) {
+          reduced[j] -= factor * pivot_row[j];
+        }
+      }
+    }
+    ++*pivots;
+    if (exec != nullptr) exec->CountPivots(1);
+    CAR_RETURN_IF_ERROR(GovChargeWork(exec, 1, "simplex"));
+    CAR_RETURN_IF_ERROR(GovCheck(exec, "simplex"));
+    if (max_pivots != 0 && *pivots > max_pivots) {
+      return GovRecordTrip(exec, LimitKind::kMaxPivots, "simplex",
+                           max_pivots, max_pivots);
+    }
+  }
+}
+
+template <typename Cell>
+Cell DenseObjectiveValue(const DenseTableau<Cell>& tableau,
+                         const std::vector<Cell>& cost) {
+  Cell value;
+  for (size_t i = 0; i < tableau.rows.size(); ++i) {
+    const Cell& basic_cost = cost[tableau.basis[i]];
+    if (!basic_cost.is_zero()) value += basic_cost * tableau.rhs[i];
+  }
+  return value;
+}
+
+template <typename Cell>
+DenseTableau<Cell> BuildDenseTableau(const LinearSystem& system) {
+  const int n = system.num_variables();
+  const auto& constraints = system.constraints();
+
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (const LinearConstraint& constraint : constraints) {
+    bool flip = constraint.rhs.is_negative();
+    Relation relation = constraint.relation;
+    if (flip && relation == Relation::kLessEqual) {
+      relation = Relation::kGreaterEqual;
+    } else if (flip && relation == Relation::kGreaterEqual) {
+      relation = Relation::kLessEqual;
+    }
+    switch (relation) {
+      case Relation::kLessEqual:
+        ++num_slack;
+        break;
+      case Relation::kGreaterEqual:
+        ++num_slack;
+        ++num_artificial;
+        break;
+      case Relation::kEqual:
+        ++num_artificial;
+        break;
+    }
+  }
+
+  DenseTableau<Cell> tableau;
+  tableau.num_cols = n + num_slack + num_artificial;
+  tableau.is_artificial.assign(tableau.num_cols, false);
+  for (int j = n + num_slack; j < tableau.num_cols; ++j) {
+    tableau.is_artificial[j] = true;
+  }
+
+  int next_slack = n;
+  int next_artificial = n + num_slack;
+  for (const LinearConstraint& constraint : constraints) {
+    std::vector<Cell> row(tableau.num_cols);
+    Rational rhs = constraint.rhs;
+    Relation relation = constraint.relation;
+    bool flip = rhs.is_negative();
+    for (const auto& [variable, coefficient] : constraint.expr.terms()) {
+      CAR_CHECK_GE(variable, 0);
+      CAR_CHECK_LT(variable, n);
+      row[variable] =
+          CellFromRational<Cell>(flip ? -coefficient : coefficient);
+    }
+    if (flip) {
+      rhs = -rhs;
+      if (relation == Relation::kLessEqual) {
+        relation = Relation::kGreaterEqual;
+      } else if (relation == Relation::kGreaterEqual) {
+        relation = Relation::kLessEqual;
+      }
+    }
+    int basic = -1;
+    switch (relation) {
+      case Relation::kLessEqual:
+        row[next_slack] = Cell(1);
+        basic = next_slack++;
+        break;
+      case Relation::kGreaterEqual:
+        row[next_slack] = Cell(-1);
+        ++next_slack;
+        row[next_artificial] = Cell(1);
+        basic = next_artificial++;
+        break;
+      case Relation::kEqual:
+        row[next_artificial] = Cell(1);
+        basic = next_artificial++;
+        break;
+    }
+    tableau.rows.push_back(std::move(row));
+    tableau.rhs.push_back(CellFromRational<Cell>(rhs));
+    tableau.basis.push_back(basic);
+  }
+  return tableau;
+}
+
+template <typename Cell>
+void RemoveArtificialsFromDenseBasis(DenseTableau<Cell>* tableau) {
+  for (size_t i = 0; i < tableau->rows.size();) {
+    if (!tableau->is_artificial[tableau->basis[i]]) {
+      ++i;
+      continue;
+    }
+    int replacement = -1;
+    for (int j = 0; j < tableau->num_cols; ++j) {
+      if (tableau->is_artificial[j]) continue;
+      if (!tableau->rows[i][j].is_zero()) {
+        replacement = j;
+        break;
+      }
+    }
+    if (replacement >= 0) {
+      tableau->Pivot(i, replacement);
+      ++i;
+    } else {
+      tableau->rows.erase(tableau->rows.begin() + static_cast<long>(i));
+      tableau->rhs.erase(tableau->rhs.begin() + static_cast<long>(i));
+      tableau->basis.erase(tableau->basis.begin() + static_cast<long>(i));
+    }
+  }
+}
+
+template <typename Cell>
+uint64_t DenseNonzeroCells(const DenseTableau<Cell>& tableau) {
+  uint64_t nonzeros = 0;
+  for (const std::vector<Cell>& row : tableau.rows) {
+    for (const Cell& cell : row) {
+      if (!cell.is_zero()) ++nonzeros;
+    }
+  }
+  return nonzeros;
+}
+
+/// The dense-kernel Maximize: identical control flow (and hence identical
+/// pivot sequence and answer) to the sparse production path, over dense
+/// rows of `Cell`.
+template <typename Cell>
+Result<LpResult> DenseMaximize(const SimplexSolver::Options& options,
+                               const LinearSystem& system,
+                               const LinearExpr& objective) {
+  ExecContext* exec = options.exec;
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "simplex"));
+  const uint64_t promotions_before = Scalar::promotions_this_thread();
+  DenseTableau<Cell> tableau = BuildDenseTableau<Cell>(system);
+  CAR_RETURN_IF_ERROR(GovChargeBytes(
+      exec,
+      tableau.rows.size() * static_cast<uint64_t>(tableau.num_cols) *
+          sizeof(Cell),
+      "simplex"));
+  const int n = system.num_variables();
+  LpResult result;
+  auto finish = [&]() {
+    result.scalar_promotions =
+        Scalar::promotions_this_thread() - promotions_before;
+    result.tableau_nonzeros = DenseNonzeroCells(tableau);
+    result.tableau_cells =
+        tableau.rows.size() * static_cast<uint64_t>(tableau.num_cols);
+    if (exec != nullptr) {
+      exec->CountScalarPromotions(result.scalar_promotions);
+      exec->RecordTableauFill(result.tableau_nonzeros, result.tableau_cells);
+    }
+  };
+
+  bool has_artificial = false;
+  for (bool flag : tableau.is_artificial) has_artificial |= flag;
+  if (has_artificial) {
+    std::vector<Cell> phase1_cost(tableau.num_cols);
+    for (int j = 0; j < tableau.num_cols; ++j) {
+      if (tableau.is_artificial[j]) phase1_cost[j] = Cell(-1);
+    }
+    CAR_ASSIGN_OR_RETURN(
+        LpOutcome outcome,
+        RunDenseSimplex(&tableau, phase1_cost, /*allow_artificial=*/true,
+                        options.max_pivots, exec, &result.pivots));
+    CAR_CHECK(outcome == LpOutcome::kOptimal)
+        << "phase 1 cannot be unbounded";
+    if (!DenseObjectiveValue(tableau, phase1_cost).is_zero()) {
+      result.outcome = LpOutcome::kInfeasible;
+      finish();
+      return result;
+    }
+    RemoveArtificialsFromDenseBasis(&tableau);
+  }
+
+  std::vector<Cell> phase2_cost(tableau.num_cols);
+  for (const auto& [variable, coefficient] : objective.terms()) {
+    CAR_CHECK_GE(variable, 0);
+    CAR_CHECK_LT(variable, n);
+    phase2_cost[variable] = CellFromRational<Cell>(coefficient);
+  }
+  CAR_ASSIGN_OR_RETURN(
+      LpOutcome outcome,
+      RunDenseSimplex(&tableau, phase2_cost, /*allow_artificial=*/false,
+                      options.max_pivots, exec, &result.pivots));
+  result.outcome = outcome;
+  result.values.assign(n, Rational());
+  for (size_t i = 0; i < tableau.rows.size(); ++i) {
+    if (tableau.basis[i] < n) {
+      result.values[tableau.basis[i]] = CellToRational(tableau.rhs[i]);
+    }
+  }
+  result.objective = CellToRational(DenseObjectiveValue(tableau, phase2_cost));
+  finish();
+  return result;
 }
 
 }  // namespace
@@ -356,28 +707,58 @@ const char* LpOutcomeToString(LpOutcome outcome) {
   return "unknown";
 }
 
+const char* SimplexKernelToString(SimplexKernel kernel) {
+  switch (kernel) {
+    case SimplexKernel::kSparseScalar:
+      return "sparse-scalar";
+    case SimplexKernel::kDenseRational:
+      return "dense-rational";
+    case SimplexKernel::kDenseScalar:
+      return "dense-scalar";
+  }
+  return "unknown";
+}
+
 Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
                                          const LinearExpr& objective) const {
+  switch (options_.kernel) {
+    case SimplexKernel::kDenseRational:
+      return DenseMaximize<Rational>(options_, system, objective);
+    case SimplexKernel::kDenseScalar:
+      return DenseMaximize<Scalar>(options_, system, objective);
+    case SimplexKernel::kSparseScalar:
+      break;
+  }
+
   CAR_RETURN_IF_ERROR(GovCheck(options_.exec, "simplex"));
-  Tableau tableau = BuildTableau(system);
-  // The tableau is the dominant allocation of a solve; the Rational
-  // cells own heap storage beyond sizeof, so this is a lower-bound
-  // estimate of the resident bytes.
-  CAR_RETURN_IF_ERROR(GovChargeBytes(
-      options_.exec,
-      tableau.rows.size() * static_cast<uint64_t>(tableau.num_cols) *
-          sizeof(Rational),
-      "simplex"));
+  const uint64_t promotions_before = Scalar::promotions_this_thread();
+  SparseTableau tableau = BuildTableau(system);
+  // The tableau is the dominant allocation of a solve; charge its
+  // nonzero storage (the whole point of the sparse kernel is that this
+  // is far below rows * cols).
+  CAR_RETURN_IF_ERROR(
+      GovChargeBytes(options_.exec, NonzeroBytes(tableau), "simplex"));
   const int n = system.num_variables();
   LpResult result;
+  auto finish = [&]() {
+    result.scalar_promotions =
+        Scalar::promotions_this_thread() - promotions_before;
+    result.tableau_nonzeros = NonzeroCells(tableau);
+    result.tableau_cells = DenseExtent(tableau);
+    if (options_.exec != nullptr) {
+      options_.exec->CountScalarPromotions(result.scalar_promotions);
+      options_.exec->RecordTableauFill(result.tableau_nonzeros,
+                                       result.tableau_cells);
+    }
+  };
 
   // Phase 1: maximize minus the sum of artificial variables.
   bool has_artificial = false;
   for (bool flag : tableau.is_artificial) has_artificial |= flag;
   if (has_artificial) {
-    std::vector<Rational> phase1_cost(tableau.num_cols);
+    std::vector<Scalar> phase1_cost(tableau.num_cols);
     for (int j = 0; j < tableau.num_cols; ++j) {
-      if (tableau.is_artificial[j]) phase1_cost[j] = Rational(-1);
+      if (tableau.is_artificial[j]) phase1_cost[j] = Scalar(-1);
     }
     CAR_ASSIGN_OR_RETURN(
         LpOutcome outcome,
@@ -387,17 +768,18 @@ Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
         << "phase 1 cannot be unbounded";
     if (!ObjectiveValue(tableau, phase1_cost).is_zero()) {
       result.outcome = LpOutcome::kInfeasible;
+      finish();
       return result;
     }
     RemoveArtificialsFromBasis(&tableau);
   }
 
   // Phase 2: maximize the real objective.
-  std::vector<Rational> phase2_cost(tableau.num_cols);
+  std::vector<Scalar> phase2_cost(tableau.num_cols);
   for (const auto& [variable, coefficient] : objective.terms()) {
     CAR_CHECK_GE(variable, 0);
     CAR_CHECK_LT(variable, n);
-    phase2_cost[variable] = coefficient;
+    phase2_cost[variable] = Scalar(coefficient);
   }
   CAR_ASSIGN_OR_RETURN(
       LpOutcome outcome,
@@ -405,7 +787,8 @@ Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
                  options_.max_pivots, options_.exec, &result.pivots));
   result.outcome = outcome;
   result.values = ExtractSolution(tableau, n);
-  result.objective = ObjectiveValue(tableau, phase2_cost);
+  result.objective = ObjectiveValue(tableau, phase2_cost).ToRational();
+  finish();
   return result;
 }
 
@@ -419,21 +802,30 @@ Result<LpResult> SimplexSolver::SolveForSnapshot(
     SimplexSnapshot* snapshot) const {
   CAR_CHECK(snapshot != nullptr);
   CAR_RETURN_IF_ERROR(GovCheck(options_.exec, "simplex"));
-  Tableau tableau = BuildTableau(system);
-  CAR_RETURN_IF_ERROR(GovChargeBytes(
-      options_.exec,
-      tableau.rows.size() * static_cast<uint64_t>(tableau.num_cols) *
-          sizeof(Rational),
-      "simplex"));
+  const uint64_t promotions_before = Scalar::promotions_this_thread();
+  SparseTableau tableau = BuildTableau(system);
+  CAR_RETURN_IF_ERROR(
+      GovChargeBytes(options_.exec, NonzeroBytes(tableau), "simplex"));
   const int n = system.num_variables();
   LpResult result;
+  auto finish = [&]() {
+    result.scalar_promotions =
+        Scalar::promotions_this_thread() - promotions_before;
+    result.tableau_nonzeros = NonzeroCells(tableau);
+    result.tableau_cells = DenseExtent(tableau);
+    if (options_.exec != nullptr) {
+      options_.exec->CountScalarPromotions(result.scalar_promotions);
+      options_.exec->RecordTableauFill(result.tableau_nonzeros,
+                                       result.tableau_cells);
+    }
+  };
 
   bool has_artificial = false;
   for (bool flag : tableau.is_artificial) has_artificial |= flag;
   if (has_artificial) {
-    std::vector<Rational> phase1_cost(tableau.num_cols);
+    std::vector<Scalar> phase1_cost(tableau.num_cols);
     for (int j = 0; j < tableau.num_cols; ++j) {
-      if (tableau.is_artificial[j]) phase1_cost[j] = Rational(-1);
+      if (tableau.is_artificial[j]) phase1_cost[j] = Scalar(-1);
     }
     CAR_ASSIGN_OR_RETURN(
         LpOutcome outcome,
@@ -443,6 +835,7 @@ Result<LpResult> SimplexSolver::SolveForSnapshot(
         << "phase 1 cannot be unbounded";
     if (!ObjectiveValue(tableau, phase1_cost).is_zero()) {
       result.outcome = LpOutcome::kInfeasible;
+      finish();
       return result;
     }
     // Unlike Maximize, keep redundant rows: a later delta may hand them
@@ -451,11 +844,11 @@ Result<LpResult> SimplexSolver::SolveForSnapshot(
     ParkOrEvictArtificials(&tableau);
   }
 
-  std::vector<Rational> phase2_cost(tableau.num_cols);
+  std::vector<Scalar> phase2_cost(tableau.num_cols);
   for (const auto& [variable, coefficient] : objective.terms()) {
     CAR_CHECK_GE(variable, 0);
     CAR_CHECK_LT(variable, n);
-    phase2_cost[variable] = coefficient;
+    phase2_cost[variable] = Scalar(coefficient);
   }
   CAR_ASSIGN_OR_RETURN(
       LpOutcome outcome,
@@ -463,7 +856,8 @@ Result<LpResult> SimplexSolver::SolveForSnapshot(
                  options_.max_pivots, options_.exec, &result.pivots));
   result.outcome = outcome;
   result.values = ExtractSolution(tableau, n);
-  result.objective = ObjectiveValue(tableau, phase2_cost);
+  result.objective = ObjectiveValue(tableau, phase2_cost).ToRational();
+  finish();
 
   snapshot->col_of_var.resize(n);
   snapshot->var_of_col.assign(tableau.num_cols, -1);
@@ -482,37 +876,33 @@ Result<LpResult> SimplexSolver::ResumeMaximize(
   CAR_CHECK(snapshot != nullptr);
   CAR_RETURN_IF_ERROR(GovCheck(options_.exec, "simplex"));
   if (options_.exec != nullptr) options_.exec->CountWarmStarts(1);
+  const uint64_t promotions_before = Scalar::promotions_this_thread();
 
   const int old_num_vars = snapshot->num_variables();
   const size_t old_num_rows = snapshot->num_constraints;
-  Tableau tableau = TableauFromSnapshot(snapshot);
-  const size_t cells_before =
-      tableau.rows.size() * static_cast<size_t>(tableau.num_cols);
+  SparseTableau tableau = TableauFromSnapshot(snapshot);
+  const uint64_t bytes_before = NonzeroBytes(tableau);
 
-  // Reserve the final width once so every column append below is
-  // reallocation-free: one column per new structural variable plus at
-  // most two (slack and artificial) per new constraint. Growing the
-  // dense rows one cell at a time shows up as the dominant cost of a
-  // warm start otherwise — the pivot counts are small, the setup isn't.
+  // Appending a zero column to a sparse row stores nothing, so the dense
+  // kernel's per-row width reservation is gone entirely; only the row
+  // list and the column-indexed side arrays need headroom: one column
+  // per new structural variable plus at most two (slack and artificial)
+  // per new constraint.
   const size_t width_bound = static_cast<size_t>(tableau.num_cols) +
                              static_cast<size_t>(delta.num_new_variables) +
                              2 * delta.new_constraints.size();
-  for (std::vector<Rational>& row : tableau.rows) row.reserve(width_bound);
   tableau.is_artificial.reserve(width_bound);
   tableau.rows.reserve(tableau.rows.size() + delta.new_constraints.size());
   snapshot->col_of_var.reserve(old_num_vars + delta.num_new_variables);
   snapshot->var_of_col.reserve(width_bound);
 
-  // --- Append the new structural columns in one bulk resize. Each one is
-  // priced out against the frozen basis: its tableau form is
+  // --- Append the new structural columns (O(1) now — no row traffic).
+  // Each one is priced out against the frozen basis: its tableau form is
   // sum_i a_i * B^-1 e_i, where column init_basic[i] holds B^-1 e_i for
   // the row of constraint i.
   if (delta.num_new_variables > 0) {
     const int first = tableau.num_cols;
     tableau.num_cols = first + delta.num_new_variables;
-    for (std::vector<Rational>& row : tableau.rows) {
-      row.resize(static_cast<size_t>(tableau.num_cols));
-    }
     tableau.is_artificial.resize(static_cast<size_t>(tableau.num_cols),
                                  false);
     for (int v = 0; v < delta.num_new_variables; ++v) {
@@ -527,66 +917,76 @@ Result<LpResult> SimplexSolver::ResumeMaximize(
                  old_num_vars + delta.num_new_variables);
     const int column = snapshot->col_of_var[extension.variable];
     const size_t row = extension.constraint;
-    Rational coefficient = tableau.flipped[row] ? -extension.coefficient
-                                                : extension.coefficient;
+    Scalar coefficient(tableau.flipped[row] ? -extension.coefficient
+                                            : extension.coefficient);
     const int unit = tableau.init_basic[row];
     for (size_t i = 0; i < tableau.rows.size(); ++i) {
-      if (!tableau.rows[i][unit].is_zero()) {
-        tableau.rows[i][column] += coefficient * tableau.rows[i][unit];
-      }
+      const Scalar* unit_cell = tableau.rows[i].Find(unit);
+      if (unit_cell == nullptr) continue;
+      // Compute before AddAt: the insertion may reallocate the entries
+      // the unit-cell pointer aims into.
+      Scalar increment = coefficient * *unit_cell;
+      tableau.rows[i].AddAt(column, increment);
     }
   }
 
   // --- Append the new constraints: slack/surplus column, elimination of
   // the current basic variables, sign normalization, then a basic column
-  // (the slack if it survived with +1, else a fresh artificial).
+  // (the slack if it survived with +1, else a fresh artificial). The row
+  // is accumulated densely in `accumulator` (the scratch dense pivot-row
+  // buffer of the sparse design) and compressed once at the end.
   bool added_artificial = false;
+  std::vector<Scalar> accumulator;
   for (const LinearConstraint& constraint : delta.new_constraints) {
     int aux = -1;
     if (constraint.relation != Relation::kEqual) {
       aux = AppendColumn(&tableau, /*artificial=*/false);
       snapshot->var_of_col.push_back(-1);
     }
-    std::vector<Rational> row;
-    row.reserve(width_bound);
-    row.resize(static_cast<size_t>(tableau.num_cols));
-    Rational rhs = constraint.rhs;
+    accumulator.assign(static_cast<size_t>(tableau.num_cols), Scalar());
+    Scalar rhs(constraint.rhs);
     for (const auto& [variable, coefficient] : constraint.expr.terms()) {
       CAR_CHECK_GE(variable, 0);
       CAR_CHECK_LT(variable, static_cast<int>(snapshot->col_of_var.size()));
-      row[snapshot->col_of_var[variable]] = coefficient;
+      accumulator[snapshot->col_of_var[variable]] = Scalar(coefficient);
     }
     if (aux >= 0) {
-      row[aux] = constraint.relation == Relation::kLessEqual ? Rational(1)
-                                                             : Rational(-1);
+      accumulator[aux] = constraint.relation == Relation::kLessEqual
+                             ? Scalar(1)
+                             : Scalar(-1);
     }
     // Eliminate the basic variables (their columns carry an identity
-    // pattern, so a single sweep suffices).
+    // pattern, so a single sweep suffices); only each pivot row's
+    // nonzeros touch the accumulator.
     for (size_t i = 0; i < tableau.rows.size(); ++i) {
-      Rational factor = row[tableau.basis[i]];
+      Scalar factor = accumulator[tableau.basis[i]];
       if (factor.is_zero()) continue;
-      const std::vector<Rational>& pivot_row = tableau.rows[i];
-      for (int c = 0; c < tableau.num_cols; ++c) {
-        if (!pivot_row[c].is_zero()) row[c] -= factor * pivot_row[c];
+      for (const SparseRow::Entry& entry : tableau.rows[i].entries()) {
+        accumulator[entry.col] -= factor * entry.value;
       }
       rhs -= factor * tableau.rhs[i];
     }
     bool negate = rhs.is_negative();
     if (negate) {
-      for (Rational& cell : row) {
+      for (Scalar& cell : accumulator) {
         if (!cell.is_zero()) cell = -cell;
       }
       rhs = -rhs;
     }
     int basic = -1;
-    if (aux >= 0 && row[aux] == Rational(1)) {
+    if (aux >= 0 && accumulator[aux] == Scalar(1)) {
       basic = aux;
     } else {
       basic = AppendColumn(&tableau, /*artificial=*/true);
       snapshot->var_of_col.push_back(-1);
-      row.resize(static_cast<size_t>(tableau.num_cols));
-      row[basic] = Rational(1);
+      accumulator.push_back(Scalar(1));
       added_artificial = true;
+    }
+    SparseRow row;
+    for (int c = 0; c < tableau.num_cols; ++c) {
+      if (!accumulator[static_cast<size_t>(c)].is_zero()) {
+        row.Append(c, std::move(accumulator[static_cast<size_t>(c)]));
+      }
     }
     tableau.rows.push_back(std::move(row));
     tableau.rhs.push_back(std::move(rhs));
@@ -597,13 +997,24 @@ Result<LpResult> SimplexSolver::ResumeMaximize(
   }
   snapshot->num_constraints = old_num_rows + delta.new_constraints.size();
 
-  const size_t cells_after =
-      tableau.rows.size() * static_cast<size_t>(tableau.num_cols);
+  const uint64_t bytes_after = NonzeroBytes(tableau);
   CAR_RETURN_IF_ERROR(GovChargeBytes(
-      options_.exec, (cells_after - cells_before) * sizeof(Rational),
+      options_.exec,
+      bytes_after > bytes_before ? bytes_after - bytes_before : 0,
       "simplex"));
 
   LpResult result;
+  auto finish = [&]() {
+    result.scalar_promotions =
+        Scalar::promotions_this_thread() - promotions_before;
+    result.tableau_nonzeros = NonzeroCells(tableau);
+    result.tableau_cells = DenseExtent(tableau);
+    if (options_.exec != nullptr) {
+      options_.exec->CountScalarPromotions(result.scalar_promotions);
+      options_.exec->RecordTableauFill(result.tableau_nonzeros,
+                                       result.tableau_cells);
+    }
+  };
   auto park = [&]() {
     // Evict parked artificials that a new column made live again before
     // any pivoting: a basic artificial must stay at zero, which is only
@@ -613,9 +1024,9 @@ Result<LpResult> SimplexSolver::ResumeMaximize(
   park();
 
   if (added_artificial) {
-    std::vector<Rational> phase1_cost(tableau.num_cols);
+    std::vector<Scalar> phase1_cost(tableau.num_cols);
     for (int j = 0; j < tableau.num_cols; ++j) {
-      if (tableau.is_artificial[j]) phase1_cost[j] = Rational(-1);
+      if (tableau.is_artificial[j]) phase1_cost[j] = Scalar(-1);
     }
     Result<LpOutcome> phase1 =
         RunSimplex(&tableau, phase1_cost, /*allow_artificial=*/true,
@@ -628,6 +1039,7 @@ Result<LpResult> SimplexSolver::ResumeMaximize(
         << "phase 1 cannot be unbounded";
     if (!ObjectiveValue(tableau, phase1_cost).is_zero()) {
       result.outcome = LpOutcome::kInfeasible;
+      finish();
       TableauIntoSnapshot(std::move(tableau), snapshot);
       return result;
     }
@@ -635,11 +1047,11 @@ Result<LpResult> SimplexSolver::ResumeMaximize(
   }
 
   const int num_vars = snapshot->num_variables();
-  std::vector<Rational> phase2_cost(tableau.num_cols);
+  std::vector<Scalar> phase2_cost(tableau.num_cols);
   for (const auto& [variable, coefficient] : objective.terms()) {
     CAR_CHECK_GE(variable, 0);
     CAR_CHECK_LT(variable, num_vars);
-    phase2_cost[snapshot->col_of_var[variable]] = coefficient;
+    phase2_cost[snapshot->col_of_var[variable]] = Scalar(coefficient);
   }
   Result<LpOutcome> phase2 =
       RunSimplex(&tableau, phase2_cost, /*allow_artificial=*/false,
@@ -649,12 +1061,13 @@ Result<LpResult> SimplexSolver::ResumeMaximize(
     return phase2.status();
   }
   result.outcome = phase2.value();
-  result.objective = ObjectiveValue(tableau, phase2_cost);
+  result.objective = ObjectiveValue(tableau, phase2_cost).ToRational();
   result.values.assign(num_vars, Rational());
   for (size_t i = 0; i < tableau.rows.size(); ++i) {
     const int variable = snapshot->var_of_col[tableau.basis[i]];
-    if (variable >= 0) result.values[variable] = tableau.rhs[i];
+    if (variable >= 0) result.values[variable] = tableau.rhs[i].ToRational();
   }
+  finish();
   TableauIntoSnapshot(std::move(tableau), snapshot);
   return result;
 }

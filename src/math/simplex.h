@@ -1,13 +1,37 @@
 #ifndef CAR_MATH_SIMPLEX_H_
 #define CAR_MATH_SIMPLEX_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "base/exec_context.h"
 #include "base/result.h"
 #include "math/linear.h"
+#include "math/scalar.h"
+#include "math/sparse_row.h"
 
 namespace car {
+
+/// Which tableau representation a solve runs on.
+///
+/// kSparseScalar is the production kernel: compressed sparse rows of
+/// word-sized Scalar cells. The dense kernels are retained as reference
+/// implementations — they follow the identical Bland pivot sequence over
+/// the identical exact values, so their results are bit-identical to the
+/// sparse kernel's — and exist for differential tests and for the
+/// dense-vs-sparse / bigint-vs-scalar cells of bench_pivot_kernel. Only
+/// Maximize/CheckFeasible honor the selection; the snapshot/resume paths
+/// always run the production sparse kernel.
+enum class SimplexKernel {
+  /// Sparse rows, int64-fast-path exact scalars (production).
+  kSparseScalar,
+  /// Dense rows of BigInt-backed Rationals (the pre-optimization kernel).
+  kDenseRational,
+  /// Dense rows of Scalar cells (isolates the scalar-layer win).
+  kDenseScalar,
+};
+
+const char* SimplexKernelToString(SimplexKernel kernel);
 
 /// Outcome of a linear program.
 enum class LpOutcome {
@@ -31,21 +55,31 @@ struct LpResult {
   Rational objective;
   /// Number of simplex pivots performed (both phases).
   size_t pivots = 0;
+  /// Scalar fast-path overflows promoted to BigInt form during this solve
+  /// (always 0 for the kDenseRational kernel).
+  uint64_t scalar_promotions = 0;
+  /// Nonzero cells of the final tableau, and its dense extent
+  /// (rows * columns): nonzeros/cells is the fill ratio the sparse
+  /// kernel exploits.
+  uint64_t tableau_nonzeros = 0;
+  uint64_t tableau_cells = 0;
 };
 
 /// A frozen simplex state that later solves can resume from.
 ///
 /// Produced by SimplexSolver::SolveForSnapshot and advanced in place by
-/// SimplexSolver::ResumeMaximize. The snapshot owns a full dense tableau
-/// whose basis stays feasible for the solved system; resuming appends
-/// columns and rows to it instead of rebuilding, so a batch of closely
-/// related systems pays one cold phase 1 in total. Treat the members as
-/// opaque: they encode tableau bookkeeping (per-row identity columns,
-/// sign flips, the structural-variable <-> column maps) that only the
-/// solver maintains coherently.
+/// SimplexSolver::ResumeMaximize. The snapshot owns a full tableau in
+/// compressed-sparse-row form (the production kernel's representation,
+/// so cloning a snapshot copies nonzeros, not columns) whose basis stays
+/// feasible for the solved system; resuming appends columns and rows to
+/// it instead of rebuilding, so a batch of closely related systems pays
+/// one cold phase 1 in total. Treat the members as opaque: they encode
+/// tableau bookkeeping (per-row identity columns, sign flips, the
+/// structural-variable <-> column maps) that only the solver maintains
+/// coherently.
 struct SimplexSnapshot {
-  std::vector<std::vector<Rational>> rows;
-  std::vector<Rational> rhs;
+  std::vector<SparseRow> rows;
+  std::vector<Scalar> rhs;
   std::vector<int> basis;           // Basic variable (column) of each row.
   std::vector<bool> is_artificial;  // Indexed by column.
   /// Per row: the column that held the identity unit at the row's
@@ -103,8 +137,9 @@ struct SimplexDelta {
 /// matching the disequation systems of the paper (Section 3.2): every
 /// unknown Var(X̄) counts instances and the system always contains
 /// Var(X̄) >= 0. Bland's anti-cycling rule is used throughout, so the
-/// solver terminates on every input; arithmetic is exact (Rational), so
-/// the answer is never affected by rounding.
+/// solver terminates on every input; arithmetic is exact (Scalar: int64
+/// fast path with checked overflow promoting to BigInt-backed Rational),
+/// so the answer is never affected by rounding or wraparound.
 class SimplexSolver {
  public:
   struct Options {
@@ -116,6 +151,10 @@ class SimplexSolver {
     /// Each pivot charges one work unit and observes cancellation; the
     /// tableau's dominant allocation charges bytes.
     ExecContext* exec = nullptr;
+    /// Tableau representation for Maximize/CheckFeasible (see
+    /// SimplexKernel). Snapshot/resume solves always use the production
+    /// sparse kernel regardless of this setting.
+    SimplexKernel kernel = SimplexKernel::kSparseScalar;
   };
 
   SimplexSolver() : options_() {}

@@ -14,6 +14,15 @@ namespace car {
 
 namespace {
 
+/// Atomic max for the peak-tableau counters: probes run concurrently and
+/// each folds its own per-probe maximum into the session's.
+void MaxRelaxed(std::atomic<uint64_t>* counter, uint64_t value) {
+  uint64_t current = counter->load(std::memory_order_relaxed);
+  while (current < value && !counter->compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
 /// The bound-shape shortcuts the from-scratch Implies* methods answer
 /// before building anything. Mirrors their validation order exactly:
 /// a minimum of 0 is true even for an out-of-range attribute (the
@@ -126,6 +135,10 @@ Status IncrementalSession::EnsureBase() {
   if (analysis.ok()) {
     CAR_ASSIGN_OR_RETURN(IncrementalPsiBase psi_base,
                          PrepareIncrementalPsi(expansion, options_.solver));
+    scalar_promotions_.fetch_add(psi_base.base_scalar_promotions,
+                                 std::memory_order_relaxed);
+    MaxRelaxed(&peak_tableau_nonzeros_, psi_base.base_tableau_nonzeros);
+    MaxRelaxed(&peak_tableau_cells_, psi_base.base_tableau_cells);
     analysis_ = std::move(analysis.value());
     psi_base_ = std::move(psi_base);
   } else if (analysis.status().code() != StatusCode::kFailedPrecondition) {
@@ -173,6 +186,10 @@ Result<bool> IncrementalSession::AuxSatisfiable(
           SolvePsiIncremental(*base_expansion_, *psi_base_, delta.value(),
                               aux, options_.solver));
       warm_starts_.fetch_add(probe.lp_solves, std::memory_order_relaxed);
+      scalar_promotions_.fetch_add(probe.scalar_promotions,
+                                   std::memory_order_relaxed);
+      MaxRelaxed(&peak_tableau_nonzeros_, probe.peak_tableau_nonzeros);
+      MaxRelaxed(&peak_tableau_cells_, probe.peak_tableau_cells);
       return probe.aux_satisfiable;
     }
     // Governor trips and genuine failures propagate; only the explicit
@@ -400,6 +417,12 @@ IncrementalStats IncrementalSession::stats() const {
   stats.clusters_reused = clusters_reused_.load(std::memory_order_relaxed);
   stats.clusters_reenumerated =
       clusters_reenumerated_.load(std::memory_order_relaxed);
+  stats.scalar_promotions =
+      scalar_promotions_.load(std::memory_order_relaxed);
+  stats.peak_tableau_nonzeros =
+      peak_tableau_nonzeros_.load(std::memory_order_relaxed);
+  stats.peak_tableau_cells =
+      peak_tableau_cells_.load(std::memory_order_relaxed);
   return stats;
 }
 

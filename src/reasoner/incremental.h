@@ -39,6 +39,15 @@ struct IncrementalStats {
   /// Base expansions + snapshot solves performed: 1, plus one per
   /// observed schema-fingerprint change.
   uint64_t base_builds = 0;
+  /// Scalar fast-path overflows promoted to BigInt form, summed over the
+  /// base solve and every probe LP. Deterministic across thread counts:
+  /// each solve is single-threaded and the sum is commutative.
+  uint64_t scalar_promotions = 0;
+  /// Largest simplex tableau of the session, as nonzero cells and as
+  /// dense extent (rows * columns); nonzeros/cells is the peak fill the
+  /// sparse kernel exploited. Maxima, so schedule-independent too.
+  uint64_t peak_tableau_nonzeros = 0;
+  uint64_t peak_tableau_cells = 0;
 };
 
 /// An incremental implication-query session over one (mutable) schema.
@@ -139,6 +148,11 @@ class IncrementalSession {
   std::atomic<uint64_t> fallbacks_{0};
   std::atomic<uint64_t> clusters_reused_{0};
   std::atomic<uint64_t> clusters_reenumerated_{0};
+  std::atomic<uint64_t> scalar_promotions_{0};
+  // Maxima (RecordTableauFill-style), not sums: warm-started probes share
+  // the base tableau, so summing would count it once per probe.
+  std::atomic<uint64_t> peak_tableau_nonzeros_{0};
+  std::atomic<uint64_t> peak_tableau_cells_{0};
 };
 
 }  // namespace car

@@ -1,5 +1,6 @@
 #include "solver/incremental_psi.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/check.h"
@@ -109,6 +110,9 @@ Result<IncrementalPsiBase> PrepareIncrementalPsi(
       << "support LP must have an optimum (outcome: "
       << LpOutcomeToString(lp.outcome) << ")";
   base.base_pivots = lp.pivots;
+  base.base_scalar_promotions = lp.scalar_promotions;
+  base.base_tableau_nonzeros = lp.tableau_nonzeros;
+  base.base_tableau_cells = lp.tableau_cells;
   return base;
 }
 
@@ -275,33 +279,11 @@ Result<IncrementalProbeResult> SolvePsiIncremental(
     objective.Add(new_t_var[j], Rational(1));
   }
 
-  // Copy the base snapshot with growth headroom: one column per new
-  // unknown, at most two (slack + artificial) per new constraint, plus
-  // slack for later pin rounds. The per-probe copy and the column
-  // appends inside ResumeMaximize then cost one pass of memory traffic
-  // each instead of a reallocation (and full tableau move) per append.
-  const size_t extra_cols =
-      static_cast<size_t>(round_delta.num_new_variables) +
-      2 * round_delta.new_constraints.size();
-  const size_t extra_rows = round_delta.new_constraints.size();
-  SimplexSnapshot snapshot;
-  snapshot.rows.reserve(psi_base.snapshot.rows.size() + extra_rows);
-  for (const std::vector<Rational>& base_row : psi_base.snapshot.rows) {
-    std::vector<Rational> row;
-    row.reserve(base_row.size() + extra_cols);
-    row.insert(row.end(), base_row.begin(), base_row.end());
-    snapshot.rows.push_back(std::move(row));
-  }
-  snapshot.rhs = psi_base.snapshot.rhs;
-  snapshot.basis = psi_base.snapshot.basis;
-  snapshot.is_artificial = psi_base.snapshot.is_artificial;
-  snapshot.init_basic = psi_base.snapshot.init_basic;
-  snapshot.row_flipped = psi_base.snapshot.row_flipped;
-  snapshot.col_of_var = psi_base.snapshot.col_of_var;
-  snapshot.var_of_col = psi_base.snapshot.var_of_col;
-  snapshot.zero_checked = psi_base.snapshot.zero_checked;
-  snapshot.num_cols = psi_base.snapshot.num_cols;
-  snapshot.num_constraints = psi_base.snapshot.num_constraints;
+  // Copy the base snapshot. The rows are compressed sparse, so this
+  // clones nonzeros, not columns, and a column append inside
+  // ResumeMaximize touches no row storage at all — the growth-headroom
+  // reservation the dense tableau needed here is gone with it.
+  SimplexSnapshot snapshot = psi_base.snapshot;
 
   // --- The acceptability fixpoint over the pinned full system. Instead
   // of rebuilding a masked system per round (the from-scratch loop),
@@ -344,6 +326,11 @@ Result<IncrementalProbeResult> SolvePsiIncremental(
     ++result.lp_solves;
     if (exec != nullptr) exec->CountLpSolves(1);
     result.total_pivots += lp.pivots;
+    result.scalar_promotions += lp.scalar_promotions;
+    result.peak_tableau_nonzeros =
+        std::max(result.peak_tableau_nonzeros, lp.tableau_nonzeros);
+    result.peak_tableau_cells =
+        std::max(result.peak_tableau_cells, lp.tableau_cells);
     CAR_CHECK(lp.outcome == LpOutcome::kOptimal)
         << "support LP must have an optimum (outcome: "
         << LpOutcomeToString(lp.outcome) << ")";

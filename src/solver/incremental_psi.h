@@ -45,6 +45,9 @@ struct IncrementalPsiBase {
 
   // Statistics of the base solve.
   size_t base_pivots = 0;
+  uint64_t base_scalar_promotions = 0;
+  uint64_t base_tableau_nonzeros = 0;
+  uint64_t base_tableau_cells = 0;
 };
 
 /// What a probe solve reports: whether the auxiliary class survives the
@@ -54,6 +57,13 @@ struct IncrementalProbeResult {
   size_t fixpoint_rounds = 0;
   size_t lp_solves = 0;
   size_t total_pivots = 0;
+  /// Scalar fast-path promotions summed over the probe's LP solves, and
+  /// the largest (nonzeros / dense extent) tableau among them. All three
+  /// are deterministic per probe: each solve runs on one thread and the
+  /// pivot sequence is fixed by Bland's rule.
+  uint64_t scalar_promotions = 0;
+  uint64_t peak_tableau_nonzeros = 0;
+  uint64_t peak_tableau_cells = 0;
 };
 
 /// Builds the incremental base state: the full base Ψ system with

@@ -68,6 +68,7 @@ Result<PsiSolution> SolvePsi(const Expansion& expansion,
   SimplexSolver::Options simplex_options;
   simplex_options.max_pivots = options.max_pivots;
   simplex_options.exec = exec;
+  simplex_options.kernel = options.kernel;
   SimplexSolver simplex(simplex_options);
 
   std::vector<Rational> final_values;
@@ -116,6 +117,11 @@ Result<PsiSolution> SolvePsi(const Expansion& expansion,
     ++solution.lp_solves;
     if (exec != nullptr) exec->CountLpSolves(1);
     solution.total_pivots += lp.pivots;
+    solution.scalar_promotions += lp.scalar_promotions;
+    solution.peak_tableau_nonzeros =
+        std::max(solution.peak_tableau_nonzeros, lp.tableau_nonzeros);
+    solution.peak_tableau_cells =
+        std::max(solution.peak_tableau_cells, lp.tableau_cells);
     CAR_CHECK(lp.outcome == LpOutcome::kOptimal)
         << "support LP must have an optimum (outcome: "
         << LpOutcomeToString(lp.outcome) << ")";

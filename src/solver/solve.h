@@ -42,6 +42,13 @@ struct PsiSolution {
   size_t total_pivots = 0;
   size_t largest_lp_variables = 0;
   size_t largest_lp_constraints = 0;
+  /// Scalar fast-path overflows promoted to BigInt form, summed over all
+  /// LP solves (0 for the dense-rational kernel).
+  uint64_t scalar_promotions = 0;
+  /// Largest final tableau across the LP solves, as nonzero cells and as
+  /// dense extent (rows * columns); nonzeros/cells is the peak fill.
+  uint64_t peak_tableau_nonzeros = 0;
+  uint64_t peak_tableau_cells = 0;
 
   bool IsClassSatisfiable(ClassId class_id) const {
     return class_id >= 0 &&
@@ -64,6 +71,10 @@ struct PsiSolverOptions {
   /// Results are identical for every value (LCM is associative and
   /// commutative; scaled counts are written to per-index slots).
   int num_threads = 1;
+  /// Tableau representation for the support LPs (see SimplexKernel).
+  /// Every kernel returns bit-identical results; the non-default kernels
+  /// exist for differential tests and benchmarks.
+  SimplexKernel kernel = SimplexKernel::kSparseScalar;
 };
 
 /// Decides satisfiability of every class of the expanded schema.

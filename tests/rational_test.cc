@@ -91,6 +91,46 @@ TEST(RationalProperty, FieldAxioms) {
   }
 }
 
+TEST(RationalProperty, InPlaceOperatorsMatchBinaryOperators) {
+  // The in-place operators mutate members directly instead of building a
+  // temporary via `*this = *this + other`; they must stay value- and
+  // representation-identical to the binary forms (debug builds also
+  // micro-assert this inside each operator).
+  Rng rng(77);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    Rational a(BigInt(rng.NextInt(-5000, 5000)),
+               BigInt(rng.NextInt(1, 200)));
+    Rational b(BigInt(rng.NextInt(-5000, 5000)),
+               BigInt(rng.NextInt(1, 200)));
+    Rational sum = a;
+    sum += b;
+    EXPECT_EQ(sum, a + b);
+    Rational difference = a;
+    difference -= b;
+    EXPECT_EQ(difference, a - b);
+    Rational product = a;
+    product *= b;
+    EXPECT_EQ(product, a * b);
+    if (!b.is_zero()) {
+      Rational quotient = a;
+      quotient /= b;
+      EXPECT_EQ(quotient, a / b);
+    }
+    // Self-aliasing forms.
+    Rational doubled = a;
+    doubled += doubled;
+    EXPECT_EQ(doubled, a + a);
+    Rational squared = a;
+    squared *= squared;
+    EXPECT_EQ(squared, a * a);
+    if (!a.is_zero()) {
+      Rational unit = a;
+      unit /= unit;
+      EXPECT_EQ(unit, Rational(1));
+    }
+  }
+}
+
 TEST(RationalProperty, FloorCeilBracketValue) {
   Rng rng(123);
   for (int iteration = 0; iteration < 500; ++iteration) {

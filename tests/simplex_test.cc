@@ -532,5 +532,66 @@ TEST(SimplexProperty, FeasibilityWitnessAlwaysValid) {
   EXPECT_GT(infeasible_count, 20);
 }
 
+/// Property: the three tableau kernels (sparse-scalar production,
+/// dense-rational reference, dense-scalar reference) are bit-identical on
+/// random maximization problems — same outcome, same objective, same
+/// vertex, same pivot count. This is the exactness contract that lets the
+/// sparse/scalar optimization claim "answers unchanged by construction".
+TEST(SimplexProperty, KernelsAreBitIdentical) {
+  Rng rng(4242);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const int n = rng.NextInt(1, 5);
+    const int m = rng.NextInt(1, 7);
+    LinearSystem system;
+    for (int j = 0; j < n; ++j) system.AddVariable("x");
+    for (int i = 0; i < m; ++i) {
+      LinearConstraint constraint;
+      for (int j = 0; j < n; ++j) {
+        int64_t coefficient = rng.NextInt(-5, 5);
+        if (coefficient != 0) constraint.expr.Add(j, Rational(coefficient));
+      }
+      constraint.relation = static_cast<Relation>(rng.NextInt(0, 2));
+      constraint.rhs = Rational(rng.NextInt(-8, 8));
+      system.AddConstraint(constraint);
+    }
+    LinearExpr objective;
+    for (int j = 0; j < n; ++j) {
+      int64_t coefficient = rng.NextInt(-4, 4);
+      if (coefficient != 0) objective.Add(j, Rational(coefficient));
+    }
+
+    SimplexSolver::Options sparse_options;
+    sparse_options.kernel = SimplexKernel::kSparseScalar;
+    auto sparse = SimplexSolver(sparse_options).Maximize(system, objective);
+    ASSERT_TRUE(sparse.ok());
+    for (SimplexKernel kernel :
+         {SimplexKernel::kDenseRational, SimplexKernel::kDenseScalar}) {
+      SimplexSolver::Options options;
+      options.kernel = kernel;
+      auto dense = SimplexSolver(options).Maximize(system, objective);
+      ASSERT_TRUE(dense.ok());
+      EXPECT_EQ(dense->outcome, sparse->outcome)
+          << SimplexKernelToString(kernel) << "\n" << system.ToString();
+      EXPECT_EQ(dense->objective, sparse->objective)
+          << SimplexKernelToString(kernel) << "\n" << system.ToString();
+      EXPECT_EQ(dense->values, sparse->values)
+          << SimplexKernelToString(kernel) << "\n" << system.ToString();
+      EXPECT_EQ(dense->pivots, sparse->pivots)
+          << SimplexKernelToString(kernel) << "\n" << system.ToString();
+      // Zero-skipping is representation-level only: the final tableaus
+      // hold the same nonzero pattern.
+      EXPECT_EQ(dense->tableau_nonzeros, sparse->tableau_nonzeros)
+          << SimplexKernelToString(kernel) << "\n" << system.ToString();
+    }
+    // The dense-rational kernel never touches Scalar cells.
+    SimplexSolver::Options rational_options;
+    rational_options.kernel = SimplexKernel::kDenseRational;
+    auto rational =
+        SimplexSolver(rational_options).Maximize(system, objective);
+    ASSERT_TRUE(rational.ok());
+    EXPECT_EQ(rational->scalar_promotions, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace car

@@ -448,7 +448,9 @@ int Query(Schema& schema) {
   }
   // The session statistics are deterministic for every --threads value
   // (the memo pass is serial; warm-start counts follow the deterministic
-  // fixpoint), so they are safe to print on stdout.
+  // fixpoint; promotion sums and fill maxima are commutative over the
+  // single-threaded per-probe solves), so they are safe to print on
+  // stdout.
   if (const IncrementalSession* session = reasoner.incremental_session()) {
     IncrementalStats stats = session->stats();
     std::cout << "incremental: queries=" << stats.queries
@@ -456,7 +458,10 @@ int Query(Schema& schema) {
               << " memo-misses=" << stats.memo_misses
               << " probes=" << stats.probes
               << " warm-starts=" << stats.warm_starts
-              << " fallbacks=" << stats.fallbacks << "\n";
+              << " fallbacks=" << stats.fallbacks
+              << " scalar-promotions=" << stats.scalar_promotions
+              << " peak-tableau-nnz=" << stats.peak_tableau_nonzeros
+              << " peak-tableau-cells=" << stats.peak_tableau_cells << "\n";
   }
   return kExitSat;
 }
