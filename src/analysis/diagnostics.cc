@@ -1,0 +1,122 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "base/strings.h"
+
+namespace car {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+/// Diagnostics carry schema symbol names and fixed rule text, so this
+/// stays self-contained instead of depending on the bench emitter.
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* DiagnosticSeverityToString(DiagnosticSeverity severity) {
+  switch (severity) {
+    case DiagnosticSeverity::kNote:
+      return "note";
+    case DiagnosticSeverity::kWarning:
+      return "warning";
+    case DiagnosticSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics) {
+  std::stable_sort(
+      diagnostics->begin(), diagnostics->end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        // Unknown spans (line 0) sort last: give them an infinite line.
+        int a_line = a.span.known() ? a.span.line : INT32_MAX;
+        int b_line = b.span.known() ? b.span.line : INT32_MAX;
+        return std::make_tuple(a_line, a.span.column,
+                               -static_cast<int>(a.severity), a.rule,
+                               a.symbol, a.message) <
+               std::make_tuple(b_line, b.span.column,
+                               -static_cast<int>(b.severity), b.rule,
+                               b.symbol, b.message);
+      });
+}
+
+std::string RenderDiagnosticText(const Diagnostic& diagnostic,
+                                 std::string_view file) {
+  std::string position(file);
+  if (diagnostic.span.known()) {
+    position = StrCat(position, ":", diagnostic.span.line, ":",
+                      diagnostic.span.column);
+  }
+  return StrCat(position, ": ",
+                DiagnosticSeverityToString(diagnostic.severity), ": [",
+                diagnostic.rule, "] ", diagnostic.message);
+}
+
+std::string RenderDiagnosticJson(const Diagnostic& diagnostic,
+                                 std::string_view file) {
+  return StrCat(
+      "{\"file\":\"", JsonEscape(file), "\",\"line\":", diagnostic.span.line,
+      ",\"column\":", diagnostic.span.column,
+      ",\"length\":", diagnostic.span.length, ",\"severity\":\"",
+      DiagnosticSeverityToString(diagnostic.severity), "\",\"rule\":\"",
+      JsonEscape(diagnostic.rule), "\",\"symbol\":\"",
+      JsonEscape(diagnostic.symbol), "\",\"message\":\"",
+      JsonEscape(diagnostic.message), "\"}");
+}
+
+DiagnosticCounts CountDiagnostics(
+    const std::vector<Diagnostic>& diagnostics) {
+  DiagnosticCounts counts;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    switch (diagnostic.severity) {
+      case DiagnosticSeverity::kNote:
+        ++counts.notes;
+        break;
+      case DiagnosticSeverity::kWarning:
+        ++counts.warnings;
+        break;
+      case DiagnosticSeverity::kError:
+        ++counts.errors;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace car

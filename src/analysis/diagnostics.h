@@ -1,0 +1,67 @@
+#ifndef CAR_ANALYSIS_DIAGNOSTICS_H_
+#define CAR_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/definitions.h"
+
+namespace car {
+
+/// Severity ladder of static-analysis findings. Errors are findings with
+/// a semantic guarantee (the declaration makes some class provably
+/// empty); warnings flag almost-certainly-unintended but satisfiable
+/// constructs; notes are redundancies and style findings.
+enum class DiagnosticSeverity {
+  kNote = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+/// "note" / "warning" / "error".
+const char* DiagnosticSeverityToString(DiagnosticSeverity severity);
+
+/// One static-analysis finding: a stable rule id, the symbol it is
+/// about, source provenance (when the schema came from a parsed `.car`
+/// text) and a one-line explanation.
+struct Diagnostic {
+  DiagnosticSeverity severity = DiagnosticSeverity::kWarning;
+  /// Stable kebab-case rule id ("isa-cycle", "cardinality-contradiction",
+  /// ...). The catalog is documented in README.md.
+  std::string rule;
+  /// Name of the class or relation the finding anchors to.
+  std::string symbol;
+  /// Source span of the offending declaration; unknown() for schemas
+  /// built programmatically.
+  SourceSpan span;
+  std::string message;
+};
+
+/// Deterministic total order: by source position (unknown spans last),
+/// then decreasing severity, rule id, symbol and message.
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics);
+
+/// "file:line:col: error: [rule-id] message"; the position prefix
+/// degrades to just "file:" when the span is unknown.
+std::string RenderDiagnosticText(const Diagnostic& diagnostic,
+                                 std::string_view file);
+
+/// One JSON object {"file":..,"line":..,"column":..,"length":..,
+/// "severity":..,"rule":..,"symbol":..,"message":..}. Line/column/length
+/// are 0 when the span is unknown.
+std::string RenderDiagnosticJson(const Diagnostic& diagnostic,
+                                 std::string_view file);
+
+struct DiagnosticCounts {
+  size_t notes = 0;
+  size_t warnings = 0;
+  size_t errors = 0;
+};
+
+DiagnosticCounts CountDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace car
+
+#endif  // CAR_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,189 @@
+#include "analysis/subschema.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "base/check.h"
+
+namespace car {
+
+namespace {
+
+void AddMentioned(const ClassFormula& formula, std::vector<ClassId>* out) {
+  for (ClassId mentioned : formula.MentionedClasses()) {
+    out->push_back(mentioned);
+  }
+}
+
+/// Dependency adjacency of one class, derived from its definition: the
+/// on-the-fly twin of SchemaAnalysis::depends_on for classes past the
+/// precomputed prefix (the probe's auxiliary class).
+std::vector<ClassId> DirectDependencies(const Schema& schema, ClassId c) {
+  std::vector<ClassId> deps;
+  const ClassDefinition& definition = schema.class_definition(c);
+  AddMentioned(definition.isa, &deps);
+  for (const AttributeSpec& spec : definition.attributes) {
+    AddMentioned(spec.range, &deps);
+  }
+  for (const ParticipationSpec& spec : definition.participations) {
+    const RelationDefinition* relation =
+        schema.relation_definition(spec.relation);
+    if (relation == nullptr) continue;
+    for (const RoleClause& clause : relation->constraints) {
+      for (const RoleLiteral& literal : clause.literals) {
+        AddMentioned(literal.formula, &deps);
+      }
+    }
+  }
+  return deps;
+}
+
+}  // namespace
+
+std::optional<SubSchema> BuildSubSchema(
+    const Schema& schema,
+    const std::vector<std::vector<ClassId>>& depends_on,
+    const SubSchemaRequest& request) {
+  const int num_classes = schema.num_classes();
+  std::vector<char> in_closure(num_classes, 0);
+  std::vector<ClassId> stack;
+  size_t closure_size = 0;
+  auto visit = [&](ClassId c) -> bool {
+    CAR_CHECK_GE(c, 0);
+    CAR_CHECK_LT(c, num_classes);
+    if (in_closure[c]) return true;
+    in_closure[c] = 1;
+    ++closure_size;
+    if (request.max_classes != 0 && closure_size > request.max_classes) {
+      return false;
+    }
+    stack.push_back(c);
+    return true;
+  };
+
+  for (ClassId seed : request.seed_classes) {
+    if (!visit(seed)) return std::nullopt;
+  }
+  for (RelationId seed : request.seed_relations) {
+    const RelationDefinition* relation = schema.relation_definition(seed);
+    if (relation == nullptr) continue;
+    for (const RoleClause& clause : relation->constraints) {
+      for (const RoleLiteral& literal : clause.literals) {
+        for (ClassId mentioned : literal.formula.MentionedClasses()) {
+          if (!visit(mentioned)) return std::nullopt;
+        }
+      }
+    }
+  }
+  while (!stack.empty()) {
+    ClassId c = stack.back();
+    stack.pop_back();
+    if (c < static_cast<ClassId>(depends_on.size())) {
+      for (ClassId dep : depends_on[c]) {
+        if (!visit(dep)) return std::nullopt;
+      }
+    } else {
+      for (ClassId dep : DirectDependencies(schema, c)) {
+        if (!visit(dep)) return std::nullopt;
+      }
+    }
+  }
+
+  SubSchema result;
+  result.class_map.assign(num_classes, kInvalidId);
+  result.relation_map.assign(schema.num_relations(), kInvalidId);
+  for (ClassId c = 0; c < num_classes; ++c) {
+    if (in_closure[c]) result.kept_classes.push_back(c);
+  }
+
+  // Relations of the sub-schema: the seeds plus everything a kept class
+  // participates in (their role-clause classes are all in the closure).
+  std::set<RelationId> kept_relations(request.seed_relations.begin(),
+                                      request.seed_relations.end());
+  for (ClassId c : result.kept_classes) {
+    for (const ParticipationSpec& spec :
+         schema.class_definition(c).participations) {
+      kept_relations.insert(spec.relation);
+    }
+  }
+  result.kept_relations.assign(kept_relations.begin(), kept_relations.end());
+
+  for (ClassId c : result.kept_classes) {
+    result.class_map[c] = result.schema.InternClass(schema.ClassName(c));
+  }
+  for (RelationId r : result.kept_relations) {
+    result.relation_map[r] =
+        result.schema.InternRelation(schema.RelationName(r));
+  }
+
+  auto remap_formula = [&](const ClassFormula& formula) {
+    ClassFormula remapped;
+    for (const ClassClause& clause : formula.clauses()) {
+      ClassClause remapped_clause;
+      for (const ClassLiteral& literal : clause.literals()) {
+        ClassId mapped = result.class_map[literal.class_id];
+        CAR_CHECK_NE(mapped, kInvalidId);
+        remapped_clause.AddLiteral(literal.negated
+                                       ? ClassLiteral::Negative(mapped)
+                                       : ClassLiteral::Positive(mapped));
+      }
+      remapped.AddClause(std::move(remapped_clause));
+    }
+    return remapped;
+  };
+
+  for (RelationId r : result.kept_relations) {
+    const RelationDefinition* source = schema.relation_definition(r);
+    CAR_CHECK(source != nullptr);
+    RelationDefinition projected;
+    projected.relation_id = result.relation_map[r];
+    projected.span = source->span;
+    for (RoleId role : source->roles) {
+      projected.roles.push_back(
+          result.schema.InternRole(schema.RoleName(role)));
+    }
+    for (const RoleClause& clause : source->constraints) {
+      RoleClause remapped_clause;
+      for (const RoleLiteral& literal : clause.literals) {
+        RoleLiteral remapped_literal;
+        remapped_literal.role =
+            result.schema.InternRole(schema.RoleName(literal.role));
+        remapped_literal.formula = remap_formula(literal.formula);
+        remapped_clause.literals.push_back(std::move(remapped_literal));
+      }
+      projected.constraints.push_back(std::move(remapped_clause));
+    }
+    CAR_CHECK(
+        result.schema.SetRelationDefinition(std::move(projected)).ok());
+  }
+
+  for (ClassId c : result.kept_classes) {
+    const ClassDefinition& source = schema.class_definition(c);
+    ClassDefinition* projected =
+        result.schema.mutable_class_definition(result.class_map[c]);
+    projected->span = source.span;
+    projected->isa_span = source.isa_span;
+    projected->isa = remap_formula(source.isa);
+    for (const AttributeSpec& spec : source.attributes) {
+      AttributeSpec remapped = spec;
+      AttributeId attribute = result.schema.InternAttribute(
+          schema.AttributeName(spec.term.attribute));
+      remapped.term = spec.term.inverse ? AttributeTerm::Inverse(attribute)
+                                        : AttributeTerm::Direct(attribute);
+      remapped.range = remap_formula(spec.range);
+      projected->attributes.push_back(std::move(remapped));
+    }
+    for (const ParticipationSpec& spec : source.participations) {
+      ParticipationSpec remapped = spec;
+      remapped.relation = result.relation_map[spec.relation];
+      CAR_CHECK_NE(remapped.relation, kInvalidId);
+      remapped.role = result.schema.InternRole(schema.RoleName(spec.role));
+      projected->participations.push_back(remapped);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace car

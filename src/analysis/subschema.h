@@ -1,0 +1,65 @@
+#ifndef CAR_ANALYSIS_SUBSCHEMA_H_
+#define CAR_ANALYSIS_SUBSCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "model/schema.h"
+
+namespace car {
+
+struct SubSchemaRequest {
+  /// BFS roots of the dependency closure.
+  std::vector<ClassId> seed_classes;
+  /// Relations forced into the sub-schema (their role-clause classes
+  /// seed the closure too).
+  std::vector<RelationId> seed_relations;
+  /// Give up (return nullopt) when the closure grows past this many
+  /// classes; 0 = unlimited. The giving-up is what makes the projection
+  /// a *prefilter*: callers fall back to full-schema reasoning.
+  size_t max_classes = 0;
+};
+
+/// A dependency-closed projection of a schema.
+struct SubSchema {
+  Schema schema;
+  /// Original ids of the kept classes, ascending.
+  std::vector<ClassId> kept_classes;
+  /// Original ids of the kept relations, ascending.
+  std::vector<RelationId> kept_relations;
+  /// Original class id -> projected class id (kInvalidId when dropped).
+  std::vector<ClassId> class_map;
+  /// Original relation id -> projected relation id.
+  std::vector<RelationId> relation_map;
+};
+
+/// Closes the seeds under the dependency adjacency and projects the
+/// schema onto the closure.
+///
+/// `depends_on` is SchemaAnalysis::depends_on for a prefix of the
+/// classes (typically the base schema); for class ids past its end —
+/// the auxiliary query class of an implication probe — the adjacency is
+/// derived from the definition on the fly, so one precomputed base
+/// analysis serves every probe.
+///
+/// Soundness (DESIGN.md §5f): the closure contains every class whose
+/// interpretation any kept constraint can mention, so a model of the
+/// sub-schema extends to the full schema by interpreting every dropped
+/// class, attribute link and relation as empty (all dropped constraints
+/// are per-instance and hold vacuously), and a model of the full schema
+/// restricts to one of the sub-schema (its constraints are a subset).
+/// Hence a kept class is satisfiable in the sub-schema iff it is in the
+/// full schema — finitely and unrestrictedly alike, since both
+/// directions preserve universe finiteness.
+///
+/// Precondition: schema.Validate() succeeded. The projection of a valid
+/// schema is valid by construction.
+std::optional<SubSchema> BuildSubSchema(
+    const Schema& schema,
+    const std::vector<std::vector<ClassId>>& depends_on,
+    const SubSchemaRequest& request);
+
+}  // namespace car
+
+#endif  // CAR_ANALYSIS_SUBSCHEMA_H_

@@ -187,6 +187,9 @@ ProgressSnapshot ExecContext::progress() const {
   snapshot.queries_completed = queries_.load(std::memory_order_relaxed);
   snapshot.memo_hits = memo_hits_.load(std::memory_order_relaxed);
   snapshot.memo_misses = memo_misses_.load(std::memory_order_relaxed);
+  snapshot.prefilter_hits = prefilter_hits_.load(std::memory_order_relaxed);
+  snapshot.cluster_local_solves =
+      cluster_local_.load(std::memory_order_relaxed);
   snapshot.warm_starts = warm_starts_.load(std::memory_order_relaxed);
   snapshot.scalar_promotions =
       scalar_promotions_.load(std::memory_order_relaxed);

@@ -55,6 +55,11 @@ struct ProgressSnapshot {
   /// Implication-probe memo cache hits/misses (incremental sessions).
   uint64_t memo_hits = 0;
   uint64_t memo_misses = 0;
+  /// Queries answered by the tier-0 static-closure prefilter, and
+  /// probes solved on a dependency-closed sub-schema (tier-2), before
+  /// the memo / full incremental solve engaged.
+  uint64_t prefilter_hits = 0;
+  uint64_t cluster_local_solves = 0;
   /// Warm-started (resumed) simplex solves.
   uint64_t warm_starts = 0;
   /// Scalar fast-path overflows promoted to BigInt form (simplex cells).
@@ -187,6 +192,10 @@ class ExecContext {
   void CountQueries(uint64_t n) { AddRelaxed(&queries_, n); }
   void CountMemoHits(uint64_t n) { AddRelaxed(&memo_hits_, n); }
   void CountMemoMisses(uint64_t n) { AddRelaxed(&memo_misses_, n); }
+  void CountPrefilterHits(uint64_t n) { AddRelaxed(&prefilter_hits_, n); }
+  void CountClusterLocalSolves(uint64_t n) {
+    AddRelaxed(&cluster_local_, n);
+  }
   void CountWarmStarts(uint64_t n) { AddRelaxed(&warm_starts_, n); }
   void CountScalarPromotions(uint64_t n) {
     AddRelaxed(&scalar_promotions_, n);
@@ -249,6 +258,8 @@ class ExecContext {
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> memo_hits_{0};
   std::atomic<uint64_t> memo_misses_{0};
+  std::atomic<uint64_t> prefilter_hits_{0};
+  std::atomic<uint64_t> cluster_local_{0};
   std::atomic<uint64_t> warm_starts_{0};
   std::atomic<uint64_t> scalar_promotions_{0};
   std::atomic<uint64_t> peak_tableau_nonzeros_{0};

@@ -75,12 +75,17 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
 
   std::vector<Token> tokens;
   int line = 1;
+  size_t line_start = 0;  // Offset of the first character of `line`.
   size_t i = 0;
+  auto column_of = [&line_start](size_t offset) {
+    return static_cast<int>(offset - line_start) + 1;
+  };
   while (i < text.size()) {
     char c = text[i];
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -105,6 +110,7 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
                                               : keyword->second;
       token.text = std::move(word);
       token.line = line;
+      token.column = column_of(start);
       tokens.push_back(std::move(token));
       continue;
     }
@@ -116,7 +122,7 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
       }
       tokens.push_back(
           {TokenKind::kNumber, std::string(text.substr(start, i - start)),
-           line});
+           line, column_of(start)});
       continue;
     }
     TokenKind kind;
@@ -158,10 +164,11 @@ Result<std::vector<Token>> Tokenize(std::string_view text) {
         return ParseError(
             StrCat("line ", line, ": unexpected character '", c, "'"));
     }
-    tokens.push_back({kind, std::string(1, c), line});
+    tokens.push_back({kind, std::string(1, c), line, column_of(i)});
     ++i;
   }
-  tokens.push_back({TokenKind::kEnd, "", line});
+  tokens.push_back({TokenKind::kEnd, "", line,
+                    column_of(text.size())});
   return tokens;
 }
 

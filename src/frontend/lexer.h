@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "model/definitions.h"
 
 namespace car {
 
@@ -45,6 +46,12 @@ struct Token {
   TokenKind kind = TokenKind::kEnd;
   std::string text;  // Identifier spelling or number digits.
   int line = 0;      // 1-based line of the first character.
+  int column = 0;    // 1-based column of the first character.
+
+  /// The token's extent in the source text, for diagnostics.
+  SourceSpan span() const {
+    return {line, column, static_cast<int>(text.size())};
+  }
 };
 
 /// Tokenizes CAR schema text. `//` starts a comment running to the end of

@@ -149,6 +149,7 @@ class Parser {
   // attr_spec := attr_term ":" card formula
   Status ParseAttributeSpec(ClassDefinition* definition) {
     AttributeSpec spec;
+    spec.span = Peek().span();
     if (Accept(TokenKind::kLeftParen)) {
       CAR_RETURN_IF_ERROR(Expect(TokenKind::kInv));
       CAR_ASSIGN_OR_RETURN(std::string name,
@@ -170,6 +171,7 @@ class Parser {
   // part_spec := IDENT "[" IDENT "]" ":" card
   Status ParseParticipationSpec(ClassDefinition* definition) {
     ParticipationSpec spec;
+    spec.span = Peek().span();
     CAR_ASSIGN_OR_RETURN(std::string relation,
                          ExpectIdentifier("a relation name"));
     spec.relation = schema_.InternRelation(relation);
@@ -185,13 +187,16 @@ class Parser {
 
   Status ParseClass() {
     CAR_RETURN_IF_ERROR(Expect(TokenKind::kClass));
+    SourceSpan name_span = Peek().span();
     CAR_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("a class name"));
     ClassId id = schema_.InternClass(name);
     if (!defined_classes_.insert(id).second) {
       return Error(StrCat("class '", name, "' is defined twice"));
     }
     ClassDefinition* definition = schema_.mutable_class_definition(id);
+    definition->span = name_span;
     if (Accept(TokenKind::kIsa)) {
+      definition->isa_span = Peek().span();
       CAR_ASSIGN_OR_RETURN(ClassFormula isa, ParseFormula());
       definition->isa = std::move(isa);
     }
@@ -224,10 +229,12 @@ class Parser {
 
   Status ParseRelation() {
     CAR_RETURN_IF_ERROR(Expect(TokenKind::kRelation));
+    SourceSpan name_span = Peek().span();
     CAR_ASSIGN_OR_RETURN(std::string name,
                          ExpectIdentifier("a relation name"));
     RelationDefinition definition;
     definition.relation_id = schema_.InternRelation(name);
+    definition.span = name_span;
     CAR_RETURN_IF_ERROR(Expect(TokenKind::kLeftParen));
     CAR_ASSIGN_OR_RETURN(std::string role, ExpectIdentifier("a role name"));
     definition.roles.push_back(schema_.InternRole(role));

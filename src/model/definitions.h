@@ -9,6 +9,20 @@
 
 namespace car {
 
+/// Provenance of a declaration in the `.car` source text: the 1-based
+/// line/column of its first token and that token's length. Schemas built
+/// programmatically (SchemaBuilder, generators) leave spans unknown —
+/// line 0 — and diagnostics fall back to naming the symbol only. Spans
+/// are carried alongside definitions and never participate in schema
+/// equality, printing or fingerprints.
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+  int length = 0;
+
+  bool known() const { return line > 0; }
+};
+
 /// An attribute term `att`: either an attribute symbol A or its inverse
 /// (inv A). Used both in class definitions and as the key of the Natt
 /// cardinality-constraint set of the expansion.
@@ -36,6 +50,9 @@ struct AttributeSpec {
   AttributeTerm term;
   Cardinality cardinality;
   ClassFormula range;
+  /// Where the spec line starts in the source text (unknown if built
+  /// programmatically).
+  SourceSpan span;
 };
 
 /// One line of the participates-in part of a class definition:
@@ -46,6 +63,8 @@ struct ParticipationSpec {
   RelationId relation = kInvalidId;
   RoleId role = kInvalidId;
   Cardinality cardinality;
+  /// Where the spec line starts in the source text.
+  SourceSpan span;
 };
 
 /// A class definition (paper, Section 2.2): isa class-formula, attribute
@@ -55,6 +74,11 @@ struct ClassDefinition {
   ClassFormula isa;
   std::vector<AttributeSpec> attributes;
   std::vector<ParticipationSpec> participations;
+  /// Span of the class name token in the `class NAME ... endclass`
+  /// declaration that defined this class.
+  SourceSpan span;
+  /// Span of the first token of the isa formula (if any).
+  SourceSpan isa_span;
 };
 
 /// A role-literal (U : F): the U-component of a tuple is an instance of F.
@@ -77,6 +101,8 @@ struct RelationDefinition {
   RelationId relation_id = kInvalidId;
   std::vector<RoleId> roles;
   std::vector<RoleClause> constraints;
+  /// Span of the relation name token in its declaration.
+  SourceSpan span;
 
   int arity() const { return static_cast<int>(roles.size()); }
 

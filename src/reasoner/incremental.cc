@@ -4,10 +4,12 @@
 #include <set>
 #include <utility>
 
+#include "analysis/subschema.h"
 #include "base/hashing.h"
 #include "base/strings.h"
 #include "base/thread_pool.h"
 #include "frontend/printer.h"
+#include "reasoner/prefilter.h"
 #include "solver/solve.h"
 
 namespace car {
@@ -128,8 +130,18 @@ Status IncrementalSession::EnsureBase() {
   base_expansion_.reset();
   analysis_.reset();
   psi_base_.reset();
+  schema_analysis_.reset();
   CAR_ASSIGN_OR_RETURN(Expansion expansion,
                        BuildExpansion(*schema_, options_.expansion));
+  if (options_.prefilter) {
+    // The prefilter tiers' artifact: propagated closure tables, unsat
+    // flags and the dependency adjacency. Lint messages are skipped —
+    // only the structure is needed here. Built after BuildExpansion so
+    // the analyzer's validity precondition is established.
+    AnalyzerOptions analyzer_options;
+    analyzer_options.lint = false;
+    schema_analysis_ = AnalyzeSchema(*schema_, analyzer_options);
+  }
   Result<ExpansionBaseAnalysis> analysis =
       AnalyzeBaseExpansion(*schema_, expansion, options_.expansion);
   if (analysis.ok()) {
@@ -173,6 +185,33 @@ Result<bool> IncrementalSession::AuxSatisfiable(
   CAR_RETURN_IF_ERROR(extended.Validate());
 
   probes_.fetch_add(1, std::memory_order_relaxed);
+  // Tier-2: when the probe's dependency closure covers at most a quarter
+  // of the schema, solve it exactly on the projected sub-schema instead
+  // of delta-extending the full base. Sound and exact (subschema.h), so
+  // the answer is bit-identical; the decision depends only on the query
+  // and the base schema, so it is deterministic across thread counts.
+  // The quarter threshold keeps the cold sub-solve competitive with a
+  // warm-started delta: the sub-expansion must be much smaller than the
+  // base for redoing its fixpoint from scratch to win (EXP-Q measures
+  // this crossover; at one half the tier loses on small schemas).
+  if (schema_analysis_.has_value()) {
+    SubSchemaRequest request;
+    request.seed_classes.push_back(aux);
+    request.max_classes = static_cast<size_t>(extended.num_classes()) / 4;
+    std::optional<SubSchema> sub =
+        BuildSubSchema(extended, schema_analysis_->depends_on, request);
+    if (sub.has_value() && sub->schema.Validate().ok()) {
+      cluster_local_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.exec != nullptr) {
+        options_.exec->CountClusterLocalSolves(1);
+      }
+      CAR_ASSIGN_OR_RETURN(Expansion sub_expansion,
+                           BuildExpansion(sub->schema, options_.expansion));
+      CAR_ASSIGN_OR_RETURN(PsiSolution sub_solution,
+                           SolvePsi(sub_expansion, options_.solver));
+      return sub_solution.IsClassSatisfiable(sub->class_map[aux]);
+    }
+  }
   if (analysis_.has_value()) {
     Result<ExpansionDelta> delta = ExtendExpansionWithAuxClass(
         extended, aux, *base_expansion_, *analysis_, options_.expansion);
@@ -336,6 +375,25 @@ Result<std::vector<bool>> IncrementalSession::RunImplicationBatch(
       }
       continue;
     }
+    // Tier-0: sound certificate lookup on the static closure, the first
+    // time a query shape is seen; the answer is memoized so repeats stay
+    // plain memo hits. Declines (nullopt) fall through to the solver;
+    // queries the full path would reject always decline, so error
+    // statuses stay identical.
+    if (schema_analysis_.has_value()) {
+      if (std::optional<bool> certified = ClosurePrefilterAnswer(
+              *schema_, *schema_analysis_, queries[i])) {
+        slots[i].resolved = true;
+        slots[i].answer = *certified;
+        ++closure_hits_;
+        memo_.emplace(std::move(key), *certified);
+        if (exec != nullptr) {
+          exec->CountPrefilterHits(1);
+          exec->CountQueries(1);
+        }
+        continue;
+      }
+    }
     ++memo_misses_;
     if (exec != nullptr) exec->CountMemoMisses(1);
     auto [entry, inserted] = key_to_unique.emplace(
@@ -408,6 +466,8 @@ IncrementalStats IncrementalSession::stats() const {
   IncrementalStats stats;
   stats.queries = queries_;
   stats.trivial = trivial_;
+  stats.closure_hits = closure_hits_;
+  stats.cluster_local = cluster_local_.load(std::memory_order_relaxed);
   stats.memo_hits = memo_hits_;
   stats.memo_misses = memo_misses_;
   stats.base_builds = base_builds_;

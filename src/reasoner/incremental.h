@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "expansion/expansion_delta.h"
 #include "reasoner/reasoner.h"
 #include "solver/incremental_psi.h"
@@ -22,6 +23,14 @@ struct IncrementalStats {
   /// Answered by a bound-shape shortcut (min 0 / max infinity) without
   /// touching the memo or the solver.
   uint64_t trivial = 0;
+  /// Answered by the tier-0 static-closure prefilter (sound certificate
+  /// lookup on the propagated inclusion/disjointness tables, inherited
+  /// cardinality intervals and statically-empty classes) on first
+  /// encounter; the answer is memoized, so repeats count as memo_hits.
+  uint64_t closure_hits = 0;
+  /// Probes solved exactly on a dependency-closed sub-schema (tier-2)
+  /// instead of the full delta path.
+  uint64_t cluster_local = 0;
   uint64_t memo_hits = 0;
   uint64_t memo_misses = 0;
   /// Auxiliary-class satisfiability probes actually solved.
@@ -131,6 +140,9 @@ class IncrementalSession {
   /// strategy, analyzable clusters); otherwise every probe falls back.
   std::optional<ExpansionBaseAnalysis> analysis_;
   std::optional<IncrementalPsiBase> psi_base_;
+  /// Static analysis of the base schema backing the prefilter tiers
+  /// (options.prefilter); rebuilt with the base on fingerprint change.
+  std::optional<SchemaAnalysis> schema_analysis_;
 
   /// Canonical query key -> answer. Only successful answers are
   /// memoized — errors and governor trips are always recomputed.
@@ -140,9 +152,11 @@ class IncrementalSession {
   // parallel batch workers.
   uint64_t queries_ = 0;
   uint64_t trivial_ = 0;
+  uint64_t closure_hits_ = 0;
   uint64_t memo_hits_ = 0;
   uint64_t memo_misses_ = 0;
   uint64_t base_builds_ = 0;
+  std::atomic<uint64_t> cluster_local_{0};
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> warm_starts_{0};
   std::atomic<uint64_t> fallbacks_{0};

@@ -1,0 +1,38 @@
+#ifndef CAR_REASONER_PREFILTER_H_
+#define CAR_REASONER_PREFILTER_H_
+
+#include <optional>
+
+#include "analysis/analyzer.h"
+#include "model/schema.h"
+#include "reasoner/reasoner.h"
+
+namespace car {
+
+/// Tier-0 of the implication answerer: a pure table lookup on the
+/// static analysis (propagated inclusion/disjointness closure, inherited
+/// cardinality intervals, statically-certified-empty classes) that
+/// answers a query without touching the expansion or the simplex.
+///
+/// Returns a value only when a sound certificate exists; nullopt means
+/// "fall through to the next tier", never "false". Because every
+/// certificate is a consequence of the schema that holds in all models,
+/// a returned answer is bit-identical to the full reasoner's — the
+/// differential suite enforces this.
+///
+/// Error transparency: the full path validates ids by building the
+/// auxiliary schema; this tier only answers when every id the full path
+/// would validate is in range (and, for participation kinds, the
+/// relation is defined and the role belongs to it), so queries that
+/// would error always fall through and surface the identical status.
+/// Note the asymmetric kIsa rule: the full path checks clauses
+/// sequentially and can error on a malformed later clause only after
+/// refuting an earlier one, so tier-0 requires *every* literal of
+/// *every* clause to be in range before certifying.
+std::optional<bool> ClosurePrefilterAnswer(const Schema& schema,
+                                           const SchemaAnalysis& analysis,
+                                           const ImplicationQuery& query);
+
+}  // namespace car
+
+#endif  // CAR_REASONER_PREFILTER_H_

@@ -37,6 +37,14 @@ struct ReasonerOptions {
   /// Answers are bit-identical to the from-scratch path; only the cost
   /// differs.
   bool incremental = false;
+  /// Incremental sessions only: run the static-analysis prefilter tiers
+  /// ahead of the memo and the solver — tier-0 answers queries by table
+  /// lookup on the propagated inclusion/disjointness closure, tier-2
+  /// solves probes on a dependency-closed sub-schema when the closure is
+  /// small. Both tiers are sound (certificate-only / exact projection),
+  /// so answers stay bit-identical; only the cost and the per-tier hit
+  /// counters change.
+  bool prefilter = true;
 };
 
 /// Three-valued outcome of a governed satisfiability check.

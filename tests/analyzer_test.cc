@@ -1,0 +1,376 @@
+// The static schema analyzer: lint diagnostics (rule ids, severities,
+// source spans pointing at the offending `.car` declarations), the
+// soundness of the statically-certified emptiness flags against the full
+// reasoner, and the dependency-closed sub-schema projection the tiered
+// implication path solves probes on.
+
+#include "analysis/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/subschema.h"
+#include "frontend/parser.h"
+#include "reasoner/reasoner.h"
+
+namespace car {
+namespace {
+
+std::string ReadExample(const std::string& relative) {
+#ifdef CAR_EXAMPLES_DIR
+  std::ifstream file(std::string(CAR_EXAMPLES_DIR) + "/" + relative);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+#else
+  (void)relative;
+  return {};
+#endif
+}
+
+Schema ParseOrDie(const std::string& text) {
+  Result<Schema> schema = ParseSchema(text);
+  EXPECT_TRUE(schema.ok()) << schema.status();
+  return std::move(schema.value());
+}
+
+SchemaAnalysis Analyze(const Schema& schema, bool lint = true) {
+  AnalyzerOptions options;
+  options.lint = lint;
+  return AnalyzeSchema(schema, options);
+}
+
+std::vector<Diagnostic> DiagnosticsWithRule(const SchemaAnalysis& analysis,
+                                            const std::string& rule) {
+  std::vector<Diagnostic> result;
+  for (const Diagnostic& diagnostic : analysis.diagnostics) {
+    if (diagnostic.rule == rule) result.push_back(diagnostic);
+  }
+  return result;
+}
+
+// --- Lint corpus (examples/schemas/lint) --------------------------------
+
+TEST(AnalyzerCorpus, IsaCycleIsReportedWithSpan) {
+  std::string text = ReadExample("lint/isa_cycle.car");
+  ASSERT_FALSE(text.empty()) << "corpus file missing";
+  Schema schema = ParseOrDie(text);
+  SchemaAnalysis analysis = Analyze(schema);
+
+  std::vector<Diagnostic> cycles = DiagnosticsWithRule(analysis, "isa-cycle");
+  ASSERT_EQ(cycles.size(), 1u);
+  const Diagnostic& cycle = cycles[0];
+  EXPECT_EQ(cycle.severity, DiagnosticSeverity::kWarning);
+  EXPECT_EQ(cycle.symbol, "Vehicle");
+  // Anchored at Vehicle's isa declaration: `isa Automobile` on line 8.
+  EXPECT_EQ(cycle.span.line, 8);
+  EXPECT_EQ(cycle.span.column, 7);
+  EXPECT_NE(cycle.message.find("'Automobile'"), std::string::npos);
+  EXPECT_NE(cycle.message.find("'Car'"), std::string::npos);
+
+  // A cycle is a modeling smell, not a contradiction: nothing is unsat.
+  EXPECT_EQ(analysis.num_unsat_classes(), 0u);
+  EXPECT_EQ(CountDiagnostics(analysis.diagnostics).errors, 0u);
+}
+
+TEST(AnalyzerCorpus, InheritedCardinalityContradictionIsReportedWithSpan) {
+  std::string text = ReadExample("lint/min_gt_max.car");
+  ASSERT_FALSE(text.empty()) << "corpus file missing";
+  Schema schema = ParseOrDie(text);
+  SchemaAnalysis analysis = Analyze(schema);
+
+  std::vector<Diagnostic> findings =
+      DiagnosticsWithRule(analysis, "cardinality-contradiction");
+  ASSERT_EQ(findings.size(), 1u);
+  const Diagnostic& finding = findings[0];
+  EXPECT_EQ(finding.severity, DiagnosticSeverity::kError);
+  EXPECT_EQ(finding.symbol, "Contact");
+  // Anchored at Contact's own `phone : (0, 1) String` on line 16; the
+  // contradiction is (0,1) ∩ (2,4) = empty.
+  EXPECT_EQ(finding.span.line, 16);
+  EXPECT_EQ(finding.span.column, 5);
+
+  ASSERT_EQ(analysis.class_unsat.size(),
+            static_cast<size_t>(schema.num_classes()));
+  EXPECT_TRUE(analysis.class_unsat[schema.LookupClass("Contact")]);
+  EXPECT_FALSE(analysis.class_unsat[schema.LookupClass("Reachable")]);
+  EXPECT_FALSE(analysis.class_unsat[schema.LookupClass("Hotline")]);
+}
+
+TEST(AnalyzerCorpus, InheritedDisjointnessContradictionIsReportedWithSpan) {
+  std::string text = ReadExample("lint/disjoint_inherited.car");
+  ASSERT_FALSE(text.empty()) << "corpus file missing";
+  Schema schema = ParseOrDie(text);
+  SchemaAnalysis analysis = Analyze(schema);
+
+  std::vector<Diagnostic> disjoint =
+      DiagnosticsWithRule(analysis, "disjoint-contradiction");
+  ASSERT_EQ(disjoint.size(), 1u);
+  EXPECT_EQ(disjoint[0].severity, DiagnosticSeverity::kError);
+  EXPECT_EQ(disjoint[0].symbol, "Venus_Flytrap");
+  // Anchored at Venus_Flytrap's `isa Plant & Animal` on line 15.
+  EXPECT_EQ(disjoint[0].span.line, 15);
+  EXPECT_EQ(disjoint[0].span.column, 7);
+
+  // The contradiction propagates: Terrarium requires an exhibit in the
+  // provably empty Venus_Flytrap.
+  std::vector<Diagnostic> dead = DiagnosticsWithRule(analysis, "dead-range");
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].symbol, "Terrarium");
+  EXPECT_EQ(dead[0].span.line, 22);
+  EXPECT_EQ(dead[0].span.column, 5);
+
+  EXPECT_TRUE(analysis.class_unsat[schema.LookupClass("Venus_Flytrap")]);
+  EXPECT_TRUE(analysis.class_unsat[schema.LookupClass("Terrarium")]);
+  EXPECT_FALSE(analysis.class_unsat[schema.LookupClass("Plant")]);
+  EXPECT_FALSE(analysis.class_unsat[schema.LookupClass("Animal")]);
+}
+
+// Every lint-corpus "unsatisfiable" verdict must agree with the full
+// reasoner — the analyzer's core soundness contract on real inputs.
+TEST(AnalyzerCorpus, UnsatVerdictsAgreeWithReasoner) {
+  for (const char* name :
+       {"lint/isa_cycle.car", "lint/min_gt_max.car",
+        "lint/disjoint_inherited.car"}) {
+    std::string text = ReadExample(name);
+    ASSERT_FALSE(text.empty()) << name;
+    Schema schema = ParseOrDie(text);
+    SchemaAnalysis analysis = Analyze(schema);
+    Reasoner reasoner(&schema, ReasonerOptions{});
+    for (ClassId c = 0; c < schema.num_classes(); ++c) {
+      Result<bool> satisfiable = reasoner.IsClassSatisfiable(c);
+      ASSERT_TRUE(satisfiable.ok()) << name << ": " << satisfiable.status();
+      if (analysis.class_unsat[c]) {
+        EXPECT_FALSE(satisfiable.value())
+            << name << ": analyzer flags '" << schema.ClassName(c)
+            << "' unsat but the reasoner disagrees";
+      }
+    }
+  }
+}
+
+// --- Rule catalog on focused inputs -------------------------------------
+
+TEST(AnalyzerRules, InheritedUnsatisfiablePropagatesThroughIsa) {
+  // Dead is empty by a falsified disjunctive clause — a cause the pair
+  // tables cannot see, so Child's emptiness is attributable only to the
+  // inclusion in Dead (rule 2), not to self-disjointness (rule 1).
+  Schema schema = ParseOrDie(R"(
+class A endclass
+class B endclass
+class Dead isa !A & !B & (A | B) endclass
+class Child isa Dead endclass
+)");
+  SchemaAnalysis analysis = Analyze(schema);
+  EXPECT_TRUE(analysis.class_unsat[schema.LookupClass("Dead")]);
+  EXPECT_TRUE(analysis.class_unsat[schema.LookupClass("Child")]);
+  EXPECT_FALSE(analysis.class_unsat[schema.LookupClass("A")]);
+  std::vector<Diagnostic> inherited =
+      DiagnosticsWithRule(analysis, "inherited-unsatisfiable");
+  ASSERT_EQ(inherited.size(), 1u);
+  EXPECT_EQ(inherited[0].symbol, "Child");
+  EXPECT_EQ(inherited[0].severity, DiagnosticSeverity::kError);
+}
+
+TEST(AnalyzerRules, FalsifiedDisjunctiveIsaClause) {
+  // X is disjoint from both A and B, so its clause (A | B) admits no
+  // instance — but no single literal makes X self-disjoint.
+  Schema schema = ParseOrDie(R"(
+class A isa !B endclass
+class B endclass
+class X isa !A & !B & (A | B) endclass
+)");
+  SchemaAnalysis analysis = Analyze(schema);
+  EXPECT_TRUE(analysis.class_unsat[schema.LookupClass("X")]);
+  std::vector<Diagnostic> falsified =
+      DiagnosticsWithRule(analysis, "falsified-isa");
+  ASSERT_EQ(falsified.size(), 1u);
+  EXPECT_EQ(falsified[0].symbol, "X");
+}
+
+TEST(AnalyzerRules, DeadRelationAndDeadParticipation) {
+  Schema schema = ParseOrDie(R"(
+class A endclass
+class Dead isa !A & A endclass
+relation R(src, dst)
+  constraints
+    (src : Dead)
+endrelation
+class Member
+  participates_in
+    R[dst] : (1, 2)
+endclass
+class Observer
+  participates_in
+    R[dst] : (0, 2)
+endclass
+)");
+  SchemaAnalysis analysis = Analyze(schema);
+  ASSERT_EQ(analysis.relation_dead.size(), 1u);
+  EXPECT_TRUE(analysis.relation_dead[0]);
+  EXPECT_EQ(DiagnosticsWithRule(analysis, "dead-relation").size(), 1u);
+
+  // Requiring participation in a dead relation kills the class; merely
+  // allowing it does not.
+  EXPECT_TRUE(analysis.class_unsat[schema.LookupClass("Member")]);
+  EXPECT_FALSE(analysis.class_unsat[schema.LookupClass("Observer")]);
+  std::vector<Diagnostic> dead =
+      DiagnosticsWithRule(analysis, "dead-participation");
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].symbol, "Member");
+}
+
+TEST(AnalyzerRules, RedundantIsaNotes) {
+  Schema schema = ParseOrDie(R"(
+class A endclass
+class B isa A endclass
+class C isa B & A endclass
+class D isa D endclass
+)");
+  SchemaAnalysis analysis = Analyze(schema);
+  std::vector<Diagnostic> redundant =
+      DiagnosticsWithRule(analysis, "redundant-isa");
+  ASSERT_EQ(redundant.size(), 2u);
+  // C's direct `isa A` is implied via B; D's self-edge is trivial.
+  EXPECT_EQ(redundant[0].severity, DiagnosticSeverity::kNote);
+  std::vector<std::string> symbols = {redundant[0].symbol,
+                                      redundant[1].symbol};
+  std::sort(symbols.begin(), symbols.end());
+  EXPECT_EQ(symbols[0], "C");
+  EXPECT_EQ(symbols[1], "D");
+  // No false positives: B's only edge is not redundant.
+  EXPECT_EQ(analysis.num_unsat_classes(), 0u);
+}
+
+TEST(AnalyzerRules, ClauseHygieneNotes) {
+  Schema schema = ParseOrDie(R"(
+class A endclass
+class Dup isa (A | A) endclass
+class Taut isa (A | !A) endclass
+)");
+  SchemaAnalysis analysis = Analyze(schema);
+  std::vector<Diagnostic> duplicate =
+      DiagnosticsWithRule(analysis, "duplicate-literal");
+  ASSERT_EQ(duplicate.size(), 1u);
+  EXPECT_EQ(duplicate[0].symbol, "Dup");
+  std::vector<Diagnostic> tautological =
+      DiagnosticsWithRule(analysis, "tautological-clause");
+  ASSERT_EQ(tautological.size(), 1u);
+  EXPECT_EQ(tautological[0].symbol, "Taut");
+  // Hygiene notes never imply emptiness.
+  EXPECT_EQ(analysis.num_unsat_classes(), 0u);
+}
+
+TEST(AnalyzerRules, LintOffStillComputesArtifacts) {
+  Schema schema = ParseOrDie(R"(
+class A endclass
+class Dead isa !A & A endclass
+)");
+  SchemaAnalysis analysis = Analyze(schema, /*lint=*/false);
+  EXPECT_TRUE(analysis.diagnostics.empty());
+  EXPECT_TRUE(analysis.class_unsat[schema.LookupClass("Dead")]);
+  EXPECT_EQ(analysis.depends_on.size(),
+            static_cast<size_t>(schema.num_classes()));
+}
+
+TEST(AnalyzerRules, DiagnosticsAreSortedBySourcePosition) {
+  std::string text = ReadExample("lint/disjoint_inherited.car");
+  ASSERT_FALSE(text.empty());
+  SchemaAnalysis analysis = Analyze(ParseOrDie(text));
+  for (size_t i = 1; i < analysis.diagnostics.size(); ++i) {
+    const SourceSpan& prev = analysis.diagnostics[i - 1].span;
+    const SourceSpan& next = analysis.diagnostics[i].span;
+    if (!prev.known() || !next.known()) continue;
+    EXPECT_LE(std::make_pair(prev.line, prev.column),
+              std::make_pair(next.line, next.column));
+  }
+}
+
+// --- Dependency adjacency and sub-schema projection ---------------------
+
+TEST(SubSchemaTest, ProjectionKeepsDependencyClosureOnly) {
+  Schema schema = ParseOrDie(R"(
+class A endclass
+class B isa A endclass
+class C
+  attributes
+    link : (1, 2) B
+endclass
+class Island endclass
+)");
+  SchemaAnalysis analysis = Analyze(schema);
+
+  SubSchemaRequest request;
+  request.seed_classes.push_back(schema.LookupClass("C"));
+  std::optional<SubSchema> sub =
+      BuildSubSchema(schema, analysis.depends_on, request);
+  ASSERT_TRUE(sub.has_value());
+  // C depends on B (range), B on A (isa); Island is dropped.
+  EXPECT_EQ(sub->kept_classes.size(), 3u);
+  EXPECT_EQ(sub->schema.num_classes(), 3);
+  EXPECT_EQ(sub->schema.LookupClass("Island"), kInvalidId);
+  ASSERT_TRUE(sub->schema.Validate().ok());
+
+  // The projection preserves satisfiability verdicts for kept classes.
+  Reasoner full(&schema, ReasonerOptions{});
+  Reasoner projected(&sub->schema, ReasonerOptions{});
+  for (ClassId kept : sub->kept_classes) {
+    Result<bool> expected = full.IsClassSatisfiable(kept);
+    Result<bool> actual =
+        projected.IsClassSatisfiable(sub->class_map[kept]);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(actual.ok());
+    EXPECT_EQ(expected.value(), actual.value())
+        << "class " << schema.ClassName(kept);
+  }
+}
+
+TEST(SubSchemaTest, MaxClassesDeclinesOversizedClosures) {
+  Schema schema = ParseOrDie(R"(
+class A endclass
+class B isa A endclass
+class C isa B endclass
+)");
+  SchemaAnalysis analysis = Analyze(schema);
+  SubSchemaRequest request;
+  request.seed_classes.push_back(schema.LookupClass("C"));
+  request.max_classes = 2;
+  EXPECT_FALSE(
+      BuildSubSchema(schema, analysis.depends_on, request).has_value());
+}
+
+TEST(SubSchemaTest, ParticipationsPullInRelationAndRoleFormulas) {
+  Schema schema = ParseOrDie(R"(
+class A endclass
+class B endclass
+relation R(src, dst)
+  constraints
+    (src : A); (dst : B)
+endrelation
+class P
+  participates_in
+    R[src] : (1, 3)
+endclass
+class Unrelated endclass
+)");
+  SchemaAnalysis analysis = Analyze(schema);
+  SubSchemaRequest request;
+  request.seed_classes.push_back(schema.LookupClass("P"));
+  std::optional<SubSchema> sub =
+      BuildSubSchema(schema, analysis.depends_on, request);
+  ASSERT_TRUE(sub.has_value());
+  ASSERT_TRUE(sub->schema.Validate().ok());
+  EXPECT_EQ(sub->kept_relations.size(), 1u);
+  // A and B ride in via R's role clauses; Unrelated stays out.
+  EXPECT_NE(sub->schema.LookupClass("A"), kInvalidId);
+  EXPECT_NE(sub->schema.LookupClass("B"), kInvalidId);
+  EXPECT_EQ(sub->schema.LookupClass("Unrelated"), kInvalidId);
+}
+
+}  // namespace
+}  // namespace car

@@ -5,6 +5,14 @@
 //   car_tool print <schema-file>         canonical pretty-print
 //   car_tool stats <schema-file>         fragment, clusters, expansion sizes
 //   car_tool model <schema-file>         synthesize & dump a database state
+//   car_tool lint <schema-file>          static schema analysis: paper-
+//                                        derived diagnostics (isa cycles,
+//                                        inherited cardinality
+//                                        contradictions, unsatisfiable
+//                                        classes, dead relations,
+//                                        redundant isa edges) with source
+//                                        spans; --format=json for tooling,
+//                                        --werror promotes warnings
 //   car_tool reify <schema-file>         print the Theorem-4.5 reification
 //   car_tool implications <schema-file> <class>
 //                                        implied superclasses, disjointness
@@ -39,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "core/car.h"
 #include "reasoner/incremental.h"
 #include "reasoner/unrestricted.h"
@@ -58,6 +67,10 @@ int g_num_threads = 1;
 std::string g_queries_path;
 /// Answer the `query` batch from scratch instead of incrementally.
 bool g_from_scratch = false;
+/// Output format of the `lint` command ("text" or "json"); --format=.
+std::string g_format = "text";
+/// Promote lint warnings to errors (exit-code relevant); --werror.
+bool g_werror = false;
 /// Governor settings; 0 = unlimited. Set by the --deadline-ms=,
 /// --memory-budget-mb= and --work-budget= flags.
 uint64_t g_deadline_ms = 0;
@@ -107,6 +120,8 @@ int Usage() {
          "  check <file>                validate + satisfiability report\n"
          "  print <file>                canonical pretty-print\n"
          "  stats <file>                fragment, clusters, expansion\n"
+         "  lint <file>                 static analysis diagnostics\n"
+         "                              (--format=text|json, --werror)\n"
          "  model <file>                synthesize a database state\n"
          "  reify <file>                reify n-ary relations (Thm 4.5)\n"
          "  implications <file> <class> implied facts about one class\n"
@@ -124,14 +139,19 @@ int Usage() {
          "  --queries=<file>            query file for the `query` command\n"
          "  --from-scratch              `query` only: disable the\n"
          "                              incremental engine\n"
+         "  --format=text|json          `lint` only: output format\n"
+         "  --werror                    `lint` only: treat warnings as\n"
+         "                              errors\n"
          "  --threads=N                 worker threads (1 = serial,\n"
          "                              0 = hardware concurrency)\n"
          "  --deadline-ms=N             abort after N milliseconds\n"
          "  --memory-budget-mb=N        bound tracked allocations to N MiB\n"
          "  --work-budget=N             bound abstract work units to N\n"
          "exit codes:\n"
-         "  0  success; for `check`: every class satisfiable\n"
-         "  1  `check` only: some class is unsatisfiable\n"
+         "  0  success; for `check`: every class satisfiable; for\n"
+         "     `lint`: no errors (warnings and notes allowed)\n"
+         "  1  `check`: some class is unsatisfiable; `lint`: at least\n"
+         "     one error-severity diagnostic (with --werror: or warning)\n"
          "  2  unknown: a deadline/budget/limit tripped first\n"
          "     (a one-line `UNKNOWN: limit=... phase=... count=...`\n"
          "     report is printed on stdout)\n"
@@ -401,6 +421,44 @@ Result<ImplicationQuery> ParseQueryLine(
   return InvalidArgument(StrCat("bad query '", op, "' (or wrong arity)"));
 }
 
+/// `lint <file>`: runs the static analyzer with the lint passes enabled
+/// and prints every diagnostic, sorted by source position. Exit code 0
+/// when no error-severity diagnostic was found, 1 otherwise; --werror
+/// promotes warnings to errors before that decision.
+int Lint(Schema& schema, const std::string& path) {
+  AnalyzerOptions options;
+  options.lint = true;
+  SchemaAnalysis analysis = AnalyzeSchema(schema, options);
+  std::vector<Diagnostic> diagnostics = std::move(analysis.diagnostics);
+  if (g_werror) {
+    for (Diagnostic& diagnostic : diagnostics) {
+      if (diagnostic.severity == DiagnosticSeverity::kWarning) {
+        diagnostic.severity = DiagnosticSeverity::kError;
+      }
+    }
+    SortDiagnostics(&diagnostics);
+  }
+  DiagnosticCounts counts = CountDiagnostics(diagnostics);
+  if (g_format == "json") {
+    std::cout << "{\"file\":\"" << path << "\",\"diagnostics\":[";
+    for (size_t i = 0; i < diagnostics.size(); ++i) {
+      if (i > 0) std::cout << ",";
+      std::cout << RenderDiagnosticJson(diagnostics[i], path);
+    }
+    std::cout << "],\"errors\":" << counts.errors
+              << ",\"warnings\":" << counts.warnings
+              << ",\"notes\":" << counts.notes << "}\n";
+  } else {
+    for (const Diagnostic& diagnostic : diagnostics) {
+      std::cout << RenderDiagnosticText(diagnostic, path) << "\n";
+    }
+    std::cout << "lint: " << counts.errors << " error(s), "
+              << counts.warnings << " warning(s), " << counts.notes
+              << " note(s)\n";
+  }
+  return counts.errors > 0 ? kExitUnsat : kExitSat;
+}
+
 int Query(Schema& schema) {
   if (g_queries_path.empty()) {
     std::cerr << "`query` needs --queries=<file>\n";
@@ -454,6 +512,8 @@ int Query(Schema& schema) {
   if (const IncrementalSession* session = reasoner.incremental_session()) {
     IncrementalStats stats = session->stats();
     std::cout << "incremental: queries=" << stats.queries
+              << " closure-hits=" << stats.closure_hits
+              << " cluster-local=" << stats.cluster_local
               << " memo-hits=" << stats.memo_hits
               << " memo-misses=" << stats.memo_misses
               << " probes=" << stats.probes
@@ -517,6 +577,18 @@ int Run(int argc, char** argv) {
       g_from_scratch = true;
       continue;
     }
+    if (arg.rfind("--format=", 0) == 0) {
+      g_format = arg.substr(9);
+      if (g_format != "text" && g_format != "json") {
+        std::cerr << "bad --format value '" << arg << "'\n";
+        return Usage();
+      }
+      continue;
+    }
+    if (arg == "--werror") {
+      g_werror = true;
+      continue;
+    }
     args.push_back(std::move(arg));
   }
   if (args.size() < 2) return Usage();
@@ -540,6 +612,7 @@ int Run(int argc, char** argv) {
     return Implications(*schema, args[2]);
   }
   if (command == "query") return Query(*schema);
+  if (command == "lint") return Lint(*schema, args[1]);
   return Usage();
 }
 

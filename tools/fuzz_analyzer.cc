@@ -1,0 +1,65 @@
+// libFuzzer harness for the static schema analyzer.
+//
+// Feeds arbitrary bytes to ParseSchema and, whenever they parse, runs
+// the full analyzer (lint passes included) and checks its structural
+// invariants: the per-class/per-relation result vectors have exactly
+// schema-sized extents, the dependency adjacency stays in range, and
+// every diagnostic carries a well-formed source span — unknown, or
+// 1-based line/column with the line inside the input text. Crashes,
+// sanitizer reports and invariant violations are the findings; the
+// soundness of the verdicts themselves is covered by the differential
+// tests, not the fuzzer.
+//
+// Build (Clang only): cmake -DCAR_BUILD_FUZZERS=ON, then run
+//   ./build/tools/fuzz_analyzer -max_total_time=60 examples/schemas
+// seeding from the example corpus (examples/schemas/lint included).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "frontend/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  car::Result<car::Schema> schema = car::ParseSchema(text);
+  if (!schema.ok()) return 0;
+
+  car::AnalyzerOptions options;
+  options.lint = true;
+  car::SchemaAnalysis analysis = car::AnalyzeSchema(*schema, options);
+
+  const size_t num_classes = static_cast<size_t>(schema->num_classes());
+  const size_t num_relations = static_cast<size_t>(schema->num_relations());
+  if (analysis.class_unsat.size() != num_classes ||
+      analysis.relation_dead.size() != num_relations ||
+      analysis.depends_on.size() != num_classes) {
+    std::fprintf(stderr, "analysis vectors mismatch schema extents\n");
+    __builtin_trap();
+  }
+  for (const auto& deps : analysis.depends_on) {
+    for (car::ClassId dep : deps) {
+      if (dep < 0 || static_cast<size_t>(dep) >= num_classes) {
+        std::fprintf(stderr, "depends_on id out of range: %d\n", dep);
+        __builtin_trap();
+      }
+    }
+  }
+
+  const int num_lines =
+      1 + static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+  for (const car::Diagnostic& diagnostic : analysis.diagnostics) {
+    if (!diagnostic.span.known()) continue;
+    if (diagnostic.span.line < 1 || diagnostic.span.column < 1 ||
+        diagnostic.span.line > num_lines) {
+      std::fprintf(stderr, "diagnostic [%s] has invalid span %d:%d\n",
+                   diagnostic.rule.c_str(), diagnostic.span.line,
+                   diagnostic.span.column);
+      __builtin_trap();
+    }
+  }
+  return 0;
+}
