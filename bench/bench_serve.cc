@@ -1,0 +1,440 @@
+// EXP-R driver: traffic replay against the car_serve serving stack.
+//
+// Workload: four tenants (chain, clustered and hierarchy schemas, each
+// with an A/B mutation variant) driven through a deterministic
+// open/query/mutate trace against an in-process serve::Server. Every
+// request makes the full wire round trip — encode, decode, dispatch,
+// encode, decode — so the measured latency includes the codec. Every
+// query batch is cross-checked against a from-scratch offline reasoner
+// (incremental machinery disabled) on the same schema variant: a single
+// differing or degraded answer fails the run.
+//
+// The quantities of interest are the request-latency percentiles
+// (p50/p95/p99) split by warm vs cold query batches — a cold batch is
+// the first one after a tenant was (re)built cold, and pays the base
+// expansion + Ψ snapshot; warm batches ride the resident session — plus
+// the cache hit rates. One JSON-lines record per scope lands in
+// BENCH_serve.json; the CI smoke gate requires identical answers and
+// warm p50 <= cold p50.
+//
+// Usage: bench_serve [--threads=N] [--smoke] [--out=FILE]
+//   --smoke  CI workload: 4 tenants, 8 rounds x 8 queries (256 queries)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/strings.h"
+#include "bench_json.h"
+#include "frontend/printer.h"
+#include "reasoner/query_text.h"
+#include "reasoner/reasoner.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+/// One mutation variant of a tenant: the generated schema, its canonical
+/// text (what the trace ships to the server), a pool of textual queries,
+/// and the lazily-filled offline answer key.
+struct Variant {
+  std::unique_ptr<Schema> schema;
+  std::string text;
+  std::vector<std::string> query_pool;
+  std::map<std::string, bool> offline_answers;
+};
+
+struct Tenant {
+  std::string name;
+  Variant variants[2];
+  int active_variant = 0;
+  /// The next query batch pays the cold base build.
+  bool next_batch_cold = true;
+};
+
+/// Deterministic pool of textual queries drawn from the schema's own
+/// names, mixing every query kind the format supports.
+std::vector<std::string> MakeQueryPool(const Schema& schema, Rng* rng,
+                                       int count) {
+  std::vector<std::string> pool;
+  auto class_name = [&](int) {
+    return schema.ClassName(
+        static_cast<ClassId>(rng->NextBelow(schema.num_classes())));
+  };
+  while (static_cast<int>(pool.size()) < count) {
+    std::string line;
+    switch (rng->NextBelow(schema.num_relations() > 0 ? 6 : 4)) {
+      case 0:
+        line = StrCat("isa ", class_name(0), " ", class_name(1));
+        break;
+      case 1:
+        line = StrCat("disjoint ", class_name(0), " ", class_name(1));
+        break;
+      case 2:
+      case 3: {
+        if (schema.num_attributes() == 0) continue;
+        const std::string& attribute = schema.AttributeName(
+            static_cast<AttributeId>(rng->NextBelow(schema.num_attributes())));
+        std::string term = rng->NextBelow(4) == 0
+                               ? StrCat("inv:", attribute)
+                               : attribute;
+        if (rng->NextBelow(2) == 0) {
+          line = StrCat("min-card ", class_name(0), " ", term, " ",
+                        1 + rng->NextBelow(3));
+        } else {
+          uint64_t bound = 1 + rng->NextBelow(3);
+          line = StrCat("max-card ", class_name(0), " ", term, " ",
+                        rng->NextBelow(4) == 0 ? "inf"
+                                               : std::to_string(bound));
+        }
+        break;
+      }
+      default: {
+        RelationId relation = static_cast<RelationId>(
+            rng->NextBelow(schema.num_relations()));
+        const RelationDefinition* definition =
+            schema.relation_definition(relation);
+        const std::string& role = schema.RoleName(
+            definition->roles[rng->NextBelow(definition->roles.size())]);
+        const char* kind =
+            rng->NextBelow(2) == 0 ? "min-part" : "max-part";
+        line = StrCat(kind, " ", class_name(0), " ",
+                      schema.RelationName(relation), " ", role, " ",
+                      1 + rng->NextBelow(2));
+        break;
+      }
+    }
+    pool.push_back(std::move(line));
+  }
+  return pool;
+}
+
+Variant MakeVariant(Schema schema, uint64_t pool_seed, int pool_size) {
+  Variant variant;
+  variant.schema = std::make_unique<Schema>(std::move(schema));
+  variant.text = PrintSchema(*variant.schema);
+  Rng rng(pool_seed);
+  variant.query_pool = MakeQueryPool(*variant.schema, &rng, pool_size);
+  return variant;
+}
+
+/// Offline ground truth: a from-scratch reasoner (no incremental
+/// machinery, no governor) answers each distinct query line once.
+Result<bool> OfflineAnswer(Variant* variant, const std::string& line) {
+  auto memo = variant->offline_answers.find(line);
+  if (memo != variant->offline_answers.end()) return memo->second;
+  std::vector<std::string> tokens = TokenizeQueryLine(line);
+  CAR_ASSIGN_OR_RETURN(ImplicationQuery query,
+                       ParseQueryTokens(*variant->schema, tokens));
+  Reasoner scratch(variant->schema.get());
+  CAR_ASSIGN_OR_RETURN(bool answer, scratch.RunImplicationQuery(query));
+  variant->offline_answers[line] = answer;
+  return answer;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p / 100.0 * values.size());
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+/// Ships one request over the full codec path and times the round trip.
+/// Any codec asymmetry shows up as a decode failure here.
+serve::Response RoundTrip(serve::Server* server,
+                          const serve::Request& request,
+                          double* latency_ms, bool* wire_ok) {
+  auto start = std::chrono::steady_clock::now();
+  auto decoded_request =
+      serve::DecodeRequest(serve::EncodeRequest(request));
+  if (!decoded_request.ok()) {
+    *wire_ok = false;
+    return serve::ErrorResponse{decoded_request.status().code(),
+                                decoded_request.status().message()};
+  }
+  serve::Response response = server->Handle(decoded_request.value());
+  auto decoded_response =
+      serve::DecodeResponse(serve::EncodeResponse(response));
+  *latency_ms = MillisSince(start);
+  if (!decoded_response.ok() || decoded_response.value() != response) {
+    *wire_ok = false;
+    return response;
+  }
+  return decoded_response.value();
+}
+
+int Main(int argc, char** argv) {
+  int num_threads = 1;
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+
+  const int rounds = smoke ? 8 : 16;
+  const int batch_size = smoke ? 8 : 16;
+  const int pool_size = smoke ? 24 : 48;
+
+  // Four tenants across three schema families; the B variant of each is
+  // a structurally different schema, so a mutation really rebuilds.
+  std::vector<Tenant> tenants;
+  {
+    Rng rng(17);
+    Tenant chain;
+    chain.name = "t-chain";
+    chain.variants[0] = MakeVariant(
+        GenerateChainSchema({smoke ? 6 : 12, 2}), 101, pool_size);
+    chain.variants[1] = MakeVariant(
+        GenerateChainSchema({smoke ? 7 : 14, 3}), 102, pool_size);
+    tenants.push_back(std::move(chain));
+
+    Tenant clustered;
+    clustered.name = "t-clustered";
+    clustered.variants[0] = MakeVariant(
+        GenerateClusteredSchema(&rng, {2, 3, 2, false}), 201, pool_size);
+    clustered.variants[1] = MakeVariant(
+        GenerateClusteredSchema(&rng, {3, 3, 2, false}), 202, pool_size);
+    tenants.push_back(std::move(clustered));
+
+    Tenant hierarchy;
+    hierarchy.name = "t-hierarchy";
+    hierarchy.variants[0] = MakeVariant(
+        GenerateHierarchy(&rng, {smoke ? 9 : 15, 1, 3}), 301, pool_size);
+    hierarchy.variants[1] = MakeVariant(
+        GenerateHierarchy(&rng, {smoke ? 10 : 18, 2, 3}), 302, pool_size);
+    tenants.push_back(std::move(hierarchy));
+
+    Tenant chain2;
+    chain2.name = "t-chain-wide";
+    chain2.variants[0] = MakeVariant(
+        GenerateChainSchema({smoke ? 5 : 10, 4}), 401, pool_size);
+    chain2.variants[1] = MakeVariant(
+        GenerateChainSchema({smoke ? 6 : 11, 4}), 402, pool_size);
+    tenants.push_back(std::move(chain2));
+  }
+
+  serve::ServerOptions server_options;
+  server_options.num_threads = num_threads;
+  serve::Server server(server_options);
+
+  std::vector<double> open_ms;
+  std::vector<double> query_cold_ms;
+  std::vector<double> query_warm_ms;
+  uint64_t total_queries = 0;
+  uint64_t wrong_answers = 0;
+  uint64_t degraded_batches = 0;
+  bool wire_ok = true;
+
+  auto open_tenant = [&](Tenant* tenant, int variant,
+                         bool expect_warm) -> bool {
+    serve::OpenRequest open;
+    open.name = tenant->name;
+    open.schema_text = tenant->variants[variant].text;
+    double latency = 0.0;
+    serve::Response response =
+        RoundTrip(&server, open, &latency, &wire_ok);
+    auto* opened = std::get_if<serve::OpenedResponse>(&response);
+    if (opened == nullptr) {
+      std::fprintf(stderr, "open '%s' failed\n", tenant->name.c_str());
+      return false;
+    }
+    open_ms.push_back(latency);
+    if (opened->warm != expect_warm) {
+      std::fprintf(stderr, "open '%s': warm=%d, expected %d\n",
+                   tenant->name.c_str(), opened->warm ? 1 : 0,
+                   expect_warm ? 1 : 0);
+      return false;
+    }
+    tenant->active_variant = variant;
+    if (!opened->warm) tenant->next_batch_cold = true;
+    return true;
+  };
+
+  for (int round = 0; round < rounds; ++round) {
+    for (Tenant& tenant : tenants) {
+      // Trace shape per tenant and round: open cold once, re-open warm
+      // mid-trace, toggle the variant (a cold mutation) at the half-way
+      // and three-quarter marks.
+      if (round == 0) {
+        if (!open_tenant(&tenant, 0, /*expect_warm=*/false)) return 1;
+      } else if (round == rounds / 4) {
+        if (!open_tenant(&tenant, tenant.active_variant,
+                         /*expect_warm=*/true)) {
+          return 1;
+        }
+      } else if (round == rounds / 2 || round == (3 * rounds) / 4) {
+        serve::MutateRequest mutate;
+        mutate.name = tenant.name;
+        int next = 1 - tenant.active_variant;
+        mutate.schema_text = tenant.variants[next].text;
+        double latency = 0.0;
+        serve::Response response =
+            RoundTrip(&server, mutate, &latency, &wire_ok);
+        auto* opened = std::get_if<serve::OpenedResponse>(&response);
+        if (opened == nullptr || opened->warm) {
+          std::fprintf(stderr, "mutate '%s' did not rebuild cold\n",
+                       tenant.name.c_str());
+          return 1;
+        }
+        open_ms.push_back(latency);
+        tenant.active_variant = next;
+        tenant.next_batch_cold = true;
+      }
+
+      Variant& variant = tenant.variants[tenant.active_variant];
+      serve::QueryRequest query;
+      query.name = tenant.name;
+      for (int i = 0; i < batch_size; ++i) {
+        size_t pick = (static_cast<size_t>(round) * 7 +
+                       static_cast<size_t>(i) * 3) %
+                      variant.query_pool.size();
+        query.queries.push_back(variant.query_pool[pick]);
+      }
+
+      double latency = 0.0;
+      serve::Response response =
+          RoundTrip(&server, query, &latency, &wire_ok);
+      auto* answers = std::get_if<serve::AnswersResponse>(&response);
+      if (answers == nullptr) {
+        std::fprintf(stderr, "query '%s' failed\n", tenant.name.c_str());
+        return 1;
+      }
+      if (answers->degraded) {
+        ++degraded_batches;
+        continue;
+      }
+      (tenant.next_batch_cold ? query_cold_ms : query_warm_ms)
+          .push_back(latency);
+      tenant.next_batch_cold = false;
+      total_queries += query.queries.size();
+
+      for (size_t i = 0; i < query.queries.size(); ++i) {
+        auto expected = OfflineAnswer(&variant, query.queries[i]);
+        if (!expected.ok()) {
+          std::fprintf(stderr, "offline: %s\n",
+                       expected.status().ToString().c_str());
+          return 1;
+        }
+        if ((answers->answers[i] == 1) != expected.value()) {
+          ++wrong_answers;
+          std::fprintf(stderr, "ANSWER MISMATCH '%s' query '%s'\n",
+                       tenant.name.c_str(), query.queries[i].c_str());
+        }
+      }
+    }
+  }
+
+  serve::StatsResponse stats = server.StatsSnapshot();
+  const double cold_p50 = Percentile(query_cold_ms, 50);
+  const double warm_p50 = Percentile(query_warm_ms, 50);
+  const bool answers_identical = wrong_answers == 0 && wire_ok;
+
+  std::printf("EXP-R: car_serve traffic replay (threads=%d%s)\n\n",
+              num_threads, smoke ? ", smoke" : "");
+  std::printf("| scope | count | p50 (ms) | p95 (ms) | p99 (ms) |\n");
+  std::printf("|---|---|---|---|---|\n");
+  bench::JsonLinesFile out(out_path);
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
+    return 1;
+  }
+  struct Scope {
+    const char* name;
+    const std::vector<double>* values;
+  };
+  for (const Scope& scope :
+       {Scope{"open", &open_ms}, Scope{"query_cold", &query_cold_ms},
+        Scope{"query_warm", &query_warm_ms}}) {
+    std::printf("| %s | %zu | %.2f | %.2f | %.2f |\n", scope.name,
+                scope.values->size(), Percentile(*scope.values, 50),
+                Percentile(*scope.values, 95),
+                Percentile(*scope.values, 99));
+    bench::JsonRecord record;
+    record.Add("bench", "serve")
+        .Add("scope", scope.name)
+        .Add("threads", num_threads)
+        .Add("smoke", smoke)
+        .Add("count", static_cast<uint64_t>(scope.values->size()))
+        .Add("p50_ms", Percentile(*scope.values, 50))
+        .Add("p95_ms", Percentile(*scope.values, 95))
+        .Add("p99_ms", Percentile(*scope.values, 99));
+    out.Write(record);
+  }
+
+  const double hit_rate =
+      stats.lookup_hits + stats.lookup_misses > 0
+          ? static_cast<double>(stats.lookup_hits) /
+                static_cast<double>(stats.lookup_hits +
+                                    stats.lookup_misses)
+          : 0.0;
+  bench::JsonRecord summary;
+  summary.Add("bench", "serve")
+      .Add("scope", "summary")
+      .Add("threads", num_threads)
+      .Add("smoke", smoke)
+      .Add("tenants", static_cast<uint64_t>(tenants.size()))
+      .Add("queries", total_queries)
+      .Add("answers_identical", answers_identical)
+      .Add("degraded_batches", degraded_batches)
+      .Add("warm_p50_ms", warm_p50)
+      .Add("cold_p50_ms", cold_p50)
+      .Add("warm_vs_cold", cold_p50 > 0 ? warm_p50 / cold_p50 : 0.0)
+      .Add("opens", stats.opens)
+      .Add("warm_opens", stats.warm_opens)
+      .Add("replacements", stats.replacements)
+      .Add("evictions", stats.evictions)
+      .Add("lookup_hit_rate", hit_rate)
+      .Add("sessions", stats.sessions)
+      .Add("resident_bytes", stats.resident_bytes);
+  out.Write(summary);
+
+  std::printf("\n%llu queries over %zu tenants; warm p50 %.2f ms vs cold "
+              "p50 %.2f ms; lookup hit rate %.2f; %llu wrong answer(s)\n",
+              static_cast<unsigned long long>(total_queries),
+              tenants.size(), warm_p50, cold_p50, hit_rate,
+              static_cast<unsigned long long>(wrong_answers));
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!answers_identical) {
+    std::fprintf(stderr, "FAIL: served answers differ from offline (or "
+                         "wire round trip broke)\n");
+    return 1;
+  }
+  if (degraded_batches != 0) {
+    std::fprintf(stderr, "FAIL: unexpected degraded batches\n");
+    return 1;
+  }
+  if (!query_warm_ms.empty() && !query_cold_ms.empty() &&
+      warm_p50 > cold_p50) {
+    std::fprintf(stderr, "FAIL: warm p50 above cold p50\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace car
+
+int main(int argc, char** argv) { return car::Main(argc, argv); }

@@ -56,6 +56,46 @@ Status LimitTripStatus(LimitKind kind, const char* phase, uint64_t limit,
   return report.ToStatus();
 }
 
+uint8_t LimitKindToWire(LimitKind kind) {
+  return static_cast<uint8_t>(kind);
+}
+
+LimitKind LimitKindFromWire(uint8_t value) {
+  if (value > static_cast<uint8_t>(LimitKind::kMaxCandidates)) {
+    return LimitKind::kNone;
+  }
+  return static_cast<LimitKind>(value);
+}
+
+AdmissionLimits AdmissionLimits::Tighten(const AdmissionLimits& a,
+                                         const AdmissionLimits& b) {
+  // 0 = unlimited for the budgets, kNoInjection = disabled for the
+  // injection threshold: in both cases the configured side wins, and two
+  // configured sides take the minimum.
+  auto tighter = [](uint64_t x, uint64_t y, uint64_t none) {
+    if (x == none) return y;
+    if (y == none) return x;
+    return std::min(x, y);
+  };
+  AdmissionLimits result;
+  result.deadline_ms = tighter(a.deadline_ms, b.deadline_ms, 0);
+  result.work_budget = tighter(a.work_budget, b.work_budget, 0);
+  result.memory_budget_bytes =
+      tighter(a.memory_budget_bytes, b.memory_budget_bytes, 0);
+  result.inject_after =
+      tighter(a.inject_after, b.inject_after, kNoInjection);
+  return result;
+}
+
+void AdmissionLimits::ConfigureContext(ExecContext* context) const {
+  if (deadline_ms > 0) {
+    context->SetDeadlineAfter(std::chrono::milliseconds(deadline_ms));
+  }
+  if (work_budget > 0) context->SetWorkBudget(work_budget);
+  if (memory_budget_bytes > 0) context->SetMemoryBudget(memory_budget_bytes);
+  if (inject_after != kNoInjection) context->InjectTripAfter(inject_after);
+}
+
 void ExecContext::set_deadline(
     std::chrono::steady_clock::time_point deadline) {
   auto now = std::chrono::steady_clock::now();

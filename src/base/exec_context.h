@@ -106,6 +106,44 @@ struct LimitReport {
 Status LimitTripStatus(LimitKind kind, const char* phase, uint64_t limit,
                        uint64_t count);
 
+/// Stable single-byte encoding of a LimitKind for wire protocols and
+/// persisted artifacts. The values are the enum values today, but the
+/// codec is the contract: kinds are append-only and never renumbered.
+uint8_t LimitKindToWire(LimitKind kind);
+/// Decodes a wire byte; out-of-range values yield LimitKind::kNone (the
+/// caller sees "no limit" rather than garbage).
+LimitKind LimitKindFromWire(uint8_t value);
+
+class ExecContext;
+
+/// The resource limits one admitted request is allowed to consume. This
+/// is the admission-control vocabulary of the serving layer: a transport
+/// ships AdmissionLimits with each request, the server tightens them
+/// against its own per-request caps, and the result configures the fresh
+/// ExecContext the request runs under. 0 means unlimited for the three
+/// budgets; kNoInjection disables fault injection (0 trips on the first
+/// charge, making every admission abort path testable).
+struct AdmissionLimits {
+  static constexpr uint64_t kNoInjection = ~uint64_t{0};
+
+  uint64_t deadline_ms = 0;
+  uint64_t work_budget = 0;
+  uint64_t memory_budget_bytes = 0;
+  /// Deterministic fault injection threshold (tests only).
+  uint64_t inject_after = kNoInjection;
+
+  bool operator==(const AdmissionLimits&) const = default;
+
+  /// The pointwise-tightest combination: for each budget the smaller
+  /// configured value wins (an unlimited side defers to the other).
+  static AdmissionLimits Tighten(const AdmissionLimits& a,
+                                 const AdmissionLimits& b);
+
+  /// Applies the configured limits to a fresh context. Call once, before
+  /// the governed work starts.
+  void ConfigureContext(ExecContext* context) const;
+};
+
 /// The execution context of one governed request: a monotonic deadline, a
 /// cooperative cancellation token, byte/work budgets and a deterministic
 /// fault-injection hook, plus the LimitReport of the first limit that

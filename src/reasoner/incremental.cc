@@ -462,6 +462,44 @@ Result<bool> IncrementalSession::RunImplicationQuery(
   return static_cast<bool>(answers[0]);
 }
 
+void IncrementalSession::set_exec(ExecContext* exec) {
+  // Mirrors the constructor's propagation: the expansion and solver
+  // stages each read their own exec pointer.
+  options_.exec = exec;
+  options_.expansion.exec = exec;
+  options_.solver.exec = exec;
+}
+
+uint64_t IncrementalSession::EstimatedMemoryBytes() const {
+  // Order-of-magnitude per-component costs. Exact accounting is neither
+  // possible (allocator overhead, node-based containers) nor needed:
+  // eviction only ranks warm sessions against each other, so the
+  // estimate just has to be deterministic and monotone in the real
+  // footprint.
+  constexpr uint64_t kPerCompoundClass = 64;
+  constexpr uint64_t kPerCompoundEdge = 48;
+  constexpr uint64_t kPerTableauNonzero = 24;
+  constexpr uint64_t kPerMemoEntry = 48;
+  constexpr uint64_t kPerSchemaClass = 96;
+
+  uint64_t bytes = sizeof(*this);
+  bytes += static_cast<uint64_t>(schema_->num_classes()) * kPerSchemaClass;
+  if (base_expansion_.has_value()) {
+    bytes += base_expansion_->compound_classes.size() * kPerCompoundClass;
+    bytes +=
+        base_expansion_->compound_attributes.size() * kPerCompoundEdge;
+    bytes += base_expansion_->compound_relations.size() * kPerCompoundEdge;
+  }
+  if (psi_base_.has_value()) {
+    bytes += psi_base_->base_tableau_nonzeros * kPerTableauNonzero;
+  }
+  for (const auto& [key, answer] : memo_) {
+    (void)answer;
+    bytes += key.size() + kPerMemoEntry;
+  }
+  return bytes;
+}
+
 IncrementalStats IncrementalSession::stats() const {
   IncrementalStats stats;
   stats.queries = queries_;

@@ -104,6 +104,25 @@ class IncrementalSession {
   /// Snapshot of the session statistics.
   IncrementalStats stats() const;
 
+  // --- Serving lifecycle hooks -------------------------------------------
+  // A long-lived server multiplexes many requests over one warm session;
+  // these hooks let it swap the per-request governor in and out and cost
+  // the warm state for cache eviction (src/serve/session_cache.h).
+
+  /// Re-points the session's governor for subsequent calls (propagated
+  /// into the expansion and solver stages; null = ungoverned). The warm
+  /// base state and the memo survive — only the admission limits of the
+  /// next request change. Not thread-safe against a concurrent call into
+  /// the same session (the session's usual single-caller contract).
+  void set_exec(ExecContext* exec);
+
+  /// Deterministic order-of-magnitude estimate of the resident bytes of
+  /// the warm state (base expansion, Ψ snapshot, memo, analysis). Used to
+  /// rank sessions for memory-budget eviction, where only the relative
+  /// costs matter; identical for every thread count (all inputs are
+  /// schedule-independent counts and maxima).
+  uint64_t EstimatedMemoryBytes() const;
+
   /// Canonical memo key of a query: literal/clause order and
   /// duplication inside an ISA formula and the argument order of a
   /// disjointness query do not affect the answer, so they do not affect

@@ -1,0 +1,229 @@
+#ifndef CAR_SERVE_PROTOCOL_H_
+#define CAR_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "base/exec_context.h"
+#include "base/result.h"
+
+namespace car {
+namespace serve {
+
+/// The car_serve wire protocol: length-prefixed frames carrying one
+/// tagged, flat-binary message each.
+///
+///   frame   := u32-LE payload_length, payload
+///   payload := u8 tag, fields...
+///
+/// Field primitives are little-endian fixed-width integers (u8/u32/u64),
+/// strings (u32 length + raw bytes) and string lists (u32 count +
+/// strings). Every decoder is total: truncated, oversized or trailing
+/// bytes yield a structured error Status, never a crash — the decoder is
+/// fuzzed (tools/fuzz_wire.cc) and the framing cap bounds memory before
+/// any allocation happens. Tags and field orders are append-only: new
+/// message kinds get new tags, existing encodings never change.
+///
+/// The request/response vocabulary is deliberately small: a tenant opens
+/// (or replaces) a schema under a name, queries it with the textual
+/// implication-query lines of reasoner/query_text.h, mutates it by
+/// sending new schema text, and closes it. Admission limits ride along
+/// with every query; a server overloaded or out of budget answers
+/// `degraded` with a structured LimitReport instead of failing.
+
+/// Hard ceiling on a frame payload unless a transport configures a
+/// smaller one. Large enough for any realistic schema text, small enough
+/// that a hostile length prefix cannot balloon memory.
+constexpr uint32_t kDefaultMaxFramePayload = 8u << 20;
+
+// --- Requests -------------------------------------------------------------
+
+/// Liveness probe; echoed back in PongResponse.
+struct PingRequest {
+  uint64_t token = 0;
+  bool operator==(const PingRequest&) const = default;
+};
+
+/// Creates or replaces the schema cached under `name`. Re-opening with
+/// text whose canonical form is unchanged keeps the warm session.
+struct OpenRequest {
+  std::string name;
+  std::string schema_text;
+  bool operator==(const OpenRequest&) const = default;
+};
+
+/// A batch of implication queries against an opened schema, one textual
+/// query per entry (reasoner/query_text.h syntax). The admission limits
+/// are tightened against the server's own per-request caps.
+struct QueryRequest {
+  std::string name;
+  AdmissionLimits limits;
+  std::vector<std::string> queries;
+  bool operator==(const QueryRequest&) const = default;
+};
+
+/// Replaces the schema of an existing tenant (errors if `name` is not
+/// open — an evicted tenant must re-open). Unchanged canonical text is a
+/// warm no-op, changed text rebuilds the session cold.
+struct MutateRequest {
+  std::string name;
+  std::string schema_text;
+  bool operator==(const MutateRequest&) const = default;
+};
+
+/// Drops the named session from the cache.
+struct CloseRequest {
+  std::string name;
+  bool operator==(const CloseRequest&) const = default;
+};
+
+/// Asks for the server/cache counters.
+struct StatsRequest {
+  bool operator==(const StatsRequest&) const = default;
+};
+
+/// Asks the server to stop accepting work; transports drain and exit.
+struct ShutdownRequest {
+  bool operator==(const ShutdownRequest&) const = default;
+};
+
+using Request = std::variant<PingRequest, OpenRequest, QueryRequest,
+                             MutateRequest, CloseRequest, StatsRequest,
+                             ShutdownRequest>;
+
+// --- Responses ------------------------------------------------------------
+
+struct PongResponse {
+  uint64_t token = 0;
+  bool operator==(const PongResponse&) const = default;
+};
+
+/// Result of Open/Mutate: the canonical-form fingerprint now serving the
+/// name, schema extents, and whether the warm session survived.
+struct OpenedResponse {
+  uint64_t fingerprint = 0;
+  uint32_t num_classes = 0;
+  uint32_t num_relations = 0;
+  bool warm = false;
+  bool operator==(const OpenedResponse&) const = default;
+};
+
+/// Per-batch statistics deltas of the incremental session that answered.
+struct QueryStatsDelta {
+  uint64_t probes = 0;
+  uint64_t memo_hits = 0;
+  uint64_t closure_hits = 0;
+  uint64_t cluster_local = 0;
+  uint64_t warm_starts = 0;
+  uint64_t fallbacks = 0;
+  bool operator==(const QueryStatsDelta&) const = default;
+};
+
+/// Answers for a QueryRequest. `degraded` is the admission-control
+/// outcome: a limit tripped before the batch finished, the answers are
+/// withheld (never partial, never wrong) and the structured LimitReport
+/// fields say which limit, where and at what count.
+struct AnswersResponse {
+  bool degraded = false;
+  /// One 0/1 byte per query, positionally aligned with the request;
+  /// empty when degraded.
+  std::vector<uint8_t> answers;
+  /// The LimitReport of the trip (meaningful when degraded).
+  LimitKind limit_kind = LimitKind::kNone;
+  std::string limit_phase;
+  uint64_t limit_value = 0;
+  uint64_t limit_count = 0;
+  QueryStatsDelta stats;
+  bool operator==(const AnswersResponse&) const = default;
+};
+
+/// A failed request: the canonical StatusCode and its message.
+struct ErrorResponse {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  bool operator==(const ErrorResponse&) const = default;
+};
+
+struct ClosedResponse {
+  bool existed = false;
+  bool operator==(const ClosedResponse&) const = default;
+};
+
+/// Server/cache counters (StatsRequest).
+struct StatsResponse {
+  uint64_t sessions = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t opens = 0;
+  uint64_t warm_opens = 0;
+  uint64_t replacements = 0;
+  uint64_t evictions = 0;
+  uint64_t lookup_hits = 0;
+  uint64_t lookup_misses = 0;
+  uint64_t requests = 0;
+  uint64_t query_batches = 0;
+  uint64_t queries = 0;
+  uint64_t degraded = 0;
+  uint64_t errors = 0;
+  bool operator==(const StatsResponse&) const = default;
+};
+
+struct ShuttingDownResponse {
+  bool operator==(const ShuttingDownResponse&) const = default;
+};
+
+using Response =
+    std::variant<PongResponse, OpenedResponse, AnswersResponse,
+                 ErrorResponse, ClosedResponse, StatsResponse,
+                 ShuttingDownResponse>;
+
+// --- Payload codec --------------------------------------------------------
+
+/// Serializes a message to a frame payload (tag + fields).
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+/// Total decoders: any byte string yields either a message or a
+/// structured error (kParseError for malformed framing/fields,
+/// kInvalidArgument for unknown tags). Decode(Encode(m)) == m for every
+/// message m.
+Result<Request> DecodeRequest(std::string_view payload);
+Result<Response> DecodeResponse(std::string_view payload);
+
+// --- Framing --------------------------------------------------------------
+
+/// Wraps a payload in a length-prefixed frame. The payload must fit the
+/// protocol ceiling (checked).
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame extractor for a byte stream. Feed arbitrary chunks
+/// with Append; Next yields complete payloads as they materialize. A
+/// frame whose length prefix is zero or exceeds the cap poisons the
+/// reader (framing cannot be resynchronized) and every further Next
+/// returns the same error.
+class FrameReader {
+ public:
+  explicit FrameReader(uint32_t max_payload = kDefaultMaxFramePayload);
+
+  void Append(const char* data, size_t size);
+
+  /// True: *payload holds the next complete frame payload. False: more
+  /// input is needed. Error: the stream is unframeable.
+  Result<bool> Next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed by Next.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  uint32_t max_payload_;
+  Status error_;
+};
+
+}  // namespace serve
+}  // namespace car
+
+#endif  // CAR_SERVE_PROTOCOL_H_

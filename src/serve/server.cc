@@ -1,0 +1,270 @@
+#include "serve/server.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/strings.h"
+#include "reasoner/query_text.h"
+
+namespace car {
+namespace serve {
+
+namespace {
+
+QueryStatsDelta Delta(const IncrementalStats& before,
+                      const IncrementalStats& after) {
+  QueryStatsDelta delta;
+  delta.probes = after.probes - before.probes;
+  delta.memo_hits = after.memo_hits - before.memo_hits;
+  delta.closure_hits = after.closure_hits - before.closure_hits;
+  delta.cluster_local = after.cluster_local - before.cluster_local;
+  delta.warm_starts = after.warm_starts - before.warm_starts;
+  delta.fallbacks = after.fallbacks - before.fallbacks;
+  return delta;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options), cache_([&options] {
+        SessionCacheOptions cache_options;
+        cache_options.max_sessions = options.max_sessions;
+        cache_options.memory_budget_bytes = options.memory_budget_bytes;
+        cache_options.reasoner.num_threads = options.num_threads;
+        cache_options.reasoner.prefilter = options.prefilter;
+        return cache_options;
+      }()) {}
+
+Response Server::Handle(const Request& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.requests;
+  return std::visit(
+      [this](const auto& message) -> Response {
+        using T = std::decay_t<decltype(message)>;
+        if constexpr (std::is_same_v<T, PingRequest>) {
+          return PongResponse{message.token};
+        } else if constexpr (std::is_same_v<T, OpenRequest>) {
+          return HandleOpen(message.name, message.schema_text);
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          return HandleQuery(message);
+        } else if constexpr (std::is_same_v<T, MutateRequest>) {
+          return HandleMutate(message);
+        } else if constexpr (std::is_same_v<T, CloseRequest>) {
+          return HandleClose(message);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          return HandleStats();
+        } else {
+          static_assert(std::is_same_v<T, ShutdownRequest>);
+          shutdown_.store(true, std::memory_order_release);
+          return ShuttingDownResponse{};
+        }
+      },
+      request);
+}
+
+StatsResponse Server::StatsSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::get<StatsResponse>(HandleStats());
+}
+
+Response Server::HandleOpen(const std::string& name,
+                            std::string_view text) {
+  if (name.empty()) return MakeError(InvalidArgument("empty tenant name"));
+  bool warm = false;
+  auto opened = cache_.Open(name, text, &warm);
+  if (!opened.ok()) return MakeError(opened.status());
+  const SessionEntry& entry = *opened.value();
+  OpenedResponse response;
+  response.fingerprint = entry.fingerprint;
+  response.num_classes = static_cast<uint32_t>(entry.schema->num_classes());
+  response.num_relations =
+      static_cast<uint32_t>(entry.schema->num_relations());
+  response.warm = warm;
+  return response;
+}
+
+Response Server::HandleQuery(const QueryRequest& request) {
+  SessionEntry* entry = cache_.Find(request.name);
+  if (entry == nullptr) {
+    return MakeError(
+        NotFound(StrCat("tenant '", request.name, "' is not open")));
+  }
+
+  // Parse every query line up front: a malformed line fails the whole
+  // batch (positional alignment of answers would be ambiguous otherwise).
+  std::vector<ImplicationQuery> queries;
+  queries.reserve(request.queries.size());
+  for (const std::string& line : request.queries) {
+    std::vector<std::string> tokens = TokenizeQueryLine(line);
+    if (tokens.empty()) {
+      return MakeError(
+          InvalidArgument(StrCat("empty query line '", line, "'")));
+    }
+    auto parsed = ParseQueryTokens(*entry->schema, tokens);
+    if (!parsed.ok()) {
+      return MakeError(Status(
+          parsed.status().code(),
+          StrCat("query '", line, "': ", parsed.status().message())));
+    }
+    queries.push_back(std::move(parsed.value()));
+  }
+
+  ++stats_.query_batches;
+  stats_.queries += queries.size();
+
+  // Admission control: a fresh one-shot governor per request, configured
+  // with the pointwise-tightest of the server caps and the request's own
+  // limits, swapped into the warm session for the duration of the batch.
+  ExecContext exec;
+  AdmissionLimits::Tighten(options_.request_limits, request.limits)
+      .ConfigureContext(&exec);
+  const IncrementalStats before = entry->session->stats();
+  entry->session->set_exec(&exec);
+  auto answers = entry->session->RunImplicationBatch(queries);
+  entry->session->set_exec(nullptr);
+  cache_.UpdateCost(entry);
+
+  AnswersResponse response;
+  response.stats = Delta(before, entry->session->stats());
+  if (!answers.ok()) {
+    if (!exec.tripped()) return MakeError(answers.status());
+    // Overload degradation: the batch is kUnknown, never partial or
+    // wrong. The structured LimitReport says which limit, where, and at
+    // what counter value.
+    const LimitReport report = exec.report();
+    ++stats_.degraded;
+    response.degraded = true;
+    response.limit_kind = report.kind;
+    response.limit_phase = report.phase;
+    response.limit_value = report.limit;
+    response.limit_count = report.count;
+    return response;
+  }
+  response.answers.reserve(answers.value().size());
+  for (bool answer : answers.value()) {
+    response.answers.push_back(answer ? 1 : 0);
+  }
+  return response;
+}
+
+Response Server::HandleMutate(const MutateRequest& request) {
+  if (cache_.Find(request.name) == nullptr) {
+    // Evicted or never opened: the tenant must re-open explicitly, so a
+    // mutation is never silently applied to a missing base.
+    return MakeError(
+        NotFound(StrCat("tenant '", request.name, "' is not open")));
+  }
+  return HandleOpen(request.name, request.schema_text);
+}
+
+Response Server::HandleClose(const CloseRequest& request) {
+  return ClosedResponse{cache_.Close(request.name)};
+}
+
+Response Server::HandleStats() {
+  const SessionCacheStats& cache = cache_.stats();
+  StatsResponse response;
+  response.sessions = cache_.resident_sessions();
+  response.resident_bytes = cache_.resident_bytes();
+  response.opens = cache.opens;
+  response.warm_opens = cache.warm_opens;
+  response.replacements = cache.replacements;
+  response.evictions = cache.evictions;
+  response.lookup_hits = cache.lookup_hits;
+  response.lookup_misses = cache.lookup_misses;
+  response.requests = stats_.requests;
+  response.query_batches = stats_.query_batches;
+  response.queries = stats_.queries;
+  response.degraded = stats_.degraded;
+  response.errors = stats_.errors;
+  return response;
+}
+
+Response Server::MakeError(const Status& status) {
+  ++stats_.errors;
+  ErrorResponse response;
+  response.code = status.code();
+  response.message = status.message();
+  return response;
+}
+
+// --- Stream transport -------------------------------------------------------
+
+namespace {
+
+Status WriteAll(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal,
+                    StrCat("write: ", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteResponse(int fd, const Response& response) {
+  return WriteAll(fd, EncodeFrame(EncodeResponse(response)));
+}
+
+}  // namespace
+
+Status ServeStream(Server* server, int in_fd, int out_fd,
+                   uint32_t max_frame_payload) {
+  FrameReader reader(max_frame_payload);
+  char chunk[4096];
+  std::string payload;
+  while (true) {
+    // Drain every complete frame already buffered before reading more.
+    while (true) {
+      auto next = reader.Next(&payload);
+      if (!next.ok()) {
+        // Unframeable stream: report once, then hang up (framing cannot
+        // be resynchronized).
+        ErrorResponse error;
+        error.code = next.status().code();
+        error.message = next.status().message();
+        (void)WriteResponse(out_fd, Response(std::move(error)));
+        return next.status();
+      }
+      if (!next.value()) break;  // Need more input.
+      auto request = DecodeRequest(payload);
+      if (!request.ok()) {
+        ErrorResponse error;
+        error.code = request.status().code();
+        error.message = request.status().message();
+        CAR_RETURN_IF_ERROR(
+            WriteResponse(out_fd, Response(std::move(error))));
+        continue;
+      }
+      Response response = server->Handle(request.value());
+      CAR_RETURN_IF_ERROR(WriteResponse(out_fd, response));
+      if (server->shutdown_requested()) return Status::Ok();
+    }
+    ssize_t n = ::read(in_fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal,
+                    StrCat("read: ", std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (reader.buffered() != 0) {
+        return ParseError(StrCat("connection closed mid-frame with ",
+                                 reader.buffered(), " byte(s) buffered"));
+      }
+      return Status::Ok();
+    }
+    reader.Append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace serve
+}  // namespace car

@@ -1,0 +1,106 @@
+#ifndef CAR_SERVE_SERVER_H_
+#define CAR_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "base/exec_context.h"
+#include "base/status.h"
+#include "serve/protocol.h"
+#include "serve/session_cache.h"
+
+namespace car {
+namespace serve {
+
+struct ServerOptions {
+  /// Worker threads used inside one query batch (ReasonerOptions
+  /// num_threads semantics: 1 = serial reference, 0 = hardware
+  /// concurrency). Answers are bit-identical for every value.
+  int num_threads = 1;
+  /// Static-analysis prefilter tiers of the incremental sessions.
+  bool prefilter = true;
+  /// Session-cache eviction policy.
+  uint64_t max_sessions = 64;
+  uint64_t memory_budget_bytes = 512ull << 20;
+  /// Server-side per-request caps; every QueryRequest's own limits are
+  /// tightened against these (the smaller configured value wins).
+  AdmissionLimits request_limits;
+};
+
+struct ServerStats {
+  uint64_t requests = 0;
+  uint64_t query_batches = 0;
+  uint64_t queries = 0;
+  /// Query batches degraded by admission control (limit tripped; answers
+  /// withheld).
+  uint64_t degraded = 0;
+  /// Requests answered with an ErrorResponse.
+  uint64_t errors = 0;
+};
+
+/// The multi-tenant reasoning server: a session cache of warm
+/// IncrementalSessions keyed by tenant name, request dispatch, and
+/// per-request admission control.
+///
+/// Handle() is thread-safe: a mutex serializes dispatch, so concurrent
+/// transports (one per connection) interleave whole requests.
+/// Parallelism *within* a batch comes from the deterministic thread pool
+/// inside the session (options.num_threads); because every answer is
+/// bit-identical for every thread count, the interleaving order of
+/// requests is the only schedule-visible effect, and per-tenant answers
+/// depend only on the request sequence of that tenant.
+///
+/// Overload discipline: admission limits never cause a wrong or partial
+/// answer. A tripped limit yields AnswersResponse{degraded=true} with
+/// the structured LimitReport and no answers; the warm session survives
+/// (its memo only ever holds fully-computed answers).
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Dispatches one request to a response. Never crashes on malformed
+  /// input; every failure is an ErrorResponse.
+  Response Handle(const Request& request);
+
+  /// True once a ShutdownRequest was handled; transports drain and exit.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the server + cache counters (same data as a
+  /// StatsRequest, for in-process callers like the bench driver).
+  StatsResponse StatsSnapshot();
+
+ private:
+  Response HandleOpen(const std::string& name, std::string_view text);
+  Response HandleQuery(const QueryRequest& request);
+  Response HandleMutate(const MutateRequest& request);
+  Response HandleClose(const CloseRequest& request);
+  Response HandleStats();
+
+  /// Wraps a non-OK status; counts it.
+  Response MakeError(const Status& status);
+
+  ServerOptions options_;
+  std::mutex mutex_;
+  SessionCache cache_;
+  ServerStats stats_;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// Runs the blocking frame loop of one connection: reads length-prefixed
+/// request frames from `in_fd`, dispatches them to the server, writes
+/// response frames to `out_fd`. Returns when the peer closes the stream
+/// at a frame boundary (Ok), after answering a ShutdownRequest (Ok), or
+/// when the stream turns unframeable / the descriptor errors (the error
+/// status, after attempting to send a final ErrorResponse frame).
+/// Decode errors of individual payloads are answered with ErrorResponse
+/// and the connection continues.
+Status ServeStream(Server* server, int in_fd, int out_fd,
+                   uint32_t max_frame_payload = kDefaultMaxFramePayload);
+
+}  // namespace serve
+}  // namespace car
+
+#endif  // CAR_SERVE_SERVER_H_

@@ -1,0 +1,103 @@
+#include "serve/session_cache.h"
+
+#include <utility>
+
+#include "base/hashing.h"
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+
+namespace car {
+namespace serve {
+
+SessionCache::SessionCache(SessionCacheOptions options)
+    : options_(std::move(options)) {
+  if (options_.max_sessions == 0) options_.max_sessions = 1;
+}
+
+Result<SessionEntry*> SessionCache::Open(const std::string& name,
+                                         std::string_view schema_text,
+                                         bool* warm) {
+  CAR_ASSIGN_OR_RETURN(Schema parsed, ParseSchema(schema_text));
+  const std::string canonical = PrintSchema(parsed);
+  const uint64_t fingerprint = Fnv1a64(canonical);
+  ++stats_.opens;
+
+  auto it = entries_.find(name);
+  if (it != entries_.end() && it->second->fingerprint == fingerprint) {
+    // Same canonical form: the warm session keeps serving. The parsed
+    // copy is discarded — the resident schema is semantically identical.
+    SessionEntry* entry = it->second.get();
+    entry->last_used = ++tick_;
+    ++stats_.warm_opens;
+    *warm = true;
+    return entry;
+  }
+
+  if (it != entries_.end()) ++stats_.replacements;
+
+  auto entry = std::make_unique<SessionEntry>();
+  entry->name = name;
+  entry->fingerprint = fingerprint;
+  entry->schema = std::make_unique<Schema>(std::move(parsed));
+  entry->session = std::make_unique<IncrementalSession>(entry->schema.get(),
+                                                        options_.reasoner);
+  entry->cost_bytes = entry->session->EstimatedMemoryBytes() +
+                      canonical.size();
+  entry->last_used = ++tick_;
+
+  SessionEntry* result = entry.get();
+  entries_[name] = std::move(entry);
+  Evict(result);
+  *warm = false;
+  return result;
+}
+
+SessionEntry* SessionCache::Find(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++stats_.lookup_misses;
+    return nullptr;
+  }
+  ++stats_.lookup_hits;
+  it->second->last_used = ++tick_;
+  return it->second.get();
+}
+
+void SessionCache::UpdateCost(SessionEntry* entry) {
+  entry->cost_bytes = entry->session->EstimatedMemoryBytes();
+  Evict(entry);
+}
+
+bool SessionCache::Close(const std::string& name) {
+  return entries_.erase(name) > 0;
+}
+
+uint64_t SessionCache::resident_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, entry] : entries_) total += entry->cost_bytes;
+  return total;
+}
+
+void SessionCache::Evict(const SessionEntry* keep) {
+  auto over_budget = [this] {
+    if (entries_.size() > options_.max_sessions) return true;
+    return options_.memory_budget_bytes != 0 &&
+           resident_bytes() > options_.memory_budget_bytes;
+  };
+  while (entries_.size() > 1 && over_budget()) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.get() == keep) continue;
+      if (victim == entries_.end() ||
+          it->second->last_used < victim->second->last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // Only `keep` is resident.
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace serve
+}  // namespace car

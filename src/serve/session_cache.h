@@ -1,0 +1,106 @@
+#ifndef CAR_SERVE_SESSION_CACHE_H_
+#define CAR_SERVE_SESSION_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "base/result.h"
+#include "model/schema.h"
+#include "reasoner/incremental.h"
+#include "reasoner/reasoner.h"
+
+namespace car {
+namespace serve {
+
+struct SessionCacheOptions {
+  /// Upper bound on resident sessions; least-recently-used tenants are
+  /// evicted past it. At least 1 — the session being served is never
+  /// evicted under itself.
+  uint64_t max_sessions = 64;
+  /// Soft ceiling on the summed EstimatedMemoryBytes of all resident
+  /// sessions. 0 = unlimited.
+  uint64_t memory_budget_bytes = 512ull << 20;
+  /// Options every session is built with (threads, prefilter, solver
+  /// knobs). The per-request ExecContext is swapped in separately via
+  /// IncrementalSession::set_exec.
+  ReasonerOptions reasoner;
+};
+
+struct SessionCacheStats {
+  uint64_t opens = 0;
+  /// Opens/mutates whose canonical fingerprint matched the resident
+  /// session — the warm state (base solve + memo) survived.
+  uint64_t warm_opens = 0;
+  /// Opens/mutates that replaced a resident session with different text.
+  uint64_t replacements = 0;
+  uint64_t evictions = 0;
+  uint64_t lookup_hits = 0;
+  uint64_t lookup_misses = 0;
+};
+
+/// One resident tenant: the parsed schema (owned, pointer-stable — the
+/// session borrows it) and the warm IncrementalSession answering for it.
+struct SessionEntry {
+  std::string name;
+  uint64_t fingerprint = 0;
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<IncrementalSession> session;
+  /// EstimatedMemoryBytes + schema text overhead, refreshed after every
+  /// batch (the memo and tableau grow with use).
+  uint64_t cost_bytes = 0;
+  /// LRU tick of the last touch.
+  uint64_t last_used = 0;
+};
+
+/// Fingerprint-keyed cache of warm IncrementalSessions, one per tenant
+/// name, with LRU + memory-budget eviction. Not thread-safe; the server
+/// serializes access (see serve/server.h).
+///
+/// Warm/cold semantics: Open parses the text, fingerprints its canonical
+/// form (FNV-1a of PrintSchema — the same fingerprint the session itself
+/// uses to detect mutation), and keeps the resident session when the
+/// fingerprint is unchanged. Anything else builds a cold session. An
+/// evicted tenant is simply gone: the next Open rebuilds it cold and
+/// answers identically (the warm state is a pure cache, never semantics).
+class SessionCache {
+ public:
+  explicit SessionCache(SessionCacheOptions options);
+
+  /// Creates or refreshes the tenant. `*warm` reports whether the
+  /// resident warm session survived. Parse errors leave the cache
+  /// untouched (a resident older schema keeps serving).
+  Result<SessionEntry*> Open(const std::string& name,
+                             std::string_view schema_text, bool* warm);
+
+  /// Looks up a resident tenant and bumps its LRU slot; null on miss.
+  SessionEntry* Find(const std::string& name);
+
+  /// Re-estimates the entry's cost after a batch mutated its warm state,
+  /// then enforces the memory budget against the other tenants.
+  void UpdateCost(SessionEntry* entry);
+
+  /// Drops the tenant; false if it was not resident.
+  bool Close(const std::string& name);
+
+  uint64_t resident_sessions() const { return entries_.size(); }
+  /// Summed cost of all resident sessions.
+  uint64_t resident_bytes() const;
+  const SessionCacheStats& stats() const { return stats_; }
+
+ private:
+  /// Evicts LRU entries while over max_sessions or the memory budget,
+  /// never evicting `keep`.
+  void Evict(const SessionEntry* keep);
+
+  SessionCacheOptions options_;
+  std::unordered_map<std::string, std::unique_ptr<SessionEntry>> entries_;
+  SessionCacheStats stats_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace serve
+}  // namespace car
+
+#endif  // CAR_SERVE_SESSION_CACHE_H_

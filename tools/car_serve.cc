@@ -1,0 +1,263 @@
+// car_serve — the multi-tenant schema-reasoning daemon.
+//
+// Speaks the length-prefixed binary protocol of src/serve/protocol.h
+// over one of three transports:
+//
+//   car_serve [options]                  stdio (one connection: stdin/stdout)
+//   car_serve --unix=PATH [options]      Unix-domain stream socket
+//   car_serve --listen=PORT [options]    TCP on 127.0.0.1:PORT
+//
+// Tenants open schemas under names, query them with textual implication
+// queries (reasoner/query_text.h syntax) and mutate them; warm
+// IncrementalSessions are cached per tenant with LRU + memory-budget
+// eviction. Every query batch runs under a fresh ExecContext configured
+// from the request's admission limits tightened against the server-side
+// caps below; overload degrades to a structured `degraded` answer, never
+// a crash or a wrong answer.
+//
+// options:
+//   --threads=N             worker threads inside one query batch
+//                           (1 = serial reference, 0 = hardware
+//                           concurrency; answers are bit-identical)
+//   --max-sessions=N        resident-session cap (LRU eviction past it)
+//   --memory-budget-mb=N    summed warm-state budget (0 = unlimited)
+//   --default-deadline-ms=N server-side per-request deadline cap
+//   --default-work-budget=N server-side per-request work-unit cap
+//   --max-frame-mb=N        frame payload cap (default 8 MiB)
+//
+// Socket transports accept connections until a ShutdownRequest is
+// served; stdio serves until EOF or shutdown. Exit codes: 0 clean
+// shutdown or client EOF, 3 usage error, 4 transport failure.
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace car {
+namespace serve {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 3;
+constexpr int kExitTransport = 4;
+
+struct Flags {
+  ServerOptions server;
+  uint32_t max_frame_payload = kDefaultMaxFramePayload;
+  /// Exactly one transport: stdio unless --unix/--listen is given.
+  std::string unix_path;
+  int tcp_port = -1;
+};
+
+int Usage() {
+  std::cerr
+      << "usage: car_serve [--unix=PATH | --listen=PORT] [options]\n"
+         "transports:\n"
+         "  (default)               stdio: frames on stdin/stdout\n"
+         "  --unix=PATH             Unix-domain stream socket at PATH\n"
+         "  --listen=PORT           TCP on 127.0.0.1:PORT\n"
+         "options:\n"
+         "  --threads=N             worker threads per query batch\n"
+         "                          (1 = serial, 0 = hardware concurrency)\n"
+         "  --max-sessions=N        resident warm-session cap\n"
+         "  --memory-budget-mb=N    warm-state memory budget (0 = none)\n"
+         "  --default-deadline-ms=N per-request deadline cap\n"
+         "  --default-work-budget=N per-request work-unit cap\n"
+         "  --max-frame-mb=N        frame payload cap in MiB\n"
+         "exit codes:\n"
+         "  0  clean shutdown (ShutdownRequest or client EOF)\n"
+         "  3  usage error\n"
+         "  4  transport failure\n";
+  return kExitUsage;
+}
+
+bool ParseUint64Flag(const std::string& arg, size_t prefix_len,
+                     uint64_t* value) {
+  try {
+    size_t consumed = 0;
+    std::string text = arg.substr(prefix_len);
+    unsigned long long parsed = std::stoull(text, &consumed);
+    if (consumed != text.size() || text.empty()) throw std::exception();
+    *value = parsed;
+    return true;
+  } catch (...) {
+    std::cerr << "bad flag value '" << arg << "'\n";
+    return false;
+  }
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    uint64_t value = 0;
+    if (arg.rfind("--threads=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 10, &value) || value > 1024) return false;
+      flags->server.num_threads = static_cast<int>(value);
+    } else if (arg.rfind("--max-sessions=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 15, &value)) return false;
+      flags->server.max_sessions = value;
+    } else if (arg.rfind("--memory-budget-mb=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 19, &value)) return false;
+      flags->server.memory_budget_bytes = value << 20;
+    } else if (arg.rfind("--default-deadline-ms=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 22, &value)) return false;
+      flags->server.request_limits.deadline_ms = value;
+    } else if (arg.rfind("--default-work-budget=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 22, &value)) return false;
+      flags->server.request_limits.work_budget = value;
+    } else if (arg.rfind("--max-frame-mb=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 15, &value) || value == 0 ||
+          value > 512) {
+        return false;
+      }
+      flags->max_frame_payload = static_cast<uint32_t>(value << 20);
+    } else if (arg.rfind("--unix=", 0) == 0) {
+      flags->unix_path = arg.substr(7);
+      if (flags->unix_path.empty()) return false;
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      if (!ParseUint64Flag(arg, 9, &value) || value == 0 ||
+          value > 65535) {
+        return false;
+      }
+      flags->tcp_port = static_cast<int>(value);
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return false;
+    }
+  }
+  if (!flags->unix_path.empty() && flags->tcp_port >= 0) {
+    std::cerr << "--unix and --listen are mutually exclusive\n";
+    return false;
+  }
+  return true;
+}
+
+int ServeStdio(const Flags& flags) {
+  Server server(flags.server);
+  Status status = ServeStream(&server, STDIN_FILENO, STDOUT_FILENO,
+                              flags.max_frame_payload);
+  if (!status.ok()) {
+    std::cerr << "car_serve: " << status << "\n";
+    return kExitTransport;
+  }
+  return kExitOk;
+}
+
+/// Accept loop shared by both socket transports: serves each connection
+/// on its own thread (the server serializes request dispatch internally)
+/// and polls the shutdown flag between accepts.
+int AcceptLoop(const Flags& flags, int listen_fd) {
+  Server server(flags.server);
+  std::vector<std::thread> connections;
+  int exit_code = kExitOk;
+  while (!server.shutdown_requested()) {
+    struct pollfd pfd = {};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "car_serve: poll: " << std::strerror(errno) << "\n";
+      exit_code = kExitTransport;
+      break;
+    }
+    if (ready == 0) continue;  // Timeout: re-check the shutdown flag.
+    int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "car_serve: accept: " << std::strerror(errno) << "\n";
+      exit_code = kExitTransport;
+      break;
+    }
+    connections.emplace_back(
+        [&server, conn_fd, max_frame = flags.max_frame_payload] {
+          Status status =
+              ServeStream(&server, conn_fd, conn_fd, max_frame);
+          if (!status.ok()) {
+            std::cerr << "car_serve: connection: " << status << "\n";
+          }
+          ::close(conn_fd);
+        });
+  }
+  for (std::thread& connection : connections) connection.join();
+  ::close(listen_fd);
+  return exit_code;
+}
+
+int ServeUnix(const Flags& flags) {
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (flags.unix_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "car_serve: socket path too long\n";
+    return kExitUsage;
+  }
+  std::memcpy(addr.sun_path, flags.unix_path.c_str(),
+              flags.unix_path.size() + 1);
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "car_serve: socket: " << std::strerror(errno) << "\n";
+    return kExitTransport;
+  }
+  ::unlink(flags.unix_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::cerr << "car_serve: bind/listen '" << flags.unix_path
+              << "': " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return kExitTransport;
+  }
+  int exit_code = AcceptLoop(flags, listen_fd);
+  ::unlink(flags.unix_path.c_str());
+  return exit_code;
+}
+
+int ServeTcp(const Flags& flags) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "car_serve: socket: " << std::strerror(errno) << "\n";
+    return kExitTransport;
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(flags.tcp_port));
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::cerr << "car_serve: bind/listen port " << flags.tcp_port << ": "
+              << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return kExitTransport;
+  }
+  return AcceptLoop(flags, listen_fd);
+}
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage();
+  if (!flags.unix_path.empty()) return ServeUnix(flags);
+  if (flags.tcp_port >= 0) return ServeTcp(flags);
+  return ServeStdio(flags);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace car
+
+int main(int argc, char** argv) {
+  return car::serve::Run(argc, argv);
+}

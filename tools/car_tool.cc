@@ -50,6 +50,7 @@
 #include "analysis/analyzer.h"
 #include "core/car.h"
 #include "reasoner/incremental.h"
+#include "reasoner/query_text.h"
 #include "reasoner/unrestricted.h"
 #include "semantics/dump.h"
 
@@ -346,81 +347,6 @@ int Implications(Schema& schema, const std::string& class_name) {
   return kExitSat;
 }
 
-/// Parses one non-comment line of a --queries file into an
-/// ImplicationQuery, resolving names against the schema.
-Result<ImplicationQuery> ParseQueryLine(
-    const Schema& schema, const std::vector<std::string>& tokens) {
-  auto class_of = [&schema](const std::string& name) -> Result<ClassId> {
-    ClassId id = schema.LookupClass(name);
-    if (id == kInvalidId) {
-      return NotFound(StrCat("unknown class '", name, "'"));
-    }
-    return id;
-  };
-  auto term_of = [&schema](
-                     const std::string& text) -> Result<AttributeTerm> {
-    bool inverse = text.rfind("inv:", 0) == 0;
-    std::string name = inverse ? text.substr(4) : text;
-    AttributeId id = schema.LookupAttribute(name);
-    if (id == kInvalidId) {
-      return NotFound(StrCat("unknown attribute '", name, "'"));
-    }
-    return inverse ? AttributeTerm::Inverse(id) : AttributeTerm::Direct(id);
-  };
-  auto bound_of = [](const std::string& text) -> Result<uint64_t> {
-    if (text == "inf") return Cardinality::kInfinity;
-    try {
-      size_t consumed = 0;
-      unsigned long long value = std::stoull(text, &consumed);
-      if (consumed != text.size()) throw std::exception();
-      return static_cast<uint64_t>(value);
-    } catch (...) {
-      return InvalidArgument(StrCat("bad bound '", text, "'"));
-    }
-  };
-
-  ImplicationQuery query;
-  const std::string& op = tokens[0];
-  if (op == "isa" && tokens.size() == 3) {
-    query.kind = ImplicationQuery::Kind::kIsa;
-    CAR_ASSIGN_OR_RETURN(query.class_id, class_of(tokens[1]));
-    CAR_ASSIGN_OR_RETURN(ClassId super, class_of(tokens[2]));
-    query.formula = ClassFormula::OfClass(super);
-    return query;
-  }
-  if (op == "disjoint" && tokens.size() == 3) {
-    query.kind = ImplicationQuery::Kind::kDisjoint;
-    CAR_ASSIGN_OR_RETURN(query.class_id, class_of(tokens[1]));
-    CAR_ASSIGN_OR_RETURN(query.other, class_of(tokens[2]));
-    return query;
-  }
-  if ((op == "min-card" || op == "max-card") && tokens.size() == 4) {
-    query.kind = op == "min-card" ? ImplicationQuery::Kind::kMinCardinality
-                                  : ImplicationQuery::Kind::kMaxCardinality;
-    CAR_ASSIGN_OR_RETURN(query.class_id, class_of(tokens[1]));
-    CAR_ASSIGN_OR_RETURN(query.term, term_of(tokens[2]));
-    CAR_ASSIGN_OR_RETURN(query.bound, bound_of(tokens[3]));
-    return query;
-  }
-  if ((op == "min-part" || op == "max-part") && tokens.size() == 5) {
-    query.kind = op == "min-part"
-                     ? ImplicationQuery::Kind::kMinParticipation
-                     : ImplicationQuery::Kind::kMaxParticipation;
-    CAR_ASSIGN_OR_RETURN(query.class_id, class_of(tokens[1]));
-    query.relation = schema.LookupRelation(tokens[2]);
-    if (query.relation == kInvalidId) {
-      return NotFound(StrCat("unknown relation '", tokens[2], "'"));
-    }
-    query.role = schema.LookupRole(tokens[3]);
-    if (query.role == kInvalidId) {
-      return NotFound(StrCat("unknown role '", tokens[3], "'"));
-    }
-    CAR_ASSIGN_OR_RETURN(query.bound, bound_of(tokens[4]));
-    return query;
-  }
-  return InvalidArgument(StrCat("bad query '", op, "' (or wrong arity)"));
-}
-
 /// `lint <file>`: runs the static analyzer with the lint passes enabled
 /// and prints every diagnostic, sorted by source position. Exit code 0
 /// when no error-severity diagnostic was found, 1 otherwise; --werror
@@ -469,31 +395,15 @@ int Query(Schema& schema) {
     std::cerr << "cannot open '" << g_queries_path << "'\n";
     return kExitError;
   }
-  std::vector<ImplicationQuery> queries;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
   std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(file, line)) {
-    std::istringstream stream(line);
-    std::vector<std::string> tokens;
-    std::string token;
-    while (stream >> token) {
-      if (token[0] == '#') break;
-      tokens.push_back(std::move(token));
-    }
-    if (tokens.empty()) continue;
-    auto query = ParseQueryLine(schema, tokens);
-    if (!query.ok()) {
-      std::cerr << "query '" << line << "': " << query.status() << "\n";
-      return kExitError;
-    }
-    std::string text;
-    for (const std::string& t : tokens) {
-      if (!text.empty()) text += " ";
-      text += t;
-    }
-    lines.push_back(std::move(text));
-    queries.push_back(std::move(query.value()));
+  auto parsed = ParseQueryText(schema, buffer.str(), &lines);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status() << "\n";
+    return kExitError;
   }
+  std::vector<ImplicationQuery> queries = std::move(parsed.value());
 
   ReasonerOptions options = MakeReasonerOptions();
   options.incremental = !g_from_scratch;
