@@ -18,6 +18,12 @@ std::vector<std::string> StrSplit(std::string_view text, char separator) {
   }
 }
 
+std::string Elide(std::string_view text, size_t max_bytes) {
+  if (text.size() <= max_bytes) return std::string(text);
+  return StrCat(text.substr(0, max_bytes), "... [", text.size() - max_bytes,
+                " more bytes]");
+}
+
 std::string_view StripWhitespace(std::string_view text) {
   size_t begin = 0;
   while (begin < text.size() &&

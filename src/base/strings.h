@@ -46,6 +46,12 @@ std::string StrJoin(const Container& items, std::string_view separator) {
 /// Splits `text` at each occurrence of `separator`; empty pieces are kept.
 std::vector<std::string> StrSplit(std::string_view text, char separator);
 
+/// Returns `text` unchanged when it fits in `max_bytes`, otherwise its
+/// first `max_bytes` bytes followed by an elision marker carrying the
+/// elided byte count. For echoing untrusted input in error messages without
+/// letting the message inherit the input's size.
+std::string Elide(std::string_view text, size_t max_bytes = 256);
+
 /// Returns `text` with leading and trailing ASCII whitespace removed.
 std::string_view StripWhitespace(std::string_view text);
 

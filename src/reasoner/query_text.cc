@@ -1,6 +1,8 @@
 #include "reasoner/query_text.h"
 
+#include <charconv>
 #include <sstream>
+#include <system_error>
 #include <utility>
 
 #include "base/strings.h"
@@ -24,7 +26,7 @@ Result<ImplicationQuery> ParseQueryTokens(
   auto class_of = [&schema](const std::string& name) -> Result<ClassId> {
     ClassId id = schema.LookupClass(name);
     if (id == kInvalidId) {
-      return NotFound(StrCat("unknown class '", name, "'"));
+      return NotFound(StrCat("unknown class '", Elide(name), "'"));
     }
     return id;
   };
@@ -34,20 +36,21 @@ Result<ImplicationQuery> ParseQueryTokens(
     std::string name = inverse ? text.substr(4) : text;
     AttributeId id = schema.LookupAttribute(name);
     if (id == kInvalidId) {
-      return NotFound(StrCat("unknown attribute '", name, "'"));
+      return NotFound(StrCat("unknown attribute '", Elide(name), "'"));
     }
     return inverse ? AttributeTerm::Inverse(id) : AttributeTerm::Direct(id);
   };
   auto bound_of = [](const std::string& text) -> Result<uint64_t> {
     if (text == "inf") return Cardinality::kInfinity;
-    try {
-      size_t consumed = 0;
-      unsigned long long value = std::stoull(text, &consumed);
-      if (consumed != text.size()) throw std::exception();
-      return static_cast<uint64_t>(value);
-    } catch (...) {
-      return InvalidArgument(StrCat("bad bound '", text, "'"));
+    // from_chars, not stoull: stoull wraps "-1" to 2^64-1 instead of
+    // rejecting it, silently turning a typo into a huge bound.
+    uint64_t value = 0;
+    auto [end, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || end != text.data() + text.size()) {
+      return InvalidArgument(StrCat("bad bound '", Elide(text), "'"));
     }
+    return value;
   };
 
   ImplicationQuery query;
@@ -80,16 +83,17 @@ Result<ImplicationQuery> ParseQueryTokens(
     CAR_ASSIGN_OR_RETURN(query.class_id, class_of(tokens[1]));
     query.relation = schema.LookupRelation(tokens[2]);
     if (query.relation == kInvalidId) {
-      return NotFound(StrCat("unknown relation '", tokens[2], "'"));
+      return NotFound(StrCat("unknown relation '", Elide(tokens[2]), "'"));
     }
     query.role = schema.LookupRole(tokens[3]);
     if (query.role == kInvalidId) {
-      return NotFound(StrCat("unknown role '", tokens[3], "'"));
+      return NotFound(StrCat("unknown role '", Elide(tokens[3]), "'"));
     }
     CAR_ASSIGN_OR_RETURN(query.bound, bound_of(tokens[4]));
     return query;
   }
-  return InvalidArgument(StrCat("bad query '", op, "' (or wrong arity)"));
+  return InvalidArgument(
+      StrCat("bad query '", Elide(op), "' (or wrong arity)"));
 }
 
 Result<std::vector<ImplicationQuery>> ParseQueryText(
@@ -103,8 +107,9 @@ Result<std::vector<ImplicationQuery>> ParseQueryText(
     if (tokens.empty()) continue;
     auto query = ParseQueryTokens(schema, tokens);
     if (!query.ok()) {
-      return Status(query.status().code(),
-                    StrCat("query '", line, "': ", query.status().message()));
+      return Status(
+          query.status().code(),
+          StrCat("query '", Elide(line), "': ", query.status().message()));
     }
     if (normalized_lines != nullptr) {
       std::string normalized;

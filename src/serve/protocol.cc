@@ -3,7 +3,6 @@
 #include <cstring>
 #include <utility>
 
-#include "base/check.h"
 #include "base/strings.h"
 
 namespace car {
@@ -450,11 +449,14 @@ Result<Response> DecodeResponse(std::string_view payload) {
 
 // --- Framing --------------------------------------------------------------
 
-std::string EncodeFrame(std::string_view payload) {
-  CAR_CHECK(!payload.empty()) << "empty frame payload";
-  CAR_CHECK(payload.size() <= kDefaultMaxFramePayload)
-      << "frame payload of " << payload.size() << " bytes exceeds the "
-      << kDefaultMaxFramePayload << "-byte protocol ceiling";
+Result<std::string> EncodeFrame(std::string_view payload,
+                                uint32_t max_payload) {
+  if (payload.empty()) return InvalidArgument("empty frame payload");
+  if (payload.size() > max_payload) {
+    return ResourceExhausted(
+        StrCat("frame payload of ", payload.size(), " bytes exceeds the ",
+               max_payload, "-byte cap"));
+  }
   Writer writer;
   writer.PutU32(static_cast<uint32_t>(payload.size()));
   std::string frame = writer.Take();

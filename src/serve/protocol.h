@@ -194,9 +194,13 @@ Result<Response> DecodeResponse(std::string_view payload);
 
 // --- Framing --------------------------------------------------------------
 
-/// Wraps a payload in a length-prefixed frame. The payload must fit the
-/// protocol ceiling (checked).
-std::string EncodeFrame(std::string_view payload);
+/// Wraps a payload in a length-prefixed frame. Total like the decoders:
+/// an empty payload is kInvalidArgument and a payload over `max_payload`
+/// is kResourceExhausted — never a crash, so a server whose response
+/// outgrows the transport's cap can degrade instead of aborting.
+Result<std::string> EncodeFrame(
+    std::string_view payload,
+    uint32_t max_payload = kDefaultMaxFramePayload);
 
 /// Incremental frame extractor for a byte stream. Feed arbitrary chunks
 /// with Append; Next yields complete payloads as they materialize. A

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -91,8 +92,8 @@ Response Server::HandleOpen(const std::string& name,
 Response Server::HandleQuery(const QueryRequest& request) {
   SessionEntry* entry = cache_.Find(request.name);
   if (entry == nullptr) {
-    return MakeError(
-        NotFound(StrCat("tenant '", request.name, "' is not open")));
+    return MakeError(NotFound(
+        StrCat("tenant '", Elide(request.name), "' is not open")));
   }
 
   // Parse every query line up front: a malformed line fails the whole
@@ -103,13 +104,17 @@ Response Server::HandleQuery(const QueryRequest& request) {
     std::vector<std::string> tokens = TokenizeQueryLine(line);
     if (tokens.empty()) {
       return MakeError(
-          InvalidArgument(StrCat("empty query line '", line, "'")));
+          InvalidArgument(StrCat("empty query line '", Elide(line), "'")));
     }
     auto parsed = ParseQueryTokens(*entry->schema, tokens);
     if (!parsed.ok()) {
+      // Echoes of user input are elided: an error message must never
+      // inherit the size of the query that produced it (the response
+      // still has to fit the transport's frame cap).
       return MakeError(Status(
           parsed.status().code(),
-          StrCat("query '", line, "': ", parsed.status().message())));
+          StrCat("query '", Elide(line), "': ",
+                 parsed.status().message())));
     }
     queries.push_back(std::move(parsed.value()));
   }
@@ -156,8 +161,8 @@ Response Server::HandleMutate(const MutateRequest& request) {
   if (cache_.Find(request.name) == nullptr) {
     // Evicted or never opened: the tenant must re-open explicitly, so a
     // mutation is never silently applied to a missing base.
-    return MakeError(
-        NotFound(StrCat("tenant '", request.name, "' is not open")));
+    return MakeError(NotFound(
+        StrCat("tenant '", Elide(request.name), "' is not open")));
   }
   return HandleOpen(request.name, request.schema_text);
 }
@@ -211,8 +216,26 @@ Status WriteAll(int fd, std::string_view data) {
   return Status::Ok();
 }
 
-Status WriteResponse(int fd, const Response& response) {
-  return WriteAll(fd, EncodeFrame(EncodeResponse(response)));
+/// Encodes and writes one response frame under the transport's payload
+/// cap. A response too large for the cap (e.g. a huge query batch under a
+/// small --max-frame-mb) degrades to a bounded ErrorResponse telling the
+/// client why — the connection and the daemon survive.
+Status WriteResponse(int fd, const Response& response,
+                     uint32_t max_payload) {
+  std::string payload = EncodeResponse(response);
+  auto frame = EncodeFrame(payload, max_payload);
+  if (!frame.ok()) {
+    ErrorResponse error;
+    error.code = StatusCode::kResourceExhausted;
+    error.message =
+        StrCat("response payload of ", payload.size(),
+               " bytes exceeds the ", max_payload,
+               "-byte frame cap; raise --max-frame-mb or split the batch");
+    frame = EncodeFrame(EncodeResponse(Response(std::move(error))),
+                        max_payload);
+    if (!frame.ok()) return frame.status();
+  }
+  return WriteAll(fd, frame.value());
 }
 
 }  // namespace
@@ -232,7 +255,8 @@ Status ServeStream(Server* server, int in_fd, int out_fd,
         ErrorResponse error;
         error.code = next.status().code();
         error.message = next.status().message();
-        (void)WriteResponse(out_fd, Response(std::move(error)));
+        (void)WriteResponse(out_fd, Response(std::move(error)),
+                            max_frame_payload);
         return next.status();
       }
       if (!next.value()) break;  // Need more input.
@@ -241,13 +265,29 @@ Status ServeStream(Server* server, int in_fd, int out_fd,
         ErrorResponse error;
         error.code = request.status().code();
         error.message = request.status().message();
-        CAR_RETURN_IF_ERROR(
-            WriteResponse(out_fd, Response(std::move(error))));
+        CAR_RETURN_IF_ERROR(WriteResponse(
+            out_fd, Response(std::move(error)), max_frame_payload));
         continue;
       }
       Response response = server->Handle(request.value());
-      CAR_RETURN_IF_ERROR(WriteResponse(out_fd, response));
+      CAR_RETURN_IF_ERROR(
+          WriteResponse(out_fd, response, max_frame_payload));
       if (server->shutdown_requested()) return Status::Ok();
+    }
+    // Wait for input with a timeout so a connection idle in read still
+    // observes a shutdown triggered on another connection and drains.
+    struct pollfd pfd = {};
+    pfd.fd = in_fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal,
+                    StrCat("poll: ", std::strerror(errno)));
+    }
+    if (ready == 0) {
+      if (server->shutdown_requested()) return Status::Ok();
+      continue;
     }
     ssize_t n = ::read(in_fd, chunk, sizeof(chunk));
     if (n < 0) {

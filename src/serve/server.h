@@ -92,11 +92,15 @@ class Server {
 /// Runs the blocking frame loop of one connection: reads length-prefixed
 /// request frames from `in_fd`, dispatches them to the server, writes
 /// response frames to `out_fd`. Returns when the peer closes the stream
-/// at a frame boundary (Ok), after answering a ShutdownRequest (Ok), or
-/// when the stream turns unframeable / the descriptor errors (the error
-/// status, after attempting to send a final ErrorResponse frame).
-/// Decode errors of individual payloads are answered with ErrorResponse
-/// and the connection continues.
+/// at a frame boundary (Ok), after answering a ShutdownRequest (Ok),
+/// when an idle connection observes a shutdown requested on another
+/// connection (Ok — reads poll with a short timeout so drain never hangs
+/// on a silent client), or when the stream turns unframeable / the
+/// descriptor errors (the error status, after attempting to send a final
+/// ErrorResponse frame). Decode errors of individual payloads are
+/// answered with ErrorResponse and the connection continues. Responses
+/// too large for `max_frame_payload` degrade to a bounded ErrorResponse
+/// instead of crashing or killing the connection.
 Status ServeStream(Server* server, int in_fd, int out_fd,
                    uint32_t max_frame_payload = kDefaultMaxFramePayload);
 

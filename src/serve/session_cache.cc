@@ -41,8 +41,9 @@ Result<SessionEntry*> SessionCache::Open(const std::string& name,
   entry->schema = std::make_unique<Schema>(std::move(parsed));
   entry->session = std::make_unique<IncrementalSession>(entry->schema.get(),
                                                         options_.reasoner);
-  entry->cost_bytes = entry->session->EstimatedMemoryBytes() +
-                      canonical.size();
+  entry->canonical_bytes = canonical.size();
+  entry->cost_bytes =
+      entry->session->EstimatedMemoryBytes() + entry->canonical_bytes;
   entry->last_used = ++tick_;
 
   SessionEntry* result = entry.get();
@@ -64,7 +65,8 @@ SessionEntry* SessionCache::Find(const std::string& name) {
 }
 
 void SessionCache::UpdateCost(SessionEntry* entry) {
-  entry->cost_bytes = entry->session->EstimatedMemoryBytes();
+  entry->cost_bytes =
+      entry->session->EstimatedMemoryBytes() + entry->canonical_bytes;
   Evict(entry);
 }
 

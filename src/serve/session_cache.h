@@ -47,8 +47,11 @@ struct SessionEntry {
   uint64_t fingerprint = 0;
   std::unique_ptr<Schema> schema;
   std::unique_ptr<IncrementalSession> session;
-  /// EstimatedMemoryBytes + schema text overhead, refreshed after every
-  /// batch (the memo and tableau grow with use).
+  /// Size of the canonical schema text the fingerprint was computed from;
+  /// a fixed part of cost_bytes so cost never shrinks across refreshes.
+  uint64_t canonical_bytes = 0;
+  /// EstimatedMemoryBytes + canonical_bytes, refreshed after every batch
+  /// (the memo and tableau grow with use).
   uint64_t cost_bytes = 0;
   /// LRU tick of the last touch.
   uint64_t last_used = 0;

@@ -112,6 +112,14 @@ TEST(StringsTest, StrSplit) {
   EXPECT_EQ(StrSplit(",x,", ','), (std::vector<std::string>{"", "x", ""}));
 }
 
+TEST(StringsTest, Elide) {
+  EXPECT_EQ(Elide("short"), "short");
+  EXPECT_EQ(Elide("abcdef", 6), "abcdef");
+  EXPECT_EQ(Elide("abcdef", 4), "abcd... [2 more bytes]");
+  // The result's size is bounded regardless of the input's.
+  EXPECT_LT(Elide(std::string(1 << 20, 'x')).size(), 300u);
+}
+
 TEST(StringsTest, StripWhitespace) {
   EXPECT_EQ(StripWhitespace("  x  "), "x");
   EXPECT_EQ(StripWhitespace("\t\n a b \r"), "a b");

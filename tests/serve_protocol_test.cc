@@ -199,7 +199,7 @@ TEST(Framing, ChunkedDeliveryMatchesBulk) {
   std::vector<std::string> payloads;
   for (const Request& request : SampleRequests()) {
     payloads.push_back(EncodeRequest(request));
-    stream += EncodeFrame(payloads.back());
+    stream += EncodeFrame(payloads.back()).value();
   }
 
   for (size_t chunk_size : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
@@ -225,7 +225,7 @@ TEST(Framing, ChunkedDeliveryMatchesBulk) {
 
 TEST(Framing, IncompleteFrameStaysBuffered) {
   FrameReader reader;
-  const std::string frame = EncodeFrame("payload");
+  const std::string frame = EncodeFrame("payload").value();
   reader.Append(frame.data(), frame.size() - 1);
   std::string payload;
   auto next = reader.Next(&payload);
@@ -249,14 +249,14 @@ TEST(Framing, ZeroLengthFramePoisons) {
   EXPECT_EQ(next.status().code(), StatusCode::kParseError);
   // Poisoned for good: even appending a well-formed frame cannot recover
   // the stream.
-  const std::string frame = EncodeFrame("x");
+  const std::string frame = EncodeFrame("x").value();
   reader.Append(frame.data(), frame.size());
   EXPECT_FALSE(reader.Next(&payload).ok());
 }
 
 TEST(Framing, OversizedFramePoisons) {
   FrameReader reader(/*max_payload=*/16);
-  const std::string frame = EncodeFrame(std::string(17, 'a'));
+  const std::string frame = EncodeFrame(std::string(17, 'a')).value();
   reader.Append(frame.data(), frame.size());
   std::string payload;
   auto next = reader.Next(&payload);
@@ -266,7 +266,7 @@ TEST(Framing, OversizedFramePoisons) {
   // The cap is on the payload, not the declared length alone: 16 bytes
   // is still fine.
   FrameReader ok_reader(/*max_payload=*/16);
-  const std::string ok_frame = EncodeFrame(std::string(16, 'a'));
+  const std::string ok_frame = EncodeFrame(std::string(16, 'a')).value();
   ok_reader.Append(ok_frame.data(), ok_frame.size());
   next = ok_reader.Next(&payload);
   ASSERT_TRUE(next.ok());
@@ -278,7 +278,7 @@ TEST(Framing, ManyFramesInOneAppend) {
   FrameReader reader;
   std::string stream;
   for (int i = 0; i < 100; ++i) {
-    stream += EncodeFrame(EncodeRequest(PingRequest{uint64_t(i)}));
+    stream += EncodeFrame(EncodeRequest(PingRequest{uint64_t(i)})).value();
   }
   reader.Append(stream.data(), stream.size());
   std::string payload;
@@ -293,6 +293,22 @@ TEST(Framing, ManyFramesInOneAppend) {
   auto next = reader.Next(&payload);
   ASSERT_TRUE(next.ok());
   EXPECT_FALSE(next.value());
+}
+
+TEST(Framing, EncodeFrameIsTotal) {
+  // An oversized payload is a structured error, never an abort: the
+  // server degrades oversized responses instead of crashing the daemon.
+  auto oversized = EncodeFrame(std::string(17, 'a'), /*max_payload=*/16);
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kResourceExhausted);
+
+  auto empty = EncodeFrame("");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+
+  auto at_cap = EncodeFrame(std::string(16, 'a'), /*max_payload=*/16);
+  ASSERT_TRUE(at_cap.ok());
+  EXPECT_EQ(at_cap.value().size(), 20u);
 }
 
 }  // namespace

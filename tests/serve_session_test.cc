@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 #include <variant>
 #include <vector>
 
@@ -401,6 +402,99 @@ TEST(ServeAdmission, WorkBudgetCapsAreTightenedServerSide) {
   EXPECT_TRUE(answers->answers.empty());
 }
 
+TEST(ServeQuery, NegativeBoundIsRejected) {
+  // stoull would wrap "-1" to 2^64-1; the parser must reject it instead
+  // of silently answering for a huge bound.
+  const Schema schema = testing_schemas::Figure1();
+  ASSERT_GT(schema.num_attributes(), 0u);
+  const std::string line =
+      StrCat("max-card ", schema.ClassName(static_cast<ClassId>(0)), " ",
+             schema.AttributeName(static_cast<AttributeId>(0)), " -1");
+  auto parsed = ParseQueryTokens(schema, TokenizeQueryLine(line));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression: an oversized response (here, an error echoing a long query
+// line under a tiny frame cap) used to CHECK-crash the daemon inside
+// EncodeFrame. It must degrade to a bounded ErrorResponse instead.
+TEST(ServeStream, OversizedResponseDegradesToBoundedError) {
+  ServerOptions options;
+  Server server(options);
+  Response opened =
+      Open(&server, "t", PrintSchema(testing_schemas::Figure1()));
+  ASSERT_TRUE(std::holds_alternative<OpenedResponse>(opened));
+
+  // An unknown-class query whose error echo outgrows the cap while the
+  // request itself still fits under it.
+  QueryRequest query;
+  query.name = "t";
+  query.queries = {StrCat("isa ", std::string(100, 'Z'), " B")};
+  constexpr uint32_t kCap = 160;
+  const std::string request_payload = EncodeRequest(query);
+  ASSERT_LE(request_payload.size(), kCap);
+  ASSERT_GT(EncodeResponse(server.Handle(Request(query))).size(), kCap);
+
+  int in_pipe[2];
+  int out_pipe[2];
+  ASSERT_EQ(pipe(in_pipe), 0);
+  ASSERT_EQ(pipe(out_pipe), 0);
+  const std::string frame = EncodeFrame(request_payload, kCap).value();
+  ASSERT_EQ(write(in_pipe[1], frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  close(in_pipe[1]);
+  Status status = ServeStream(&server, in_pipe[0], out_pipe[1], kCap);
+  close(out_pipe[1]);
+  close(in_pipe[0]);
+  EXPECT_TRUE(status.ok()) << status;
+
+  std::string output;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = read(out_pipe[0], buffer, sizeof(buffer))) > 0) {
+    output.append(buffer, static_cast<size_t>(n));
+  }
+  close(out_pipe[0]);
+
+  FrameReader reader(kCap);
+  reader.Append(output.data(), output.size());
+  std::string response_payload;
+  auto next = reader.Next(&response_payload);
+  ASSERT_TRUE(next.ok()) << next.status();
+  ASSERT_TRUE(next.value());
+  auto response = DecodeResponse(response_payload);
+  ASSERT_TRUE(response.ok()) << response.status();
+  auto* error = std::get_if<ErrorResponse>(&response.value());
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, StatusCode::kResourceExhausted);
+  EXPECT_NE(error->message.find("frame cap"), std::string::npos);
+}
+
+// Regression: a connection idle in a blocking read never observed a
+// shutdown requested on another connection, so drain hung until every
+// client voluntarily disconnected.
+TEST(ServeStream, IdleConnectionObservesShutdown) {
+  ServerOptions options;
+  Server server(options);
+  int in_pipe[2];
+  int out_pipe[2];
+  ASSERT_EQ(pipe(in_pipe), 0);
+  ASSERT_EQ(pipe(out_pipe), 0);
+  Status status = InvalidArgument("unset");
+  std::thread connection([&server, &status, &in_pipe, &out_pipe] {
+    status = ServeStream(&server, in_pipe[0], out_pipe[1]);
+  });
+  // The shutdown arrives on "another connection"; no bytes ever reach
+  // the idle stream's pipe, yet it must drain promptly.
+  server.Handle(Request(ShutdownRequest{}));
+  connection.join();
+  EXPECT_TRUE(status.ok()) << status;
+  close(in_pipe[0]);
+  close(in_pipe[1]);
+  close(out_pipe[0]);
+  close(out_pipe[1]);
+}
+
 #ifdef CAR_SERVE_BIN
 // End to end: the real car_serve binary over stdio, full wire framing.
 TEST(ServeEndToEnd, StdioRoundTrip) {
@@ -427,14 +521,14 @@ TEST(ServeEndToEnd, StdioRoundTrip) {
   const Schema schema = testing_schemas::Figure1();
   const std::vector<std::string> lines = MakeQueryLines(schema, 13, 6);
   std::string stream;
-  stream += EncodeFrame(EncodeRequest(PingRequest{7}));
+  stream += EncodeFrame(EncodeRequest(PingRequest{7})).value();
   stream +=
-      EncodeFrame(EncodeRequest(OpenRequest{"t", PrintSchema(schema)}));
+      EncodeFrame(EncodeRequest(OpenRequest{"t", PrintSchema(schema)})).value();
   QueryRequest query;
   query.name = "t";
   query.queries = lines;
-  stream += EncodeFrame(EncodeRequest(query));
-  stream += EncodeFrame(EncodeRequest(ShutdownRequest{}));
+  stream += EncodeFrame(EncodeRequest(query)).value();
+  stream += EncodeFrame(EncodeRequest(ShutdownRequest{})).value();
   ASSERT_EQ(write(to_child[1], stream.data(), stream.size()),
             static_cast<ssize_t>(stream.size()));
   close(to_child[1]);

@@ -35,10 +35,15 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -82,19 +87,21 @@ int Usage() {
   return kExitUsage;
 }
 
+/// from_chars, not stoull: stoull wraps "--threads=-1" to 2^64-1 instead
+/// of rejecting it.
 bool ParseUint64Flag(const std::string& arg, size_t prefix_len,
                      uint64_t* value) {
-  try {
-    size_t consumed = 0;
-    std::string text = arg.substr(prefix_len);
-    unsigned long long parsed = std::stoull(text, &consumed);
-    if (consumed != text.size() || text.empty()) throw std::exception();
-    *value = parsed;
-    return true;
-  } catch (...) {
+  std::string_view text = std::string_view(arg).substr(prefix_len);
+  uint64_t parsed = 0;
+  auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec != std::errc() || end != text.data() + text.size() ||
+      text.empty()) {
     std::cerr << "bad flag value '" << arg << "'\n";
     return false;
   }
+  *value = parsed;
+  return true;
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -154,14 +161,37 @@ int ServeStdio(const Flags& flags) {
   return kExitOk;
 }
 
+/// One connection thread plus its completion flag, so the accept loop
+/// can reap finished threads without blocking in join().
+struct Connection {
+  std::thread thread;
+  std::shared_ptr<std::atomic<bool>> done;
+};
+
+/// Joins and drops every connection whose thread has finished; a daemon
+/// under connection churn keeps only live connections resident.
+void ReapFinished(std::vector<Connection>* connections) {
+  for (auto it = connections->begin(); it != connections->end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();
+      it = connections->erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 /// Accept loop shared by both socket transports: serves each connection
 /// on its own thread (the server serializes request dispatch internally)
-/// and polls the shutdown flag between accepts.
+/// and polls the shutdown flag between accepts. Idle connections observe
+/// shutdown themselves (ServeStream's reads poll the flag), so the final
+/// drain terminates even with silent clients attached.
 int AcceptLoop(const Flags& flags, int listen_fd) {
   Server server(flags.server);
-  std::vector<std::thread> connections;
+  std::vector<Connection> connections;
   int exit_code = kExitOk;
   while (!server.shutdown_requested()) {
+    ReapFinished(&connections);
     struct pollfd pfd = {};
     pfd.fd = listen_fd;
     pfd.events = POLLIN;
@@ -180,17 +210,20 @@ int AcceptLoop(const Flags& flags, int listen_fd) {
       exit_code = kExitTransport;
       break;
     }
-    connections.emplace_back(
-        [&server, conn_fd, max_frame = flags.max_frame_payload] {
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::thread thread(
+        [&server, conn_fd, max_frame = flags.max_frame_payload, done] {
           Status status =
               ServeStream(&server, conn_fd, conn_fd, max_frame);
           if (!status.ok()) {
             std::cerr << "car_serve: connection: " << status << "\n";
           }
           ::close(conn_fd);
+          done->store(true, std::memory_order_release);
         });
+    connections.push_back({std::move(thread), std::move(done)});
   }
-  for (std::thread& connection : connections) connection.join();
+  for (Connection& connection : connections) connection.thread.join();
   ::close(listen_fd);
   return exit_code;
 }
