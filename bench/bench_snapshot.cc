@@ -1,0 +1,265 @@
+// EXP-S driver: cold rebuild vs snapshot restore of the warm state.
+//
+// Workload: three generated schema families (chain, clustered,
+// hierarchy). For each schema a cold IncrementalSession pays the base
+// expansion + Ψ solve and answers a deterministic query batch; the warm
+// state is then serialized through the persistent snapshot codec
+// (persist/snapshot_format.h) and restored into a brand-new session,
+// which answers the identical batch. The restored session must produce
+// bit-identical answers with ZERO base builds (base_restores == 1,
+// base_builds == 0) — a single differing answer or a sneaky cold
+// rebuild fails the run.
+//
+// The quantities of interest are the cold wall-clock (build + answer
+// batch), the restore wall-clock (deserialize + answer the same batch),
+// the serialize cost, and the snapshot size. One JSON-lines record per
+// schema lands in BENCH_snapshot.json; the CI smoke gate requires
+// identical answers and restore <= cold.
+//
+// Usage: bench_snapshot [--threads=N] [--smoke] [--out=FILE]
+//   --smoke  CI workload: smaller schemas, 24-query batches
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/strings.h"
+#include "bench_json.h"
+#include "reasoner/incremental.h"
+#include "reasoner/query_text.h"
+#include "reasoner/reasoner.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+/// Deterministic pool of textual queries drawn from the schema's own
+/// names, mixing every query kind the format supports (same shape as
+/// the bench_serve traffic pool).
+std::vector<std::string> MakeQueryPool(const Schema& schema, Rng* rng,
+                                       int count) {
+  std::vector<std::string> pool;
+  auto class_name = [&](int) {
+    return schema.ClassName(
+        static_cast<ClassId>(rng->NextBelow(schema.num_classes())));
+  };
+  while (static_cast<int>(pool.size()) < count) {
+    std::string line;
+    switch (rng->NextBelow(schema.num_relations() > 0 ? 6 : 4)) {
+      case 0:
+        line = StrCat("isa ", class_name(0), " ", class_name(1));
+        break;
+      case 1:
+        line = StrCat("disjoint ", class_name(0), " ", class_name(1));
+        break;
+      case 2:
+      case 3: {
+        if (schema.num_attributes() == 0) continue;
+        const std::string& attribute = schema.AttributeName(
+            static_cast<AttributeId>(rng->NextBelow(schema.num_attributes())));
+        std::string term = rng->NextBelow(4) == 0
+                               ? StrCat("inv:", attribute)
+                               : attribute;
+        if (rng->NextBelow(2) == 0) {
+          line = StrCat("min-card ", class_name(0), " ", term, " ",
+                        1 + rng->NextBelow(3));
+        } else {
+          uint64_t bound = 1 + rng->NextBelow(3);
+          line = StrCat("max-card ", class_name(0), " ", term, " ",
+                        rng->NextBelow(4) == 0 ? "inf"
+                                               : std::to_string(bound));
+        }
+        break;
+      }
+      default: {
+        RelationId relation = static_cast<RelationId>(
+            rng->NextBelow(schema.num_relations()));
+        const RelationDefinition* definition =
+            schema.relation_definition(relation);
+        const std::string& role = schema.RoleName(
+            definition->roles[rng->NextBelow(definition->roles.size())]);
+        const char* kind =
+            rng->NextBelow(2) == 0 ? "min-part" : "max-part";
+        line = StrCat(kind, " ", class_name(0), " ",
+                      schema.RelationName(relation), " ", role, " ",
+                      1 + rng->NextBelow(2));
+        break;
+      }
+    }
+    pool.push_back(std::move(line));
+  }
+  return pool;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct Cell {
+  std::string name;
+  std::unique_ptr<Schema> schema;
+};
+
+int Main(int argc, char** argv) {
+  int num_threads = 1;
+  bool smoke = false;
+  std::string out_path = "BENCH_snapshot.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+  const int pool_size = smoke ? 24 : 64;
+
+  std::vector<Cell> cells;
+  {
+    Rng rng(23);
+    cells.push_back({"chain", std::make_unique<Schema>(
+        GenerateChainSchema({smoke ? 6 : 12, 2}))});
+    cells.push_back({"clustered", std::make_unique<Schema>(
+        GenerateClusteredSchema(&rng, {2, 3, 2, false}))});
+    cells.push_back({"hierarchy", std::make_unique<Schema>(
+        GenerateHierarchy(&rng, {smoke ? 9 : 15, 1, 3}))});
+  }
+
+  bench::JsonLinesFile out(out_path);
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
+    return 1;
+  }
+
+  std::printf("EXP-S: cold rebuild vs snapshot restore (threads=%d%s)\n\n",
+              num_threads, smoke ? ", smoke" : "");
+  std::printf("| schema | queries | cold (ms) | save (ms) | restore (ms) "
+              "| speedup | bytes |\n");
+  std::printf("|---|---|---|---|---|---|---|\n");
+
+  bool all_ok = true;
+  for (Cell& cell : cells) {
+    Rng rng(911);
+    std::vector<std::string> pool =
+        MakeQueryPool(*cell.schema, &rng, pool_size);
+    std::vector<ImplicationQuery> queries;
+    for (const std::string& line : pool) {
+      auto query =
+          ParseQueryTokens(*cell.schema, TokenizeQueryLine(line));
+      if (!query.ok()) {
+        std::fprintf(stderr, "query parse: %s\n",
+                     query.status().ToString().c_str());
+        return 1;
+      }
+      queries.push_back(std::move(query.value()));
+    }
+
+    ReasonerOptions options;
+    options.num_threads = num_threads;
+
+    // Cold: build the base (expansion + Ψ solve) and answer the batch.
+    IncrementalSession cold(cell.schema.get(), options);
+    auto cold_start = std::chrono::steady_clock::now();
+    auto cold_answers = cold.RunImplicationBatch(queries);
+    const double cold_ms = MillisSince(cold_start);
+    if (!cold_answers.ok()) {
+      std::fprintf(stderr, "cold batch: %s\n",
+                   cold_answers.status().ToString().c_str());
+      return 1;
+    }
+
+    // Serialize the warm state through the persistent codec.
+    auto save_start = std::chrono::steady_clock::now();
+    auto bytes = cold.Serialize();
+    const double save_ms = MillisSince(save_start);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "serialize: %s\n",
+                   bytes.status().ToString().c_str());
+      return 1;
+    }
+
+    // Restore: a brand-new session adopts the snapshot and answers the
+    // identical batch. The memo carries over, so every query is a memo
+    // hit; base_builds must stay zero.
+    IncrementalSession restored(cell.schema.get(), options);
+    auto restore_start = std::chrono::steady_clock::now();
+    Status adopted = restored.Deserialize(bytes.value());
+    if (!adopted.ok()) {
+      std::fprintf(stderr, "deserialize: %s\n",
+                   adopted.ToString().c_str());
+      return 1;
+    }
+    auto restored_answers = restored.RunImplicationBatch(queries);
+    const double restore_ms = MillisSince(restore_start);
+    if (!restored_answers.ok()) {
+      std::fprintf(stderr, "restored batch: %s\n",
+                   restored_answers.status().ToString().c_str());
+      return 1;
+    }
+
+    const IncrementalStats stats = restored.stats();
+    const bool answers_identical =
+        cold_answers.value() == restored_answers.value();
+    const bool no_rebuild =
+        stats.base_builds == 0 && stats.base_restores == 1;
+    if (!answers_identical) {
+      std::fprintf(stderr, "ANSWER MISMATCH on '%s'\n", cell.name.c_str());
+    }
+    if (!no_rebuild) {
+      std::fprintf(stderr,
+                   "'%s' restored session rebuilt cold (builds=%llu, "
+                   "restores=%llu)\n",
+                   cell.name.c_str(),
+                   static_cast<unsigned long long>(stats.base_builds),
+                   static_cast<unsigned long long>(stats.base_restores));
+    }
+    all_ok = all_ok && answers_identical && no_rebuild;
+
+    const double speedup = restore_ms > 0 ? cold_ms / restore_ms : 0.0;
+    std::printf("| %s | %zu | %.2f | %.2f | %.2f | %.2fx | %zu |\n",
+                cell.name.c_str(), queries.size(), cold_ms, save_ms,
+                restore_ms, speedup, bytes.value().size());
+
+    bench::JsonRecord record;
+    record.Add("bench", "snapshot")
+        .Add("schema", cell.name)
+        .Add("threads", num_threads)
+        .Add("smoke", smoke)
+        .Add("queries", static_cast<uint64_t>(queries.size()))
+        .Add("cold_ms", cold_ms)
+        .Add("save_ms", save_ms)
+        .Add("restore_ms", restore_ms)
+        .Add("speedup", speedup)
+        .Add("snapshot_bytes", static_cast<uint64_t>(bytes.value().size()))
+        .Add("answers_identical", answers_identical)
+        .Add("base_builds", stats.base_builds)
+        .Add("base_restores", stats.base_restores);
+    out.Write(record);
+
+    if (restore_ms > cold_ms) {
+      std::fprintf(stderr, "FAIL: '%s' restore slower than cold rebuild\n",
+                   cell.name.c_str());
+      all_ok = false;
+    }
+  }
+
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: restore not equivalent (or slower) — see "
+                         "messages above\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace car
+
+int main(int argc, char** argv) { return car::Main(argc, argv); }

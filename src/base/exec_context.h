@@ -182,6 +182,34 @@ class ExecContext {
   /// the first charge. Makes every abort path testable without timeouts.
   void InjectTripAfter(uint64_t units);
 
+  // --- Deterministic I/O fault injection ----------------------------------
+  // The persistence layer (src/persist) routes every I/O primitive —
+  // write chunk, fsync, rename, unlink, read — through NextIoOpFails().
+  // Ops are numbered from 0 in execution order; every op at index >=
+  // the configured threshold fails. The failure is STICKY (fail-stop):
+  // once the threshold is reached nothing later succeeds either, which
+  // models a process that died mid-sequence — the bytes written before
+  // the threshold are on disk, nothing after is, and even the cleanup
+  // unlink of a torn temp file "dies" with the process. Unlike
+  // InjectTripAfter this never trips the context: a failed spill must
+  // not poison the request that triggered it.
+
+  /// Configures the I/O fault threshold; AdmissionLimits::kNoInjection
+  /// (the default) disables injection.
+  void InjectIoFaultAfter(uint64_t ops) {
+    io_fault_after_.store(ops, std::memory_order_relaxed);
+  }
+  /// Consumes the next I/O op index; true when that op must fail.
+  bool NextIoOpFails() {
+    uint64_t index = io_ops_.fetch_add(1, std::memory_order_relaxed);
+    return index >= io_fault_after_.load(std::memory_order_relaxed);
+  }
+  /// I/O ops consumed so far (sweep instrumentation: run once uninjected
+  /// to learn the op count, then sweep thresholds 0..count).
+  uint64_t io_ops() const {
+    return io_ops_.load(std::memory_order_relaxed);
+  }
+
   // --- Cooperative cancellation ------------------------------------------
 
   /// Requests cancellation; workers observe it at their next charge or
@@ -306,6 +334,8 @@ class ExecContext {
   std::atomic<uint64_t> work_budget_{kNoBudget};
   std::atomic<uint64_t> byte_budget_{kNoBudget};
   std::atomic<uint64_t> inject_after_{kNoBudget};
+  std::atomic<uint64_t> io_ops_{0};
+  std::atomic<uint64_t> io_fault_after_{kNoBudget};
   /// Deadline as nanoseconds on the steady clock; 0 = none.
   std::atomic<int64_t> deadline_ns_{0};
   /// The configured deadline budget in ms, for the report.

@@ -12,6 +12,30 @@
 
 namespace car {
 
+void Expansion::RebuildDerivedIndexes() {
+  ca_by_from.clear();
+  ca_by_to.clear();
+  cr_by_role.clear();
+  compound_class_index_.clear();
+  for (size_t i = 0; i < compound_classes.size(); ++i) {
+    compound_class_index_.emplace(compound_classes[i].members(),
+                                  static_cast<int>(i));
+  }
+  for (size_t i = 0; i < compound_attributes.size(); ++i) {
+    const CompoundAttribute& ca = compound_attributes[i];
+    ca_by_from[{ca.attribute, ca.from}].push_back(static_cast<int>(i));
+    ca_by_to[{ca.attribute, ca.to}].push_back(static_cast<int>(i));
+  }
+  for (size_t i = 0; i < compound_relations.size(); ++i) {
+    const CompoundRelation& cr = compound_relations[i];
+    const int arity = static_cast<int>(cr.components.size());
+    for (int k = 0; k < arity; ++k) {
+      cr_by_role[{cr.relation, k, cr.components[k]}].push_back(
+          static_cast<int>(i));
+    }
+  }
+}
+
 int Expansion::IndexOfCompoundClass(const CompoundClass& compound) const {
   auto it = compound_class_index_.find(compound.members());
   return it == compound_class_index_.end() ? -1 : it->second;

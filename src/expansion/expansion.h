@@ -64,6 +64,15 @@ struct Expansion {
   /// (a work measure for the preselection benchmarks).
   size_t subsets_visited = 0;
 
+  /// Rebuilds every derived lookup index (ca_by_from, ca_by_to,
+  /// cr_by_role and the compound-class index) from the primary vectors,
+  /// exactly as the builder populated them: grouped indices appear in
+  /// ascending order because the replay walks the vectors in index
+  /// order, matching the builder's append order. For deserialized
+  /// expansions (src/persist), whose primary vectors arrive from disk
+  /// without the indexes.
+  void RebuildDerivedIndexes();
+
   /// Returns the index of a compound class, or -1 if not present.
   int IndexOfCompoundClass(const CompoundClass& compound) const;
   /// Indices of compound classes containing the given class.

@@ -37,6 +37,23 @@ Result<BigInt> BigInt::FromString(std::string_view text) {
   return value;
 }
 
+Result<BigInt> BigInt::FromParts(int sign, const uint32_t* limbs,
+                                 size_t count) {
+  if (sign < -1 || sign > 1) {
+    return ParseError(StrCat("bigint sign ", sign, " out of range"));
+  }
+  if ((sign == 0) != (count == 0)) {
+    return ParseError("bigint sign/magnitude mismatch");
+  }
+  if (count > 0 && limbs[count - 1] == 0) {
+    return ParseError("bigint magnitude has a leading zero limb");
+  }
+  BigInt value;
+  value.sign_ = sign;
+  value.limbs_ = LimbVector(limbs, count);
+  return value;
+}
+
 bool BigInt::FitsInt64() const {
   if (limbs_.size() > 2) return false;
   if (limbs_.size() < 2) return true;

@@ -156,6 +156,18 @@ class BigInt {
   /// Parses a decimal string with optional leading '-'.
   static Result<BigInt> FromString(std::string_view text);
 
+  /// Rebuilds a value from serialized parts (the snapshot codec of
+  /// src/persist). Total: kParseError unless the representation is
+  /// normalized — sign in {-1, 0, +1}, no leading zero limb, and sign 0
+  /// exactly when the magnitude is empty — so a decoded BigInt is
+  /// byte-identical to a constructed one.
+  static Result<BigInt> FromParts(int sign, const uint32_t* limbs,
+                                  size_t count);
+
+  /// Read-only limb view: the normalized little-endian base-2^32
+  /// magnitude (serialization counterpart of FromParts).
+  const LimbVector& limbs() const { return limbs_; }
+
   /// Returns -1, 0 or +1.
   int sign() const { return sign_; }
   bool is_zero() const { return sign_ == 0; }

@@ -1072,4 +1072,83 @@ Result<LpResult> SimplexSolver::ResumeMaximize(
   return result;
 }
 
+Status ValidateSnapshotShape(const SimplexSnapshot& snapshot,
+                             const LinearSystem& system) {
+  auto fail = [](std::string what) {
+    return FailedPrecondition(
+        StrCat("simplex snapshot incompatible with system: ",
+               std::move(what)));
+  };
+  if (snapshot.num_cols < 0) return fail("negative column count");
+  const size_t num_rows = snapshot.rows.size();
+  const size_t num_cols = static_cast<size_t>(snapshot.num_cols);
+  if (snapshot.num_variables() != system.num_variables()) {
+    return fail(StrCat("snapshot has ", snapshot.num_variables(),
+                       " variables, system has ", system.num_variables()));
+  }
+  if (snapshot.num_constraints != system.constraints().size()) {
+    return fail(StrCat("snapshot has ", snapshot.num_constraints,
+                       " constraints, system has ",
+                       system.constraints().size()));
+  }
+  if (snapshot.rhs.size() != num_rows || snapshot.basis.size() != num_rows ||
+      snapshot.init_basic.size() != num_rows ||
+      snapshot.row_flipped.size() != num_rows ||
+      snapshot.zero_checked.size() != num_rows) {
+    return fail("per-row vector lengths disagree");
+  }
+  if (snapshot.is_artificial.size() != num_cols ||
+      snapshot.var_of_col.size() != num_cols) {
+    return fail("per-column vector lengths disagree");
+  }
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (snapshot.basis[r] < 0 || snapshot.basis[r] >= snapshot.num_cols) {
+      return fail(StrCat("basis column of row ", r, " out of range"));
+    }
+    if (snapshot.init_basic[r] < 0 ||
+        snapshot.init_basic[r] >= snapshot.num_cols) {
+      return fail(StrCat("init_basic column of row ", r, " out of range"));
+    }
+    if (snapshot.zero_checked[r] < 0 ||
+        snapshot.zero_checked[r] > snapshot.num_cols) {
+      return fail(StrCat("zero_checked width of row ", r, " out of range"));
+    }
+    if (snapshot.rhs[r].is_negative()) {
+      return fail(StrCat("negative basic value in row ", r));
+    }
+    int last_col = -1;
+    for (const SparseRow::Entry& entry : snapshot.rows[r].entries()) {
+      if (entry.col <= last_col || entry.col >= snapshot.num_cols) {
+        return fail(StrCat("row ", r, " entries unsorted or out of range"));
+      }
+      if (entry.value.is_zero()) {
+        return fail(StrCat("explicit zero entry in row ", r));
+      }
+      last_col = entry.col;
+    }
+  }
+  for (int v = 0; v < snapshot.num_variables(); ++v) {
+    const int col = snapshot.col_of_var[v];
+    if (col < -1 || col >= snapshot.num_cols) {
+      return fail(StrCat("column of variable ", v, " out of range"));
+    }
+    if (col >= 0 && snapshot.var_of_col[col] != v) {
+      return fail(StrCat("variable ", v, " and column ", col,
+                         " maps disagree"));
+    }
+  }
+  for (size_t c = 0; c < num_cols; ++c) {
+    const int variable = snapshot.var_of_col[c];
+    if (variable < -1 || variable >= snapshot.num_variables()) {
+      return fail(StrCat("variable of column ", c, " out of range"));
+    }
+    if (variable >= 0 &&
+        snapshot.col_of_var[variable] != static_cast<int>(c)) {
+      return fail(StrCat("column ", c, " and variable ", variable,
+                         " maps disagree"));
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace car

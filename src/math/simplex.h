@@ -105,6 +105,19 @@ struct SimplexSnapshot {
   int num_variables() const { return static_cast<int>(col_of_var.size()); }
 };
 
+/// Structural-coherence check of a (deserialized) snapshot against the
+/// system it claims to solve. Verifies the invariants ResumeMaximize
+/// relies on — matching variable and constraint counts, per-row vectors
+/// of equal length, per-column vectors of length num_cols, basis and
+/// init_basic columns in range, the structural-variable <-> column maps
+/// mutually inverse, row entries column-sorted with nonzero values, and
+/// nonnegative basic values (rhs) — and returns kFailedPrecondition on
+/// the first violation. A snapshot produced by SolveForSnapshot /
+/// ResumeMaximize on `system` always passes; persisted snapshots
+/// (src/persist) must pass before they are resumed.
+Status ValidateSnapshotShape(const SimplexSnapshot& snapshot,
+                             const LinearSystem& system);
+
 /// The difference between an already-snapshotted system and the system a
 /// resumed solve should decide: fresh variables, new terms that existing
 /// constraints gain on those fresh variables, and appended constraints.

@@ -1,0 +1,129 @@
+#ifndef CAR_PERSIST_SNAPSHOT_FORMAT_H_
+#define CAR_PERSIST_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "expansion/expansion.h"
+#include "math/simplex.h"
+
+namespace car {
+namespace persist {
+
+// The on-disk format of one warm-state snapshot: the serialized warm
+// state of an IncrementalSession (base expansion, solved Ψ simplex
+// snapshot, canonical-form memo) under a versioned, checksummed header.
+//
+// Layout (all integers little-endian):
+//
+//   magic[8]            "CARSNAP1"
+//   u32 format_version  kSnapshotFormatVersion
+//   u64 abi_fingerprint SnapshotAbiFingerprint()
+//   u64 schema_fingerprint  FNV-1a of the canonical printed schema
+//   u32 num_classes, u32 num_attributes, u32 num_relations
+//   u32 section_count
+//   sections, each:  u8 tag, u64 payload_length, u32 crc32c(payload),
+//                    payload
+//
+// Sections appear in strictly ascending tag order: kExpansion (always),
+// kPsi (iff the base analysis succeeded and a solved snapshot exists),
+// kMemo (always). No other tags, no duplicates, no trailing bytes.
+//
+// Decoding is TOTAL, in the same property style as serve/protocol:
+// arbitrary bytes either decode to a snapshot or yield kParseError /
+// kInvalidArgument — never undefined behavior, never a crash, and never
+// an allocation larger than the input itself (every count is bounded
+// against the remaining bytes before use). Decoding is additionally
+// STRICT: every accepted input is in canonical form (section order,
+// ascending map keys, reduced rationals, normalized bigints, 0/1
+// bools), so Encode(Decode(bytes)) == bytes for every accepted input —
+// the invariant the snapshot fuzzer enforces.
+//
+// Trust model: checksums and validation protect against torn writes,
+// media corruption and version/ABI skew, and the decoder is safe (no
+// UB) on adversarial bytes. Semantic integrity of answers, however, is
+// only guaranteed for snapshots the serializer wrote: the state
+// directory is trusted like the binary itself (DESIGN.md §5h).
+
+/// First bytes of every snapshot file.
+inline constexpr char kSnapshotMagic[8] = {'C', 'A', 'R', 'S',
+                                           'N', 'A', 'P', '1'};
+
+/// Bumped on any change to the layout or the section payloads.
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Fingerprint of the in-memory shapes the payloads serialize and of
+/// the deterministic rebuild recipe the loader replays (Ψ structure
+/// replay, derived-index rebuild). Computed from a layout-describing
+/// string, not compiler internals, so it only moves when the format
+/// semantics move; a mismatch quarantines the file rather than risking
+/// a misinterpreted tableau.
+uint64_t SnapshotAbiFingerprint();
+
+/// Software CRC32C (Castagnoli polynomial, table-driven).
+uint32_t Crc32c(std::string_view data);
+
+/// The fixed-size part of a snapshot: everything a recovery scan needs
+/// to triage a file without decoding payloads.
+struct SnapshotHeader {
+  uint32_t format_version = 0;
+  uint64_t abi_fingerprint = 0;
+  uint64_t schema_fingerprint = 0;
+  /// Extents of the schema the snapshot was built from; every id in the
+  /// expansion section is validated against them.
+  uint32_t num_classes = 0;
+  uint32_t num_attributes = 0;
+  uint32_t num_relations = 0;
+};
+
+/// Serialized size of the header plus magic, in bytes.
+inline constexpr size_t kSnapshotHeaderBytes = 8 + 4 + 8 + 8 + 4 + 4 + 4;
+
+/// The warm state of one IncrementalSession in serializable form.
+/// `expansion.schema` is null and the derived lookup indexes are empty
+/// after decoding — the loader re-points the schema and calls
+/// Expansion::RebuildDerivedIndexes (both are rebuilt, not trusted from
+/// disk). The Ψ part is optional: a session whose base analysis
+/// declined (exhaustive strategy) has no solved snapshot to persist.
+struct WarmSnapshot {
+  SnapshotHeader header;
+  Expansion expansion;
+  bool has_psi = false;
+  SimplexSnapshot psi_snapshot;
+  /// Statistics of the base solve the snapshot froze, re-installed on
+  /// restore so session stats and memory estimates match a session that
+  /// solved the base itself.
+  uint64_t base_pivots = 0;
+  uint64_t base_scalar_promotions = 0;
+  uint64_t base_tableau_nonzeros = 0;
+  uint64_t base_tableau_cells = 0;
+  /// Canonical query key -> memoized answer.
+  std::map<std::string, bool> memo;
+};
+
+/// Encodes a snapshot into its canonical byte form. The result depends
+/// only on the values (map iteration is sorted, vectors keep their
+/// order), so two sessions with identical warm state — in particular
+/// the same session run under different thread counts — encode to
+/// byte-identical snapshots.
+std::string EncodeSnapshot(const WarmSnapshot& snapshot);
+
+/// Total decoder: kParseError on malformed or non-canonical bytes,
+/// kInvalidArgument on a well-formed header with a format-version or
+/// ABI mismatch. Checksums are verified per section before the section
+/// is parsed.
+Result<WarmSnapshot> DecodeSnapshot(std::string_view bytes);
+
+/// Decodes only the fixed-size header (magic, version, ABI, schema
+/// fingerprint, extents): the cheap triage a recovery scan or a
+/// `car_tool snapshot verify` runs before touching payloads. Same error
+/// taxonomy as DecodeSnapshot.
+Result<SnapshotHeader> PeekSnapshotHeader(std::string_view bytes);
+
+}  // namespace persist
+}  // namespace car
+
+#endif  // CAR_PERSIST_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,315 @@
+#include "persist/snapshot_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "base/hashing.h"
+#include "base/strings.h"
+#include "persist/snapshot_format.h"
+
+namespace car {
+namespace persist {
+
+namespace {
+
+constexpr std::string_view kSnapSuffix = ".snap";
+constexpr std::string_view kTmpSuffix = ".snap.tmp";
+constexpr std::string_view kQuarantineSuffix = ".quarantine";
+constexpr size_t kWriteChunkBytes = 64u << 10;
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+Status Errno(std::string_view op, const std::string& path) {
+  return Internal(StrCat(op, " ", path, ": ", std::strerror(errno)));
+}
+
+Status InjectedFault(std::string_view op) {
+  return Internal(StrCat("injected I/O fault: ", op));
+}
+
+/// RAII fd so every error path closes.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path,
+                                  size_t max_bytes) {
+  Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (fd.get() < 0) {
+    if (errno == ENOENT) return NotFound(StrCat("no snapshot at ", path));
+    return Errno("open", path);
+  }
+  struct stat st;
+  if (::fstat(fd.get(), &st) != 0) return Errno("fstat", path);
+  if (static_cast<uint64_t>(st.st_size) > max_bytes) {
+    return InvalidArgument(StrCat("snapshot ", path, " is ", st.st_size,
+                                  " bytes, above the ", max_bytes,
+                                  "-byte limit"));
+  }
+  std::string bytes;
+  bytes.resize(static_cast<size_t>(st.st_size));
+  size_t got = 0;
+  while (got < bytes.size()) {
+    ssize_t n = ::read(fd.get(), bytes.data() + got, bytes.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read", path);
+    }
+    if (n == 0) break;  // Shrunk underneath us; decoder reports truncation.
+    got += static_cast<size_t>(n);
+  }
+  bytes.resize(got);
+  return bytes;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
+    std::string directory, SnapshotStoreOptions options) {
+  if (directory.empty()) {
+    return InvalidArgument("snapshot store directory is empty");
+  }
+  struct stat st;
+  if (::stat(directory.c_str(), &st) != 0) {
+    if (errno != ENOENT) return Errno("stat", directory);
+    if (::mkdir(directory.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", directory);
+    }
+  } else if (!S_ISDIR(st.st_mode)) {
+    return InvalidArgument(
+        StrCat("snapshot store path ", directory, " is not a directory"));
+  }
+  std::unique_ptr<SnapshotStore> store(
+      new SnapshotStore(std::move(directory), options));
+  CAR_RETURN_IF_ERROR(store->RecoveryScan());
+  return store;
+}
+
+Status SnapshotStore::RecoveryScan() {
+  // Recovery-scan I/O is never fault-injected: injection models the
+  // serving path (Save/Load); a store that cannot even scan its
+  // directory fails Open with the real error.
+  DIR* dir = ::opendir(directory_.c_str());
+  if (dir == nullptr) return Errno("opendir", directory_);
+  std::vector<std::string> names;
+  while (true) {
+    errno = 0;
+    struct dirent* entry = ::readdir(dir);
+    if (entry == nullptr) break;
+    names.emplace_back(entry->d_name);
+  }
+  ::closedir(dir);
+  for (const std::string& name : names) {
+    if (name == "." || name == "..") continue;
+    if (EndsWith(name, kQuarantineSuffix)) continue;
+    const std::string path = StrCat(directory_, "/", name);
+    if (EndsWith(name, kTmpSuffix)) {
+      // A leftover tmp is a torn write: the process died between
+      // opening the tmp and renaming it into place.
+      CAR_RETURN_IF_ERROR(QuarantineFile(path, "torn write (leftover tmp)"));
+      continue;
+    }
+    if (!EndsWith(name, kSnapSuffix)) continue;  // Foreign file: untouched.
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    if (static_cast<uint64_t>(st.st_size) > options_.max_snapshot_bytes) {
+      CAR_RETURN_IF_ERROR(QuarantineFile(path, "oversize"));
+      continue;
+    }
+    // Header triage only; payload corruption surfaces on Load/decode.
+    char head[kSnapshotHeaderBytes];
+    Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+    if (fd.get() < 0) continue;
+    ssize_t n = ::read(fd.get(), head, sizeof(head));
+    Result<SnapshotHeader> header = PeekSnapshotHeader(
+        std::string_view(head, n < 0 ? 0 : static_cast<size_t>(n)));
+    if (!header.ok()) {
+      CAR_RETURN_IF_ERROR(
+          QuarantineFile(path, header.status().message()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status SnapshotStore::QuarantineFile(const std::string& path,
+                                     std::string_view reason) {
+  const std::string quarantined = StrCat(path, kQuarantineSuffix);
+  if (::rename(path.c_str(), quarantined.c_str()) != 0) {
+    return Errno("rename", path);
+  }
+  std::fprintf(stderr, "car snapshot store: quarantined %s (%.*s)\n",
+               path.c_str(), static_cast<int>(reason.size()), reason.data());
+  quarantines_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+std::string SnapshotStore::FileName(std::string_view tenant) {
+  std::string prefix;
+  for (char c : tenant.substr(0, 32)) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+    prefix.push_back(safe ? c : '_');
+  }
+  char hash[17];
+  std::snprintf(hash, sizeof(hash), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(tenant)));
+  return StrCat(prefix, "-", hash, kSnapSuffix);
+}
+
+std::string SnapshotStore::PathFor(std::string_view tenant) const {
+  return StrCat(directory_, "/", FileName(tenant));
+}
+
+bool SnapshotStore::NextOpFails() const {
+  return options_.exec != nullptr && options_.exec->NextIoOpFails();
+}
+
+Status SnapshotStore::Save(std::string_view tenant,
+                           const std::string& bytes) {
+  const std::string path = PathFor(tenant);
+  const std::string tmp = StrCat(path, ".tmp");
+  Status status = [&]() -> Status {
+    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644));
+    if (fd.get() < 0) return Errno("open", tmp);
+    for (size_t offset = 0; offset < bytes.size() || offset == 0;
+         offset += kWriteChunkBytes) {
+      const size_t chunk =
+          std::min(kWriteChunkBytes, bytes.size() - offset);
+      if (NextOpFails()) {
+        // A short write, not a clean abort: half the chunk lands on
+        // disk before the "crash", leaving a genuinely torn tmp.
+        Status torn =
+            WriteAll(fd.get(), bytes.data() + offset, chunk / 2, tmp);
+        (void)torn;
+        return InjectedFault("write");
+      }
+      CAR_RETURN_IF_ERROR(
+          WriteAll(fd.get(), bytes.data() + offset, chunk, tmp));
+      if (bytes.empty()) break;
+    }
+    if (NextOpFails()) return InjectedFault("fsync");
+    if (::fsync(fd.get()) != 0) return Errno("fsync", tmp);
+    if (::close(fd.Release()) != 0) return Errno("close", tmp);
+    if (NextOpFails()) return InjectedFault("rename");
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      return Errno("rename", tmp);
+    }
+    Fd dir(::open(directory_.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+    if (dir.get() < 0) return Errno("open", directory_);
+    if (NextOpFails()) return InjectedFault("fsync directory");
+    if (::fsync(dir.get()) != 0) return Errno("fsync", directory_);
+    return Status::Ok();
+  }();
+  if (status.ok()) {
+    saves_.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  }
+  save_failures_.fetch_add(1, std::memory_order_relaxed);
+  // Best-effort cleanup of the tmp — itself an injected op, so under
+  // sticky injection the torn tmp survives exactly as it would after a
+  // real crash, and the next Open's recovery scan quarantines it.
+  if (!NextOpFails()) ::unlink(tmp.c_str());
+  return status;
+}
+
+Result<std::string> SnapshotStore::Load(std::string_view tenant,
+                                        uint64_t schema_fingerprint) {
+  const std::string path = PathFor(tenant);
+  Result<std::string> bytes =
+      ReadWholeFile(path, options_.max_snapshot_bytes);
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) {
+      load_misses_.fetch_add(1, std::memory_order_relaxed);
+      return bytes.status();
+    }
+    // Oversize files fail header triage semantics: quarantine.
+    if (bytes.status().code() == StatusCode::kInvalidArgument) {
+      CAR_RETURN_IF_ERROR(
+          QuarantineFile(path, bytes.status().message()));
+    }
+    return bytes.status();
+  }
+  if (NextOpFails() && !bytes->empty()) {
+    // Injected read corruption: flip one bit mid-file. The flip is in
+    // the payload region for any realistic snapshot, so the per-section
+    // CRC — not luck — must catch it downstream.
+    (*bytes)[bytes->size() / 2] ^= 0x01;
+  }
+  Result<SnapshotHeader> header = PeekSnapshotHeader(*bytes);
+  if (!header.ok()) {
+    CAR_RETURN_IF_ERROR(QuarantineFile(path, header.status().message()));
+    return header.status();
+  }
+  if (header->schema_fingerprint != schema_fingerprint) {
+    // A snapshot of an older schema version: superseded, not corrupt.
+    // The next Save overwrites it.
+    load_misses_.fetch_add(1, std::memory_order_relaxed);
+    return NotFound(StrCat("snapshot at ", path,
+                           " was built for a different schema"));
+  }
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  return bytes;
+}
+
+Status SnapshotStore::Quarantine(std::string_view tenant,
+                                 std::string_view reason) {
+  const std::string path = PathFor(tenant);
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::Ok();  // Already gone.
+  }
+  return QuarantineFile(path, reason);
+}
+
+Status SnapshotStore::Remove(std::string_view tenant) {
+  const std::string path = PathFor(tenant);
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace persist
+}  // namespace car

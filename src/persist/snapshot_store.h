@@ -1,0 +1,128 @@
+#ifndef CAR_PERSIST_SNAPSHOT_STORE_H_
+#define CAR_PERSIST_SNAPSHOT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/exec_context.h"
+#include "base/result.h"
+
+namespace car {
+namespace persist {
+
+// Durable storage of warm-state snapshots: one flat file per tenant
+// under a single state directory.
+//
+// Durability protocol (Save): write to `<file>.tmp`, fsync the file,
+// rename onto `<file>`, fsync the directory. A crash at any point
+// leaves either the previous snapshot or a `.tmp` the next Open
+// quarantines — never a half-written `<file>.snap`.
+//
+// Recovery (Open): the directory is scanned once. Leftover `.snap.tmp`
+// files (torn writes) and `.snap` files whose header fails triage
+// (bad magic, wrong format version or ABI fingerprint, oversize) are
+// renamed to `<name>.quarantine` and kept for inspection; they are
+// never deleted and never read again. Files with other extensions are
+// ignored entirely.
+//
+// The store treats snapshot payloads as opaque bytes: full decoding and
+// schema-fingerprint verification beyond the header happen in the
+// session layer, which calls Quarantine() when a payload that passed
+// header triage fails to deserialize.
+//
+// Every I/O primitive on the serving path (write chunk, fsync, rename,
+// unlink, read) is routed through ExecContext::NextIoOpFails() when an
+// ExecContext is configured, giving tests a deterministic sweep over
+// every abort point. Injection is sticky fail-stop: once an op fails,
+// all later ops fail too, modeling a process that dies mid-sequence.
+
+struct SnapshotStoreOptions {
+  /// Files larger than this are quarantined, not read: a corrupt length
+  /// field must not translate into an arbitrary allocation.
+  size_t max_snapshot_bytes = 256u << 20;
+  /// Borrowed fault-injection context; null = real I/O only.
+  ExecContext* exec = nullptr;
+};
+
+struct SnapshotStoreStats {
+  uint64_t saves = 0;
+  uint64_t save_failures = 0;
+  uint64_t loads = 0;
+  uint64_t load_misses = 0;
+  uint64_t quarantines = 0;
+};
+
+class SnapshotStore {
+ public:
+  /// Creates the directory if missing and runs the recovery scan.
+  /// Fails (kInternal) if the directory cannot be created or scanned;
+  /// individual bad snapshot files never fail Open — they are
+  /// quarantined.
+  static Result<std::unique_ptr<SnapshotStore>> Open(
+      std::string directory, SnapshotStoreOptions options = {});
+
+  /// Atomically replaces the tenant's snapshot file with `bytes`.
+  /// On failure the previous snapshot (if any) is still intact, though
+  /// a torn `.tmp` may remain for the next recovery scan to quarantine.
+  Status Save(std::string_view tenant, const std::string& bytes);
+
+  /// Reads the tenant's snapshot. kNotFound if there is no file or the
+  /// header's schema fingerprint differs from `schema_fingerprint`
+  /// (a stale snapshot of an older schema — superseded, not corrupt).
+  /// Files failing header triage are quarantined and the triage error
+  /// returned. The payload past the header is NOT validated here.
+  Result<std::string> Load(std::string_view tenant,
+                           uint64_t schema_fingerprint);
+
+  /// Moves the tenant's snapshot file aside as `<file>.quarantine`
+  /// (used by the session layer when a payload fails to deserialize).
+  /// No-op if the file does not exist.
+  Status Quarantine(std::string_view tenant, std::string_view reason);
+
+  /// Deletes the tenant's snapshot file. No-op if absent.
+  Status Remove(std::string_view tenant);
+
+  /// Basename of the tenant's snapshot file: a sanitized prefix of the
+  /// tenant name plus a 64-bit hash, so arbitrary tenant strings map to
+  /// distinct, filesystem-safe names.
+  static std::string FileName(std::string_view tenant);
+
+  const std::string& directory() const { return directory_; }
+
+  SnapshotStoreStats stats() const {
+    SnapshotStoreStats out;
+    out.saves = saves_.load(std::memory_order_relaxed);
+    out.save_failures = save_failures_.load(std::memory_order_relaxed);
+    out.loads = loads_.load(std::memory_order_relaxed);
+    out.load_misses = load_misses_.load(std::memory_order_relaxed);
+    out.quarantines = quarantines_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  SnapshotStore(std::string directory, SnapshotStoreOptions options)
+      : directory_(std::move(directory)), options_(options) {}
+
+  Status RecoveryScan();
+  Status QuarantineFile(const std::string& path, std::string_view reason);
+  std::string PathFor(std::string_view tenant) const;
+  /// True if the next injected I/O op fails (always false without an
+  /// ExecContext).
+  bool NextOpFails() const;
+
+  std::string directory_;
+  SnapshotStoreOptions options_;
+  std::atomic<uint64_t> saves_{0};
+  std::atomic<uint64_t> save_failures_{0};
+  std::atomic<uint64_t> loads_{0};
+  std::atomic<uint64_t> load_misses_{0};
+  std::atomic<uint64_t> quarantines_{0};
+};
+
+}  // namespace persist
+}  // namespace car
+
+#endif  // CAR_PERSIST_SNAPSHOT_STORE_H_

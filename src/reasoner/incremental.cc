@@ -9,6 +9,7 @@
 #include "base/strings.h"
 #include "base/thread_pool.h"
 #include "frontend/printer.h"
+#include "persist/snapshot_format.h"
 #include "reasoner/prefilter.h"
 #include "solver/solve.h"
 
@@ -500,6 +501,114 @@ uint64_t IncrementalSession::EstimatedMemoryBytes() const {
   return bytes;
 }
 
+Result<std::string> IncrementalSession::Serialize() {
+  CAR_RETURN_IF_ERROR(EnsureBase());
+  persist::WarmSnapshot snapshot;
+  snapshot.header.format_version = persist::kSnapshotFormatVersion;
+  snapshot.header.abi_fingerprint = persist::SnapshotAbiFingerprint();
+  snapshot.header.schema_fingerprint = fingerprint_;
+  snapshot.header.num_classes =
+      static_cast<uint32_t>(schema_->num_classes());
+  snapshot.header.num_attributes =
+      static_cast<uint32_t>(schema_->num_attributes());
+  snapshot.header.num_relations =
+      static_cast<uint32_t>(schema_->num_relations());
+  snapshot.expansion = *base_expansion_;
+  if (psi_base_.has_value()) {
+    snapshot.has_psi = true;
+    snapshot.psi_snapshot = psi_base_->snapshot;
+    snapshot.base_pivots = psi_base_->base_pivots;
+    snapshot.base_scalar_promotions = psi_base_->base_scalar_promotions;
+    snapshot.base_tableau_nonzeros = psi_base_->base_tableau_nonzeros;
+    snapshot.base_tableau_cells = psi_base_->base_tableau_cells;
+  }
+  snapshot.memo = memo_;
+  return persist::EncodeSnapshot(snapshot);
+}
+
+Status IncrementalSession::Deserialize(std::string_view bytes) {
+  CAR_ASSIGN_OR_RETURN(persist::WarmSnapshot snapshot,
+                       persist::DecodeSnapshot(bytes));
+  // The snapshot must have been built from exactly the live schema: the
+  // fingerprint covers the canonical printed form, the extents guard
+  // the id spaces every section was validated against.
+  const uint64_t fingerprint = Fnv1a64(PrintSchema(*schema_));
+  if (snapshot.header.schema_fingerprint != fingerprint) {
+    return FailedPrecondition(
+        "snapshot was built for a different schema (fingerprint mismatch)");
+  }
+  if (snapshot.header.num_classes !=
+          static_cast<uint32_t>(schema_->num_classes()) ||
+      snapshot.header.num_attributes !=
+          static_cast<uint32_t>(schema_->num_attributes()) ||
+      snapshot.header.num_relations !=
+          static_cast<uint32_t>(schema_->num_relations())) {
+    return FailedPrecondition(
+        "snapshot schema extents disagree with the live schema");
+  }
+  // From here on the session is COLD until restore fully succeeds: any
+  // failure below leaves base_ready_ false and the next query rebuilds
+  // from scratch — a restore can degrade to a cold start but never to a
+  // corrupted warm state.
+  base_ready_ = false;
+  memo_.clear();
+  base_expansion_.reset();
+  analysis_.reset();
+  psi_base_.reset();
+  schema_analysis_.reset();
+
+  snapshot.expansion.schema = schema_;
+  // Derived lookup indexes are rebuilt, never trusted from disk.
+  snapshot.expansion.RebuildDerivedIndexes();
+  if (options_.prefilter) {
+    AnalyzerOptions analyzer_options;
+    analyzer_options.lint = false;
+    schema_analysis_ = AnalyzeSchema(*schema_, analyzer_options);
+  }
+  Result<ExpansionBaseAnalysis> analysis =
+      AnalyzeBaseExpansion(*schema_, snapshot.expansion, options_.expansion);
+  if (analysis.ok() != snapshot.has_psi) {
+    // The live analysis decides whether the incremental Ψ path exists;
+    // a snapshot that disagrees was built under different options.
+    return FailedPrecondition(
+        "snapshot psi presence disagrees with the live base analysis");
+  }
+  if (!analysis.ok() &&
+      analysis.status().code() != StatusCode::kFailedPrecondition) {
+    return analysis.status();
+  }
+  if (snapshot.has_psi) {
+    // Rebuild the deterministic structure around the persisted basis and
+    // verify the basis fits it before anything resumes from it.
+    CAR_ASSIGN_OR_RETURN(
+        IncrementalPsiBase psi_base,
+        BuildIncrementalPsiBaseStructure(snapshot.expansion,
+                                         options_.solver));
+    CAR_RETURN_IF_ERROR(ValidateSnapshotShape(snapshot.psi_snapshot,
+                                              psi_base.psi.system));
+    psi_base.snapshot = std::move(snapshot.psi_snapshot);
+    psi_base.base_pivots = static_cast<size_t>(snapshot.base_pivots);
+    psi_base.base_scalar_promotions = snapshot.base_scalar_promotions;
+    psi_base.base_tableau_nonzeros = snapshot.base_tableau_nonzeros;
+    psi_base.base_tableau_cells = snapshot.base_tableau_cells;
+    // Fold the frozen base-solve costs into the session counters exactly
+    // as EnsureBase would after solving, so stats and memory estimates
+    // match a session that paid the solve itself.
+    scalar_promotions_.fetch_add(psi_base.base_scalar_promotions,
+                                 std::memory_order_relaxed);
+    MaxRelaxed(&peak_tableau_nonzeros_, psi_base.base_tableau_nonzeros);
+    MaxRelaxed(&peak_tableau_cells_, psi_base.base_tableau_cells);
+    analysis_ = std::move(analysis.value());
+    psi_base_ = std::move(psi_base);
+  }
+  base_expansion_ = std::move(snapshot.expansion);
+  memo_ = std::move(snapshot.memo);
+  fingerprint_ = fingerprint;
+  base_ready_ = true;
+  ++base_restores_;
+  return Status::Ok();
+}
+
 IncrementalStats IncrementalSession::stats() const {
   IncrementalStats stats;
   stats.queries = queries_;
@@ -509,6 +618,7 @@ IncrementalStats IncrementalSession::stats() const {
   stats.memo_hits = memo_hits_;
   stats.memo_misses = memo_misses_;
   stats.base_builds = base_builds_;
+  stats.base_restores = base_restores_;
   stats.probes = probes_.load(std::memory_order_relaxed);
   stats.warm_starts = warm_starts_.load(std::memory_order_relaxed);
   stats.fallbacks = fallbacks_.load(std::memory_order_relaxed);

@@ -48,6 +48,10 @@ struct IncrementalStats {
   /// Base expansions + snapshot solves performed: 1, plus one per
   /// observed schema-fingerprint change.
   uint64_t base_builds = 0;
+  /// Base states restored from a persisted snapshot (Deserialize)
+  /// instead of solved. Disjoint from base_builds: a restored base pays
+  /// no LP solve.
+  uint64_t base_restores = 0;
   /// Scalar fast-path overflows promoted to BigInt form, summed over the
   /// base solve and every probe LP. Deterministic across thread counts:
   /// each solve is single-threaded and the sum is commutative.
@@ -123,6 +127,27 @@ class IncrementalSession {
   /// schedule-independent counts and maxima).
   uint64_t EstimatedMemoryBytes() const;
 
+  // --- Persistence (src/persist) -----------------------------------------
+
+  /// Serializes the warm state — base expansion, solved Ψ snapshot with
+  /// its base-solve statistics, and the memo — into the canonical
+  /// snapshot byte format (persist/snapshot_format.h). Builds the base
+  /// first if needed, so the result always reflects the current schema.
+  /// Byte-identical for every thread count: the warm state itself is
+  /// schedule-independent and the encoding is canonical.
+  Result<std::string> Serialize();
+
+  /// Restores the warm state from Serialize() output. The snapshot's
+  /// schema fingerprint and extents must match the LIVE schema
+  /// (kFailedPrecondition otherwise — the caller falls back to a cold
+  /// build), the Ψ snapshot must pass ValidateSnapshotShape against the
+  /// freshly rebuilt base system, and the snapshot's Ψ presence must
+  /// agree with what the live base analysis would decide. On ANY
+  /// failure the session is left cold (not corrupted): the next query
+  /// simply rebuilds from scratch. On success, subsequent answers are
+  /// bit-identical to a never-persisted session's.
+  Status Deserialize(std::string_view bytes);
+
   /// Canonical memo key of a query: literal/clause order and
   /// duplication inside an ISA formula and the argument order of a
   /// disjointness query do not affect the answer, so they do not affect
@@ -175,6 +200,7 @@ class IncrementalSession {
   uint64_t memo_hits_ = 0;
   uint64_t memo_misses_ = 0;
   uint64_t base_builds_ = 0;
+  uint64_t base_restores_ = 0;
   std::atomic<uint64_t> cluster_local_{0};
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> warm_starts_{0};

@@ -4,7 +4,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +18,27 @@ namespace car {
 namespace serve {
 
 namespace {
+
+/// Opens the durable store for --state-dir, or null (with a warning)
+/// when the directory is unusable: persistence is an optimization, so a
+/// bad state dir must not keep the daemon from serving.
+std::unique_ptr<persist::SnapshotStore> OpenStore(
+    const ServerOptions& options, ExecContext* io_exec) {
+  if (options.state_dir.empty()) return nullptr;
+  io_exec->InjectIoFaultAfter(options.io_fault_after);
+  persist::SnapshotStoreOptions store_options;
+  store_options.exec = io_exec;
+  auto store = persist::SnapshotStore::Open(options.state_dir,
+                                            store_options);
+  if (!store.ok()) {
+    std::fprintf(stderr,
+                 "car_serve: cannot open state dir: %s; "
+                 "serving without persistence\n",
+                 store.status().message().c_str());
+    return nullptr;
+  }
+  return std::move(store.value());
+}
 
 QueryStatsDelta Delta(const IncrementalStats& before,
                       const IncrementalStats& after) {
@@ -32,12 +55,15 @@ QueryStatsDelta Delta(const IncrementalStats& before,
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(options), cache_([&options] {
+    : options_(std::move(options)),
+      store_(OpenStore(options_, &io_exec_)),
+      cache_([this] {
         SessionCacheOptions cache_options;
-        cache_options.max_sessions = options.max_sessions;
-        cache_options.memory_budget_bytes = options.memory_budget_bytes;
-        cache_options.reasoner.num_threads = options.num_threads;
-        cache_options.reasoner.prefilter = options.prefilter;
+        cache_options.max_sessions = options_.max_sessions;
+        cache_options.memory_budget_bytes = options_.memory_budget_bytes;
+        cache_options.reasoner.num_threads = options_.num_threads;
+        cache_options.reasoner.prefilter = options_.prefilter;
+        cache_options.store = store_.get();
         return cache_options;
       }()) {}
 
@@ -61,6 +87,9 @@ Response Server::Handle(const Request& request) {
           return HandleStats();
         } else {
           static_assert(std::is_same_v<T, ShutdownRequest>);
+          // Graceful shutdown persists every dirty session, so the next
+          // daemon start answers warm instead of re-solving.
+          cache_.SpillAll();
           shutdown_.store(true, std::memory_order_release);
           return ShuttingDownResponse{};
         }
@@ -80,6 +109,12 @@ Response Server::HandleOpen(const std::string& name,
   auto opened = cache_.Open(name, text, &warm);
   if (!opened.ok()) return MakeError(opened.status());
   const SessionEntry& entry = *opened.value();
+  if (!warm && entry.restored) {
+    // Operator-visible breadcrumb (and the warm-restart integration
+    // test's witness) that the cold open skipped the base solve.
+    std::fprintf(stderr, "car_serve: tenant '%s' warm-restored from snapshot\n",
+                 entry.name.c_str());
+  }
   OpenedResponse response;
   response.fingerprint = entry.fingerprint;
   response.num_classes = static_cast<uint32_t>(entry.schema->num_classes());
@@ -133,6 +168,11 @@ Response Server::HandleQuery(const QueryRequest& request) {
   auto answers = entry->session->RunImplicationBatch(queries);
   entry->session->set_exec(nullptr);
   cache_.UpdateCost(entry);
+  // Spill-after-batch: the freshly grown warm state (new memo entries,
+  // possibly a new base) becomes durable before the next request. A
+  // failed spill is counted in the cache stats and the daemon keeps
+  // serving from memory.
+  cache_.Spill(entry);
 
   AnswersResponse response;
   response.stats = Delta(before, entry->session->stats());

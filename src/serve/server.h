@@ -3,10 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
 
 #include "base/exec_context.h"
 #include "base/status.h"
+#include "persist/snapshot_store.h"
 #include "serve/protocol.h"
 #include "serve/session_cache.h"
 
@@ -26,6 +29,16 @@ struct ServerOptions {
   /// Server-side per-request caps; every QueryRequest's own limits are
   /// tightened against these (the smaller configured value wins).
   AdmissionLimits request_limits;
+  /// Durable warm-state directory (car_serve --state-dir). Empty = no
+  /// persistence (the default). When set, warm session state is spilled
+  /// after each batch / on eviction / at shutdown and restored on Open;
+  /// if the directory cannot be opened the server logs a warning and
+  /// serves without persistence rather than failing to start.
+  std::string state_dir;
+  /// Deterministic I/O fault injection for the persistence layer
+  /// (tests; CAR_IO_FAULT_INJECT in car_serve): the Nth and every later
+  /// store I/O op fails. kNoInjection = real I/O only.
+  uint64_t io_fault_after = AdmissionLimits::kNoInjection;
 };
 
 struct ServerStats {
@@ -84,6 +97,13 @@ class Server {
 
   ServerOptions options_;
   std::mutex mutex_;
+  /// Fault-injection context the snapshot store routes its I/O through
+  /// (configured from options_.io_fault_after; inert otherwise). Must
+  /// outlive store_, which borrows it.
+  ExecContext io_exec_;
+  /// Durable warm-state store; null without --state-dir. Declared before
+  /// cache_, which borrows it.
+  std::unique_ptr<persist::SnapshotStore> store_;
   SessionCache cache_;
   ServerStats stats_;
   std::atomic<bool> shutdown_{false};

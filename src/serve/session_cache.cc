@@ -42,8 +42,28 @@ Result<SessionEntry*> SessionCache::Open(const std::string& name,
   entry->session = std::make_unique<IncrementalSession>(entry->schema.get(),
                                                         options_.reasoner);
   entry->canonical_bytes = canonical.size();
+  if (options_.store != nullptr) {
+    // Try to restore persisted warm state into the cold session. Every
+    // failure mode degrades to the cold build: kNotFound is the normal
+    // miss, other load errors are counted, and a payload that decodes
+    // but fails to restore is quarantined for inspection.
+    auto bytes = options_.store->Load(name, fingerprint);
+    if (bytes.ok()) {
+      Status restored = entry->session->Deserialize(bytes.value());
+      if (restored.ok()) {
+        entry->restored = true;
+        ++stats_.restores;
+      } else {
+        ++stats_.restore_failures;
+        (void)options_.store->Quarantine(name, restored.message());
+      }
+    } else if (bytes.status().code() != StatusCode::kNotFound) {
+      ++stats_.restore_failures;
+    }
+  }
   entry->cost_bytes =
       entry->session->EstimatedMemoryBytes() + entry->canonical_bytes;
+  if (entry->restored) entry->persisted_cost = entry->cost_bytes;
   entry->last_used = ++tick_;
 
   SessionEntry* result = entry.get();
@@ -68,6 +88,31 @@ void SessionCache::UpdateCost(SessionEntry* entry) {
   entry->cost_bytes =
       entry->session->EstimatedMemoryBytes() + entry->canonical_bytes;
   Evict(entry);
+}
+
+void SessionCache::Spill(SessionEntry* entry) {
+  if (options_.store == nullptr || entry == nullptr) return;
+  if (entry->cost_bytes == entry->persisted_cost) return;  // Clean.
+  const IncrementalStats session = entry->session->stats();
+  if (session.base_builds + session.base_restores == 0) {
+    // Opened but never queried: Serialize would have to pay the base
+    // solve just to persist it. Leave it cold.
+    return;
+  }
+  auto bytes = entry->session->Serialize();
+  if (bytes.ok()) {
+    Status saved = options_.store->Save(entry->name, bytes.value());
+    if (saved.ok()) {
+      entry->persisted_cost = entry->cost_bytes;
+      ++stats_.spills;
+      return;
+    }
+  }
+  ++stats_.spill_failures;
+}
+
+void SessionCache::SpillAll() {
+  for (auto& [name, entry] : entries_) Spill(entry.get());
 }
 
 bool SessionCache::Close(const std::string& name) {
@@ -96,6 +141,9 @@ void SessionCache::Evict(const SessionEntry* keep) {
       }
     }
     if (victim == entries_.end()) break;  // Only `keep` is resident.
+    // An evicted tenant's warm state is only "gone" in memory: spilling
+    // it first turns the next Open into a restore instead of a rebuild.
+    Spill(victim->second.get());
     entries_.erase(victim);
     ++stats_.evictions;
   }

@@ -8,6 +8,7 @@
 
 #include "base/result.h"
 #include "model/schema.h"
+#include "persist/snapshot_store.h"
 #include "reasoner/incremental.h"
 #include "reasoner/reasoner.h"
 
@@ -26,6 +27,13 @@ struct SessionCacheOptions {
   /// knobs). The per-request ExecContext is swapped in separately via
   /// IncrementalSession::set_exec.
   ReasonerOptions reasoner;
+  /// Durable warm-state store (borrowed, may be null = no persistence).
+  /// With a store, Open tries to restore a snapshot into a cold session,
+  /// Evict spills victims before dropping them, and the server calls
+  /// Spill after each batch. Persistence never changes answers: every
+  /// restore is fingerprint-verified and any failure degrades to the
+  /// cold build.
+  persist::SnapshotStore* store = nullptr;
 };
 
 struct SessionCacheStats {
@@ -38,6 +46,15 @@ struct SessionCacheStats {
   uint64_t evictions = 0;
   uint64_t lookup_hits = 0;
   uint64_t lookup_misses = 0;
+  /// Cold opens that restored warm state from a persisted snapshot.
+  uint64_t restores = 0;
+  /// Restore attempts that failed (corrupt/stale payload, I/O error);
+  /// each degrades to the cold build it would have been anyway.
+  uint64_t restore_failures = 0;
+  /// Successful snapshot saves (after batches, on eviction, at
+  /// shutdown). Clean sessions are not re-spilled.
+  uint64_t spills = 0;
+  uint64_t spill_failures = 0;
 };
 
 /// One resident tenant: the parsed schema (owned, pointer-stable — the
@@ -55,6 +72,13 @@ struct SessionEntry {
   uint64_t cost_bytes = 0;
   /// LRU tick of the last touch.
   uint64_t last_used = 0;
+  /// Whether this entry's warm state came from a persisted snapshot.
+  bool restored = false;
+  /// cost_bytes at the last successful spill/restore; the entry is dirty
+  /// (worth spilling) iff cost_bytes differs. Sound as a cleanliness
+  /// proxy because every persisted-state change (new memo entry, new
+  /// base) moves the deterministic cost estimate.
+  uint64_t persisted_cost = 0;
 };
 
 /// Fingerprint-keyed cache of warm IncrementalSessions, one per tenant
@@ -84,7 +108,19 @@ class SessionCache {
   /// then enforces the memory budget against the other tenants.
   void UpdateCost(SessionEntry* entry);
 
-  /// Drops the tenant; false if it was not resident.
+  /// Persists the entry's warm state to the configured store if it is
+  /// dirty. No-op without a store, for a clean entry, or for a session
+  /// that never built its base (there is no warm state worth a solve at
+  /// spill time). Failures are counted, never propagated: a failed
+  /// spill only costs the next open its warm start.
+  void Spill(SessionEntry* entry);
+
+  /// Spills every dirty resident entry (shutdown path).
+  void SpillAll();
+
+  /// Drops the tenant; false if it was not resident. The persisted
+  /// snapshot (if any) is left on disk: it is a pure cache, and a
+  /// re-open restoring the pre-close state answers identically.
   bool Close(const std::string& name);
 
   uint64_t resident_sessions() const { return entries_.size(); }

@@ -39,7 +39,7 @@ void AppendBoundPair(int cc_variable, const LinearExpr& sum,
 
 }  // namespace
 
-Result<IncrementalPsiBase> PrepareIncrementalPsi(
+Result<IncrementalPsiBase> BuildIncrementalPsiBaseStructure(
     const Expansion& expansion, const PsiSolverOptions& options) {
   ExecContext* exec = options.exec;
   CAR_RETURN_IF_ERROR(GovCheck(exec, "solver"));
@@ -97,6 +97,14 @@ Result<IncrementalPsiBase> PrepareIncrementalPsi(
     base.psi.system.AddConstraint(std::move(below_one));
     base.objective.Add(t, Rational(1));
   }
+  return base;
+}
+
+Result<IncrementalPsiBase> PrepareIncrementalPsi(
+    const Expansion& expansion, const PsiSolverOptions& options) {
+  ExecContext* exec = options.exec;
+  CAR_ASSIGN_OR_RETURN(IncrementalPsiBase base,
+                       BuildIncrementalPsiBaseStructure(expansion, options));
 
   SimplexSolver::Options simplex_options;
   simplex_options.max_pivots = options.max_pivots;

@@ -66,10 +66,19 @@ struct IncrementalProbeResult {
   uint64_t peak_tableau_cells = 0;
 };
 
-/// Builds the incremental base state: the full base Ψ system with
-/// t-gadgets (mirroring SolvePsi round 1 exactly) solved via
-/// SolveForSnapshot. One LP solve, charged to the governor like any
-/// other.
+/// Builds everything in IncrementalPsiBase EXCEPT the solved snapshot:
+/// the full base Ψ system, the cc_constrained/t_var masks, the
+/// Natt/Nrel row bookkeeping (replaying the builder's emission order)
+/// and the support objective. Purely deterministic in the expansion —
+/// no LP runs — which is what lets a persisted SimplexSnapshot
+/// (src/persist) be re-attached to a freshly rebuilt structure on warm
+/// restart instead of re-paying the base solve.
+Result<IncrementalPsiBase> BuildIncrementalPsiBaseStructure(
+    const Expansion& expansion, const PsiSolverOptions& options);
+
+/// Builds the incremental base state: the structure above with the full
+/// system solved via SolveForSnapshot (mirroring SolvePsi round 1
+/// exactly). One LP solve, charged to the governor like any other.
 Result<IncrementalPsiBase> PrepareIncrementalPsi(
     const Expansion& expansion, const PsiSolverOptions& options);
 

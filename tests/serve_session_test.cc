@@ -6,10 +6,12 @@
 
 #include "serve/server.h"
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <variant>
@@ -565,6 +567,192 @@ TEST(ServeEndToEnd, StdioRoundTrip) {
   EXPECT_EQ(answers->answers, OfflineAnswers(schema, lines));
   EXPECT_TRUE(
       std::holds_alternative<ShuttingDownResponse>(responses[3]));
+}
+/// One generation of the real car_serve binary with a persistent state
+/// directory: feeds the request frames, collects the decoded responses
+/// and the child's stderr. When `kill_after_responses` > 0 the child is
+/// SIGKILLed as soon as that many responses arrived (stdin stays open —
+/// a genuine crash, no graceful shutdown); otherwise the stream should
+/// end in a ShutdownRequest and the child must exit 0.
+struct ServeGeneration {
+  std::vector<Response> responses;
+  std::string stderr_text;
+  bool clean_exit = false;
+};
+
+ServeGeneration RunServeGeneration(const std::string& state_dir,
+                                   const char* fault_env,
+                                   const std::vector<Request>& requests,
+                                   size_t kill_after_responses = 0) {
+  ServeGeneration result;
+  int to_child[2];
+  int from_child[2];
+  int err_child[2];
+  EXPECT_EQ(pipe(to_child), 0);
+  EXPECT_EQ(pipe(from_child), 0);
+  EXPECT_EQ(pipe(err_child), 0);
+  pid_t pid = fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    dup2(err_child[1], STDERR_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    close(err_child[0]);
+    close(err_child[1]);
+    if (fault_env != nullptr) setenv("CAR_IO_FAULT_INJECT", fault_env, 1);
+    std::string flag = StrCat("--state-dir=", state_dir);
+    execl(CAR_SERVE_BIN, "car_serve", "--threads=1", flag.c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  close(err_child[1]);
+
+  std::string stream;
+  for (const Request& request : requests) {
+    stream += EncodeFrame(EncodeRequest(request)).value();
+  }
+  EXPECT_EQ(write(to_child[1], stream.data(), stream.size()),
+            static_cast<ssize_t>(stream.size()));
+  if (kill_after_responses == 0) close(to_child[1]);
+
+  FrameReader reader;
+  std::string payload;
+  char buffer[4096];
+  ssize_t n;
+  bool killed = false;
+  while ((n = read(from_child[0], buffer, sizeof(buffer))) > 0) {
+    reader.Append(buffer, static_cast<size_t>(n));
+    while (true) {
+      auto next = reader.Next(&payload);
+      EXPECT_TRUE(next.ok()) << next.status();
+      if (!next.ok() || !next.value()) break;
+      auto response = DecodeResponse(payload);
+      EXPECT_TRUE(response.ok()) << response.status();
+      if (response.ok()) {
+        result.responses.push_back(std::move(response.value()));
+      }
+    }
+    if (kill_after_responses > 0 && !killed &&
+        result.responses.size() >= kill_after_responses) {
+      kill(pid, SIGKILL);
+      killed = true;
+      close(to_child[1]);
+    }
+  }
+  close(from_child[0]);
+  if (kill_after_responses > 0 && !killed) close(to_child[1]);
+
+  while ((n = read(err_child[0], buffer, sizeof(buffer))) > 0) {
+    result.stderr_text.append(buffer, static_cast<size_t>(n));
+  }
+  close(err_child[0]);
+
+  int wstatus = 0;
+  EXPECT_EQ(waitpid(pid, &wstatus, 0), pid);
+  result.clean_exit = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+  return result;
+}
+
+/// Scratch state directory for the restart tests.
+std::string MakeStateDir() {
+  char tmpl[] = "/tmp/car_serve_state_XXXXXX";
+  char* made = mkdtemp(tmpl);
+  EXPECT_NE(made, nullptr);
+  return made != nullptr ? made : "/tmp/car_serve_state_fallback";
+}
+
+// Warm restart across real processes: generation 1 builds and persists
+// the warm state through a graceful shutdown; generation 2 must restore
+// it (witnessed on stderr), answer bit-identically, and never rebuild.
+TEST(ServeWarmRestart, GracefulRestartRestoresWarmState) {
+  const std::string state_dir = MakeStateDir();
+  const Schema schema = testing_schemas::Figure2();
+  const std::vector<std::string> lines = MakeQueryLines(schema, 13, 8);
+  const std::vector<uint8_t> offline = OfflineAnswers(schema, lines);
+
+  QueryRequest query;
+  query.name = "t";
+  query.queries = lines;
+  const std::vector<Request> trace = {
+      OpenRequest{"t", PrintSchema(schema)}, query, ShutdownRequest{}};
+
+  ServeGeneration first = RunServeGeneration(state_dir, nullptr, trace);
+  ASSERT_TRUE(first.clean_exit) << first.stderr_text;
+  ASSERT_EQ(first.responses.size(), 3u);
+  EXPECT_EQ(first.stderr_text.find("warm-restored"), std::string::npos)
+      << "generation 1 had nothing to restore from";
+  auto* cold = std::get_if<AnswersResponse>(&first.responses[1]);
+  ASSERT_NE(cold, nullptr);
+  EXPECT_EQ(cold->answers, offline);
+
+  ServeGeneration second = RunServeGeneration(state_dir, nullptr, trace);
+  ASSERT_TRUE(second.clean_exit) << second.stderr_text;
+  ASSERT_EQ(second.responses.size(), 3u);
+  EXPECT_NE(second.stderr_text.find("warm-restored from snapshot"),
+            std::string::npos)
+      << "stderr: " << second.stderr_text;
+  auto* warm = std::get_if<AnswersResponse>(&second.responses[1]);
+  ASSERT_NE(warm, nullptr);
+  EXPECT_EQ(warm->answers, offline);
+
+  std::string cleanup = StrCat("rm -rf '", state_dir, "'");
+  int rc = std::system(cleanup.c_str());
+  (void)rc;
+}
+
+// Crash safety across real processes: generation 1 runs with a sticky
+// I/O fault (every spill tears its tmp file) and is SIGKILLed right
+// after answering — the state directory holds only crash debris. The
+// restarted generation must quarantine the torn write during its
+// recovery scan, open cold, and still answer bit-identically.
+TEST(ServeWarmRestart, SigkillMidSaveIsQuarantinedAndServedCold) {
+  const std::string state_dir = MakeStateDir();
+  const Schema schema = testing_schemas::Figure2();
+  const std::vector<std::string> lines = MakeQueryLines(schema, 13, 8);
+  const std::vector<uint8_t> offline = OfflineAnswers(schema, lines);
+
+  QueryRequest query;
+  query.name = "t";
+  query.queries = lines;
+
+  // Fault from the very first I/O op: the post-batch spill writes half
+  // a chunk and fails, and the injected cleanup leaves the torn tmp on
+  // disk — exactly the debris a power cut mid-save leaves behind.
+  ServeGeneration first = RunServeGeneration(
+      state_dir, "0", {OpenRequest{"t", PrintSchema(schema)}, query},
+      /*kill_after_responses=*/2);
+  ASSERT_EQ(first.responses.size(), 2u);
+  EXPECT_FALSE(first.clean_exit) << "the SIGKILL did not land";
+  auto* crashed = std::get_if<AnswersResponse>(&first.responses[1]);
+  ASSERT_NE(crashed, nullptr);
+  EXPECT_EQ(crashed->answers, offline)
+      << "fault injection must never change answers";
+
+  const std::vector<Request> trace = {
+      OpenRequest{"t", PrintSchema(schema)}, query, ShutdownRequest{}};
+  ServeGeneration second = RunServeGeneration(state_dir, nullptr, trace);
+  ASSERT_TRUE(second.clean_exit) << second.stderr_text;
+  ASSERT_EQ(second.responses.size(), 3u);
+  EXPECT_NE(second.stderr_text.find("quarantined"), std::string::npos)
+      << "stderr: " << second.stderr_text;
+  EXPECT_NE(second.stderr_text.find("torn write"), std::string::npos)
+      << "stderr: " << second.stderr_text;
+  EXPECT_EQ(second.stderr_text.find("warm-restored"), std::string::npos)
+      << "a torn snapshot must not restore; stderr: "
+      << second.stderr_text;
+  auto* recovered = std::get_if<AnswersResponse>(&second.responses[1]);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->answers, offline);
+
+  std::string cleanup = StrCat("rm -rf '", state_dir, "'");
+  int rc = std::system(cleanup.c_str());
+  (void)rc;
 }
 #endif  // CAR_SERVE_BIN
 

@@ -24,6 +24,13 @@
 //   --default-deadline-ms=N server-side per-request deadline cap
 //   --default-work-budget=N server-side per-request work-unit cap
 //   --max-frame-mb=N        frame payload cap (default 8 MiB)
+//   --state-dir=DIR         durable warm-state snapshots (off by default):
+//                           spill after each batch / eviction / shutdown,
+//                           restore on Open (src/persist)
+//   --version               print snapshot format + ABI fingerprint, exit
+//
+// Environment: CAR_IO_FAULT_INJECT=N makes the Nth and every later
+// persistence I/O op fail deterministically (crash-safety tests only).
 //
 // Socket transports accept connections until a ShutdownRequest is
 // served; stdio serves until EOF or shutdown. Exit codes: 0 clean
@@ -38,6 +45,7 @@
 #include <atomic>
 #include <cerrno>
 #include <charconv>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -47,6 +55,7 @@
 #include <thread>
 #include <vector>
 
+#include "persist/snapshot_format.h"
 #include "serve/server.h"
 
 namespace car {
@@ -80,6 +89,8 @@ int Usage() {
          "  --default-deadline-ms=N per-request deadline cap\n"
          "  --default-work-budget=N per-request work-unit cap\n"
          "  --max-frame-mb=N        frame payload cap in MiB\n"
+         "  --state-dir=DIR         durable warm-state snapshot directory\n"
+         "  --version               print snapshot format/ABI, exit\n"
          "exit codes:\n"
          "  0  clean shutdown (ShutdownRequest or client EOF)\n"
          "  3  usage error\n"
@@ -129,6 +140,9 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
         return false;
       }
       flags->max_frame_payload = static_cast<uint32_t>(value << 20);
+    } else if (arg.rfind("--state-dir=", 0) == 0) {
+      flags->server.state_dir = arg.substr(12);
+      if (flags->server.state_dir.empty()) return false;
     } else if (arg.rfind("--unix=", 0) == 0) {
       flags->unix_path = arg.substr(7);
       if (flags->unix_path.empty()) return false;
@@ -280,8 +294,25 @@ int ServeTcp(const Flags& flags) {
 }
 
 int Run(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--version") {
+      std::cout << "car_serve snapshot-format="
+                << persist::kSnapshotFormatVersion << " abi-fingerprint="
+                << std::hex << persist::SnapshotAbiFingerprint() << std::dec
+                << "\n";
+      return kExitOk;
+    }
+  }
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) return Usage();
+  // Deterministic persistence-fault injection for crash-safety tests:
+  // same parsing contract as the flag values (reject garbage loudly).
+  if (const char* inject = std::getenv("CAR_IO_FAULT_INJECT")) {
+    std::string arg = std::string("CAR_IO_FAULT_INJECT=") + inject;
+    uint64_t value = 0;
+    if (!ParseUint64Flag(arg, 20, &value)) return Usage();
+    flags.server.io_fault_after = value;
+  }
   if (!flags.unix_path.empty()) return ServeUnix(flags);
   if (flags.tcp_port >= 0) return ServeTcp(flags);
   return ServeStdio(flags);

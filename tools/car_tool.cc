@@ -23,6 +23,23 @@
 //                                        engine (one base solve + expansion
 //                                        deltas + warm-started LPs + memo);
 //                                        --from-scratch opts out
+//   car_tool snapshot save <schema-file> <state-dir>
+//                                        build a warm session (running
+//                                        --queries first if given) and
+//                                        persist it durably
+//   car_tool snapshot load <schema-file> <state-dir>
+//                                        restore the persisted warm state
+//                                        and report it (answers --queries
+//                                        warm if given)
+//   car_tool snapshot verify <schema-file> <state-dir>
+//                                        full offline integrity check of
+//                                        the persisted snapshot (header,
+//                                        checksums, decode, fingerprint,
+//                                        restorability); prints the reason
+//                                        a file would be quarantined
+//   (snapshot commands address the tenant named by --tenant=, default
+//   "default"; car_tool --version prints the snapshot format version and
+//   ABI fingerprint)
 //
 // --threads=N runs phase 1/phase 2 and implication batches on N worker
 // threads (0 = hardware concurrency); results are bit-identical to the
@@ -43,12 +60,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "base/hashing.h"
 #include "core/car.h"
+#include "persist/snapshot_format.h"
+#include "persist/snapshot_store.h"
 #include "reasoner/incremental.h"
 #include "reasoner/query_text.h"
 #include "reasoner/unrestricted.h"
@@ -70,6 +91,8 @@ std::string g_queries_path;
 bool g_from_scratch = false;
 /// Output format of the `lint` command ("text" or "json"); --format=.
 std::string g_format = "text";
+/// Tenant the `snapshot` commands address; --tenant=.
+std::string g_tenant = "default";
 /// Promote lint warnings to errors (exit-code relevant); --werror.
 bool g_werror = false;
 /// Governor settings; 0 = unlimited. Set by the --deadline-ms=,
@@ -126,6 +149,9 @@ int Usage() {
          "  model <file>                synthesize a database state\n"
          "  reify <file>                reify n-ary relations (Thm 4.5)\n"
          "  implications <file> <class> implied facts about one class\n"
+         "  snapshot save <file> <dir>  persist a warm session snapshot\n"
+         "  snapshot load <file> <dir>  restore + report the snapshot\n"
+         "  snapshot verify <file> <dir> offline snapshot integrity check\n"
          "  query <file> --queries=<qf> batch implication queries; one\n"
          "                              query per line:\n"
          "                                isa A B\n"
@@ -143,6 +169,9 @@ int Usage() {
          "  --format=text|json          `lint` only: output format\n"
          "  --werror                    `lint` only: treat warnings as\n"
          "                              errors\n"
+         "  --tenant=NAME               `snapshot` only: tenant name\n"
+         "                              (default \"default\")\n"
+         "  --version                   print snapshot format/ABI, exit\n"
          "  --threads=N                 worker threads (1 = serial,\n"
          "                              0 = hardware concurrency)\n"
          "  --deadline-ms=N             abort after N milliseconds\n"
@@ -436,6 +465,155 @@ int Query(Schema& schema) {
   return kExitSat;
 }
 
+/// Reads and parses the --queries file; nullopt (after printing the
+/// diagnostic) on failure.
+std::optional<std::vector<ImplicationQuery>> LoadQueryFile(
+    const Schema& schema, std::vector<std::string>* lines) {
+  std::ifstream file(g_queries_path);
+  if (!file) {
+    std::cerr << "cannot open '" << g_queries_path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = ParseQueryText(schema, buffer.str(), lines);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status() << "\n";
+    return std::nullopt;
+  }
+  return std::move(parsed.value());
+}
+
+/// `snapshot save <file> <dir>`: builds a warm session (answering the
+/// --queries batch first when given, so their memoized answers persist
+/// too) and stores its snapshot durably for --tenant.
+int SnapshotSave(Schema& schema, const std::string& dir) {
+  IncrementalSession session(&schema, MakeReasonerOptions());
+  if (!g_queries_path.empty()) {
+    std::vector<std::string> lines;
+    auto queries = LoadQueryFile(schema, &lines);
+    if (!queries.has_value()) return kExitError;
+    auto answers = session.RunImplicationBatch(*queries);
+    if (!answers.ok()) return ReportFailure("query", answers.status());
+  }
+  auto bytes = session.Serialize();
+  if (!bytes.ok()) return ReportFailure("snapshot", bytes.status());
+  auto store = persist::SnapshotStore::Open(dir);
+  if (!store.ok()) {
+    std::cerr << "snapshot store: " << store.status() << "\n";
+    return kExitError;
+  }
+  Status saved = (*store)->Save(g_tenant, *bytes);
+  if (!saved.ok()) {
+    std::cerr << "snapshot save: " << saved << "\n";
+    return kExitError;
+  }
+  std::cout << "saved " << bytes->size() << " byte(s) for tenant '"
+            << g_tenant << "' to " << dir << "/"
+            << persist::SnapshotStore::FileName(g_tenant)
+            << " (schema fingerprint " << std::hex
+            << Fnv1a64(PrintSchema(schema)) << std::dec << ")\n";
+  return kExitSat;
+}
+
+/// `snapshot load <file> <dir>`: restores --tenant's snapshot against
+/// the live schema and reports what came back; with --queries, answers
+/// the batch on the restored (warm) session.
+int SnapshotLoad(Schema& schema, const std::string& dir) {
+  auto store = persist::SnapshotStore::Open(dir);
+  if (!store.ok()) {
+    std::cerr << "snapshot store: " << store.status() << "\n";
+    return kExitError;
+  }
+  const uint64_t fingerprint = Fnv1a64(PrintSchema(schema));
+  auto bytes = (*store)->Load(g_tenant, fingerprint);
+  if (!bytes.ok()) {
+    std::cerr << "snapshot load: " << bytes.status() << "\n";
+    return kExitError;
+  }
+  IncrementalSession session(&schema, MakeReasonerOptions());
+  Status restored = session.Deserialize(*bytes);
+  if (!restored.ok()) {
+    std::cerr << "snapshot restore: " << restored << "\n";
+    return kExitError;
+  }
+  auto decoded = persist::DecodeSnapshot(*bytes);
+  if (decoded.ok()) {  // Always succeeds after a successful restore.
+    std::cout << "restored tenant '" << g_tenant << "': "
+              << decoded->expansion.compound_classes.size()
+              << " compound class(es), "
+              << (decoded->has_psi ? "solved psi snapshot" : "no psi")
+              << ", " << decoded->memo.size() << " memoized answer(s)\n";
+  }
+  if (!g_queries_path.empty()) {
+    std::vector<std::string> lines;
+    auto queries = LoadQueryFile(schema, &lines);
+    if (!queries.has_value()) return kExitError;
+    auto answers = session.RunImplicationBatch(*queries);
+    if (!answers.ok()) return ReportFailure("query", answers.status());
+    for (size_t i = 0; i < lines.size(); ++i) {
+      std::cout << lines[i] << ": "
+                << ((*answers)[i] ? "implied" : "not-implied") << "\n";
+    }
+    IncrementalStats stats = session.stats();
+    std::cout << "warm: memo-hits=" << stats.memo_hits
+              << " memo-misses=" << stats.memo_misses
+              << " base-restores=" << stats.base_restores
+              << " base-builds=" << stats.base_builds << "\n";
+  }
+  return kExitSat;
+}
+
+/// `snapshot verify <file> <dir>`: the operator's "why would this file
+/// be quarantined" tool. Runs the full offline integrity ladder —
+/// header triage, per-section checksums, total decode, schema
+/// fingerprint, restorability against the live schema — and prints the
+/// first failing step. Never modifies or quarantines anything.
+int SnapshotVerify(Schema& schema, const std::string& dir) {
+  const std::string path =
+      dir + "/" + persist::SnapshotStore::FileName(g_tenant);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::cerr << "verify: cannot open '" << path << "'\n";
+    return kExitError;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string bytes = buffer.str();
+  auto header = persist::PeekSnapshotHeader(bytes);
+  if (!header.ok()) {
+    std::cout << "CORRUPT (header): " << header.status().message() << "\n";
+    return kExitError;
+  }
+  std::cout << "header: format=" << header->format_version << " abi="
+            << std::hex << header->abi_fingerprint << " schema="
+            << header->schema_fingerprint << std::dec << " extents="
+            << header->num_classes << "/" << header->num_attributes << "/"
+            << header->num_relations << "\n";
+  auto decoded = persist::DecodeSnapshot(bytes);
+  if (!decoded.ok()) {
+    std::cout << "CORRUPT (payload): " << decoded.status().message()
+              << "\n";
+    return kExitError;
+  }
+  if (header->schema_fingerprint != Fnv1a64(PrintSchema(schema))) {
+    std::cout << "STALE: snapshot was built for a different schema\n";
+    return kExitError;
+  }
+  IncrementalSession session(&schema, MakeReasonerOptions());
+  Status restored = session.Deserialize(bytes);
+  if (!restored.ok()) {
+    std::cout << "UNRESTORABLE: " << restored.message() << "\n";
+    return kExitError;
+  }
+  std::cout << "OK: " << bytes.size() << " byte(s), "
+            << decoded->expansion.compound_classes.size()
+            << " compound class(es), "
+            << (decoded->has_psi ? "solved psi snapshot" : "no psi") << ", "
+            << decoded->memo.size() << " memoized answer(s)\n";
+  return kExitSat;
+}
+
 /// Parses `--name=<uint64>` into `*value`; returns false (after printing
 /// a diagnostic) on malformed input.
 bool ParseUint64Flag(const std::string& arg, size_t prefix_len,
@@ -499,11 +677,36 @@ int Run(int argc, char** argv) {
       g_werror = true;
       continue;
     }
+    if (arg.rfind("--tenant=", 0) == 0) {
+      g_tenant = arg.substr(9);
+      if (g_tenant.empty()) return Usage();
+      continue;
+    }
+    if (arg == "--version") {
+      std::cout << "car_tool snapshot-format="
+                << persist::kSnapshotFormatVersion << " abi-fingerprint="
+                << std::hex << persist::SnapshotAbiFingerprint() << std::dec
+                << "\n";
+      return kExitSat;
+    }
     args.push_back(std::move(arg));
   }
   if (args.size() < 2) return Usage();
   ConfigureExecContext();
   const std::string& command = args[0];
+  if (command == "snapshot") {
+    // snapshot <save|load|verify> <schema-file> <state-dir>
+    if (args.size() < 4) return Usage();
+    auto schema = Load(args[2]);
+    if (!schema.ok()) {
+      std::cerr << "error: " << schema.status() << "\n";
+      return kExitError;
+    }
+    if (args[1] == "save") return SnapshotSave(*schema, args[3]);
+    if (args[1] == "load") return SnapshotLoad(*schema, args[3]);
+    if (args[1] == "verify") return SnapshotVerify(*schema, args[3]);
+    return Usage();
+  }
   auto schema = Load(args[1]);
   if (!schema.ok()) {
     std::cerr << "error: " << schema.status() << "\n";

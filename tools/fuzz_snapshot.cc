@@ -1,0 +1,49 @@
+// libFuzzer harness for the persistent warm-state snapshot codec.
+//
+// Feeds arbitrary bytes to the total snapshot decoder. The contract
+// under test (persist/snapshot_format.h): any byte string either yields
+// kParseError / kInvalidArgument or decodes to a snapshot — never a
+// crash, never UB, never an allocation larger than the input — and
+// because decoding is strict, every accepted input is canonical:
+// Encode(Decode(bytes)) must reproduce the input byte-exactly. The
+// header peek must be total on the same inputs. Crashes, sanitizer
+// reports and round-trip failures are the fuzzer's findings.
+//
+// Build (Clang only): cmake -DCAR_BUILD_FUZZERS=ON, then run
+//   ./build/tools/fuzz_snapshot -max_total_time=60
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "persist/snapshot_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  // The header peek is the recovery scan's triage step: total on any
+  // prefix, and it must agree with the full decoder about the header.
+  car::Result<car::persist::SnapshotHeader> header =
+      car::persist::PeekSnapshotHeader(bytes);
+
+  car::Result<car::persist::WarmSnapshot> snapshot =
+      car::persist::DecodeSnapshot(bytes);
+  if (!snapshot.ok()) return 0;
+
+  if (!header.ok()) {
+    std::fprintf(stderr,
+                 "full decode accepted bytes whose header peek failed\n");
+    __builtin_trap();
+  }
+  const std::string encoded = car::persist::EncodeSnapshot(*snapshot);
+  if (encoded != bytes) {
+    std::fprintf(stderr,
+                 "snapshot encode/decode round trip not byte-exact "
+                 "(%zu -> %zu bytes)\n",
+                 bytes.size(), encoded.size());
+    __builtin_trap();
+  }
+  return 0;
+}
