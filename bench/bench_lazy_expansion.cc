@@ -1,0 +1,190 @@
+// EXP-T driver: lazy (counterexample-guided) vs eager expansion on
+// dense schemas.
+//
+// Workload: the dense-blowup family (GenerateDenseBlowupSchema) — one
+// chaff cluster whose 2^chaff subsets are all consistent, plus a small
+// attribute-bearing core so the verdict needs real Ψ content. For each
+// cell the full CheckSchema verdict is computed eagerly (when the cell
+// is within the eager enumeration cap) and lazily at 1/2/8 threads; all
+// comparable verdicts are required to be identical, classwise. The lazy
+// run must conclude from a strict subset of the compound classes; the
+// interesting ratio is wall-clock end-to-end, so this is a plain main
+// (not google-benchmark) like the other differential drivers.
+//
+// The largest cell (chaff=22) is the dense_blowup.car regime: 2^22
+// subsets, beyond the eager cap — eager cannot answer at all and the
+// cell records the lazy verdict alone (eager_completed=false).
+//
+// Usage: bench_lazy_expansion [--threads=N] [--smoke] [--out=FILE]
+//   --smoke  tiny workload for CI: two small cells
+//
+// Output: one JSON-lines record per cell in BENCH_lazy_expansion.json,
+// gated by the CI bench-smoke job (answers_identical, lazy <= eager on
+// the dense cells, fallbacks reported).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "reasoner/reasoner.h"
+#include "workloads/generators.h"
+
+namespace car {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int Main(int argc, char** argv) {
+  int num_threads = 1;
+  bool smoke = false;
+  std::string out_path = "BENCH_lazy_expansion.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      num_threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    }
+  }
+
+  struct Cell {
+    std::string name;
+    DenseBlowupParams params;
+  };
+  std::vector<Cell> cells;
+  if (smoke) {
+    cells.push_back({"dense-8+3", {8, 3, 2}});
+    cells.push_back({"dense-10+3", {10, 3, 2}});
+  } else {
+    cells.push_back({"dense-10+3", {10, 3, 2}});
+    cells.push_back({"dense-12+4", {12, 4, 2}});
+    cells.push_back({"dense-14+4", {14, 4, 2}});
+    cells.push_back({"dense-16+4", {16, 4, 2}});
+    // The dense_blowup.car regime: past the eager enumeration cap.
+    cells.push_back({"dense-22+4", {22, 4, 2}});
+  }
+  const std::vector<int> lazy_threads = {1, 2, 8};
+
+  bench::JsonLinesFile out(out_path);
+  if (!out.ok()) {
+    std::fprintf(stderr, "cannot open '%s'\n", out_path.c_str());
+    return 1;
+  }
+
+  std::printf("EXP-T: lazy (CEGAR) vs eager expansion on dense schemas "
+              "(threads=%d%s)\n\n",
+              num_threads, smoke ? ", smoke" : "");
+  std::printf("| schema | eager (ms) | lazy (ms) | speedup | materialized "
+              "| total | rounds | fallbacks |\n");
+  std::printf("|---|---|---|---|---|---|---|---|\n");
+
+  bool all_identical = true;
+  for (const Cell& cell : cells) {
+    Schema schema = GenerateDenseBlowupSchema(cell.params);
+
+    // Eager reference (ungoverned: a cap trip arrives as an error
+    // status, which just marks the cell eager-incomplete).
+    ReasonerOptions eager_options;
+    eager_options.num_threads = num_threads;
+    Reasoner eager(&schema, eager_options);
+    auto eager_start = std::chrono::steady_clock::now();
+    auto eager_report = eager.CheckSchema();
+    double eager_ms = MillisSince(eager_start);
+    const bool eager_completed = eager_report.ok();
+    uint64_t compounds_total =
+        eager_completed ? eager_report->num_compound_classes : 0;
+
+    // Lazy at each thread count; verdicts must agree with each other
+    // (and with eager where eager completed).
+    double lazy_ms = 0.0;
+    uint64_t materialized = 0;
+    uint64_t rounds = 0;
+    uint64_t fallbacks = 0;
+    bool identical = true;
+    std::vector<bool> first_classwise;
+    for (size_t i = 0; i < lazy_threads.size(); ++i) {
+      ReasonerOptions lazy_options;
+      lazy_options.num_threads = lazy_threads[i];
+      lazy_options.lazy_expansion = true;
+      Reasoner lazy(&schema, lazy_options);
+      auto lazy_start = std::chrono::steady_clock::now();
+      auto report = lazy.CheckSchema();
+      double ms = MillisSince(lazy_start);
+      if (!report.ok()) {
+        std::fprintf(stderr, "lazy %s threads=%d: %s\n", cell.name.c_str(),
+                     lazy_threads[i], report.status().ToString().c_str());
+        return 1;
+      }
+      if (i == 0) {
+        lazy_ms = ms;  // The reported time is the serial lazy run.
+        materialized = report->compounds_materialized;
+        rounds = report->refinement_rounds;
+        first_classwise = report->class_satisfiable;
+        if (!report->lazy) ++fallbacks;
+        if (eager_completed) {
+          identical = identical &&
+                      eager_report->verdict == report->verdict &&
+                      eager_report->class_satisfiable ==
+                          report->class_satisfiable;
+        }
+      } else {
+        identical =
+            identical && report->class_satisfiable == first_classwise;
+      }
+    }
+    all_identical = all_identical && identical;
+
+    double speedup = (eager_completed && lazy_ms > 0)
+                         ? eager_ms / lazy_ms
+                         : 0.0;
+    std::printf("| %s | %s | %.2f | %s | %llu | %llu | %llu | %llu |%s\n",
+                cell.name.c_str(),
+                eager_completed ? std::to_string(eager_ms).c_str()
+                                : "n/a (cap)",
+                lazy_ms,
+                eager_completed ? (std::to_string(speedup) + "x").c_str()
+                                : "-",
+                static_cast<unsigned long long>(materialized),
+                static_cast<unsigned long long>(compounds_total),
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(fallbacks),
+                identical ? "" : "  ANSWERS DIFFER (bug!)");
+    std::fflush(stdout);
+
+    bench::JsonRecord record;
+    record.Add("bench", "lazy_expansion")
+        .Add("schema", cell.name)
+        .Add("num_classes", static_cast<int>(schema.num_classes()))
+        .Add("threads", num_threads)
+        .Add("smoke", smoke)
+        .Add("eager_completed", eager_completed)
+        .Add("eager_ms", eager_completed ? eager_ms : 0.0)
+        .Add("lazy_ms", lazy_ms)
+        .Add("speedup", speedup)
+        .Add("answers_identical", identical)
+        .Add("compounds_materialized", materialized)
+        .Add("compounds_total", compounds_total)
+        .Add("refinement_rounds", rounds)
+        .Add("fallbacks", fallbacks);
+    out.Write(record);
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: lazy answers differ from eager\n");
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace car
+
+int main(int argc, char** argv) { return car::Main(argc, argv); }

@@ -237,6 +237,12 @@ ProgressSnapshot ExecContext::progress() const {
       peak_tableau_nonzeros_.load(std::memory_order_relaxed);
   snapshot.peak_tableau_cells =
       peak_tableau_cells_.load(std::memory_order_relaxed);
+  snapshot.refinement_rounds =
+      refinement_rounds_.load(std::memory_order_relaxed);
+  snapshot.compounds_materialized =
+      compounds_materialized_.load(std::memory_order_relaxed);
+  snapshot.spurious_witnesses =
+      spurious_witnesses_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -68,6 +68,12 @@ struct ProgressSnapshot {
   /// (rows * columns); their ratio is the peak fill of the run.
   uint64_t peak_tableau_nonzeros = 0;
   uint64_t peak_tableau_cells = 0;
+  /// Lazy (counterexample-guided) expansion: refinement rounds run,
+  /// compound classes materialized on demand, and witnesses that failed
+  /// semantic validation (each forces an eager fallback).
+  uint64_t refinement_rounds = 0;
+  uint64_t compounds_materialized = 0;
+  uint64_t spurious_witnesses = 0;
 };
 
 /// A structured description of which limit tripped, where, and at what
@@ -263,6 +269,15 @@ class ExecContext {
     AddRelaxed(&cluster_local_, n);
   }
   void CountWarmStarts(uint64_t n) { AddRelaxed(&warm_starts_, n); }
+  void CountRefinementRounds(uint64_t n) {
+    AddRelaxed(&refinement_rounds_, n);
+  }
+  void CountCompoundsMaterialized(uint64_t n) {
+    AddRelaxed(&compounds_materialized_, n);
+  }
+  void CountSpuriousWitnesses(uint64_t n) {
+    AddRelaxed(&spurious_witnesses_, n);
+  }
   void CountScalarPromotions(uint64_t n) {
     AddRelaxed(&scalar_promotions_, n);
   }
@@ -330,6 +345,9 @@ class ExecContext {
   std::atomic<uint64_t> scalar_promotions_{0};
   std::atomic<uint64_t> peak_tableau_nonzeros_{0};
   std::atomic<uint64_t> peak_tableau_cells_{0};
+  std::atomic<uint64_t> refinement_rounds_{0};
+  std::atomic<uint64_t> compounds_materialized_{0};
+  std::atomic<uint64_t> spurious_witnesses_{0};
 
   std::atomic<uint64_t> work_budget_{kNoBudget};
   std::atomic<uint64_t> byte_budget_{kNoBudget};

@@ -111,6 +111,35 @@ class ExpansionBuilder {
     return std::move(expansion_);
   }
 
+  /// Same post-enumeration assembly, but over a caller-provided compound
+  /// set (already canonically sorted, non-empty compounds only). The
+  /// derivation stages are shared with Build(), so the artifact is
+  /// exactly what Build() would produce had its enumeration emitted this
+  /// set.
+  Result<Expansion> BuildFrom(std::vector<CompoundClass> compounds) {
+    expansion_.schema = &schema_;
+    CAR_RETURN_IF_ERROR(GovCheck(exec_, "expansion"));
+    expansion_.compound_classes.push_back(CompoundClass());
+    expansion_.compound_classes.reserve(compounds.size() + 1);
+    for (CompoundClass& compound : compounds) {
+      CAR_RETURN_IF_ERROR(GovChargeBytes(
+          exec_,
+          sizeof(CompoundClass) + compound.members().size() * sizeof(ClassId),
+          "expansion"));
+      expansion_.compound_classes.push_back(std::move(compound));
+    }
+    for (size_t i = 0; i < expansion_.compound_classes.size(); ++i) {
+      expansion_.compound_class_index_.emplace(
+          expansion_.compound_classes[i].members(), static_cast<int>(i));
+    }
+    BuildNatt();
+    BuildNrel();
+    CAR_RETURN_IF_ERROR(BuildCompoundAttributes());
+    CAR_RETURN_IF_ERROR(BuildCompoundRelations());
+    CAR_RETURN_IF_ERROR(GovCheck(exec_, "expansion"));
+    return std::move(expansion_);
+  }
+
  private:
   /// Output of one enumeration shard. Shards never touch the shared
   /// expansion; everything is merged afterwards.
@@ -599,6 +628,13 @@ Result<Expansion> BuildExpansion(const Schema& schema,
                                  const ExpansionOptions& options) {
   CAR_RETURN_IF_ERROR(schema.Validate());
   return ExpansionBuilder(schema, options).Build();
+}
+
+Result<Expansion> AssembleExpansion(const Schema& schema,
+                                    std::vector<CompoundClass> compounds,
+                                    const ExpansionOptions& options) {
+  CAR_RETURN_IF_ERROR(schema.Validate());
+  return ExpansionBuilder(schema, options).BuildFrom(std::move(compounds));
 }
 
 }  // namespace car

@@ -135,6 +135,20 @@ struct ExpansionOptions {
 Result<Expansion> BuildExpansion(const Schema& schema,
                                  const ExpansionOptions& options = {});
 
+/// Assembles the expansion artifact over an explicitly given compound
+/// class set instead of enumerating one: prepends the empty compound
+/// (index 0), then derives Natt/Nrel and the constrained compound
+/// attributes/relations exactly as BuildExpansion does after its
+/// enumeration phase. `compounds` must hold non-empty, schema-consistent
+/// compound classes in canonical (sorted) order without duplicates; the
+/// result is bit-identical to what BuildExpansion would produce if its
+/// enumeration emitted exactly this set. Backbone of the lazy
+/// (counterexample-guided) expansion engine, which materializes compound
+/// classes on demand instead of enumerating all of them up front.
+Result<Expansion> AssembleExpansion(const Schema& schema,
+                                    std::vector<CompoundClass> compounds,
+                                    const ExpansionOptions& options = {});
+
 }  // namespace car
 
 #endif  // CAR_EXPANSION_EXPANSION_H_

@@ -170,6 +170,18 @@ Result<ExpansionDelta> ExtendExpansionWithAuxClass(
   }
   std::sort(new_compounds.begin(), new_compounds.end());
   delta.new_compound_classes = std::move(new_compounds);
+  CAR_RETURN_IF_ERROR(
+      PopulateDeltaExtensions(ext_schema, base, options, &delta));
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "expansion"));
+  return delta;
+}
+
+Status PopulateDeltaExtensions(const Schema& schema, const Expansion& base,
+                               const ExpansionOptions& options,
+                               ExpansionDelta* deltap) {
+  ExecContext* exec = options.exec;
+  ExpansionDelta& delta = *deltap;
+  const int num_base_cc = static_cast<int>(base.compound_classes.size());
   const int num_new_cc = static_cast<int>(delta.new_compound_classes.size());
   const int num_total_cc = num_base_cc + num_new_cc;
   auto compound_at = [&](int global) -> const CompoundClass& {
@@ -177,6 +189,7 @@ Result<ExpansionDelta> ExtendExpansionWithAuxClass(
                ? base.compound_classes[global]
                : delta.new_compound_classes[global - num_base_cc];
   };
+  const Schema& ext_schema = schema;
 
   // --- Natt/Nrel entries of the new compounds. Entries are intrinsic to
   // a compound's members (intersection of their specs), so base entries
@@ -407,8 +420,7 @@ Result<ExpansionDelta> ExtendExpansionWithAuxClass(
     CAR_RETURN_IF_ERROR(status);
   }
 
-  CAR_RETURN_IF_ERROR(GovCheck(exec, "expansion"));
-  return delta;
+  return GovCheck(exec, "expansion");
 }
 
 }  // namespace car

@@ -92,6 +92,22 @@ Result<ExpansionDelta> ExtendExpansionWithAuxClass(
     const Schema& ext_schema, ClassId aux, const Expansion& base,
     const ExpansionBaseAnalysis& analysis, const ExpansionOptions& options);
 
+/// Fills the derived sections of a delta whose `new_compound_classes`
+/// are already set (canonically sorted among themselves, disjoint from
+/// the base compound set, consistent with `schema`): the Natt/Nrel
+/// entries of the new compounds, and every new compound attribute/
+/// relation with at least one new endpoint — base pairs/tuples keep
+/// their base verdicts and are never re-filtered. Shared by the
+/// auxiliary-class probe extension above and by the lazy
+/// (counterexample-guided) expansion engine, whose refinement rounds
+/// materialize compound classes first and derive the rest here.
+/// Governor observation matches ExtendExpansionWithAuxClass: one
+/// "expansion-filter" / "expansion-relations" work unit per candidate,
+/// cap trips recorded with the same LimitKinds.
+Status PopulateDeltaExtensions(const Schema& schema, const Expansion& base,
+                               const ExpansionOptions& options,
+                               ExpansionDelta* delta);
+
 }  // namespace car
 
 #endif  // CAR_EXPANSION_EXPANSION_DELTA_H_

@@ -127,22 +127,48 @@ Status IncrementalSession::EnsureBase() {
   // The schema changed under the session (or this is the first call):
   // every memoized answer and the frozen base state are stale.
   base_ready_ = false;
+  base_solved_.store(false, std::memory_order_release);
   memo_.clear();
   base_expansion_.reset();
   analysis_.reset();
   psi_base_.reset();
   schema_analysis_.reset();
-  CAR_ASSIGN_OR_RETURN(Expansion expansion,
-                       BuildExpansion(*schema_, options_.expansion));
+  if (options_.lazy_expansion) {
+    // Lazy session: defer the (possibly exponential) full expansion and
+    // snapshot solve to EnsureSolvedBase — a probe that the lazy engine
+    // answers conclusively never pays for them. The analyzer's validity
+    // precondition is established explicitly here, since BuildExpansion
+    // no longer runs first.
+    CAR_RETURN_IF_ERROR(schema_->Validate());
+  } else {
+    CAR_RETURN_IF_ERROR(EnsureSolvedBaseLocked());
+  }
   if (options_.prefilter) {
     // The prefilter tiers' artifact: propagated closure tables, unsat
     // flags and the dependency adjacency. Lint messages are skipped —
-    // only the structure is needed here. Built after BuildExpansion so
-    // the analyzer's validity precondition is established.
+    // only the structure is needed here. The schema is validated by this
+    // point on both branches above.
     AnalyzerOptions analyzer_options;
     analyzer_options.lint = false;
     schema_analysis_ = AnalyzeSchema(*schema_, analyzer_options);
   }
+  fingerprint_ = fingerprint;
+  base_ready_ = true;
+  return Status::Ok();
+}
+
+Status IncrementalSession::EnsureSolvedBase() {
+  if (base_solved_.load(std::memory_order_acquire)) return Status::Ok();
+  // Double-checked: lazy probe workers race here when the delta path is
+  // first needed; exactly one pays the build.
+  std::lock_guard<std::mutex> lock(base_build_mutex_);
+  if (base_solved_.load(std::memory_order_acquire)) return Status::Ok();
+  return EnsureSolvedBaseLocked();
+}
+
+Status IncrementalSession::EnsureSolvedBaseLocked() {
+  CAR_ASSIGN_OR_RETURN(Expansion expansion,
+                       BuildExpansion(*schema_, options_.expansion));
   Result<ExpansionBaseAnalysis> analysis =
       AnalyzeBaseExpansion(*schema_, expansion, options_.expansion);
   if (analysis.ok()) {
@@ -160,9 +186,10 @@ Status IncrementalSession::EnsureBase() {
   // kFailedPrecondition (e.g. the exhaustive strategy): the session still
   // works, every probe just takes the from-scratch fallback.
   base_expansion_ = std::move(expansion);
-  fingerprint_ = fingerprint;
-  base_ready_ = true;
   ++base_builds_;
+  // Publishes base_expansion_/analysis_/psi_base_ to racing readers in
+  // EnsureSolvedBase's fast path.
+  base_solved_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -212,6 +239,30 @@ Result<bool> IncrementalSession::AuxSatisfiable(
                            SolvePsi(sub_expansion, options_.solver));
       return sub_solution.IsClassSatisfiable(sub->class_map[aux]);
     }
+  }
+  if (options_.lazy_expansion) {
+    // Lazy probe: try to decide the auxiliary class over a small
+    // materialized subset before touching — or, in a deferred session,
+    // even building — the full base expansion. Conclusive answers are
+    // bit-identical to the eager path by the lazy engine's contract.
+    CAR_ASSIGN_OR_RETURN(
+        LazyOutcome lazy,
+        RunLazyExpansion(extended, {aux}, /*analysis=*/nullptr,
+                         options_.expansion, options_.solver, options_.lazy));
+    lazy_refinement_rounds_.fetch_add(lazy.refinement_rounds,
+                                      std::memory_order_relaxed);
+    lazy_compounds_materialized_.fetch_add(lazy.compounds_materialized,
+                                           std::memory_order_relaxed);
+    if (lazy.spurious_witness) {
+      spurious_witnesses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (lazy.conclusive) {
+      lazy_hits_.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<bool>(lazy.class_satisfiable[aux]);
+    }
+    // Inconclusive: fall through to the warm-start ladder, which needs
+    // the solved base a lazy session has deferred until now.
+    CAR_RETURN_IF_ERROR(EnsureSolvedBase());
   }
   if (analysis_.has_value()) {
     Result<ExpansionDelta> delta = ExtendExpansionWithAuxClass(
@@ -501,8 +552,24 @@ uint64_t IncrementalSession::EstimatedMemoryBytes() const {
   return bytes;
 }
 
+bool IncrementalSession::SnapshotEligible() const {
+  return !options_.lazy_expansion ||
+         base_solved_.load(std::memory_order_acquire);
+}
+
 Result<std::string> IncrementalSession::Serialize() {
   CAR_RETURN_IF_ERROR(EnsureBase());
+  if (!SnapshotEligible()) {
+    // A lazy session mid-refinement (or one that never needed the full
+    // base) holds only a partial materialization. Serializing would
+    // require paying the full eager build this session existed to avoid,
+    // and silently spilling the partial state as if it were the full
+    // warm base would poison every future restore. Decline; the caller
+    // (e.g. the serving cache) skips the spill.
+    return FailedPrecondition(
+        "snapshot-ineligible: lazy session has not built the full base "
+        "expansion");
+  }
   persist::WarmSnapshot snapshot;
   snapshot.header.format_version = persist::kSnapshotFormatVersion;
   snapshot.header.abi_fingerprint = persist::SnapshotAbiFingerprint();
@@ -551,6 +618,7 @@ Status IncrementalSession::Deserialize(std::string_view bytes) {
   // from scratch — a restore can degrade to a cold start but never to a
   // corrupted warm state.
   base_ready_ = false;
+  base_solved_.store(false, std::memory_order_release);
   memo_.clear();
   base_expansion_.reset();
   analysis_.reset();
@@ -605,6 +673,9 @@ Status IncrementalSession::Deserialize(std::string_view bytes) {
   memo_ = std::move(snapshot.memo);
   fingerprint_ = fingerprint;
   base_ready_ = true;
+  // A restored snapshot IS the full warm base, so even a lazy session is
+  // immediately snapshot-eligible and delta-capable again.
+  base_solved_.store(true, std::memory_order_release);
   ++base_restores_;
   return Status::Ok();
 }
@@ -622,6 +693,13 @@ IncrementalStats IncrementalSession::stats() const {
   stats.probes = probes_.load(std::memory_order_relaxed);
   stats.warm_starts = warm_starts_.load(std::memory_order_relaxed);
   stats.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  stats.lazy_hits = lazy_hits_.load(std::memory_order_relaxed);
+  stats.lazy_refinement_rounds =
+      lazy_refinement_rounds_.load(std::memory_order_relaxed);
+  stats.lazy_compounds_materialized =
+      lazy_compounds_materialized_.load(std::memory_order_relaxed);
+  stats.spurious_witnesses =
+      spurious_witnesses_.load(std::memory_order_relaxed);
   stats.clusters_reused = clusters_reused_.load(std::memory_order_relaxed);
   stats.clusters_reenumerated =
       clusters_reenumerated_.load(std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -52,6 +53,18 @@ struct IncrementalStats {
   /// instead of solved. Disjoint from base_builds: a restored base pays
   /// no LP solve.
   uint64_t base_restores = 0;
+  /// Probes answered conclusively by the lazy expansion engine
+  /// (options.lazy_expansion) before touching — or even building — the
+  /// full base expansion.
+  uint64_t lazy_hits = 0;
+  /// Refinement rounds and compound classes materialized across all lazy
+  /// probes (conclusive or not). Deterministic: the lazy engine is
+  /// serial per probe and the sums are commutative.
+  uint64_t lazy_refinement_rounds = 0;
+  uint64_t lazy_compounds_materialized = 0;
+  /// Lazy candidate solutions rejected by the full-semantics witness
+  /// checker (each one forced that probe down the eager path).
+  uint64_t spurious_witnesses = 0;
   /// Scalar fast-path overflows promoted to BigInt form, summed over the
   /// base solve and every probe LP. Deterministic across thread counts:
   /// each solve is single-threaded and the sum is commutative.
@@ -148,6 +161,14 @@ class IncrementalSession {
   /// bit-identical to a never-persisted session's.
   Status Deserialize(std::string_view bytes);
 
+  /// True when Serialize() can produce a faithful full-warm-state
+  /// snapshot right now. Always true for eager sessions (Serialize
+  /// builds the base on demand); false for a lazy session whose heavy
+  /// base build is still deferred — its warm state is a partial
+  /// materialization that must not be spilled as if it were the full
+  /// base. Serving caches gate their spill on this.
+  bool SnapshotEligible() const;
+
   /// Canonical memo key of a query: literal/clause order and
   /// duplication inside an ISA formula and the argument order of a
   /// disjointness query do not affect the answer, so they do not affect
@@ -156,8 +177,20 @@ class IncrementalSession {
 
  private:
   /// Fingerprints the schema; (re)builds base expansion, cluster
-  /// analysis and Ψ snapshot and clears the memo when it changed.
+  /// analysis and Ψ snapshot and clears the memo when it changed. Under
+  /// options.lazy_expansion only the cheap part runs here (validation,
+  /// static analysis, memo invalidation); the heavy base build is
+  /// deferred to EnsureSolvedBase.
   Status EnsureBase();
+
+  /// Heavy half of the base build: full expansion, cluster analysis and
+  /// warm-startable Ψ snapshot. Idempotent and thread-safe (probe
+  /// workers hit it concurrently when a lazy probe needs the delta
+  /// path); no-op when the base is already solved.
+  Status EnsureSolvedBase();
+
+  /// The build itself; caller holds base_build_mutex_ or is serial.
+  Status EnsureSolvedBaseLocked();
 
   /// Evaluates one query without consulting the memo. Mirrors the
   /// decision structure of the corresponding Reasoner::Implies* method
@@ -177,7 +210,12 @@ class IncrementalSession {
   ReasonerOptions options_;
 
   // Base state, valid iff base_ready_; rebuilt on fingerprint change.
+  // base_solved_ marks the heavy half (expansion + Ψ snapshot) done; an
+  // eager EnsureBase sets both, a lazy one sets only base_ready_ and
+  // leaves the heavy half to EnsureSolvedBase.
   bool base_ready_ = false;
+  std::atomic<bool> base_solved_{false};
+  std::mutex base_build_mutex_;
   uint64_t fingerprint_ = 0;
   std::optional<Expansion> base_expansion_;
   /// Set iff the incremental path is available for this base (pruned
@@ -199,8 +237,14 @@ class IncrementalSession {
   uint64_t closure_hits_ = 0;
   uint64_t memo_hits_ = 0;
   uint64_t memo_misses_ = 0;
+  // base_builds_ is bumped under base_build_mutex_ when the heavy build
+  // runs from a probe worker (lazy sessions), serially otherwise.
   uint64_t base_builds_ = 0;
   uint64_t base_restores_ = 0;
+  std::atomic<uint64_t> lazy_hits_{0};
+  std::atomic<uint64_t> lazy_refinement_rounds_{0};
+  std::atomic<uint64_t> lazy_compounds_materialized_{0};
+  std::atomic<uint64_t> spurious_witnesses_{0};
   std::atomic<uint64_t> cluster_local_{0};
   std::atomic<uint64_t> probes_{0};
   std::atomic<uint64_t> warm_starts_{0};

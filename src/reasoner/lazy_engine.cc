@@ -1,0 +1,347 @@
+#include "reasoner/lazy_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "expansion/expansion_delta.h"
+#include "expansion/lazy_enum.h"
+#include "semantics/witness_check.h"
+#include "solver/incremental_psi.h"
+
+namespace car {
+
+namespace {
+
+/// The dependency closure of the open targets under the analyzer's
+/// depends_on adjacency — the classes whose streams the seed opens.
+std::vector<ClassId> DependencyClosure(const SchemaAnalysis& analysis,
+                                       const std::vector<ClassId>& roots) {
+  std::vector<char> visited(analysis.depends_on.size(), 0);
+  std::vector<ClassId> frontier = roots;
+  for (ClassId c : roots) visited[c] = 1;
+  while (!frontier.empty()) {
+    ClassId c = frontier.back();
+    frontier.pop_back();
+    for (ClassId d : analysis.depends_on[c]) {
+      if (visited[d]) continue;
+      visited[d] = 1;
+      frontier.push_back(d);
+    }
+  }
+  std::vector<ClassId> closure;
+  for (size_t c = 0; c < visited.size(); ++c) {
+    if (visited[c]) closure.push_back(static_cast<ClassId>(c));
+  }
+  return closure;
+}
+
+/// Maps the solve's seed+delta indexing onto the canonically assembled
+/// expansion and validates the result as a semantic witness. Any mapping
+/// mismatch (a compound/attribute/relation of one side missing from the
+/// other) is itself a spurious witness: the delta-grown artifacts must
+/// agree exactly with a from-scratch assembly of the same compound set.
+bool ValidateAsWitness(const Schema& schema, const Expansion& canonical,
+                       const std::vector<const CompoundClass*>& global_cc,
+                       const std::vector<const CompoundAttribute*>& global_ca,
+                       const std::vector<const CompoundRelation*>& global_cr,
+                       const PartialPsiResult& partial) {
+  const size_t total_cc = global_cc.size();
+  if (canonical.compound_classes.size() != total_cc ||
+      canonical.compound_attributes.size() != global_ca.size() ||
+      canonical.compound_relations.size() != global_cr.size()) {
+    return false;
+  }
+  std::vector<int> cc_map(total_cc, -1);
+  for (size_t g = 0; g < total_cc; ++g) {
+    int canon = canonical.IndexOfCompoundClass(*global_cc[g]);
+    if (canon < 0) return false;
+    cc_map[g] = canon;
+  }
+
+  PsiWitness witness;
+  witness.cc_active.assign(total_cc, false);
+  witness.cc_value.assign(total_cc, Rational());
+  for (size_t g = 0; g < total_cc; ++g) {
+    witness.cc_active[cc_map[g]] = partial.cc_active[g];
+    witness.cc_value[cc_map[g]] = partial.cc_value[g];
+  }
+
+  std::map<std::tuple<AttributeId, int, int>, int> ca_index;
+  for (size_t j = 0; j < canonical.compound_attributes.size(); ++j) {
+    const CompoundAttribute& ca = canonical.compound_attributes[j];
+    ca_index[{ca.attribute, ca.from, ca.to}] = static_cast<int>(j);
+  }
+  witness.ca_active.assign(global_ca.size(), false);
+  witness.ca_value.assign(global_ca.size(), Rational());
+  for (size_t j = 0; j < global_ca.size(); ++j) {
+    const CompoundAttribute& ca = *global_ca[j];
+    auto it = ca_index.find(
+        {ca.attribute, cc_map[ca.from], cc_map[ca.to]});
+    if (it == ca_index.end()) return false;
+    witness.ca_active[it->second] = partial.ca_active[j];
+    witness.ca_value[it->second] = partial.ca_value[j];
+  }
+
+  std::map<std::pair<RelationId, std::vector<int>>, int> cr_index;
+  for (size_t j = 0; j < canonical.compound_relations.size(); ++j) {
+    const CompoundRelation& cr = canonical.compound_relations[j];
+    cr_index[{cr.relation, cr.components}] = static_cast<int>(j);
+  }
+  witness.cr_active.assign(global_cr.size(), false);
+  witness.cr_value.assign(global_cr.size(), Rational());
+  for (size_t j = 0; j < global_cr.size(); ++j) {
+    const CompoundRelation& cr = *global_cr[j];
+    std::vector<int> mapped;
+    mapped.reserve(cr.components.size());
+    for (int component : cr.components) mapped.push_back(cc_map[component]);
+    auto it = cr_index.find({cr.relation, std::move(mapped)});
+    if (it == cr_index.end()) return false;
+    witness.cr_active[it->second] = partial.cr_active[j];
+    witness.cr_value[it->second] = partial.cr_value[j];
+  }
+
+  return ValidatePsiWitness(schema, canonical, witness).valid;
+}
+
+}  // namespace
+
+Result<LazyOutcome> RunLazyExpansion(
+    const Schema& schema, const std::vector<ClassId>& targets,
+    const SchemaAnalysis* analysis, const ExpansionOptions& expansion_options,
+    const PsiSolverOptions& solver_options,
+    const LazyExpansionOptions& lazy_options) {
+  // Mirror the eager path's first failure mode (BuildExpansion validates
+  // too) so routing through the lazy engine never changes error statuses.
+  CAR_RETURN_IF_ERROR(schema.Validate());
+
+  LazyOutcome out;
+  const int num_classes = schema.num_classes();
+  out.class_satisfiable.assign(num_classes, false);
+  if (expansion_options.strategy != ExpansionStrategy::kPruned) {
+    return out;  // Inconclusive: only the pruned decision tree streams.
+  }
+  ExecContext* exec = expansion_options.exec;
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "expansion"));
+
+  std::optional<SchemaAnalysis> local_analysis;
+  if (analysis == nullptr) {
+    AnalyzerOptions analyzer_options;
+    analyzer_options.lint = false;
+    local_analysis = AnalyzeSchema(schema, analyzer_options);
+    analysis = &*local_analysis;
+  }
+
+  // Static certificates answer their targets outright (sound: a
+  // certified class is unsatisfiable in every model, and the eager
+  // reasoner agrees by the analyzer's soundness contract).
+  std::vector<ClassId> open;
+  for (ClassId c : targets) {
+    if (analysis->class_unsat[c]) {
+      out.class_satisfiable[c] = false;
+    } else if (std::find(open.begin(), open.end(), c) == open.end()) {
+      open.push_back(c);
+    }
+  }
+  std::sort(open.begin(), open.end());
+  if (open.empty()) {
+    out.conclusive = true;
+    return out;
+  }
+
+  const ExpansionPreamble preamble =
+      BuildExpansionPreamble(schema, expansion_options);
+
+  // One stream per class in the dependency closure of the open targets.
+  std::vector<std::unique_ptr<LazyCompoundStream>> stream_of(num_classes);
+  const std::vector<ClassId> closure = DependencyClosure(*analysis, open);
+  for (ClassId c : closure) {
+    const int cluster = preamble.partition.cluster_of[c];
+    stream_of[c] = std::make_unique<LazyCompoundStream>(
+        schema, preamble.tables, preamble.partition.clusters[cluster], c);
+  }
+
+  RefinementLedger ledger;
+  auto advance = [&](ClassId c, size_t batch) -> Status {
+    return stream_of[c]->Advance(batch, exec,
+                                 [&](const CompoundClass& compound) {
+                                   if (ledger.Add(compound) &&
+                                       exec != nullptr) {
+                                     exec->CountCompoundsMaterialized(1);
+                                   }
+                                 });
+  };
+
+  // --- Seed.
+  for (ClassId c : closure) {
+    CAR_RETURN_IF_ERROR(advance(c, lazy_options.batch_per_class));
+  }
+  // A target whose exhausted stream delivered nothing is contained in NO
+  // compound of the full expansion: unsatisfiable, exactly as eager
+  // would report it.
+  open.erase(std::remove_if(open.begin(), open.end(),
+                            [&](ClassId c) {
+                              return stream_of[c]->exhausted() &&
+                                     stream_of[c]->delivered() == 0;
+                            }),
+             open.end());
+  ledger.SealRound();
+  if (open.empty()) {
+    out.conclusive = true;
+    out.compounds_materialized = ledger.size();
+    return out;
+  }
+
+  CAR_ASSIGN_OR_RETURN(
+      Expansion seed,
+      AssembleExpansion(schema, ledger.Compounds(), expansion_options));
+  const size_t num_seed_cc = seed.compound_classes.size();
+  std::set<std::vector<ClassId>> seed_members;
+  for (const CompoundClass& compound : seed.compound_classes) {
+    seed_members.insert(compound.members());
+  }
+
+  // The warm-start base: built on first contact with a constrained
+  // compound; rounds of an all-unconstrained run (dense tautology
+  // clusters) never pay an LP at all.
+  std::optional<IncrementalPsiBase> psi_base;
+
+  for (size_t round = 0;; ++round) {
+    CAR_RETURN_IF_ERROR(GovCheck(exec, "expansion"));
+    if (round > 0) {
+      out.refinement_rounds = round;
+      if (exec != nullptr) exec->CountRefinementRounds(1);
+    }
+
+    // Cumulative refinement delta against the frozen seed.
+    ExpansionDelta delta;
+    for (const CompoundClass& compound : ledger.Compounds()) {
+      if (seed_members.count(compound.members()) == 0) {
+        delta.new_compound_classes.push_back(compound);
+      }
+    }
+    if (delta.HasNewCompounds()) {
+      CAR_RETURN_IF_ERROR(
+          PopulateDeltaExtensions(schema, seed, expansion_options, &delta));
+    }
+
+    std::vector<const CompoundClass*> global_cc;
+    global_cc.reserve(num_seed_cc + delta.new_compound_classes.size());
+    for (const CompoundClass& c : seed.compound_classes) {
+      global_cc.push_back(&c);
+    }
+    for (const CompoundClass& c : delta.new_compound_classes) {
+      global_cc.push_back(&c);
+    }
+    std::vector<const CompoundAttribute*> global_ca;
+    for (const CompoundAttribute& a : seed.compound_attributes) {
+      global_ca.push_back(&a);
+    }
+    for (const CompoundAttribute& a : delta.new_compound_attributes) {
+      global_ca.push_back(&a);
+    }
+    std::vector<const CompoundRelation*> global_cr;
+    for (const CompoundRelation& r : seed.compound_relations) {
+      global_cr.push_back(&r);
+    }
+    for (const CompoundRelation& r : delta.new_compound_relations) {
+      global_cr.push_back(&r);
+    }
+
+    PartialPsiResult partial;
+    const bool any_constrained = !seed.natt.empty() || !seed.nrel.empty() ||
+                                 !delta.new_natt.empty() ||
+                                 !delta.new_nrel.empty();
+    if (!any_constrained) {
+      // Every unknown occurs in no disequation: all active, trivially.
+      partial.cc_active.assign(global_cc.size(), true);
+      partial.cc_value.assign(global_cc.size(), Rational());
+      partial.ca_active.assign(global_ca.size(), true);
+      partial.ca_value.assign(global_ca.size(), Rational());
+      partial.cr_active.assign(global_cr.size(), true);
+      partial.cr_value.assign(global_cr.size(), Rational());
+    } else {
+      if (!psi_base.has_value()) {
+        CAR_ASSIGN_OR_RETURN(psi_base,
+                             PrepareIncrementalPsi(seed, solver_options));
+        ++out.lp_solves;
+      }
+      CAR_ASSIGN_OR_RETURN(
+          partial, SolvePsiOverDelta(seed, *psi_base, delta, solver_options));
+      out.lp_solves += partial.lp_solves;
+      out.fixpoint_rounds += partial.fixpoint_rounds;
+    }
+
+    // Coverage: a target contained in an active compound of the partial
+    // expansion is satisfiable in the full schema (partial solutions
+    // zero-extend to full ones). Re-checked from scratch every round —
+    // coverage is monotone in theory, so a regression would mean a
+    // solver defect, and the concluding witness validation still guards
+    // the final answer.
+    std::vector<ClassId> uncovered;
+    for (ClassId c : open) {
+      bool covered = false;
+      for (size_t i = 0; i < global_cc.size() && !covered; ++i) {
+        covered = partial.cc_active[i] && global_cc[i]->Contains(c);
+      }
+      if (!covered) uncovered.push_back(c);
+    }
+
+    if (uncovered.empty()) {
+      if (lazy_options.validate_witness) {
+        CAR_ASSIGN_OR_RETURN(
+            Expansion canonical,
+            AssembleExpansion(schema, ledger.Compounds(),
+                              expansion_options));
+        if (!ValidateAsWitness(schema, canonical, global_cc, global_ca,
+                               global_cr, partial)) {
+          out.spurious_witness = true;
+          if (exec != nullptr) exec->CountSpuriousWitnesses(1);
+          return out;  // Inconclusive: the eager fallback answers.
+        }
+      }
+      for (ClassId c : open) out.class_satisfiable[c] = true;
+      out.conclusive = true;
+      out.compounds_materialized = ledger.size();
+      out.compound_attributes = global_ca.size();
+      out.compound_relations = global_cr.size();
+      return out;
+    }
+
+    // Refine or give up.
+    if (round + 1 >= lazy_options.max_rounds ||
+        ledger.size() >= lazy_options.max_materialized) {
+      out.compounds_materialized = ledger.size();
+      return out;  // Inconclusive.
+    }
+    const size_t ledger_before = ledger.size();
+    size_t delivered_before = 0;
+    size_t delivered_after = 0;
+    for (ClassId c : closure) delivered_before += stream_of[c]->delivered();
+    for (ClassId c : uncovered) {
+      CAR_RETURN_IF_ERROR(advance(c, lazy_options.batch_per_class));
+      for (ClassId d : analysis->depends_on[c]) {
+        if (stream_of[d] != nullptr) {
+          CAR_RETURN_IF_ERROR(advance(d, lazy_options.batch_per_class));
+        }
+      }
+    }
+    for (ClassId c : closure) delivered_after += stream_of[c]->delivered();
+    if (ledger.size() == ledger_before &&
+        delivered_after == delivered_before) {
+      // Every relevant stream is exhausted: the partial expansion cannot
+      // grow towards the uncovered targets. Inconclusive — an uncovered
+      // target here is NOT provably unsatisfiable (compounds outside the
+      // materialized set could still lend support in the full system).
+      out.compounds_materialized = ledger.size();
+      return out;
+    }
+    ledger.SealRound();
+  }
+}
+
+}  // namespace car

@@ -1,0 +1,92 @@
+#ifndef CAR_REASONER_LAZY_ENGINE_H_
+#define CAR_REASONER_LAZY_ENGINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "base/result.h"
+#include "expansion/expansion.h"
+#include "model/schema.h"
+#include "solver/solve.h"
+
+namespace car {
+
+/// Tuning of the lazy (counterexample-guided) expansion engine. The
+/// defaults favor dense schemas: small batches cover quickly when the
+/// include-first stream order front-loads maximal compounds, and the
+/// caps bound the engine's own work well below one eager build before it
+/// gives up and falls back.
+struct LazyExpansionOptions {
+  /// Compounds materialized per advanced stream per round.
+  size_t batch_per_class = 8;
+  /// Solve rounds (seed round included) before declaring inconclusive.
+  size_t max_rounds = 8;
+  /// Materialization cap; reaching it declares inconclusive.
+  size_t max_materialized = 4096;
+  /// Validate the concluding partial solution as a semantic model
+  /// witness (semantics/witness_check) before answering; a spurious
+  /// witness forces the eager fallback instead of an answer.
+  bool validate_witness = true;
+};
+
+/// What one lazy run reports. `conclusive` is the contract: when false,
+/// NOTHING may be concluded and the caller must run the eager path —
+/// answers, when present, are bit-identical to eager's by construction
+/// (coverage implies full-expansion support by zero-extension;
+/// unsatisfiability is only claimed on sound static certificates or on
+/// exhausted empty streams).
+struct LazyOutcome {
+  bool conclusive = false;
+  /// True when the final solution failed witness validation (the run is
+  /// then inconclusive and the failure was counted on the governor).
+  bool spurious_witness = false;
+  /// Sized to the schema's class count; meaningful at the queried
+  /// targets only.
+  std::vector<bool> class_satisfiable;
+
+  // Observability: what the run materialized and solved.
+  size_t refinement_rounds = 0;
+  size_t compounds_materialized = 0;
+  size_t compound_attributes = 0;
+  size_t compound_relations = 0;
+  size_t lp_solves = 0;
+  size_t fixpoint_rounds = 0;
+};
+
+/// Decides satisfiability of the `targets` classes lazily:
+///
+///   seed: per-class compound streams over the pruned enumeration's
+///     decision tree (expansion/lazy_enum), opened for the dependency
+///     closure of the targets, each advanced by one batch; statically
+///     certified-unsat targets (analysis) are answered immediately and a
+///     target whose exhausted stream delivered nothing is unsatisfiable
+///     outright (no compound of the full expansion contains it);
+///   solve: the materialized subset is assembled into a partial
+///     expansion (AssembleExpansion) and run through the warm-started
+///     acceptability fixpoint (SolvePsiOverDelta over a frozen seed
+///     snapshot plus the cumulative refinement delta);
+///   refine: targets not covered by an active compound advance their
+///     streams (and their direct dependencies') by another batch, the
+///     delta grows via PopulateDeltaExtensions, and the solve repeats —
+///     each round warm-starts from the same clean seed snapshot;
+///   conclude: when every open target is covered, the final solution is
+///     validated as a semantic witness; only then are the answers
+///     reported. Coverage in a partial expansion implies coverage in the
+///     full one (solutions zero-extend), so positive answers are exact.
+///
+/// Returns an error only for governor trips and internal failures —
+/// mirroring the eager path's statuses so callers degrade identically.
+/// `analysis` may be null (the engine then runs the static pass itself,
+/// lint off). Requires ExpansionOptions::strategy == kPruned; any other
+/// configuration returns an inconclusive outcome.
+Result<LazyOutcome> RunLazyExpansion(const Schema& schema,
+                                     const std::vector<ClassId>& targets,
+                                     const SchemaAnalysis* analysis,
+                                     const ExpansionOptions& expansion_options,
+                                     const PsiSolverOptions& solver_options,
+                                     const LazyExpansionOptions& lazy_options);
+
+}  // namespace car
+
+#endif  // CAR_REASONER_LAZY_ENGINE_H_

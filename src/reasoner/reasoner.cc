@@ -143,6 +143,14 @@ Result<bool> Reasoner::IsClassSatisfiable(ClassId class_id) {
   if (class_id < 0 || class_id >= schema_->num_classes()) {
     return NotFound(StrCat("class id ", class_id, " out of range"));
   }
+  if (options_.lazy_expansion) {
+    CAR_ASSIGN_OR_RETURN(
+        LazyOutcome lazy,
+        RunLazyExpansion(*schema_, {class_id}, nullptr, options_.expansion,
+                         options_.solver, options_.lazy));
+    if (lazy.conclusive) return static_cast<bool>(lazy.class_satisfiable[class_id]);
+    // Inconclusive: fall through to the eager path.
+  }
   CAR_RETURN_IF_ERROR(Prepare());
   return solution_->IsClassSatisfiable(class_id);
 }
@@ -156,6 +164,49 @@ Result<bool> Reasoner::IsClassSatisfiable(std::string_view class_name) {
 }
 
 Result<SatReport> Reasoner::CheckSchema() {
+  if (options_.lazy_expansion) {
+    std::vector<ClassId> targets(schema_->num_classes());
+    for (ClassId c = 0; c < schema_->num_classes(); ++c) targets[c] = c;
+    Result<LazyOutcome> lazy =
+        RunLazyExpansion(*schema_, targets, nullptr, options_.expansion,
+                         options_.solver, options_.lazy);
+    if (!lazy.ok()) {
+      // Same graceful degradation as the eager path below.
+      if (options_.exec != nullptr && options_.exec->tripped()) {
+        SatReport report;
+        report.verdict = Verdict::kUnknown;
+        report.limit = options_.exec->report();
+        report.progress = options_.exec->progress();
+        return report;
+      }
+      return lazy.status();
+    }
+    if (lazy->conclusive) {
+      SatReport report;
+      report.lazy = true;
+      report.class_satisfiable.assign(lazy->class_satisfiable.begin(),
+                                      lazy->class_satisfiable.end());
+      for (ClassId c = 0; c < schema_->num_classes(); ++c) {
+        if (!report.class_satisfiable[c]) {
+          report.unsatisfiable_classes.push_back(c);
+        }
+      }
+      report.verdict = report.unsatisfiable_classes.empty() ? Verdict::kSat
+                                                            : Verdict::kUnsat;
+      report.num_compound_classes = lazy->compounds_materialized;
+      report.num_compound_attributes = lazy->compound_attributes;
+      report.num_compound_relations = lazy->compound_relations;
+      report.lp_solves = lazy->lp_solves;
+      report.fixpoint_rounds = lazy->fixpoint_rounds;
+      report.refinement_rounds = lazy->refinement_rounds;
+      report.compounds_materialized = lazy->compounds_materialized;
+      if (options_.exec != nullptr) {
+        report.progress = options_.exec->progress();
+      }
+      return report;
+    }
+    // Inconclusive: fall through to the eager path.
+  }
   Status prepared = Prepare();
   if (!prepared.ok()) {
     // Graceful degradation: a governed run whose limit tripped yields a
@@ -205,6 +256,15 @@ Result<bool> Reasoner::AuxiliaryClassSatisfiable(
   definition->attributes = attributes;
   definition->participations = participations;
   CAR_RETURN_IF_ERROR(extended.Validate());
+
+  if (options_.lazy_expansion) {
+    CAR_ASSIGN_OR_RETURN(
+        LazyOutcome lazy,
+        RunLazyExpansion(extended, {aux}, nullptr, options_.expansion,
+                         options_.solver, options_.lazy));
+    if (lazy.conclusive) return static_cast<bool>(lazy.class_satisfiable[aux]);
+    // Inconclusive: fall through to the eager probe.
+  }
 
   CAR_ASSIGN_OR_RETURN(Expansion expansion,
                        BuildExpansion(extended, options_.expansion));

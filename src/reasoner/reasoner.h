@@ -10,6 +10,7 @@
 #include "base/result.h"
 #include "expansion/expansion.h"
 #include "model/schema.h"
+#include "reasoner/lazy_engine.h"
 #include "solver/solve.h"
 
 namespace car {
@@ -45,6 +46,17 @@ struct ReasonerOptions {
   /// so answers stay bit-identical; only the cost and the per-tier hit
   /// counters change.
   bool prefilter = true;
+  /// Lazy (counterexample-guided) expansion: CheckSchema,
+  /// IsClassSatisfiable and implication probes first try to answer over
+  /// a small materialized subset of the compound classes — seeded from
+  /// the targets' dependency closure, grown on uncovered targets — and
+  /// fall back to the full eager expansion whenever inconclusive.
+  /// Verdicts are bit-identical either way; on dense schemas, where the
+  /// full enumeration is exponential, the lazy path can answer after
+  /// materializing a tiny subset (or answer at all where eager trips its
+  /// caps). See DESIGN.md §5i.
+  bool lazy_expansion = false;
+  LazyExpansionOptions lazy;
 };
 
 /// Three-valued outcome of a governed satisfiability check.
@@ -78,6 +90,13 @@ struct SatReport {
   /// Progress counters from the governor (populated whenever the run was
   /// governed; for kUnknown these are the partial statistics).
   ProgressSnapshot progress;
+  /// Lazy-expansion observability: `lazy` is set when the lazy engine
+  /// produced this report, in which case num_compound_* count the
+  /// MATERIALIZED subset rather than the full expansion (answers are
+  /// identical either way; only these statistics differ).
+  bool lazy = false;
+  size_t refinement_rounds = 0;
+  size_t compounds_materialized = 0;
 };
 
 /// One logical-implication query for the batched API. Every kind reduces

@@ -1,0 +1,237 @@
+#include "semantics/witness_check.h"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "base/strings.h"
+#include "expansion/compound.h"
+
+namespace car {
+
+namespace {
+
+WitnessCheckResult Invalid(std::string failure) {
+  WitnessCheckResult result;
+  result.valid = false;
+  result.failure = std::move(failure);
+  return result;
+}
+
+}  // namespace
+
+WitnessCheckResult ValidatePsiWitness(const Schema& schema,
+                                      const Expansion& expansion,
+                                      const PsiWitness& witness) {
+  const size_t num_cc = expansion.compound_classes.size();
+  const size_t num_ca = expansion.compound_attributes.size();
+  const size_t num_cr = expansion.compound_relations.size();
+
+  // --- Structure.
+  if (witness.cc_active.size() != num_cc ||
+      witness.cc_value.size() != num_cc ||
+      witness.ca_active.size() != num_ca ||
+      witness.ca_value.size() != num_ca ||
+      witness.cr_active.size() != num_cr ||
+      witness.cr_value.size() != num_cr) {
+    return Invalid("witness not sized to the expansion");
+  }
+  if (num_cc == 0 || !expansion.compound_classes[0].empty()) {
+    return Invalid("compound index 0 is not the empty compound");
+  }
+  for (size_t i = 1; i < num_cc; ++i) {
+    const CompoundClass& compound = expansion.compound_classes[i];
+    if (!(expansion.compound_classes[i - 1] < compound)) {
+      return Invalid(StrCat("compound classes not in canonical order at #",
+                            i));
+    }
+    for (ClassId member : compound.members()) {
+      if (member < 0 || member >= schema.num_classes()) {
+        return Invalid(StrCat("compound #", i, " names an unknown class"));
+      }
+    }
+    if (!compound.IsConsistent(schema)) {
+      return Invalid(StrCat("compound #", i,
+                            " does not realize its members' isa formulae"));
+    }
+  }
+  for (size_t i = 0; i < num_cc; ++i) {
+    if (witness.cc_value[i].is_negative()) {
+      return Invalid(StrCat("compound #", i, " has a negative value"));
+    }
+  }
+
+  // --- Re-derive Natt/Nrel from the member classes' specs (the
+  // Definition 3.1 construction), bypassing the expansion's cached maps.
+  std::map<std::pair<AttributeTerm, int>, Cardinality> natt;
+  std::map<std::tuple<RelationId, int, int>, Cardinality> nrel;
+  std::vector<bool> constrained(num_cc, false);
+  for (size_t i = 0; i < num_cc; ++i) {
+    for (ClassId member : expansion.compound_classes[i].members()) {
+      const ClassDefinition& definition = schema.class_definition(member);
+      for (const AttributeSpec& spec : definition.attributes) {
+        auto key = std::make_pair(spec.term, static_cast<int>(i));
+        auto [it, inserted] = natt.emplace(key, spec.cardinality);
+        if (!inserted) {
+          it->second =
+              Cardinality::IntersectUnchecked(it->second, spec.cardinality);
+        }
+        constrained[i] = true;
+      }
+      for (const ParticipationSpec& spec : definition.participations) {
+        const RelationDefinition* relation =
+            schema.relation_definition(spec.relation);
+        if (relation == nullptr) {
+          return Invalid(StrCat("compound #", i,
+                                " participates in an unknown relation"));
+        }
+        int role_index = relation->RoleIndex(spec.role);
+        if (role_index < 0) {
+          return Invalid(StrCat("compound #", i,
+                                " participates under an unknown role"));
+        }
+        auto key = std::make_tuple(spec.relation, role_index,
+                                   static_cast<int>(i));
+        auto [it, inserted] = nrel.emplace(key, spec.cardinality);
+        if (!inserted) {
+          it->second =
+              Cardinality::IntersectUnchecked(it->second, spec.cardinality);
+        }
+        constrained[i] = true;
+      }
+    }
+  }
+
+  // --- Activity coherence of the compound classes.
+  for (size_t i = 0; i < num_cc; ++i) {
+    if (!witness.cc_active[i]) {
+      if (!constrained[i]) {
+        return Invalid(StrCat("unconstrained compound #", i,
+                              " marked inactive"));
+      }
+      if (!witness.cc_value[i].is_zero()) {
+        return Invalid(StrCat("inactive compound #", i,
+                              " has a nonzero value"));
+      }
+    } else if (constrained[i] && !witness.cc_value[i].is_positive()) {
+      // The maximal-support fixpoint only terminates once every active
+      // constrained unknown is supported (strictly positive).
+      return Invalid(StrCat("active constrained compound #", i,
+                            " is unsupported (value not positive)"));
+    }
+  }
+
+  // --- Compound attributes: endpoints, consistency, activity, sign.
+  for (size_t j = 0; j < num_ca; ++j) {
+    const CompoundAttribute& ca = expansion.compound_attributes[j];
+    if (ca.attribute < 0 || ca.attribute >= schema.num_attributes() ||
+        ca.from < 0 || static_cast<size_t>(ca.from) >= num_cc ||
+        ca.to < 0 || static_cast<size_t>(ca.to) >= num_cc) {
+      return Invalid(StrCat("compound attribute #", j, " out of range"));
+    }
+    if (!IsConsistentCompoundAttribute(
+            schema, ca.attribute, expansion.compound_classes[ca.from],
+            expansion.compound_classes[ca.to])) {
+      return Invalid(StrCat("compound attribute #", j, " inconsistent"));
+    }
+    if (witness.ca_value[j].is_negative()) {
+      return Invalid(StrCat("compound attribute #", j,
+                            " has a negative value"));
+    }
+    if (witness.ca_active[j]) {
+      if (!witness.cc_active[ca.from] || !witness.cc_active[ca.to]) {
+        return Invalid(StrCat("compound attribute #", j,
+                              " active with an inactive endpoint"));
+      }
+    } else if (!witness.ca_value[j].is_zero()) {
+      return Invalid(StrCat("inactive compound attribute #", j,
+                            " has a nonzero value"));
+    }
+  }
+
+  // --- Compound relations: components, consistency, activity, sign.
+  for (size_t j = 0; j < num_cr; ++j) {
+    const CompoundRelation& cr = expansion.compound_relations[j];
+    const RelationDefinition* definition =
+        schema.relation_definition(cr.relation);
+    if (definition == nullptr ||
+        cr.components.size() != static_cast<size_t>(definition->arity())) {
+      return Invalid(StrCat("compound relation #", j, " malformed"));
+    }
+    std::vector<const CompoundClass*> views;
+    views.reserve(cr.components.size());
+    for (int component : cr.components) {
+      if (component < 0 || static_cast<size_t>(component) >= num_cc) {
+        return Invalid(StrCat("compound relation #", j, " out of range"));
+      }
+      views.push_back(&expansion.compound_classes[component]);
+    }
+    if (!IsConsistentCompoundRelation(schema, *definition, views)) {
+      return Invalid(StrCat("compound relation #", j, " inconsistent"));
+    }
+    if (witness.cr_value[j].is_negative()) {
+      return Invalid(StrCat("compound relation #", j,
+                            " has a negative value"));
+    }
+    if (witness.cr_active[j]) {
+      for (int component : cr.components) {
+        if (!witness.cc_active[component]) {
+          return Invalid(StrCat("compound relation #", j,
+                                " active with an inactive component"));
+        }
+      }
+    } else if (!witness.cr_value[j].is_zero()) {
+      return Invalid(StrCat("inactive compound relation #", j,
+                            " has a nonzero value"));
+    }
+  }
+
+  // --- Bound arithmetic: u·Var(C̄) ≤ Σ S(att, C̄) ≤ v·Var(C̄), with the
+  // summation sets recovered by direct endpoint scan (not the cached
+  // lookup indexes).
+  for (const auto& [key, cardinality] : natt) {
+    const auto& [term, compound_index] = key;
+    Rational sum;
+    for (size_t j = 0; j < num_ca; ++j) {
+      const CompoundAttribute& ca = expansion.compound_attributes[j];
+      if (ca.attribute != term.attribute) continue;
+      if ((term.inverse ? ca.to : ca.from) != compound_index) continue;
+      sum += witness.ca_value[j];
+    }
+    const Rational var = witness.cc_value[compound_index];
+    if (Rational(static_cast<int64_t>(cardinality.min())) * var > sum) {
+      return Invalid(StrCat("Natt min violated at compound #",
+                            compound_index));
+    }
+    if (cardinality.has_finite_max() &&
+        sum > Rational(static_cast<int64_t>(cardinality.max())) * var) {
+      return Invalid(StrCat("Natt max violated at compound #",
+                            compound_index));
+    }
+  }
+  for (const auto& [key, cardinality] : nrel) {
+    const auto& [relation, role_index, compound_index] = key;
+    Rational sum;
+    for (size_t j = 0; j < num_cr; ++j) {
+      const CompoundRelation& cr = expansion.compound_relations[j];
+      if (cr.relation != relation) continue;
+      if (cr.components[role_index] != compound_index) continue;
+      sum += witness.cr_value[j];
+    }
+    const Rational var = witness.cc_value[compound_index];
+    if (Rational(static_cast<int64_t>(cardinality.min())) * var > sum) {
+      return Invalid(StrCat("Nrel min violated at compound #",
+                            compound_index));
+    }
+    if (cardinality.has_finite_max() &&
+        sum > Rational(static_cast<int64_t>(cardinality.max())) * var) {
+      return Invalid(StrCat("Nrel max violated at compound #",
+                            compound_index));
+    }
+  }
+
+  return WitnessCheckResult{};
+}
+
+}  // namespace car

@@ -1,0 +1,61 @@
+#ifndef CAR_SEMANTICS_WITNESS_CHECK_H_
+#define CAR_SEMANTICS_WITNESS_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "expansion/expansion.h"
+#include "math/rational.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// A candidate model witness of a (possibly partial) expansion: the
+/// activity masks and unknown values of an acceptability-fixpoint
+/// optimum, indexed by the expansion's compound lists. This is what the
+/// lazy (counterexample-guided) engine extracts from a partial-Ψ solve
+/// before it is allowed to conclude satisfiability.
+struct PsiWitness {
+  std::vector<bool> cc_active;
+  std::vector<bool> ca_active;
+  std::vector<bool> cr_active;
+  std::vector<Rational> cc_value;
+  std::vector<Rational> ca_value;
+  std::vector<Rational> cr_value;
+};
+
+struct WitnessCheckResult {
+  bool valid = true;
+  /// The first violated property, human-readable; empty when valid.
+  std::string failure;
+};
+
+/// Validates a witness against the schema's semantics by independent
+/// re-derivation — nothing is trusted from the expansion's cached
+/// Natt/Nrel maps or lookup indexes, and nothing from the solver:
+///
+///  * structure: masks/values sized to the expansion; index 0 is the
+///    empty compound; compounds canonically sorted, unique, and
+///    schema-consistent; compound attribute/relation endpoints in range
+///    and consistent per the Section 3.1 predicates;
+///  * activity coherence: inactive unknowns are valued zero; a compound
+///    attribute/relation is active only if all its endpoints are; an
+///    unconstrained compound class (no re-derived Natt/Nrel entry) is
+///    active; an active constrained one has a strictly positive value
+///    (the maximal-support fixpoint invariant);
+///  * bound arithmetic: every Natt/Nrel interval re-derived from the
+///    member classes' attribute/participation specs (intersected per
+///    compound) is satisfied by the witness values:
+///    u·Var(C̄) ≤ Σ S(att, C̄) ≤ v·Var(C̄), summing over the expansion's
+///    compound attributes/relations by direct endpoint scan.
+///
+/// A failure means the solution is spurious — the lazy engine must not
+/// conclude from it and falls back to the eager path, so a checker
+/// refutation can cost time but never an answer.
+WitnessCheckResult ValidatePsiWitness(const Schema& schema,
+                                      const Expansion& expansion,
+                                      const PsiWitness& witness);
+
+}  // namespace car
+
+#endif  // CAR_SEMANTICS_WITNESS_CHECK_H_

@@ -94,6 +94,17 @@ void SessionCache::Spill(SessionEntry* entry) {
   if (options_.store == nullptr || entry == nullptr) return;
   if (entry->cost_bytes == entry->persisted_cost) return;  // Clean.
   const IncrementalStats session = entry->session->stats();
+  if (!entry->session->SnapshotEligible()) {
+    // Lazy session whose full base build is still deferred (its queries
+    // were answered over a partial materialization, or none ran yet):
+    // Serialize would refuse, and forcing the eager build just to spill
+    // defeats the point of the lazy session. Skip without counting a
+    // failure — the entry stays dirty and is re-considered at the next
+    // spill point. Checked before the never-queried guard because a
+    // deferred lazy session also has base_builds == 0.
+    ++stats_.spill_ineligible;
+    return;
+  }
   if (session.base_builds + session.base_restores == 0) {
     // Opened but never queried: Serialize would have to pay the base
     // solve just to persist it. Leave it cold.

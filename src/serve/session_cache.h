@@ -55,6 +55,10 @@ struct SessionCacheStats {
   /// shutdown). Clean sessions are not re-spilled.
   uint64_t spills = 0;
   uint64_t spill_failures = 0;
+  /// Spill points skipped because the session was snapshot-ineligible
+  /// (lazy session with the full base build still deferred). Not a
+  /// failure: the entry stays dirty and is re-considered later.
+  uint64_t spill_ineligible = 0;
 };
 
 /// One resident tenant: the parsed schema (owned, pointer-stable — the

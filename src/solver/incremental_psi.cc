@@ -124,14 +124,13 @@ Result<IncrementalPsiBase> PrepareIncrementalPsi(
   return base;
 }
 
-Result<IncrementalProbeResult> SolvePsiIncremental(
-    const Expansion& base, const IncrementalPsiBase& psi_base,
-    const ExpansionDelta& delta, ClassId aux,
-    const PsiSolverOptions& options) {
+Result<PartialPsiResult> SolvePsiOverDelta(const Expansion& base,
+                                           const IncrementalPsiBase& psi_base,
+                                           const ExpansionDelta& delta,
+                                           const PsiSolverOptions& options) {
   ExecContext* exec = options.exec;
-  CAR_RETURN_IF_ERROR(GovCheck(exec, "solver"));
 
-  IncrementalProbeResult result;
+  PartialPsiResult result;
   const int num_base_cc = static_cast<int>(base.compound_classes.size());
   const int num_base_ca = static_cast<int>(base.compound_attributes.size());
   const int num_base_cr = static_cast<int>(base.compound_relations.size());
@@ -141,7 +140,6 @@ Result<IncrementalProbeResult> SolvePsiIncremental(
   const int num_new_cr =
       static_cast<int>(delta.new_compound_relations.size());
 
-  // Only new compounds can contain the auxiliary class.
   std::vector<bool> new_constrained(num_new_cc, false);
   for (const auto& [key, cardinality] : delta.new_natt) {
     (void)cardinality;
@@ -150,24 +148,6 @@ Result<IncrementalProbeResult> SolvePsiIncremental(
   for (const auto& [key, cardinality] : delta.new_nrel) {
     (void)cardinality;
     new_constrained[std::get<2>(key) - num_base_cc] = true;
-  }
-  bool any_constrained_aux = false;
-  for (int j = 0; j < num_new_cc; ++j) {
-    if (!delta.new_compound_classes[j].Contains(aux)) continue;
-    if (!new_constrained[j]) {
-      // An unconstrained compound class never deactivates (its unknown
-      // occurs in no disequation), so the auxiliary class is satisfiable
-      // without solving anything — exactly the from-scratch verdict.
-      result.aux_satisfiable = true;
-      return result;
-    }
-    any_constrained_aux = true;
-  }
-  if (!any_constrained_aux) {
-    // No compound class contains the auxiliary class at all (every
-    // containing candidate was pruned as inconsistent): unsatisfiable.
-    result.aux_satisfiable = false;
-    return result;
   }
 
   // --- Assemble the round-1 delta: new unknowns, extensions of base
@@ -325,6 +305,7 @@ Result<IncrementalProbeResult> SolvePsiIncremental(
   simplex_options.exec = exec;
   SimplexSolver solver(simplex_options);
 
+  std::vector<Rational> values;  // the fixpoint optimum's unknown values
   while (true) {
     CAR_RETURN_IF_ERROR(GovCheck(exec, "solver"));
     ++result.fixpoint_rounds;
@@ -351,7 +332,10 @@ Result<IncrementalProbeResult> SolvePsiIncremental(
         newly_dead.push_back(var_of_cc(i));
       }
     }
-    if (newly_dead.empty()) break;
+    if (newly_dead.empty()) {
+      values = std::move(lp.values);
+      break;
+    }
     // Acceptability propagation over base and delta unknowns alike
     // (endpoints of delta compound attributes/relations are global
     // indices, so one unified sweep covers both).
@@ -385,8 +369,74 @@ Result<IncrementalProbeResult> SolvePsiIncremental(
     }
   }
 
+  result.cc_value.reserve(total_cc);
+  for (int i = 0; i < total_cc; ++i) {
+    result.cc_value.push_back(values[var_of_cc(i)]);
+  }
+  result.ca_value.reserve(total_ca);
+  for (int i = 0; i < total_ca; ++i) {
+    result.ca_value.push_back(values[var_of_ca(i)]);
+  }
+  result.cr_value.reserve(total_cr);
+  for (int i = 0; i < total_cr; ++i) {
+    result.cr_value.push_back(values[var_of_cr(i)]);
+  }
+  result.cc_active = std::move(cc_active);
+  result.ca_active = std::move(ca_active);
+  result.cr_active = std::move(cr_active);
+  return result;
+}
+
+Result<IncrementalProbeResult> SolvePsiIncremental(
+    const Expansion& base, const IncrementalPsiBase& psi_base,
+    const ExpansionDelta& delta, ClassId aux,
+    const PsiSolverOptions& options) {
+  ExecContext* exec = options.exec;
+  CAR_RETURN_IF_ERROR(GovCheck(exec, "solver"));
+
+  IncrementalProbeResult result;
+  const int num_base_cc = static_cast<int>(base.compound_classes.size());
+  const int num_new_cc = static_cast<int>(delta.new_compound_classes.size());
+
+  // Only new compounds can contain the auxiliary class.
+  std::vector<bool> new_constrained(num_new_cc, false);
+  for (const auto& [key, cardinality] : delta.new_natt) {
+    (void)cardinality;
+    new_constrained[key.second - num_base_cc] = true;
+  }
+  for (const auto& [key, cardinality] : delta.new_nrel) {
+    (void)cardinality;
+    new_constrained[std::get<2>(key) - num_base_cc] = true;
+  }
+  bool any_constrained_aux = false;
   for (int j = 0; j < num_new_cc; ++j) {
-    if (cc_active[num_base_cc + j] &&
+    if (!delta.new_compound_classes[j].Contains(aux)) continue;
+    if (!new_constrained[j]) {
+      // An unconstrained compound class never deactivates (its unknown
+      // occurs in no disequation), so the auxiliary class is satisfiable
+      // without solving anything — exactly the from-scratch verdict.
+      result.aux_satisfiable = true;
+      return result;
+    }
+    any_constrained_aux = true;
+  }
+  if (!any_constrained_aux) {
+    // No compound class contains the auxiliary class at all (every
+    // containing candidate was pruned as inconsistent): unsatisfiable.
+    result.aux_satisfiable = false;
+    return result;
+  }
+
+  CAR_ASSIGN_OR_RETURN(PartialPsiResult partial,
+                       SolvePsiOverDelta(base, psi_base, delta, options));
+  result.fixpoint_rounds = partial.fixpoint_rounds;
+  result.lp_solves = partial.lp_solves;
+  result.total_pivots = partial.total_pivots;
+  result.scalar_promotions = partial.scalar_promotions;
+  result.peak_tableau_nonzeros = partial.peak_tableau_nonzeros;
+  result.peak_tableau_cells = partial.peak_tableau_cells;
+  for (int j = 0; j < num_new_cc; ++j) {
+    if (partial.cc_active[num_base_cc + j] &&
         delta.new_compound_classes[j].Contains(aux)) {
       result.aux_satisfiable = true;
       break;

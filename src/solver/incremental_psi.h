@@ -66,6 +66,45 @@ struct IncrementalProbeResult {
   uint64_t peak_tableau_cells = 0;
 };
 
+/// The outcome of one warm-started partial-Ψ solve over base + delta:
+/// the acceptability-fixpoint activity masks and the final LP values of
+/// every unknown, all indexed GLOBALLY (base count + position within the
+/// delta). This is the general core the auxiliary-class probe wraps —
+/// and the per-round engine of the lazy (counterexample-guided)
+/// expansion, whose refinement rounds solve a growing partial expansion
+/// and validate these values as a model witness. The delta may be empty
+/// (the lazy seed round: solve the base alone).
+struct PartialPsiResult {
+  /// Activity after the fixpoint. Unconstrained compound classes are
+  /// always active (their unknowns occur in no disequation).
+  std::vector<bool> cc_active;
+  std::vector<bool> ca_active;
+  std::vector<bool> cr_active;
+  /// The optimum's unknown values (dead unknowns are pinned to zero).
+  std::vector<Rational> cc_value;
+  std::vector<Rational> ca_value;
+  std::vector<Rational> cr_value;
+  size_t fixpoint_rounds = 0;
+  size_t lp_solves = 0;
+  size_t total_pivots = 0;
+  uint64_t scalar_promotions = 0;
+  uint64_t peak_tableau_nonzeros = 0;
+  uint64_t peak_tableau_cells = 0;
+};
+
+/// Runs the warm-started pinned acceptability fixpoint over base + delta
+/// (the machinery documented on SolvePsiIncremental below, minus the
+/// auxiliary-class shortcuts) and reports the resulting activity masks
+/// and unknown values. Every compound class the delta adds must carry
+/// global indices consistent with `base`; `delta` may be empty. The
+/// masks/values are bit-identical to what SolvePsi computes on the
+/// assembled base+delta expansion, by the pinning and vertex-independence
+/// arguments below.
+Result<PartialPsiResult> SolvePsiOverDelta(const Expansion& base,
+                                           const IncrementalPsiBase& psi_base,
+                                           const ExpansionDelta& delta,
+                                           const PsiSolverOptions& options);
+
 /// Builds everything in IncrementalPsiBase EXCEPT the solved snapshot:
 /// the full base Ψ system, the cc_constrained/t_var masks, the
 /// Natt/Nrel row bookkeeping (replaying the builder's emission order)

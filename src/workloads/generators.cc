@@ -231,6 +231,46 @@ Schema GenerateClusteredSchema(Rng* rng, const ClusteredParams& params) {
   return schema;
 }
 
+Schema GenerateDenseBlowupSchema(const DenseBlowupParams& params) {
+  CAR_CHECK(params.chaff_classes >= 1);
+  CAR_CHECK(params.core_classes >= 1);
+  Schema schema;
+  // Chaff: D1..Dn-1 each carry `isa D0 | !D0`. The clause constrains
+  // nothing (every subset stays consistent) but mentions D0, which fuses
+  // all chaff classes into one cluster of 2^chaff_classes compounds.
+  std::vector<ClassId> chaff;
+  for (int i = 0; i < params.chaff_classes; ++i) {
+    chaff.push_back(schema.InternClass(StrCat("D", i)));
+  }
+  for (int i = 1; i < params.chaff_classes; ++i) {
+    ClassClause tautology;
+    tautology.AddLiteral(ClassLiteral::Positive(chaff[0]));
+    tautology.AddLiteral(ClassLiteral::Negative(chaff[0]));
+    schema.mutable_class_definition(chaff[i])
+        ->isa.AddClause(std::move(tautology));
+  }
+  // Core: an isa chain E0 <- E1 <- ... with the head requiring
+  // g-successors in the deepest class, so its compounds carry counted
+  // unknowns and bound rows.
+  std::vector<ClassId> core;
+  for (int i = 0; i < params.core_classes; ++i) {
+    core.push_back(schema.InternClass(StrCat("E", i)));
+  }
+  for (int i = 1; i < params.core_classes; ++i) {
+    schema.mutable_class_definition(core[i])->isa.AddClause(
+        ClassClause::Of(ClassLiteral::Positive(core[i - 1])));
+  }
+  AttributeId attribute = schema.InternAttribute("g");
+  AttributeSpec spec;
+  spec.term = AttributeTerm::Direct(attribute);
+  spec.cardinality = Cardinality(1, params.max_cardinality);
+  spec.range = ClassFormula::OfClass(core[params.core_classes - 1]);
+  schema.mutable_class_definition(core[0])->attributes.push_back(
+      std::move(spec));
+  CAR_CHECK(schema.Validate().ok());
+  return schema;
+}
+
 Schema GenerateChainSchema(const ChainParams& params) {
   Schema schema;
   std::vector<ClassId> links;

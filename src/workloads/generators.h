@@ -74,6 +74,24 @@ struct ClusteredParams {
 };
 Schema GenerateClusteredSchema(Rng* rng, const ClusteredParams& params);
 
+/// The lazy-expansion stress family (examples/schemas/dense_blowup.car,
+/// scaled): one *chaff* cluster of `chaff_classes` classes tied together
+/// only by the tautological clause `isa D0 | !D0` — semantically vacuous
+/// but cluster-connecting, so all 2^chaff_classes subsets are consistent
+/// compounds and the eager pruned enumeration must visit every one —
+/// plus a small attribute-bearing *core* cluster (an isa chain whose
+/// head requires 1..max_cardinality g-successors in the deepest chain
+/// class) so the schema has real Ψ content and a lazy verdict rests on
+/// an LP witness, not just the all-unconstrained shortcut. Every class
+/// is satisfiable; the interesting measurement is the cost of finding
+/// that out (EXP-T).
+struct DenseBlowupParams {
+  int chaff_classes = 12;
+  int core_classes = 4;
+  uint64_t max_cardinality = 2;
+};
+Schema GenerateDenseBlowupSchema(const DenseBlowupParams& params);
+
 /// A chain of `length` classes where class k requires between 1 and
 /// `fanout` successors (attribute a_k) in class k+1, and the inverse
 /// direction is bounded too. Compound classes stay linear in `length`

@@ -647,5 +647,116 @@ TEST(SessionCachePersistenceTest, CorruptSnapshotDegradesToColdBuild) {
   EXPECT_EQ(got.value(), expected.value());
 }
 
+TEST(LazySnapshotEligibilityTest, DeferredLazyBaseIsSnapshotIneligible) {
+  // A lazy session whose probes were all answered over the materialized
+  // subset never builds the full base expansion. It must refuse to
+  // serialize — a snapshot of partial warm state claiming to be the full
+  // base would poison every future restore — and become eligible only
+  // once the full base actually exists.
+  DenseBlowupParams params;
+  params.chaff_classes = 6;
+  params.core_classes = 3;
+  Schema schema = GenerateDenseBlowupSchema(params);
+
+  std::vector<ImplicationQuery> batch;
+  for (ClassId c = 0; c + 1 < schema.num_classes(); ++c) {
+    ImplicationQuery query;
+    query.kind = ImplicationQuery::Kind::kDisjoint;
+    query.class_id = c;
+    query.other = c + 1;
+    batch.push_back(query);
+  }
+
+  ReasonerOptions lazy_options;
+  lazy_options.lazy_expansion = true;
+  IncrementalSession session(&schema, lazy_options);
+  EXPECT_FALSE(session.SnapshotEligible()) << "cold lazy session";
+  auto answers = session.RunImplicationBatch(batch);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  ASSERT_GT(session.stats().lazy_hits, 0u);
+  EXPECT_EQ(session.stats().base_builds, 0u)
+      << "conclusive lazy probes must not force the full base build";
+  EXPECT_FALSE(session.SnapshotEligible());
+  auto bytes = session.Serialize();
+  ASSERT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kFailedPrecondition);
+
+  // The answers still match the from-scratch reference, of course.
+  IncrementalSession reference(&schema, ReasonerOptions{});
+  auto expected = reference.RunImplicationBatch(batch);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(expected.value(), answers.value());
+
+  // A lazy session that DID pay the full base build (here: its probes
+  // are inconclusive because the lazy engine only runs on the pruned
+  // strategy) serializes fine, and a fresh lazy session restoring the
+  // snapshot is immediately eligible again. A small schema keeps the
+  // per-probe exhaustive fallbacks cheap.
+  DenseBlowupParams small_params;
+  small_params.chaff_classes = 3;
+  small_params.core_classes = 2;
+  Schema small = GenerateDenseBlowupSchema(small_params);
+  std::vector<ImplicationQuery> small_batch(batch.begin(),
+                                            batch.begin() + 4);
+  ReasonerOptions forced = lazy_options;
+  forced.expansion.strategy = ExpansionStrategy::kExhaustive;
+  IncrementalSession solved(&small, forced);
+  auto solved_answers = solved.RunImplicationBatch(small_batch);
+  ASSERT_TRUE(solved_answers.ok()) << solved_answers.status();
+  EXPECT_TRUE(solved.SnapshotEligible());
+  auto snapshot = solved.Serialize();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+
+  IncrementalSession restored(&small, forced);
+  ASSERT_TRUE(restored.Deserialize(snapshot.value()).ok());
+  EXPECT_TRUE(restored.SnapshotEligible())
+      << "a restored snapshot IS the full warm base";
+  auto after = restored.RunImplicationBatch(small_batch);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(solved_answers.value(), after.value());
+}
+
+TEST(LazySnapshotEligibilityTest, CacheSkipsSpillOfIneligibleSession) {
+  ScratchDir dir;
+  auto store = SnapshotStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+
+  DenseBlowupParams params;
+  params.chaff_classes = 8;
+  params.core_classes = 3;
+  Schema schema = GenerateDenseBlowupSchema(params);
+  const std::string text = PrintSchema(schema);
+
+  std::vector<ImplicationQuery> batch;
+  for (ClassId c = 0; c + 1 < schema.num_classes(); ++c) {
+    ImplicationQuery query;
+    query.kind = ImplicationQuery::Kind::kDisjoint;
+    query.class_id = c;
+    query.other = c + 1;
+    batch.push_back(query);
+  }
+
+  serve::SessionCacheOptions options;
+  options.store = store.value().get();
+  options.reasoner.lazy_expansion = true;
+  serve::SessionCache cache(options);
+  bool warm = false;
+  auto entry = cache.Open("lazy-tenant", text, &warm);
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  auto answers = entry.value()->session->RunImplicationBatch(batch);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  ASSERT_GT(entry.value()->session->stats().lazy_hits, 0u);
+  ASSERT_FALSE(entry.value()->session->SnapshotEligible());
+
+  cache.UpdateCost(entry.value());
+  cache.SpillAll();
+  EXPECT_EQ(cache.stats().spills, 0u)
+      << "a deferred lazy base must not be spilled as full warm state";
+  EXPECT_EQ(cache.stats().spill_failures, 0u)
+      << "skipping an ineligible session is not a failure";
+  EXPECT_GE(cache.stats().spill_ineligible, 1u);
+  EXPECT_EQ(store.value()->stats().saves, 0u);
+}
+
 }  // namespace
 }  // namespace car

@@ -87,6 +87,8 @@ constexpr int kExitError = 3;
 int g_num_threads = 1;
 /// Query file for the `query` command; set by --queries=.
 std::string g_queries_path;
+/// Lazy (counterexample-guided) expansion; set by --lazy-expansion.
+bool g_lazy_expansion = false;
 /// Answer the `query` batch from scratch instead of incrementally.
 bool g_from_scratch = false;
 /// Output format of the `lint` command ("text" or "json"); --format=.
@@ -166,6 +168,11 @@ int Usage() {
          "  --queries=<file>            query file for the `query` command\n"
          "  --from-scratch              `query` only: disable the\n"
          "                              incremental engine\n"
+         "  --lazy-expansion            counterexample-guided expansion:\n"
+         "                              answer over a materialized subset\n"
+         "                              of the compounds when conclusive,\n"
+         "                              eager fallback otherwise (answers\n"
+         "                              identical; see DESIGN.md §5i)\n"
          "  --format=text|json          `lint` only: output format\n"
          "  --werror                    `lint` only: treat warnings as\n"
          "                              errors\n"
@@ -193,6 +200,7 @@ ReasonerOptions MakeReasonerOptions() {
   ReasonerOptions options;
   options.num_threads = g_num_threads;
   options.exec = &g_exec;
+  options.lazy_expansion = g_lazy_expansion;
   return options;
 }
 
@@ -222,6 +230,17 @@ int Check(Schema& schema) {
     return kExitUnknown;
   }
   std::cout << schema.Summary() << "\n";
+  if (g_lazy_expansion) {
+    // Under --lazy-expansion, num_compound_classes counts the compounds
+    // the answering engine actually held: the materialized subset when
+    // the lazy engine concluded (report->lazy), the full expansion when
+    // it fell back to eager (refinement-rounds/materialized then count
+    // the abandoned lazy attempt).
+    std::cout << "lazy: " << (report->lazy ? "conclusive" : "fallback")
+              << " refinement-rounds=" << report->refinement_rounds
+              << " compounds-materialized=" << report->compounds_materialized
+              << " compounds-total=" << report->num_compound_classes << "\n";
+  }
   if (report->verdict == Verdict::kSat) {
     std::cout << "OK: all classes satisfiable\n";
     return kExitSat;
@@ -461,6 +480,13 @@ int Query(Schema& schema) {
               << " scalar-promotions=" << stats.scalar_promotions
               << " peak-tableau-nnz=" << stats.peak_tableau_nonzeros
               << " peak-tableau-cells=" << stats.peak_tableau_cells << "\n";
+    if (g_lazy_expansion) {
+      std::cout << "lazy: hits=" << stats.lazy_hits
+                << " refinement-rounds=" << stats.lazy_refinement_rounds
+                << " compounds-materialized="
+                << stats.lazy_compounds_materialized
+                << " spurious-witnesses=" << stats.spurious_witnesses << "\n";
+    }
   }
   return kExitSat;
 }
@@ -663,6 +689,10 @@ int Run(int argc, char** argv) {
     }
     if (arg == "--from-scratch") {
       g_from_scratch = true;
+      continue;
+    }
+    if (arg == "--lazy-expansion") {
+      g_lazy_expansion = true;
       continue;
     }
     if (arg.rfind("--format=", 0) == 0) {
