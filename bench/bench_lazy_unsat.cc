@@ -1,26 +1,30 @@
-// EXP-T driver: lazy (counterexample-guided) vs eager expansion on
-// dense schemas.
+// EXP-U driver: lazy UNSAT via infeasibility certificates vs eager
+// expansion on dense unsatisfiable schemas.
 //
-// Workload: the dense-blowup family (GenerateDenseBlowupSchema) — one
-// chaff cluster whose 2^chaff subsets are all consistent, plus a small
-// attribute-bearing core so the verdict needs real Ψ content. For each
-// cell the full CheckSchema verdict is computed eagerly (when the cell
-// is within the eager enumeration cap) and lazily at 1/2/8 threads; all
-// comparable verdicts are required to be identical, classwise. The lazy
-// run must conclude from a strict subset of the compound classes; the
-// interesting ratio is wall-clock end-to-end, so this is a plain main
-// (not google-benchmark) like the other differential drivers.
+// Workload: the dense-unsat family (GenerateDenseUnsatSchema) — the
+// dense-blowup chaff cluster (2^chaff consistent subsets, no Ψ content)
+// plus a pairwise-disjoint core chain whose terminal cardinality
+// contradiction makes every core class unsatisfiable. The eager path
+// must enumerate the chaff before it can say anything; the lazy engine
+// probes the exhausted core targets, learns Farkas certificates as
+// blocking constraints, and concludes UNSAT from their closure after
+// materializing a sliver of the expansion. For each cell the eager
+// CheckSchema runs when the cell is within the enumeration cap, and the
+// lazy engine runs at 1/2/8 threads; all comparable verdicts must be
+// identical classwise.
 //
-// The largest cell (chaff=22) is the dense_blowup.car regime: 2^22
-// subsets, beyond the eager cap — eager cannot answer at all and the
-// cell records the lazy verdict alone (eager_completed=false).
+// The largest cell (unsat-22+4) is the headline regime: 2^22 subsets,
+// beyond the eager cap — eager cannot answer at all while lazy returns
+// a conclusive UNSAT with zero fallbacks (gated in CI).
 //
-// Usage: bench_lazy_expansion [--threads=N] [--smoke] [--out=FILE]
-//   --smoke  tiny workload for CI: two small cells
+// Usage: bench_lazy_unsat [--threads=N] [--smoke] [--out=FILE]
+//   --smoke  tiny workload for CI: two small cells plus the beyond-cap
+//            cell (cheap for the lazy engine by construction)
 //
-// Output: one JSON-lines record per cell in BENCH_lazy_expansion.json,
-// gated by the CI bench-smoke job (answers_identical, lazy <= eager on
-// the dense cells, fallbacks reported).
+// Output: one JSON-lines record per cell in BENCH_lazy_unsat.json,
+// gated by the CI bench-smoke job (answers_identical, a conclusive lazy
+// UNSAT where eager tripped its cap, lazy_ms <= eager_ms where both
+// completed).
 
 #include <chrono>
 #include <cstdio>
@@ -44,7 +48,7 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 int Main(int argc, char** argv) {
   int num_threads = 1;
   bool smoke = false;
-  std::string out_path = "BENCH_lazy_expansion.json";
+  std::string out_path = "BENCH_lazy_unsat.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       num_threads = std::atoi(argv[i] + 10);
@@ -57,19 +61,22 @@ int Main(int argc, char** argv) {
 
   struct Cell {
     std::string name;
-    DenseBlowupParams params;
+    DenseUnsatParams params;
   };
   std::vector<Cell> cells;
   if (smoke) {
-    cells.push_back({"dense-8+3", {8, 3, 2}});
-    cells.push_back({"dense-10+3", {10, 3, 2}});
+    cells.push_back({"unsat-8+3", {8, 3, 2}});
+    cells.push_back({"unsat-10+3", {10, 3, 2}});
+    // The beyond-cap cell stays in the smoke set: it is the property the
+    // CI gate exists for, and the lazy engine makes it cheap.
+    cells.push_back({"unsat-22+4", {22, 4, 2}});
   } else {
-    cells.push_back({"dense-10+3", {10, 3, 2}});
-    cells.push_back({"dense-12+4", {12, 4, 2}});
-    cells.push_back({"dense-14+4", {14, 4, 2}});
-    cells.push_back({"dense-16+4", {16, 4, 2}});
-    // The dense_blowup.car regime: past the eager enumeration cap.
-    cells.push_back({"dense-22+4", {22, 4, 2}});
+    cells.push_back({"unsat-10+3", {10, 3, 2}});
+    cells.push_back({"unsat-12+4", {12, 4, 2}});
+    cells.push_back({"unsat-14+4", {14, 4, 2}});
+    cells.push_back({"unsat-16+4", {16, 4, 2}});
+    // Past the eager enumeration cap: eager cannot answer at all.
+    cells.push_back({"unsat-22+4", {22, 4, 2}});
   }
   const std::vector<int> lazy_threads = {1, 2, 8};
 
@@ -79,16 +86,17 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("EXP-T: lazy (CEGAR) vs eager expansion on dense schemas "
-              "(threads=%d%s)\n\n",
+  std::printf("EXP-U: lazy UNSAT (blocking constraints) vs eager expansion "
+              "on dense unsat schemas (threads=%d%s)\n\n",
               num_threads, smoke ? ", smoke" : "");
   std::printf("| schema | eager (ms) | lazy (ms) | speedup | materialized "
-              "| total | rounds | fallbacks |\n");
-  std::printf("|---|---|---|---|---|---|---|---|\n");
+              "| total | blocked | closures | fallbacks |\n");
+  std::printf("|---|---|---|---|---|---|---|---|---|\n");
 
   bool all_identical = true;
+  bool beyond_cap_concluded = false;
   for (const Cell& cell : cells) {
-    Schema schema = GenerateDenseBlowupSchema(cell.params);
+    Schema schema = GenerateDenseUnsatSchema(cell.params);
 
     // Eager reference (ungoverned: a cap trip arrives as an error
     // status, which just marks the cell eager-incomplete).
@@ -99,17 +107,20 @@ int Main(int argc, char** argv) {
     auto eager_report = eager.CheckSchema();
     double eager_ms = MillisSince(eager_start);
     const bool eager_completed = eager_report.ok();
-    // Analytic full-expansion size (test-verified exact): beyond-cap
-    // cells would otherwise report 0 — as if there were nothing to
-    // avoid — exactly where the avoided work is largest.
-    const uint64_t compounds_total = DenseBlowupCompoundCount(cell.params);
+    // Analytic full-expansion size (test-verified exact), reported even
+    // where the eager build tripped before counting.
+    const uint64_t compounds_total = DenseUnsatCompoundCount(cell.params);
 
     // Lazy at each thread count; verdicts must agree with each other
     // (and with eager where eager completed).
     double lazy_ms = 0.0;
     uint64_t materialized = 0;
     uint64_t rounds = 0;
+    uint64_t blocked = 0;
+    uint64_t closures = 0;
     uint64_t fallbacks = 0;
+    bool lazy_conclusive = false;
+    bool verdict_unsat = false;
     bool identical = true;
     std::vector<bool> first_classwise;
     for (size_t i = 0; i < lazy_threads.size(); ++i) {
@@ -129,6 +140,10 @@ int Main(int argc, char** argv) {
         lazy_ms = ms;  // The reported time is the serial lazy run.
         materialized = report->compounds_materialized;
         rounds = report->refinement_rounds;
+        blocked = report->blocking_constraints;
+        closures = report->certificate_closures;
+        lazy_conclusive = report->lazy;
+        verdict_unsat = report->verdict == Verdict::kUnsat;
         first_classwise = report->class_satisfiable;
         if (!report->lazy) ++fallbacks;
         if (eager_completed) {
@@ -143,26 +158,30 @@ int Main(int argc, char** argv) {
       }
     }
     all_identical = all_identical && identical;
+    if (!eager_completed && lazy_conclusive && verdict_unsat &&
+        fallbacks == 0) {
+      beyond_cap_concluded = true;
+    }
 
     double speedup = (eager_completed && lazy_ms > 0)
                          ? eager_ms / lazy_ms
                          : 0.0;
-    std::printf("| %s | %s | %.2f | %s | %llu | %llu | %llu | %llu |%s\n",
-                cell.name.c_str(),
-                eager_completed ? std::to_string(eager_ms).c_str()
-                                : "n/a (cap)",
-                lazy_ms,
-                eager_completed ? (std::to_string(speedup) + "x").c_str()
-                                : "-",
-                static_cast<unsigned long long>(materialized),
-                static_cast<unsigned long long>(compounds_total),
-                static_cast<unsigned long long>(rounds),
-                static_cast<unsigned long long>(fallbacks),
-                identical ? "" : "  ANSWERS DIFFER (bug!)");
+    std::printf(
+        "| %s | %s | %.2f | %s | %llu | %llu | %llu | %llu | %llu |%s\n",
+        cell.name.c_str(),
+        eager_completed ? std::to_string(eager_ms).c_str() : "n/a (cap)",
+        lazy_ms,
+        eager_completed ? (std::to_string(speedup) + "x").c_str() : "-",
+        static_cast<unsigned long long>(materialized),
+        static_cast<unsigned long long>(compounds_total),
+        static_cast<unsigned long long>(blocked),
+        static_cast<unsigned long long>(closures),
+        static_cast<unsigned long long>(fallbacks),
+        identical ? "" : "  ANSWERS DIFFER (bug!)");
     std::fflush(stdout);
 
     bench::JsonRecord record;
-    record.Add("bench", "lazy_expansion")
+    record.Add("bench", "lazy_unsat")
         .Add("schema", cell.name)
         .Add("num_classes", static_cast<int>(schema.num_classes()))
         .Add("threads", num_threads)
@@ -170,19 +189,28 @@ int Main(int argc, char** argv) {
         .Add("eager_completed", eager_completed)
         .Add("eager_ms", eager_completed ? eager_ms : 0.0)
         .Add("lazy_ms", lazy_ms);
-    // A speedup only exists where eager completed; on beyond-cap cells
-    // the field is OMITTED (not zero) so downstream aggregation cannot
-    // mistake "eager could not run" for "lazy was infinitely slower".
+    // No speedup field on beyond-cap cells: "eager could not run" must
+    // not aggregate as a zero ratio.
     if (eager_completed) record.Add("speedup", speedup);
     record.Add("answers_identical", identical)
+        .Add("lazy_conclusive", lazy_conclusive)
+        .Add("verdict_unsat", verdict_unsat)
         .Add("compounds_materialized", materialized)
         .Add("compounds_total", compounds_total)
+        .Add("blocking_constraints", blocked)
+        .Add("certificate_closures", closures)
         .Add("refinement_rounds", rounds)
         .Add("fallbacks", fallbacks);
     out.Write(record);
   }
   if (!all_identical) {
     std::fprintf(stderr, "FAIL: lazy answers differ from eager\n");
+    return 1;
+  }
+  if (!beyond_cap_concluded) {
+    std::fprintf(stderr,
+                 "FAIL: no cell where eager tripped its cap but lazy "
+                 "concluded UNSAT without fallback\n");
     return 1;
   }
   std::printf("\nwrote %s\n", out_path.c_str());

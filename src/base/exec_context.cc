@@ -243,6 +243,10 @@ ProgressSnapshot ExecContext::progress() const {
       compounds_materialized_.load(std::memory_order_relaxed);
   snapshot.spurious_witnesses =
       spurious_witnesses_.load(std::memory_order_relaxed);
+  snapshot.blocking_constraints =
+      blocking_constraints_.load(std::memory_order_relaxed);
+  snapshot.certificate_closures =
+      certificate_closures_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -74,6 +74,11 @@ struct ProgressSnapshot {
   uint64_t refinement_rounds = 0;
   uint64_t compounds_materialized = 0;
   uint64_t spurious_witnesses = 0;
+  /// UNSAT-side lazy expansion: infeasibility certificates learned from
+  /// infeasible partial-Ψ probes (blocking constraints) and certificates
+  /// whose dual zero-extension closed (lazy UNSAT verdicts).
+  uint64_t blocking_constraints = 0;
+  uint64_t certificate_closures = 0;
 };
 
 /// A structured description of which limit tripped, where, and at what
@@ -278,6 +283,12 @@ class ExecContext {
   void CountSpuriousWitnesses(uint64_t n) {
     AddRelaxed(&spurious_witnesses_, n);
   }
+  void CountBlockingConstraints(uint64_t n) {
+    AddRelaxed(&blocking_constraints_, n);
+  }
+  void CountCertificateClosures(uint64_t n) {
+    AddRelaxed(&certificate_closures_, n);
+  }
   void CountScalarPromotions(uint64_t n) {
     AddRelaxed(&scalar_promotions_, n);
   }
@@ -348,6 +359,8 @@ class ExecContext {
   std::atomic<uint64_t> refinement_rounds_{0};
   std::atomic<uint64_t> compounds_materialized_{0};
   std::atomic<uint64_t> spurious_witnesses_{0};
+  std::atomic<uint64_t> blocking_constraints_{0};
+  std::atomic<uint64_t> certificate_closures_{0};
 
   std::atomic<uint64_t> work_budget_{kNoBudget};
   std::atomic<uint64_t> byte_budget_{kNoBudget};

@@ -1,5 +1,6 @@
 #include "math/simplex.h"
 
+#include <map>
 #include <utility>
 
 #include "base/check.h"
@@ -189,6 +190,48 @@ Scalar ObjectiveValue(const SparseTableau& tableau,
     if (!basic_cost.is_zero()) value += basic_cost * tableau.rhs[i];
   }
   return value;
+}
+
+/// Reads a Farkas certificate off an optimal phase-1 tableau whose
+/// objective is negative (infeasible system). COLD tableaus only
+/// (straight out of BuildTableau + phase 1): there, row i's init_basic
+/// column held the identity unit at creation and no other row's creation
+/// wrote to it, so its current contents are B^-1 e_i and the phase-1 dual
+/// prices out as y_i = -S_i with
+///   S_i = Σ_{rows r with an artificial basic} T[r][init_basic[i]].
+/// (Resumed tableaus violate the premise — an appended row's creation
+/// vector overlaps earlier rows' init_basic columns — which is why the
+/// extraction is never offered on the resume path.) With ν' = -y, LP
+/// duality at the phase-1 optimum gives ν'ᵀA_j <= 0 for every
+/// non-artificial tableau column and ν'ᵀb' > 0; mapping tableau rows back
+/// through their creation sign flip yields multipliers on the ORIGINAL
+/// constraints, ν_i = flipped[i] ? -S_i : S_i, satisfying the
+/// InfeasibilityCertificate contract. Callers re-validate regardless.
+InfeasibilityCertificate ExtractFarkasCertificate(
+    const SparseTableau& tableau) {
+  const size_t num_rows = tableau.rows.size();
+  std::vector<int> row_of_col(static_cast<size_t>(tableau.num_cols), -1);
+  for (size_t i = 0; i < num_rows; ++i) {
+    row_of_col[static_cast<size_t>(tableau.init_basic[i])] =
+        static_cast<int>(i);
+  }
+  InfeasibilityCertificate certificate;
+  certificate.row_multipliers.assign(num_rows, Rational());
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (!tableau.is_artificial[tableau.basis[r]]) continue;
+    for (const SparseRow::Entry& entry : tableau.rows[r].entries()) {
+      int i = row_of_col[static_cast<size_t>(entry.col)];
+      if (i < 0) continue;
+      certificate.row_multipliers[static_cast<size_t>(i)] +=
+          entry.value.ToRational();
+    }
+  }
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (tableau.flipped[i]) {
+      certificate.row_multipliers[i] = -certificate.row_multipliers[i];
+    }
+  }
+  return certificate;
 }
 
 /// Builds the phase-1 tableau from the system: slack variables for <=,
@@ -719,6 +762,42 @@ const char* SimplexKernelToString(SimplexKernel kernel) {
   return "unknown";
 }
 
+bool ValidateInfeasibilityCertificate(
+    const LinearSystem& system, const InfeasibilityCertificate& certificate) {
+  const std::vector<LinearConstraint>& constraints = system.constraints();
+  if (certificate.row_multipliers.size() != constraints.size()) return false;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const Rational& nu = certificate.row_multipliers[i];
+    switch (constraints[i].relation) {
+      case Relation::kGreaterEqual:
+        if (nu.is_negative()) return false;
+        break;
+      case Relation::kLessEqual:
+        if (nu.is_positive()) return false;
+        break;
+      case Relation::kEqual:
+        break;
+    }
+  }
+  // Fold the used rows into one combined row; the fold is sparse (term
+  // maps), so the cost is O(nonzeros of the used rows).
+  std::map<int, Rational> combined;
+  Rational gap;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const Rational& nu = certificate.row_multipliers[i];
+    if (nu.is_zero()) continue;
+    for (const auto& [variable, coefficient] : constraints[i].expr.terms()) {
+      combined[variable] += nu * coefficient;
+    }
+    gap += nu * constraints[i].rhs;
+  }
+  for (const auto& [variable, value] : combined) {
+    static_cast<void>(variable);
+    if (value.is_positive()) return false;
+  }
+  return gap.is_positive();
+}
+
 Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
                                          const LinearExpr& objective) const {
   switch (options_.kernel) {
@@ -768,6 +847,9 @@ Result<LpResult> SimplexSolver::Maximize(const LinearSystem& system,
         << "phase 1 cannot be unbounded";
     if (!ObjectiveValue(tableau, phase1_cost).is_zero()) {
       result.outcome = LpOutcome::kInfeasible;
+      if (options_.extract_certificate) {
+        result.infeasibility_certificate = ExtractFarkasCertificate(tableau);
+      }
       finish();
       return result;
     }
@@ -835,6 +917,9 @@ Result<LpResult> SimplexSolver::SolveForSnapshot(
         << "phase 1 cannot be unbounded";
     if (!ObjectiveValue(tableau, phase1_cost).is_zero()) {
       result.outcome = LpOutcome::kInfeasible;
+      if (options_.extract_certificate) {
+        result.infeasibility_certificate = ExtractFarkasCertificate(tableau);
+      }
       finish();
       return result;
     }

@@ -2,6 +2,7 @@
 #define CAR_MATH_SIMPLEX_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "base/exec_context.h"
@@ -46,6 +47,33 @@ enum class LpOutcome {
 
 const char* LpOutcomeToString(LpOutcome outcome);
 
+/// A Farkas certificate of infeasibility: one exact multiplier per
+/// constraint of the LinearSystem, proving that no nonnegative assignment
+/// can satisfy the system. Writing constraint i as `a_i · x <rel_i> b_i`,
+/// a valid certificate ν satisfies
+///   - sign coherence:  ν_i >= 0 for >=-rows, ν_i <= 0 for <=-rows,
+///     unrestricted for =-rows;
+///   - combined columns: Σ_i ν_i · a_ij <= 0 for every variable j;
+///   - positive gap:     Σ_i ν_i · b_i > 0.
+/// Then for any x >= 0, Σ ν_i (a_i·x) <= 0 < Σ ν_i b_i, yet each
+/// constraint would force ν_i (a_i·x) >= ν_i b_i — a contradiction, so
+/// the system is infeasible. The certificate is independent of how it
+/// was produced; ValidateInfeasibilityCertificate re-checks the three
+/// conditions from scratch in exact arithmetic.
+struct InfeasibilityCertificate {
+  /// One multiplier per constraint, aligned with
+  /// LinearSystem::constraints(). Zero entries mean the row is unused.
+  std::vector<Rational> row_multipliers;
+};
+
+/// Exact re-validation of `certificate` against `system` (the three
+/// Farkas conditions above). Trust-nothing: O(nonzeros) rational
+/// arithmetic, no reference to any solver state. Returns false on a size
+/// mismatch, any sign violation, any positive combined column, or a
+/// nonpositive combined right-hand side.
+bool ValidateInfeasibilityCertificate(
+    const LinearSystem& system, const InfeasibilityCertificate& certificate);
+
 struct LpResult {
   LpOutcome outcome = LpOutcome::kInfeasible;
   /// One value per LinearSystem variable; meaningful for kOptimal (and for
@@ -63,6 +91,13 @@ struct LpResult {
   /// kernel exploits.
   uint64_t tableau_nonzeros = 0;
   uint64_t tableau_cells = 0;
+  /// Farkas infeasibility certificate, populated only when the outcome is
+  /// kInfeasible, Options::extract_certificate is set, and the solve ran
+  /// the cold sparse kernel (Maximize / CheckFeasible / SolveForSnapshot
+  /// with kSparseScalar; resumed solves never extract — their appended
+  /// rows pollute the dual read-off). Callers must re-validate via
+  /// ValidateInfeasibilityCertificate before acting on it.
+  std::optional<InfeasibilityCertificate> infeasibility_certificate;
 };
 
 /// A frozen simplex state that later solves can resume from.
@@ -168,6 +203,10 @@ class SimplexSolver {
     /// SimplexKernel). Snapshot/resume solves always use the production
     /// sparse kernel regardless of this setting.
     SimplexKernel kernel = SimplexKernel::kSparseScalar;
+    /// When set, infeasible cold sparse solves additionally read a Farkas
+    /// certificate off the optimal phase-1 tableau into
+    /// LpResult::infeasibility_certificate (see there for scope).
+    bool extract_certificate = false;
   };
 
   SimplexSolver() : options_() {}

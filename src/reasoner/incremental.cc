@@ -253,6 +253,10 @@ Result<bool> IncrementalSession::AuxSatisfiable(
                                       std::memory_order_relaxed);
     lazy_compounds_materialized_.fetch_add(lazy.compounds_materialized,
                                            std::memory_order_relaxed);
+    lazy_blocking_constraints_.fetch_add(lazy.blocking_constraints,
+                                         std::memory_order_relaxed);
+    lazy_certificate_closures_.fetch_add(lazy.certificate_closures,
+                                         std::memory_order_relaxed);
     if (lazy.spurious_witness) {
       spurious_witnesses_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -698,6 +702,10 @@ IncrementalStats IncrementalSession::stats() const {
       lazy_refinement_rounds_.load(std::memory_order_relaxed);
   stats.lazy_compounds_materialized =
       lazy_compounds_materialized_.load(std::memory_order_relaxed);
+  stats.lazy_blocking_constraints =
+      lazy_blocking_constraints_.load(std::memory_order_relaxed);
+  stats.lazy_certificate_closures =
+      lazy_certificate_closures_.load(std::memory_order_relaxed);
   stats.spurious_witnesses =
       spurious_witnesses_.load(std::memory_order_relaxed);
   stats.clusters_reused = clusters_reused_.load(std::memory_order_relaxed);

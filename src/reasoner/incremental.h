@@ -62,6 +62,12 @@ struct IncrementalStats {
   /// serial per probe and the sums are commutative.
   uint64_t lazy_refinement_rounds = 0;
   uint64_t lazy_compounds_materialized = 0;
+  /// UNSAT-side refinement across all lazy probes: Farkas certificates
+  /// learned as blocking constraints, and certificates whose dual
+  /// zero-extension closed into a lazy UNSAT verdict. Deterministic for
+  /// the same reason as the other lazy sums.
+  uint64_t lazy_blocking_constraints = 0;
+  uint64_t lazy_certificate_closures = 0;
   /// Lazy candidate solutions rejected by the full-semantics witness
   /// checker (each one forced that probe down the eager path).
   uint64_t spurious_witnesses = 0;
@@ -244,6 +250,8 @@ class IncrementalSession {
   std::atomic<uint64_t> lazy_hits_{0};
   std::atomic<uint64_t> lazy_refinement_rounds_{0};
   std::atomic<uint64_t> lazy_compounds_materialized_{0};
+  std::atomic<uint64_t> lazy_blocking_constraints_{0};
+  std::atomic<uint64_t> lazy_certificate_closures_{0};
   std::atomic<uint64_t> spurious_witnesses_{0};
   std::atomic<uint64_t> cluster_local_{0};
   std::atomic<uint64_t> probes_{0};

@@ -1,6 +1,7 @@
 #include "reasoner/lazy_engine.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -10,6 +11,7 @@
 
 #include "expansion/expansion_delta.h"
 #include "expansion/lazy_enum.h"
+#include "semantics/certificate_check.h"
 #include "semantics/witness_check.h"
 #include "solver/incremental_psi.h"
 
@@ -108,6 +110,48 @@ bool ValidateAsWitness(const Schema& schema, const Expansion& canonical,
   return ValidatePsiWitness(schema, canonical, witness).valid;
 }
 
+/// A validated infeasibility certificate stored by stable row identity
+/// (semantics/certificate_check), so it can be re-seated onto a later
+/// round's re-indexed, larger probe system — the learned "blocking
+/// constraint". The probe row has no PsiRowKey; its multiplier is kept
+/// separately.
+struct LearnedCertificate {
+  std::map<PsiRowKey, Rational> multipliers;
+  Rational probe_multiplier;
+};
+
+LearnedCertificate LearnCertificate(const Expansion& partial,
+                                    const InfeasibilityCertificate& nu) {
+  LearnedCertificate learned;
+  std::vector<PsiRowKey> keys = PsiRowKeys(partial);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!nu.row_multipliers[i].is_zero()) {
+      learned.multipliers.emplace(std::move(keys[i]), nu.row_multipliers[i]);
+    }
+  }
+  learned.probe_multiplier = nu.row_multipliers.back();
+  return learned;
+}
+
+/// Re-seats a learned certificate onto a new probe system over a grown
+/// partial expansion: stored multipliers land on their rows by key, rows
+/// the growth added get zero. The result may no longer be valid (newly
+/// materialized columns can break the combined-coefficient condition),
+/// so the caller re-validates exactly before reusing it — an invalid
+/// re-seat just means this round pays the probe LP again.
+InfeasibilityCertificate ReseatCertificate(const Expansion& partial,
+                                           const LearnedCertificate& learned) {
+  std::vector<PsiRowKey> keys = PsiRowKeys(partial);
+  InfeasibilityCertificate nu;
+  nu.row_multipliers.assign(keys.size() + 1, Rational());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto it = learned.multipliers.find(keys[i]);
+    if (it != learned.multipliers.end()) nu.row_multipliers[i] = it->second;
+  }
+  nu.row_multipliers.back() = learned.probe_multiplier;
+  return nu;
+}
+
 }  // namespace
 
 Result<LazyOutcome> RunLazyExpansion(
@@ -157,8 +201,10 @@ Result<LazyOutcome> RunLazyExpansion(
       BuildExpansionPreamble(schema, expansion_options);
 
   // One stream per class in the dependency closure of the open targets.
+  // Certificate-driven refinement may open further streams later, so the
+  // closure list grows with them.
   std::vector<std::unique_ptr<LazyCompoundStream>> stream_of(num_classes);
-  const std::vector<ClassId> closure = DependencyClosure(*analysis, open);
+  std::vector<ClassId> closure = DependencyClosure(*analysis, open);
   for (ClassId c : closure) {
     const int cluster = preamble.partition.cluster_of[c];
     stream_of[c] = std::make_unique<LazyCompoundStream>(
@@ -209,6 +255,17 @@ Result<LazyOutcome> RunLazyExpansion(
   // compound; rounds of an all-unconstrained run (dense tautology
   // clusters) never pay an LP at all.
   std::optional<IncrementalPsiBase> psi_base;
+
+  // UNSAT-side state: one learned blocking constraint per probed target,
+  // and the predicate the closure checker (and probe gating) runs on —
+  // "is every compound containing this class materialized?", i.e. the
+  // class's pinned stream exists and is exhausted.
+  std::map<ClassId, LearnedCertificate> learned_certificates;
+  const std::function<bool(ClassId)> all_compounds_materialized =
+      [&](ClassId c) {
+        return c >= 0 && c < num_classes && stream_of[c] != nullptr &&
+               stream_of[c]->exhausted();
+      };
 
   for (size_t round = 0;; ++round) {
     CAR_RETURN_IF_ERROR(GovCheck(exec, "expansion"));
@@ -291,6 +348,95 @@ Result<LazyOutcome> RunLazyExpansion(
       if (!covered) uncovered.push_back(c);
     }
 
+    // --- UNSAT-side probes (DESIGN.md §5j). An uncovered target whose
+    // own stream is exhausted can never be covered by refinement alone,
+    // so ask the opposite question: is the raw partial system plus
+    // "Σ Var(C̄ ∋ target) >= 1" already infeasible? The Farkas
+    // certificate of an infeasible probe — validated exactly, learned as
+    // a blocking constraint, re-seated in later rounds before paying
+    // another LP — concludes UNSAT when its dual zero-extension is
+    // closed under the absent columns; otherwise its violating classes
+    // become this round's materialization hints. Gating on exhaustion
+    // keeps satisfiable dense runs at zero probe cost (their target
+    // streams never exhaust) and is itself the first closure condition.
+    std::vector<ClassId> certificate_hints;
+    if (lazy_options.unsat_probes && !uncovered.empty()) {
+      std::vector<ClassId> eligible;
+      for (ClassId c : uncovered) {
+        if (all_compounds_materialized(c)) eligible.push_back(c);
+      }
+      if (!eligible.empty()) {
+        CAR_RETURN_IF_ERROR(GovCheck(exec, "expansion"));
+        CAR_ASSIGN_OR_RETURN(
+            Expansion partial_expansion,
+            AssembleExpansion(schema, ledger.Compounds(), expansion_options));
+        std::vector<ClassId> concluded;
+        for (ClassId c : eligible) {
+          CAR_RETURN_IF_ERROR(GovCheck(exec, "expansion"));
+          UnsatProbe probe = BuildUnsatProbe(partial_expansion, c);
+          const InfeasibilityCertificate* certificate = nullptr;
+          InfeasibilityCertificate reseated;
+          auto learned_it = learned_certificates.find(c);
+          if (learned_it != learned_certificates.end()) {
+            reseated = ReseatCertificate(partial_expansion,
+                                         learned_it->second);
+            if (ValidateInfeasibilityCertificate(probe.psi.system,
+                                                 reseated)) {
+              certificate = &reseated;
+            }
+          }
+          std::optional<LpResult> lp;
+          if (certificate == nullptr) {
+            CAR_ASSIGN_OR_RETURN(lp,
+                                 SolveUnsatProbe(probe, solver_options));
+            ++out.lp_solves;
+            if (lp->outcome != LpOutcome::kInfeasible) continue;
+            if (!lp->infeasibility_certificate.has_value() ||
+                !ValidateInfeasibilityCertificate(
+                    probe.psi.system, *lp->infeasibility_certificate)) {
+              // Extraction defect: never conclude from an unvalidated
+              // certificate — this target degrades to the eager path.
+              continue;
+            }
+            certificate = &*lp->infeasibility_certificate;
+            learned_certificates[c] =
+                LearnCertificate(partial_expansion, *certificate);
+            ++out.blocking_constraints;
+            if (exec != nullptr) exec->CountBlockingConstraints(1);
+          }
+          CertificateClosureResult closure_check = CheckCertificateClosure(
+              schema, partial_expansion, c, *certificate,
+              all_compounds_materialized);
+          if (closure_check.closed) {
+            // Sound lazy UNSAT: out.class_satisfiable[c] stays false.
+            ++out.certificate_closures;
+            if (exec != nullptr) exec->CountCertificateClosures(1);
+            concluded.push_back(c);
+          } else {
+            certificate_hints.insert(certificate_hints.end(),
+                                     closure_check.refinement_hints.begin(),
+                                     closure_check.refinement_hints.end());
+          }
+        }
+        auto is_concluded = [&](ClassId c) {
+          return std::find(concluded.begin(), concluded.end(), c) !=
+                 concluded.end();
+        };
+        open.erase(std::remove_if(open.begin(), open.end(), is_concluded),
+                   open.end());
+        uncovered.erase(
+            std::remove_if(uncovered.begin(), uncovered.end(), is_concluded),
+            uncovered.end());
+        if (open.empty()) {
+          out.conclusive = true;
+          out.compounds_materialized = ledger.size();
+          out.compound_attributes = global_ca.size();
+          out.compound_relations = global_cr.size();
+          return out;
+        }
+      }
+    }
+
     if (uncovered.empty()) {
       if (lazy_options.validate_witness) {
         CAR_ASSIGN_OR_RETURN(
@@ -329,6 +475,24 @@ Result<LazyOutcome> RunLazyExpansion(
           CAR_RETURN_IF_ERROR(advance(d, lazy_options.batch_per_class));
         }
       }
+    }
+    // Adaptive refinement: the violating classes of non-closed
+    // certificates drive materialization directly, opening streams the
+    // dependency closure never reached when necessary — the next round's
+    // probe system gains exactly the columns that broke the closure.
+    std::sort(certificate_hints.begin(), certificate_hints.end());
+    certificate_hints.erase(
+        std::unique(certificate_hints.begin(), certificate_hints.end()),
+        certificate_hints.end());
+    for (ClassId h : certificate_hints) {
+      if (h < 0 || h >= num_classes) continue;
+      if (stream_of[h] == nullptr) {
+        const int cluster = preamble.partition.cluster_of[h];
+        stream_of[h] = std::make_unique<LazyCompoundStream>(
+            schema, preamble.tables, preamble.partition.clusters[cluster], h);
+        closure.push_back(h);
+      }
+      CAR_RETURN_IF_ERROR(advance(h, lazy_options.batch_per_class));
     }
     for (ClassId c : closure) delivered_after += stream_of[c]->delivered();
     if (ledger.size() == ledger_before &&

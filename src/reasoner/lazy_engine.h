@@ -28,6 +28,15 @@ struct LazyExpansionOptions {
   /// witness (semantics/witness_check) before answering; a spurious
   /// witness forces the eager fallback instead of an answer.
   bool validate_witness = true;
+  /// UNSAT-side refinement: probe uncovered targets whose own stream is
+  /// exhausted with a raw feasibility LP, learn the Farkas certificate of
+  /// an infeasible probe as a blocking constraint, conclude UNSAT when
+  /// the certificate is closed under the absent columns
+  /// (semantics/certificate_check), and otherwise drive the next
+  /// materialization round with the certificate's violating classes
+  /// instead of the fixed batch. Off = PR 9 behavior (such targets stall
+  /// into the eager fallback).
+  bool unsat_probes = true;
 };
 
 /// What one lazy run reports. `conclusive` is the contract: when false,
@@ -52,6 +61,12 @@ struct LazyOutcome {
   size_t compound_relations = 0;
   size_t lp_solves = 0;
   size_t fixpoint_rounds = 0;
+  /// UNSAT-side counters: infeasibility certificates learned from
+  /// infeasible probes (each one blocks its partial system for every
+  /// later round), and certificates whose dual zero-extension closed —
+  /// i.e. lazy UNSAT verdicts concluded without the eager expansion.
+  size_t blocking_constraints = 0;
+  size_t certificate_closures = 0;
 };
 
 /// Decides satisfiability of the `targets` classes lazily:
@@ -70,6 +85,15 @@ struct LazyOutcome {
 ///     streams (and their direct dependencies') by another batch, the
 ///     delta grows via PopulateDeltaExtensions, and the solve repeats —
 ///     each round warm-starts from the same clean seed snapshot;
+///   unsat probes: an uncovered target whose own stream is exhausted is
+///     probed with a raw feasibility LP over the partial system plus
+///     "Σ Var(C̄ ∋ target) >= 1"; an infeasible probe's Farkas
+///     certificate (validated exactly, then learned as a blocking
+///     constraint and re-seated in later rounds) concludes UNSAT when
+///     its dual zero-extension is closed under the absent columns
+///     (semantics/certificate_check), and otherwise contributes its
+///     violating classes as the next round's materialization hints
+///     (adaptive batching);
 ///   conclude: when every open target is covered, the final solution is
 ///     validated as a semantic witness; only then are the answers
 ///     reported. Coverage in a partial expansion implies coverage in the

@@ -200,6 +200,8 @@ Result<SatReport> Reasoner::CheckSchema() {
       report.fixpoint_rounds = lazy->fixpoint_rounds;
       report.refinement_rounds = lazy->refinement_rounds;
       report.compounds_materialized = lazy->compounds_materialized;
+      report.blocking_constraints = lazy->blocking_constraints;
+      report.certificate_closures = lazy->certificate_closures;
       if (options_.exec != nullptr) {
         report.progress = options_.exec->progress();
       }

@@ -97,6 +97,11 @@ struct SatReport {
   bool lazy = false;
   size_t refinement_rounds = 0;
   size_t compounds_materialized = 0;
+  /// UNSAT-side refinement observability: Farkas certificates learned as
+  /// blocking constraints, and certificates whose dual zero-extension
+  /// closed (each closure is one lazily concluded UNSAT target).
+  size_t blocking_constraints = 0;
+  size_t certificate_closures = 0;
 };
 
 /// One logical-implication query for the batched API. Every kind reduces

@@ -1,0 +1,211 @@
+#include "semantics/certificate_check.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+#include "base/strings.h"
+
+namespace car {
+
+namespace {
+
+/// Appends every positively mentioned class of `formula` to `hints`.
+void AddPositiveLiterals(const ClassFormula& formula,
+                         std::vector<ClassId>* hints) {
+  for (const ClassClause& clause : formula.clauses()) {
+    for (const ClassLiteral& literal : clause.literals()) {
+      if (!literal.negated) hints->push_back(literal.class_id);
+    }
+  }
+}
+
+/// A violated Natt key (positive combined multiplier d on `term` @
+/// `compound`) is rescued when an absent counterpart compound provably
+/// cannot exist: some member of `compound` carries a `term` spec whose
+/// range formula has a single-positive-literal clause {T} — every
+/// consistent counterpart must then contain T (IsConsistentCompound-
+/// Attribute forces the counterpart to realize that clause) — and every
+/// compound containing T is already materialized. Collects the candidate
+/// forcing classes and the other positive range literals as refinement
+/// hints for the not-rescued case.
+bool NattKeyRescued(const Schema& schema, const CompoundClass& compound,
+                    const AttributeTerm& term,
+                    const std::function<bool(ClassId)>& all_materialized,
+                    std::vector<ClassId>* hints) {
+  for (ClassId member : compound.members()) {
+    const ClassDefinition& definition = schema.class_definition(member);
+    for (const AttributeSpec& spec : definition.attributes) {
+      if (!(spec.term == term)) continue;
+      for (const ClassClause& clause : spec.range.clauses()) {
+        const std::vector<ClassLiteral>& literals = clause.literals();
+        if (literals.size() == 1 && !literals[0].negated &&
+            all_materialized(literals[0].class_id)) {
+          return true;
+        }
+      }
+      AddPositiveLiterals(spec.range, hints);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PsiRowKey::operator<(const PsiRowKey& other) const {
+  if (is_nrel != other.is_nrel) return !is_nrel;
+  if (upper != other.upper) return !upper;
+  if (is_nrel) {
+    if (relation != other.relation) return relation < other.relation;
+    if (role != other.role) return role < other.role;
+  } else {
+    if (!(term == other.term)) return term < other.term;
+  }
+  return members < other.members;
+}
+
+std::vector<PsiRowKey> PsiRowKeys(const Expansion& partial) {
+  std::vector<PsiRowKey> keys;
+  for (const auto& [key, cardinality] : partial.natt) {
+    const auto& [term, compound_index] = key;
+    const std::vector<ClassId>& members =
+        partial.compound_classes[compound_index].members();
+    if (cardinality.min() > 0) {
+      PsiRowKey row;
+      row.term = term;
+      row.members = members;
+      keys.push_back(std::move(row));
+    }
+    if (cardinality.has_finite_max()) {
+      PsiRowKey row;
+      row.upper = true;
+      row.term = term;
+      row.members = members;
+      keys.push_back(std::move(row));
+    }
+  }
+  for (const auto& [key, cardinality] : partial.nrel) {
+    const auto& [relation, role_index, compound_index] = key;
+    const std::vector<ClassId>& members =
+        partial.compound_classes[compound_index].members();
+    if (cardinality.min() > 0) {
+      PsiRowKey row;
+      row.is_nrel = true;
+      row.relation = relation;
+      row.role = role_index;
+      row.members = members;
+      keys.push_back(std::move(row));
+    }
+    if (cardinality.has_finite_max()) {
+      PsiRowKey row;
+      row.is_nrel = true;
+      row.upper = true;
+      row.relation = relation;
+      row.role = role_index;
+      row.members = members;
+      keys.push_back(std::move(row));
+    }
+  }
+  return keys;
+}
+
+CertificateClosureResult CheckCertificateClosure(
+    const Schema& schema, const Expansion& partial, ClassId target,
+    const InfeasibilityCertificate& certificate,
+    const std::function<bool(ClassId)>& all_compounds_materialized) {
+  CertificateClosureResult out;
+  const std::vector<Rational>& nu = certificate.row_multipliers;
+
+  // The certificate must cover exactly the replayed disequation rows
+  // plus the probe row; anything else means the caller validated it
+  // against a different system.
+  size_t num_rows = 0;
+  for (const auto& [key, cardinality] : partial.natt) {
+    static_cast<void>(key);
+    if (cardinality.min() > 0) ++num_rows;
+    if (cardinality.has_finite_max()) ++num_rows;
+  }
+  for (const auto& [key, cardinality] : partial.nrel) {
+    static_cast<void>(key);
+    if (cardinality.min() > 0) ++num_rows;
+    if (cardinality.has_finite_max()) ++num_rows;
+  }
+  if (nu.size() != num_rows + 1) {
+    out.failure = StrCat("certificate covers ", nu.size(),
+                         " rows, probe system has ", num_rows + 1);
+    return out;
+  }
+
+  bool closed = true;
+  std::vector<ClassId> hints;
+  std::string failure;
+  auto violate = [&](std::string why) {
+    closed = false;
+    if (failure.empty()) failure = std::move(why);
+  };
+
+  // (a) Absent compound classes: an absent C̄ touches only its own
+  // (absent) rows plus the probe row when target ∈ C̄, and the probe
+  // multiplier carries the certificate's whole positive gap — so every
+  // compound containing the target must already be materialized.
+  if (!all_compounds_materialized(target)) {
+    hints.push_back(target);
+    violate(StrCat("stream of target ", schema.ClassName(target),
+                   " not exhausted"));
+  }
+
+  // (b) + (c): walk the rows in emission order, folding each key's
+  // min/max multipliers into the combined coefficient d an absent
+  // column feeding that key would receive.
+  size_t cursor = 0;
+  for (const auto& [key, cardinality] : partial.natt) {
+    const auto& [term, compound_index] = key;
+    Rational d;
+    if (cardinality.min() > 0) d += nu[cursor++];
+    if (cardinality.has_finite_max()) d += nu[cursor++];
+    if (!d.is_positive()) continue;
+    const CompoundClass& compound = partial.compound_classes[compound_index];
+    std::vector<ClassId> key_hints;
+    if (NattKeyRescued(schema, compound, term, all_compounds_materialized,
+                       &key_hints)) {
+      continue;
+    }
+    hints.insert(hints.end(), key_hints.begin(), key_hints.end());
+    violate(StrCat("positive dual on ", term.inverse ? "inv " : "",
+                   schema.AttributeName(term.attribute), " @ ",
+                   compound.ToString(schema),
+                   " with possibly-absent counterparts"));
+  }
+  for (const auto& [key, cardinality] : partial.nrel) {
+    const auto& [relation, role_index, compound_index] = key;
+    Rational d;
+    if (cardinality.min() > 0) d += nu[cursor++];
+    if (cardinality.has_finite_max()) d += nu[cursor++];
+    if (!d.is_positive()) continue;
+    // Conservative: a compound relation's absent counterparts span every
+    // other position, so a positive dual is never rescued. Hint the
+    // positively mentioned classes of the relation's role clauses.
+    const RelationDefinition* definition =
+        schema.relation_definition(relation);
+    if (definition != nullptr) {
+      for (const RoleClause& clause : definition->constraints) {
+        for (const RoleLiteral& literal : clause.literals) {
+          AddPositiveLiterals(literal.formula, &hints);
+        }
+      }
+    }
+    violate(StrCat("positive dual on ", schema.RelationName(relation), "[",
+                   role_index, "] @ ",
+                   partial.compound_classes[compound_index].ToString(schema)));
+  }
+  CAR_CHECK_EQ(cursor, num_rows);
+
+  std::sort(hints.begin(), hints.end());
+  hints.erase(std::unique(hints.begin(), hints.end()), hints.end());
+  out.closed = closed;
+  out.refinement_hints = std::move(hints);
+  out.failure = std::move(failure);
+  return out;
+}
+
+}  // namespace car

@@ -1,0 +1,91 @@
+#ifndef CAR_SEMANTICS_CERTIFICATE_CHECK_H_
+#define CAR_SEMANTICS_CERTIFICATE_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "expansion/expansion.h"
+#include "math/simplex.h"
+#include "model/schema.h"
+
+namespace car {
+
+/// Stable identity of one Ψ disequation row of a partial expansion:
+/// the Natt/Nrel key with the constrained compound class spelled by its
+/// members instead of an expansion index. Row indices shift as the lazy
+/// engine materializes more compounds; these keys do not, which is what
+/// lets a learned infeasibility certificate be re-seated onto the next
+/// round's probe system (reuse as a blocking constraint) and lets the
+/// closure checker reason about rows semantically.
+struct PsiRowKey {
+  bool is_nrel = false;
+  /// Lower (min) bound row when false, upper (max) bound row when true.
+  bool upper = false;
+  AttributeTerm term;                // Natt rows only.
+  RelationId relation = kInvalidId;  // Nrel rows only.
+  int role = 0;                      // Nrel rows only.
+  /// Members of the constrained compound class.
+  std::vector<ClassId> members;
+
+  bool operator<(const PsiRowKey& other) const;
+};
+
+/// Replays BuildFullPsiSystem's emission order over `partial` (Natt map
+/// order then Nrel map order; per key the min row iff min > 0, then the
+/// max row iff the max is finite) and returns the stable key of every
+/// disequation row, aligned with the probe system's constraint list. The
+/// probe row, appended after these, has no key.
+std::vector<PsiRowKey> PsiRowKeys(const Expansion& partial);
+
+struct CertificateClosureResult {
+  bool closed = false;
+  /// When not closed: classes whose streams the next materialization
+  /// round should grow — the positive range/role-formula literals of the
+  /// violated rows, plus the target itself when its own stream is the
+  /// obstruction. Sorted, deduplicated.
+  std::vector<ClassId> refinement_hints;
+  /// The first violation, human-readable; empty when closed.
+  std::string failure;
+};
+
+/// The dual zero-extension check (DESIGN.md §5j), the UNSAT-side mirror
+/// of the witness checker's zero-extension lemma: decides whether an
+/// infeasibility certificate of the PARTIAL probe system — the raw Ψ
+/// rows of `partial` plus the probe row Σ_{materialized C̄ ∋ target}
+/// Var(C̄) >= 1, with `certificate` already validated exactly against
+/// that system — remains valid for the FULL probe system when extended
+/// by zero on every absent row. That holds iff every absent column has a
+/// nonpositive combined coefficient under ν:
+///
+///   * an absent compound class C̄ touches only its own (absent) rows
+///     plus the probe row when target ∈ C̄, where ν_probe > 0 — so
+///     closure requires every compound containing the target to be
+///     materialized (`all_compounds_materialized(target)`);
+///   * an absent compound attribute with one materialized endpoint feeds
+///     that endpoint's Natt rows for the attribute term: its combined
+///     coefficient is d = ν_min + ν_max of those rows. d <= 0 closes the
+///     key outright; otherwise the key is still closed when such an
+///     absent counterpart provably cannot exist — some member of the
+///     endpoint carries a spec on the term whose range formula has a
+///     single-positive-literal clause {T} and every compound containing
+///     T is materialized (consistency forces counterparts to contain T);
+///   * an absent compound relation with a materialized component at
+///     position k feeds that component's Nrel row pair: conservative,
+///     d <= 0 only (a violated relation key is never rescued).
+///
+/// A closed certificate is a sound lazy UNSAT verdict for the target:
+/// the zero-extended ν refutes the full probe system, and a satisfiable
+/// target would make the full probe system feasible (the solved full
+/// expansion's witness zero-extends to it). Nothing is trusted from the
+/// solver: the caller validates ν exactly first, and this check reads
+/// only the schema, the partial expansion and the materialization
+/// predicate.
+CertificateClosureResult CheckCertificateClosure(
+    const Schema& schema, const Expansion& partial, ClassId target,
+    const InfeasibilityCertificate& certificate,
+    const std::function<bool(ClassId)>& all_compounds_materialized);
+
+}  // namespace car
+
+#endif  // CAR_SEMANTICS_CERTIFICATE_CHECK_H_

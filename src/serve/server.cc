@@ -63,6 +63,7 @@ Server::Server(ServerOptions options)
         cache_options.memory_budget_bytes = options_.memory_budget_bytes;
         cache_options.reasoner.num_threads = options_.num_threads;
         cache_options.reasoner.prefilter = options_.prefilter;
+        cache_options.reasoner.lazy_expansion = options_.lazy_expansion;
         cache_options.store = store_.get();
         return cache_options;
       }()) {}

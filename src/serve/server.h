@@ -23,6 +23,12 @@ struct ServerOptions {
   int num_threads = 1;
   /// Static-analysis prefilter tiers of the incremental sessions.
   bool prefilter = true;
+  /// Lazy (counterexample-guided) expansion inside the tenant sessions —
+  /// the serving default since the engine gained sound lazy UNSAT
+  /// verdicts (infeasibility certificates): answers are bit-identical
+  /// either way, but dense tenant schemas stop paying the eager
+  /// enumeration up front. car_serve --no-lazy-expansion opts out.
+  bool lazy_expansion = true;
   /// Session-cache eviction policy.
   uint64_t max_sessions = 64;
   uint64_t memory_budget_bytes = 512ull << 20;

@@ -39,6 +39,33 @@ void AppendBoundPair(int cc_variable, const LinearExpr& sum,
 
 }  // namespace
 
+UnsatProbe BuildUnsatProbe(const Expansion& partial, ClassId target) {
+  UnsatProbe probe;
+  probe.target = target;
+  probe.psi = BuildFullPsiSystem(partial);
+  LinearConstraint row;
+  for (size_t i = 0; i < partial.compound_classes.size(); ++i) {
+    if (!partial.compound_classes[i].Contains(target)) continue;
+    row.expr.Add(probe.psi.cc_var[i], Rational(1));
+  }
+  row.relation = Relation::kGreaterEqual;
+  row.rhs = Rational(1);
+  row.label = StrCat("unsat-probe @ ", partial.schema->ClassName(target));
+  probe.probe_row = probe.psi.system.constraints().size();
+  probe.psi.system.AddConstraint(std::move(row));
+  return probe;
+}
+
+Result<LpResult> SolveUnsatProbe(const UnsatProbe& probe,
+                                 const PsiSolverOptions& options) {
+  SimplexSolver::Options solver_options;
+  solver_options.max_pivots = options.max_pivots;
+  solver_options.exec = options.exec;
+  solver_options.kernel = SimplexKernel::kSparseScalar;
+  solver_options.extract_certificate = true;
+  return SimplexSolver(solver_options).CheckFeasible(probe.psi.system);
+}
+
 Result<IncrementalPsiBase> BuildIncrementalPsiBaseStructure(
     const Expansion& expansion, const PsiSolverOptions& options) {
   ExecContext* exec = options.exec;

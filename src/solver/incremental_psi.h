@@ -92,6 +92,37 @@ struct PartialPsiResult {
   uint64_t peak_tableau_cells = 0;
 };
 
+/// The UNSAT-side probe of the lazy engine: the raw full-active Ψ system
+/// of a PARTIAL expansion, plus one probe row appended last,
+///   Σ_{materialized C̄ ∋ target} Var(C̄) >= 1.
+/// No t-gadgets and no fixpoint — a plain feasibility question. If the
+/// probe is infeasible AND its Farkas certificate is closed under the
+/// not-yet-materialized columns (CheckCertificateClosure), the target is
+/// unsatisfiable: the zero-extended certificate refutes the full probe
+/// system, which a satisfiable target's full-expansion witness would
+/// satisfy (zero-extension, scaled to meet the probe row). A feasible
+/// probe concludes nothing — the engine keeps refining.
+struct UnsatProbe {
+  /// Variable maps over the partial expansion; the probe row is the last
+  /// constraint of psi.system.
+  PsiSystem psi;
+  /// Index of the probe row in psi.system.constraints().
+  size_t probe_row = 0;
+  ClassId target = kInvalidId;
+};
+
+/// Builds the probe for `target` over `partial` (deterministic, no LP).
+UnsatProbe BuildUnsatProbe(const Expansion& partial, ClassId target);
+
+/// Solves the probe cold on the production sparse kernel with Farkas
+/// extraction enabled (extraction is only defined for cold tableaus, so
+/// the kernel choice in `options` is not honored here; outcomes are
+/// bit-identical regardless). kInfeasible results carry
+/// LpResult::infeasibility_certificate, which the caller must re-validate
+/// with ValidateInfeasibilityCertificate before trusting.
+Result<LpResult> SolveUnsatProbe(const UnsatProbe& probe,
+                                 const PsiSolverOptions& options);
+
 /// Runs the warm-started pinned acceptability fixpoint over base + delta
 /// (the machinery documented on SolvePsiIncremental below, minus the
 /// auxiliary-class shortcuts) and reports the resulting activity masks

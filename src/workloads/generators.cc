@@ -271,6 +271,95 @@ Schema GenerateDenseBlowupSchema(const DenseBlowupParams& params) {
   return schema;
 }
 
+uint64_t DenseBlowupCompoundCount(const DenseBlowupParams& params) {
+  // Chaff cluster: every nonempty subset of the chaff classes is a
+  // consistent compound (the tautological clause prunes nothing). Core
+  // cluster: the isa chain admits exactly the nonempty prefixes. Plus
+  // the empty compound the expansion always carries at index 0.
+  return ((uint64_t{1} << params.chaff_classes) - 1) +
+         static_cast<uint64_t>(params.core_classes) + 1;
+}
+
+Schema GenerateDenseUnsatSchema(const DenseUnsatParams& params) {
+  CAR_CHECK(params.chaff_classes >= 1);
+  CAR_CHECK(params.core_classes >= 1);
+  CAR_CHECK(params.max_cardinality >= 1);
+  Schema schema;
+  // Chaff: identical to GenerateDenseBlowupSchema. D1..Dn-1 carry the
+  // tautological `isa D0 | !D0`, fusing all chaff classes into one
+  // cluster of 2^chaff_classes consistent subsets with no Ψ content.
+  std::vector<ClassId> chaff;
+  for (int i = 0; i < params.chaff_classes; ++i) {
+    chaff.push_back(schema.InternClass(StrCat("D", i)));
+  }
+  for (int i = 1; i < params.chaff_classes; ++i) {
+    ClassClause tautology;
+    tautology.AddLiteral(ClassLiteral::Positive(chaff[0]));
+    tautology.AddLiteral(ClassLiteral::Negative(chaff[0]));
+    schema.mutable_class_definition(chaff[i])
+        ->isa.AddClause(std::move(tautology));
+  }
+  // Core: pairwise-disjoint classes, so the only consistent core
+  // compounds are the singletons {E_i} — each core class's lazy stream
+  // delivers one compound and exhausts, which is what arms the UNSAT
+  // probes (they only fire on exhausted targets).
+  std::vector<ClassId> core;
+  for (int i = 0; i < params.core_classes; ++i) {
+    core.push_back(schema.InternClass(StrCat("E", i)));
+  }
+  for (int i = 1; i < params.core_classes; ++i) {
+    ClassDefinition* definition = schema.mutable_class_definition(core[i]);
+    for (int j = 0; j < i; ++j) {
+      definition->isa.AddClause(
+          ClassClause::Of(ClassLiteral::Negative(core[j])));
+    }
+  }
+  // Chain: each E_i needs at least one g_i-successor in E_{i+1} and each
+  // E_{i+1} member receives at most max_cardinality of them, so Ψ forces
+  // V(E_i) <= m * V(E_{i+1}).
+  const int last = params.core_classes - 1;
+  for (int i = 0; i < last; ++i) {
+    AttributeId g = schema.InternAttribute(StrCat("g", i));
+    AttributeSpec forward;
+    forward.term = AttributeTerm::Direct(g);
+    forward.cardinality = Cardinality(1, params.max_cardinality);
+    forward.range = ClassFormula::OfClass(core[i + 1]);
+    schema.mutable_class_definition(core[i])->attributes.push_back(
+        std::move(forward));
+    AttributeSpec backward;
+    backward.term = AttributeTerm::Inverse(g);
+    backward.cardinality = Cardinality(0, params.max_cardinality);
+    backward.range = ClassFormula::OfClass(core[i]);
+    schema.mutable_class_definition(core[i + 1])->attributes.push_back(
+        std::move(backward));
+  }
+  // Terminal contradiction: every member of E_last has exactly two
+  // f-links into E_last while every member receives at most one, so
+  // 2 * V(E_last) <= ca_f <= V(E_last) forces V(E_last) = 0 and the
+  // chain pulls every V(E_i) to zero with it.
+  AttributeId f = schema.InternAttribute("f");
+  ClassDefinition* terminal = schema.mutable_class_definition(core[last]);
+  AttributeSpec self_loop;
+  self_loop.term = AttributeTerm::Direct(f);
+  self_loop.cardinality = Cardinality(2, 2);
+  self_loop.range = ClassFormula::OfClass(core[last]);
+  terminal->attributes.push_back(std::move(self_loop));
+  AttributeSpec in_bound;
+  in_bound.term = AttributeTerm::Inverse(f);
+  in_bound.cardinality = Cardinality(0, 1);
+  in_bound.range = ClassFormula::OfClass(core[last]);
+  terminal->attributes.push_back(std::move(in_bound));
+  CAR_CHECK(schema.Validate().ok());
+  return schema;
+}
+
+uint64_t DenseUnsatCompoundCount(const DenseUnsatParams& params) {
+  // Chaff: every nonempty subset. Core: the pairwise disjointness prunes
+  // everything but the singletons. Plus the empty compound (index 0).
+  return ((uint64_t{1} << params.chaff_classes) - 1) +
+         static_cast<uint64_t>(params.core_classes) + 1;
+}
+
 Schema GenerateChainSchema(const ChainParams& params) {
   Schema schema;
   std::vector<ClassId> links;

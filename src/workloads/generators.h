@@ -92,6 +92,43 @@ struct DenseBlowupParams {
 };
 Schema GenerateDenseBlowupSchema(const DenseBlowupParams& params);
 
+/// Analytic size of the full (eager) expansion of
+/// GenerateDenseBlowupSchema: the number of compound classes the pruned
+/// eager enumeration materializes. Exact — verified against the eager
+/// reasoner in tests — so benchmarks can report the avoided work even on
+/// cells where the eager build trips its compound cap before counting.
+uint64_t DenseBlowupCompoundCount(const DenseBlowupParams& params);
+
+/// The lazy-UNSAT stress family (EXP-U): the same tautological chaff
+/// cluster as GenerateDenseBlowupSchema (all 2^chaff_classes subsets are
+/// consistent compounds with no Ψ content, so the eager enumeration
+/// drowns), plus a disjoint *core* chain E0..E_{k-1} that is deeply
+/// UNSATISFIABLE: the core classes are pairwise disjoint (so only the k
+/// singleton compounds are consistent and the per-class lazy streams
+/// exhaust after one batch), each E_i needs >= 1 g_i-successor in
+/// E_{i+1} whose inverse is bounded by max_cardinality (forcing
+/// V(E_i) <= m * V(E_{i+1}) in Ψ), and the terminal class needs exactly
+/// two f-links into itself while receiving at most one
+/// (2 * V <= ca_f <= V, forcing V(E_{k-1}) = 0). Every core class is
+/// unsatisfiable by cascade; every chaff class is satisfiable. The
+/// interesting measurement is concluding the core's UNSAT without
+/// enumerating the chaff (EXP-U).
+struct DenseUnsatParams {
+  int chaff_classes = 12;
+  /// Depth k of the contradiction chain (>= 1; k == 1 is just the
+  /// terminal self-loop contradiction).
+  int core_classes = 4;
+  /// Chain fanout bound m: larger values make the cascade numerically
+  /// shallower (V_i <= m^(k-1-i) * V_{k-1}) without changing the verdict.
+  uint64_t max_cardinality = 2;
+};
+Schema GenerateDenseUnsatSchema(const DenseUnsatParams& params);
+
+/// Analytic eager-expansion size of GenerateDenseUnsatSchema (exact,
+/// test-verified): 2^chaff_classes - 1 chaff subsets, the core_classes
+/// singletons, and the always-present empty compound.
+uint64_t DenseUnsatCompoundCount(const DenseUnsatParams& params);
+
 /// A chain of `length` classes where class k requires between 1 and
 /// `fanout` successors (attribute a_k) in class k+1, and the inverse
 /// direction is bounded too. Compound classes stay linear in `length`

@@ -605,8 +605,11 @@ ServeGeneration RunServeGeneration(const std::string& state_dir,
     close(err_child[1]);
     if (fault_env != nullptr) setenv("CAR_IO_FAULT_INJECT", fault_env, 1);
     std::string flag = StrCat("--state-dir=", state_dir);
-    execl(CAR_SERVE_BIN, "car_serve", "--threads=1", flag.c_str(),
-          static_cast<char*>(nullptr));
+    // Eager sessions: a deferred lazy base is snapshot-ineligible by
+    // design (DESIGN §5i), and these tests exist to exercise the spill /
+    // restore / quarantine machinery, which needs a full base to spill.
+    execl(CAR_SERVE_BIN, "car_serve", "--threads=1", "--no-lazy-expansion",
+          flag.c_str(), static_cast<char*>(nullptr));
     _exit(127);
   }
   close(to_child[0]);

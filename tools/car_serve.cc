@@ -24,6 +24,10 @@
 //   --default-deadline-ms=N server-side per-request deadline cap
 //   --default-work-budget=N server-side per-request work-unit cap
 //   --max-frame-mb=N        frame payload cap (default 8 MiB)
+//   --no-lazy-expansion     opt out of lazy (counterexample-guided)
+//                           expansion in the tenant sessions; lazy is
+//                           the default and answers are bit-identical
+//                           either way
 //   --state-dir=DIR         durable warm-state snapshots (off by default):
 //                           spill after each batch / eviction / shutdown,
 //                           restore on Open (src/persist)
@@ -89,6 +93,8 @@ int Usage() {
          "  --default-deadline-ms=N per-request deadline cap\n"
          "  --default-work-budget=N per-request work-unit cap\n"
          "  --max-frame-mb=N        frame payload cap in MiB\n"
+         "  --no-lazy-expansion     disable lazy expansion in sessions\n"
+         "                          (the default; answers are identical)\n"
          "  --state-dir=DIR         durable warm-state snapshot directory\n"
          "  --version               print snapshot format/ABI, exit\n"
          "exit codes:\n"
@@ -140,6 +146,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
         return false;
       }
       flags->max_frame_payload = static_cast<uint32_t>(value << 20);
+    } else if (arg == "--no-lazy-expansion") {
+      flags->server.lazy_expansion = false;
     } else if (arg.rfind("--state-dir=", 0) == 0) {
       flags->server.state_dir = arg.substr(12);
       if (flags->server.state_dir.empty()) return false;

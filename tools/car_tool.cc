@@ -239,7 +239,10 @@ int Check(Schema& schema) {
     std::cout << "lazy: " << (report->lazy ? "conclusive" : "fallback")
               << " refinement-rounds=" << report->refinement_rounds
               << " compounds-materialized=" << report->compounds_materialized
-              << " compounds-total=" << report->num_compound_classes << "\n";
+              << " compounds-total=" << report->num_compound_classes
+              << " blocking-constraints=" << report->blocking_constraints
+              << " certificate-closures=" << report->certificate_closures
+              << "\n";
   }
   if (report->verdict == Verdict::kSat) {
     std::cout << "OK: all classes satisfiable\n";
@@ -485,6 +488,8 @@ int Query(Schema& schema) {
                 << " refinement-rounds=" << stats.lazy_refinement_rounds
                 << " compounds-materialized="
                 << stats.lazy_compounds_materialized
+                << " blocking-constraints=" << stats.lazy_blocking_constraints
+                << " certificate-closures=" << stats.lazy_certificate_closures
                 << " spurious-witnesses=" << stats.spurious_witnesses << "\n";
     }
   }
